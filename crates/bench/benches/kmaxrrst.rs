@@ -1,0 +1,47 @@
+//! Criterion bench behind Fig 7: the kMaxRRST query for BL, TQ(B), TQ(Z),
+//! varying k and the candidate facility count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_bench::data;
+use tq_bench::methods::{build_indexes, Method};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+
+const METHODS: [Method; 3] = [Method::Bl, Method::TqBasic, Method::TqZ];
+
+fn bench_vs_k(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Transit, data::defaults::PSI);
+    let users = data::nyt(40_000);
+    let facilities = data::ny_routes(64, data::defaults::STOPS);
+    let idx = build_indexes(&users, Placement::TwoPoint, data::defaults::BETA);
+    let mut group = c.benchmark_group("fig7b_kmaxrrst_vs_k");
+    group.sample_size(10);
+    for k in [4usize, 8, 16, 32] {
+        for m in METHODS {
+            group.bench_with_input(BenchmarkId::new(m.label(), k), &k, |b, &k| {
+                b.iter(|| idx.top_k(m, &users, &model, &facilities, k))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_vs_facilities(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Transit, data::defaults::PSI);
+    let users = data::nyt(40_000);
+    let idx = build_indexes(&users, Placement::TwoPoint, data::defaults::BETA);
+    let mut group = c.benchmark_group("fig7d_kmaxrrst_vs_facilities");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let facilities = data::ny_routes(n, data::defaults::STOPS);
+        for m in METHODS {
+            group.bench_with_input(BenchmarkId::new(m.label(), n), &n, |b, _| {
+                b.iter(|| idx.top_k(m, &users, &model, &facilities, data::defaults::K))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_k, bench_vs_facilities);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Fig 10: the MaxkCovRST solver family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_bench::data;
+use tq_bench::methods::{build_indexes, Method};
+use tq_core::maxcov::two_step_greedy;
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+
+fn bench_solvers(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Transit, data::defaults::PSI);
+    let users = data::nyt(40_000);
+    let facilities = data::ny_routes(64, data::defaults::STOPS);
+    let idx = build_indexes(&users, Placement::TwoPoint, data::defaults::BETA);
+    let k = data::defaults::K;
+    let mut group = c.benchmark_group("fig10_maxkcov_solvers");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("G-BL", k), |b| {
+        b.iter(|| idx.greedy_cov(Method::Bl, &users, &model, &facilities, k))
+    });
+    group.bench_function(BenchmarkId::new("G-TQ(B)", k), |b| {
+        b.iter(|| idx.greedy_cov(Method::TqBasic, &users, &model, &facilities, k))
+    });
+    group.bench_function(BenchmarkId::new("G-TQ(Z)", k), |b| {
+        b.iter(|| two_step_greedy(&idx.tq_z, &users, &model, &facilities, k, None))
+    });
+    group.bench_function(BenchmarkId::new("Gn-TQ(Z)", k), |b| {
+        b.iter(|| idx.genetic_cov(&users, &model, &facilities, k))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench behind Figs 8/9: multipoint trajectories through the
+//! segmented (S-TQ) and full-trajectory (F-TQ) index generalizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_bench::data;
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, Storage, TqTree, TqTreeConfig};
+
+fn bench_nyf_variants(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::PointCount, data::defaults::PSI);
+    let users = data::nyf(20_000);
+    let facilities = data::ny_routes(32, data::defaults::STOPS);
+    let variants = [
+        ("S-TQ(B)", Placement::Segmented, Storage::Basic),
+        ("S-TQ(Z)", Placement::Segmented, Storage::ZOrder),
+        ("F-TQ(B)", Placement::FullTrajectory, Storage::Basic),
+        ("F-TQ(Z)", Placement::FullTrajectory, Storage::ZOrder),
+    ];
+    let mut group = c.benchmark_group("fig8_multipoint_nyf");
+    group.sample_size(10);
+    for (label, placement, storage) in variants {
+        let cfg = TqTreeConfig {
+            beta: data::defaults::BETA,
+            storage,
+            placement,
+            max_depth: 20,
+        };
+        let tree = TqTree::build(&users, cfg);
+        group.bench_with_input(BenchmarkId::new(label, "topk"), &(), |b, _| {
+            b.iter(|| {
+                tq_core::top_k_facilities(&tree, &users, &model, &facilities, data::defaults::K)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bjg_segmented(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::PointCount, data::defaults::PSI);
+    let users = data::bjg(4_000);
+    let facilities = data::bj_routes(32, data::defaults::STOPS);
+    let mut group = c.benchmark_group("fig9_bjg_segmented");
+    group.sample_size(10);
+    for (label, storage) in [("TQ(B)", Storage::Basic), ("TQ(Z)", Storage::ZOrder)] {
+        let cfg = TqTreeConfig {
+            beta: data::defaults::BETA,
+            storage,
+            placement: Placement::Segmented,
+            max_depth: 20,
+        };
+        let tree = TqTree::build(&users, cfg);
+        group.bench_with_input(BenchmarkId::new(label, "topk"), &(), |b, _| {
+            b.iter(|| {
+                tq_core::top_k_facilities(&tree, &users, &model, &facilities, data::defaults::K)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nyf_variants, bench_bjg_segmented);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench behind Fig 6: single-facility service value evaluation
+//! for BL, TQ(B) and TQ(Z), varying user count and stop count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tq_bench::data;
+use tq_bench::methods::{build_indexes, Method};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+
+const METHODS: [Method; 3] = [Method::Bl, Method::TqBasic, Method::TqZ];
+
+fn bench_vs_users(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Transit, data::defaults::PSI);
+    let facilities = data::ny_routes(8, data::defaults::STOPS);
+    let mut group = c.benchmark_group("fig6a_service_value_vs_users");
+    group.sample_size(10);
+    for n in [20_000usize, 40_000, 80_000] {
+        let users = data::nyt(n);
+        let idx = build_indexes(&users, Placement::TwoPoint, data::defaults::BETA);
+        for m in METHODS {
+            group.bench_with_input(
+                BenchmarkId::new(m.label(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for (_, f) in facilities.iter() {
+                            acc += idx.evaluate(m, &users, &model, f);
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vs_stops(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Transit, data::defaults::PSI);
+    let users = data::nyt(40_000);
+    let idx = build_indexes(&users, Placement::TwoPoint, data::defaults::BETA);
+    let mut group = c.benchmark_group("fig6b_service_value_vs_stops");
+    group.sample_size(10);
+    for stops in [8usize, 32, 128, 512] {
+        let facilities = data::ny_routes(8, stops);
+        for m in METHODS {
+            group.bench_with_input(
+                BenchmarkId::new(m.label(), stops),
+                &stops,
+                |b, _| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for (_, f) in facilities.iter() {
+                            acc += idx.evaluate(m, &users, &model, f);
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_users, bench_vs_stops);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p tq-bench --release --bin experiments            # all, reduced scale
+//! cargo run -p tq-bench --release --bin experiments -- --full  # paper scale
+//! cargo run -p tq-bench --release --bin experiments -- fig7c fig11b
+//! cargo run -p tq-bench --release --bin experiments -- --list
+//! ```
+
+use tq_bench::figures::{find, REGISTRY};
+use tq_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Reduced;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--reduced" => scale = Scale::Reduced,
+            "--list" => {
+                println!("available experiments:");
+                for e in REGISTRY {
+                    println!("  {:<14} {}", e.name, e.what);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--full|--reduced] [--list] [names...]\n\
+                     Runs the paper's experiments (all by default). See --list."
+                );
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let selected: Vec<&'static tq_bench::figures::Experiment> = if names.is_empty() {
+        REGISTRY.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                find(n).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {n}; try --list");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    println!(
+        "# TQ-tree experiment harness — scale: {:?} ({} experiment{})",
+        scale,
+        selected.len(),
+        if selected.len() == 1 { "" } else { "s" }
+    );
+    let total_start = std::time::Instant::now();
+    for e in selected {
+        eprintln!("[running] {} — {}", e.name, e.what);
+        let start = std::time::Instant::now();
+        let output = (e.run)(scale);
+        print!("{output}");
+        eprintln!(
+            "[done]    {} in {:.1}s",
+            e.name,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    eprintln!(
+        "[all done] total {:.1}s",
+        total_start.elapsed().as_secs_f64()
+    );
+}

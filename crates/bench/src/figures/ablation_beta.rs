@@ -1,0 +1,48 @@
+//! Ablation: TQ-tree bucket size β.
+//!
+//! β controls both leaf capacity and z-cell size. The paper fixes β to a
+//! block size; this ablation (called out in DESIGN.md §5) checks how
+//! sensitive TQ(Z) query time is to the choice, sweeping β over 16–256 for
+//! both the single-facility evaluation and the full kMaxRRST query.
+
+use crate::data::{self, defaults};
+use crate::report::{Series, Unit};
+use crate::{timed, Scale};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
+
+/// Runs the β sweep.
+pub fn run(scale: Scale) -> String {
+    let users = data::nyt(scale.users(defaults::USERS));
+    let facilities = data::ny_routes(defaults::FACILITIES, defaults::STOPS);
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let mut series = Series::new(
+        "Ablation — TQ(Z) vs β: build / evaluate / kMaxRRST time (s), NYT",
+        "beta",
+        &["build", "evaluate", "kMaxRRST"],
+        Unit::Seconds,
+    );
+    for beta in [16usize, 32, 64, 128, 256] {
+        let (tree, t_build) = timed(|| {
+            TqTree::build(
+                &users,
+                TqTreeConfig::z_order(Placement::TwoPoint).with_beta(beta),
+            )
+        });
+        let (_, t_eval) = timed(|| {
+            let mut acc = 0.0;
+            for (_, f) in facilities.iter().take(10) {
+                acc += tq_core::evaluate_service(&tree, &users, &model, f).value;
+            }
+            acc
+        });
+        let (_, t_topk) = timed(|| {
+            tq_core::top_k_facilities(&tree, &users, &model, &facilities, defaults::K)
+        });
+        series.push(
+            beta.to_string(),
+            vec![Some(t_build), Some(t_eval / 10.0), Some(t_topk)],
+        );
+    }
+    series.render()
+}

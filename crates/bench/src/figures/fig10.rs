@@ -1,0 +1,124 @@
+//! Figure 10: MaxkCovRST — runtime and solution quality.
+//!
+//! Methods: G-BL (greedy over baseline evaluation), G-TQ(B), G-TQ(Z)
+//! (greedy over TQ-tree evaluation; TQ(Z) additionally uses the two-step
+//! candidate narrowing), and Gn-TQ(Z) (genetic, 20 iterations).
+//! (a)/(c) report runtime, (b)/(d) the number of users served. Expected
+//! shape: G-TQ(Z) fastest by a wide margin; greedy quality ≥ genetic,
+//! with the genetic gap widening at large facility counts.
+
+use crate::data::{self, defaults};
+use crate::methods::{build_indexes, Indexes, Method};
+use crate::report::{Series, Unit};
+use crate::{timed, Scale};
+use tq_core::maxcov::two_step_greedy;
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+use tq_trajectory::{FacilitySet, UserSet};
+
+const LABELS: [&str; 4] = ["G-BL", "G-TQ(B)", "G-TQ(Z)", "Gn-TQ(Z)"];
+
+fn model() -> ServiceModel {
+    ServiceModel::new(Scenario::Transit, defaults::PSI)
+}
+
+/// Runs all four solvers, returning `(times, users_served)` rows.
+fn rows(
+    idx: &Indexes,
+    users: &UserSet,
+    model: &ServiceModel,
+    facilities: &FacilitySet,
+    k: usize,
+) -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+    let mut times = Vec::with_capacity(4);
+    let mut served = Vec::with_capacity(4);
+
+    let (out, t) = timed(|| idx.greedy_cov(Method::Bl, users, model, facilities, k));
+    times.push(Some(t));
+    served.push(Some(out.users_served as f64));
+
+    let (out, t) = timed(|| idx.greedy_cov(Method::TqBasic, users, model, facilities, k));
+    times.push(Some(t));
+    served.push(Some(out.users_served as f64));
+
+    // G-TQ(Z) is the paper's two-step greedy: kMaxRRST narrowing + greedy.
+    let (out, t) = timed(|| two_step_greedy(&idx.tq_z, users, model, facilities, k, None));
+    times.push(Some(t));
+    served.push(Some(out.users_served as f64));
+
+    let (out, t) = timed(|| idx.genetic_cov(users, model, facilities, k));
+    times.push(Some(t));
+    served.push(Some(out.users_served as f64));
+
+    (times, served)
+}
+
+fn sweep_users(scale: Scale) -> (Series, Series) {
+    let model = model();
+    let facilities = data::ny_routes(defaults::FACILITIES, defaults::STOPS);
+    let mut time_series = Series::new(
+        "Fig 10(a) — MaxkCovRST: time (s) vs user trajectories (NYT days)",
+        "days",
+        &LABELS,
+        Unit::Seconds,
+    );
+    let mut served_series = Series::new(
+        "Fig 10(b) — MaxkCovRST: users served vs user trajectories (NYT days)",
+        "days",
+        &LABELS,
+        Unit::Count,
+    );
+    for (label, users) in data::nyt_sweep(scale) {
+        let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+        let (t, s) = rows(&idx, &users, &model, &facilities, defaults::K);
+        let x = format!("{label} ({})", users.len());
+        time_series.push(x.clone(), t);
+        served_series.push(x, s);
+    }
+    (time_series, served_series)
+}
+
+fn sweep_facilities(scale: Scale) -> (Series, Series) {
+    let model = model();
+    let users = data::nyt(scale.users(defaults::USERS));
+    let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+    let mut time_series = Series::new(
+        "Fig 10(c) — MaxkCovRST: time (s) vs candidate facilities (NYT)",
+        "facilities",
+        &LABELS,
+        Unit::Seconds,
+    );
+    let mut served_series = Series::new(
+        "Fig 10(d) — MaxkCovRST: users served vs candidate facilities (NYT)",
+        "facilities",
+        &LABELS,
+        Unit::Count,
+    );
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let facilities = data::ny_routes(n, defaults::STOPS);
+        let (t, s) = rows(&idx, &users, &model, &facilities, defaults::K);
+        time_series.push(n.to_string(), t);
+        served_series.push(n.to_string(), s);
+    }
+    (time_series, served_series)
+}
+
+/// Fig 10(a): runtime vs users.
+pub fn run_a(scale: Scale) -> String {
+    sweep_users(scale).0.render()
+}
+
+/// Fig 10(b): users served vs users.
+pub fn run_b(scale: Scale) -> String {
+    sweep_users(scale).1.render()
+}
+
+/// Fig 10(c): runtime vs facilities.
+pub fn run_c(scale: Scale) -> String {
+    sweep_facilities(scale).0.render()
+}
+
+/// Fig 10(d): users served vs facilities.
+pub fn run_d(scale: Scale) -> String {
+    sweep_facilities(scale).1.render()
+}

@@ -1,0 +1,74 @@
+//! Figure 11: MaxkCovRST approximation ratio against the exact optimum.
+//!
+//! Ratio = solver value / exact value, with the exact optimum computed by
+//! the branch-and-bound of `tq_core::maxcov::exact` (candidate counts follow
+//! the paper's Fig 11(b): up to 64; k = 4 keeps the search exact in
+//! seconds). Expected shape: G-TQ(Z) ≥ 0.9 everywhere and usually ≈ 1;
+//! Gn-TQ(Z) below greedy, degrading with more facilities.
+
+use crate::data::{self, defaults};
+use crate::methods::{build_indexes, Method};
+use crate::report::{Series, Unit};
+use crate::Scale;
+use tq_core::maxcov::{exact, genetic, greedy, GeneticConfig};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+
+/// k for the ratio experiments (exact must stay feasible).
+const RATIO_K: usize = 4;
+
+/// B&B node budget; exceeded → the row reports `-` rather than a
+/// pseudo-exact number.
+const NODE_BUDGET: usize = 50_000_000;
+
+fn ratios(
+    users: &tq_trajectory::UserSet,
+    facilities: &tq_trajectory::FacilitySet,
+) -> Vec<Option<f64>> {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let idx = build_indexes(users, Placement::TwoPoint, defaults::BETA);
+    let table = idx.served_table(Method::TqZ, users, &model, facilities);
+    let g = greedy(&table, users, &model, RATIO_K);
+    let gn = genetic(&table, users, &model, RATIO_K, &GeneticConfig::default());
+    match exact(&table, users, &model, RATIO_K, Some(NODE_BUDGET)) {
+        Some(e) if e.value > 0.0 => {
+            vec![Some(g.value / e.value), Some(gn.value / e.value)]
+        }
+        Some(_) => vec![Some(1.0), Some(1.0)], // nothing servable: trivially optimal
+        None => vec![None, None],
+    }
+}
+
+/// Fig 11(a): approximation ratio vs user trajectories (N = 32 facilities).
+pub fn run_a(scale: Scale) -> String {
+    let facilities = data::ny_routes(32, defaults::STOPS);
+    let mut series = Series::new(
+        "Fig 11(a) — MaxkCovRST approximation ratio vs user trajectories (N=32, k=4)",
+        "days",
+        &["G-TQ(Z)", "Gn-TQ(Z)"],
+        Unit::Ratio,
+    );
+    for (label, users) in data::nyt_sweep(scale) {
+        series.push(
+            format!("{label} ({})", users.len()),
+            ratios(&users, &facilities),
+        );
+    }
+    series.render()
+}
+
+/// Fig 11(b): approximation ratio vs candidate facilities (16/32/64).
+pub fn run_b(scale: Scale) -> String {
+    let users = data::nyt(scale.users(defaults::USERS));
+    let mut series = Series::new(
+        "Fig 11(b) — MaxkCovRST approximation ratio vs candidate facilities (k=4)",
+        "facilities",
+        &["G-TQ(Z)", "Gn-TQ(Z)"],
+        Unit::Ratio,
+    );
+    for n in [16usize, 32, 64] {
+        let facilities = data::ny_routes(n, defaults::STOPS);
+        series.push(n.to_string(), ratios(&users, &facilities));
+    }
+    series.render()
+}

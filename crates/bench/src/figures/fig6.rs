@@ -1,0 +1,90 @@
+//! Figure 6: service-value computation time for a single facility.
+//!
+//! (a) varies the number of NYT user trajectories (0.5/1/2/3 days);
+//! (b) varies the number of stops per facility (8..512).
+//! Methods: BL, TQ(B), TQ(Z). Expected shape: TQ(B) ≈ 1 order of magnitude
+//! faster than BL, TQ(Z) another 1–2 orders faster than TQ(B).
+
+use crate::data::{self, defaults};
+use crate::methods::{build_indexes, Method};
+use crate::report::{Series, Unit};
+use crate::{timed, Scale};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+
+const METHODS: [Method; 3] = [Method::Bl, Method::TqBasic, Method::TqZ];
+
+/// Number of query facilities averaged per measurement (the paper averages
+/// 100 query sets; Criterion provides the rigorous statistics, the harness
+/// averages enough to be stable).
+fn queries(scale: Scale) -> usize {
+    match scale {
+        Scale::Reduced => 10,
+        Scale::Full => 25,
+    }
+}
+
+/// Average per-facility evaluation time for each method.
+fn avg_eval(
+    idx: &crate::methods::Indexes,
+    users: &tq_trajectory::UserSet,
+    model: &ServiceModel,
+    facilities: &tq_trajectory::FacilitySet,
+    n_queries: usize,
+) -> Vec<Option<f64>> {
+    METHODS
+        .iter()
+        .map(|&m| {
+            let n = n_queries.min(facilities.len());
+            let (_, secs) = timed(|| {
+                let mut acc = 0.0;
+                for (_, f) in facilities.iter().take(n) {
+                    acc += idx.evaluate(m, users, model, f);
+                }
+                acc
+            });
+            Some(secs / n as f64)
+        })
+        .collect()
+}
+
+/// Fig 6(a): time to compute the service value vs number of trajectories.
+pub fn run_a(scale: Scale) -> String {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let facilities = data::ny_routes(queries(scale), defaults::STOPS);
+    let mut series = Series::new(
+        "Fig 6(a) — service value: time (s) vs user trajectories (NYT days)",
+        "days",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for (label, users) in data::nyt_sweep(scale) {
+        let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+        series.push(
+            format!("{label} ({})", users.len()),
+            avg_eval(&idx, &users, &model, &facilities, queries(scale)),
+        );
+    }
+    series.render()
+}
+
+/// Fig 6(b): time to compute the service value vs stops per facility.
+pub fn run_b(scale: Scale) -> String {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let users = data::nyt(scale.users(defaults::USERS));
+    let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+    let mut series = Series::new(
+        "Fig 6(b) — service value: time (s) vs stops per facility (NYT)",
+        "stops",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for stops in [8usize, 16, 32, 64, 128, 256, 512] {
+        let facilities = data::ny_routes(queries(scale), stops);
+        series.push(
+            stops.to_string(),
+            avg_eval(&idx, &users, &model, &facilities, queries(scale)),
+        );
+    }
+    series.render()
+}

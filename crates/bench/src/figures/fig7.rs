@@ -1,0 +1,115 @@
+//! Figure 7: kMaxRRST query time on NYT (two-point trips).
+//!
+//! Four sweeps: (a) user trajectories, (b) k, (c) stops per facility,
+//! (d) number of candidate facilities. Methods: BL, TQ(B), TQ(Z). Expected
+//! shape: TQ(Z) 2–3 orders of magnitude below BL throughout; BL flat in k;
+//! all growing with stops and facilities.
+
+use crate::data::{self, defaults};
+use crate::methods::{build_indexes, Indexes, Method};
+use crate::report::{Series, Unit};
+use crate::{timed, Scale};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+use tq_trajectory::{FacilitySet, UserSet};
+
+const METHODS: [Method; 3] = [Method::Bl, Method::TqBasic, Method::TqZ];
+
+fn topk_row(
+    idx: &Indexes,
+    users: &UserSet,
+    model: &ServiceModel,
+    facilities: &FacilitySet,
+    k: usize,
+) -> Vec<Option<f64>> {
+    METHODS
+        .iter()
+        .map(|&m| {
+            let (_, secs) = timed(|| idx.top_k(m, users, model, facilities, k));
+            Some(secs)
+        })
+        .collect()
+}
+
+/// Fig 7(a): kMaxRRST time vs number of user trajectories.
+pub fn run_a(scale: Scale) -> String {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let facilities = data::ny_routes(defaults::FACILITIES, defaults::STOPS);
+    let mut series = Series::new(
+        "Fig 7(a) — kMaxRRST: time (s) vs user trajectories (NYT days)",
+        "days",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for (label, users) in data::nyt_sweep(scale) {
+        let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+        series.push(
+            format!("{label} ({})", users.len()),
+            topk_row(&idx, &users, &model, &facilities, defaults::K),
+        );
+    }
+    series.render()
+}
+
+/// Fig 7(b): kMaxRRST time vs k.
+pub fn run_b(scale: Scale) -> String {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let users = data::nyt(scale.users(defaults::USERS));
+    let facilities = data::ny_routes(defaults::FACILITIES, defaults::STOPS);
+    let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+    let mut series = Series::new(
+        "Fig 7(b) — kMaxRRST: time (s) vs k (NYT)",
+        "k",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for k in [4usize, 8, 16, 32] {
+        series.push(
+            k.to_string(),
+            topk_row(&idx, &users, &model, &facilities, k),
+        );
+    }
+    series.render()
+}
+
+/// Fig 7(c): kMaxRRST time vs stops per facility.
+pub fn run_c(scale: Scale) -> String {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let users = data::nyt(scale.users(defaults::USERS));
+    let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+    let mut series = Series::new(
+        "Fig 7(c) — kMaxRRST: time (s) vs stops per facility (NYT)",
+        "stops",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for stops in [8usize, 16, 32, 64, 128, 256, 512] {
+        let facilities = data::ny_routes(defaults::FACILITIES, stops);
+        series.push(
+            stops.to_string(),
+            topk_row(&idx, &users, &model, &facilities, defaults::K),
+        );
+    }
+    series.render()
+}
+
+/// Fig 7(d): kMaxRRST time vs number of candidate facilities.
+pub fn run_d(scale: Scale) -> String {
+    let model = ServiceModel::new(Scenario::Transit, defaults::PSI);
+    let users = data::nyt(scale.users(defaults::USERS));
+    let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+    let mut series = Series::new(
+        "Fig 7(d) — kMaxRRST: time (s) vs candidate facilities (NYT)",
+        "facilities",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let facilities = data::ny_routes(n, defaults::STOPS);
+        series.push(
+            n.to_string(),
+            topk_row(&idx, &users, &model, &facilities, defaults::K),
+        );
+    }
+    series.render()
+}

@@ -1,0 +1,81 @@
+//! Figure 9: kMaxRRST on BJG (Geolife-like) GPS traces.
+//!
+//! Per the paper, the (small) BJG dataset is evaluated with the *segmented*
+//! TQ-tree, treating every consecutive point pair as a trajectory unit.
+//! Methods: BL, TQ(B), TQ(Z) with Beijing bus routes as candidates.
+
+use crate::data::{self, defaults};
+use crate::methods::{build_indexes, Method};
+use crate::report::{Series, Unit};
+use crate::{timed, Scale};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+use tq_datagen::presets;
+use tq_trajectory::{FacilitySet, UserSet};
+
+const METHODS: [Method; 3] = [Method::Bl, Method::TqBasic, Method::TqZ];
+
+fn bjg_users(scale: Scale) -> std::sync::Arc<UserSet> {
+    // BJG is small (30,266); at reduced scale keep a quarter so the long
+    // traces still dominate index shape.
+    let n = match scale {
+        Scale::Reduced => presets::BJG_SIZE / 4,
+        Scale::Full => presets::BJG_SIZE,
+    };
+    data::bjg(n)
+}
+
+fn model() -> ServiceModel {
+    ServiceModel::new(Scenario::PointCount, defaults::PSI)
+}
+
+fn row(
+    idx: &crate::methods::Indexes,
+    users: &UserSet,
+    model: &ServiceModel,
+    facilities: &FacilitySet,
+) -> Vec<Option<f64>> {
+    METHODS
+        .iter()
+        .map(|&m| {
+            let (_, secs) = timed(|| idx.top_k(m, users, model, facilities, defaults::K));
+            Some(secs)
+        })
+        .collect()
+}
+
+/// Fig 9(a): time vs stops per facility on BJG.
+pub fn run_a(scale: Scale) -> String {
+    let users = bjg_users(scale);
+    let idx = build_indexes(&users, Placement::Segmented, defaults::BETA);
+    let model = model();
+    let mut series = Series::new(
+        "Fig 9(a) — kMaxRRST BJG segmented: time (s) vs stops per facility",
+        "stops",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for stops in [8usize, 16, 32, 64, 128, 256, 512] {
+        let facilities = data::bj_routes(defaults::FACILITIES, stops);
+        series.push(stops.to_string(), row(&idx, &users, &model, &facilities));
+    }
+    series.render()
+}
+
+/// Fig 9(b): time vs number of facilities on BJG.
+pub fn run_b(scale: Scale) -> String {
+    let users = bjg_users(scale);
+    let idx = build_indexes(&users, Placement::Segmented, defaults::BETA);
+    let model = model();
+    let mut series = Series::new(
+        "Fig 9(b) — kMaxRRST BJG segmented: time (s) vs candidate facilities",
+        "facilities",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let facilities = data::bj_routes(n, defaults::STOPS);
+        series.push(n.to_string(), row(&idx, &users, &model, &facilities));
+    }
+    series.render()
+}

@@ -1,0 +1,131 @@
+//! One module per reproduced figure/table (paper §VI).
+//!
+//! Every module exposes `run(scale) -> String`: it executes the experiment
+//! and renders the paper-shaped series. The [`REGISTRY`] maps CLI names to
+//! experiments so `experiments fig7c` reruns exactly one of them.
+
+pub mod ablation_beta;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod psi;
+pub mod table_build;
+
+use crate::Scale;
+
+/// An experiment entry: CLI name, what it reproduces, and the runner.
+pub struct Experiment {
+    /// CLI name (e.g. `fig7a`).
+    pub name: &'static str,
+    /// Human description.
+    pub what: &'static str,
+    /// Runner.
+    pub run: fn(Scale) -> String,
+}
+
+/// All experiments, in paper order.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "fig6a",
+        what: "Fig 6(a): service-value time vs #user trajectories (NYT)",
+        run: fig6::run_a,
+    },
+    Experiment {
+        name: "fig6b",
+        what: "Fig 6(b): service-value time vs #stops (NYT)",
+        run: fig6::run_b,
+    },
+    Experiment {
+        name: "fig7a",
+        what: "Fig 7(a): kMaxRRST time vs #user trajectories (NYT)",
+        run: fig7::run_a,
+    },
+    Experiment {
+        name: "fig7b",
+        what: "Fig 7(b): kMaxRRST time vs k (NYT)",
+        run: fig7::run_b,
+    },
+    Experiment {
+        name: "fig7c",
+        what: "Fig 7(c): kMaxRRST time vs #stops (NYT)",
+        run: fig7::run_c,
+    },
+    Experiment {
+        name: "fig7d",
+        what: "Fig 7(d): kMaxRRST time vs #facilities (NYT)",
+        run: fig7::run_d,
+    },
+    Experiment {
+        name: "fig8a",
+        what: "Fig 8(a): kMaxRRST time vs #stops, multipoint NYF (S-TQ vs F-TQ)",
+        run: fig8::run_a,
+    },
+    Experiment {
+        name: "fig8b",
+        what: "Fig 8(b): kMaxRRST time vs #facilities, multipoint NYF (S-TQ vs F-TQ)",
+        run: fig8::run_b,
+    },
+    Experiment {
+        name: "fig9a",
+        what: "Fig 9(a): kMaxRRST time vs #stops, BJG segmented",
+        run: fig9::run_a,
+    },
+    Experiment {
+        name: "fig9b",
+        what: "Fig 9(b): kMaxRRST time vs #facilities, BJG segmented",
+        run: fig9::run_b,
+    },
+    Experiment {
+        name: "fig10a",
+        what: "Fig 10(a): MaxkCovRST time vs #user trajectories (NYT)",
+        run: fig10::run_a,
+    },
+    Experiment {
+        name: "fig10b",
+        what: "Fig 10(b): MaxkCovRST users served vs #user trajectories (NYT)",
+        run: fig10::run_b,
+    },
+    Experiment {
+        name: "fig10c",
+        what: "Fig 10(c): MaxkCovRST time vs #facilities (NYT)",
+        run: fig10::run_c,
+    },
+    Experiment {
+        name: "fig10d",
+        what: "Fig 10(d): MaxkCovRST users served vs #facilities (NYT)",
+        run: fig10::run_d,
+    },
+    Experiment {
+        name: "fig11a",
+        what: "Fig 11(a): MaxkCovRST approximation ratio vs #user trajectories",
+        run: fig11::run_a,
+    },
+    Experiment {
+        name: "fig11b",
+        what: "Fig 11(b): MaxkCovRST approximation ratio vs #facilities",
+        run: fig11::run_b,
+    },
+    Experiment {
+        name: "table_build",
+        what: "Index-construction times (paper §VI-B.4)",
+        run: table_build::run,
+    },
+    Experiment {
+        name: "psi",
+        what: "ψ sensitivity of service evaluation (paper §VI-B.1(iii))",
+        run: psi::run,
+    },
+    Experiment {
+        name: "ablation_beta",
+        what: "Ablation: bucket size β for TQ(Z)",
+        run: ablation_beta::run,
+    },
+];
+
+/// Looks an experiment up by name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}

@@ -1,0 +1,43 @@
+//! ψ sensitivity (paper §VI-B.1(iii), described in the text, no figure).
+//!
+//! The paper observes no significant runtime change for the TQ methods as ψ
+//! grows, while BL degrades (larger range queries return more candidates).
+//! This experiment sweeps ψ over 100–800 m at otherwise default settings.
+
+use crate::data::{self, defaults};
+use crate::methods::{build_indexes, Method};
+use crate::report::{Series, Unit};
+use crate::{timed, Scale};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::Placement;
+
+/// Runs the ψ sweep for single-facility service evaluation.
+pub fn run(scale: Scale) -> String {
+    let users = data::nyt(scale.users(defaults::USERS));
+    let facilities = data::ny_routes(10, defaults::STOPS);
+    let idx = build_indexes(&users, Placement::TwoPoint, defaults::BETA);
+    let mut series = Series::new(
+        "ψ sensitivity — service value: time (s) vs ψ (m), NYT",
+        "psi",
+        &["BL", "TQ(B)", "TQ(Z)"],
+        Unit::Seconds,
+    );
+    for psi in [100.0f64, 200.0, 400.0, 800.0] {
+        let model = ServiceModel::new(Scenario::Transit, psi);
+        let row = [Method::Bl, Method::TqBasic, Method::TqZ]
+            .iter()
+            .map(|&m| {
+                let (_, secs) = timed(|| {
+                    let mut acc = 0.0;
+                    for (_, f) in facilities.iter() {
+                        acc += idx.evaluate(m, &users, &model, f);
+                    }
+                    acc
+                });
+                Some(secs / facilities.len() as f64)
+            })
+            .collect();
+        series.push(format!("{psi}"), row);
+    }
+    series.render()
+}

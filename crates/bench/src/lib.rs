@@ -1,0 +1,51 @@
+//! Experiment harness reproducing every figure and table of the paper.
+//!
+//! The `experiments` binary (`cargo run -p tq-bench --release --bin
+//! experiments -- [names] [--full]`) regenerates the series behind each of
+//! the paper's figures; the Criterion benches under `benches/` provide
+//! statistically robust micro-measurements of the same operations.
+//!
+//! Layout:
+//!
+//! * [`data`] — scale handling (reduced vs paper-scale) and cached dataset
+//!   construction,
+//! * [`methods`] — uniform wrappers for the compared methods (BL, TQ(B),
+//!   TQ(Z), and the MaxkCovRST solver family),
+//! * [`report`] — fixed-width series/table printing in the paper's shape,
+//! * [`figures`] — one module per figure/table of the paper's §VI.
+
+pub mod data;
+pub mod figures;
+pub mod methods;
+pub mod report;
+
+/// Experiment scale.
+///
+/// `Reduced` shrinks the user sets ~16× so the full suite completes in
+/// minutes; `Full` uses the paper's exact cardinalities (NYT-3 = 1,032,637
+/// trips). The *shape* conclusions are identical; EXPERIMENTS.md records
+/// measurements at both scales where run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~16× smaller user sets; minutes for the whole suite.
+    Reduced,
+    /// The paper's cardinalities.
+    Full,
+}
+
+impl Scale {
+    /// Scales a paper-sized user count.
+    pub fn users(self, paper: usize) -> usize {
+        match self {
+            Scale::Reduced => (paper / 16).max(1_000),
+            Scale::Full => paper,
+        }
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}

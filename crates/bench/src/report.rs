@@ -1,0 +1,158 @@
+//! Fixed-width series printing in the shape of the paper's figures.
+//!
+//! Each figure becomes a small table: the x-axis parameter in the first
+//! column, one column per compared method. Runtimes print in seconds with
+//! enough significant digits to read orders of magnitude at a glance, which
+//! is what the paper's log-scale plots convey.
+
+use std::fmt::Write as _;
+
+/// A figure-shaped result table: x-axis labels × method series.
+pub struct Series {
+    title: String,
+    x_name: String,
+    methods: Vec<String>,
+    rows: Vec<(String, Vec<Option<f64>>)>,
+    unit: Unit,
+}
+
+/// How cell values are formatted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Runtimes in seconds (scientific-ish formatting).
+    Seconds,
+    /// Plain counts (users served).
+    Count,
+    /// Ratios in [0, 1].
+    Ratio,
+}
+
+impl Series {
+    /// Creates an empty series table.
+    pub fn new(
+        title: impl Into<String>,
+        x_name: impl Into<String>,
+        methods: &[&str],
+        unit: Unit,
+    ) -> Series {
+        Series {
+            title: title.into(),
+            x_name: x_name.into(),
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            unit,
+        }
+    }
+
+    /// Appends one x-axis row. `values` must align with the methods; `None`
+    /// prints as `-` (method not run at this point).
+    pub fn push(&mut self, x: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(
+            values.len(),
+            self.methods.len(),
+            "row width must match method count"
+        );
+        self.rows.push((x.into(), values));
+    }
+
+    fn format_cell(&self, v: Option<f64>) -> String {
+        match v {
+            None => "-".to_string(),
+            Some(v) => match self.unit {
+                Unit::Seconds => {
+                    if v >= 100.0 {
+                        format!("{v:.1}")
+                    } else if v >= 0.01 {
+                        format!("{v:.4}")
+                    } else {
+                        format!("{v:.6}")
+                    }
+                }
+                Unit::Count => format!("{}", v.round() as i64),
+                Unit::Ratio => format!("{v:.4}"),
+            },
+        }
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}", self.title);
+        let width = 12usize;
+        let xw = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_name.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let _ = write!(out, "{:<xw$}", self.x_name);
+        for m in &self.methods {
+            let _ = write!(out, "{m:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{x:<xw$}");
+            for &v in values {
+                let cell = self.format_cell(v);
+                let _ = write!(out, "{cell:>width$}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Ratio between two methods' values at every row — handy for the
+    /// "orders of magnitude" claims.
+    pub fn speedup(&self, slow: &str, fast: &str) -> Vec<Option<f64>> {
+        let si = self.methods.iter().position(|m| m == slow);
+        let fi = self.methods.iter().position(|m| m == fast);
+        let (Some(si), Some(fi)) = (si, fi) else {
+            return vec![None; self.rows.len()];
+        };
+        self.rows
+            .iter()
+            .map(|(_, v)| match (v[si], v[fi]) {
+                (Some(s), Some(f)) if f > 0.0 => Some(s / f),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fixed_width_table() {
+        let mut s = Series::new("Fig X", "users", &["BL", "TQ(Z)"], Unit::Seconds);
+        s.push("1000", vec![Some(1.25), Some(0.001)]);
+        s.push("2000", vec![Some(2.5), None]);
+        let r = s.render();
+        assert!(r.contains("Fig X"));
+        assert!(r.contains("BL"));
+        assert!(r.contains("1.2500"));
+        assert!(r.contains('-'));
+        // Two data rows + header + title.
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    fn speedup_computed_rowwise() {
+        let mut s = Series::new("t", "x", &["BL", "TQ(Z)"], Unit::Seconds);
+        s.push("a", vec![Some(10.0), Some(0.1)]);
+        s.push("b", vec![Some(1.0), Some(0.0)]);
+        let sp = s.speedup("BL", "TQ(Z)");
+        assert_eq!(sp[0], Some(100.0));
+        assert_eq!(sp[1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut s = Series::new("t", "x", &["a", "b"], Unit::Count);
+        s.push("r", vec![Some(1.0)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal flag parsing (no external dependencies).
+//!
+//! Supports `--name value` flags and positional arguments; unknown flags are
+//! errors so typos fail fast instead of silently using defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Argument parsing errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+        /// Expected type, for the message.
+        expected: &'static str,
+    },
+    /// A flag is not recognized by the subcommand.
+    Unknown(String),
+    /// A required flag is absent.
+    Required(&'static str),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag}: {value:?} is not a valid {expected}"),
+            ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::Required(flag) => write!(f, "--{flag} is required"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments, validating flags against `allowed`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if !allowed.contains(&name) {
+                    return Err(ArgError::Unknown(name.to_string()));
+                }
+                let value = it.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                out.flags.insert(name.to_string(), value);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::Required(flag))
+    }
+
+    /// A typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(v(&["--k", "8", "file.tqd", "--psi", "200"]), &["k", "psi"])
+            .unwrap();
+        assert_eq!(a.positional(), &["file.tqd".to_string()]);
+        assert_eq!(a.get("k"), Some("8"));
+        assert_eq!(a.get_or("k", 0usize, "integer").unwrap(), 8);
+        assert_eq!(a.get_or("psi", 0.0f64, "number").unwrap(), 200.0);
+        assert_eq!(a.get_or("missing", 7u32, "integer").unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert_eq!(
+            Args::parse(v(&["--oops", "1"]), &["k"]),
+            Err(ArgError::Unknown("oops".into()))
+        );
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        assert_eq!(
+            Args::parse(v(&["--k"]), &["k"]),
+            Err(ArgError::MissingValue("k".into()))
+        );
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = Args::parse(v(&["--k", "eight"]), &["k"]).unwrap();
+        assert!(matches!(
+            a.get_or("k", 0usize, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn required_flag() {
+        let a = Args::parse(v(&[]), &["out"]).unwrap();
+        assert_eq!(a.required("out"), Err(ArgError::Required("out")));
+    }
+}
+
+impl PartialEq for Args {
+    fn eq(&self, other: &Self) -> bool {
+        self.positional == other.positional && self.flags == other.flags
+    }
+}

@@ -1,0 +1,284 @@
+//! `tq` — trajectory coverage queries from the command line.
+//!
+//! ```text
+//! tq generate --kind nyt --users 50000 --routes 128 --stops 32 --out city.tqd
+//! tq import-taxi --trips trips.csv --routes stops.csv --out nyc.tqd
+//! tq stats   city.tqd
+//! tq topk    city.tqd --k 8 --psi 200 --scenario transit
+//! tq maxcov  city.tqd --k 4 --psi 200 --method two-step
+//! ```
+//!
+//! Datasets travel as `.tqd` snapshot files (`tq-trajectory::snapshot`).
+
+mod args;
+
+use args::Args;
+use tq_baseline::BaselineIndex;
+use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
+use tq_core::top_k_facilities;
+use tq_trajectory::{snapshot, FacilitySet, UserSet};
+
+const USAGE: &str = "\
+tq — trajectory coverage queries (kMaxRRST / MaxkCovRST over a TQ-tree)
+
+USAGE: tq <command> [args]
+
+COMMANDS
+  generate     synthesize a dataset            --kind nyt|nyf|bjg --users N
+               [--routes N --stops S --seed S] --out FILE
+  import-taxi  import NYC TLC trips + route stops
+               --trips FILE --routes FILE --out FILE
+  stats        dataset and index statistics    FILE [--beta B]
+  topk         kMaxRRST                        FILE --k K --psi METRES
+               [--scenario transit|points|length] [--placement two-point|segmented|full]
+               [--method tq-z|tq-b|bl]
+  maxcov       MaxkCovRST                      FILE --k K --psi METRES
+               [--method greedy|two-step|genetic|exact]
+  help         this text
+";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| "help".into());
+    let rest: Vec<String> = argv.collect();
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "import-taxi" => cmd_import_taxi(rest),
+        "stats" => cmd_stats(rest),
+        "topk" => cmd_topk(rest),
+        "maxcov" => cmd_maxcov(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `tq help`").into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load(path: &str) -> Result<(UserSet, FacilitySet), Box<dyn std::error::Error>> {
+    let raw = std::fs::read(path)?;
+    Ok(snapshot::decode(raw.into())?)
+}
+
+fn scenario_of(name: &str) -> Result<Scenario, String> {
+    match name {
+        "transit" => Ok(Scenario::Transit),
+        "points" => Ok(Scenario::PointCount),
+        "length" => Ok(Scenario::Length),
+        other => Err(format!("unknown scenario {other:?} (transit|points|length)")),
+    }
+}
+
+fn placement_of(name: &str) -> Result<Placement, String> {
+    match name {
+        "two-point" => Ok(Placement::TwoPoint),
+        "segmented" => Ok(Placement::Segmented),
+        "full" => Ok(Placement::FullTrajectory),
+        other => Err(format!(
+            "unknown placement {other:?} (two-point|segmented|full)"
+        )),
+    }
+}
+
+fn cmd_generate(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["kind", "users", "routes", "stops", "seed", "out"])?;
+    let kind = a.get("kind").unwrap_or("nyt");
+    let users_n: usize = a.get_or("users", 50_000, "integer")?;
+    let routes_n: usize = a.get_or("routes", 128, "integer")?;
+    let stops: usize = a.get_or("stops", 32, "integer")?;
+    let seed: u64 = a.get_or("seed", 1, "integer")?;
+    let out = a.required("out")?;
+
+    let (users, city) = match kind {
+        "nyt" => (
+            tq_datagen::taxi_trips(&tq_datagen::presets::ny_city(), users_n, seed),
+            tq_datagen::presets::ny_city(),
+        ),
+        "nyf" => (
+            tq_datagen::checkins(&tq_datagen::presets::ny_city(), users_n, seed),
+            tq_datagen::presets::ny_city(),
+        ),
+        "bjg" => (
+            tq_datagen::gps_traces(&tq_datagen::presets::bj_city(), users_n, seed),
+            tq_datagen::presets::bj_city(),
+        ),
+        other => return Err(format!("unknown kind {other:?} (nyt|nyf|bjg)").into()),
+    };
+    let facilities = tq_datagen::bus_routes(
+        &city,
+        routes_n,
+        stops,
+        tq_datagen::presets::ROUTE_LENGTH,
+        seed ^ 0xB05,
+    );
+    std::fs::write(out, snapshot::encode(&users, &facilities))?;
+    println!(
+        "wrote {out}: {} {kind} trajectories ({} points), {} routes × {} stops",
+        users.len(),
+        users.total_points(),
+        facilities.len(),
+        stops
+    );
+    Ok(())
+}
+
+fn cmd_import_taxi(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["trips", "routes", "out"])?;
+    let trips_path = a.required("trips")?;
+    let routes_path = a.required("routes")?;
+    let out = a.required("out")?;
+    let trips_csv = std::fs::read_to_string(trips_path)?;
+    let (users, proj) = tq_trajectory::io::parse_nyc_taxi_csv(&trips_csv)?;
+    let routes_csv = std::fs::read_to_string(routes_path)?;
+    let facilities = tq_trajectory::io::parse_route_stops_csv(&routes_csv, &proj)?;
+    std::fs::write(out, snapshot::encode(&users, &facilities))?;
+    println!(
+        "wrote {out}: {} trips, {} routes (projected to metres around the data centroid)",
+        users.len(),
+        facilities.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["beta"])?;
+    let [path] = a.positional() else {
+        return Err("stats needs one dataset file".into());
+    };
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let (users, facilities) = load(path)?;
+    println!(
+        "dataset: {} user trajectories ({} points, {} segments), {} facilities ({} stops)",
+        users.len(),
+        users.total_points(),
+        users.total_segments(),
+        facilities.len(),
+        facilities.total_stops()
+    );
+    if let Some(mbr) = users.mbr() {
+        println!(
+            "extent:  {:.0} × {:.0} units",
+            mbr.width(),
+            mbr.height()
+        );
+    }
+    let tree = TqTree::build(
+        &users,
+        TqTreeConfig::z_order(Placement::TwoPoint).with_beta(beta),
+    );
+    let s = tree.stats();
+    println!(
+        "TQ(Z):   {} nodes ({} leaves), height {}, {} items ({} inter-node), \
+         max list {}, {} z-buckets, {:.1} MiB",
+        s.nodes,
+        s.leaves,
+        s.height,
+        s.items,
+        s.internal_items,
+        s.max_list,
+        s.z_buckets,
+        s.memory_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("items per level: {:?}", s.items_per_level);
+    Ok(())
+}
+
+fn cmd_topk(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["k", "psi", "scenario", "placement", "method", "beta"])?;
+    let [path] = a.positional() else {
+        return Err("topk needs one dataset file".into());
+    };
+    let k: usize = a.get_or("k", 8, "integer")?;
+    let psi: f64 = a.get_or("psi", 200.0, "number")?;
+    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
+    let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let method = a.get("method").unwrap_or("tq-z");
+    let (users, facilities) = load(path)?;
+    let model = ServiceModel::new(scenario, psi);
+
+    let t = std::time::Instant::now();
+    let ranked = match method {
+        "bl" => {
+            BaselineIndex::build(&users)
+                .top_k(&users, &model, &facilities, k)
+                .ranked
+        }
+        "tq-b" => {
+            let tree = TqTree::build(&users, TqTreeConfig::basic(placement).with_beta(beta));
+            top_k_facilities(&tree, &users, &model, &facilities, k).ranked
+        }
+        "tq-z" => {
+            let tree = TqTree::build(&users, TqTreeConfig::z_order(placement).with_beta(beta));
+            top_k_facilities(&tree, &users, &model, &facilities, k).ranked
+        }
+        other => return Err(format!("unknown method {other:?} (tq-z|tq-b|bl)").into()),
+    };
+    let secs = t.elapsed().as_secs_f64();
+    println!("kMaxRRST top-{k} ({method}, {scenario:?}, ψ={psi}) in {secs:.3}s:");
+    for (rank, (id, value)) in ranked.iter().enumerate() {
+        println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+    }
+    Ok(())
+}
+
+fn cmd_maxcov(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(
+        raw,
+        &["k", "psi", "scenario", "placement", "method", "beta", "k-prime"],
+    )?;
+    let [path] = a.positional() else {
+        return Err("maxcov needs one dataset file".into());
+    };
+    let k: usize = a.get_or("k", 4, "integer")?;
+    let psi: f64 = a.get_or("psi", 200.0, "number")?;
+    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
+    let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let method = a.get("method").unwrap_or("two-step");
+    let (users, facilities) = load(path)?;
+    let model = ServiceModel::new(scenario, psi);
+    let tree = TqTree::build(&users, TqTreeConfig::z_order(placement).with_beta(beta));
+
+    let t = std::time::Instant::now();
+    let out = match method {
+        "greedy" => {
+            let table = ServedTable::build(&tree, &users, &model, &facilities);
+            greedy(&table, &users, &model, k)
+        }
+        "two-step" => {
+            let kp: usize = a.get_or("k-prime", (4 * k).max(32), "integer")?;
+            two_step_greedy(&tree, &users, &model, &facilities, k, Some(kp))
+        }
+        "genetic" => {
+            let table = ServedTable::build(&tree, &users, &model, &facilities);
+            genetic(&table, &users, &model, k, &GeneticConfig::default())
+        }
+        "exact" => {
+            let table = ServedTable::build(&tree, &users, &model, &facilities);
+            exact(&table, &users, &model, k, Some(100_000_000))
+                .ok_or("exact search exceeded its node budget; reduce --k or facilities")?
+        }
+        other => {
+            return Err(
+                format!("unknown method {other:?} (greedy|two-step|genetic|exact)").into(),
+            )
+        }
+    };
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "MaxkCovRST k={k} ({method}, {scenario:?}, ψ={psi}) in {secs:.3}s: \
+         combined service {:.3}, {} users served",
+        out.value, out.users_served
+    );
+    println!("  facilities: {:?}", out.chosen);
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! TQ-tree index and trajectory coverage query processing.
+//!
+//! This crate implements the primary contribution of *"The Maximum Trajectory
+//! Coverage Query in Spatial Databases"* (Ali et al., 2018):
+//!
+//! * the **TQ-tree** ([`tqtree::TqTree`]) — a two-level index that organizes
+//!   user trajectories hierarchically in a quadtree (inter-node trajectories
+//!   in internal nodes, intra-node trajectories in leaves) and orders each
+//!   node's trajectory list along a Z-curve into β-sized buckets (*z-nodes*);
+//! * **service evaluation** ([`eval`]) — the divide-and-conquer
+//!   `evaluateService` of the paper's Algorithm 1/2 with the two-phase
+//!   (q-node, then z-id) pruning, including `zReduce`;
+//! * **kMaxRRST** ([`topk`]) — the best-first top-k facility search of
+//!   Algorithms 3/4, driven by per-node service upper bounds;
+//! * **MaxkCovRST** ([`maxcov`]) — greedy, two-step greedy, exact
+//!   (branch-and-bound) and genetic solvers for the NP-hard, non-submodular
+//!   maximum-coverage variant.
+//!
+//! The service semantics of the paper's three motivating scenarios are
+//! captured by [`service::Scenario`] and evaluated through per-user
+//! served-point masks ([`service::PointMask`]), which double as the
+//! overlap-aware `AGG` aggregation MaxkCovRST requires.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod fasthash;
+pub mod maxcov;
+pub mod service;
+pub mod topk;
+pub mod tqtree;
+
+pub use eval::{
+    brute_force_masks, brute_force_value, evaluate_masks, evaluate_service, EvalOutcome,
+    EvalStats, FacilityComponent,
+};
+pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
+pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};
+pub use topk::{top_k_facilities, TopKOutcome};
+pub use tqtree::{Placement, Storage, TqTree, TqTreeConfig};

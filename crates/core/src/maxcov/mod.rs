@@ -1,0 +1,502 @@
+//! MaxkCovRST: maximum k-coverage over trajectories (paper §V).
+//!
+//! The query asks for the size-`k` subset of facilities maximizing the
+//! *combined* service `SO(U, F') = Σ_u AGG_{f∈F'} S(u, f)`, where service a
+//! user receives from several facilities is counted once. The problem is
+//! NP-hard and — unlike classic maximum coverage — **non-submodular**
+//! (paper Lemma 1; demonstrated by a unit test below), so Feige's greedy
+//! guarantee does not apply. The paper answers it with a greedy
+//! approximation over TQ-tree evaluations; we implement:
+//!
+//! * [`greedy::greedy`] — the straightforward greedy over a full
+//!   [`ServedTable`] (the paper's G-BL / G-TQ(B) / G-TQ(Z), depending on
+//!   which evaluator built the table),
+//! * [`greedy::two_step_greedy`] — the paper's two-step variant: a
+//!   kMaxRRST pass selects `k' ≥ k` candidates, greedy runs on those only,
+//! * [`exact::exact`] — branch-and-bound exact solver (for approximation
+//!   ratios, Fig. 11),
+//! * [`genetic::genetic`] — the Gn baseline: a genetic algorithm over
+//!   k-subsets (20 iterations in the paper).
+//!
+//! The overlap-aware aggregation `AGG` is realized by [`Coverage`]: the
+//! union of per-user served-point masks, under which every scenario's value
+//! function is monotone.
+
+pub mod exact;
+pub mod genetic;
+pub mod greedy;
+
+use crate::eval::{evaluate_masks, EvalStats};
+use crate::fasthash::FxHashMap;
+use crate::service::{PointMask, ServiceModel};
+use crate::tqtree::TqTree;
+use tq_trajectory::{FacilityId, FacilitySet, TrajectoryId, UserSet};
+
+pub use exact::exact;
+pub use genetic::{genetic, GeneticConfig};
+pub use greedy::{greedy, two_step_greedy};
+
+/// Complete served-point masks for a set of candidate facilities, the input
+/// to every MaxkCovRST solver.
+///
+/// Built once per query; the builder is what distinguishes the paper's
+/// method families (baseline vs TQ(B) vs TQ(Z) evaluation).
+#[derive(Debug, Clone)]
+pub struct ServedTable {
+    /// Candidate facility ids, parallel to `masks` / `values`.
+    pub ids: Vec<FacilityId>,
+    /// Per-candidate served masks.
+    pub masks: Vec<FxHashMap<TrajectoryId, PointMask>>,
+    /// Per-candidate individual service values.
+    pub values: Vec<f64>,
+    /// Aggregated evaluation counters.
+    pub stats: EvalStats,
+}
+
+impl ServedTable {
+    /// Evaluates every facility of `facilities` through the TQ-tree.
+    pub fn build(
+        tree: &TqTree,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+    ) -> ServedTable {
+        let ids: Vec<FacilityId> = facilities.iter().map(|(id, _)| id).collect();
+        Self::build_for(tree, users, model, facilities, &ids)
+    }
+
+    /// Evaluates only the given candidate ids (the two-step greedy's second
+    /// phase).
+    pub fn build_for(
+        tree: &TqTree,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        candidates: &[FacilityId],
+    ) -> ServedTable {
+        let mut masks = Vec::with_capacity(candidates.len());
+        let mut values = Vec::with_capacity(candidates.len());
+        let mut stats = EvalStats::default();
+        for &fid in candidates {
+            let out = evaluate_masks(tree, users, model, facilities.get(fid));
+            stats.add(&out.stats);
+            values.push(out.value);
+            masks.push(out.masks);
+        }
+        ServedTable {
+            ids: candidates.to_vec(),
+            masks,
+            values,
+            stats,
+        }
+    }
+
+    /// Parallel variant of [`ServedTable::build`]: facilities are
+    /// independent, so evaluation fans out over `threads` OS threads
+    /// (`std::thread::scope`; no extra dependencies). Results are identical
+    /// to the sequential build — order, values and masks.
+    pub fn build_parallel(
+        tree: &TqTree,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        threads: usize,
+    ) -> ServedTable {
+        let ids: Vec<FacilityId> = facilities.iter().map(|(id, _)| id).collect();
+        let threads = threads.max(1).min(ids.len().max(1));
+        if threads <= 1 || ids.len() <= 1 {
+            return Self::build(tree, users, model, facilities);
+        }
+        let chunk = ids.len().div_ceil(threads);
+        type EvalTriple = (f64, FxHashMap<TrajectoryId, PointMask>, EvalStats);
+        let results: Vec<Vec<EvalTriple>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .map(|chunk_ids| {
+                        scope.spawn(move || {
+                            chunk_ids
+                                .iter()
+                                .map(|&fid| {
+                                    let out =
+                                        evaluate_masks(tree, users, model, facilities.get(fid));
+                                    (out.value, out.masks, out.stats)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("evaluation thread panicked"))
+                    .collect()
+            });
+        let mut values = Vec::with_capacity(ids.len());
+        let mut masks = Vec::with_capacity(ids.len());
+        let mut stats = EvalStats::default();
+        for (v, m, s) in results.into_iter().flatten() {
+            values.push(v);
+            masks.push(m);
+            stats.add(&s);
+        }
+        ServedTable {
+            ids,
+            masks,
+            values,
+            stats,
+        }
+    }
+
+    /// Builds a table from externally computed masks (used by the baseline
+    /// crate so `G-BL` flows through the same solvers).
+    pub fn from_masks(
+        users: &UserSet,
+        model: &ServiceModel,
+        ids: Vec<FacilityId>,
+        masks: Vec<FxHashMap<TrajectoryId, PointMask>>,
+        stats: EvalStats,
+    ) -> ServedTable {
+        let values = masks
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .map(|(id, mask)| model.value(users.get(*id), mask))
+                    .sum()
+            })
+            .collect();
+        ServedTable {
+            ids,
+            masks,
+            values,
+            stats,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when the table has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Undo journal for one [`Coverage::add`] (used by the branch-and-bound
+/// solver to backtrack cheaply).
+pub struct CoverageUndo {
+    changed: Vec<(TrajectoryId, Option<PointMask>)>,
+    old_value: f64,
+}
+
+/// The union coverage state of a facility subset: per-user OR of masks plus
+/// the resulting combined value — the paper's `AGG` made explicit.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    masks: FxHashMap<TrajectoryId, PointMask>,
+    value: f64,
+}
+
+impl Coverage {
+    /// Empty coverage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current combined value `SO(U, F')`.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of users with a strictly positive combined value.
+    pub fn users_served(&self, users: &UserSet, model: &ServiceModel) -> usize {
+        self.masks
+            .iter()
+            .filter(|(id, m)| model.value(users.get(**id), m) > 0.0)
+            .count()
+    }
+
+    /// The marginal gain of adding `facility_masks`, without applying it.
+    pub fn marginal(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facility_masks: &FxHashMap<TrajectoryId, PointMask>,
+    ) -> f64 {
+        let mut gain = 0.0;
+        for (id, fmask) in facility_masks {
+            let t = users.get(*id);
+            match self.masks.get(id) {
+                None => gain += model.value(t, fmask),
+                Some(cur) => {
+                    let mut merged = cur.clone();
+                    if merged.union_with(fmask) {
+                        gain += model.value(t, &merged) - model.value(t, cur);
+                    }
+                }
+            }
+        }
+        gain
+    }
+
+    /// Adds a facility's masks, returning the realized marginal gain.
+    pub fn add(
+        &mut self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facility_masks: &FxHashMap<TrajectoryId, PointMask>,
+    ) -> f64 {
+        self.add_with_undo(users, model, facility_masks, None)
+    }
+
+    /// Like [`Coverage::add`], recording an undo journal.
+    pub fn add_undoable(
+        &mut self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facility_masks: &FxHashMap<TrajectoryId, PointMask>,
+    ) -> CoverageUndo {
+        let mut undo = CoverageUndo {
+            changed: Vec::new(),
+            old_value: self.value,
+        };
+        self.add_with_undo(users, model, facility_masks, Some(&mut undo));
+        undo
+    }
+
+    fn add_with_undo(
+        &mut self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facility_masks: &FxHashMap<TrajectoryId, PointMask>,
+        mut undo: Option<&mut CoverageUndo>,
+    ) -> f64 {
+        let mut gain = 0.0;
+        for (id, fmask) in facility_masks {
+            let t = users.get(*id);
+            match self.masks.get_mut(id) {
+                None => {
+                    let v = model.value(t, fmask);
+                    gain += v;
+                    self.value += v;
+                    self.masks.insert(*id, fmask.clone());
+                    if let Some(u) = undo.as_deref_mut() {
+                        u.changed.push((*id, None));
+                    }
+                }
+                Some(cur) => {
+                    let before = model.value(t, cur);
+                    let saved = cur.clone();
+                    if cur.union_with(fmask) {
+                        let after = model.value(t, cur);
+                        gain += after - before;
+                        self.value += after - before;
+                        if let Some(u) = undo.as_deref_mut() {
+                            u.changed.push((*id, Some(saved)));
+                        }
+                    }
+                }
+            }
+        }
+        gain
+    }
+
+    /// Reverts an [`Coverage::add_undoable`].
+    pub fn undo(&mut self, undo: CoverageUndo) {
+        for (id, old) in undo.changed.into_iter().rev() {
+            match old {
+                None => {
+                    self.masks.remove(&id);
+                }
+                Some(mask) => {
+                    self.masks.insert(id, mask);
+                }
+            }
+        }
+        self.value = undo.old_value;
+    }
+
+    /// Combined value of an arbitrary subset of table candidates, computed
+    /// from scratch (used for genetic fitness and tests).
+    pub fn value_of_subset(
+        table: &ServedTable,
+        users: &UserSet,
+        model: &ServiceModel,
+        subset: &[usize],
+    ) -> f64 {
+        let mut cov = Coverage::new();
+        for &i in subset {
+            cov.add(users, model, &table.masks[i]);
+        }
+        cov.value()
+    }
+}
+
+/// Result of a MaxkCovRST solver.
+#[derive(Debug, Clone)]
+pub struct CovOutcome {
+    /// Chosen facility ids (in selection order for greedy).
+    pub chosen: Vec<FacilityId>,
+    /// Combined service value of the chosen subset.
+    pub value: f64,
+    /// Number of users with positive combined service.
+    pub users_served: usize,
+    /// Evaluation counters inherited from the table build (if any).
+    pub stats: EvalStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Scenario;
+    use tq_geometry::Point;
+    use tq_trajectory::{Facility, Trajectory};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// The Lemma-1 instance: adding facility `x` to a small set gains
+    /// nothing, but adding it to a superset gains a user — the diminishing
+    /// returns property fails, i.e. SO is non-submodular.
+    #[test]
+    fn service_function_is_non_submodular() {
+        // User u: source at (0,0), destination at (10,0).
+        let users = UserSet::from_vec(vec![Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0))]);
+        let model = ServiceModel::new(Scenario::Transit, 1.0);
+        // a: near nothing relevant. b: serves only the source.
+        // x: serves only the destination.
+        let fa = Facility::new(vec![p(50.0, 50.0)]);
+        let fb = Facility::new(vec![p(0.0, 0.5)]);
+        let fx = Facility::new(vec![p(10.0, 0.5)]);
+        let facilities = FacilitySet::from_vec(vec![fa, fb, fx]);
+        let tree = TqTree::build(&users, crate::tqtree::TqTreeConfig::default());
+        let table = ServedTable::build(&tree, &users, &model, &facilities);
+
+        let g = |subset: &[usize]| Coverage::value_of_subset(&table, &users, &model, subset);
+        // A = {a} ⊆ B = {a, b}; x = {x}.
+        let gain_a = g(&[0, 2]) - g(&[0]); // adding x to A: still unserved → 0
+        let gain_b = g(&[0, 1, 2]) - g(&[0, 1]); // adding x to B: completes u → 1
+        assert_eq!(gain_a, 0.0);
+        assert_eq!(gain_b, 1.0);
+        assert!(
+            gain_a < gain_b,
+            "submodularity would require gain_a ≥ gain_b"
+        );
+    }
+
+    #[test]
+    fn coverage_counts_overlap_once() {
+        let users = UserSet::from_vec(vec![Trajectory::two_point(p(0.0, 0.0), p(4.0, 0.0))]);
+        let model = ServiceModel::new(Scenario::Transit, 1.0);
+        let f1 = Facility::new(vec![p(0.0, 0.5), p(4.0, 0.5)]);
+        let facilities = FacilitySet::from_vec(vec![f1.clone(), f1]);
+        let tree = TqTree::build(&users, crate::tqtree::TqTreeConfig::default());
+        let table = ServedTable::build(&tree, &users, &model, &facilities);
+        let mut cov = Coverage::new();
+        let g1 = cov.add(&users, &model, &table.masks[0]);
+        let g2 = cov.add(&users, &model, &table.masks[1]);
+        assert_eq!(g1, 1.0);
+        assert_eq!(g2, 0.0, "identical facility adds nothing new");
+        assert_eq!(cov.value(), 1.0);
+        assert_eq!(cov.users_served(&users, &model), 1);
+    }
+
+    #[test]
+    fn marginal_matches_applied_gain() {
+        let users = UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(4.0, 0.0)),
+            Trajectory::two_point(p(10.0, 0.0), p(14.0, 0.0)),
+        ]);
+        let model = ServiceModel::new(Scenario::Transit, 1.0);
+        let facilities = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(0.0, 0.5), p(4.0, 0.5)]),
+            Facility::new(vec![p(4.0, 0.5), p(10.0, 0.5), p(14.0, 0.5)]),
+        ]);
+        let tree = TqTree::build(&users, crate::tqtree::TqTreeConfig::default());
+        let table = ServedTable::build(&tree, &users, &model, &facilities);
+        let mut cov = Coverage::new();
+        cov.add(&users, &model, &table.masks[0]);
+        let predicted = cov.marginal(&users, &model, &table.masks[1]);
+        let applied = cov.add(&users, &model, &table.masks[1]);
+        assert!((predicted - applied).abs() < 1e-12);
+        assert_eq!(cov.value(), 2.0);
+    }
+
+    #[test]
+    fn undo_restores_state_exactly() {
+        let users = UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(4.0, 0.0)),
+            Trajectory::two_point(p(1.0, 0.0), p(5.0, 0.0)),
+        ]);
+        let model = ServiceModel::new(Scenario::PointCount, 1.5);
+        let facilities = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(0.0, 0.5)]),
+            Facility::new(vec![p(4.0, 0.5)]),
+        ]);
+        let tree = TqTree::build(&users, crate::tqtree::TqTreeConfig::default());
+        let table = ServedTable::build(&tree, &users, &model, &facilities);
+        let mut cov = Coverage::new();
+        cov.add(&users, &model, &table.masks[0]);
+        let before_masks = cov.masks.clone();
+        let before_value = cov.value();
+        let undo = cov.add_undoable(&users, &model, &table.masks[1]);
+        assert!(cov.value() > before_value);
+        cov.undo(undo);
+        assert_eq!(cov.value(), before_value);
+        assert_eq!(cov.masks, before_masks);
+    }
+
+    #[test]
+    fn parallel_table_identical_to_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let users = UserSet::from_vec(
+            (0..300)
+                .map(|_| {
+                    Trajectory::two_point(
+                        p(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                        p(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                    )
+                })
+                .collect(),
+        );
+        let facilities = FacilitySet::from_vec(
+            (0..9)
+                .map(|_| {
+                    Facility::new(vec![
+                        p(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                        p(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                    ])
+                })
+                .collect(),
+        );
+        let model = ServiceModel::new(Scenario::Transit, 4.0);
+        let tree = TqTree::build(&users, crate::tqtree::TqTreeConfig::default());
+        let seq = ServedTable::build(&tree, &users, &model, &facilities);
+        for threads in [1usize, 2, 4, 16] {
+            let par = ServedTable::build_parallel(&tree, &users, &model, &facilities, threads);
+            assert_eq!(par.ids, seq.ids, "{threads} threads");
+            assert_eq!(par.values, seq.values, "{threads} threads");
+            assert_eq!(par.masks, seq.masks, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn table_from_masks_computes_values() {
+        let users = UserSet::from_vec(vec![Trajectory::two_point(p(0.0, 0.0), p(4.0, 0.0))]);
+        let model = ServiceModel::new(Scenario::Transit, 1.0);
+        let mut m = FxHashMap::default();
+        let mut mask = PointMask::empty(2);
+        mask.set(0);
+        mask.set(1);
+        m.insert(0u32, mask);
+        let table =
+            ServedTable::from_masks(&users, &model, vec![7], vec![m], EvalStats::default());
+        assert_eq!(table.values, vec![1.0]);
+        assert_eq!(table.ids, vec![7]);
+        assert_eq!(table.len(), 1);
+    }
+}

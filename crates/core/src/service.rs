@@ -1,0 +1,443 @@
+//! Service value semantics.
+//!
+//! The paper defines three application scenarios for how a facility serves a
+//! user trajectory (§II):
+//!
+//! * **Scenario 1** (`Transit`) — binary: served iff both the source and the
+//!   destination are within `ψ` of facility stops;
+//! * **Scenario 2** (`PointCount`) — partial: the fraction of the user's
+//!   points within `ψ` of stops;
+//! * **Scenario 3** (`Length`) — partial: the fraction of the user's path
+//!   length covered (we credit a segment when both its endpoints are served,
+//!   see DESIGN.md §5).
+//!
+//! All three are evaluated through a per-user [`PointMask`] recording *which*
+//! points have been served so far. Masks are monotone (bits only get set),
+//! which makes them suitable both for incremental best-first exploration
+//! (kMaxRRST) and for the overlap-aware union aggregation `AGG` that
+//! MaxkCovRST requires: the combined service of several facilities is the
+//! value of the OR of their masks.
+
+use tq_trajectory::Trajectory;
+
+/// Which of the paper's three service semantics to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Scenario 1: binary source+destination service (e.g. commuting).
+    Transit,
+    /// Scenario 2: fraction of trajectory points served (e.g. tourist POIs).
+    PointCount,
+    /// Scenario 3: fraction of trajectory length served (e.g. on-board
+    /// Wi-Fi / advertisement exposure).
+    Length,
+}
+
+impl Scenario {
+    /// All scenarios, for parameterized tests and benches.
+    pub const ALL: [Scenario; 3] = [Scenario::Transit, Scenario::PointCount, Scenario::Length];
+
+    /// Returns `true` for the scenarios where a user can be served
+    /// *partially* (any served point contributes).
+    #[inline]
+    pub fn is_partial(self) -> bool {
+        !matches!(self, Scenario::Transit)
+    }
+}
+
+/// The service model: a scenario plus the distance threshold `ψ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Service semantics.
+    pub scenario: Scenario,
+    /// Distance threshold `ψ`: a user point is served by a stop within `ψ`.
+    pub psi: f64,
+}
+
+impl ServiceModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics when `psi` is negative or non-finite.
+    pub fn new(scenario: Scenario, psi: f64) -> Self {
+        assert!(psi.is_finite() && psi >= 0.0, "ψ must be finite and ≥ 0");
+        ServiceModel { scenario, psi }
+    }
+
+    /// The service value `S(u, ·)` of a user given its served-point mask.
+    ///
+    /// Monotone in the mask: setting more bits never lowers the value.
+    pub fn value(&self, u: &Trajectory, mask: &PointMask) -> f64 {
+        match self.scenario {
+            Scenario::Transit => {
+                if mask.get(0) && mask.get(u.len() - 1) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Scenario::PointCount => mask.count_ones() as f64 / u.len() as f64,
+            Scenario::Length => {
+                let total = u.length();
+                if total <= 0.0 {
+                    // Degenerate zero-length trajectory: fall back to the
+                    // binary semantics so the value stays in [0, 1].
+                    return if mask.count_ones() as usize == u.len() {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+                let mut served = 0.0;
+                for s in 0..u.num_segments() {
+                    if mask.get(s) && mask.get(s + 1) {
+                        served += u.segment_length(s);
+                    }
+                }
+                served / total
+            }
+        }
+    }
+
+    /// The largest value any facility could contribute for `u`
+    /// (i.e. the value of the all-ones mask): always `1.0` under the
+    /// normalized semantics.
+    #[inline]
+    pub fn max_value(&self, _u: &Trajectory) -> f64 {
+        1.0
+    }
+
+    /// Admissible upper bound (`sub` in the paper, §III) contributed by one
+    /// *stored item* of the index for scenario-specific best-first search.
+    ///
+    /// See [`ServiceBounds`] for how per-node aggregates are formed.
+    pub fn bound_of(&self, b: &ServiceBounds) -> f64 {
+        match self.scenario {
+            Scenario::Transit => b.s1,
+            Scenario::PointCount => b.s2,
+            Scenario::Length => b.s3,
+        }
+    }
+}
+
+/// A monotone bitmask over the points of one user trajectory.
+///
+/// Bit `i` set means point `i` of the trajectory has been served (is within
+/// `ψ` of a stop of some facility considered so far). Trajectories with at
+/// most 64 points — the overwhelming majority in every dataset — are stored
+/// inline without allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointMask {
+    /// Inline mask for trajectories with ≤ 64 points.
+    Small(u64),
+    /// Heap mask for longer trajectories.
+    Large(Box<[u64]>),
+}
+
+impl PointMask {
+    /// An empty (all-unserved) mask for a trajectory of `n_points` points.
+    pub fn empty(n_points: usize) -> Self {
+        if n_points <= 64 {
+            PointMask::Small(0)
+        } else {
+            PointMask::Large(vec![0u64; n_points.div_ceil(64)].into_boxed_slice())
+        }
+    }
+
+    /// Returns bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self {
+            PointMask::Small(w) => (i < 64) && (w >> i) & 1 == 1,
+            PointMask::Large(ws) => (ws[i / 64] >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Sets bit `i`, returning `true` when it was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        match self {
+            PointMask::Small(w) => {
+                debug_assert!(i < 64, "point index out of range for small mask");
+                let bit = 1u64 << i;
+                let newly = *w & bit == 0;
+                *w |= bit;
+                newly
+            }
+            PointMask::Large(ws) => {
+                let bit = 1u64 << (i % 64);
+                let word = &mut ws[i / 64];
+                let newly = *word & bit == 0;
+                *word |= bit;
+                newly
+            }
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        match self {
+            PointMask::Small(w) => w.count_ones(),
+            PointMask::Large(ws) => ws.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+
+    /// Returns `true` when no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            PointMask::Small(w) => *w == 0,
+            PointMask::Large(ws) => ws.iter().all(|&w| w == 0),
+        }
+    }
+
+    /// In-place union with `other` (same trajectory). Returns `true` when
+    /// any new bit was set.
+    pub fn union_with(&mut self, other: &PointMask) -> bool {
+        match (self, other) {
+            (PointMask::Small(a), PointMask::Small(b)) => {
+                let before = *a;
+                *a |= b;
+                *a != before
+            }
+            (PointMask::Large(a), PointMask::Large(b)) => {
+                let mut changed = false;
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    let before = *x;
+                    *x |= y;
+                    changed |= *x != before;
+                }
+                changed
+            }
+            _ => panic!("mask size mismatch: masks must describe the same trajectory"),
+        }
+    }
+}
+
+/// Aggregated admissible service upper bounds for a set of stored items —
+/// the paper's per-node `sub` values, one per scenario so the index serves
+/// all scenarios without rebuilding.
+///
+/// * `s1` — number of stored items (each can make at most one user served);
+/// * `s2` — Σ (points of the item) / |u| (an item can serve at most its own
+///   points once, so this dominates any point-count gain);
+/// * `s3` — Σ (length of the item) / length(u) (likewise for length; a
+///   whole-trajectory item contributes `1`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceBounds {
+    /// Scenario-1 bound (item count).
+    pub s1: f64,
+    /// Scenario-2 bound (normalized point mass).
+    pub s2: f64,
+    /// Scenario-3 bound (normalized length mass).
+    pub s3: f64,
+}
+
+impl ServiceBounds {
+    /// The zero bound.
+    pub const ZERO: ServiceBounds = ServiceBounds {
+        s1: 0.0,
+        s2: 0.0,
+        s3: 0.0,
+    };
+
+    /// Component-wise accumulation.
+    #[inline]
+    pub fn add(&mut self, other: &ServiceBounds) {
+        self.s1 += other.s1;
+        self.s2 += other.s2;
+        self.s3 += other.s3;
+    }
+
+    /// Bound contribution of a whole-trajectory item (two-point or
+    /// full-trajectory placement) for user `u`.
+    pub fn whole_trajectory(_u: &Trajectory) -> ServiceBounds {
+        ServiceBounds {
+            s1: 1.0,
+            s2: 1.0,
+            s3: 1.0,
+        }
+    }
+
+    /// Bound contribution of a single-segment item (`seg`) of user `u`.
+    ///
+    /// A segment can reveal at most its two endpoint points and its own
+    /// length; `s1` is the loose-but-admissible `1` (a segment alone can at
+    /// most complete a user's binary service).
+    pub fn segment(u: &Trajectory, seg: usize) -> ServiceBounds {
+        let total_len = u.length();
+        ServiceBounds {
+            s1: 1.0,
+            s2: 2.0 / u.len() as f64,
+            s3: if total_len > 0.0 {
+                u.segment_length(seg) / total_len
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_geometry::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn three_point() -> Trajectory {
+        // lengths: 3 then 1 → total 4
+        Trajectory::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(3.0, 1.0)])
+    }
+
+    #[test]
+    fn transit_requires_both_endpoints() {
+        let m = ServiceModel::new(Scenario::Transit, 1.0);
+        let u = three_point();
+        let mut mask = PointMask::empty(3);
+        assert_eq!(m.value(&u, &mask), 0.0);
+        mask.set(0);
+        assert_eq!(m.value(&u, &mask), 0.0);
+        mask.set(2);
+        assert_eq!(m.value(&u, &mask), 1.0);
+        // The middle point is irrelevant for Transit.
+        let mut only_mid = PointMask::empty(3);
+        only_mid.set(1);
+        assert_eq!(m.value(&u, &only_mid), 0.0);
+    }
+
+    #[test]
+    fn point_count_is_fraction() {
+        let m = ServiceModel::new(Scenario::PointCount, 1.0);
+        let u = three_point();
+        let mut mask = PointMask::empty(3);
+        mask.set(1);
+        assert!((m.value(&u, &mask) - 1.0 / 3.0).abs() < 1e-12);
+        mask.set(0);
+        mask.set(2);
+        assert_eq!(m.value(&u, &mask), 1.0);
+    }
+
+    #[test]
+    fn length_credits_served_segments() {
+        let m = ServiceModel::new(Scenario::Length, 1.0);
+        let u = three_point();
+        let mut mask = PointMask::empty(3);
+        mask.set(0);
+        mask.set(1);
+        // First segment (length 3 of 4) served.
+        assert!((m.value(&u, &mask) - 0.75).abs() < 1e-12);
+        mask.set(2);
+        assert_eq!(m.value(&u, &mask), 1.0);
+        // Endpoints only (no adjacent pair) → nothing credited.
+        let mut ends = PointMask::empty(3);
+        ends.set(0);
+        ends.set(2);
+        assert_eq!(m.value(&u, &ends), 0.0);
+    }
+
+    #[test]
+    fn values_are_monotone_in_mask() {
+        let u = three_point();
+        for scenario in Scenario::ALL {
+            let m = ServiceModel::new(scenario, 1.0);
+            let mut mask = PointMask::empty(3);
+            let mut last = m.value(&u, &mask);
+            for i in 0..3 {
+                mask.set(i);
+                let v = m.value(&u, &mask);
+                assert!(v >= last, "{scenario:?} not monotone");
+                last = v;
+            }
+            assert!(last <= m.max_value(&u) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_mask_operations() {
+        let mut m = PointMask::empty(2);
+        assert!(m.is_empty());
+        assert!(m.set(1));
+        assert!(!m.set(1), "setting twice reports no change");
+        assert!(m.get(1));
+        assert!(!m.get(0));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn large_mask_operations() {
+        let mut m = PointMask::empty(130);
+        assert!(matches!(m, PointMask::Large(_)));
+        assert!(m.set(0));
+        assert!(m.set(64));
+        assert!(m.set(129));
+        assert_eq!(m.count_ones(), 3);
+        assert!(m.get(64));
+        assert!(!m.get(65));
+    }
+
+    #[test]
+    fn union_with_reports_changes() {
+        let mut a = PointMask::empty(10);
+        a.set(1);
+        let mut b = PointMask::empty(10);
+        b.set(1);
+        assert!(!a.union_with(&b));
+        b.set(3);
+        assert!(a.union_with(&b));
+        assert!(a.get(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask size mismatch")]
+    fn union_mismatched_sizes_panics() {
+        let mut a = PointMask::empty(10);
+        let b = PointMask::empty(130);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn bounds_accumulate() {
+        let u = three_point();
+        let mut total = ServiceBounds::ZERO;
+        total.add(&ServiceBounds::whole_trajectory(&u));
+        total.add(&ServiceBounds::segment(&u, 0));
+        assert_eq!(total.s1, 2.0);
+        assert!((total.s2 - (1.0 + 2.0 / 3.0)).abs() < 1e-12);
+        assert!((total.s3 - (1.0 + 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_of_selects_scenario() {
+        let b = ServiceBounds {
+            s1: 1.0,
+            s2: 2.0,
+            s3: 3.0,
+        };
+        assert_eq!(ServiceModel::new(Scenario::Transit, 1.0).bound_of(&b), 1.0);
+        assert_eq!(
+            ServiceModel::new(Scenario::PointCount, 1.0).bound_of(&b),
+            2.0
+        );
+        assert_eq!(ServiceModel::new(Scenario::Length, 1.0).bound_of(&b), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ψ")]
+    fn negative_psi_rejected() {
+        ServiceModel::new(Scenario::Transit, -1.0);
+    }
+
+    #[test]
+    fn zero_length_trajectory_degenerate_value() {
+        let u = Trajectory::new(vec![p(1.0, 1.0), p(1.0, 1.0)]);
+        let m = ServiceModel::new(Scenario::Length, 1.0);
+        let mut mask = PointMask::empty(2);
+        assert_eq!(m.value(&u, &mask), 0.0);
+        mask.set(0);
+        mask.set(1);
+        assert_eq!(m.value(&u, &mask), 1.0);
+    }
+}

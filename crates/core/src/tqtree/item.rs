@@ -1,0 +1,205 @@
+//! The unit of storage of a TQ-tree node: whole trajectories or
+//! single segments, with their z-order anchors.
+
+use crate::service::ServiceBounds;
+use tq_geometry::{Point, Rect, ZId};
+use tq_trajectory::{Trajectory, TrajectoryId, UserSet};
+
+/// Sentinel for [`StoredItem::seg`] meaning "whole trajectory".
+pub const WHOLE: u32 = u32::MAX;
+
+/// One unit of trajectory data stored in a TQ-tree node.
+///
+/// Depending on the index [`Placement`](super::Placement) an item is either a
+/// whole trajectory (`seg == WHOLE`; two-point and full-trajectory
+/// placements) or one segment of a trajectory (segmented placement).
+///
+/// `start`/`end` are the item's *anchor* points — the ones the z-ordering is
+/// built from: the trajectory's source/destination, or the segment's two
+/// endpoints. `mbr` bounds every point of the item (identical to the
+/// start/end bounding box except for full-trajectory items).
+#[derive(Debug, Clone, Copy)]
+pub struct StoredItem {
+    /// Owning trajectory id.
+    pub traj: TrajectoryId,
+    /// Segment index, or [`WHOLE`].
+    pub seg: u32,
+    /// Anchor start point (source / segment begin).
+    pub start: Point,
+    /// Anchor end point (destination / segment end).
+    pub end: Point,
+    /// Bounding rectangle of every point the item covers.
+    pub mbr: Rect,
+    /// Z-id of `start` within the owning q-node's partition
+    /// (assigned when the node list is z-ordered; root otherwise).
+    pub start_z: ZId,
+    /// Z-id of `end` within the owning q-node's partition.
+    pub end_z: ZId,
+}
+
+impl StoredItem {
+    /// A whole-trajectory item for **full-trajectory** placement: the MBR
+    /// covers every point of the trajectory.
+    pub fn whole(traj: TrajectoryId, t: &Trajectory) -> StoredItem {
+        StoredItem {
+            traj,
+            seg: WHOLE,
+            start: t.source(),
+            end: t.destination(),
+            mbr: t.mbr(),
+            start_z: ZId::root(),
+            end_z: ZId::root(),
+        }
+    }
+
+    /// A whole-trajectory item for **two-point** placement: only the source
+    /// and destination matter, so the MBR is their bounding box even for
+    /// multipoint trajectories.
+    pub fn two_point(traj: TrajectoryId, t: &Trajectory) -> StoredItem {
+        let (s, d) = (t.source(), t.destination());
+        StoredItem {
+            traj,
+            seg: WHOLE,
+            start: s,
+            end: d,
+            mbr: Rect::new(s, d),
+            start_z: ZId::root(),
+            end_z: ZId::root(),
+        }
+    }
+
+    /// A single-segment item (segmented placement).
+    pub fn segment(traj: TrajectoryId, t: &Trajectory, seg: usize) -> StoredItem {
+        let (a, b) = t.segment(seg);
+        StoredItem {
+            traj,
+            seg: seg as u32,
+            start: a,
+            end: b,
+            mbr: Rect::new(a, b),
+            start_z: ZId::root(),
+            end_z: ZId::root(),
+        }
+    }
+
+    /// Returns `true` for whole-trajectory items.
+    #[inline]
+    pub fn is_whole(&self) -> bool {
+        self.seg == WHOLE
+    }
+
+    /// The admissible service-bound contribution of this item (the paper's
+    /// per-trajectory share of a node's `sub`).
+    pub fn bounds(&self, users: &UserSet) -> ServiceBounds {
+        let t = users.get(self.traj);
+        if self.is_whole() {
+            ServiceBounds::whole_trajectory(t)
+        } else {
+            ServiceBounds::segment(t, self.seg as usize)
+        }
+    }
+
+    /// Visits `(point index within the trajectory, point)` for every point
+    /// this item contributes knowledge about under `placement`:
+    ///
+    /// * two-point placement → source and destination only,
+    /// * full-trajectory placement → every point of the trajectory,
+    /// * segmented placement → the segment's two endpoints.
+    pub fn visit_points<F: FnMut(usize, Point)>(
+        &self,
+        users: &UserSet,
+        placement: super::Placement,
+        mut f: F,
+    ) {
+        if self.is_whole() {
+            match placement {
+                super::Placement::FullTrajectory => {
+                    let t = users.get(self.traj);
+                    for (i, &p) in t.points().iter().enumerate() {
+                        f(i, p);
+                    }
+                }
+                _ => {
+                    let last = users.get(self.traj).len() - 1;
+                    f(0, self.start);
+                    f(last, self.end);
+                }
+            }
+        } else {
+            let s = self.seg as usize;
+            f(s, self.start);
+            f(s + 1, self.end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn users() -> UserSet {
+        UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(4.0, 3.0)),
+            Trajectory::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 2.0)]),
+        ])
+    }
+
+    use crate::tqtree::Placement;
+
+    #[test]
+    fn whole_two_point_item() {
+        let u = users();
+        let it = StoredItem::two_point(0, u.get(0));
+        assert!(it.is_whole());
+        assert_eq!(it.start, p(0.0, 0.0));
+        assert_eq!(it.end, p(4.0, 3.0));
+        let mut seen = Vec::new();
+        it.visit_points(&u, Placement::TwoPoint, |i, pt| seen.push((i, pt)));
+        assert_eq!(seen, vec![(0, p(0.0, 0.0)), (1, p(4.0, 3.0))]);
+        let b = it.bounds(&u);
+        assert_eq!((b.s1, b.s2, b.s3), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn two_point_item_on_multipoint_trajectory_visits_endpoints_only() {
+        let u = users();
+        let it = StoredItem::two_point(1, u.get(1));
+        let mut seen = Vec::new();
+        it.visit_points(&u, Placement::TwoPoint, |i, pt| seen.push((i, pt)));
+        assert_eq!(seen, vec![(0, p(0.0, 0.0)), (2, p(1.0, 2.0))]);
+        // MBR from endpoints only — excludes nothing here, but is the
+        // source–destination box, not the full-path box.
+        assert_eq!(it.mbr, Rect::new(p(0.0, 0.0), p(1.0, 2.0)));
+    }
+
+    #[test]
+    fn whole_multipoint_item_visits_all() {
+        let u = users();
+        let it = StoredItem::whole(1, u.get(1));
+        let mut seen = Vec::new();
+        it.visit_points(&u, Placement::FullTrajectory, |i, pt| seen.push((i, pt)));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[2], (2, p(1.0, 2.0)));
+        assert!(it.mbr.contains(&p(1.0, 2.0)));
+    }
+
+    #[test]
+    fn segment_item() {
+        let u = users();
+        let it = StoredItem::segment(1, u.get(1), 1);
+        assert!(!it.is_whole());
+        assert_eq!(it.start, p(1.0, 0.0));
+        assert_eq!(it.end, p(1.0, 2.0));
+        let mut seen = Vec::new();
+        it.visit_points(&u, Placement::Segmented, |i, pt| seen.push((i, pt)));
+        assert_eq!(seen, vec![(1, p(1.0, 0.0)), (2, p(1.0, 2.0))]);
+        let b = it.bounds(&u);
+        assert_eq!(b.s1, 1.0);
+        assert!((b.s2 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.s3 - 2.0 / 3.0).abs() < 1e-12); // lengths 1 + 2, seg 1 is 2/3
+    }
+}

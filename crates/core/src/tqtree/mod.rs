@@ -1,0 +1,302 @@
+//! The Trajectory Quadtree (TQ-tree).
+//!
+//! A TQ-tree organizes user trajectories in two levels (paper §III):
+//!
+//! 1. **Hierarchical organization** — a quadtree over the data's bounding
+//!    rectangle. Unlike traditional spatial indexes, *every* node can store
+//!    data: an internal node holds the trajectories that straddle its
+//!    children (*inter-node* trajectories), a leaf holds the trajectories
+//!    fully inside it (*intra-node*). Long trajectories therefore live near
+//!    the root and short ones near the leaves, which is what lets the
+//!    divide-and-conquer evaluation prune by locality at every scale.
+//! 2. **Ordered bucketing** — inside each node the trajectory list is sorted
+//!    along a Z-curve into β-sized buckets ([`ZList`]), enabling the
+//!    `zReduce` pruning. [`Storage::Basic`] keeps a flat list instead — the
+//!    paper's TQ(B) ablation.
+//!
+//! Three [`Placement`] policies generalize the index beyond two-point
+//! trajectories (paper §III-A): `TwoPoint` (sources/destinations),
+//! `Segmented` (every consecutive point pair indexed separately, the S-TQ),
+//! and `FullTrajectory` (whole multipoint trajectories stored at the lowest
+//! node that contains them, the F-TQ).
+
+mod build;
+mod insert;
+pub mod item;
+mod remove;
+mod stats;
+pub mod zlist;
+pub mod zpartition;
+
+pub use insert::InsertError;
+pub use item::{StoredItem, WHOLE};
+pub use remove::RemoveError;
+pub use stats::TreeStats;
+pub use zlist::{ReduceMode, ReduceScratch, ZList};
+pub use zpartition::ZPartition;
+
+use crate::service::ServiceBounds;
+use tq_geometry::Rect;
+use tq_trajectory::UserSet;
+
+/// Index into the TQ-tree's node arena.
+pub type NodeId = u32;
+
+/// The id of the root node.
+pub const ROOT: NodeId = 0;
+
+/// How trajectories are mapped to stored items (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Index only `(source, destination)` — Scenario-1 workloads
+    /// (taxi trips). One item per trajectory.
+    TwoPoint,
+    /// Index every consecutive point pair as its own item — the segmented
+    /// TQ-tree (S-TQ). `|u| - 1` items per trajectory.
+    Segmented,
+    /// Index each whole trajectory at the lowest node containing all its
+    /// points — the full-trajectory TQ-tree (F-TQ). One item per trajectory.
+    FullTrajectory,
+}
+
+/// How each q-node stores its trajectory list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// Flat list, scanned linearly — the paper's TQ(B) baseline variant.
+    Basic,
+    /// Z-ordered buckets with `zReduce` pruning — the full TQ(Z) index.
+    ZOrder,
+}
+
+/// TQ-tree construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TqTreeConfig {
+    /// Bucket/block size β: maximum intra-node trajectories per leaf and
+    /// maximum points per z-cell.
+    pub beta: usize,
+    /// List storage flavour (TQ(B) vs TQ(Z)).
+    pub storage: Storage,
+    /// Trajectory-to-item placement policy.
+    pub placement: Placement,
+    /// Maximum quadtree depth.
+    pub max_depth: u8,
+}
+
+impl Default for TqTreeConfig {
+    fn default() -> Self {
+        TqTreeConfig {
+            beta: 64,
+            storage: Storage::ZOrder,
+            placement: Placement::TwoPoint,
+            max_depth: 20,
+        }
+    }
+}
+
+impl TqTreeConfig {
+    /// Config for the paper's TQ(Z) with a given placement.
+    pub fn z_order(placement: Placement) -> Self {
+        TqTreeConfig {
+            placement,
+            ..Default::default()
+        }
+    }
+
+    /// Config for the paper's TQ(B) with a given placement.
+    pub fn basic(placement: Placement) -> Self {
+        TqTreeConfig {
+            storage: Storage::Basic,
+            placement,
+            ..Default::default()
+        }
+    }
+
+    /// Sets β, keeping everything else.
+    pub fn with_beta(mut self, beta: usize) -> Self {
+        assert!(beta > 0, "β must be positive");
+        self.beta = beta;
+        self
+    }
+}
+
+/// A q-node's trajectory list in either storage flavour.
+#[derive(Debug, Clone)]
+pub enum NodeList {
+    /// Flat list (TQ(B)).
+    Basic(Vec<StoredItem>),
+    /// Z-ordered buckets (TQ(Z)).
+    Z(ZList),
+}
+
+impl NodeList {
+    /// The stored items (sorted for [`NodeList::Z`]).
+    pub fn items(&self) -> &[StoredItem] {
+        match self {
+            NodeList::Basic(v) => v,
+            NodeList::Z(z) => z.items(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items().len()
+    }
+
+    /// Returns `true` when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items().is_empty()
+    }
+}
+
+/// A node of the TQ-tree (the paper's *q-node*).
+#[derive(Debug, Clone)]
+pub struct QNode {
+    /// The node's rectangle.
+    pub rect: Rect,
+    /// Depth below the root.
+    pub depth: u8,
+    /// Children in Z order; `None` entries are empty quadrants.
+    pub children: [Option<NodeId>; 4],
+    /// The trajectories stored *at* this node (inter-node for internal
+    /// nodes, intra-node for leaves).
+    pub list: NodeList,
+    /// Service upper bounds over this node's own list (the list part of
+    /// `sub`).
+    pub own: ServiceBounds,
+    /// Service upper bounds over the whole subtree rooted here — the
+    /// paper's `sub`, used as the best-first heuristic `hserve`.
+    pub sub: ServiceBounds,
+}
+
+impl QNode {
+    /// Returns `true` when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(Option::is_none)
+    }
+}
+
+/// The Trajectory Quadtree.
+///
+/// Built over a [`UserSet`] with [`TqTree::build`]; supports dynamic
+/// insertion via [`TqTree::insert`] (see `insert.rs`). Queries live in
+/// [`crate::eval`] (service evaluation), [`crate::topk`] (kMaxRRST) and
+/// [`crate::maxcov`] (MaxkCovRST).
+#[derive(Debug, Clone)]
+pub struct TqTree {
+    pub(crate) nodes: Vec<QNode>,
+    config: TqTreeConfig,
+    bounds: Rect,
+    item_count: usize,
+}
+
+impl TqTree {
+    /// The construction parameters.
+    #[inline]
+    pub fn config(&self) -> &TqTreeConfig {
+        &self.config
+    }
+
+    /// The root rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The node arena.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &QNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of nodes in the arena.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total stored items (= trajectories for two-point/full placement,
+    /// segments for segmented placement).
+    #[inline]
+    pub fn item_count(&self) -> usize {
+        self.item_count
+    }
+
+    /// Height of the tree (max depth + 1).
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0) + 1
+    }
+
+    /// Iterates all nodes with their ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &QNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as NodeId, n))
+    }
+
+    /// Exhaustively checks the structural invariants; used by tests.
+    ///
+    /// Verifies that (1) every item appears exactly once, (2) items are
+    /// geometrically consistent with the node that stores them, (3) `sub`
+    /// bounds aggregate own + children, (4) z-lists are sorted.
+    pub fn validate(&self, users: &UserSet) -> Result<(), String> {
+        let expected: usize = match self.config.placement {
+            Placement::TwoPoint | Placement::FullTrajectory => users.len(),
+            Placement::Segmented => users.total_segments(),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for (id, node) in self.iter_nodes() {
+            for it in node.list.items() {
+                if !seen.insert((it.traj, it.seg)) {
+                    return Err(format!("item ({}, {}) stored twice", it.traj, it.seg));
+                }
+                if !node.rect.contains(&it.start) || !node.rect.contains(&it.end) {
+                    return Err(format!(
+                        "item ({}, {}) outside its node {} rect",
+                        it.traj, it.seg, id
+                    ));
+                }
+            }
+            if let NodeList::Z(z) = &node.list {
+                if !z
+                    .items()
+                    .windows(2)
+                    .all(|w| (w[0].start_z, w[0].end_z) <= (w[1].start_z, w[1].end_z))
+                {
+                    return Err(format!("z-list of node {id} not sorted"));
+                }
+            }
+            // sub = own + Σ children.sub (within FP tolerance).
+            let mut agg = node.own;
+            for c in node.children.iter().flatten() {
+                agg.add(&self.node(*c).sub);
+            }
+            for (a, b, name) in [
+                (agg.s1, node.sub.s1, "s1"),
+                (agg.s2, node.sub.s2, "s2"),
+                (agg.s3, node.sub.s3, "s3"),
+            ] {
+                if (a - b).abs() > 1e-6 * (1.0 + b.abs()) {
+                    return Err(format!("node {id} sub.{name} mismatch: {a} vs {b}"));
+                }
+            }
+        }
+        if seen.len() != expected {
+            return Err(format!(
+                "stored {} items, expected {expected}",
+                seen.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rough memory footprint in bytes (arena + lists), for the storage-cost
+    /// discussion of paper §III-B.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<QNode>();
+        for node in &self.nodes {
+            total += node.list.len() * std::mem::size_of::<StoredItem>();
+        }
+        total
+    }
+}

@@ -1,0 +1,266 @@
+//! Trajectory removal.
+//!
+//! The paper only discusses insertion (§III-C), but a production index needs
+//! the inverse: `remove` locates each item of a trajectory by the same
+//! `O(h)` straddle-or-descend routing used at insert time, deletes it from
+//! its node list, and subtracts its service-bound contribution along the
+//! path. Emptied leaves are left in place (they cost a few bytes and keep
+//! sibling ids stable); they are reclaimed on the next rebuild.
+//!
+//! Removal does not reuse trajectory ids: the [`UserSet`] is append-only, so
+//! the caller keeps the (now unindexed) trajectory in the set and the tree
+//! simply stops referring to it. This mirrors tombstone-style deletion in
+//! LSM-flavoured stores and keeps every `TrajectoryId` stable.
+
+use super::build::{child_quadrant, make_items};
+use super::{NodeId, NodeList, TqTree, ROOT};
+use tq_trajectory::{TrajectoryId, UserSet};
+
+/// Errors returned by [`TqTree::remove`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RemoveError {
+    /// The trajectory id is not indexed (never inserted or already removed).
+    NotFound,
+}
+
+impl std::fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoveError::NotFound => write!(f, "trajectory not present in the index"),
+        }
+    }
+}
+
+impl std::error::Error for RemoveError {}
+
+impl TqTree {
+    /// Removes every indexed item of trajectory `id` from the tree.
+    ///
+    /// `users` must be the set the tree was built over; the trajectory
+    /// itself stays in the set (ids are stable), it merely stops being
+    /// indexed. Returns [`RemoveError::NotFound`] when nothing was indexed
+    /// under that id — the tree is unchanged in that case.
+    pub fn remove(&mut self, users: &UserSet, id: TrajectoryId) -> Result<(), RemoveError> {
+        if (id as usize) >= users.len() {
+            return Err(RemoveError::NotFound);
+        }
+        let single = UserSet::from_vec(vec![users.get(id).clone()]);
+        let mut items = make_items(&single, self.config().placement);
+        for it in &mut items {
+            it.traj = id;
+        }
+        // Dry-run location pass first so a missing item leaves the tree
+        // untouched (all-or-nothing semantics).
+        let mut locations = Vec::with_capacity(items.len());
+        for it in &items {
+            match self.locate(it) {
+                Some(node) => locations.push(node),
+                None => return Err(RemoveError::NotFound),
+            }
+        }
+        for (it, node) in items.iter().zip(locations) {
+            let bounds = it.bounds(users);
+            // Subtract from every subtree bound on the path.
+            let mut cur = ROOT;
+            loop {
+                let n = &mut self.nodes[cur as usize];
+                n.sub.s1 -= bounds.s1;
+                n.sub.s2 -= bounds.s2;
+                n.sub.s3 -= bounds.s3;
+                if cur == node {
+                    n.own.s1 -= bounds.s1;
+                    n.own.s2 -= bounds.s2;
+                    n.own.s3 -= bounds.s3;
+                    break;
+                }
+                let q = child_quadrant(&n.rect, it).expect("located via this path");
+                cur = n.children[q].expect("located via this path");
+            }
+            // Delete from the node list in place.
+            let removed = match &mut self.nodes[node as usize].list {
+                NodeList::Basic(items) => {
+                    let before = items.len();
+                    items.retain(|x| !(x.traj == it.traj && x.seg == it.seg));
+                    before == items.len() + 1
+                }
+                NodeList::Z(z) => z.remove_item(it.traj, it.seg, &it.start, &it.end),
+            };
+            debug_assert!(removed, "locate() said the item was here");
+            let _ = removed;
+            self.item_count -= 1;
+        }
+        Ok(())
+    }
+
+    /// Finds the node storing `item` by replaying the placement descent.
+    fn locate(&self, item: &super::StoredItem) -> Option<NodeId> {
+        let mut cur = ROOT;
+        loop {
+            let node = self.node(cur);
+            let here = node
+                .list
+                .items()
+                .iter()
+                .any(|x| x.traj == item.traj && x.seg == item.seg);
+            if here {
+                return Some(cur);
+            }
+            if node.is_leaf() {
+                return None;
+            }
+            match child_quadrant(&node.rect, item) {
+                // Straddles children but isn't in this node's list.
+                None => return None,
+                Some(q) => cur = node.children[q]?,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Placement, Storage, TqTreeConfig};
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use tq_geometry::{Point, Rect};
+    use tq_trajectory::Trajectory;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn random_users(n: usize, seed: u64) -> UserSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        UserSet::from_vec(
+            (0..n)
+                .map(|_| {
+                    Trajectory::two_point(
+                        p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                        p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn remove_then_queries_ignore_trajectory() {
+        let users = random_users(200, 1);
+        let mut tree = TqTree::build(&users, TqTreeConfig::default().with_beta(8));
+        // Remove half the trajectories.
+        for id in 0..100u32 {
+            tree.remove(&users, id).unwrap();
+        }
+        assert_eq!(tree.item_count(), 100);
+        // A rebuilt tree over the remainder answers identically.
+        let remainder = UserSet::from_vec(users.as_slice()[100..].to_vec());
+        let rebuilt = TqTree::build_with_bounds(
+            &remainder,
+            TqTreeConfig::default().with_beta(8),
+            tree.bounds(),
+        );
+        let model = crate::service::ServiceModel::new(crate::service::Scenario::Transit, 8.0);
+        let f = tq_trajectory::Facility::new(vec![p(30.0, 30.0), p(60.0, 60.0)]);
+        let a = crate::eval::evaluate_service(&tree, &users, &model, &f).value;
+        let b = crate::eval::evaluate_service(&rebuilt, &remainder, &model, &f).value;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_twice_errors_and_leaves_tree_intact() {
+        let users = random_users(50, 2);
+        let mut tree = TqTree::build(&users, TqTreeConfig::default().with_beta(4));
+        tree.remove(&users, 7).unwrap();
+        assert_eq!(tree.remove(&users, 7), Err(RemoveError::NotFound));
+        assert_eq!(tree.item_count(), 49);
+        assert_eq!(tree.remove(&users, 9999), Err(RemoveError::NotFound));
+    }
+
+    #[test]
+    fn remove_updates_bounds_consistently() {
+        let users = random_users(120, 3);
+        for storage in [Storage::Basic, Storage::ZOrder] {
+            let cfg = TqTreeConfig {
+                beta: 8,
+                storage,
+                placement: Placement::TwoPoint,
+                max_depth: 12,
+            };
+            let mut tree = TqTree::build(&users, cfg);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut removed = std::collections::HashSet::new();
+            for _ in 0..60 {
+                let id = rng.gen_range(0..120u32);
+                if removed.insert(id) {
+                    tree.remove(&users, id).unwrap();
+                }
+            }
+            // validate() recomputes bound aggregation; it must still hold
+            // (within FP tolerance) even though items are gone. item counts
+            // won't match the full user set, so check bounds directly.
+            let root_sub = tree.node(ROOT).sub;
+            assert!((root_sub.s1 - (120 - removed.len()) as f64).abs() < 1e-6);
+            assert_eq!(tree.item_count(), 120 - removed.len());
+        }
+    }
+
+    #[test]
+    fn remove_segmented_trajectories() {
+        let users = UserSet::from_vec(
+            (0..30)
+                .map(|i| {
+                    let b = i as f64;
+                    Trajectory::new(vec![p(b, b), p(b + 1.0, b), p(b + 1.0, b + 1.0)])
+                })
+                .collect(),
+        );
+        let cfg = TqTreeConfig {
+            beta: 4,
+            storage: Storage::ZOrder,
+            placement: Placement::Segmented,
+            max_depth: 10,
+        };
+        let mut tree = TqTree::build(&users, cfg);
+        assert_eq!(tree.item_count(), 60);
+        tree.remove(&users, 5).unwrap();
+        assert_eq!(tree.item_count(), 58);
+        tree.remove(&users, 6).unwrap();
+        assert_eq!(tree.item_count(), 56);
+        assert_eq!(tree.remove(&users, 5), Err(RemoveError::NotFound));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_preserves_answers() {
+        let users0 = random_users(150, 4);
+        let bounds = Rect::new(p(0.0, 0.0), p(100.0, 100.0));
+        let mut users = users0.clone();
+        let mut tree = TqTree::build_with_bounds(
+            &users,
+            TqTreeConfig::default().with_beta(8),
+            bounds,
+        );
+        // Insert 30 extra then remove them again.
+        let extra = random_users(30, 5);
+        let mut ids = Vec::new();
+        for (_, t) in extra.iter() {
+            ids.push(tree.insert(&mut users, t.clone()).unwrap());
+        }
+        for id in ids {
+            tree.remove(&users, id).unwrap();
+        }
+        assert_eq!(tree.item_count(), 150);
+        let reference =
+            TqTree::build_with_bounds(&users0, TqTreeConfig::default().with_beta(8), bounds);
+        let model = crate::service::ServiceModel::new(crate::service::Scenario::Transit, 6.0);
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let f = tq_trajectory::Facility::new(vec![
+                p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+            ]);
+            let a = crate::eval::evaluate_service(&tree, &users, &model, &f).value;
+            let b = crate::eval::evaluate_service(&reference, &users0, &model, &f).value;
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

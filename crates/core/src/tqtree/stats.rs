@@ -1,0 +1,162 @@
+//! Index introspection.
+//!
+//! [`TreeStats`] summarizes a built TQ-tree: node/level structure, list-size
+//! distribution, and z-bucket counts. The experiment harness prints these to
+//! sanity-check index shape (e.g. that inter-node lists shrink with depth as
+//! §III predicts), and they are handy when tuning β for a new dataset.
+
+use super::{NodeList, TqTree};
+
+/// A structural summary of a TQ-tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Total nodes in the arena.
+    pub nodes: usize,
+    /// Leaves (no children).
+    pub leaves: usize,
+    /// Height (levels).
+    pub height: usize,
+    /// Total stored items.
+    pub items: usize,
+    /// Items stored in internal nodes (the inter-node trajectories).
+    pub internal_items: usize,
+    /// Largest single node list.
+    pub max_list: usize,
+    /// Mean list length over non-empty nodes.
+    pub mean_list: f64,
+    /// Per-level item counts (index = depth).
+    pub items_per_level: Vec<usize>,
+    /// Total z-buckets (start-partition leaves) across z-ordered nodes;
+    /// zero for TQ(B).
+    pub z_buckets: usize,
+    /// Estimated memory footprint in bytes.
+    pub memory_bytes: usize,
+}
+
+impl TqTree {
+    /// Computes a structural summary of the tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut leaves = 0usize;
+        let mut internal_items = 0usize;
+        let mut max_list = 0usize;
+        let mut non_empty = 0usize;
+        let mut total_items = 0usize;
+        let mut items_per_level = Vec::new();
+        let mut z_buckets = 0usize;
+        for (_, node) in self.iter_nodes() {
+            let len = node.list.len();
+            if node.is_leaf() {
+                leaves += 1;
+            } else {
+                internal_items += len;
+            }
+            if len > 0 {
+                non_empty += 1;
+            }
+            max_list = max_list.max(len);
+            total_items += len;
+            let d = node.depth as usize;
+            if items_per_level.len() <= d {
+                items_per_level.resize(d + 1, 0);
+            }
+            items_per_level[d] += len;
+            if let NodeList::Z(z) = &node.list {
+                z_buckets += z.bucket_counts().0;
+            }
+        }
+        TreeStats {
+            nodes: self.node_count(),
+            leaves,
+            height: self.height(),
+            items: total_items,
+            internal_items,
+            max_list,
+            mean_list: if non_empty > 0 {
+                total_items as f64 / non_empty as f64
+            } else {
+                0.0
+            },
+            items_per_level,
+            z_buckets,
+            memory_bytes: self.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Placement, Storage, TqTreeConfig};
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use tq_geometry::Point;
+    use tq_trajectory::{Trajectory, UserSet};
+
+    fn users(n: usize, spread: f64) -> UserSet {
+        let mut rng = StdRng::seed_from_u64(5);
+        UserSet::from_vec(
+            (0..n)
+                .map(|_| {
+                    let x = rng.gen_range(0.0..100.0);
+                    let y = rng.gen_range(0.0..100.0);
+                    Trajectory::two_point(
+                        Point::new(x, y),
+                        Point::new(
+                            (x + rng.gen_range(-spread..spread)).clamp(0.0, 100.0),
+                            (y + rng.gen_range(-spread..spread)).clamp(0.0, 100.0),
+                        ),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn stats_account_for_all_items() {
+        let u = users(500, 10.0);
+        let tree = TqTree::build(&u, TqTreeConfig::default().with_beta(16));
+        let s = tree.stats();
+        assert_eq!(s.items, 500);
+        assert_eq!(s.items_per_level.iter().sum::<usize>(), 500);
+        assert_eq!(s.nodes, tree.node_count());
+        assert_eq!(s.height, tree.height());
+        assert!(s.leaves > 0);
+        assert!(s.max_list >= 1);
+        assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn z_buckets_zero_for_basic_storage() {
+        let u = users(300, 10.0);
+        let basic = TqTree::build(
+            &u,
+            TqTreeConfig {
+                beta: 16,
+                storage: Storage::Basic,
+                placement: Placement::TwoPoint,
+                max_depth: 12,
+            },
+        );
+        assert_eq!(basic.stats().z_buckets, 0);
+        let z = TqTree::build(&u, TqTreeConfig::default().with_beta(16));
+        assert!(z.stats().z_buckets > 0);
+    }
+
+    #[test]
+    fn short_trips_sink_to_deep_levels() {
+        // §III: long trajectories live near the root, short ones in leaves.
+        let short = users(800, 2.0);
+        let long = users(800, 80.0);
+        let t_short = TqTree::build(&short, TqTreeConfig::default().with_beta(8));
+        let t_long = TqTree::build(&long, TqTreeConfig::default().with_beta(8));
+        let frac = |t: &TqTree| {
+            let s = t.stats();
+            s.internal_items as f64 / s.items as f64
+        };
+        assert!(
+            frac(&t_short) < frac(&t_long),
+            "short trips should straddle less: {} vs {}",
+            frac(&t_short),
+            frac(&t_long)
+        );
+    }
+}

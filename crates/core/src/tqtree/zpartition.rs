@@ -1,0 +1,375 @@
+//! Adaptive Z-curve partitions of a q-node's space.
+//!
+//! The paper's "ordered bucketing using z-curve" (§III) partitions the space
+//! of a q-node until every cell holds at most β start (resp. end) points, and
+//! keeps refining end cells while trajectories that share a start z-id have
+//! indistinguishable end z-ids. [`ZPartition`] is that partition: an explicit
+//! quadtree over the node rectangle whose leaves are the z-cells.
+//!
+//! Keeping the partition topology (not just the leaf ids) is what makes
+//! `zReduce` cheap at query time: the facility component is tested against
+//! the partition *tree*, pruning whole sub-partitions that are farther than
+//! `ψ` from every stop, and only surviving leaves contribute
+//! [`ZId::descendant_range`] ranges to filter the sorted item list.
+
+use tq_geometry::{Point, Quadrant, Rect, ZId, MAX_Z_DEPTH};
+
+/// A node of the partition quadtree.
+#[derive(Debug, Clone)]
+struct PartNode {
+    zid: ZId,
+    rect: Rect,
+    /// Indices of the four children in [`ZPartition::nodes`], or `None` for
+    /// a leaf cell.
+    children: Option<[u32; 4]>,
+}
+
+/// An adaptive Z-curve partition of one q-node's rectangle.
+#[derive(Debug, Clone)]
+pub struct ZPartition {
+    nodes: Vec<PartNode>,
+}
+
+impl ZPartition {
+    /// Builds the partition for `points` over `rect` with bucket size
+    /// `beta`, and returns it together with the leaf [`ZId`] assigned to
+    /// each point (in input order).
+    ///
+    /// When `dedup_keys` is given (the end-point partition), a cell is also
+    /// refined while it contains two points with equal keys at distinct
+    /// coordinates — the paper's rule that trajectories sharing a start z-id
+    /// must get distinguishable end z-ids.
+    pub fn build(
+        rect: Rect,
+        points: &[Point],
+        beta: usize,
+        dedup_keys: Option<&[ZId]>,
+    ) -> (ZPartition, Vec<ZId>) {
+        assert!(beta > 0, "β must be positive");
+        let mut part = ZPartition { nodes: Vec::new() };
+        let mut assigned = vec![ZId::root(); points.len()];
+        let idxs: Vec<u32> = (0..points.len() as u32).collect();
+        part.nodes.push(PartNode {
+            zid: ZId::root(),
+            rect,
+            children: None,
+        });
+        part.split_rec(0, idxs, points, beta, dedup_keys, &mut assigned);
+        (part, assigned)
+    }
+
+    fn must_split(
+        idxs: &[u32],
+        points: &[Point],
+        beta: usize,
+        dedup_keys: Option<&[ZId]>,
+    ) -> bool {
+        if idxs.len() > beta {
+            // Only split when the points are actually separable.
+            return !Self::all_coincident(idxs, points);
+        }
+        if let Some(keys) = dedup_keys {
+            // Refine while two distinct points share a key in this cell.
+            for (i, &a) in idxs.iter().enumerate() {
+                for &b in &idxs[i + 1..] {
+                    if keys[a as usize] == keys[b as usize]
+                        && points[a as usize] != points[b as usize]
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn all_coincident(idxs: &[u32], points: &[Point]) -> bool {
+        let first = points[idxs[0] as usize];
+        idxs.iter().all(|&i| points[i as usize] == first)
+    }
+
+    fn split_rec(
+        &mut self,
+        node: usize,
+        idxs: Vec<u32>,
+        points: &[Point],
+        beta: usize,
+        dedup_keys: Option<&[ZId]>,
+        assigned: &mut [ZId],
+    ) {
+        let zid = self.nodes[node].zid;
+        let rect = self.nodes[node].rect;
+        if idxs.is_empty()
+            || zid.depth() >= MAX_Z_DEPTH
+            || !Self::must_split(&idxs, points, beta, dedup_keys)
+        {
+            for &i in &idxs {
+                assigned[i as usize] = zid;
+            }
+            return;
+        }
+        let mut buckets: [Vec<u32>; 4] = Default::default();
+        for &i in &idxs {
+            let q = rect.quadrant_of(&points[i as usize]);
+            buckets[q.index() as usize].push(i);
+        }
+        let base = self.nodes.len() as u32;
+        for qi in 0..4u8 {
+            let q = Quadrant::from_index(qi);
+            self.nodes.push(PartNode {
+                zid: zid.child(q),
+                rect: rect.quadrant(q),
+                children: None,
+            });
+        }
+        self.nodes[node].children = Some([base, base + 1, base + 2, base + 3]);
+        for (qi, bucket) in buckets.into_iter().enumerate() {
+            self.split_rec(
+                (base + qi as u32) as usize,
+                bucket,
+                points,
+                beta,
+                dedup_keys,
+                assigned,
+            );
+        }
+    }
+
+    /// Number of partition tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf cells.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_none()).count()
+    }
+
+    /// Collects, in Z order, the [`ZId::descendant_range`]s of every leaf
+    /// cell that lies within `psi` of at least one of `stops` — the set of
+    /// z-ids the facility component "intersects fully or partially"
+    /// (paper §IV, Example 4).
+    ///
+    /// The traversal filters `stops` as it descends, so distant parts of a
+    /// facility stop being tested as soon as a sub-partition rules them out.
+    pub fn covered_ranges(&self, stops: &[Point], psi: f64, out: &mut Vec<(ZId, ZId)>) {
+        out.clear();
+        if stops.is_empty() || self.nodes.is_empty() {
+            return;
+        }
+        // The live stop set per recursion level lives in one shared buffer
+        // (stack discipline, no per-node allocation).
+        let root_rect = self.nodes[0].rect;
+        let mut buf: Vec<Point> = stops
+            .iter()
+            .filter(|s| root_rect.within_of_point(s, psi))
+            .copied()
+            .collect();
+        let to = buf.len();
+        if to > 0 {
+            self.covered_rec(0, &mut buf, 0, to, psi, out);
+        }
+    }
+
+    fn covered_rec(
+        &self,
+        node: usize,
+        buf: &mut Vec<Point>,
+        from: usize,
+        to: usize,
+        psi: f64,
+        out: &mut Vec<(ZId, ZId)>,
+    ) {
+        let n = &self.nodes[node];
+        match n.children {
+            None => out.push(n.zid.descendant_range()),
+            Some(children) => {
+                for &c in &children {
+                    let child_rect = self.nodes[c as usize].rect;
+                    let start = buf.len();
+                    for i in from..to {
+                        let s = buf[i];
+                        if child_rect.within_of_point(&s, psi) {
+                            buf.push(s);
+                        }
+                    }
+                    let end = buf.len();
+                    if end > start {
+                        self.covered_rec(c as usize, buf, start, end, psi, out);
+                    }
+                    buf.truncate(start);
+                }
+            }
+        }
+    }
+
+    /// The leaf cell id whose rectangle contains `p` (clamped into the
+    /// partition root). Used for incremental z-id assignment on insert.
+    pub fn locate(&self, p: &Point) -> ZId {
+        let root = &self.nodes[0];
+        let clamped = Point::new(
+            p.x.clamp(root.rect.min.x, root.rect.max.x),
+            p.y.clamp(root.rect.min.y, root.rect.max.y),
+        );
+        let mut cur = 0usize;
+        loop {
+            let n = &self.nodes[cur];
+            match n.children {
+                None => return n.zid,
+                Some(children) => {
+                    let q = n.rect.quadrant_of(&clamped);
+                    cur = children[q.index() as usize] as usize;
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when `z` falls in one of the (sorted, disjoint)
+    /// `ranges` produced by [`ZPartition::covered_ranges`].
+    pub fn ranges_cover(ranges: &[(ZId, ZId)], z: &ZId) -> bool {
+        // Last range whose lower bound is ≤ z.
+        let idx = ranges.partition_point(|(lo, _)| lo <= z);
+        if idx == 0 {
+            return false;
+        }
+        let (_, hi) = &ranges[idx - 1];
+        z <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn unit() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    fn scattered(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+    }
+
+    #[test]
+    fn small_input_single_cell() {
+        let pts = scattered(3, 1);
+        let (part, ids) = ZPartition::build(unit(), &pts, 8, None);
+        assert_eq!(part.leaf_count(), 1);
+        assert!(ids.iter().all(|z| *z == ZId::root()));
+    }
+
+    #[test]
+    fn splits_until_beta() {
+        let pts = scattered(100, 2);
+        let beta = 4;
+        let (part, ids) = ZPartition::build(unit(), &pts, beta, None);
+        // Every leaf holds ≤ β points.
+        let mut counts = std::collections::HashMap::new();
+        for z in &ids {
+            *counts.entry(*z).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= beta));
+        assert!(part.leaf_count() >= counts.len());
+    }
+
+    #[test]
+    fn assigned_id_matches_containing_cell() {
+        let pts = scattered(50, 3);
+        let (_, ids) = ZPartition::build(unit(), &pts, 4, None);
+        for (p, z) in pts.iter().zip(&ids) {
+            assert!(z.cell(&unit()).contains(p));
+        }
+    }
+
+    #[test]
+    fn coincident_points_do_not_loop() {
+        let pts = vec![Point::new(0.5, 0.5); 100];
+        let (part, ids) = ZPartition::build(unit(), &pts, 4, None);
+        // Can't separate identical points; everything in one (possibly
+        // deep) cell, and the build terminates.
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert!(part.node_count() < 200);
+    }
+
+    #[test]
+    fn dedup_rule_separates_shared_keys() {
+        // Two points with the same key but distinct coordinates must end in
+        // different cells even though β would not force a split.
+        let pts = vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)];
+        let keys = vec![ZId::root(), ZId::root()];
+        let (_, ids) = ZPartition::build(unit(), &pts, 8, Some(&keys));
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn dedup_rule_tolerates_identical_coordinates() {
+        let pts = vec![Point::new(0.4, 0.4); 3];
+        let keys = vec![ZId::root(); 3];
+        let (_, ids) = ZPartition::build(unit(), &pts, 8, Some(&keys));
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+    }
+
+    #[test]
+    fn covered_ranges_prune_far_cells() {
+        let pts = scattered(200, 4);
+        let (part, ids) = ZPartition::build(unit(), &pts, 8, None);
+        // A stop in the SW corner with tiny ψ covers only nearby cells.
+        let stops = [Point::new(0.05, 0.05)];
+        let mut ranges = Vec::new();
+        part.covered_ranges(&stops, 0.1, &mut ranges);
+        assert!(!ranges.is_empty());
+        // Every point within ψ of the stop must be in a covered range —
+        // soundness of the pruning.
+        for (p, z) in pts.iter().zip(&ids) {
+            if p.within(&stops[0], 0.1) {
+                assert!(ZPartition::ranges_cover(&ranges, z), "lost point {p:?}");
+            }
+        }
+        // And a far-away point must not be covered (cells are ≤ diam apart).
+        let far = pts
+            .iter()
+            .zip(&ids)
+            .find(|(p, _)| p.dist(&stops[0]) > 0.7)
+            .expect("some far point");
+        assert!(!ZPartition::ranges_cover(&ranges, far.1));
+    }
+
+    #[test]
+    fn covered_ranges_empty_for_no_stops() {
+        let pts = scattered(20, 5);
+        let (part, _) = ZPartition::build(unit(), &pts, 4, None);
+        let mut ranges = Vec::new();
+        part.covered_ranges(&[], 0.5, &mut ranges);
+        assert!(ranges.is_empty());
+    }
+
+    #[test]
+    fn ranges_are_sorted_in_z_order() {
+        let pts = scattered(300, 6);
+        let (part, _) = ZPartition::build(unit(), &pts, 4, None);
+        let stops = [Point::new(0.5, 0.5), Point::new(0.9, 0.1)];
+        let mut ranges = Vec::new();
+        part.covered_ranges(&stops, 0.2, &mut ranges);
+        assert!(ranges.windows(2).all(|w| w[0].1 < w[1].0 || w[0].0 <= w[1].0));
+        assert!(ranges.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn ranges_cover_binary_search() {
+        let a = ZId::root().child(Quadrant::SouthWest);
+        let b = ZId::root().child(Quadrant::NorthWest);
+        let ranges = vec![a.descendant_range(), b.descendant_range()];
+        assert!(ZPartition::ranges_cover(
+            &ranges,
+            &a.child(Quadrant::NorthEast)
+        ));
+        assert!(!ZPartition::ranges_cover(
+            &ranges,
+            &ZId::root().child(Quadrant::SouthEast)
+        ));
+        assert!(ZPartition::ranges_cover(&ranges, &b));
+        assert!(!ZPartition::ranges_cover(&[], &a));
+    }
+}

@@ -1,0 +1,27 @@
+//! Geometric primitives for trajectory coverage queries.
+//!
+//! This crate provides the spatial substrate used by every other crate in the
+//! workspace:
+//!
+//! * [`Point`] — a 2-D point with Euclidean distance helpers,
+//! * [`Rect`] — an axis-aligned rectangle (MBR) with quadrant splitting and
+//!   the ψ-expanded "EMBR" used to over-approximate a facility's service area,
+//! * [`ZId`] — an *adaptive* (variable-depth) Z-order identifier: the path of
+//!   quadrants from a root cell down to an arbitrary refinement level. These
+//!   are the `0.0`, `1.2`, `2` style ids of the paper (Figures 3 and 5),
+//! * [`morton`] — classic fixed-width Morton interleaving, used to pre-sort
+//!   points cheaply before adaptive refinement.
+//!
+//! All coordinates are `f64` in an arbitrary planar unit (the synthetic
+//! datasets use metres over a city-sized extent).
+
+#![warn(missing_docs)]
+
+pub mod morton;
+mod point;
+mod rect;
+mod zid;
+
+pub use point::Point;
+pub use rect::{Quadrant, Rect};
+pub use zid::{ZId, MAX_Z_DEPTH};

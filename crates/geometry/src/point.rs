@@ -1,0 +1,126 @@
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+///
+/// Coordinates are `f64`; the crate assumes a planar (projected) coordinate
+/// system so Euclidean distance is meaningful, matching the paper's use of a
+/// distance threshold `ψ` in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] in hot paths: comparing squared
+    /// distances against `ψ²` avoids the square root entirely.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Returns `true` when `other` lies within distance `psi` of `self`.
+    #[inline]
+    pub fn within(&self, other: &Point, psi: f64) -> bool {
+        self.dist_sq(other) <= psi * psi
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_and_dist_sq_agree() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(b.dist(&a), 5.0);
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let a = Point::new(-3.25, 7.5);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(a.within(&b, 5.0));
+        assert!(!a.within(&b, 4.999));
+    }
+
+    #[test]
+    fn min_max_midpoint() {
+        let a = Point::new(1.0, 8.0);
+        let b = Point::new(4.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(4.0, 8.0));
+        assert_eq!(a.midpoint(&b), Point::new(2.5, 5.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (2.0, 3.0).into();
+        assert_eq!(p, Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(0.0, 1.0).is_finite());
+        assert!(!Point::new(f64::NAN, 1.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,355 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// One of the four child quadrants of a [`Rect`], in Z-curve order.
+///
+/// The ordering (SW, SE, NW, NE) is the order in which the Z-curve visits the
+/// quadrants; [`ZId`](crate::ZId) paths are sequences of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Quadrant {
+    /// Low x, low y.
+    SouthWest = 0,
+    /// High x, low y.
+    SouthEast = 1,
+    /// Low x, high y.
+    NorthWest = 2,
+    /// High x, high y.
+    NorthEast = 3,
+}
+
+impl Quadrant {
+    /// All quadrants in Z order.
+    pub const ALL: [Quadrant; 4] = [
+        Quadrant::SouthWest,
+        Quadrant::SouthEast,
+        Quadrant::NorthWest,
+        Quadrant::NorthEast,
+    ];
+
+    /// Constructs a quadrant from its Z-order index (0..4).
+    ///
+    /// # Panics
+    /// Panics when `i >= 4`.
+    #[inline]
+    pub fn from_index(i: u8) -> Quadrant {
+        Quadrant::ALL[i as usize]
+    }
+
+    /// The quadrant's Z-order index.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+}
+
+/// An axis-aligned rectangle, closed on all sides.
+///
+/// `Rect` doubles as a minimum bounding rectangle (MBR) and — once expanded by
+/// the service threshold `ψ` via [`Rect::expand`] — as the paper's *extended*
+/// MBR (EMBR) that over-approximates the region a facility can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner points, normalizing the order.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
+    }
+
+    /// Creates a rectangle from raw bounds without normalization.
+    ///
+    /// Callers must guarantee `min.x <= max.x && min.y <= max.y`.
+    #[inline]
+    pub const fn from_bounds(min: Point, max: Point) -> Self {
+        Rect { min, max }
+    }
+
+    /// The degenerate rectangle containing a single point.
+    #[inline]
+    pub fn point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// Smallest rectangle containing every point in `pts`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<'a, I: IntoIterator<Item = &'a Point>>(pts: I) -> Option<Rect> {
+        let mut it = pts.into_iter();
+        let first = *it.next()?;
+        let mut r = Rect::point(first);
+        for p in it {
+            r = r.include(p);
+        }
+        Some(r)
+    }
+
+    /// Width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(&other.min) && self.contains(&other.max)
+    }
+
+    /// Returns `true` when the two closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The intersection of two rectangles, if non-empty.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: self.min.max(&other.min),
+            max: self.max.min(&other.max),
+        })
+    }
+
+    /// The smallest rectangle containing both `self` and `p`.
+    #[inline]
+    pub fn include(&self, p: &Point) -> Rect {
+        Rect {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
+    }
+
+    /// The smallest rectangle containing both rectangles.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
+    }
+
+    /// Expands every side outward by `delta` (the EMBR of the paper when
+    /// `delta = ψ`).
+    #[inline]
+    pub fn expand(&self, delta: f64) -> Rect {
+        Rect {
+            min: Point::new(self.min.x - delta, self.min.y - delta),
+            max: Point::new(self.max.x + delta, self.max.y + delta),
+        }
+    }
+
+    /// Squared distance from `p` to the nearest point of the rectangle
+    /// (zero when `p` is inside).
+    pub fn min_dist_sq(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// Returns `true` when any point of the rectangle lies within `psi`
+    /// of `p` — i.e. the disc of radius `psi` around `p` meets the rect.
+    #[inline]
+    pub fn within_of_point(&self, p: &Point, psi: f64) -> bool {
+        self.min_dist_sq(p) <= psi * psi
+    }
+
+    /// The child rectangle for `q` when splitting at the center.
+    pub fn quadrant(&self, q: Quadrant) -> Rect {
+        let c = self.center();
+        match q {
+            Quadrant::SouthWest => Rect::from_bounds(self.min, c),
+            Quadrant::SouthEast => Rect::from_bounds(
+                Point::new(c.x, self.min.y),
+                Point::new(self.max.x, c.y),
+            ),
+            Quadrant::NorthWest => Rect::from_bounds(
+                Point::new(self.min.x, c.y),
+                Point::new(c.x, self.max.y),
+            ),
+            Quadrant::NorthEast => Rect::from_bounds(c, self.max),
+        }
+    }
+
+    /// All four child rectangles in Z order.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        [
+            self.quadrant(Quadrant::SouthWest),
+            self.quadrant(Quadrant::SouthEast),
+            self.quadrant(Quadrant::NorthWest),
+            self.quadrant(Quadrant::NorthEast),
+        ]
+    }
+
+    /// Which quadrant `p` falls into, splitting ties toward the
+    /// higher-indexed (north/east) child so that every point belongs to
+    /// exactly one quadrant.
+    pub fn quadrant_of(&self, p: &Point) -> Quadrant {
+        let c = self.center();
+        let east = p.x >= c.x;
+        let north = p.y >= c.y;
+        match (north, east) {
+            (false, false) => Quadrant::SouthWest,
+            (false, true) => Quadrant::SouthEast,
+            (true, false) => Quadrant::NorthWest,
+            (true, true) => Quadrant::NorthEast,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(Point::new(5.0, -1.0), Point::new(2.0, 4.0));
+        assert_eq!(r.min, Point::new(2.0, -1.0));
+        assert_eq!(r.max, Point::new(5.0, 4.0));
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let r = unit();
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert!(r.contains(&Point::new(0.5, 1.0)));
+        assert!(!r.contains(&Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn intersects_edge_touching() {
+        let a = unit();
+        let b = Rect::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        let c = Rect::new(Point::new(1.1, 0.0), Point::new(2.0, 1.0));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn intersection_matches_intersects() {
+        let a = unit();
+        let b = Rect::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(Point::new(0.5, 0.5), Point::new(1.0, 1.0)));
+        let c = Rect::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        let pts = [
+            Point::new(3.0, 1.0),
+            Point::new(-1.0, 2.0),
+            Point::new(0.0, 5.0),
+        ];
+        let r = Rect::bounding(pts.iter()).unwrap();
+        assert_eq!(r.min, Point::new(-1.0, 1.0));
+        assert_eq!(r.max, Point::new(3.0, 5.0));
+        assert!(Rect::bounding([].iter()).is_none());
+    }
+
+    #[test]
+    fn expand_is_embr() {
+        let r = unit().expand(0.5);
+        assert_eq!(r.min, Point::new(-0.5, -0.5));
+        assert_eq!(r.max, Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn quadrants_tile_parent() {
+        let r = unit();
+        let qs = r.quadrants();
+        let total: f64 = qs.iter().map(Rect::area).sum();
+        assert!((total - r.area()).abs() < 1e-12);
+        // Children must cover the parent's corners.
+        assert!(qs[0].contains(&r.min));
+        assert!(qs[3].contains(&r.max));
+    }
+
+    #[test]
+    fn quadrant_of_assigns_uniquely() {
+        let r = unit();
+        assert_eq!(r.quadrant_of(&Point::new(0.25, 0.25)), Quadrant::SouthWest);
+        assert_eq!(r.quadrant_of(&Point::new(0.75, 0.25)), Quadrant::SouthEast);
+        assert_eq!(r.quadrant_of(&Point::new(0.25, 0.75)), Quadrant::NorthWest);
+        assert_eq!(r.quadrant_of(&Point::new(0.75, 0.75)), Quadrant::NorthEast);
+        // Center goes to the NE child (ties round up).
+        assert_eq!(r.quadrant_of(&Point::new(0.5, 0.5)), Quadrant::NorthEast);
+    }
+
+    #[test]
+    fn point_in_quadrant_of() {
+        let r = unit();
+        let p = Point::new(0.3, 0.9);
+        let q = r.quadrant_of(&p);
+        assert!(r.quadrant(q).contains(&p));
+    }
+
+    #[test]
+    fn min_dist_sq_cases() {
+        let r = unit();
+        assert_eq!(r.min_dist_sq(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(r.min_dist_sq(&Point::new(2.0, 0.5)), 1.0);
+        assert_eq!(r.min_dist_sq(&Point::new(2.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn within_of_point_disc_test() {
+        let r = unit();
+        assert!(r.within_of_point(&Point::new(1.5, 0.5), 0.5));
+        assert!(!r.within_of_point(&Point::new(1.6, 0.5), 0.5));
+    }
+
+    #[test]
+    fn union_and_include() {
+        let a = unit();
+        let b = Rect::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        let c = a.include(&Point::new(-1.0, 0.5));
+        assert!(c.contains(&Point::new(-1.0, 0.5)));
+    }
+}

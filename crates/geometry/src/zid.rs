@@ -1,0 +1,360 @@
+use crate::{Point, Quadrant, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum refinement depth of a [`ZId`] (quadrant levels below the root).
+///
+/// 31 levels × 2 bits = 62 bits of path, which fits a `u64` with room for the
+/// sign-free comparison trick used by [`Ord`]. At city scale (≈50 km extent)
+/// 31 levels resolve to well below a millimetre, far finer than any GPS fix.
+pub const MAX_Z_DEPTH: u8 = 31;
+
+/// An adaptive (variable-depth) Z-order identifier.
+///
+/// A `ZId` names one cell of a quadtree partition of some root rectangle: the
+/// sequence of quadrants taken from the root to the cell. This is exactly the
+/// paper's dotted z-id notation — `ZId` for "2" has depth 1, `0.3` has depth
+/// 2 — and supports the two operations the TQ-tree needs:
+///
+/// 1. **Total order.** Sorting trajectories by `ZId` lays them out along the
+///    Z-curve so spatially close trajectories are adjacent
+///    ([`Ord`] below). All descendants of a cell form a *contiguous run* in
+///    this order, which is what makes `zReduce`'s pruning a pair of binary
+///    searches instead of a scan.
+/// 2. **Prefix/coverage tests.** `a.covers(b)` holds when cell `a` is an
+///    ancestor-or-self of cell `b` ([`ZId::covers`]).
+///
+/// # Representation
+///
+/// The quadrant path is packed *left-aligned* into a `u64`: the level-0
+/// quadrant occupies bits 63–62, level 1 bits 61–60, and so on. Left
+/// alignment makes the natural integer order of `path` agree with Z-curve
+/// order, with `depth` breaking ties so an ancestor sorts immediately before
+/// its descendants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ZId {
+    path: u64,
+    depth: u8,
+}
+
+impl ZId {
+    /// The root cell (empty path).
+    #[inline]
+    pub const fn root() -> ZId {
+        ZId { path: 0, depth: 0 }
+    }
+
+    /// Number of quadrant levels below the root.
+    #[inline]
+    pub const fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// The raw left-aligned path bits (mostly useful for debugging).
+    #[inline]
+    pub const fn path_bits(&self) -> u64 {
+        self.path
+    }
+
+    /// The child cell obtained by descending into quadrant `q`.
+    ///
+    /// # Panics
+    /// Panics when the id is already at [`MAX_Z_DEPTH`].
+    #[inline]
+    pub fn child(&self, q: Quadrant) -> ZId {
+        assert!(self.depth < MAX_Z_DEPTH, "ZId exceeded MAX_Z_DEPTH");
+        let shift = 62 - 2 * self.depth as u32;
+        ZId {
+            path: self.path | ((q.index() as u64) << shift),
+            depth: self.depth + 1,
+        }
+    }
+
+    /// The parent cell, or `None` for the root.
+    pub fn parent(&self) -> Option<ZId> {
+        if self.depth == 0 {
+            return None;
+        }
+        let d = self.depth - 1;
+        let shift = 62 - 2 * d as u32;
+        Some(ZId {
+            path: self.path & !(0b11u64 << shift),
+            depth: d,
+        })
+    }
+
+    /// The quadrant taken at `level` (0-based from the root).
+    ///
+    /// # Panics
+    /// Panics when `level >= self.depth()`.
+    #[inline]
+    pub fn quadrant_at(&self, level: u8) -> Quadrant {
+        assert!(level < self.depth, "level out of range");
+        let shift = 62 - 2 * level as u32;
+        Quadrant::from_index(((self.path >> shift) & 0b11) as u8)
+    }
+
+    /// Returns `true` when `self` is an ancestor of `other` or equal to it
+    /// (i.e. `self`'s path is a prefix of `other`'s).
+    #[inline]
+    pub fn covers(&self, other: &ZId) -> bool {
+        if self.depth > other.depth {
+            return false;
+        }
+        if self.depth == 0 {
+            return true;
+        }
+        let keep = 2 * self.depth as u32;
+        let mask = !0u64 << (64 - keep);
+        (self.path & mask) == (other.path & mask)
+    }
+
+    /// Inclusive bounds `(lo, hi)` such that a `ZId` `z` satisfies
+    /// `lo <= z && z <= hi` **iff** `self.covers(&z)`.
+    ///
+    /// Used to binary-search runs of covered trajectories in a sorted z-node
+    /// list.
+    pub fn descendant_range(&self) -> (ZId, ZId) {
+        let lo = *self;
+        let hi = if self.depth == 0 {
+            ZId {
+                path: !0u64,
+                depth: MAX_Z_DEPTH,
+            }
+        } else {
+            let keep = 2 * self.depth as u32;
+            let suffix = !0u64 >> keep; // all-ones below the prefix
+            ZId {
+                path: self.path | suffix,
+                depth: MAX_Z_DEPTH,
+            }
+        };
+        (lo, hi)
+    }
+
+    /// The rectangle of this cell inside the partition rooted at `root`.
+    pub fn cell(&self, root: &Rect) -> Rect {
+        let mut r = *root;
+        for level in 0..self.depth {
+            r = r.quadrant(self.quadrant_at(level));
+        }
+        r
+    }
+
+    /// The `ZId` of depth `depth` whose cell (under `root`) contains `p`.
+    ///
+    /// Points outside `root` are clamped into it, so callers may pass a root
+    /// that only approximately bounds the data.
+    pub fn of_point(root: &Rect, p: &Point, depth: u8) -> ZId {
+        assert!(depth <= MAX_Z_DEPTH, "depth exceeds MAX_Z_DEPTH");
+        let clamped = Point::new(
+            p.x.clamp(root.min.x, root.max.x),
+            p.y.clamp(root.min.y, root.max.y),
+        );
+        let mut id = ZId::root();
+        let mut r = *root;
+        for _ in 0..depth {
+            let q = r.quadrant_of(&clamped);
+            r = r.quadrant(q);
+            id = id.child(q);
+        }
+        id
+    }
+}
+
+impl PartialOrd for ZId {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ZId {
+    /// Z-curve order: by left-aligned path bits, ancestors before
+    /// descendants on ties.
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.path
+            .cmp(&other.path)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+impl fmt::Debug for ZId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ZId({self})")
+    }
+}
+
+impl fmt::Display for ZId {
+    /// Paper-style dotted notation: the root prints as `ε`, `0.3` is the
+    /// south-west child's north-east child.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.depth == 0 {
+            return write!(f, "ε");
+        }
+        for level in 0..self.depth {
+            if level > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{}", self.quadrant_at(level).index())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(i: u8) -> Quadrant {
+        Quadrant::from_index(i)
+    }
+
+    fn unit() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn root_and_children() {
+        let r = ZId::root();
+        assert_eq!(r.depth(), 0);
+        for i in 0..4 {
+            let c = r.child(q(i));
+            assert_eq!(c.depth(), 1);
+            assert_eq!(c.quadrant_at(0), q(i));
+            assert_eq!(c.parent(), Some(r));
+        }
+        assert_eq!(r.parent(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let z = ZId::root().child(q(0)).child(q(3));
+        assert_eq!(z.to_string(), "0.3");
+        assert_eq!(ZId::root().to_string(), "ε");
+        assert_eq!(ZId::root().child(q(2)).to_string(), "2");
+    }
+
+    #[test]
+    fn covers_is_prefix() {
+        let a = ZId::root().child(q(1));
+        let b = a.child(q(2)).child(q(3));
+        assert!(ZId::root().covers(&b));
+        assert!(a.covers(&b));
+        assert!(a.covers(&a));
+        assert!(!b.covers(&a));
+        let c = ZId::root().child(q(2));
+        assert!(!c.covers(&b));
+    }
+
+    #[test]
+    fn order_groups_siblings() {
+        let r = ZId::root();
+        let z00 = r.child(q(0)).child(q(0));
+        let z01 = r.child(q(0)).child(q(1));
+        let z0 = r.child(q(0));
+        let z1 = r.child(q(1));
+        let mut v = vec![z1, z01, z00, z0, r];
+        v.sort();
+        assert_eq!(v, vec![r, z0, z00, z01, z1]);
+    }
+
+    #[test]
+    fn descendant_range_brackets_exactly() {
+        let a = ZId::root().child(q(1)).child(q(2));
+        let (lo, hi) = a.descendant_range();
+        let inside = a.child(q(3)).child(q(0));
+        let before = ZId::root().child(q(1)).child(q(1)).child(q(3));
+        let after = ZId::root().child(q(1)).child(q(3));
+        assert!(lo <= inside && inside <= hi);
+        assert!(before < lo);
+        assert!(after > hi);
+    }
+
+    #[test]
+    fn cell_descends_quadrants() {
+        let root = unit();
+        let z = ZId::root().child(q(3)).child(q(0));
+        let c = z.cell(&root);
+        // NE then SW: [0.5,0.75]x[0.5,0.75]
+        assert_eq!(c, Rect::new(Point::new(0.5, 0.5), Point::new(0.75, 0.75)));
+    }
+
+    #[test]
+    fn of_point_lands_in_own_cell() {
+        let root = unit();
+        let p = Point::new(0.61, 0.27);
+        for d in 0..10 {
+            let z = ZId::of_point(&root, &p, d);
+            assert!(z.cell(&root).contains(&p), "depth {d}");
+        }
+    }
+
+    #[test]
+    fn of_point_clamps_outside_points() {
+        let root = unit();
+        let p = Point::new(5.0, -3.0);
+        let z = ZId::of_point(&root, &p, 6);
+        assert_eq!(z.depth(), 6);
+        // Clamped to the SE corner.
+        assert!(z.cell(&root).contains(&Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn max_depth_supported() {
+        let mut z = ZId::root();
+        for i in 0..MAX_Z_DEPTH {
+            z = z.child(q((i % 4) as u8));
+        }
+        assert_eq!(z.depth(), MAX_Z_DEPTH);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_Z_DEPTH")]
+    fn over_deep_child_panics() {
+        let mut z = ZId::root();
+        for _ in 0..=MAX_Z_DEPTH {
+            z = z.child(q(0));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_covers_iff_in_descendant_range(path in proptest::collection::vec(0u8..4, 0..12),
+                                               other in proptest::collection::vec(0u8..4, 0..12)) {
+            let mut a = ZId::root();
+            for &i in &path { a = a.child(q(i)); }
+            let mut b = ZId::root();
+            for &i in &other { b = b.child(q(i)); }
+            let (lo, hi) = a.descendant_range();
+            prop_assert_eq!(a.covers(&b), lo <= b && b <= hi);
+        }
+
+        #[test]
+        fn prop_order_consistent_with_cells(ax in 0.0f64..1.0, ay in 0.0f64..1.0,
+                                            bx in 0.0f64..1.0, by in 0.0f64..1.0) {
+            // Equal-depth ids: order is the standard Z-curve order, and equal
+            // ids mean equal cells.
+            let root = unit();
+            let za = ZId::of_point(&root, &Point::new(ax, ay), 8);
+            let zb = ZId::of_point(&root, &Point::new(bx, by), 8);
+            if za == zb {
+                prop_assert_eq!(za.cell(&root), zb.cell(&root));
+            } else {
+                prop_assert!(!za.cell(&root).intersection(&zb.cell(&root))
+                    .map(|r| r.area() > 1e-12).unwrap_or(false));
+            }
+        }
+
+        #[test]
+        fn prop_parent_covers_child(path in proptest::collection::vec(0u8..4, 1..12)) {
+            let mut z = ZId::root();
+            for &i in &path { z = z.child(q(i)); }
+            let p = z.parent().unwrap();
+            prop_assert!(p.covers(&z));
+            prop_assert!(p <= z);
+        }
+    }
+}

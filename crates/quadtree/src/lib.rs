@@ -1,0 +1,387 @@
+//! A capacity-split point quadtree with rectangular range queries.
+//!
+//! This is the "traditional index" the paper's baseline **BL** uses: user
+//! trajectory *points* are indexed individually, and each facility is
+//! evaluated by issuing one range query per stop (a ψ-box around the stop)
+//! and post-processing the candidate users. The TQ-tree crates never use this
+//! structure — it exists so the baseline comparison is faithful.
+//!
+//! The tree is generic over a `Copy` payload `T` (the baseline stores
+//! `(TrajectoryId, point index)` pairs).
+
+#![warn(missing_docs)]
+
+use tq_geometry::{Point, Rect};
+
+/// Default maximum tree depth; beyond this a leaf stops splitting even when
+/// over capacity (protects against many coincident points).
+pub const DEFAULT_MAX_DEPTH: u8 = 24;
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf(Vec<(Point, T)>),
+    Internal(Box<[Node<T>; 4]>),
+}
+
+impl<T: Copy> Node<T> {
+    fn empty_leaf() -> Self {
+        Node::Leaf(Vec::new())
+    }
+}
+
+/// A point quadtree over a fixed bounding rectangle.
+///
+/// Leaves split into four children when they exceed `capacity` entries, up to
+/// `max_depth` levels. Points outside the bounds are clamped onto the
+/// boundary (consistent with [`tq_geometry::ZId::of_point`]).
+#[derive(Debug, Clone)]
+pub struct QuadTree<T> {
+    root: Node<T>,
+    bounds: Rect,
+    capacity: usize,
+    max_depth: u8,
+    len: usize,
+}
+
+impl<T: Copy> QuadTree<T> {
+    /// Creates an empty tree over `bounds` with leaf capacity `capacity`.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(bounds: Rect, capacity: usize) -> Self {
+        Self::with_max_depth(bounds, capacity, DEFAULT_MAX_DEPTH)
+    }
+
+    /// Like [`QuadTree::new`] with an explicit depth limit.
+    pub fn with_max_depth(bounds: Rect, capacity: usize, max_depth: u8) -> Self {
+        assert!(capacity > 0, "leaf capacity must be positive");
+        QuadTree {
+            root: Node::empty_leaf(),
+            bounds,
+            capacity,
+            max_depth,
+            len: 0,
+        }
+    }
+
+    /// Builds a tree from an iterator of `(point, payload)` pairs.
+    pub fn bulk_load<I>(bounds: Rect, capacity: usize, items: I) -> Self
+    where
+        I: IntoIterator<Item = (Point, T)>,
+    {
+        let mut t = Self::new(bounds, capacity);
+        for (p, v) in items {
+            t.insert(p, v);
+        }
+        t
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tree stores no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree's bounding rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Inserts a point with its payload. Out-of-bounds points are clamped.
+    pub fn insert(&mut self, p: Point, value: T) {
+        let p = Point::new(
+            p.x.clamp(self.bounds.min.x, self.bounds.max.x),
+            p.y.clamp(self.bounds.min.y, self.bounds.max.y),
+        );
+        let capacity = self.capacity;
+        let max_depth = self.max_depth;
+        Self::insert_rec(&mut self.root, self.bounds, 0, capacity, max_depth, p, value);
+        self.len += 1;
+    }
+
+    fn insert_rec(
+        node: &mut Node<T>,
+        rect: Rect,
+        depth: u8,
+        capacity: usize,
+        max_depth: u8,
+        p: Point,
+        value: T,
+    ) {
+        match node {
+            Node::Leaf(items) => {
+                items.push((p, value));
+                if items.len() > capacity && depth < max_depth {
+                    let drained = std::mem::take(items);
+                    let mut children = Box::new([
+                        Node::empty_leaf(),
+                        Node::empty_leaf(),
+                        Node::empty_leaf(),
+                        Node::empty_leaf(),
+                    ]);
+                    for (q, v) in drained {
+                        let quad = rect.quadrant_of(&q);
+                        Self::insert_rec(
+                            &mut children[quad.index() as usize],
+                            rect.quadrant(quad),
+                            depth + 1,
+                            capacity,
+                            max_depth,
+                            q,
+                            v,
+                        );
+                    }
+                    *node = Node::Internal(children);
+                }
+            }
+            Node::Internal(children) => {
+                let quad = rect.quadrant_of(&p);
+                Self::insert_rec(
+                    &mut children[quad.index() as usize],
+                    rect.quadrant(quad),
+                    depth + 1,
+                    capacity,
+                    max_depth,
+                    p,
+                    value,
+                );
+            }
+        }
+    }
+
+    /// Visits every stored `(point, payload)` whose point lies in `range`.
+    pub fn range_visit<F: FnMut(Point, T)>(&self, range: &Rect, mut visit: F) {
+        Self::range_rec(&self.root, self.bounds, range, &mut visit);
+    }
+
+    fn range_rec<F: FnMut(Point, T)>(node: &Node<T>, rect: Rect, range: &Rect, visit: &mut F) {
+        if !rect.intersects(range) {
+            return;
+        }
+        match node {
+            Node::Leaf(items) => {
+                if range.contains_rect(&rect) {
+                    for &(p, v) in items {
+                        visit(p, v);
+                    }
+                } else {
+                    for &(p, v) in items {
+                        if range.contains(&p) {
+                            visit(p, v);
+                        }
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                for (i, child) in children.iter().enumerate() {
+                    Self::range_rec(
+                        child,
+                        rect.quadrant(tq_geometry::Quadrant::from_index(i as u8)),
+                        range,
+                        visit,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Collects every payload whose point lies in `range`.
+    pub fn range_query(&self, range: &Rect) -> Vec<T> {
+        let mut out = Vec::new();
+        self.range_visit(range, |_, v| out.push(v));
+        out
+    }
+
+    /// Collects every payload whose point lies within distance `psi` of `c`
+    /// (circular range query — the box query refined by the exact test).
+    pub fn within_query(&self, c: &Point, psi: f64) -> Vec<T> {
+        let box_range = Rect::point(*c).expand(psi);
+        let psi_sq = psi * psi;
+        let mut out = Vec::new();
+        self.range_visit(&box_range, |p, v| {
+            if p.dist_sq(c) <= psi_sq {
+                out.push(v);
+            }
+        });
+        out
+    }
+
+    /// Number of nodes (internal + leaf), for diagnostics.
+    pub fn node_count(&self) -> usize {
+        fn rec<T>(n: &Node<T>) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Internal(c) => 1 + c.iter().map(rec).sum::<usize>(),
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn unit() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut t = QuadTree::new(unit(), 2);
+        assert!(t.is_empty());
+        for i in 0..10 {
+            t.insert(Point::new(i as f64 / 10.0, 0.5), i);
+        }
+        assert_eq!(t.len(), 10);
+        assert!(t.node_count() > 1, "tree should have split");
+    }
+
+    #[test]
+    fn range_query_exact() {
+        let mut t = QuadTree::new(unit(), 4);
+        let pts = [
+            (0.1, 0.1),
+            (0.2, 0.2),
+            (0.9, 0.9),
+            (0.5, 0.5),
+            (0.45, 0.55),
+        ];
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            t.insert(Point::new(x, y), i);
+        }
+        let mut got = t.range_query(&Rect::new(Point::new(0.4, 0.4), Point::new(0.6, 0.6)));
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 4]);
+    }
+
+    #[test]
+    fn within_query_is_circular() {
+        let mut t = QuadTree::new(unit(), 4);
+        t.insert(Point::new(0.5, 0.5), 0u32);
+        t.insert(Point::new(0.6, 0.6), 1);
+        t.insert(Point::new(0.5, 0.65), 2);
+        // Box of radius 0.15 around (0.5,0.5) includes id 1 (corner), circle
+        // does not: dist((0.5,0.5),(0.6,0.6)) ≈ 0.1414 < 0.15 — include it.
+        // Use radius 0.12: box would include both, circle excludes id 1's
+        // diagonal (0.1414 > 0.12) but includes id 2? dist=0.15>0.12. Only 0.
+        let mut got = t.within_query(&Point::new(0.5, 0.5), 0.12);
+        got.sort_unstable();
+        assert_eq!(got, vec![0]);
+        let mut got = t.within_query(&Point::new(0.5, 0.5), 0.1501);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coincident_points_respect_max_depth() {
+        let mut t = QuadTree::with_max_depth(unit(), 1, 4);
+        for i in 0..100 {
+            t.insert(Point::new(0.3, 0.3), i);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(
+            t.range_query(&Rect::point(Point::new(0.3, 0.3)).expand(0.01)).len(),
+            100
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamped() {
+        let mut t = QuadTree::new(unit(), 4);
+        t.insert(Point::new(5.0, 5.0), 7u32);
+        let got = t.range_query(&Rect::new(Point::new(0.9, 0.9), Point::new(1.0, 1.0)));
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let items: Vec<(Point, usize)> = (0..50)
+            .map(|i| (Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0), i))
+            .collect();
+        let t = QuadTree::bulk_load(unit(), 4, items.clone());
+        assert_eq!(t.len(), 50);
+        let all = t.range_query(&unit());
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn randomized_against_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let items: Vec<(Point, u32)> = (0..2000)
+            .map(|i| (Point::new(rng.gen(), rng.gen()), i))
+            .collect();
+        let t = QuadTree::bulk_load(unit(), 8, items.clone());
+        for _ in 0..50 {
+            let a = Point::new(rng.gen(), rng.gen());
+            let b = Point::new(rng.gen(), rng.gen());
+            let range = Rect::new(a, b);
+            let mut got = t.range_query(&range);
+            got.sort_unstable();
+            let mut want: Vec<u32> = items
+                .iter()
+                .filter(|(p, _)| range.contains(p))
+                .map(|&(_, v)| v)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_equals_linear_scan(
+            pts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..200),
+            qx in 0.0f64..1.0, qy in 0.0f64..1.0, qw in 0.0f64..1.0, qh in 0.0f64..1.0,
+        ) {
+            let items: Vec<(Point, usize)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Point::new(x, y), i))
+                .collect();
+            let t = QuadTree::bulk_load(unit(), 4, items.clone());
+            let range = Rect::new(Point::new(qx, qy), Point::new((qx + qw).min(1.0), (qy + qh).min(1.0)));
+            let mut got = t.range_query(&range);
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(p, _)| range.contains(p))
+                .map(|&(_, v)| v)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_within_equals_linear_scan(
+            pts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..200),
+            cx in 0.0f64..1.0, cy in 0.0f64..1.0, r in 0.0f64..0.5,
+        ) {
+            let items: Vec<(Point, usize)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Point::new(x, y), i))
+                .collect();
+            let t = QuadTree::bulk_load(unit(), 4, items.clone());
+            let c = Point::new(cx, cy);
+            let mut got = t.within_query(&c, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(p, _)| p.dist_sq(&c) <= r * r)
+                .map(|&(_, v)| v)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

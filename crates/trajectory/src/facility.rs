@@ -1,0 +1,215 @@
+use serde::{Deserialize, Serialize};
+use tq_geometry::{Point, Rect};
+
+/// Identifier of a facility: its index in the owning [`FacilitySet`].
+pub type FacilityId = u32;
+
+/// A facility trajectory: the ordered stop points of a candidate service
+/// route (bus stops, pick-up/drop-off bays, …).
+///
+/// A user point is *served* by the facility when it lies within the service
+/// threshold `ψ` of at least one stop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Facility {
+    stops: Vec<Point>,
+}
+
+impl Facility {
+    /// Creates a facility from its stops.
+    ///
+    /// # Panics
+    /// Panics when no stops are supplied or any coordinate is non-finite.
+    pub fn new(stops: Vec<Point>) -> Self {
+        assert!(!stops.is_empty(), "a facility needs at least one stop");
+        assert!(
+            stops.iter().all(Point::is_finite),
+            "facility stop coordinates must be finite"
+        );
+        Facility { stops }
+    }
+
+    /// The ordered stop points.
+    #[inline]
+    pub fn stops(&self) -> &[Point] {
+        &self.stops
+    }
+
+    /// Number of stops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Always `false` (≥ 1 stop by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Minimum bounding rectangle of the stops.
+    pub fn mbr(&self) -> Rect {
+        Rect::bounding(self.stops.iter()).expect("non-empty by construction")
+    }
+
+    /// The paper's EMBR: the stop MBR expanded by `psi` on every side. Any
+    /// user point served by this facility lies inside the EMBR.
+    pub fn embr(&self, psi: f64) -> Rect {
+        self.mbr().expand(psi)
+    }
+
+    /// Returns `true` when `p` is within `psi` of some stop.
+    pub fn serves_point(&self, p: &Point, psi: f64) -> bool {
+        let psi_sq = psi * psi;
+        self.stops.iter().any(|s| s.dist_sq(p) <= psi_sq)
+    }
+
+    /// A copy keeping only the first `n` stops (used by the stop-count
+    /// parameter sweeps; keeps at least one stop).
+    pub fn truncated(&self, n: usize) -> Facility {
+        Facility {
+            stops: self.stops[..n.clamp(1, self.stops.len())].to_vec(),
+        }
+    }
+}
+
+/// An indexed collection of candidate facilities.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FacilitySet {
+    facilities: Vec<Facility>,
+}
+
+impl FacilitySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from facilities, assigning ids by position.
+    pub fn from_vec(facilities: Vec<Facility>) -> Self {
+        FacilitySet { facilities }
+    }
+
+    /// Adds a facility, returning its id.
+    pub fn push(&mut self, f: Facility) -> FacilityId {
+        let id = self.facilities.len() as FacilityId;
+        self.facilities.push(f);
+        id
+    }
+
+    /// Number of facilities, `|F|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.facilities.len()
+    }
+
+    /// Returns `true` when the set holds no facilities.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.facilities.is_empty()
+    }
+
+    /// The facility with id `id`.
+    #[inline]
+    pub fn get(&self, id: FacilityId) -> &Facility {
+        &self.facilities[id as usize]
+    }
+
+    /// Iterates `(id, facility)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FacilityId, &Facility)> {
+        self.facilities
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as FacilityId, f))
+    }
+
+    /// All facilities as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Facility] {
+        &self.facilities
+    }
+
+    /// Total number of stops across all facilities.
+    pub fn total_stops(&self) -> usize {
+        self.facilities.iter().map(Facility::len).sum()
+    }
+
+    /// A copy with only the first `n` facilities.
+    pub fn truncated(&self, n: usize) -> FacilitySet {
+        FacilitySet {
+            facilities: self.facilities[..n.min(self.facilities.len())].to_vec(),
+        }
+    }
+
+    /// A copy where every facility keeps only its first `stops` stops.
+    pub fn with_stop_limit(&self, stops: usize) -> FacilitySet {
+        FacilitySet {
+            facilities: self.facilities.iter().map(|f| f.truncated(stops)).collect(),
+        }
+    }
+}
+
+impl std::ops::Index<FacilityId> for FacilitySet {
+    type Output = Facility;
+    #[inline]
+    fn index(&self, id: FacilityId) -> &Facility {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let f = Facility::new(vec![p(0.0, 0.0), p(2.0, 0.0), p(4.0, 0.0)]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.stops()[1], p(2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stop")]
+    fn empty_facility_rejected() {
+        Facility::new(vec![]);
+    }
+
+    #[test]
+    fn embr_expands_mbr() {
+        let f = Facility::new(vec![p(0.0, 0.0), p(4.0, 2.0)]);
+        let e = f.embr(1.0);
+        assert_eq!(e, Rect::new(p(-1.0, -1.0), p(5.0, 3.0)));
+    }
+
+    #[test]
+    fn serves_point_threshold() {
+        let f = Facility::new(vec![p(0.0, 0.0), p(10.0, 0.0)]);
+        assert!(f.serves_point(&p(10.0, 3.0), 3.0));
+        assert!(!f.serves_point(&p(5.0, 0.0), 3.0));
+        assert!(f.serves_point(&p(3.0, 0.0), 3.0)); // inclusive
+    }
+
+    #[test]
+    fn truncated_keeps_at_least_one_stop() {
+        let f = Facility::new(vec![p(0.0, 0.0), p(1.0, 0.0)]);
+        assert_eq!(f.truncated(0).len(), 1);
+        assert_eq!(f.truncated(1).len(), 1);
+        assert_eq!(f.truncated(5).len(), 2);
+    }
+
+    #[test]
+    fn facility_set_operations() {
+        let mut fs = FacilitySet::new();
+        fs.push(Facility::new(vec![p(0.0, 0.0), p(1.0, 0.0)]));
+        fs.push(Facility::new(vec![p(2.0, 0.0), p(3.0, 0.0), p(4.0, 0.0)]));
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.total_stops(), 5);
+        assert_eq!(fs.truncated(1).len(), 1);
+        let limited = fs.with_stop_limit(2);
+        assert_eq!(limited[1].len(), 2);
+        assert_eq!(fs[1].len(), 3); // original untouched
+    }
+}

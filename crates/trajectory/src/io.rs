@@ -1,0 +1,451 @@
+//! Adapters for the paper's real dataset formats.
+//!
+//! The evaluation datasets are public; this environment cannot download
+//! them, but a downstream user can. These parsers turn the original file
+//! formats into [`UserSet`]/[`FacilitySet`] values:
+//!
+//! * [`parse_nyc_taxi_csv`] — NYC TLC yellow-taxi trip records (the 2015-era
+//!   schema with `pickup_longitude` … `dropoff_latitude` columns) → two-point
+//!   trajectories (the paper's NYT);
+//! * [`parse_foursquare_tsv`] — the Foursquare NYC check-in TSV (userId,
+//!   venueId, category id/name, latitude, longitude, tz offset, UTC time) →
+//!   one multipoint trajectory per user per day (the paper's NYF);
+//! * [`parse_geolife_plt`] — a Geolife `.plt` trace file → one multipoint
+//!   trajectory (the paper's BJG);
+//! * [`parse_route_stops_csv`] — a simple `route_id,seq,lat,lon` stop list
+//!   (easily produced from GTFS `stops.txt` + `stop_times.txt`) →
+//!   facilities.
+//!
+//! All coordinates are geographic (WGS-84 degrees) in the sources; the
+//! parsers project them to planar metres with a [`LocalProjection`]
+//! (equirectangular around the data's mid-latitude — at city scale the
+//! distortion is far below the service threshold ψ).
+
+use crate::{Facility, FacilitySet, Trajectory, UserSet};
+use tq_geometry::Point;
+
+/// Errors produced by the dataset parsers.
+#[derive(Debug, PartialEq)]
+pub enum ParseError {
+    /// The header row is missing a required column.
+    MissingColumn(&'static str),
+    /// A data row has too few fields.
+    ShortRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// The input contained no usable records.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingColumn(c) => write!(f, "missing column {c}"),
+            ParseError::ShortRow { line } => write!(f, "line {line}: too few fields"),
+            ParseError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse number from {field:?}")
+            }
+            ParseError::Empty => write!(f, "no usable records in input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An equirectangular lon/lat → metres projection around a reference point.
+///
+/// `x = R·cos(lat₀)·Δlon`, `y = R·Δlat` (radians). Good to ≲0.3% across a
+/// 50 km city, which is negligible against ψ of hundreds of metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    lon0: f64,
+    lat0: f64,
+    k_x: f64,
+    k_y: f64,
+}
+
+const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+impl LocalProjection {
+    /// A projection centred at `(lon0, lat0)` degrees.
+    pub fn new(lon0: f64, lat0: f64) -> LocalProjection {
+        let rad = std::f64::consts::PI / 180.0;
+        LocalProjection {
+            lon0,
+            lat0,
+            k_x: EARTH_RADIUS_M * (lat0 * rad).cos() * rad,
+            k_y: EARTH_RADIUS_M * rad,
+        }
+    }
+
+    /// Projects geographic degrees to planar metres.
+    pub fn project(&self, lon: f64, lat: f64) -> Point {
+        Point::new((lon - self.lon0) * self.k_x, (lat - self.lat0) * self.k_y)
+    }
+
+    /// Inverse projection (metres → degrees), for exporting results.
+    pub fn unproject(&self, p: &Point) -> (f64, f64) {
+        (p.x / self.k_x + self.lon0, p.y / self.k_y + self.lat0)
+    }
+
+    /// A projection centred on the mean of `(lon, lat)` pairs.
+    pub fn centered_on(coords: &[(f64, f64)]) -> Option<LocalProjection> {
+        if coords.is_empty() {
+            return None;
+        }
+        let n = coords.len() as f64;
+        let (sx, sy) = coords
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), (x, y)| (ax + x, ay + y));
+        Some(LocalProjection::new(sx / n, sy / n))
+    }
+}
+
+fn split_csv(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, ParseError> {
+    s.parse::<f64>().map_err(|_| ParseError::BadNumber {
+        line,
+        field: s.to_string(),
+    })
+}
+
+/// Parses NYC TLC yellow-taxi trip records (CSV with a header naming
+/// `pickup_longitude`, `pickup_latitude`, `dropoff_longitude`,
+/// `dropoff_latitude`) into two-point trajectories.
+///
+/// Rows with zeroed or out-of-range coordinates — a known artefact of the
+/// TLC data — are skipped. Returns the trajectories and the projection used
+/// (for mapping results back to geographic space).
+pub fn parse_nyc_taxi_csv(input: &str) -> Result<(UserSet, LocalProjection), ParseError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+    let cols = split_csv(header);
+    let col = |name: &'static str| -> Result<usize, ParseError> {
+        cols.iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or(ParseError::MissingColumn(name))
+    };
+    let (plon, plat) = (col("pickup_longitude")?, col("pickup_latitude")?);
+    let (dlon, dlat) = (col("dropoff_longitude")?, col("dropoff_latitude")?);
+    let need = plon.max(plat).max(dlon).max(dlat) + 1;
+
+    let mut raw = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() < need {
+            return Err(ParseError::ShortRow { line: i + 1 });
+        }
+        let a = (
+            parse_f64(fields[plon], i + 1)?,
+            parse_f64(fields[plat], i + 1)?,
+        );
+        let b = (
+            parse_f64(fields[dlon], i + 1)?,
+            parse_f64(fields[dlat], i + 1)?,
+        );
+        let sane = |(lon, lat): (f64, f64)| {
+            (-180.0..=180.0).contains(&lon) && (-85.0..=85.0).contains(&lat) && lon != 0.0
+        };
+        if sane(a) && sane(b) && a != b {
+            raw.push((a, b));
+        }
+    }
+    if raw.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let all: Vec<(f64, f64)> = raw.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let proj = LocalProjection::centered_on(&all).expect("non-empty");
+    let users = UserSet::from_vec(
+        raw.into_iter()
+            .map(|(a, b)| Trajectory::two_point(proj.project(a.0, a.1), proj.project(b.0, b.1)))
+            .collect(),
+    );
+    Ok((users, proj))
+}
+
+/// Parses the Foursquare NYC check-in TSV (fields: user id, venue id,
+/// category id, category name, latitude, longitude, timezone offset in
+/// minutes, UTC timestamp `EEE MMM dd HH:mm:ss Z yyyy`).
+///
+/// Check-ins are grouped into one trajectory per `(user, local day)`, in
+/// file order (the file is chronologically sorted per user), matching the
+/// paper's "sequence of check-ins in a day" definition. Days with a single
+/// check-in are dropped (a trajectory needs ≥ 2 points).
+pub fn parse_foursquare_tsv(input: &str) -> Result<(UserSet, LocalProjection), ParseError> {
+    // (user, day-key) → points.
+    let mut raw: Vec<((String, String), Vec<(f64, f64)>)> = Vec::new();
+    let mut index: std::collections::HashMap<(String, String), usize> =
+        std::collections::HashMap::new();
+    let mut all = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 8 {
+            return Err(ParseError::ShortRow { line: i + 1 });
+        }
+        let user = fields[0].to_string();
+        let lat = parse_f64(fields[4], i + 1)?;
+        let lon = parse_f64(fields[5], i + 1)?;
+        // Day key from the UTC timestamp: "Tue Apr 03 18:00:09 +0000 2012"
+        // → "Apr 03 2012". (Timezone-exact day splitting would need the
+        // offset; month-day-year granularity matches the paper's intent.)
+        let ts: Vec<&str> = fields[7].split_whitespace().collect();
+        let day = if ts.len() >= 6 {
+            format!("{} {} {}", ts[1], ts[2], ts[5])
+        } else {
+            fields[7].to_string()
+        };
+        all.push((lon, lat));
+        let key = (user, day);
+        match index.get(&key) {
+            Some(&pos) => raw[pos].1.push((lon, lat)),
+            None => {
+                index.insert(key.clone(), raw.len());
+                raw.push((key, vec![(lon, lat)]));
+            }
+        }
+    }
+    let proj = LocalProjection::centered_on(&all).ok_or(ParseError::Empty)?;
+    let users: Vec<Trajectory> = raw
+        .into_iter()
+        .filter(|(_, pts)| pts.len() >= 2)
+        .map(|(_, pts)| {
+            Trajectory::new(
+                pts.into_iter()
+                    .map(|(lon, lat)| proj.project(lon, lat))
+                    .collect(),
+            )
+        })
+        .collect();
+    if users.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok((UserSet::from_vec(users), proj))
+}
+
+/// Parses one Geolife `.plt` trace (6 header lines, then
+/// `lat,lon,0,altitude,days,date,time` records) into a single trajectory,
+/// projected with the supplied projection (so all traces of a dataset share
+/// one frame).
+pub fn parse_geolife_plt(
+    input: &str,
+    proj: &LocalProjection,
+) -> Result<Trajectory, ParseError> {
+    let mut pts = Vec::new();
+    for (i, line) in input.lines().enumerate().skip(6) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() < 2 {
+            return Err(ParseError::ShortRow { line: i + 1 });
+        }
+        let lat = parse_f64(fields[0], i + 1)?;
+        let lon = parse_f64(fields[1], i + 1)?;
+        pts.push(proj.project(lon, lat));
+    }
+    if pts.len() < 2 {
+        return Err(ParseError::Empty);
+    }
+    Ok(Trajectory::new(pts))
+}
+
+/// Parses a route-stop list CSV (`route_id,seq,lat,lon`, header optional)
+/// into facilities, one per distinct `route_id`, stops ordered by `seq`.
+pub fn parse_route_stops_csv(
+    input: &str,
+    proj: &LocalProjection,
+) -> Result<FacilitySet, ParseError> {
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let fields = split_csv(t);
+        if fields.len() < 4 {
+            return Err(ParseError::ShortRow { line: i + 1 });
+        }
+        // Tolerate a header row.
+        if i == 0 && fields[1].parse::<f64>().is_err() {
+            continue;
+        }
+        rows.push((
+            fields[0].to_string(),
+            parse_f64(fields[1], i + 1)?,
+            parse_f64(fields[2], i + 1)?,
+            parse_f64(fields[3], i + 1)?,
+        ));
+    }
+    if rows.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut facilities = Vec::new();
+    let mut current: Option<(String, Vec<Point>)> = None;
+    for (route, _, lat, lon) in rows {
+        let p = proj.project(lon, lat);
+        match &mut current {
+            Some((r, pts)) if *r == route => pts.push(p),
+            _ => {
+                if let Some((_, pts)) = current.take() {
+                    facilities.push(Facility::new(pts));
+                }
+                current = Some((route, vec![p]));
+            }
+        }
+    }
+    if let Some((_, pts)) = current {
+        facilities.push(Facility::new(pts));
+    }
+    Ok(FacilitySet::from_vec(facilities))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_roundtrip_and_scale() {
+        let proj = LocalProjection::new(-73.98, 40.75); // Manhattan
+        let p = proj.project(-73.97, 40.76);
+        // ~843 m east, ~1111 m north for 0.01°.
+        assert!((p.x - 843.0).abs() < 10.0, "x = {}", p.x);
+        assert!((p.y - 1111.0).abs() < 10.0, "y = {}", p.y);
+        let (lon, lat) = proj.unproject(&p);
+        assert!((lon - -73.97).abs() < 1e-9);
+        assert!((lat - 40.76).abs() < 1e-9);
+    }
+
+    const TAXI: &str = "\
+VendorID,pickup_datetime,pickup_longitude,pickup_latitude,dropoff_longitude,dropoff_latitude
+1,2015-01-15 19:05:39,-73.993896,40.750111,-73.974785,40.750618
+2,2015-01-15 19:05:40,0,0,-73.97,40.75
+1,2015-01-15 19:05:41,-73.976425,40.739811,-73.983978,40.757889
+";
+
+    #[test]
+    fn taxi_csv_parses_and_filters_zeros() {
+        let (users, proj) = parse_nyc_taxi_csv(TAXI).unwrap();
+        assert_eq!(users.len(), 2, "zero-coordinate row must be dropped");
+        // First trip is ~1.6 km east-west-ish.
+        let t = users.get(0);
+        assert!(t.length() > 1_000.0 && t.length() < 3_000.0, "{}", t.length());
+        let (lon, _) = proj.unproject(&t.source());
+        assert!((lon - -73.993896).abs() < 1e-6);
+    }
+
+    #[test]
+    fn taxi_csv_missing_column() {
+        let bad = "a,b,c\n1,2,3\n";
+        assert_eq!(
+            parse_nyc_taxi_csv(bad),
+            Err(ParseError::MissingColumn("pickup_longitude"))
+        );
+    }
+
+    #[test]
+    fn taxi_csv_bad_number_reports_line() {
+        let bad = "\
+pickup_longitude,pickup_latitude,dropoff_longitude,dropoff_latitude
+-73.9,40.7,-73.8,oops
+";
+        match parse_nyc_taxi_csv(bad) {
+            Err(ParseError::BadNumber { line, field }) => {
+                assert_eq!(line, 2);
+                assert_eq!(field, "oops");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    const FOURSQUARE: &str = "\
+470\t49bbd6c0f964a520f4531fe3\t4bf58dd8d48988d127951735\tArts\t40.719810\t-74.002581\t-240\tTue Apr 03 18:00:09 +0000 2012
+470\t4a43c0aef964a520c6a61fe3\t4bf58dd8d48988d1df941735\tBridge\t40.606800\t-74.044170\t-240\tTue Apr 03 18:00:25 +0000 2012
+979\t4a43c0aef964a520c6a61fe3\t4bf58dd8d48988d1df941735\tBridge\t40.60\t-74.04\t-240\tTue Apr 03 19:00:25 +0000 2012
+470\t4c5cc7b485a1e21e00d35711\t4bf58dd8d48988d103941735\tHome\t40.716162\t-73.883070\t-240\tWed Apr 04 02:00:00 +0000 2012
+";
+
+    #[test]
+    fn foursquare_groups_by_user_day() {
+        let (users, _) = parse_foursquare_tsv(FOURSQUARE).unwrap();
+        // user 470 Apr 03 has 2 check-ins → one trajectory. user 979 has one
+        // check-in (dropped). user 470 Apr 04 has one (dropped).
+        assert_eq!(users.len(), 1);
+        assert_eq!(users.get(0).len(), 2);
+    }
+
+    const PLT: &str = "\
+Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.984702,116.318417,0,492,39744.1201851852,2008-10-23,02:53:04
+39.984683,116.318450,0,492,39744.1202546296,2008-10-23,02:53:10
+39.984686,116.318417,0,492,39744.1203125,2008-10-23,02:53:15
+";
+
+    #[test]
+    fn geolife_plt_skips_header() {
+        let proj = LocalProjection::new(116.3, 39.98);
+        let t = parse_geolife_plt(PLT, &proj).unwrap();
+        assert_eq!(t.len(), 3);
+        // Points a few metres apart.
+        assert!(t.length() < 50.0);
+    }
+
+    #[test]
+    fn geolife_too_short_is_empty() {
+        let proj = LocalProjection::new(116.3, 39.98);
+        let short = "h\nh\nh\nh\nh\nh\n39.9,116.3,0,0,0,d,t\n";
+        assert_eq!(parse_geolife_plt(short, &proj), Err(ParseError::Empty));
+    }
+
+    const ROUTES: &str = "\
+route_id,seq,lat,lon
+M15,1,40.701,-74.012
+M15,2,40.711,-74.005
+M15,3,40.722,-73.998
+B38,1,40.689,-73.975
+B38,2,40.693,-73.967
+";
+
+    #[test]
+    fn route_stops_grouped_and_ordered() {
+        let proj = LocalProjection::new(-74.0, 40.7);
+        let fs = parse_route_stops_csv(ROUTES, &proj).unwrap();
+        assert_eq!(fs.len(), 2);
+        // Sorted by route id: B38 first.
+        assert_eq!(fs.get(0).len(), 2);
+        assert_eq!(fs.get(1).len(), 3);
+        // M15 stops run south→north (increasing y).
+        let m15 = fs.get(1);
+        assert!(m15.stops().windows(2).all(|w| w[0].y < w[1].y));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let proj = LocalProjection::new(0.0, 0.0);
+        assert_eq!(parse_route_stops_csv("", &proj), Err(ParseError::Empty));
+        assert!(parse_nyc_taxi_csv("").is_err());
+        assert!(parse_foursquare_tsv("").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+use serde::{Deserialize, Serialize};
+use tq_geometry::{Point, Rect};
+
+/// Identifier of a user trajectory: its index in the owning [`UserSet`].
+pub type TrajectoryId = u32;
+
+/// A reference to one segment (consecutive point pair) of a user trajectory.
+///
+/// The segmented TQ-tree variant indexes these instead of whole trajectories;
+/// `seg` is the index of the segment's first point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentRef {
+    /// The owning trajectory.
+    pub traj: TrajectoryId,
+    /// Index of the segment within the trajectory (`0..points.len()-1`).
+    pub seg: u32,
+}
+
+/// A user trajectory: an ordered sequence of visited point locations.
+///
+/// For two-point data (taxi trips) the sequence is `[source, destination]`;
+/// multipoint data (check-ins, GPS traces) may have arbitrarily many points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from its points.
+    ///
+    /// # Panics
+    /// Panics when fewer than two points are supplied or any coordinate is
+    /// non-finite — a trajectory is a movement, not a location.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(points.len() >= 2, "a trajectory needs at least two points");
+        assert!(
+            points.iter().all(Point::is_finite),
+            "trajectory coordinates must be finite"
+        );
+        Trajectory { points }
+    }
+
+    /// Convenience constructor for two-point (source → destination) trips.
+    pub fn two_point(source: Point, destination: Point) -> Self {
+        Trajectory::new(vec![source, destination])
+    }
+
+    /// The ordered points.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points, `|u|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false` (a trajectory has ≥ 2 points); present to satisfy the
+    /// `len`/`is_empty` convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The source (first) point.
+    #[inline]
+    pub fn source(&self) -> Point {
+        self.points[0]
+    }
+
+    /// The destination (last) point.
+    #[inline]
+    pub fn destination(&self) -> Point {
+        *self.points.last().expect("non-empty by construction")
+    }
+
+    /// Number of segments, `|u| - 1`.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// The endpoints of segment `seg`.
+    #[inline]
+    pub fn segment(&self, seg: usize) -> (Point, Point) {
+        (self.points[seg], self.points[seg + 1])
+    }
+
+    /// Length of segment `seg`.
+    #[inline]
+    pub fn segment_length(&self, seg: usize) -> f64 {
+        let (a, b) = self.segment(seg);
+        a.dist(&b)
+    }
+
+    /// Total path length, `length(u)` — the sum of segment lengths.
+    pub fn length(&self) -> f64 {
+        (0..self.num_segments())
+            .map(|s| self.segment_length(s))
+            .sum()
+    }
+
+    /// Minimum bounding rectangle of all points.
+    pub fn mbr(&self) -> Rect {
+        Rect::bounding(self.points.iter()).expect("non-empty by construction")
+    }
+}
+
+/// An indexed collection of user trajectories.
+///
+/// Trajectory ids are dense indices into this set; every index structure in
+/// the workspace refers to trajectories through their [`TrajectoryId`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UserSet {
+    trajectories: Vec<Trajectory>,
+}
+
+impl UserSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from trajectories, assigning ids by position.
+    pub fn from_vec(trajectories: Vec<Trajectory>) -> Self {
+        UserSet { trajectories }
+    }
+
+    /// Adds a trajectory, returning its id.
+    pub fn push(&mut self, t: Trajectory) -> TrajectoryId {
+        let id = self.trajectories.len() as TrajectoryId;
+        self.trajectories.push(t);
+        id
+    }
+
+    /// Number of trajectories, `|U|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Returns `true` when the set holds no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// The trajectory with id `id`.
+    #[inline]
+    pub fn get(&self, id: TrajectoryId) -> &Trajectory {
+        &self.trajectories[id as usize]
+    }
+
+    /// Iterates `(id, trajectory)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TrajectoryId, &Trajectory)> {
+        self.trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TrajectoryId, t))
+    }
+
+    /// All trajectories as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Minimum bounding rectangle of the whole set, or `None` when empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        let mut it = self.trajectories.iter();
+        let mut r = it.next()?.mbr();
+        for t in it {
+            r = r.union(&t.mbr());
+        }
+        Some(r)
+    }
+
+    /// Total number of points across all trajectories.
+    pub fn total_points(&self) -> usize {
+        self.trajectories.iter().map(Trajectory::len).sum()
+    }
+
+    /// Total number of segments across all trajectories
+    /// (`Σ_u |u| - 1`, the storage bound of the segmented TQ-tree).
+    pub fn total_segments(&self) -> usize {
+        self.trajectories.iter().map(Trajectory::num_segments).sum()
+    }
+
+    /// A truncated copy containing only the first `n` trajectories
+    /// (used by the user-count parameter sweeps).
+    pub fn truncated(&self, n: usize) -> UserSet {
+        UserSet {
+            trajectories: self.trajectories[..n.min(self.trajectories.len())].to_vec(),
+        }
+    }
+}
+
+impl std::ops::Index<TrajectoryId> for UserSet {
+    type Output = Trajectory;
+    #[inline]
+    fn index(&self, id: TrajectoryId) -> &Trajectory {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn two_point_accessors() {
+        let t = Trajectory::two_point(p(0.0, 0.0), p(3.0, 4.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.source(), p(0.0, 0.0));
+        assert_eq!(t.destination(), p(3.0, 4.0));
+        assert_eq!(t.length(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        Trajectory::new(vec![p(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        Trajectory::new(vec![p(0.0, 0.0), p(f64::NAN, 1.0)]);
+    }
+
+    #[test]
+    fn multipoint_segments_and_length() {
+        let t = Trajectory::new(vec![p(0.0, 0.0), p(3.0, 4.0), p(3.0, 10.0)]);
+        assert_eq!(t.num_segments(), 2);
+        assert_eq!(t.segment(0), (p(0.0, 0.0), p(3.0, 4.0)));
+        assert_eq!(t.segment(1), (p(3.0, 4.0), p(3.0, 10.0)));
+        assert_eq!(t.length(), 11.0);
+        assert_eq!(t.segment_length(1), 6.0);
+    }
+
+    #[test]
+    fn mbr_covers_all_points() {
+        let t = Trajectory::new(vec![p(1.0, 5.0), p(-2.0, 0.5), p(4.0, 2.0)]);
+        let r = t.mbr();
+        for pt in t.points() {
+            assert!(r.contains(pt));
+        }
+        assert_eq!(r.min, p(-2.0, 0.5));
+        assert_eq!(r.max, p(4.0, 5.0));
+    }
+
+    #[test]
+    fn user_set_ids_are_dense() {
+        let mut u = UserSet::new();
+        assert!(u.is_empty());
+        let a = u.push(Trajectory::two_point(p(0.0, 0.0), p(1.0, 1.0)));
+        let b = u.push(Trajectory::two_point(p(2.0, 2.0), p(3.0, 3.0)));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[b].source(), p(2.0, 2.0));
+        let ids: Vec<_> = u.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn user_set_aggregates() {
+        let u = UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(1.0, 0.0)),
+            Trajectory::new(vec![p(0.0, 1.0), p(1.0, 1.0), p(2.0, 1.0)]),
+        ]);
+        assert_eq!(u.total_points(), 5);
+        assert_eq!(u.total_segments(), 3);
+        let r = u.mbr().unwrap();
+        assert_eq!(r, Rect::new(p(0.0, 0.0), p(2.0, 1.0)));
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let u = UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(1.0, 0.0)),
+            Trajectory::two_point(p(0.0, 1.0), p(1.0, 1.0)),
+            Trajectory::two_point(p(0.0, 2.0), p(1.0, 2.0)),
+        ]);
+        let t = u.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].source(), p(0.0, 1.0));
+        assert_eq!(u.truncated(99).len(), 3);
+    }
+
+    #[test]
+    fn empty_set_mbr_none() {
+        assert!(UserSet::new().mbr().is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Operating the TQ-tree as a long-lived service index: dynamic inserts and
+//! removals, structural statistics, and parallel facility evaluation.
+//!
+//! ```text
+//! cargo run --release --example index_maintenance
+//! ```
+
+use tq::core::maxcov::{greedy, ServedTable};
+use tq::core::tqtree::Placement;
+use tq::prelude::*;
+
+fn main() {
+    let city = CityModel::synthetic(71, 10, 15_000.0);
+    let day1 = taxi_trips(&city, 40_000, 1);
+    let routes = bus_routes(&city, 96, 24, 8_000.0, 2);
+    let model = ServiceModel::new(Scenario::Transit, 250.0);
+    let bounds = city.bounds.expand(1.0);
+
+    // Day 1: bulk build.
+    let mut users = day1.clone();
+    let mut tree = TqTree::build_with_bounds(
+        &users,
+        TqTreeConfig::z_order(Placement::TwoPoint),
+        bounds,
+    );
+    let s = tree.stats();
+    println!(
+        "day 1: {} items | {} nodes ({} leaves), height {} | max list {} | {} z-buckets | {:.1} MiB",
+        s.items,
+        s.nodes,
+        s.leaves,
+        s.height,
+        s.max_list,
+        s.z_buckets,
+        s.memory_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // Day 2: 10k trips arrive, the oldest 10k expire (a sliding window).
+    let day2 = taxi_trips(&city, 10_000, 2);
+    let t = std::time::Instant::now();
+    for (_, traj) in day2.iter() {
+        tree.insert(&mut users, traj.clone()).unwrap();
+    }
+    let insert_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    for id in 0..10_000u32 {
+        tree.remove(&users, id).unwrap();
+    }
+    let remove_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "day 2: +10k/-10k trips in {insert_ms:.0} ms / {remove_ms:.0} ms ({} items indexed)",
+        tree.item_count()
+    );
+
+    // Evaluate all 96 candidate routes in parallel and plan 4 of them.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let t = std::time::Instant::now();
+    let table = ServedTable::build_parallel(&tree, &users, &model, &routes, threads);
+    let par_ms = t.elapsed().as_secs_f64() * 1e3;
+    let plan = greedy(&table, &users, &model, 4);
+    println!(
+        "evaluated {} routes on {threads} threads in {par_ms:.0} ms; \
+         best 4 = {:?} serving {} active commuters",
+        routes.len(),
+        plan.chosen,
+        plan.users_served
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: index taxi trips in a TQ-tree and answer both query types.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tq::prelude::*;
+
+fn main() {
+    // A synthetic 10 km × 10 km city with 8 hotspots, 20k commuter trips
+    // and 64 candidate bus routes of 16 stops each.
+    let city = CityModel::synthetic(7, 8, 10_000.0);
+    let users = taxi_trips(&city, 20_000, 1);
+    let routes = bus_routes(&city, 64, 16, 4_000.0, 2);
+    println!(
+        "city 10×10 km — {} trips, {} candidate routes",
+        users.len(),
+        routes.len()
+    );
+
+    // Build the TQ-tree (two-point placement, z-ordered buckets).
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    println!(
+        "TQ-tree: {} nodes, height {}, {} items, ~{} KiB",
+        tree.node_count(),
+        tree.height(),
+        tree.item_count(),
+        tree.memory_bytes() / 1024
+    );
+
+    // Scenario 1: a commuter rides a route when both endpoints of their trip
+    // are within ψ = 250 m of stops.
+    let model = ServiceModel::new(Scenario::Transit, 250.0);
+
+    // kMaxRRST: the 5 individually best routes.
+    let top = top_k_facilities(&tree, &users, &model, &routes, 5);
+    println!("\nkMaxRRST — top 5 routes by riders served:");
+    for (rank, (id, value)) in top.ranked.iter().enumerate() {
+        println!("  #{:<2} route {:>3}  serves {:>6.0} riders", rank + 1, id, value);
+    }
+    println!(
+        "  (explored with {} state relaxations, {} items tested)",
+        top.relaxations, top.stats.items_tested
+    );
+
+    // MaxkCovRST: the best *pair* of routes serving the most riders jointly.
+    let cover = two_step_greedy(&tree, &users, &model, &routes, 2, None);
+    println!(
+        "\nMaxkCovRST — best pair {:?} jointly serves {} riders",
+        cover.chosen, cover.users_served
+    );
+    assert!(
+        cover.value >= top.ranked[0].1 - 1e-9,
+        "a pair always covers at least the best single route"
+    );
+}

@@ -1,0 +1,58 @@
+//! # tq — trajectory coverage queries over a TQ-tree
+//!
+//! A Rust implementation of *"The Maximum Trajectory Coverage Query in
+//! Spatial Databases"* (Ali, Abdullah, Eusuf, Choudhury, Culpepper, Sellis —
+//! 2018): the **TQ-tree** index and the **kMaxRRST** / **MaxkCovRST**
+//! queries, plus the paper's baselines and synthetic stand-ins for its
+//! datasets.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`geometry`] — points, rectangles, adaptive Z-order ids;
+//! * [`trajectory`] — user trajectories, facilities, dataset containers;
+//! * [`quadtree`] — the traditional point quadtree behind the baseline;
+//! * [`core`] — the TQ-tree, service evaluation, top-k and coverage solvers;
+//! * [`baseline`] — the paper's BL / G-BL reference methods;
+//! * [`datagen`] — seeded NYT/NYF/BJG-like workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tq::prelude::*;
+//!
+//! // A small synthetic city with taxi trips and candidate bus routes.
+//! let city = CityModel::synthetic(7, 8, 10_000.0);
+//! let users = taxi_trips(&city, 2_000, 1);
+//! let routes = bus_routes(&city, 32, 12, 3_000.0, 2);
+//!
+//! // Index the trips in a TQ-tree and ask for the 4 best routes.
+//! let tree = TqTree::build(&users, TqTreeConfig::default());
+//! let model = ServiceModel::new(Scenario::Transit, 200.0);
+//! let top = top_k_facilities(&tree, &users, &model, &routes, 4);
+//! assert_eq!(top.ranked.len(), 4);
+//!
+//! // And for the best pair of routes that jointly serve the most users.
+//! let cover = two_step_greedy(&tree, &users, &model, &routes, 2, None);
+//! assert!(cover.value >= top.ranked[0].1 - 1e-9);
+//! ```
+
+pub use tq_baseline as baseline;
+pub use tq_core as core;
+pub use tq_datagen as datagen;
+pub use tq_geometry as geometry;
+pub use tq_quadtree as quadtree;
+pub use tq_trajectory as trajectory;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use tq_baseline::BaselineIndex;
+    pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
+    pub use tq_core::{
+        evaluate_masks, evaluate_service, top_k_facilities, Placement, PointMask, Scenario,
+        ServiceModel, Storage, TqTree, TqTreeConfig,
+    };
+    pub use tq_datagen::presets;
+    pub use tq_datagen::{bus_routes, checkins, gps_traces, taxi_trips, CityModel};
+    pub use tq_geometry::{Point, Rect, ZId};
+    pub use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+}

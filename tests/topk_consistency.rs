@@ -1,0 +1,124 @@
+//! kMaxRRST consistency across all three methods and against exhaustive
+//! evaluation, plus best-first-specific guarantees.
+
+use tq::baseline::BaselineIndex;
+use tq::core::tqtree::{Placement, Storage, TqTreeConfig};
+use tq::core::{brute_force_value, top_k_facilities};
+use tq::prelude::*;
+
+fn setup() -> (UserSet, FacilitySet, ServiceModel) {
+    let c = CityModel::synthetic(202, 9, 9_000.0);
+    let users = taxi_trips(&c, 4_000, 11);
+    let routes = bus_routes(&c, 40, 12, 3_500.0, 12);
+    (users, routes, ServiceModel::new(Scenario::Transit, 200.0))
+}
+
+#[test]
+fn all_methods_return_identical_topk_values() {
+    let (users, routes, model) = setup();
+    let bl = BaselineIndex::build(&users);
+    let want: Vec<f64> = bl
+        .top_k(&users, &model, &routes, 10)
+        .ranked
+        .iter()
+        .map(|(_, v)| *v)
+        .collect();
+    for storage in [Storage::Basic, Storage::ZOrder] {
+        let tree = TqTree::build(
+            &users,
+            TqTreeConfig {
+                beta: 32,
+                storage,
+                placement: Placement::TwoPoint,
+                max_depth: 14,
+            },
+        );
+        let got: Vec<f64> = top_k_facilities(&tree, &users, &model, &routes, 10)
+            .ranked
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{storage:?}: {g} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn topk_values_match_per_facility_oracle() {
+    let (users, routes, model) = setup();
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    let out = top_k_facilities(&tree, &users, &model, &routes, 5);
+    for (id, v) in &out.ranked {
+        let oracle = brute_force_value(&users, &model, routes.get(*id));
+        assert!((v - oracle).abs() < 1e-9, "facility {id}");
+    }
+    // No facility outside the top-k may beat the k-th value.
+    let kth = out.ranked.last().unwrap().1;
+    for (id, f) in routes.iter() {
+        if !out.ranked.iter().any(|(rid, _)| *rid == id) {
+            assert!(
+                brute_force_value(&users, &model, f) <= kth + 1e-9,
+                "facility {id} should have been in the top-k"
+            );
+        }
+    }
+}
+
+#[test]
+fn topk_across_scenarios_and_placements() {
+    let c = CityModel::synthetic(203, 8, 8_000.0);
+    let users = checkins(&c, 1_500, 21);
+    let routes = bus_routes(&c, 16, 10, 3_000.0, 22);
+    for placement in [Placement::Segmented, Placement::FullTrajectory] {
+        for scenario in Scenario::ALL {
+            let model = ServiceModel::new(scenario, 220.0);
+            let tree = TqTree::build(
+                &users,
+                TqTreeConfig::z_order(placement).with_beta(16),
+            );
+            let got = top_k_facilities(&tree, &users, &model, &routes, 4);
+            let mut want: Vec<f64> = routes
+                .iter()
+                .map(|(_, f)| brute_force_value(&users, &model, f))
+                .collect();
+            want.sort_by(|a, b| b.total_cmp(a));
+            for (i, (_, v)) in got.ranked.iter().enumerate() {
+                assert!(
+                    (v - want[i]).abs() < 1e-9,
+                    "{placement:?}/{scenario:?} rank {i}: {v} vs {}",
+                    want[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inserts_keep_queries_exact() {
+    // Build from a prefix, insert the rest dynamically, and verify the
+    // incremental index answers exactly like a bulk-built one.
+    let c = CityModel::synthetic(204, 8, 8_000.0);
+    let all = taxi_trips(&c, 3_000, 31);
+    let routes = bus_routes(&c, 12, 10, 3_000.0, 32);
+    let model = ServiceModel::new(Scenario::Transit, 200.0);
+
+    let mut users = all.truncated(2_000);
+    let mut tree = TqTree::build_with_bounds(
+        &users,
+        TqTreeConfig::default().with_beta(16),
+        all.mbr().unwrap().expand(1.0),
+    );
+    for (_, t) in all.iter().skip(2_000) {
+        tree.insert(&mut users, t.clone()).unwrap();
+    }
+    tree.validate(&users).unwrap();
+
+    let bulk = TqTree::build(&all, TqTreeConfig::default().with_beta(16));
+    let got = top_k_facilities(&tree, &users, &model, &routes, 6);
+    let want = top_k_facilities(&bulk, &all, &model, &routes, 6);
+    for ((_, g), (_, w)) in got.ranked.iter().zip(&want.ranked) {
+        assert!((g - w).abs() < 1e-9);
+    }
+}
