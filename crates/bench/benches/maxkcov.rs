@@ -1,9 +1,14 @@
-//! Criterion bench behind Fig 10: the MaxkCovRST solver family.
+//! Criterion bench behind Fig 10: the MaxkCovRST solver family — plus the
+//! serial-vs-parallel candidate-evaluation comparison (the dominant cost of
+//! every solver is the `ServedTable` build, which fans out per-facility).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
 use tq_bench::data;
 use tq_bench::methods::{build_indexes, Method};
-use tq_core::maxcov::two_step_greedy;
+use tq_core::maxcov::{two_step_greedy, ServedTable};
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::Placement;
 
@@ -30,5 +35,58 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
+fn bench_parallel_table(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Transit, data::defaults::PSI);
+    let users = data::nyt(40_000);
+    let facilities = data::ny_routes(128, data::defaults::STOPS);
+    let idx = build_indexes(&users, Placement::TwoPoint, data::defaults::BETA);
+
+    // Criterion drives all measurement; the closures additionally record
+    // their own wall-clock samples so the speedup line below reuses the
+    // same runs instead of measuring the configurations twice.
+    let samples: Mutex<HashMap<usize, Vec<f64>>> = Mutex::new(HashMap::new());
+    let mut group = c.benchmark_group("maxkcov_parallel_table");
+    group.sample_size(9);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{threads}t")),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let start = Instant::now();
+                    let table =
+                        ServedTable::build_parallel(&idx.tq_z, &users, &model, &facilities, t);
+                    samples
+                        .lock()
+                        .expect("sample sink poisoned")
+                        .entry(t)
+                        .or_default()
+                        .push(start.elapsed().as_secs_f64());
+                    table
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let samples = samples.into_inner().expect("sample sink poisoned");
+    let median = |t: usize| -> Option<f64> {
+        let mut v = samples.get(&t)?.clone();
+        v.sort_by(f64::total_cmp);
+        (!v.is_empty()).then(|| v[v.len() / 2])
+    };
+    // Absent under `cargo bench ... -- <filter>` that excludes a config.
+    if let (Some(serial), Some(parallel)) = (median(1), median(4)) {
+        println!(
+            "\nparallel-path speedup (ServedTable build, 128 facilities, 4 threads, \
+             {} cores): {:.2}x  (serial {:.3}s → parallel {:.3}s)",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            serial / parallel,
+            serial,
+            parallel,
+        );
+    }
+}
+
+criterion_group!(benches, bench_solvers, bench_parallel_table);
 criterion_main!(benches);

@@ -5,12 +5,12 @@
 //! `tq-trajectory` snapshot format) so repeated invocations pay once.
 //! Reduced-scale sets are generated on the fly. Everything is deterministic,
 //! so the cache is purely an accelerator. Dataset builds for a sweep fan out
-//! across threads with `crossbeam`; the cache map is guarded by
-//! `parking_lot`.
+//! across `std::thread::scope` threads; the cache map is guarded by a
+//! `std::sync::Mutex`.
 
 use crate::Scale;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use tq_datagen::presets;
@@ -51,7 +51,7 @@ fn user_cache() -> &'static UserCache {
 
 /// Loads (or generates + snapshots) a user set by key.
 fn cached_users(key: String, generate: impl FnOnce() -> UserSet) -> std::sync::Arc<UserSet> {
-    if let Some(hit) = user_cache().lock().get(&key) {
+    if let Some(hit) = user_cache().lock().expect("cache poisoned").get(&key) {
         return hit.clone();
     }
     let path = cache_dir().join(format!("{key}.tqd"));
@@ -72,7 +72,10 @@ fn cached_users(key: String, generate: impl FnOnce() -> UserSet) -> std::sync::A
         }
     };
     let arc = std::sync::Arc::new(users);
-    user_cache().lock().insert(key, arc.clone());
+    user_cache()
+        .lock()
+        .expect("cache poisoned")
+        .insert(key, arc.clone());
     arc
 }
 
@@ -96,10 +99,10 @@ pub fn bjg(n: usize) -> std::sync::Arc<UserSet> {
 pub fn nyt_sweep(scale: Scale) -> Vec<(String, std::sync::Arc<UserSet>)> {
     // Fan the generation out: each size is independent.
     let sizes: Vec<usize> = presets::NYT_SIZES.iter().map(|&s| scale.users(s)).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = sizes
             .iter()
-            .map(|&n| scope.spawn(move |_| nyt(n)))
+            .map(|&n| scope.spawn(move || nyt(n)))
             .collect();
         handles
             .into_iter()
@@ -107,7 +110,6 @@ pub fn nyt_sweep(scale: Scale) -> Vec<(String, std::sync::Arc<UserSet>)> {
             .map(|(h, label)| (label.to_string(), h.join().expect("generation panicked")))
             .collect()
     })
-    .expect("crossbeam scope")
 }
 
 /// NY-like bus routes (`n` routes × `stops` stops).

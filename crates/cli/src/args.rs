@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 /// Parsed command-line arguments: positionals plus `--key value` flags.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Args {
     positional: Vec<String>,
     flags: HashMap<String, String>,
@@ -152,11 +152,5 @@ mod tests {
     fn required_flag() {
         let a = Args::parse(v(&[]), &["out"]).unwrap();
         assert_eq!(a.required("out"), Err(ArgError::Required("out")));
-    }
-}
-
-impl PartialEq for Args {
-    fn eq(&self, other: &Self) -> bool {
-        self.positional == other.positional && self.flags == other.flags
     }
 }

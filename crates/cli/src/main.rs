@@ -33,10 +33,13 @@ COMMANDS
   stats        dataset and index statistics    FILE [--beta B]
   topk         kMaxRRST                        FILE --k K --psi METRES
                [--scenario transit|points|length] [--placement two-point|segmented|full]
-               [--method tq-z|tq-b|bl]
+               [--method tq-z|tq-b|bl] [--threads N]
   maxcov       MaxkCovRST                      FILE --k K --psi METRES
-               [--method greedy|two-step|genetic|exact]
+               [--method greedy|two-step|genetic|exact] [--threads N]
   help         this text
+
+Evaluation fans out across --threads worker threads (0 = one per core,
+the default); results are identical at any thread count.
 ";
 
 fn main() {
@@ -192,7 +195,10 @@ fn cmd_stats(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_topk(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["k", "psi", "scenario", "placement", "method", "beta"])?;
+    let a = Args::parse(
+        raw,
+        &["k", "psi", "scenario", "placement", "method", "beta", "threads"],
+    )?;
     let [path] = a.positional() else {
         return Err("topk needs one dataset file".into());
     };
@@ -202,6 +208,7 @@ fn cmd_topk(raw: Vec<String>) -> CliResult {
     let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
     let beta: usize = a.get_or("beta", 64, "integer")?;
     let method = a.get("method").unwrap_or("tq-z");
+    tq_core::set_threads(a.get_or("threads", 0, "integer")?);
     let (users, facilities) = load(path)?;
     let model = ServiceModel::new(scenario, psi);
 
@@ -233,7 +240,7 @@ fn cmd_topk(raw: Vec<String>) -> CliResult {
 fn cmd_maxcov(raw: Vec<String>) -> CliResult {
     let a = Args::parse(
         raw,
-        &["k", "psi", "scenario", "placement", "method", "beta", "k-prime"],
+        &["k", "psi", "scenario", "placement", "method", "beta", "k-prime", "threads"],
     )?;
     let [path] = a.positional() else {
         return Err("maxcov needs one dataset file".into());
@@ -244,6 +251,7 @@ fn cmd_maxcov(raw: Vec<String>) -> CliResult {
     let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
     let beta: usize = a.get_or("beta", 64, "integer")?;
     let method = a.get("method").unwrap_or("two-step");
+    tq_core::set_threads(a.get_or("threads", 0, "integer")?);
     let (users, facilities) = load(path)?;
     let model = ServiceModel::new(scenario, psi);
     let tree = TqTree::build(&users, TqTreeConfig::z_order(placement).with_beta(beta));

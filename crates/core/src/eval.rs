@@ -66,6 +66,9 @@ pub struct EvalStats {
     pub items_pruned: usize,
     /// Exact point-to-stop distance comparisons.
     pub distance_checks: usize,
+    /// Facility evaluations dispatched as parallel tasks (0 on the serial
+    /// path; see [`crate::parallel`]).
+    pub parallel_tasks: usize,
 }
 
 impl EvalStats {
@@ -75,6 +78,7 @@ impl EvalStats {
         self.items_tested += other.items_tested;
         self.items_pruned += other.items_pruned;
         self.distance_checks += other.distance_checks;
+        self.parallel_tasks += other.parallel_tasks;
     }
 }
 
@@ -592,6 +596,7 @@ mod tests {
             items_tested: 2,
             items_pruned: 3,
             distance_checks: 4,
+            parallel_tasks: 0,
         };
         let b = a;
         a.add(&b);

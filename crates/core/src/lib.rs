@@ -26,6 +26,7 @@
 pub mod eval;
 pub mod fasthash;
 pub mod maxcov;
+pub mod parallel;
 pub mod service;
 pub mod topk;
 pub mod tqtree;
@@ -34,6 +35,7 @@ pub use eval::{
     brute_force_masks, brute_force_value, evaluate_masks, evaluate_service, EvalOutcome,
     EvalStats, FacilityComponent,
 };
+pub use parallel::{current_threads, par_evaluate_candidates, set_threads};
 pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
 pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};
 pub use topk::{top_k_facilities, TopKOutcome};

@@ -8,6 +8,7 @@
 //! the [`ServedTable`] masks. Deterministic under a fixed seed.
 
 use super::{Coverage, CovOutcome, ServedTable};
+use crate::parallel;
 use crate::service::ServiceModel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -125,13 +126,19 @@ pub fn genetic(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let pop_size = cfg.population.max(2);
 
-    let mut population: Vec<(Chromosome, f64)> = (0..pop_size)
-        .map(|_| {
-            let c = random_subset(&mut rng, n, k);
-            let f = fitness(table, users, model, &c);
-            (c, f)
-        })
+    // Chromosome generation consumes the RNG sequentially (determinism);
+    // fitness evaluation is pure and fans out across threads. The split
+    // leaves the RNG stream — and therefore the whole run — bit-identical
+    // to a fully serial execution.
+    let evaluate = |chroms: Vec<Chromosome>| -> Vec<(Chromosome, f64)> {
+        let fits = parallel::par_map(&chroms, |c| fitness(table, users, model, c));
+        chroms.into_iter().zip(fits).collect()
+    };
+
+    let initial: Vec<Chromosome> = (0..pop_size)
+        .map(|_| random_subset(&mut rng, n, k))
         .collect();
+    let mut population: Vec<(Chromosome, f64)> = evaluate(initial);
 
     let tournament = |rng: &mut StdRng, pop: &[(Chromosome, f64)]| -> Chromosome {
         let mut best: Option<&(Chromosome, f64)> = None;
@@ -146,19 +153,22 @@ pub fn genetic(
 
     for _ in 0..cfg.generations {
         population.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let mut next: Vec<(Chromosome, f64)> = population
+        let elites: Vec<(Chromosome, f64)> = population
             .iter()
             .take(cfg.elitism.min(pop_size))
             .cloned()
             .collect();
-        while next.len() < pop_size {
-            let pa = tournament(&mut rng, &population);
-            let pb = tournament(&mut rng, &population);
-            let mut child = crossover(&mut rng, &pa, &pb, n);
-            mutate(&mut rng, &mut child, n, cfg.mutation_rate);
-            let f = fitness(table, users, model, &child);
-            next.push((child, f));
-        }
+        let children: Vec<Chromosome> = (elites.len()..pop_size)
+            .map(|_| {
+                let pa = tournament(&mut rng, &population);
+                let pb = tournament(&mut rng, &population);
+                let mut child = crossover(&mut rng, &pa, &pb, n);
+                mutate(&mut rng, &mut child, n, cfg.mutation_rate);
+                child
+            })
+            .collect();
+        let mut next = elites;
+        next.extend(evaluate(children));
         population = next;
     }
     population.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -8,6 +8,7 @@
 //! practical accelerator.
 
 use super::{Coverage, CovOutcome, ServedTable};
+use crate::parallel;
 use crate::service::ServiceModel;
 use crate::topk::top_k_facilities;
 use crate::tqtree::TqTree;
@@ -16,7 +17,11 @@ use tq_trajectory::{FacilitySet, UserSet};
 /// Greedy over a pre-built [`ServedTable`]. Selects `k` facilities (or all,
 /// when fewer candidates exist), each maximizing the marginal combined gain.
 ///
-/// Ties break toward the lower facility id for determinism.
+/// Each round's marginal gains are computed in parallel (one pure
+/// `Coverage::marginal` per remaining candidate); the winner is then picked
+/// by a serial scan of the ordered gain vector, so the selection — ties
+/// break toward the lower facility id — is identical to the sequential
+/// algorithm regardless of thread count.
 pub fn greedy(
     table: &ServedTable,
     users: &UserSet,
@@ -27,16 +32,16 @@ pub fn greedy(
     let mut chosen = Vec::with_capacity(k.min(table.len()));
     let mut used = vec![false; table.len()];
     for _ in 0..k.min(table.len()) {
+        // No lazy-greedy shortcut here: under the non-submodular service
+        // function a facility's marginal gain may exceed its individual
+        // value (paper Lemma 1), so every candidate must be re-evaluated
+        // each round.
+        let remaining: Vec<usize> = (0..table.len()).filter(|&i| !used[i]).collect();
+        let gains = parallel::par_map(&remaining, |&i| {
+            cov.marginal(users, model, &table.masks[i])
+        });
         let mut best: Option<(usize, f64)> = None;
-        for (i, &in_use) in used.iter().enumerate() {
-            if in_use {
-                continue;
-            }
-            // No lazy-greedy shortcut here: under the non-submodular
-            // service function a facility's marginal gain may exceed its
-            // individual value (paper Lemma 1), so every candidate must be
-            // re-evaluated each round.
-            let gain = cov.marginal(users, model, &table.masks[i]);
+        for (&i, &gain) in remaining.iter().zip(&gains) {
             match best {
                 Some((bi, bg)) => {
                     if gain > bg + 1e-12

@@ -26,8 +26,9 @@ pub mod exact;
 pub mod genetic;
 pub mod greedy;
 
-use crate::eval::{evaluate_masks, EvalStats};
+use crate::eval::EvalStats;
 use crate::fasthash::FxHashMap;
+use crate::parallel;
 use crate::service::{PointMask, ServiceModel};
 use crate::tqtree::TqTree;
 use tq_trajectory::{FacilityId, FacilitySet, TrajectoryId, UserSet};
@@ -67,6 +68,11 @@ impl ServedTable {
 
     /// Evaluates only the given candidate ids (the two-step greedy's second
     /// phase).
+    ///
+    /// The per-candidate evaluations fan out across threads through
+    /// [`crate::parallel::par_evaluate_candidates`]; the resulting table is
+    /// bit-identical to a sequential build (ordered reduction, pure
+    /// per-facility work).
     pub fn build_for(
         tree: &TqTree,
         users: &UserSet,
@@ -74,11 +80,12 @@ impl ServedTable {
         facilities: &FacilitySet,
         candidates: &[FacilityId],
     ) -> ServedTable {
+        let outcomes =
+            parallel::par_evaluate_candidates(tree, users, model, facilities, candidates, true);
         let mut masks = Vec::with_capacity(candidates.len());
         let mut values = Vec::with_capacity(candidates.len());
         let mut stats = EvalStats::default();
-        for &fid in candidates {
-            let out = evaluate_masks(tree, users, model, facilities.get(fid));
+        for out in outcomes {
             stats.add(&out.stats);
             values.push(out.value);
             masks.push(out.masks);
@@ -91,9 +98,8 @@ impl ServedTable {
         }
     }
 
-    /// Parallel variant of [`ServedTable::build`]: facilities are
-    /// independent, so evaluation fans out over `threads` OS threads
-    /// (`std::thread::scope`; no extra dependencies). Results are identical
+    /// [`ServedTable::build`] with an explicit thread count (`1` forces the
+    /// serial path, `0` means one thread per core). Results are identical
     /// to the sequential build — order, values and masks.
     pub fn build_parallel(
         tree: &TqTree,
@@ -102,49 +108,7 @@ impl ServedTable {
         facilities: &FacilitySet,
         threads: usize,
     ) -> ServedTable {
-        let ids: Vec<FacilityId> = facilities.iter().map(|(id, _)| id).collect();
-        let threads = threads.max(1).min(ids.len().max(1));
-        if threads <= 1 || ids.len() <= 1 {
-            return Self::build(tree, users, model, facilities);
-        }
-        let chunk = ids.len().div_ceil(threads);
-        type EvalTriple = (f64, FxHashMap<TrajectoryId, PointMask>, EvalStats);
-        let results: Vec<Vec<EvalTriple>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = ids
-                    .chunks(chunk)
-                    .map(|chunk_ids| {
-                        scope.spawn(move || {
-                            chunk_ids
-                                .iter()
-                                .map(|&fid| {
-                                    let out =
-                                        evaluate_masks(tree, users, model, facilities.get(fid));
-                                    (out.value, out.masks, out.stats)
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("evaluation thread panicked"))
-                    .collect()
-            });
-        let mut values = Vec::with_capacity(ids.len());
-        let mut masks = Vec::with_capacity(ids.len());
-        let mut stats = EvalStats::default();
-        for (v, m, s) in results.into_iter().flatten() {
-            values.push(v);
-            masks.push(m);
-            stats.add(&s);
-        }
-        ServedTable {
-            ids,
-            masks,
-            values,
-            stats,
-        }
+        parallel::with_threads(threads, || Self::build(tree, users, model, facilities))
     }
 
     /// Builds a table from externally computed masks (used by the baseline

@@ -16,12 +16,13 @@
 //! ancestors provably cannot be served — see DESIGN.md §5).
 
 use crate::eval::{EvalCtx, EvalState, EvalStats, FacilityComponent};
+use crate::parallel;
 use crate::service::{Scenario, ServiceModel};
 use crate::tqtree::{NodeId, Placement, TqTree, ROOT};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use tq_geometry::{Point, Rect};
-use tq_trajectory::{FacilityId, FacilitySet, UserSet};
+use tq_trajectory::{Facility, FacilityId, FacilitySet, UserSet};
 
 /// Result of a kMaxRRST query.
 #[derive(Debug, Clone)]
@@ -98,73 +99,22 @@ pub fn top_k_facilities(
     let skip_ancestor_lists = model.scenario == Scenario::Transit
         && tree.config().placement == Placement::TwoPoint;
 
-    let mut states: Vec<State> = Vec::with_capacity(facilities.len());
+    // Per-facility initialization (tree descent + bound accumulation) is
+    // independent work over shared immutable state: fan it out. The heap is
+    // then filled sequentially from the ordered state vector, so exploration
+    // order — and with it the result — is identical to a serial run.
+    let entries: Vec<(FacilityId, &Facility)> = facilities.iter().collect();
+    let mut states: Vec<State> = parallel::par_map(&entries, |&(fid, f)| {
+        init_state(tree, model, skip_ancestor_lists, fid, f)
+    });
     let mut heap: BinaryHeap<HeapKey> = BinaryHeap::with_capacity(facilities.len());
-
-    for (fid, f) in facilities.iter() {
-        let mut state = State {
-            fid,
-            frontier: Vec::new(),
-            hserve: 0.0,
-            eval: EvalState::default(),
-        };
-        let root_comp = FacilityComponent::restrict(f.stops(), &tree.bounds(), model.psi);
-        if !root_comp.is_empty() {
-            let embr = f.embr(model.psi);
-            let mut cur = ROOT;
-            let mut stops = root_comp.stops;
-            // Descend while the EMBR fits strictly inside one existing child.
-            loop {
-                let node = tree.node(cur);
-                let next = node.children.iter().enumerate().find_map(|(qi, c)| {
-                    let crect = node.rect.quadrant(tq_geometry::Quadrant::from_index(qi as u8));
-                    rect_contains_strict(&crect, &embr).then_some((qi, *c))
-                });
-                match next {
-                    Some((_, maybe_child)) => {
-                        // Straddling-ancestor skipping is only sound for
-                        // *internal* nodes: their own lists hold inter-node
-                        // items whose endpoints sit in different children,
-                        // so an EMBR strictly inside one child cannot serve
-                        // both. A leaf's intra-node items carry no such
-                        // guarantee and must always be evaluated.
-                        let skip = skip_ancestor_lists && !node.is_leaf();
-                        if !node.list.is_empty() && !skip {
-                            state.hserve += model.bound_of(&node.own);
-                            state
-                                .frontier
-                                .push((EntryKind::ListOnly, cur, stops.clone()));
-                        }
-                        match maybe_child {
-                            Some(child) => {
-                                let crect = tree.node(child).rect;
-                                let comp =
-                                    FacilityComponent::restrict(&stops, &crect, model.psi);
-                                if comp.is_empty() {
-                                    break;
-                                }
-                                stops = comp.stops;
-                                cur = child;
-                            }
-                            // Quadrant exists geometrically but holds no
-                            // data: nothing below to explore.
-                            None => break,
-                        }
-                    }
-                    None => {
-                        // EMBR straddles children (or leaf): anchor the
-                        // whole subtree here.
-                        state.hserve += model.bound_of(&node.sub);
-                        state.frontier.push((EntryKind::Subtree, cur, stops));
-                        break;
-                    }
-                }
-            }
-        }
+    for (idx, state) in states.iter().enumerate() {
         let fserve = state.eval.value + state.hserve;
-        let idx = states.len() as u32;
-        heap.push(HeapKey { fserve, idx, fid });
-        states.push(state);
+        heap.push(HeapKey {
+            fserve,
+            idx: idx as u32,
+            fid: state.fid,
+        });
     }
 
     let mut ranked = Vec::with_capacity(k.min(facilities.len()));
@@ -205,6 +155,79 @@ pub fn top_k_facilities(
         stats,
         relaxations,
     }
+}
+
+/// Builds one facility's initial exploration state: descends from the root
+/// while the facility's EMBR fits strictly inside a single child (the
+/// paper's `containingQNode`), deferring ancestor lists as cheap list-only
+/// frontier entries.
+fn init_state(
+    tree: &TqTree,
+    model: &ServiceModel,
+    skip_ancestor_lists: bool,
+    fid: FacilityId,
+    f: &Facility,
+) -> State {
+    let mut state = State {
+        fid,
+        frontier: Vec::new(),
+        hserve: 0.0,
+        eval: EvalState::default(),
+    };
+    let root_comp = FacilityComponent::restrict(f.stops(), &tree.bounds(), model.psi);
+    if root_comp.is_empty() {
+        return state;
+    }
+    let embr = f.embr(model.psi);
+    let mut cur = ROOT;
+    let mut stops = root_comp.stops;
+    // Descend while the EMBR fits strictly inside one existing child.
+    loop {
+        let node = tree.node(cur);
+        let next = node.children.iter().enumerate().find_map(|(qi, c)| {
+            let crect = node.rect.quadrant(tq_geometry::Quadrant::from_index(qi as u8));
+            rect_contains_strict(&crect, &embr).then_some((qi, *c))
+        });
+        match next {
+            Some((_, maybe_child)) => {
+                // Straddling-ancestor skipping is only sound for
+                // *internal* nodes: their own lists hold inter-node
+                // items whose endpoints sit in different children,
+                // so an EMBR strictly inside one child cannot serve
+                // both. A leaf's intra-node items carry no such
+                // guarantee and must always be evaluated.
+                let skip = skip_ancestor_lists && !node.is_leaf();
+                if !node.list.is_empty() && !skip {
+                    state.hserve += model.bound_of(&node.own);
+                    state
+                        .frontier
+                        .push((EntryKind::ListOnly, cur, stops.clone()));
+                }
+                match maybe_child {
+                    Some(child) => {
+                        let crect = tree.node(child).rect;
+                        let comp = FacilityComponent::restrict(&stops, &crect, model.psi);
+                        if comp.is_empty() {
+                            break;
+                        }
+                        stops = comp.stops;
+                        cur = child;
+                    }
+                    // Quadrant exists geometrically but holds no
+                    // data: nothing below to explore.
+                    None => break,
+                }
+            }
+            None => {
+                // EMBR straddles children (or leaf): anchor the
+                // whole subtree here.
+                state.hserve += model.bound_of(&node.sub);
+                state.frontier.push((EntryKind::Subtree, cur, stops));
+                break;
+            }
+        }
+    }
+    state
 }
 
 /// One relaxation step (paper Algorithm 4): evaluates every frontier node's

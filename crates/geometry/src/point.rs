@@ -1,11 +1,10 @@
-use serde::{Deserialize, Serialize};
 
 /// A point in the plane.
 ///
 /// Coordinates are `f64`; the crate assumes a planar (projected) coordinate
 /// system so Euclidean distance is meaningful, matching the paper's use of a
 /// distance threshold `ψ` in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,

@@ -1,5 +1,4 @@
 use crate::Point;
-use serde::{Deserialize, Serialize};
 
 /// One of the four child quadrants of a [`Rect`], in Z-curve order.
 ///
@@ -48,7 +47,7 @@ impl Quadrant {
 /// `Rect` doubles as a minimum bounding rectangle (MBR) and — once expanded by
 /// the service threshold `ψ` via [`Rect::expand`] — as the paper's *extended*
 /// MBR (EMBR) that over-approximates the region a facility can serve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Lower-left corner.
     pub min: Point,

@@ -1,5 +1,4 @@
 use crate::{Point, Quadrant, Rect};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum refinement depth of a [`ZId`] (quadrant levels below the root).
@@ -31,7 +30,7 @@ pub const MAX_Z_DEPTH: u8 = 31;
 /// alignment makes the natural integer order of `path` agree with Z-curve
 /// order, with `depth` breaking ties so an ancestor sorts immediately before
 /// its descendants.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ZId {
     path: u64,
     depth: u8,
@@ -306,7 +305,7 @@ mod tests {
     fn max_depth_supported() {
         let mut z = ZId::root();
         for i in 0..MAX_Z_DEPTH {
-            z = z.child(q((i % 4) as u8));
+            z = z.child(q(i % 4));
         }
         assert_eq!(z.depth(), MAX_Z_DEPTH);
     }

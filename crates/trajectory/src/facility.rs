@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use tq_geometry::{Point, Rect};
 
 /// Identifier of a facility: its index in the owning [`FacilitySet`].
@@ -9,7 +8,7 @@ pub type FacilityId = u32;
 ///
 /// A user point is *served* by the facility when it lies within the service
 /// threshold `ψ` of at least one stop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Facility {
     stops: Vec<Point>,
 }
@@ -73,7 +72,7 @@ impl Facility {
 }
 
 /// An indexed collection of candidate facilities.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FacilitySet {
     facilities: Vec<Facility>,
 }

@@ -187,7 +187,8 @@ pub fn parse_nyc_taxi_csv(input: &str) -> Result<(UserSet, LocalProjection), Par
 /// check-in are dropped (a trajectory needs ≥ 2 points).
 pub fn parse_foursquare_tsv(input: &str) -> Result<(UserSet, LocalProjection), ParseError> {
     // (user, day-key) → points.
-    let mut raw: Vec<((String, String), Vec<(f64, f64)>)> = Vec::new();
+    type DayGroup = ((String, String), Vec<(f64, f64)>);
+    let mut raw: Vec<DayGroup> = Vec::new();
     let mut index: std::collections::HashMap<(String, String), usize> =
         std::collections::HashMap::new();
     let mut all = Vec::new();

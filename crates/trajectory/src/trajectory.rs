@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use tq_geometry::{Point, Rect};
 
 /// Identifier of a user trajectory: its index in the owning [`UserSet`].
@@ -8,7 +7,7 @@ pub type TrajectoryId = u32;
 ///
 /// The segmented TQ-tree variant indexes these instead of whole trajectories;
 /// `seg` is the index of the segment's first point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SegmentRef {
     /// The owning trajectory.
     pub traj: TrajectoryId,
@@ -20,7 +19,7 @@ pub struct SegmentRef {
 ///
 /// For two-point data (taxi trips) the sequence is `[source, destination]`;
 /// multipoint data (check-ins, GPS traces) may have arbitrarily many points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     points: Vec<Point>,
 }
@@ -112,7 +111,7 @@ impl Trajectory {
 ///
 /// Trajectory ids are dense indices into this set; every index structure in
 /// the workspace refers to trajectories through their [`TrajectoryId`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UserSet {
     trajectories: Vec<Trajectory>,
 }

@@ -1,0 +1,105 @@
+//! Serial-vs-parallel equivalence: the `parallel` feature must be a pure
+//! accelerator. For any thread count, candidate evaluation, top-k search
+//! and the MaxkCovRST solvers must return **bit-identical** results —
+//! identical `PointMask`s, identical f64 service values, identical
+//! rankings and chosen sets — on seeded `datagen` workloads.
+
+use proptest::prelude::*;
+use tq::core::maxcov::{genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
+use tq::core::parallel::with_threads;
+use tq::prelude::*;
+
+fn workload(
+    seed: u64,
+    n_users: usize,
+    n_fac: usize,
+    scenario: Scenario,
+) -> (UserSet, FacilitySet, ServiceModel, TqTree) {
+    let city = CityModel::synthetic(40 + seed, 6, 8_000.0);
+    let users = taxi_trips(&city, n_users, seed);
+    let routes = bus_routes(&city, n_fac, 10, 2_500.0, seed ^ 0xFACE);
+    let model = ServiceModel::new(scenario, 250.0);
+    let tree = TqTree::build(&users, TqTreeConfig::default());
+    (users, routes, model, tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `ServedTable` builds: identical ids, bit-identical values and
+    /// served-point masks at every thread count.
+    #[test]
+    fn parallel_table_bit_identical(seed in 0u64..500, scenario_i in 0u8..3) {
+        let scenario = Scenario::ALL[scenario_i as usize];
+        let (users, routes, model, tree) = workload(seed, 600, 24, scenario);
+        let serial = ServedTable::build_parallel(&tree, &users, &model, &routes, 1);
+        for threads in [2usize, 4, 8] {
+            let par = ServedTable::build_parallel(&tree, &users, &model, &routes, threads);
+            prop_assert_eq!(&par.ids, &serial.ids, "ids at {} threads", threads);
+            prop_assert_eq!(&par.values, &serial.values, "values at {} threads", threads);
+            prop_assert_eq!(&par.masks, &serial.masks, "masks at {} threads", threads);
+        }
+    }
+
+    /// kMaxRRST: identical top-k rankings (ids and exact f64 values).
+    #[test]
+    fn parallel_topk_identical_rankings(seed in 0u64..500, k in 1usize..8) {
+        let (users, routes, model, tree) = workload(seed, 600, 32, Scenario::Transit);
+        let serial = with_threads(1, || top_k_facilities(&tree, &users, &model, &routes, k));
+        for threads in [2usize, 4] {
+            let par = with_threads(threads, || {
+                top_k_facilities(&tree, &users, &model, &routes, k)
+            });
+            prop_assert_eq!(&par.ranked, &serial.ranked, "ranking at {} threads", threads);
+        }
+    }
+
+    /// Greedy, two-step greedy and the genetic solver: identical chosen
+    /// sets and combined values at every thread count.
+    #[test]
+    fn parallel_solvers_identical(seed in 0u64..300, k in 1usize..5) {
+        let (users, routes, model, tree) = workload(seed, 500, 20, Scenario::Transit);
+        let table = ServedTable::build(&tree, &users, &model, &routes);
+        let gcfg = GeneticConfig::default();
+
+        let g1 = with_threads(1, || greedy(&table, &users, &model, k));
+        let t1 = with_threads(1, || two_step_greedy(&tree, &users, &model, &routes, k, None));
+        let n1 = with_threads(1, || genetic(&table, &users, &model, k, &gcfg));
+        for threads in [2usize, 4] {
+            let g = with_threads(threads, || greedy(&table, &users, &model, k));
+            prop_assert_eq!(&g.chosen, &g1.chosen, "greedy chosen at {} threads", threads);
+            prop_assert_eq!(g.value, g1.value, "greedy value at {} threads", threads);
+
+            let t = with_threads(threads, || {
+                two_step_greedy(&tree, &users, &model, &routes, k, None)
+            });
+            prop_assert_eq!(&t.chosen, &t1.chosen, "two-step chosen at {} threads", threads);
+            prop_assert_eq!(t.value, t1.value, "two-step value at {} threads", threads);
+
+            let n = with_threads(threads, || genetic(&table, &users, &model, k, &gcfg));
+            prop_assert_eq!(&n.chosen, &n1.chosen, "genetic chosen at {} threads", threads);
+            prop_assert_eq!(n.value, n1.value, "genetic value at {} threads", threads);
+        }
+    }
+}
+
+/// Non-property smoke check that the parallel path actually fans out when
+/// allowed to (guards against a silently-serial "parallel" build).
+#[test]
+fn parallel_tasks_counter_reports_fanout() {
+    let (users, routes, model, tree) = workload_default();
+    let par = with_threads(4, || ServedTable::build(&tree, &users, &model, &routes));
+    if cfg!(feature = "parallel") {
+        assert_eq!(
+            par.stats.parallel_tasks,
+            routes.len(),
+            "every candidate evaluation should have been dispatched as a parallel task"
+        );
+    } else {
+        assert_eq!(par.stats.parallel_tasks, 0);
+    }
+}
+
+fn workload_default() -> (UserSet, FacilitySet, ServiceModel, TqTree) {
+    workload(7, 400, 16, Scenario::Transit)
+}

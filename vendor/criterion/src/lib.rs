@@ -1,0 +1,238 @@
+//! Offline shim of the `criterion` API surface this workspace uses.
+//!
+//! Provides real wall-clock measurement with warmup, per-sample timing and
+//! a `min / mean / max` report per benchmark — without upstream criterion's
+//! statistical machinery (outlier analysis, plots, regression baselines).
+//! The numbers are honest medians of repeated runs and are good enough to
+//! compare methods and read speedups; they are not publication-grade
+//! confidence intervals.
+//!
+//! Benches run with `harness = false` exactly like upstream:
+//! [`criterion_group!`] collects bench functions, [`criterion_main!`]
+//! produces `main`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Warmup budget before sampling starts.
+const WARMUP: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_bench(&id.to_string(), DEFAULT_SAMPLE_SIZE, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input (criterion's
+    /// `bench_with_input`).
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Workload hints (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: warmup, then `sample_size` timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup until the budget is spent (at least one call).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let max = *b.samples.last().expect("non-empty");
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{label:<48} time: [{} {} {}] (median {}, {} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        fmt_duration(median),
+        b.samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Identifies one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Bundles bench functions into one runner, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produces `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); accept
+            // and ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 3, "closure must have run warmup + samples");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

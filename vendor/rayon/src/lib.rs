@@ -1,0 +1,327 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! Supports ordered data-parallel mapping over slices:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`, plus thread-count control
+//! through [`ThreadPoolBuilder`] (`build_global` and scoped
+//! [`ThreadPool::install`]).
+//!
+//! Unlike upstream rayon there is no work-stealing pool: each `collect`
+//! splits the input into one contiguous chunk per thread and runs them on
+//! `std::thread::scope` threads. For the coarse per-facility tasks this
+//! workspace parallelizes (each item is thousands of distance tests) the
+//! scheduling difference is noise, and the ordered chunk concatenation makes
+//! results position-for-position identical to the serial path by
+//! construction.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count override: 0 = automatic (available parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations fan out to on this thread: an
+/// [`ThreadPool::install`] override if active, else the global setting, else
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (the shim never fails;
+/// upstream rayon fails on double initialization, the shim re-configures).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the shim's thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with automatic thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Applies the thread count globally. Unlike upstream, calling this more
+    /// than once simply re-configures.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds a scoped pool handle for [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override handle.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count active for parallel
+    /// operations started on the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// This pool's thread count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The traits parallel call sites import.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion of `&collection` into a parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element reference type.
+        type Item: Send + 'a;
+        /// The iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// A parallel iterator over references.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParSliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParSliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    /// Ordered parallel operations (the shim supports `map` + `collect`).
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Maps every element through `f`, preserving order.
+        fn map<R, F>(self, f: F) -> ParMap<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            ParMap { inner: self, f }
+        }
+
+        /// Executes the pipeline, collecting ordered results.
+        fn collect<C: FromOrderedResults<Self::Item>>(self) -> C;
+
+        /// Runs the pipeline eagerly and returns the ordered results.
+        /// (Implementation detail shared by all adaptors.)
+        fn run(self) -> Vec<Self::Item>;
+    }
+
+    /// Collections buildable from the ordered result vector.
+    pub trait FromOrderedResults<T> {
+        /// Builds the collection.
+        fn from_ordered(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromOrderedResults<T> for Vec<T> {
+        fn from_ordered(v: Vec<T>) -> Vec<T> {
+            v
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    pub struct ParSliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn collect<C: FromOrderedResults<Self::Item>>(self) -> C {
+            C::from_ordered(self.run())
+        }
+
+        fn run(self) -> Vec<&'a T> {
+            self.slice.iter().collect()
+        }
+    }
+
+    /// Mapped parallel iterator; the map closure runs on worker threads.
+    pub struct ParMap<I, F> {
+        inner: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for ParMap<I, F>
+    where
+        I: ParallelIterator,
+        I::Item: Send,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn collect<C: FromOrderedResults<R>>(self) -> C {
+            C::from_ordered(self.run())
+        }
+
+        fn run(self) -> Vec<R> {
+            // Materializing the upstream items is cheap (for slices they are
+            // references); the map closure is where the work lives, and it
+            // fans out below.
+            let mid = self.inner.run();
+            par_map_slice_owned(mid, &self.f)
+        }
+    }
+
+    /// Ordered parallel map consuming a vector of owned items: one
+    /// contiguous chunk per thread, results concatenated in input order.
+    pub(crate) fn par_map_slice_owned<T: Send, R: Send>(
+        items: Vec<T>,
+        f: &(impl Fn(T) -> R + Sync),
+    ) -> Vec<R> {
+        let n = items.len();
+        let threads = current_num_threads().clamp(1, n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("rayon-shim worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_map_collect_matches_serial() {
+        let data: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = data.iter().map(|x| x * 3 + 1).collect();
+        let parallel: Vec<u64> = data.par_iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn chained_maps_preserve_order() {
+        let data: Vec<i64> = (0..257).collect();
+        let out: Vec<String> = data
+            .par_iter()
+            .map(|x| x * 2)
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out[0], "v0");
+        assert_eq!(out[256], "v512");
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside, "override must not leak");
+    }
+
+    #[test]
+    fn build_global_reconfigures() {
+        // Serialized by Rust's test harness only per-test; keep this the one
+        // test touching the global.
+        ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+        assert_eq!(current_num_threads(), 2);
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
