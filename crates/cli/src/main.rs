@@ -6,6 +6,7 @@
 //! tq stats   city.tqd
 //! tq topk    city.tqd --k 8 --psi 200 --scenario transit
 //! tq maxcov  city.tqd --k 4 --psi 200 --method two-step
+//! tq stream  --kind nyt --users 20000 --events 2000 --batch 200 --k 8
 //! ```
 //!
 //! Datasets travel as `.tqd` snapshot files (`tq-trajectory::snapshot`).
@@ -14,10 +15,12 @@ mod args;
 
 use args::Args;
 use tq_baseline::BaselineIndex;
+use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update};
 use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
 use tq_core::top_k_facilities;
+use tq_datagen::{StreamEvent, StreamKind};
 use tq_trajectory::{snapshot, FacilitySet, UserSet};
 
 const USAGE: &str = "\
@@ -36,10 +39,16 @@ COMMANDS
                [--method tq-z|tq-b|bl] [--threads N]
   maxcov       MaxkCovRST                      FILE --k K --psi METRES
                [--method greedy|two-step|genetic|exact] [--threads N]
+  stream       dynamic workload: batched arrivals/expiries with incremental
+               index + answer maintenance      --kind nyt|nyf|bjg --users N
+               [--events N --batch B --expire R --routes N --stops S --k K
+                --psi METRES --scenario S --placement P --beta B --seed S
+                --threads N --verify true]
   help         this text
 
 Evaluation fans out across --threads worker threads (0 = one per core,
 the default); results are identical at any thread count.
+See docs/GUIDE.md for worked examples of every command.
 ";
 
 fn main() {
@@ -52,11 +61,16 @@ fn main() {
         "stats" => cmd_stats(rest),
         "topk" => cmd_topk(rest),
         "maxcov" => cmd_maxcov(rest),
+        "stream" => cmd_stream(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `tq help`").into()),
+        other => {
+            // Unknown commands get the full synopsis, not just an error.
+            eprint!("{USAGE}");
+            Err(format!("unknown command {other:?}").into())
+        }
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
@@ -233,6 +247,152 @@ fn cmd_topk(raw: Vec<String>) -> CliResult {
     println!("kMaxRRST top-{k} ({method}, {scenario:?}, ψ={psi}) in {secs:.3}s:");
     for (rank, (id, value)) in ranked.iter().enumerate() {
         println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+    }
+    Ok(())
+}
+
+fn cmd_stream(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(
+        raw,
+        &[
+            "kind", "users", "events", "batch", "expire", "routes", "stops", "k", "psi",
+            "scenario", "placement", "beta", "seed", "threads", "verify",
+        ],
+    )?;
+    let kind_name = a.get("kind").unwrap_or("nyt");
+    let users_n: usize = a.get_or("users", 20_000, "integer")?;
+    let events_n: usize = a.get_or("events", 2_000, "integer")?;
+    let batch: usize = a.get_or("batch", 200, "integer")?;
+    let expire: f64 = a.get_or("expire", 0.5, "number")?;
+    let routes_n: usize = a.get_or("routes", 128, "integer")?;
+    let stops: usize = a.get_or("stops", 16, "integer")?;
+    let k: usize = a.get_or("k", 8, "integer")?;
+    let psi: f64 = a.get_or("psi", tq_datagen::presets::DEFAULT_PSI, "number")?;
+    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
+    // Multipoint kinds default to the placement that sees all their points
+    // (two-point placement would evaluate trace endpoints only).
+    let default_placement = match a.get("kind").unwrap_or("nyt") {
+        "nyf" => "segmented",
+        "bjg" => "full",
+        _ => "two-point",
+    };
+    let placement = placement_of(a.get("placement").unwrap_or(default_placement))?;
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let seed: u64 = a.get_or("seed", 1, "integer")?;
+    let verify: bool = a.get_or("verify", false, "boolean")?;
+    tq_core::set_threads(a.get_or("threads", 0, "integer")?);
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&expire) {
+        return Err("--expire must be between 0 and 1".into());
+    }
+
+    let (city, kind) = match kind_name {
+        "nyt" => (tq_datagen::presets::ny_city(), StreamKind::Taxi),
+        "nyf" => (tq_datagen::presets::ny_city(), StreamKind::Checkins),
+        "bjg" => (tq_datagen::presets::bj_city(), StreamKind::Gps),
+        other => return Err(format!("unknown kind {other:?} (nyt|nyf|bjg)").into()),
+    };
+    let scenario_trace = tq_datagen::stream_scenario(&city, kind, users_n, events_n, expire, seed);
+    let facilities = tq_datagen::bus_routes(
+        &city,
+        routes_n,
+        stops,
+        tq_datagen::presets::ROUTE_LENGTH,
+        seed ^ 0xB05,
+    );
+    let model = ServiceModel::new(scenario, psi);
+    let config = DynamicConfig {
+        tree: TqTreeConfig::z_order(placement).with_beta(beta),
+        ..DynamicConfig::default()
+    };
+    println!(
+        "stream: {} initial {kind_name} trajectories, {} events ({} arrivals / {} expiries), \
+         batches of {batch}, {} routes × {stops} stops",
+        scenario_trace.initial.len(),
+        scenario_trace.events.len(),
+        scenario_trace.arrivals(),
+        scenario_trace.expiries(),
+        facilities.len(),
+    );
+    let t = std::time::Instant::now();
+    let mut engine = DynamicEngine::new(
+        scenario_trace.initial,
+        facilities.clone(),
+        model,
+        config,
+        scenario_trace.bounds,
+    );
+    println!("build:  index + initial evaluation in {:.3}s", t.elapsed().as_secs_f64());
+
+    let mut apply_secs = 0.0f64;
+    for (i, chunk) in scenario_trace.events.chunks(batch).enumerate() {
+        let updates: Vec<Update> = chunk
+            .iter()
+            .map(|e| match e {
+                StreamEvent::Arrive(t) => Update::Insert(t.clone()),
+                StreamEvent::Expire(id) => Update::Remove(*id),
+            })
+            .collect();
+        let t = std::time::Instant::now();
+        let out = engine.apply(&updates)?;
+        let secs = t.elapsed().as_secs_f64();
+        apply_secs += secs;
+        println!(
+            "batch {:>3}: {:>4} events in {:>7.1}ms | {} live | facilities: \
+             {} untouched, {} patched, {} reevaluated",
+            i + 1,
+            chunk.len(),
+            secs * 1e3,
+            engine.live_users(),
+            out.untouched,
+            out.patched,
+            out.reevaluated,
+        );
+    }
+    let s = engine.stats();
+    println!(
+        "totals: {} batches ({} inserts, {} removes) in {apply_secs:.3}s incremental",
+        s.batches, s.inserts, s.removes
+    );
+    println!(
+        "        rebuild-every-batch would evaluate {} facilities; the engine fully \
+         re-evaluated {} ({:.1}% skipped, {:.1}% untouched outright)",
+        s.rebuild_evaluations(),
+        s.facilities_reevaluated,
+        100.0 * s.skipped_fraction(),
+        100.0 * s.untouched_fraction(),
+    );
+    println!("kMaxRRST top-{k} ({scenario:?}, ψ={psi}) over the final live set:");
+    for (rank, (id, value)) in engine.top_k(k).iter().enumerate() {
+        println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+    }
+
+    if verify {
+        let t = std::time::Instant::now();
+        let live = engine.live_set();
+        let tree = TqTree::build_with_bounds(&live, config.tree, scenario_trace.bounds);
+        let fresh = top_k_facilities(&tree, &live, &model, &facilities, k);
+        let fresh_secs = t.elapsed().as_secs_f64();
+        let got = engine.top_k(k);
+        let ok = got.len() == fresh.ranked.len()
+            && got
+                .iter()
+                .zip(&fresh.ranked)
+                .all(|((_, gv), (_, fv))| gv.to_bits() == fv.to_bits());
+        if ok {
+            println!(
+                "verify: OK — top-{k} bit-identical to a fresh build+query \
+                 (rebuild took {fresh_secs:.3}s)"
+            );
+        } else {
+            return Err(format!(
+                "verify FAILED: incremental {got:?} vs fresh {:?}",
+                fresh.ranked
+            )
+            .into());
+        }
     }
     Ok(())
 }

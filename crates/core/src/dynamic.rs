@@ -1,0 +1,869 @@
+//! Dynamic-workload engine: incremental index *and* query-result
+//! maintenance under streaming trajectory arrivals and expiries.
+//!
+//! The paper presents the TQ-tree as an updatable index (§III-C discusses
+//! insertion alongside the bulk `constructTQtree`), but its experiments are
+//! static: build once, query once. Real trajectory traffic — taxi trips
+//! arriving and aging out of a sliding window — is a stream of updates with
+//! queries interleaved. [`DynamicEngine`] makes that workload first-class:
+//!
+//! * it owns a [`TqTree`] + [`UserSet`] pair and applies batched
+//!   [`Update::Insert`] / [`Update::Remove`] events through the incremental
+//!   insert/remove machinery of [`crate::tqtree`] (no index rebuilds);
+//! * it keeps the answers of both query families — kMaxRRST top-k (paper
+//!   Algorithms 3/4) and the greedy MaxkCovRST solvers (§V) — correct after
+//!   every batch by maintaining the per-facility served-point masks (the
+//!   [`ServedTable`] state every solver consumes) *incrementally*;
+//! * [`UpdateStats`] proves how much work the incremental path avoided
+//!   compared to re-evaluating every facility from scratch each batch.
+//!
+//! # The invalidation rule
+//!
+//! A facility's cached masks can only change when some updated trajectory
+//! has a point within ψ of one of its stops; every such point lies inside
+//! the facility's ψ-expanded bounding rectangle (the paper's EMBR). So per
+//! batch, a facility whose EMBR is disjoint from the MBR of **every**
+//! inserted/removed trajectory is *untouched* — zero work. A touched
+//! facility is *patched*: only the delta trajectories are tested against
+//! its stops (masks are independent per trajectory, so a patch is exact,
+//! not an approximation). When a batch touches a facility with more deltas
+//! than [`DynamicConfig::rebuild_fraction`] of the live set, patching would
+//! approach the cost of a fresh evaluation, so the engine falls back to a
+//! *targeted rebuild* of just that facility's cache through the TQ-tree
+//! ([`crate::eval::evaluate_masks`]) — fanned out across threads via
+//! [`crate::parallel`] together with all other rebuilds of the batch.
+//!
+//! # Bit-identity
+//!
+//! After any event sequence the engine's answers are **bit-identical** to
+//! building a fresh index over the live trajectories and querying it. Two
+//! properties make this exact rather than approximate:
+//!
+//! 1. masks are pure geometry — a point is served iff it lies within ψ of a
+//!    stop — so patched masks equal freshly evaluated ones bit-for-bit;
+//! 2. every value this crate reports is summed in the canonical
+//!    ascending-trajectory-id order ([`crate::eval::canonical_value`]), so
+//!    content-equal mask states yield identical floats no matter which
+//!    history produced them. (`tests/dynamic_equivalence.rs` asserts this
+//!    after every batch of seeded event traces.)
+//!
+//! # Example
+//!
+//! ```
+//! use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update};
+//! use tq_core::service::{Scenario, ServiceModel};
+//! use tq_geometry::{Point, Rect};
+//! use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+//!
+//! let p = |x: f64, y: f64| Point::new(x, y);
+//! let users = UserSet::from_vec(vec![
+//!     Trajectory::two_point(p(10.0, 10.0), p(20.0, 10.0)),
+//!     Trajectory::two_point(p(80.0, 80.0), p(90.0, 80.0)),
+//! ]);
+//! let routes = FacilitySet::from_vec(vec![
+//!     Facility::new(vec![p(10.0, 11.0), p(20.0, 11.0)]), // serves user 0
+//!     Facility::new(vec![p(80.0, 81.0), p(90.0, 81.0)]), // serves user 1
+//! ]);
+//! let model = ServiceModel::new(Scenario::Transit, 2.0);
+//! let bounds = Rect::new(p(0.0, 0.0), p(100.0, 100.0));
+//! let mut engine =
+//!     DynamicEngine::new(users, routes, model, DynamicConfig::default(), bounds);
+//!
+//! // Both routes serve one user each.
+//! assert_eq!(engine.top_k(2), vec![(0, 1.0), (1, 1.0)]);
+//!
+//! // A second commuter arrives near route 0; the batch never touches
+//! // route 1, so its cached result is reused as-is.
+//! let batch = vec![Update::Insert(Trajectory::two_point(
+//!     p(10.5, 10.0),
+//!     p(19.5, 10.0),
+//! ))];
+//! engine.apply(&batch).unwrap();
+//! assert_eq!(engine.top_k(2), vec![(0, 2.0), (1, 1.0)]);
+//! assert_eq!(engine.stats().facilities_untouched, 1);
+//! ```
+//!
+//! Expiring a trajectory is just as cheap — the engine drops its mask
+//! entries and the index items, no facility re-evaluation needed:
+//!
+//! ```
+//! use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update};
+//! use tq_core::service::{Scenario, ServiceModel};
+//! use tq_geometry::{Point, Rect};
+//! use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+//!
+//! let p = |x: f64, y: f64| Point::new(x, y);
+//! let users = UserSet::from_vec(vec![
+//!     Trajectory::two_point(p(5.0, 5.0), p(6.0, 5.0)),
+//!     Trajectory::two_point(p(5.5, 5.0), p(6.5, 5.0)),
+//! ]);
+//! let routes =
+//!     FacilitySet::from_vec(vec![Facility::new(vec![p(5.0, 5.5), p(6.5, 5.5)])]);
+//! let model = ServiceModel::new(Scenario::Transit, 1.0);
+//! let bounds = Rect::new(p(0.0, 0.0), p(10.0, 10.0));
+//! let mut engine =
+//!     DynamicEngine::new(users, routes, model, DynamicConfig::default(), bounds);
+//! assert_eq!(engine.value_of(0), 2.0);
+//!
+//! engine.apply(&[Update::Remove(0)]).unwrap();
+//! assert_eq!(engine.value_of(0), 1.0);
+//! assert_eq!(engine.live_users(), 1);
+//! // Removing the same trajectory twice is an error, and rejected batches
+//! // leave the engine untouched.
+//! assert!(engine.apply(&[Update::Remove(0)]).is_err());
+//! assert_eq!(engine.live_users(), 1);
+//! ```
+
+use crate::eval::canonical_value;
+use crate::maxcov::{greedy, CovOutcome, ServedTable};
+use crate::parallel;
+use crate::service::{PointMask, ServiceModel};
+use crate::tqtree::{Placement, TqTree, TqTreeConfig};
+use tq_geometry::Rect;
+use tq_trajectory::{Facility, FacilityId, FacilitySet, Trajectory, TrajectoryId, UserSet};
+
+/// One event of a dynamic trajectory workload.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// A new trajectory arrives and must be indexed. The engine assigns the
+    /// next dense [`TrajectoryId`].
+    Insert(Trajectory),
+    /// The trajectory with this id expires: it is unindexed and stops
+    /// contributing to every query answer. Ids are never reused; the
+    /// trajectory stays in the [`UserSet`] as an id-stable tombstone.
+    Remove(TrajectoryId),
+}
+
+/// Errors rejected by [`DynamicEngine::apply`]. A rejected batch is applied
+/// not at all (all-or-nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An inserted trajectory has points outside the engine's fixed bounds.
+    OutOfBounds {
+        /// Index of the offending event within the batch.
+        index: usize,
+    },
+    /// A removal names an id that is not live at that point of the batch
+    /// (never inserted, or already removed).
+    NotLive {
+        /// Index of the offending event within the batch.
+        index: usize,
+        /// The id the event named.
+        id: TrajectoryId,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::OutOfBounds { index } => {
+                write!(f, "event {index}: trajectory outside the engine bounds")
+            }
+            UpdateError::NotLive { index, id } => {
+                write!(f, "event {index}: trajectory {id} is not live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Work counters accumulated across every applied batch, proving how much
+/// facility evaluation the incremental path avoided versus rebuilding.
+///
+/// A rebuild-from-scratch strategy performs `|F|` full facility evaluations
+/// per batch. The engine instead classifies each facility per batch as
+/// *untouched* (EMBR disjoint from every delta — zero work), *patched*
+/// (only the delta trajectories tested against its stops) or *reevaluated*
+/// (targeted full rebuild of its cache through the tree).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Batches applied.
+    pub batches: u64,
+    /// Trajectories inserted.
+    pub inserts: u64,
+    /// Trajectories removed.
+    pub removes: u64,
+    /// Facility×batch pairs with zero work (EMBR disjoint from all deltas).
+    pub facilities_untouched: u64,
+    /// Facility×batch pairs updated by delta patching only.
+    pub facilities_patched: u64,
+    /// Facility×batch pairs fully re-evaluated through the TQ-tree.
+    pub facilities_reevaluated: u64,
+    /// Exact point-vs-stop mask computations performed while patching
+    /// (one per relevant (facility, inserted trajectory) pair).
+    pub patch_evaluations: u64,
+}
+
+impl UpdateStats {
+    /// Accumulates `other` into `self` (e.g. across engine generations in a
+    /// long-running benchmark).
+    pub fn add(&mut self, other: &UpdateStats) {
+        self.batches += other.batches;
+        self.inserts += other.inserts;
+        self.removes += other.removes;
+        self.facilities_untouched += other.facilities_untouched;
+        self.facilities_patched += other.facilities_patched;
+        self.facilities_reevaluated += other.facilities_reevaluated;
+        self.patch_evaluations += other.patch_evaluations;
+    }
+
+    /// Facility evaluations a rebuild-every-batch strategy would have done.
+    pub fn rebuild_evaluations(&self) -> u64 {
+        self.facilities_untouched + self.facilities_patched + self.facilities_reevaluated
+    }
+
+    /// Fraction of those full facility evaluations the engine skipped
+    /// (untouched or replaced by a delta patch). This is the headline
+    /// incremental-vs-rebuild saving.
+    pub fn skipped_fraction(&self) -> f64 {
+        let total = self.rebuild_evaluations();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.facilities_reevaluated as f64 / total as f64
+    }
+
+    /// Fraction of facility×batch pairs that required no work at all.
+    pub fn untouched_fraction(&self) -> f64 {
+        let total = self.rebuild_evaluations();
+        if total == 0 {
+            return 0.0;
+        }
+        self.facilities_untouched as f64 / total as f64
+    }
+}
+
+/// Outcome summary of one applied batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Ids assigned to the batch's inserted trajectories, in event order.
+    pub inserted: Vec<TrajectoryId>,
+    /// Number of removals applied.
+    pub removed: usize,
+    /// Facilities with zero work this batch.
+    pub untouched: usize,
+    /// Facilities updated by delta patching.
+    pub patched: usize,
+    /// Facilities fully re-evaluated through the tree.
+    pub reevaluated: usize,
+}
+
+/// Construction parameters of a [`DynamicEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicConfig {
+    /// TQ-tree parameters for the owned index.
+    pub tree: TqTreeConfig,
+    /// Patch-vs-rebuild threshold: when one batch carries more relevant
+    /// deltas for a facility than this fraction of the live trajectory
+    /// count, the facility's cache is rebuilt through the tree instead of
+    /// patched delta-by-delta. `0.0` forces a rebuild for every touched
+    /// facility; `1.0` effectively always patches.
+    pub rebuild_fraction: f64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            tree: TqTreeConfig::default(),
+            rebuild_fraction: 0.25,
+        }
+    }
+}
+
+/// A dynamic-workload engine: an incrementally maintained TQ-tree plus
+/// incrementally maintained query state for a fixed facility set and
+/// service model. See the [module docs](self) for the maintenance rules and
+/// the bit-identity guarantee.
+#[derive(Debug, Clone)]
+pub struct DynamicEngine {
+    tree: TqTree,
+    users: UserSet,
+    facilities: FacilitySet,
+    model: ServiceModel,
+    config: DynamicConfig,
+    /// Per-facility ψ-expanded stop bounding rectangles (EMBRs), the
+    /// invalidation test.
+    embrs: Vec<Rect>,
+    /// The maintained query state: complete per-facility served-point masks
+    /// and canonically summed values, held directly as the [`ServedTable`]
+    /// every MaxkCovRST solver consumes so queries borrow it without
+    /// copying.
+    table: ServedTable,
+    /// Liveness per trajectory id (`false` = removed tombstone).
+    live: Vec<bool>,
+    live_count: usize,
+    stats: UpdateStats,
+}
+
+impl DynamicEngine {
+    /// Builds the engine: indexes `initial` in a TQ-tree over `bounds` and
+    /// evaluates every facility once to seed the incremental caches.
+    ///
+    /// `bounds` must cover every future arrival (inserts outside it are
+    /// rejected); pass the generating region, e.g. the city extent.
+    ///
+    /// # Panics
+    /// Panics when an initial trajectory lies outside `bounds`.
+    pub fn new(
+        initial: UserSet,
+        facilities: FacilitySet,
+        model: ServiceModel,
+        config: DynamicConfig,
+        bounds: Rect,
+    ) -> DynamicEngine {
+        assert!(
+            initial
+                .iter()
+                .all(|(_, t)| t.points().iter().all(|p| bounds.contains(p))),
+            "initial trajectories must lie within the engine bounds"
+        );
+        let tree = TqTree::build_with_bounds(&initial, config.tree, bounds);
+        let embrs: Vec<Rect> = facilities
+            .iter()
+            .map(|(_, f)| f.embr(model.psi))
+            .collect();
+        let ids: Vec<FacilityId> = facilities.iter().map(|(id, _)| id).collect();
+        let outcomes =
+            parallel::par_evaluate_candidates(&tree, &initial, &model, &facilities, &ids, true);
+        let mut masks = Vec::with_capacity(ids.len());
+        let mut values = Vec::with_capacity(ids.len());
+        for out in outcomes {
+            values.push(out.value);
+            masks.push(out.masks);
+        }
+        let table = ServedTable {
+            ids,
+            masks,
+            values,
+            stats: Default::default(),
+        };
+        let live_count = initial.len();
+        DynamicEngine {
+            tree,
+            live: vec![true; live_count],
+            users: initial,
+            facilities,
+            model,
+            config,
+            embrs,
+            table,
+            live_count,
+            stats: UpdateStats::default(),
+        }
+    }
+
+    /// Applies one batch of updates: validates it, mutates the index, then
+    /// brings every facility's cached masks and value back in sync.
+    ///
+    /// All-or-nothing: a batch with an out-of-bounds insert or a dead
+    /// removal id is rejected without touching the engine.
+    pub fn apply(&mut self, updates: &[Update]) -> Result<BatchOutcome, UpdateError> {
+        self.validate_batch(updates)?;
+
+        // Phase 1: mutate the index, collecting the delta list.
+        let mut outcome = BatchOutcome::default();
+        // (id, inserted?, trajectory MBR) per event, in order.
+        let mut deltas: Vec<(TrajectoryId, bool, Rect)> = Vec::with_capacity(updates.len());
+        for u in updates {
+            match u {
+                Update::Insert(t) => {
+                    let mbr = t.mbr();
+                    let id = self
+                        .tree
+                        .insert(&mut self.users, t.clone())
+                        .expect("validated against the bounds");
+                    self.live.push(true);
+                    self.live_count += 1;
+                    self.stats.inserts += 1;
+                    outcome.inserted.push(id);
+                    deltas.push((id, true, mbr));
+                }
+                Update::Remove(id) => {
+                    self.tree
+                        .remove(&self.users, *id)
+                        .expect("validated as live");
+                    self.live[*id as usize] = false;
+                    self.live_count -= 1;
+                    self.stats.removes += 1;
+                    outcome.removed += 1;
+                    deltas.push((*id, false, self.users.get(*id).mbr()));
+                }
+            }
+        }
+
+        // Phase 2: classify facilities by the EMBR∩delta-MBR rule and patch
+        // the cheap ones in place.
+        let rebuild_threshold =
+            (self.config.rebuild_fraction * self.live_count.max(1) as f64).ceil() as usize;
+        let mut rebuilds: Vec<FacilityId> = Vec::new();
+        for fi in 0..self.facilities.len() {
+            let embr = &self.embrs[fi];
+            let relevant: Vec<&(TrajectoryId, bool, Rect)> = deltas
+                .iter()
+                .filter(|(_, _, mbr)| embr.intersects(mbr))
+                .collect();
+            if relevant.is_empty() {
+                self.stats.facilities_untouched += 1;
+                outcome.untouched += 1;
+                continue;
+            }
+            if relevant.len() > rebuild_threshold {
+                rebuilds.push(fi as FacilityId);
+                continue;
+            }
+            let facility = self.facilities.get(fi as FacilityId);
+            let mut changed = false;
+            for &&(id, inserted, _) in &relevant {
+                if inserted {
+                    self.stats.patch_evaluations += 1;
+                    if let Some(mask) = self.delta_mask(id, facility) {
+                        self.table.masks[fi].insert(id, mask);
+                        changed = true;
+                    }
+                } else {
+                    changed |= self.table.masks[fi].remove(&id).is_some();
+                }
+            }
+            if changed {
+                self.table.values[fi] =
+                    canonical_value(&self.users, &self.model, &self.table.masks[fi]);
+            }
+            self.stats.facilities_patched += 1;
+            outcome.patched += 1;
+        }
+
+        // Phase 3: targeted rebuilds, fanned out across threads.
+        if !rebuilds.is_empty() {
+            let outcomes = parallel::par_evaluate_candidates(
+                &self.tree,
+                &self.users,
+                &self.model,
+                &self.facilities,
+                &rebuilds,
+                true,
+            );
+            for (fid, out) in rebuilds.iter().zip(outcomes) {
+                self.table.masks[*fid as usize] = out.masks;
+                self.table.values[*fid as usize] = out.value;
+            }
+            self.stats.facilities_reevaluated += rebuilds.len() as u64;
+            outcome.reevaluated = rebuilds.len();
+        }
+
+        self.stats.batches += 1;
+        Ok(outcome)
+    }
+
+    /// The served-point mask of one trajectory against one facility,
+    /// restricted to the points the index placement exposes — two-point
+    /// placement anchors only the source and destination, so interior
+    /// points of multipoint trajectories are invisible to the indexed
+    /// evaluation and must stay invisible to the patch path too (otherwise
+    /// patched answers would diverge from a fresh build+query).
+    ///
+    /// Returns `None` when no exposed point is served.
+    fn delta_mask(&self, id: TrajectoryId, facility: &Facility) -> Option<PointMask> {
+        let t = self.users.get(id);
+        let psi = self.model.psi;
+        let mut mask = PointMask::empty(t.len());
+        let mut any = false;
+        let mut test = |i: usize, p| {
+            if facility.serves_point(p, psi) {
+                mask.set(i);
+                any = true;
+            }
+        };
+        match self.config.tree.placement {
+            Placement::TwoPoint => {
+                let (src, dst) = (t.source(), t.destination());
+                test(0, &src);
+                test(t.len() - 1, &dst);
+            }
+            Placement::Segmented | Placement::FullTrajectory => {
+                for (i, p) in t.points().iter().enumerate() {
+                    test(i, p);
+                }
+            }
+        }
+        any.then_some(mask)
+    }
+
+    /// Validates a batch without mutating anything: bounds for inserts,
+    /// liveness (accounting for earlier events of the same batch) for
+    /// removals.
+    fn validate_batch(&self, updates: &[Update]) -> Result<(), UpdateError> {
+        let bounds = self.tree.bounds();
+        let mut next_id = self.users.len() as TrajectoryId;
+        let mut batch_removed: crate::fasthash::FxHashSet<TrajectoryId> = Default::default();
+        for (index, u) in updates.iter().enumerate() {
+            match u {
+                Update::Insert(t) => {
+                    if t.points().iter().any(|p| !bounds.contains(p)) {
+                        return Err(UpdateError::OutOfBounds { index });
+                    }
+                    next_id += 1;
+                }
+                Update::Remove(id) => {
+                    let preexisting = (*id as usize) < self.live.len();
+                    let live = if preexisting {
+                        self.live[*id as usize]
+                    } else {
+                        // Inserted earlier in this batch?
+                        *id < next_id
+                    };
+                    if !live || !batch_removed.insert(*id) {
+                        return Err(UpdateError::NotLive { index, id: *id });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The kMaxRRST answer over the current live set: the `k` facilities
+    /// with the highest service value, best first, ties broken by ascending
+    /// facility id — bit-identical to
+    /// [`crate::top_k_facilities`] on a freshly built index.
+    pub fn top_k(&self, k: usize) -> Vec<(FacilityId, f64)> {
+        let mut ranked: Vec<(FacilityId, f64)> = self
+            .table
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as FacilityId, *v))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The greedy MaxkCovRST answer over the current live set —
+    /// bit-identical to [`greedy()`](crate::maxcov::greedy()) over a
+    /// freshly built [`ServedTable`].
+    pub fn greedy_cover(&self, k: usize) -> CovOutcome {
+        greedy(self.served_table(), &self.users, &self.model, k)
+    }
+
+    /// The maintained per-facility state as the [`ServedTable`] every
+    /// MaxkCovRST solver consumes — borrowed, not copied.
+    pub fn served_table(&self) -> &ServedTable {
+        &self.table
+    }
+
+    /// The maintained service value of one facility.
+    pub fn value_of(&self, id: FacilityId) -> f64 {
+        self.table.values[id as usize]
+    }
+
+    /// Number of live (inserted and not yet removed) trajectories.
+    pub fn live_users(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether trajectory `id` is currently live.
+    pub fn is_live(&self, id: TrajectoryId) -> bool {
+        (id as usize) < self.live.len() && self.live[id as usize]
+    }
+
+    /// Ids of the live trajectories, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = TrajectoryId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(i, _)| i as TrajectoryId)
+    }
+
+    /// A compacted [`UserSet`] of just the live trajectories, in ascending
+    /// id order — the set a fresh build should index when cross-checking
+    /// the engine against build-from-scratch.
+    ///
+    /// Compaction renumbers ids but is *monotone*, which is what keeps the
+    /// canonical (ascending-id) value summation order — and with it the
+    /// bit-identity guarantee — intact across the two id spaces.
+    pub fn live_set(&self) -> UserSet {
+        UserSet::from_vec(
+            self.live_ids()
+                .map(|id| self.users.get(id).clone())
+                .collect(),
+        )
+    }
+
+    /// Accumulated work counters.
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// The owned index.
+    pub fn tree(&self) -> &TqTree {
+        &self.tree
+    }
+
+    /// The owned trajectory set (including removed tombstones; see
+    /// [`DynamicEngine::is_live`]).
+    pub fn users(&self) -> &UserSet {
+        &self.users
+    }
+
+    /// The registered facilities.
+    pub fn facilities(&self) -> &FacilitySet {
+        &self.facilities
+    }
+
+    /// The registered service model.
+    pub fn model(&self) -> &ServiceModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Scenario;
+    use crate::top_k_facilities;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use tq_geometry::Point;
+    use tq_trajectory::Facility;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn random_users(n: usize, seed: u64) -> UserSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        UserSet::from_vec(
+            (0..n)
+                .map(|_| {
+                    Trajectory::two_point(
+                        p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                        p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn random_facilities(n: usize, seed: u64) -> FacilitySet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FacilitySet::from_vec(
+            (0..n)
+                .map(|_| {
+                    let mut x = rng.gen_range(10.0..90.0);
+                    let mut y = rng.gen_range(10.0..90.0);
+                    Facility::new(
+                        (0..5)
+                            .map(|_| {
+                                x = (x + rng.gen_range(-5.0..5.0f64)).clamp(0.0, 100.0);
+                                y = (y + rng.gen_range(-5.0..5.0f64)).clamp(0.0, 100.0);
+                                p(x, y)
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn bounds() -> Rect {
+        Rect::new(p(0.0, 0.0), p(100.0, 100.0))
+    }
+
+    /// Fresh-build reference: index only the live trajectories (compacted
+    /// ids) and answer both queries from scratch.
+    fn fresh_answers(
+        engine: &DynamicEngine,
+        k: usize,
+    ) -> (Vec<f64>, CovOutcome) {
+        let live = engine.live_set();
+        let tree = TqTree::build_with_bounds(&live, engine.config.tree, bounds());
+        let top = top_k_facilities(&tree, &live, engine.model(), engine.facilities(), k);
+        let table = ServedTable::build(&tree, &live, engine.model(), engine.facilities());
+        let cov = greedy(&table, &live, engine.model(), k);
+        (top.ranked.iter().map(|(_, v)| *v).collect(), cov)
+    }
+
+    #[test]
+    fn matches_fresh_build_after_random_batches() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let users = random_users(300, 72);
+        let facilities = random_facilities(24, 73);
+        let model = ServiceModel::new(Scenario::Transit, 4.0);
+        let mut engine = DynamicEngine::new(
+            users,
+            facilities,
+            model,
+            DynamicConfig {
+                tree: TqTreeConfig::default().with_beta(8),
+                ..DynamicConfig::default()
+            },
+            bounds(),
+        );
+        for _ in 0..6 {
+            let mut batch = Vec::new();
+            for _ in 0..20 {
+                if rng.gen_bool(0.5) && engine.live_users() > 50 {
+                    let live: Vec<TrajectoryId> = engine.live_ids().collect();
+                    let id = live[rng.gen_range(0..live.len())];
+                    // Skip ids already removed in this batch.
+                    if batch.iter().any(
+                        |u| matches!(u, Update::Remove(r) if *r == id),
+                    ) {
+                        continue;
+                    }
+                    batch.push(Update::Remove(id));
+                } else {
+                    batch.push(Update::Insert(Trajectory::two_point(
+                        p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                        p(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                    )));
+                }
+            }
+            engine.apply(&batch).unwrap();
+            let got_top = engine.top_k(5);
+            let (want_top, want_cov) = fresh_answers(&engine, 5);
+            let got_vals: Vec<f64> = got_top.iter().map(|(_, v)| *v).collect();
+            assert_eq!(got_vals, want_top, "top-k values diverged");
+            let got_cov = engine.greedy_cover(5);
+            assert_eq!(got_cov.chosen, want_cov.chosen);
+            assert_eq!(got_cov.value, want_cov.value);
+            assert_eq!(got_cov.users_served, want_cov.users_served);
+        }
+        assert!(engine.stats().batches == 6);
+    }
+
+    #[test]
+    fn forced_rebuilds_agree_with_patching() {
+        let users = random_users(200, 81);
+        let facilities = random_facilities(16, 82);
+        let model = ServiceModel::new(Scenario::PointCount, 5.0);
+        let mk = |rebuild_fraction: f64| {
+            DynamicEngine::new(
+                users.clone(),
+                facilities.clone(),
+                model,
+                DynamicConfig {
+                    tree: TqTreeConfig::default().with_beta(8),
+                    rebuild_fraction,
+                },
+                bounds(),
+            )
+        };
+        let mut patching = mk(1.0);
+        let mut rebuilding = mk(0.0);
+        let extra = random_users(60, 83);
+        let batch: Vec<Update> = extra
+            .iter()
+            .map(|(_, t)| Update::Insert(t.clone()))
+            .chain((0..30).map(Update::Remove))
+            .collect();
+        let a = patching.apply(&batch).unwrap();
+        let b = rebuilding.apply(&batch).unwrap();
+        assert_eq!(a.reevaluated, 0, "threshold 1.0 must always patch");
+        assert!(b.reevaluated > 0, "threshold 0.0 must always rebuild");
+        assert_eq!(patching.top_k(16), rebuilding.top_k(16));
+        let ga = patching.greedy_cover(4);
+        let gb = rebuilding.greedy_cover(4);
+        assert_eq!(ga.chosen, gb.chosen);
+        assert_eq!(ga.value, gb.value);
+    }
+
+    #[test]
+    fn rejected_batches_leave_engine_untouched() {
+        let users = random_users(50, 91);
+        let facilities = random_facilities(8, 92);
+        let model = ServiceModel::new(Scenario::Transit, 4.0);
+        let mut engine = DynamicEngine::new(
+            users,
+            facilities,
+            model,
+            DynamicConfig::default(),
+            bounds(),
+        );
+        let top_before = engine.top_k(8);
+        // Insert fine, then remove a dead id: whole batch rejected.
+        let batch = vec![
+            Update::Insert(Trajectory::two_point(p(1.0, 1.0), p(2.0, 2.0))),
+            Update::Remove(9999),
+        ];
+        assert_eq!(
+            engine.apply(&batch).unwrap_err(),
+            UpdateError::NotLive { index: 1, id: 9999 }
+        );
+        assert_eq!(engine.live_users(), 50);
+        assert_eq!(engine.users().len(), 50, "no partial insert applied");
+        assert_eq!(engine.top_k(8), top_before);
+        // Out-of-bounds insert likewise.
+        let batch = vec![Update::Insert(Trajectory::two_point(
+            p(1.0, 1.0),
+            p(200.0, 2.0),
+        ))];
+        assert_eq!(
+            engine.apply(&batch).unwrap_err(),
+            UpdateError::OutOfBounds { index: 0 }
+        );
+        // Double-remove within one batch.
+        let batch = vec![Update::Remove(3), Update::Remove(3)];
+        assert_eq!(
+            engine.apply(&batch).unwrap_err(),
+            UpdateError::NotLive { index: 1, id: 3 }
+        );
+        assert_eq!(engine.stats().batches, 0);
+    }
+
+    #[test]
+    fn untouched_facilities_do_no_work() {
+        // Users and facility A in one corner, facility B far away: a batch
+        // near A must leave B untouched.
+        let users = UserSet::from_vec(vec![Trajectory::two_point(p(5.0, 5.0), p(8.0, 5.0))]);
+        let facilities = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(5.0, 6.0), p(8.0, 6.0)]),
+            Facility::new(vec![p(90.0, 90.0), p(95.0, 90.0)]),
+        ]);
+        let model = ServiceModel::new(Scenario::Transit, 2.0);
+        let mut engine = DynamicEngine::new(
+            users,
+            facilities,
+            model,
+            DynamicConfig::default(),
+            bounds(),
+        );
+        engine
+            .apply(&[Update::Insert(Trajectory::two_point(
+                p(5.5, 5.0),
+                p(7.5, 5.0),
+            ))])
+            .unwrap();
+        assert_eq!(engine.stats().facilities_untouched, 1);
+        assert_eq!(engine.stats().facilities_patched, 1);
+        assert_eq!(engine.stats().facilities_reevaluated, 0);
+        assert_eq!(engine.value_of(0), 2.0);
+        assert_eq!(engine.value_of(1), 0.0);
+        assert!(engine.stats().skipped_fraction() == 1.0);
+        assert!(engine.stats().untouched_fraction() == 0.5);
+    }
+
+    #[test]
+    fn batch_insert_then_remove_same_id_nets_out() {
+        let users = random_users(40, 95);
+        let facilities = random_facilities(6, 96);
+        let model = ServiceModel::new(Scenario::Transit, 5.0);
+        let mut engine = DynamicEngine::new(
+            users.clone(),
+            facilities,
+            model,
+            DynamicConfig::default(),
+            bounds(),
+        );
+        let top_before = engine.top_k(6);
+        // The arriving trajectory gets id 40 and expires within the batch.
+        let t = Trajectory::two_point(p(50.0, 50.0), p(55.0, 50.0));
+        let out = engine
+            .apply(&[Update::Insert(t), Update::Remove(40)])
+            .unwrap();
+        assert_eq!(out.inserted, vec![40]);
+        assert_eq!(out.removed, 1);
+        assert_eq!(engine.live_users(), 40);
+        assert_eq!(engine.top_k(6), top_before);
+    }
+}

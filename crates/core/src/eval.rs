@@ -299,19 +299,48 @@ impl EvalState {
     }
 
     /// Finalizes into an [`EvalOutcome`], recomputing the value from the
-    /// masks (immune to floating-point drift of the running deltas).
+    /// masks in the canonical ascending-id order ([`canonical_value`]) —
+    /// immune both to floating-point drift of the running deltas and to
+    /// summation-order differences between evaluation histories.
     pub fn finish(self, ctx: &EvalCtx<'_>) -> EvalOutcome {
-        let value = self
-            .masks
-            .iter()
-            .map(|(id, m)| ctx.model.value(ctx.users.get(*id), m))
-            .sum();
+        let value = canonical_value(ctx.users, &ctx.model, &self.masks);
         EvalOutcome {
             value,
             masks: self.masks,
             stats: self.stats,
         }
     }
+}
+
+/// Canonical service-value summation: `Σ_u S(u, ·)` over a mask map,
+/// accumulated in **ascending trajectory id** order.
+///
+/// Floating-point addition is not associative, so the same set of per-user
+/// values summed in different orders can differ in the last bits. Every
+/// finalized value this crate reports (evaluation outcomes, kMaxRRST exact
+/// values, [`crate::maxcov::ServedTable`] values, the incremental
+/// [`crate::dynamic::DynamicEngine`] caches) goes through this one function,
+/// which fixes the order by content — so *any* two states with identical
+/// mask contents report bit-identical values, no matter what history
+/// (bulk build, incremental updates, different tree shapes) produced them.
+pub fn canonical_value(
+    users: &UserSet,
+    model: &ServiceModel,
+    masks: &FxHashMap<TrajectoryId, PointMask>,
+) -> f64 {
+    let mut ids: Vec<TrajectoryId> = masks.keys().copied().collect();
+    ids.sort_unstable();
+    let sum: f64 = ids
+        .iter()
+        .map(|id| model.value(users.get(*id), &masks[id]))
+        .sum();
+    // `f64::sum` folds from the identity -0.0, so an empty map sums to -0.0
+    // while a map of only zero-value entries sums to +0.0. Two evaluation
+    // histories can legitimately differ in which zero-value masks they
+    // materialize (pruning may skip unservable users entirely); normalize
+    // so both report bit-identical +0.0. `x + 0.0` is bitwise identity for
+    // every other x.
+    sum + 0.0
 }
 
 fn run(tree: &TqTree, users: &UserSet, model: &ServiceModel, f: &Facility, exact: bool) -> EvalOutcome {

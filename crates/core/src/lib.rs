@@ -14,7 +14,11 @@
 //!   Algorithms 3/4, driven by per-node service upper bounds;
 //! * **MaxkCovRST** ([`maxcov`]) — greedy, two-step greedy, exact
 //!   (branch-and-bound) and genetic solvers for the NP-hard, non-submodular
-//!   maximum-coverage variant.
+//!   maximum-coverage variant;
+//! * the **dynamic-workload engine** ([`dynamic`]) — batched trajectory
+//!   arrivals/expiries applied through the incremental insert/remove
+//!   machinery, with both query families kept bit-identical to a fresh
+//!   build+query after every batch.
 //!
 //! The service semantics of the paper's three motivating scenarios are
 //! captured by [`service::Scenario`] and evaluated through per-user
@@ -23,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod eval;
 pub mod fasthash;
 pub mod maxcov;
@@ -31,9 +36,10 @@ pub mod service;
 pub mod topk;
 pub mod tqtree;
 
+pub use dynamic::{DynamicConfig, DynamicEngine, Update, UpdateError, UpdateStats};
 pub use eval::{
-    brute_force_masks, brute_force_value, evaluate_masks, evaluate_service, EvalOutcome,
-    EvalStats, FacilityComponent,
+    brute_force_masks, brute_force_value, canonical_value, evaluate_masks, evaluate_service,
+    EvalOutcome, EvalStats, FacilityComponent,
 };
 pub use parallel::{current_threads, par_evaluate_candidates, set_threads};
 pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};

@@ -80,8 +80,12 @@ pub fn exact(
         .map(|fid| table.ids.iter().position(|i| i == fid).expect("greedy id"))
         .collect();
 
+    // Canonical entry order per candidate, computed once: the DFS re-adds
+    // the same immutable masks at every node of the search.
+    let entries = super::sorted_candidate_entries(table);
+
     struct Dfs<'a> {
-        table: &'a ServedTable,
+        entries: &'a super::CandidateEntries<'a>,
         users: &'a UserSet,
         model: &'a ServiceModel,
         order: &'a [usize],
@@ -129,7 +133,8 @@ pub fn exact(
                     return;
                 }
                 let cand = self.order[i];
-                let undo = cov.add_undoable(self.users, self.model, &self.table.masks[cand]);
+                let undo =
+                    cov.add_undoable_entries(self.users, self.model, &self.entries[cand]);
                 chosen.push(cand);
                 self.run(i + 1, chosen, cov, top_sum, best_value, best_set);
                 chosen.pop();
@@ -139,7 +144,7 @@ pub fn exact(
     }
 
     let mut dfs = Dfs {
-        table,
+        entries: &entries,
         users,
         model,
         order: &order,

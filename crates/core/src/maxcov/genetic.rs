@@ -49,12 +49,12 @@ impl Default for GeneticConfig {
 type Chromosome = Vec<usize>; // candidate indices into the table, distinct
 
 fn fitness(
-    table: &ServedTable,
+    entries: &super::CandidateEntries<'_>,
     users: &UserSet,
     model: &ServiceModel,
     c: &Chromosome,
 ) -> f64 {
-    Coverage::value_of_subset(table, users, model, c)
+    Coverage::value_of_subset_entries(entries, users, model, c)
 }
 
 fn random_subset(rng: &mut StdRng, n: usize, k: usize) -> Chromosome {
@@ -125,13 +125,16 @@ pub fn genetic(
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let pop_size = cfg.population.max(2);
+    // Canonical entry order per candidate, computed once for the whole run:
+    // fitness re-adds the same immutable masks every generation.
+    let entries = super::sorted_candidate_entries(table);
 
     // Chromosome generation consumes the RNG sequentially (determinism);
     // fitness evaluation is pure and fans out across threads. The split
     // leaves the RNG stream — and therefore the whole run — bit-identical
     // to a fully serial execution.
     let evaluate = |chroms: Vec<Chromosome>| -> Vec<(Chromosome, f64)> {
-        let fits = parallel::par_map(&chroms, |c| fitness(table, users, model, c));
+        let fits = parallel::par_map(&chroms, |c| fitness(&entries, users, model, c));
         chroms.into_iter().zip(fits).collect()
     };
 
@@ -176,7 +179,7 @@ pub fn genetic(
 
     let mut cov = Coverage::new();
     for &i in &best {
-        cov.add(users, model, &table.masks[i]);
+        cov.add_entries(users, model, &entries[i]);
     }
     CovOutcome {
         chosen: best.iter().map(|&i| table.ids[i]).collect(),

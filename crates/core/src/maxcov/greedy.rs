@@ -31,6 +31,10 @@ pub fn greedy(
     let mut cov = Coverage::new();
     let mut chosen = Vec::with_capacity(k.min(table.len()));
     let mut used = vec![false; table.len()];
+    // Canonical (ascending-id) entry order per candidate, computed once —
+    // every round re-scores every remaining candidate against the same
+    // immutable masks, so the sort must not sit in the inner loop.
+    let sorted = super::sorted_candidate_entries(table);
     for _ in 0..k.min(table.len()) {
         // No lazy-greedy shortcut here: under the non-submodular service
         // function a facility's marginal gain may exceed its individual
@@ -38,7 +42,7 @@ pub fn greedy(
         // each round.
         let remaining: Vec<usize> = (0..table.len()).filter(|&i| !used[i]).collect();
         let gains = parallel::par_map(&remaining, |&i| {
-            cov.marginal(users, model, &table.masks[i])
+            cov.marginal_entries(users, model, &sorted[i])
         });
         let mut best: Option<(usize, f64)> = None;
         for (&i, &gain) in remaining.iter().zip(&gains) {
@@ -55,7 +59,7 @@ pub fn greedy(
         }
         let Some((bi, _)) = best else { break };
         used[bi] = true;
-        cov.add(users, model, &table.masks[bi]);
+        cov.add_entries(users, model, &sorted[bi]);
         chosen.push(table.ids[bi]);
     }
     CovOutcome {

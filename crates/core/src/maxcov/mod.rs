@@ -122,11 +122,7 @@ impl ServedTable {
     ) -> ServedTable {
         let values = masks
             .iter()
-            .map(|m| {
-                m.iter()
-                    .map(|(id, mask)| model.value(users.get(*id), mask))
-                    .sum()
-            })
+            .map(|m| crate::eval::canonical_value(users, model, m))
             .collect();
         ServedTable {
             ids,
@@ -145,6 +141,29 @@ impl ServedTable {
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
     }
+}
+
+/// Returns a mask map's entries sorted by ascending trajectory id — the
+/// canonical accumulation order shared with
+/// [`canonical_value`](crate::eval::canonical_value).
+pub(crate) fn sorted_entries(
+    masks: &FxHashMap<TrajectoryId, PointMask>,
+) -> Vec<(TrajectoryId, &PointMask)> {
+    let mut entries: Vec<(TrajectoryId, &PointMask)> =
+        masks.iter().map(|(id, m)| (*id, m)).collect();
+    entries.sort_unstable_by_key(|(id, _)| *id);
+    entries
+}
+
+/// Every candidate's mask entries in the canonical order, computed **once
+/// per solve** — the solvers' inner loops (greedy rounds, genetic fitness,
+/// branch-and-bound nodes) re-visit the same immutable masks thousands of
+/// times and must not re-sort them per visit.
+pub(crate) type CandidateEntries<'a> = Vec<Vec<(TrajectoryId, &'a PointMask)>>;
+
+/// Builds the per-candidate canonical entry order for a table.
+pub(crate) fn sorted_candidate_entries(table: &ServedTable) -> CandidateEntries<'_> {
+    table.masks.iter().map(sorted_entries).collect()
 }
 
 /// Undo journal for one [`Coverage::add`] (used by the branch-and-bound
@@ -183,16 +202,34 @@ impl Coverage {
     }
 
     /// The marginal gain of adding `facility_masks`, without applying it.
+    ///
+    /// Per-user gains accumulate in ascending trajectory id order (the same
+    /// canonical order as [`crate::eval::canonical_value`]), so the gain is
+    /// bit-identical for any two content-equal mask maps regardless of their
+    /// internal hash-map layout.
     pub fn marginal(
         &self,
         users: &UserSet,
         model: &ServiceModel,
         facility_masks: &FxHashMap<TrajectoryId, PointMask>,
     ) -> f64 {
+        self.marginal_entries(users, model, &sorted_entries(facility_masks))
+    }
+
+    /// [`Coverage::marginal`] over pre-sorted entries (ascending trajectory
+    /// id, as produced by [`sorted_entries`]). Callers evaluating the same
+    /// facility repeatedly — every greedy round re-scores every remaining
+    /// candidate — sort once and reuse instead of paying the sort per call.
+    pub(crate) fn marginal_entries(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        entries: &[(TrajectoryId, &PointMask)],
+    ) -> f64 {
         let mut gain = 0.0;
-        for (id, fmask) in facility_masks {
-            let t = users.get(*id);
-            match self.masks.get(id) {
+        for &(id, fmask) in entries {
+            let t = users.get(id);
+            match self.masks.get(&id) {
                 None => gain += model.value(t, fmask),
                 Some(cur) => {
                     let mut merged = cur.clone();
@@ -212,7 +249,18 @@ impl Coverage {
         model: &ServiceModel,
         facility_masks: &FxHashMap<TrajectoryId, PointMask>,
     ) -> f64 {
-        self.add_with_undo(users, model, facility_masks, None)
+        self.add_with_undo(users, model, &sorted_entries(facility_masks), None)
+    }
+
+    /// [`Coverage::add`] over pre-sorted entries (see
+    /// [`sorted_candidate_entries`]).
+    pub(crate) fn add_entries(
+        &mut self,
+        users: &UserSet,
+        model: &ServiceModel,
+        entries: &[(TrajectoryId, &PointMask)],
+    ) -> f64 {
+        self.add_with_undo(users, model, entries, None)
     }
 
     /// Like [`Coverage::add`], recording an undo journal.
@@ -222,11 +270,21 @@ impl Coverage {
         model: &ServiceModel,
         facility_masks: &FxHashMap<TrajectoryId, PointMask>,
     ) -> CoverageUndo {
+        self.add_undoable_entries(users, model, &sorted_entries(facility_masks))
+    }
+
+    /// [`Coverage::add_undoable`] over pre-sorted entries.
+    pub(crate) fn add_undoable_entries(
+        &mut self,
+        users: &UserSet,
+        model: &ServiceModel,
+        entries: &[(TrajectoryId, &PointMask)],
+    ) -> CoverageUndo {
         let mut undo = CoverageUndo {
             changed: Vec::new(),
             old_value: self.value,
         };
-        self.add_with_undo(users, model, facility_masks, Some(&mut undo));
+        self.add_with_undo(users, model, entries, Some(&mut undo));
         undo
     }
 
@@ -234,20 +292,20 @@ impl Coverage {
         &mut self,
         users: &UserSet,
         model: &ServiceModel,
-        facility_masks: &FxHashMap<TrajectoryId, PointMask>,
+        entries: &[(TrajectoryId, &PointMask)],
         mut undo: Option<&mut CoverageUndo>,
     ) -> f64 {
         let mut gain = 0.0;
-        for (id, fmask) in facility_masks {
-            let t = users.get(*id);
-            match self.masks.get_mut(id) {
+        for &(id, fmask) in entries {
+            let t = users.get(id);
+            match self.masks.get_mut(&id) {
                 None => {
                     let v = model.value(t, fmask);
                     gain += v;
                     self.value += v;
-                    self.masks.insert(*id, fmask.clone());
+                    self.masks.insert(id, fmask.clone());
                     if let Some(u) = undo.as_deref_mut() {
-                        u.changed.push((*id, None));
+                        u.changed.push((id, None));
                     }
                 }
                 Some(cur) => {
@@ -258,7 +316,7 @@ impl Coverage {
                         gain += after - before;
                         self.value += after - before;
                         if let Some(u) = undo.as_deref_mut() {
-                            u.changed.push((*id, Some(saved)));
+                            u.changed.push((id, Some(saved)));
                         }
                     }
                 }
@@ -293,6 +351,21 @@ impl Coverage {
         let mut cov = Coverage::new();
         for &i in subset {
             cov.add(users, model, &table.masks[i]);
+        }
+        cov.value()
+    }
+
+    /// [`Coverage::value_of_subset`] over pre-sorted per-candidate entries
+    /// — the genetic solver's fitness hot path.
+    pub(crate) fn value_of_subset_entries(
+        entries: &CandidateEntries<'_>,
+        users: &UserSet,
+        model: &ServiceModel,
+        subset: &[usize],
+    ) -> f64 {
+        let mut cov = Coverage::new();
+        for &i in subset {
+            cov.add_entries(users, model, &entries[i]);
         }
         cov.value()
     }

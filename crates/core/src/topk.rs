@@ -128,14 +128,11 @@ pub fn top_k_facilities(
         let state = &mut states[idx as usize];
         if state.frontier.is_empty() {
             // Fully explored: fserve == exact value ≥ every remaining bound.
-            // Recompute from the masks so reported values carry no
-            // floating-point drift from the incremental deltas.
-            let exact: f64 = state
-                .eval
-                .masks
-                .iter()
-                .map(|(id, m)| model.value(users.get(*id), m))
-                .sum();
+            // Recompute from the masks in the canonical ascending-id order
+            // (`eval::canonical_value`) so reported values carry no
+            // floating-point drift from the incremental deltas and are
+            // bit-identical to any other evaluation of the same facility.
+            let exact = crate::eval::canonical_value(users, model, &state.eval.masks);
             ranked.push((state.fid, exact));
             stats.add(&state.eval.stats);
             continue;

@@ -36,6 +36,7 @@ impl TqTree {
         let item_count = items.len();
         let mut tree = TqTree {
             nodes: Vec::new(),
+            free: Vec::new(),
             config,
             bounds,
             item_count,
@@ -53,15 +54,16 @@ impl TqTree {
         items: Vec<StoredItem>,
         users: &UserSet,
     ) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        // Reserve the slot first so parents precede children in the arena.
-        self.nodes.push(QNode {
+        // Reserve the slot first (reusing a reclaimed one when available) so
+        // the node exists while its children are built.
+        let id = self.alloc_node(QNode {
             rect,
             depth,
             children: [None; 4],
             list: NodeList::Basic(Vec::new()),
             own: ServiceBounds::ZERO,
             sub: ServiceBounds::ZERO,
+            dead: false,
         });
 
         let (own_items, child_items) =

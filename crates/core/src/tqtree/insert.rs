@@ -1,12 +1,28 @@
-//! Dynamic insertion (paper §III-C).
+//! Dynamic insertion (paper §III-C, the update discussion following
+//! Algorithm 2).
 //!
 //! A new trajectory is routed to its q-node in `O(h)` by the same
-//! straddle-or-descend rule used at build time, then merged into that node's
-//! list. For a z-ordered node the paper reassigns z-ids within the affected
-//! β-sized z-node; we rebuild the node's (typically small) list instead —
-//! asymptotically `O(|UL| log |UL|)` against the paper's `O(β)`, identical
-//! observable behaviour, and the conservative choice for correctness. Leaves
-//! that outgrow β split exactly like during construction.
+//! straddle-or-descend rule used at build time (the recursion of
+//! `constructTQtree`), then merged into that node's list:
+//!
+//! * **z-ordered nodes** take the incremental path — z-ids are assigned from
+//!   the node's *existing* [`super::ZPartition`]s (`O(log n)` lookups) and
+//!   the item is spliced into the sorted list. The paper instead reassigns
+//!   z-ids within the affected β-sized z-node; both keep `zReduce` exact,
+//!   ours trades a temporarily over-full z-cell (marginally weaker pruning
+//!   until the node is next rebuilt) for zero repartitioning bookkeeping.
+//! * **Leaves that outgrow β** split exactly like during construction
+//!   (`maybe_split_leaf` reuses the build recursion), so an incrementally
+//!   grown tree has the same canonical shape a bulk build over the same
+//!   items produces — the invariant `remove.rs` restores from the other
+//!   direction and [`TqTree::validate`] checks.
+//! * **Arena slots** freed by earlier removals are reused
+//!   ([`TqTree::alloc_node`]), so insert/remove churn does not grow the
+//!   arena without bound.
+//!
+//! Every node on the routing path accumulates the item's service-bound
+//! contribution into its `sub` aggregate, keeping the kMaxRRST bounds
+//! (paper Algorithms 3/4) admissible without a rebuild.
 //!
 //! Out-of-bounds trajectories are rejected rather than silently clamped:
 //! the root rectangle is fixed at build time, so callers growing the space
@@ -84,19 +100,20 @@ impl TqTree {
                 Some(qi) => match node.children[qi] {
                     Some(child) => cur = child,
                     None => {
-                        // Create a fresh leaf for this quadrant.
+                        // Create a fresh leaf for this quadrant (reusing a
+                        // reclaimed arena slot when one is free).
                         let child_rect =
                             node.rect.quadrant(Quadrant::from_index(qi as u8));
                         let depth = node.depth + 1;
-                        let child_id = self.nodes.len() as NodeId;
                         let list = self.make_list(child_rect, vec![item]);
-                        self.nodes.push(QNode {
+                        let child_id = self.alloc_node(QNode {
                             rect: child_rect,
                             depth,
                             children: [None; 4],
                             list,
                             own: bounds,
                             sub: bounds,
+                            dead: false,
                         });
                         self.nodes[cur as usize].children[qi] = Some(child_id);
                         self.item_count += 1;
@@ -137,6 +154,13 @@ impl TqTree {
 
     /// Splits an over-full leaf, pushing descendable items one level down
     /// (recursively, via the construction path).
+    ///
+    /// The straddlers that stay behind keep the node's *existing* list —
+    /// descended items are deleted from it in place rather than the list
+    /// being rebuilt. For a z-ordered list this preserves the node's
+    /// z-partitions, which is what lets a later removal of the descended
+    /// items restore the node bit-for-bit (the insert-then-remove property
+    /// of `remove.rs`); it is also cheaper than re-sorting the survivors.
     fn maybe_split_leaf(&mut self, id: NodeId, users: &UserSet) {
         let (rect, depth, len) = {
             let n = &self.nodes[id as usize];
@@ -145,23 +169,34 @@ impl TqTree {
         if len <= self.config().beta || depth >= self.config().max_depth {
             return;
         }
-        let items = match std::mem::replace(
-            &mut self.nodes[id as usize].list,
-            NodeList::Basic(Vec::new()),
-        ) {
-            NodeList::Basic(v) => v,
-            NodeList::Z(z) => z.items().to_vec(),
-        };
-        let mut own = Vec::new();
         let mut per_child: [Vec<StoredItem>; 4] = Default::default();
-        for it in items {
-            match child_quadrant(&rect, &it) {
-                Some(q) => per_child[q].push(it),
-                None => own.push(it),
+        for it in self.nodes[id as usize].list.items() {
+            if let Some(q) = child_quadrant(&rect, it) {
+                per_child[q].push(*it);
             }
         }
+        if per_child.iter().all(Vec::is_empty) {
+            // Every item straddles the children: the node stays an
+            // (over-full) leaf, exactly as bulk construction leaves it.
+            return;
+        }
+        // Delete the descending items from the retained list in place.
+        match &mut self.nodes[id as usize].list {
+            NodeList::Basic(items) => {
+                items.retain(|it| child_quadrant(&rect, it).is_none());
+            }
+            NodeList::Z(z) => {
+                for bucket in &per_child {
+                    for it in bucket {
+                        let removed = z.remove_item(it.traj, it.seg, &it.start, &it.end);
+                        debug_assert!(removed, "descending item was in the list");
+                    }
+                }
+            }
+        }
+        // Recompute the retained bounds exactly from the survivors.
         let mut own_bounds = ServiceBounds::ZERO;
-        for it in &own {
+        for it in self.nodes[id as usize].list.items() {
             own_bounds.add(&it.bounds(users));
         }
         let mut children = [None; 4];
@@ -175,10 +210,8 @@ impl TqTree {
             sub.add(&self.node(child_id).sub);
             children[qi] = Some(child_id);
         }
-        let list = self.make_list(rect, own);
         let node = &mut self.nodes[id as usize];
         node.children = children;
-        node.list = list;
         node.own = own_bounds;
         node.sub = sub;
     }

@@ -166,6 +166,11 @@ pub struct QNode {
     /// Service upper bounds over the whole subtree rooted here — the
     /// paper's `sub`, used as the best-first heuristic `hserve`.
     pub sub: ServiceBounds,
+    /// Tombstone: the arena slot was reclaimed (by an empty-leaf prune or a
+    /// subtree collapse in `remove.rs`) and sits on the free list awaiting
+    /// reuse by the next insert. Dead nodes are unreachable from the root
+    /// and are skipped by every iteration/statistic.
+    pub(crate) dead: bool,
 }
 
 impl QNode {
@@ -184,6 +189,9 @@ impl QNode {
 #[derive(Debug, Clone)]
 pub struct TqTree {
     pub(crate) nodes: Vec<QNode>,
+    /// Arena slots reclaimed by removals, reused by later inserts so the
+    /// arena does not grow without bound under insert/remove churn.
+    pub(crate) free: Vec<NodeId>,
     config: TqTreeConfig,
     bounds: Rect,
     item_count: usize,
@@ -208,10 +216,40 @@ impl TqTree {
         &self.nodes[id as usize]
     }
 
-    /// Number of nodes in the arena.
+    /// Number of live nodes (arena slots minus reclaimed tombstones).
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Allocates an arena slot for `node`, reusing a reclaimed slot when one
+    /// is available.
+    pub(crate) fn alloc_node(&mut self, node: QNode) -> NodeId {
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = node;
+                id
+            }
+            None => {
+                let id = self.nodes.len() as NodeId;
+                self.nodes.push(node);
+                id
+            }
+        }
+    }
+
+    /// Reclaims one node's arena slot: marks it dead, clears its payload and
+    /// pushes it onto the free list. The caller must already have unlinked
+    /// it from its parent.
+    pub(crate) fn release_node(&mut self, id: NodeId) {
+        let node = &mut self.nodes[id as usize];
+        debug_assert!(!node.dead, "double release of node {id}");
+        node.children = [None; 4];
+        node.list = NodeList::Basic(Vec::new());
+        node.own = ServiceBounds::ZERO;
+        node.sub = ServiceBounds::ZERO;
+        node.dead = true;
+        self.free.push(id);
     }
 
     /// Total stored items (= trajectories for two-point/full placement,
@@ -221,16 +259,21 @@ impl TqTree {
         self.item_count
     }
 
-    /// Height of the tree (max depth + 1).
+    /// Height of the tree (max live depth + 1).
     pub fn height(&self) -> usize {
-        self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0) + 1
+        self.iter_nodes()
+            .map(|(_, n)| n.depth as usize)
+            .max()
+            .unwrap_or(0)
+            + 1
     }
 
-    /// Iterates all nodes with their ids.
+    /// Iterates all live nodes with their ids (reclaimed slots are skipped).
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &QNode)> {
         self.nodes
             .iter()
             .enumerate()
+            .filter(|(_, n)| !n.dead)
             .map(|(i, n)| (i as NodeId, n))
     }
 
@@ -238,12 +281,54 @@ impl TqTree {
     ///
     /// Verifies that (1) every item appears exactly once, (2) items are
     /// geometrically consistent with the node that stores them, (3) `sub`
-    /// bounds aggregate own + children, (4) z-lists are sorted.
+    /// bounds aggregate own + children, (4) z-lists are sorted, (5) dead
+    /// arena slots are empty and unreferenced, and (6) the canonical shape
+    /// invariant holds: a node has children iff its subtree holds more than
+    /// β items (below the depth limit), so incrementally maintained trees
+    /// keep the same structure a bulk build over the same items produces.
+    ///
+    /// Expects every trajectory of `users` to be indexed; for trees that
+    /// have had removals (the [`UserSet`] keeps removed trajectories as
+    /// id-stable tombstones) use [`TqTree::validate_with_count`].
     pub fn validate(&self, users: &UserSet) -> Result<(), String> {
         let expected: usize = match self.config.placement {
             Placement::TwoPoint | Placement::FullTrajectory => users.len(),
             Placement::Segmented => users.total_segments(),
         };
+        self.validate_with_count(users, expected)
+    }
+
+    /// [`TqTree::validate`] with an explicit expected item count — for trees
+    /// where some of `users`' trajectories have been removed from the index.
+    pub fn validate_with_count(&self, users: &UserSet, expected: usize) -> Result<(), String> {
+        // Dead slots must be fully cleared, on the free list exactly once,
+        // and never referenced by a live child pointer.
+        let dead_slots = self.nodes.iter().filter(|n| n.dead).count();
+        if dead_slots != self.free.len() {
+            return Err(format!(
+                "{dead_slots} dead slots but free list has {}",
+                self.free.len()
+            ));
+        }
+        for &f in &self.free {
+            let n = &self.nodes[f as usize];
+            if !n.dead || !n.list.is_empty() || n.children.iter().any(Option::is_some) {
+                return Err(format!("free-list node {f} is not a cleared tombstone"));
+            }
+        }
+        for (id, node) in self.iter_nodes() {
+            for c in node.children.iter().flatten() {
+                if self.nodes[*c as usize].dead {
+                    return Err(format!("live node {id} links dead child {c}"));
+                }
+            }
+            // Canonical shape: children exist iff the subtree exceeds β.
+            if !node.is_leaf() && self.subtree_items_capped(id, self.config.beta).is_some() {
+                return Err(format!(
+                    "internal node {id} holds ≤ β items; it should have been collapsed"
+                ));
+            }
+        }
         let mut seen = std::collections::HashSet::new();
         for (id, node) in self.iter_nodes() {
             for it in node.list.items() {
@@ -264,6 +349,21 @@ impl TqTree {
                     .all(|w| (w[0].start_z, w[0].end_z) <= (w[1].start_z, w[1].end_z))
                 {
                     return Err(format!("z-list of node {id} not sorted"));
+                }
+            }
+            // own = Σ item bounds (within FP tolerance of incremental
+            // add/subtract drift).
+            let mut own = ServiceBounds::ZERO;
+            for it in node.list.items() {
+                own.add(&it.bounds(users));
+            }
+            for (a, b, name) in [
+                (own.s1, node.own.s1, "s1"),
+                (own.s2, node.own.s2, "s2"),
+                (own.s3, node.own.s3, "s3"),
+            ] {
+                if (a - b).abs() > 1e-6 * (1.0 + b.abs()) {
+                    return Err(format!("node {id} own.{name} mismatch: {a} vs {b}"));
                 }
             }
             // sub = own + Σ children.sub (within FP tolerance).
@@ -294,9 +394,27 @@ impl TqTree {
     /// discussion of paper §III-B.
     pub fn memory_bytes(&self) -> usize {
         let mut total = self.nodes.capacity() * std::mem::size_of::<QNode>();
-        for node in &self.nodes {
+        for (_, node) in self.iter_nodes() {
             total += node.list.len() * std::mem::size_of::<StoredItem>();
         }
         total
+    }
+
+    /// Counts the items stored in the subtree of `id`, giving up (returning
+    /// `None`) as soon as the running total exceeds `cap`. Used by the
+    /// removal path to decide whether a subtree has shrunk enough to be
+    /// collapsed back into a leaf, in `O(min(subtree, cap))`.
+    pub(crate) fn subtree_items_capped(&self, id: NodeId, cap: usize) -> Option<usize> {
+        let mut total = 0usize;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            total += node.list.len();
+            if total > cap {
+                return None;
+            }
+            stack.extend(node.children.iter().flatten().copied());
+        }
+        Some(total)
     }
 }

@@ -1,11 +1,29 @@
 //! Trajectory removal.
 //!
-//! The paper only discusses insertion (§III-C), but a production index needs
-//! the inverse: `remove` locates each item of a trajectory by the same
-//! `O(h)` straddle-or-descend routing used at insert time, deletes it from
-//! its node list, and subtracts its service-bound contribution along the
-//! path. Emptied leaves are left in place (they cost a few bytes and keep
-//! sibling ids stable); they are reclaimed on the next rebuild.
+//! The paper only discusses insertion (§III-C); a production index needs the
+//! inverse. `remove` locates each item of a trajectory by the same `O(h)`
+//! straddle-or-descend routing used at insert time (the descent of
+//! Algorithm 1), deletes it from its node list, and subtracts its
+//! service-bound contribution from the `sub` aggregates along the path so
+//! the kMaxRRST bounds (Algorithms 3/4) stay admissible.
+//!
+//! Removal also restores the tree's **canonical shape** — the invariant
+//! that a node has children iff its subtree holds more than β items, which
+//! is exactly what bulk construction produces:
+//!
+//! * a leaf whose list empties is unlinked from its parent and its arena
+//!   slot reclaimed onto the free list (reused by later inserts);
+//! * when the removal shrinks an ancestor's subtree to ≤ β items, that
+//!   subtree is **collapsed** back into a single leaf: descendant items are
+//!   gathered, the node's list is rebuilt through the normal construction
+//!   path, and its `own`/`sub` bounds are recomputed *exactly* from the
+//!   surviving items — discarding any floating-point drift the incremental
+//!   `sub` subtraction accumulated.
+//!
+//! Together with the matching split rule on insert this makes the tree
+//! shape a pure function of the stored item multiset: insert-then-remove of
+//! the same trajectories restores the pre-insert structural statistics
+//! bit-for-bit (`tests/index_invariants.rs` asserts it as a property).
 //!
 //! Removal does not reuse trajectory ids: the [`UserSet`] is append-only, so
 //! the caller keeps the (now unindexed) trajectory in the set and the tree
@@ -13,7 +31,9 @@
 //! LSM-flavoured stores and keeps every `TrajectoryId` stable.
 
 use super::build::{child_quadrant, make_items};
+use super::item::StoredItem;
 use super::{NodeId, NodeList, TqTree, ROOT};
+use crate::service::ServiceBounds;
 use tq_trajectory::{TrajectoryId, UserSet};
 
 /// Errors returned by [`TqTree::remove`].
@@ -51,18 +71,22 @@ impl TqTree {
         }
         // Dry-run location pass first so a missing item leaves the tree
         // untouched (all-or-nothing semantics).
-        let mut locations = Vec::with_capacity(items.len());
         for it in &items {
-            match self.locate(it) {
-                Some(node) => locations.push(node),
-                None => return Err(RemoveError::NotFound),
+            if self.locate(it).is_none() {
+                return Err(RemoveError::NotFound);
             }
         }
-        for (it, node) in items.iter().zip(locations) {
+        for it in &items {
+            // Re-locate per item: collapses triggered by earlier items of
+            // the same trajectory may have moved later items up the tree.
+            let node = self.locate(it).expect("verified by the dry run");
             let bounds = it.bounds(users);
-            // Subtract from every subtree bound on the path.
+            // Subtract from every subtree bound on the path, recording the
+            // path for the structural maintenance below.
+            let mut path = Vec::with_capacity(self.node(node).depth as usize + 1);
             let mut cur = ROOT;
             loop {
+                path.push(cur);
                 let n = &mut self.nodes[cur as usize];
                 n.sub.s1 -= bounds.s1;
                 n.sub.s2 -= bounds.s2;
@@ -88,8 +112,91 @@ impl TqTree {
             debug_assert!(removed, "locate() said the item was here");
             let _ = removed;
             self.item_count -= 1;
+            // An emptied node's own bound is exactly zero — reset it rather
+            // than carrying subtraction drift.
+            if self.nodes[node as usize].list.is_empty() {
+                self.nodes[node as usize].own = ServiceBounds::ZERO;
+            }
+            self.restore_shape(&path, users);
         }
         Ok(())
+    }
+
+    /// Restores the canonical shape along a removal path: reclaims emptied
+    /// leaves bottom-up, then collapses the highest ancestor whose subtree
+    /// shrank to ≤ β items back into a single leaf.
+    fn restore_shape(&mut self, path: &[NodeId], users: &UserSet) {
+        // Reclaim emptied leaves (deepest first; unlinking one may leave the
+        // parent an empty leaf in turn).
+        for w in (1..path.len()).rev() {
+            let (parent, child) = (path[w - 1], path[w]);
+            let n = &self.nodes[child as usize];
+            if n.is_leaf() && n.list.is_empty() {
+                let slot = self.nodes[parent as usize]
+                    .children
+                    .iter_mut()
+                    .find(|c| **c == Some(child))
+                    .expect("path child is linked from its parent");
+                *slot = None;
+                self.release_node(child);
+            }
+        }
+        // Collapse the highest ancestor now holding ≤ β subtree items; its
+        // descendants are subsumed, so one collapse per removal suffices.
+        let beta = self.config().beta;
+        for &id in path {
+            if self.nodes[id as usize].dead || self.nodes[id as usize].is_leaf() {
+                continue;
+            }
+            if self.subtree_items_capped(id, beta).is_some() {
+                self.collapse(id, users);
+                break;
+            }
+        }
+    }
+
+    /// Collapses the subtree of `id` into a single leaf: gathers every item
+    /// stored below, reclaims the descendant nodes, rebuilds the list via
+    /// the normal construction path and recomputes the bounds exactly.
+    fn collapse(&mut self, id: NodeId, users: &UserSet) {
+        let mut items: Vec<StoredItem> = match std::mem::replace(
+            &mut self.nodes[id as usize].list,
+            NodeList::Basic(Vec::new()),
+        ) {
+            NodeList::Basic(v) => v,
+            NodeList::Z(z) => z.items().to_vec(),
+        };
+        let children = std::mem::take(&mut self.nodes[id as usize].children);
+        for child in children.into_iter().flatten() {
+            self.drain_subtree(child, &mut items);
+        }
+        let mut own = ServiceBounds::ZERO;
+        for it in &items {
+            own.add(&it.bounds(users));
+        }
+        let rect = self.nodes[id as usize].rect;
+        let list = self.make_list(rect, items);
+        let node = &mut self.nodes[id as usize];
+        node.list = list;
+        node.own = own;
+        node.sub = own;
+    }
+
+    /// Moves every item of the subtree of `id` into `out` and reclaims the
+    /// subtree's arena slots.
+    fn drain_subtree(&mut self, id: NodeId, out: &mut Vec<StoredItem>) {
+        let children = std::mem::take(&mut self.nodes[id as usize].children);
+        match std::mem::replace(
+            &mut self.nodes[id as usize].list,
+            NodeList::Basic(Vec::new()),
+        ) {
+            NodeList::Basic(v) => out.extend(v),
+            NodeList::Z(z) => out.extend_from_slice(z.items()),
+        }
+        for child in children.into_iter().flatten() {
+            self.drain_subtree(child, out);
+        }
+        self.release_node(id);
     }
 
     /// Finds the node storing `item` by replaying the placement descent.
@@ -227,6 +334,93 @@ mod tests {
         tree.remove(&users, 6).unwrap();
         assert_eq!(tree.item_count(), 56);
         assert_eq!(tree.remove(&users, 5), Err(RemoveError::NotFound));
+    }
+
+    #[test]
+    fn removing_everything_collapses_to_an_empty_root_leaf() {
+        let users = random_users(300, 21);
+        for storage in [Storage::Basic, Storage::ZOrder] {
+            let cfg = TqTreeConfig {
+                beta: 8,
+                storage,
+                placement: Placement::TwoPoint,
+                max_depth: 12,
+            };
+            let mut tree = TqTree::build(&users, cfg);
+            assert!(tree.node_count() > 1, "setup: tree must have split");
+            for id in 0..users.len() as u32 {
+                tree.remove(&users, id).unwrap();
+            }
+            assert_eq!(tree.item_count(), 0);
+            assert_eq!(tree.node_count(), 1, "all non-root nodes reclaimed");
+            assert!(tree.node(ROOT).is_leaf());
+            assert_eq!(tree.node(ROOT).sub, crate::service::ServiceBounds::ZERO);
+            tree.validate_with_count(&users, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn reclaimed_slots_are_reused_by_later_inserts() {
+        let users0 = random_users(200, 22);
+        let mut users = users0.clone();
+        let cfg = TqTreeConfig {
+            beta: 4,
+            storage: Storage::ZOrder,
+            placement: Placement::TwoPoint,
+            max_depth: 12,
+        };
+        let mut tree =
+            TqTree::build_with_bounds(&users, cfg, Rect::new(p(0.0, 0.0), p(100.0, 100.0)));
+        let arena_before = tree.nodes.len();
+        // Churn: repeatedly insert a batch and remove it again. The arena
+        // must not grow beyond one batch worth of slots.
+        for round in 0..5 {
+            let extra = random_users(50, 100 + round);
+            let mut ids = Vec::new();
+            for (_, t) in extra.iter() {
+                ids.push(tree.insert(&mut users, t.clone()).unwrap());
+            }
+            for id in ids {
+                tree.remove(&users, id).unwrap();
+            }
+            tree.validate_with_count(&users, 200).unwrap();
+        }
+        assert_eq!(tree.item_count(), 200);
+        assert!(
+            tree.nodes.len() <= arena_before + 64,
+            "arena grew from {arena_before} to {} despite slot reuse",
+            tree.nodes.len()
+        );
+    }
+
+    #[test]
+    fn collapse_restores_structural_stats() {
+        let users0 = random_users(400, 23);
+        let mut users = users0.clone();
+        let cfg = TqTreeConfig {
+            beta: 8,
+            storage: Storage::ZOrder,
+            placement: Placement::TwoPoint,
+            max_depth: 12,
+        };
+        let mut tree =
+            TqTree::build_with_bounds(&users, cfg, Rect::new(p(0.0, 0.0), p(100.0, 100.0)));
+        let mut before = tree.stats();
+        let extra = random_users(120, 24);
+        let mut ids = Vec::new();
+        for (_, t) in extra.iter() {
+            ids.push(tree.insert(&mut users, t.clone()).unwrap());
+        }
+        for id in ids {
+            tree.remove(&users, id).unwrap();
+        }
+        let mut after = tree.stats();
+        // The arena capacity may have grown; everything structural must be
+        // back exactly.
+        before.memory_bytes = 0;
+        after.memory_bytes = 0;
+        assert_eq!(before, after);
+        tree.validate_with_count(&users, 400).unwrap();
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * two-point trips ([`taxi_trips`], NYT-like),
 //! * short check-in sequences ([`checkins`], NYF-like),
 //! * long GPS random-walk traces ([`gps_traces`], BJG-like),
-//! * bus routes with evenly spaced stops ([`bus_routes`]).
+//! * bus routes with evenly spaced stops ([`bus_routes`]),
+//! * streaming arrival/expiry event traces over any of the above
+//!   ([`stream_scenario`]), for dynamic-workload engines.
 //!
 //! Everything is deterministic under an explicit seed; [`presets`] wires the
 //! paper's exact cardinalities.
@@ -269,6 +271,114 @@ pub fn bus_routes(
     FacilitySet::from_vec(routes)
 }
 
+/// Which trajectory generator feeds a [`StreamScenario`]'s arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Two-point taxi trips ([`taxi_trips`], NYT-like).
+    Taxi,
+    /// Short multipoint check-in sequences ([`checkins`], NYF-like).
+    Checkins,
+    /// Long GPS traces ([`gps_traces`], BJG-like).
+    Gps,
+}
+
+/// One event of a streaming dynamic workload.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A new trajectory arrives. Consumers index it under the next dense id
+    /// (`initial.len()`, `initial.len() + 1`, … in arrival order).
+    Arrive(Trajectory),
+    /// The trajectory with this id expires. The generator only ever expires
+    /// ids that are live under the deterministic numbering above, so a
+    /// trace replays cleanly against any id-stable index.
+    Expire(u32),
+}
+
+/// A seeded dynamic-workload trace: an initial snapshot plus an ordered
+/// event stream of arrivals and expiries, as real trajectory traffic (taxi
+/// trips entering and aging out of a sliding window) behaves.
+#[derive(Debug, Clone)]
+pub struct StreamScenario {
+    /// The trajectories live before the first event.
+    pub initial: UserSet,
+    /// The event stream, to be applied in order (optionally batched).
+    pub events: Vec<StreamEvent>,
+    /// The generating region — a safe index bounding rectangle covering the
+    /// initial set and every future arrival.
+    pub bounds: Rect,
+}
+
+impl StreamScenario {
+    /// Number of [`StreamEvent::Arrive`] events.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Arrive(_)))
+            .count()
+    }
+
+    /// Number of [`StreamEvent::Expire`] events.
+    pub fn expiries(&self) -> usize {
+        self.events.len() - self.arrivals()
+    }
+}
+
+/// Generates a deterministic streaming scenario over a city model:
+/// `initial_n` trajectories up front, then `n_events` events of which
+/// roughly `expire_ratio` are expiries of a uniformly chosen live
+/// trajectory and the rest are fresh arrivals from the same generator.
+///
+/// With `expire_ratio = 0.5` the live count stays near `initial_n` (a
+/// sliding window); lower ratios grow the window, higher ones shrink it.
+/// Expiries are suppressed while fewer than half the initial trajectories
+/// are live, so the stream never drains the index.
+///
+/// Everything is a pure function of `(city, kind, sizes, seed)`.
+pub fn stream_scenario(
+    city: &CityModel,
+    kind: StreamKind,
+    initial_n: usize,
+    n_events: usize,
+    expire_ratio: f64,
+    seed: u64,
+) -> StreamScenario {
+    assert!(
+        (0.0..=1.0).contains(&expire_ratio),
+        "expire_ratio must be in [0, 1]"
+    );
+    let generate = |n: usize, s: u64| match kind {
+        StreamKind::Taxi => taxi_trips(city, n, s),
+        StreamKind::Checkins => checkins(city, n, s),
+        StreamKind::Gps => gps_traces(city, n, s),
+    };
+    let initial = generate(initial_n, seed);
+    // Arrival pool: at most every event is an arrival.
+    let pool = generate(n_events, seed ^ 0x05EE_DA11);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05EE_DE7E);
+    let mut live: Vec<u32> = (0..initial_n as u32).collect();
+    let mut next_id = initial_n as u32;
+    let mut next_arrival = 0usize;
+    let min_live = initial_n / 2;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let expire = live.len() > min_live && rng.gen_bool(expire_ratio);
+        if expire {
+            let idx = rng.gen_range(0..live.len());
+            events.push(StreamEvent::Expire(live.swap_remove(idx)));
+        } else {
+            events.push(StreamEvent::Arrive(pool.get(next_arrival as u32).clone()));
+            next_arrival += 1;
+            live.push(next_id);
+            next_id += 1;
+        }
+    }
+    StreamScenario {
+        initial,
+        events,
+        bounds: city.bounds,
+    }
+}
+
 /// Places `n` points at equal arc-length intervals along a polyline
 /// (endpoints included).
 fn resample_polyline(pts: &[Point], n: usize) -> Vec<Point> {
@@ -449,6 +559,63 @@ mod tests {
         let var = sum_sq / (2.0 * n as f64) - mean * mean;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn stream_scenario_is_deterministic_and_replayable() {
+        let c = city();
+        let a = stream_scenario(&c, StreamKind::Taxi, 200, 400, 0.5, 9);
+        let b = stream_scenario(&c, StreamKind::Taxi, 200, 400, 0.5, 9);
+        assert_eq!(a.initial.as_slice(), b.initial.as_slice());
+        assert_eq!(a.events.len(), 400);
+        assert_eq!(a.events.len(), b.events.len());
+        // Replay: every expiry names a live id under sequential numbering,
+        // and the live count never drops below half the initial set.
+        let mut live: std::collections::HashSet<u32> = (0..200u32).collect();
+        let mut next_id = 200u32;
+        for (ev_a, ev_b) in a.events.iter().zip(&b.events) {
+            match (ev_a, ev_b) {
+                (StreamEvent::Arrive(ta), StreamEvent::Arrive(tb)) => {
+                    assert_eq!(ta, tb);
+                    assert!(ta.points().iter().all(|p| a.bounds.contains(p)));
+                    live.insert(next_id);
+                    next_id += 1;
+                }
+                (StreamEvent::Expire(ia), StreamEvent::Expire(ib)) => {
+                    assert_eq!(ia, ib);
+                    assert!(live.remove(ia), "expired id {ia} was not live");
+                }
+                _ => panic!("event streams diverged"),
+            }
+            assert!(live.len() >= 100);
+        }
+        assert_eq!(a.arrivals() + a.expiries(), 400);
+        assert!(a.expiries() > 100, "half-ratio stream should expire plenty");
+    }
+
+    #[test]
+    fn stream_scenario_kinds_shape_arrivals() {
+        let c = city();
+        let gps = stream_scenario(&c, StreamKind::Gps, 20, 50, 0.3, 4);
+        for e in &gps.events {
+            if let StreamEvent::Arrive(t) = e {
+                assert!(t.len() >= 10, "GPS arrivals are long traces");
+            }
+        }
+        let taxi = stream_scenario(&c, StreamKind::Taxi, 20, 50, 0.3, 4);
+        for e in &taxi.events {
+            if let StreamEvent::Arrive(t) = e {
+                assert_eq!(t.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_expire_ratio_only_arrives() {
+        let c = city();
+        let s = stream_scenario(&c, StreamKind::Checkins, 10, 30, 0.0, 5);
+        assert_eq!(s.arrivals(), 30);
+        assert_eq!(s.expiries(), 0);
     }
 
     #[test]

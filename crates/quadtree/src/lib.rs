@@ -156,6 +156,88 @@ impl<T: Copy> QuadTree<T> {
         }
     }
 
+    /// Removes one stored entry matching `(p, value)` exactly (the point is
+    /// clamped like [`QuadTree::insert`] does, so an insert can always be
+    /// undone). Returns `false` when no such entry exists.
+    ///
+    /// Internal nodes whose subtree shrinks back to `capacity` entries
+    /// collapse into a single leaf, so insert/remove churn leaves the same
+    /// structure a fresh load of the surviving points produces.
+    pub fn remove(&mut self, p: Point, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let p = Point::new(
+            p.x.clamp(self.bounds.min.x, self.bounds.max.x),
+            p.y.clamp(self.bounds.min.y, self.bounds.max.y),
+        );
+        let capacity = self.capacity;
+        let removed = Self::remove_rec(&mut self.root, self.bounds, capacity, p, value);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<T>, rect: Rect, capacity: usize, p: Point, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        match node {
+            Node::Leaf(items) => match items.iter().position(|(q, v)| *q == p && v == value) {
+                Some(i) => {
+                    items.swap_remove(i);
+                    true
+                }
+                None => false,
+            },
+            Node::Internal(children) => {
+                let quad = rect.quadrant_of(&p);
+                let removed = Self::remove_rec(
+                    &mut children[quad.index() as usize],
+                    rect.quadrant(quad),
+                    capacity,
+                    p,
+                    value,
+                );
+                if removed && Self::subtree_len_capped(node, capacity).is_some() {
+                    let mut gathered = Vec::new();
+                    Self::drain(node, &mut gathered);
+                    *node = Node::Leaf(gathered);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Subtree entry count, or `None` once it exceeds `cap`.
+    fn subtree_len_capped(node: &Node<T>, cap: usize) -> Option<usize> {
+        match node {
+            Node::Leaf(items) => (items.len() <= cap).then_some(items.len()),
+            Node::Internal(children) => {
+                let mut total = 0usize;
+                for c in children.iter() {
+                    total += Self::subtree_len_capped(c, cap)?;
+                    if total > cap {
+                        return None;
+                    }
+                }
+                Some(total)
+            }
+        }
+    }
+
+    fn drain(node: &mut Node<T>, out: &mut Vec<(Point, T)>) {
+        match node {
+            Node::Leaf(items) => out.append(items),
+            Node::Internal(children) => {
+                for c in children.iter_mut() {
+                    Self::drain(c, out);
+                }
+            }
+        }
+    }
+
     /// Visits every stored `(point, payload)` whose point lies in `range`.
     pub fn range_visit<F: FnMut(Point, T)>(&self, range: &Rect, mut visit: F) {
         Self::range_rec(&self.root, self.bounds, range, &mut visit);
@@ -335,6 +417,49 @@ mod tests {
             want.sort_unstable();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn remove_inverts_insert_and_collapses() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items: Vec<(Point, u32)> = (0..500)
+            .map(|i| (Point::new(rng.gen(), rng.gen()), i))
+            .collect();
+        let mut t = QuadTree::bulk_load(unit(), 4, items.clone());
+        let nodes_full = t.node_count();
+        assert!(nodes_full > 1);
+        // Remove everything but the first 3 points: the tree must collapse
+        // back to a single leaf.
+        for (p, v) in &items[3..] {
+            assert!(t.remove(*p, v), "stored entry must be removable");
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.node_count(), 1, "subtree should have collapsed");
+        let mut got = t.range_query(&unit());
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        // Absent entries report false and change nothing.
+        assert!(!t.remove(Point::new(0.5, 0.5), &999));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn remove_clamps_like_insert() {
+        let mut t = QuadTree::new(unit(), 4);
+        t.insert(Point::new(5.0, 5.0), 7u32);
+        assert!(t.remove(Point::new(5.0, 5.0), &7), "clamped entry found");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_one_of_coincident_duplicates() {
+        let mut t = QuadTree::with_max_depth(unit(), 1, 4);
+        for i in 0..10 {
+            t.insert(Point::new(0.3, 0.3), i);
+        }
+        assert!(t.remove(Point::new(0.3, 0.3), &4));
+        assert!(!t.remove(Point::new(0.3, 0.3), &4), "each entry once");
+        assert_eq!(t.len(), 9);
     }
 
     proptest! {

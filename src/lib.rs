@@ -36,6 +36,12 @@
 //! assert!(cover.value >= top.ranked[0].1 - 1e-9);
 //! ```
 
+/// The user guide's `rust` code blocks, compiled and run as doctests so
+/// the documented examples can never rot (`cargo test --doc -p tq`).
+#[cfg(doctest)]
+#[doc = include_str!("../docs/GUIDE.md")]
+pub struct GuideDoctests;
+
 pub use tq_baseline as baseline;
 pub use tq_core as core;
 pub use tq_datagen as datagen;
@@ -46,13 +52,17 @@ pub use tq_trajectory as trajectory;
 /// The most common imports in one place.
 pub mod prelude {
     pub use tq_baseline::BaselineIndex;
+    pub use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update, UpdateStats};
     pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
     pub use tq_core::{
         evaluate_masks, evaluate_service, top_k_facilities, Placement, PointMask, Scenario,
         ServiceModel, Storage, TqTree, TqTreeConfig,
     };
     pub use tq_datagen::presets;
-    pub use tq_datagen::{bus_routes, checkins, gps_traces, taxi_trips, CityModel};
+    pub use tq_datagen::{
+        bus_routes, checkins, gps_traces, stream_scenario, taxi_trips, CityModel, StreamEvent,
+        StreamKind, StreamScenario,
+    };
     pub use tq_geometry::{Point, Rect, ZId};
     pub use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
 }

@@ -1,0 +1,184 @@
+//! Dynamic-engine equivalence: after **every** batch of a seeded
+//! arrival/expiry event trace, the [`DynamicEngine`]'s kMaxRRST top-k and
+//! greedy MaxkCovRST answers must be **bit-identical** to building a fresh
+//! TQ-tree over the live trajectories and querying it from scratch.
+//!
+//! Three presets are exercised (NYT-like taxi trips, NYF-like check-ins,
+//! BJG-like GPS traces), each paired with a different service scenario so
+//! all three value semantics cross the incremental path, with ≥ 200 events
+//! per preset.
+
+use tq::core::dynamic::{DynamicConfig, DynamicEngine, Update};
+use tq::core::maxcov::{greedy, ServedTable};
+use tq::core::top_k_facilities;
+use tq::datagen::{bus_routes, stream_scenario, StreamEvent, StreamKind};
+use tq::prelude::*;
+
+const EVENTS: usize = 240;
+const BATCH: usize = 40;
+const INITIAL: usize = 1_200;
+const K: usize = 10;
+const COVER_K: usize = 4;
+
+/// Runs one preset end to end, checking both query families after every
+/// batch.
+fn check_preset(
+    kind: StreamKind,
+    scenario: Scenario,
+    placement: Placement,
+    city: CityModel,
+    seed: u64,
+) {
+    let trace = stream_scenario(&city, kind, INITIAL, EVENTS, 0.5, seed);
+    let routes = bus_routes(&city, 32, 8, 14_000.0, seed ^ 0xFACE);
+    let model = ServiceModel::new(scenario, 200.0);
+    let tree_cfg = TqTreeConfig::z_order(placement).with_beta(32);
+    let mut engine = DynamicEngine::new(
+        trace.initial.clone(),
+        routes.clone(),
+        model,
+        DynamicConfig {
+            tree: tree_cfg,
+            ..DynamicConfig::default()
+        },
+        trace.bounds,
+    );
+
+    let mut batches_checked = 0;
+    for chunk in trace.events.chunks(BATCH) {
+        let updates: Vec<Update> = chunk
+            .iter()
+            .map(|e| match e {
+                StreamEvent::Arrive(t) => Update::Insert(t.clone()),
+                StreamEvent::Expire(id) => Update::Remove(*id),
+            })
+            .collect();
+        engine.apply(&updates).expect("generated traces are valid");
+
+        // Fresh build over the live set (`live_set` documents why the id
+        // compaction preserves the canonical value summation order).
+        let live = engine.live_set();
+        assert_eq!(live.len(), engine.live_users());
+        let fresh_tree = TqTree::build_with_bounds(&live, tree_cfg, trace.bounds);
+
+        // kMaxRRST: identical facility ranking, bit-identical values.
+        let got = engine.top_k(K);
+        let want = top_k_facilities(&fresh_tree, &live, &model, &routes, K).ranked;
+        assert_eq!(got.len(), want.len());
+        for (i, ((gid, gv), (wid, wv))) in got.iter().zip(&want).enumerate() {
+            assert_eq!(gid, wid, "{kind:?}/{scenario:?} rank {i}: facility id");
+            assert_eq!(
+                gv.to_bits(),
+                wv.to_bits(),
+                "{kind:?}/{scenario:?} rank {i}: value {gv} vs {wv}"
+            );
+        }
+
+        // Greedy MaxkCovRST: identical chosen set, bit-identical combined
+        // value, identical served-user count.
+        let got_cov = engine.greedy_cover(COVER_K);
+        let fresh_table = ServedTable::build(&fresh_tree, &live, &model, &routes);
+        let want_cov = greedy(&fresh_table, &live, &model, COVER_K);
+        assert_eq!(got_cov.chosen, want_cov.chosen, "{kind:?}/{scenario:?}");
+        assert_eq!(
+            got_cov.value.to_bits(),
+            want_cov.value.to_bits(),
+            "{kind:?}/{scenario:?}: {} vs {}",
+            got_cov.value,
+            want_cov.value
+        );
+        assert_eq!(got_cov.users_served, want_cov.users_served);
+
+        // The maintained per-facility masks equal the fresh ones up to the
+        // monotone id compaction: compare sizes and values.
+        let table = engine.served_table();
+        assert_eq!(table.values.len(), fresh_table.values.len());
+        for (fi, (gv, wv)) in table.values.iter().zip(&fresh_table.values).enumerate() {
+            assert_eq!(
+                gv.to_bits(),
+                wv.to_bits(),
+                "{kind:?}/{scenario:?} facility {fi} table value"
+            );
+            assert_eq!(table.masks[fi].len(), fresh_table.masks[fi].len());
+        }
+        batches_checked += 1;
+    }
+    assert_eq!(batches_checked, EVENTS / BATCH);
+    let stats = engine.stats();
+    assert_eq!(stats.inserts + stats.removes, EVENTS as u64);
+}
+
+#[test]
+fn nyt_taxi_transit_bit_identical() {
+    check_preset(
+        StreamKind::Taxi,
+        Scenario::Transit,
+        Placement::TwoPoint,
+        tq::datagen::presets::ny_city(),
+        11,
+    );
+}
+
+#[test]
+fn nyf_checkins_pointcount_bit_identical() {
+    check_preset(
+        StreamKind::Checkins,
+        Scenario::PointCount,
+        Placement::Segmented,
+        tq::datagen::presets::ny_city(),
+        22,
+    );
+}
+
+#[test]
+fn bjg_gps_length_bit_identical() {
+    check_preset(
+        StreamKind::Gps,
+        Scenario::Length,
+        Placement::FullTrajectory,
+        tq::datagen::presets::bj_city(),
+        33,
+    );
+}
+
+/// The engine must also stay bit-identical when the targeted-rebuild
+/// fallback fires on every touched facility (rebuild_fraction = 0).
+#[test]
+fn rebuild_fallback_bit_identical() {
+    let city = tq::datagen::presets::ny_city();
+    let trace = stream_scenario(&city, StreamKind::Taxi, 800, 200, 0.5, 44);
+    let routes = bus_routes(&city, 24, 8, 14_000.0, 45);
+    let model = ServiceModel::new(Scenario::Transit, 200.0);
+    let tree_cfg = TqTreeConfig::default().with_beta(32);
+    let mut engine = DynamicEngine::new(
+        trace.initial.clone(),
+        routes.clone(),
+        model,
+        DynamicConfig {
+            tree: tree_cfg,
+            rebuild_fraction: 0.0,
+        },
+        trace.bounds,
+    );
+    for chunk in trace.events.chunks(50) {
+        let updates: Vec<Update> = chunk
+            .iter()
+            .map(|e| match e {
+                StreamEvent::Arrive(t) => Update::Insert(t.clone()),
+                StreamEvent::Expire(id) => Update::Remove(*id),
+            })
+            .collect();
+        engine.apply(&updates).unwrap();
+    }
+    assert!(
+        engine.stats().facilities_reevaluated > 0,
+        "setup: fallback must actually fire"
+    );
+    let live = engine.live_set();
+    let fresh_tree = TqTree::build_with_bounds(&live, tree_cfg, trace.bounds);
+    let want = top_k_facilities(&fresh_tree, &live, &model, &routes, 8).ranked;
+    for ((gid, gv), (wid, wv)) in engine.top_k(8).iter().zip(&want) {
+        assert_eq!(gid, wid);
+        assert_eq!(gv.to_bits(), wv.to_bits());
+    }
+}

@@ -138,6 +138,58 @@ proptest! {
         prop_assert!(tree2.validate(&users2).is_ok());
         prop_assert_eq!(tree2.item_count(), users2.len());
     }
+
+    /// Inserting a trajectory set and then removing it again must restore
+    /// every structural statistic (`TreeStats`) to the pre-insert state:
+    /// splits made on the way in are undone by empty-leaf reclamation and
+    /// subtree collapse on the way out, so the tree shape stays a pure
+    /// function of the stored item multiset.
+    #[test]
+    fn insert_then_remove_restores_structural_stats(
+        base in arb_users(60),
+        extra in arb_users(30),
+        beta in 1usize..10,
+        storage_z in any::<bool>(),
+        placement_i in 0u8..3,
+    ) {
+        let placement = [Placement::TwoPoint, Placement::Segmented, Placement::FullTrajectory]
+            [placement_i as usize];
+        let cfg = TqTreeConfig {
+            beta,
+            storage: if storage_z { Storage::ZOrder } else { Storage::Basic },
+            placement,
+            max_depth: 10,
+        };
+        let bounds = Rect::new(Point::new(-1.0, -1.0), Point::new(101.0, 101.0));
+        let mut users = base.clone();
+        let mut tree = TqTree::build_with_bounds(&users, cfg, bounds);
+        let mut before = tree.stats();
+
+        let mut ids = Vec::new();
+        for (_, t) in extra.iter() {
+            ids.push(tree.insert(&mut users, t.clone()).unwrap());
+        }
+        prop_assert!(tree.validate(&users).is_ok(), "{:?}", tree.validate(&users));
+        for id in ids {
+            tree.remove(&users, id).unwrap();
+        }
+
+        let mut after = tree.stats();
+        // The arena's reserve capacity may legitimately have grown; every
+        // structural statistic must be back bit-for-bit.
+        before.memory_bytes = 0;
+        after.memory_bytes = 0;
+        prop_assert_eq!(before, after);
+        let expected = match placement {
+            Placement::Segmented => base.total_segments(),
+            _ => base.len(),
+        };
+        prop_assert!(
+            tree.validate_with_count(&users, expected).is_ok(),
+            "{:?}",
+            tree.validate_with_count(&users, expected)
+        );
+    }
 }
 
 #[test]
