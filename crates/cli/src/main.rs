@@ -9,47 +9,118 @@
 //! tq stream  --kind nyt --users 20000 --events 2000 --batch 200 --k 8
 //! ```
 //!
+//! Every query command runs through the unified [`tq_core::engine::Engine`]
+//! / [`tq_core::engine::Query`] API, so `--backend`/`--method` switch
+//! between the TQ-tree variants and the BL baseline without touching the
+//! query logic, typed [`tq_core::engine::EngineError`]s become non-zero
+//! exit codes with readable messages, and each answer prints its
+//! [`tq_core::engine::Explain`] report. `tq <command> --help` prints
+//! per-command flag documentation (generated from the same tables that
+//! drive parsing — see [`args`]).
+//!
 //! Datasets travel as `.tqd` snapshot files (`tq-trajectory::snapshot`).
 
 mod args;
 
-use args::Args;
-use tq_baseline::BaselineIndex;
-use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update};
-use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
+use args::{global_usage, Args, Command, Flag};
+use tq_core::engine::{Algorithm, Engine, EngineBuilder, Query};
+use tq_core::dynamic::Update;
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
-use tq_core::top_k_facilities;
 use tq_datagen::{StreamEvent, StreamKind};
 use tq_trajectory::{snapshot, FacilitySet, UserSet};
 
-const USAGE: &str = "\
-tq — trajectory coverage queries (kMaxRRST / MaxkCovRST over a TQ-tree)
+const GENERATE: Command = Command {
+    name: "generate",
+    summary: "synthesize a seeded dataset file",
+    positional: "",
+    flags: &[
+        Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
+        Flag { name: "users", meta: "N", default: "50000", help: "number of user trajectories" },
+        Flag { name: "routes", meta: "N", default: "128", help: "number of candidate routes" },
+        Flag { name: "stops", meta: "S", default: "32", help: "stops per route" },
+        Flag { name: "seed", meta: "SEED", default: "1", help: "RNG seed (fully deterministic)" },
+        Flag { name: "out", meta: "FILE", default: "", help: "output .tqd snapshot path" },
+    ],
+};
 
-USAGE: tq <command> [args]
+const IMPORT_TAXI: Command = Command {
+    name: "import-taxi",
+    summary: "import NYC TLC trips + route stops",
+    positional: "",
+    flags: &[
+        Flag { name: "trips", meta: "FILE", default: "", help: "TLC yellow-taxi CSV (2015 schema)" },
+        Flag { name: "routes", meta: "FILE", default: "", help: "route_id,seq,lat,lon stops CSV" },
+        Flag { name: "out", meta: "FILE", default: "", help: "output .tqd snapshot path" },
+    ],
+};
 
-COMMANDS
-  generate     synthesize a dataset            --kind nyt|nyf|bjg --users N
-               [--routes N --stops S --seed S] --out FILE
-  import-taxi  import NYC TLC trips + route stops
-               --trips FILE --routes FILE --out FILE
-  stats        dataset and index statistics    FILE [--beta B]
-  topk         kMaxRRST                        FILE --k K --psi METRES
-               [--scenario transit|points|length] [--placement two-point|segmented|full]
-               [--method tq-z|tq-b|bl] [--threads N]
-  maxcov       MaxkCovRST                      FILE --k K --psi METRES
-               [--method greedy|two-step|genetic|exact] [--threads N]
-  stream       dynamic workload: batched arrivals/expiries with incremental
-               index + answer maintenance      --kind nyt|nyf|bjg --users N
-               [--events N --batch B --expire R --routes N --stops S --k K
-                --psi METRES --scenario S --placement P --beta B --seed S
-                --threads N --verify true]
-  help         this text
+const STATS: Command = Command {
+    name: "stats",
+    summary: "dataset and index statistics",
+    positional: "FILE",
+    flags: &[
+        Flag { name: "beta", meta: "B", default: "64", help: "TQ-tree bucket size β" },
+    ],
+};
 
-Evaluation fans out across --threads worker threads (0 = one per core,
-the default); results are identical at any thread count.
-See docs/GUIDE.md for worked examples of every command.
-";
+const TOPK: Command = Command {
+    name: "topk",
+    summary: "kMaxRRST: the k individually best facilities",
+    positional: "FILE",
+    flags: &[
+        Flag { name: "k", meta: "K", default: "8", help: "result count" },
+        Flag { name: "psi", meta: "METRES", default: "200", help: "service radius ψ" },
+        Flag { name: "scenario", meta: "transit|points|length", default: "transit", help: "service semantics (paper scenarios 1-3)" },
+        Flag { name: "placement", meta: "two-point|segmented|full", default: "two-point", help: "trajectory-to-item mapping (TQ / S-TQ / F-TQ)" },
+        Flag { name: "backend", meta: "tq-z|tq-b|bl", default: "tq-z", help: "index backend: TQ(Z), TQ(B) or the BL baseline" },
+        Flag { name: "beta", meta: "B", default: "64", help: "TQ-tree bucket size β" },
+        Flag { name: "threads", meta: "N", default: "0", help: "worker threads (0 = one per core)" },
+    ],
+};
+
+const MAXCOV: Command = Command {
+    name: "maxcov",
+    summary: "MaxkCovRST: the size-k subset with the best combined service",
+    positional: "FILE",
+    flags: &[
+        Flag { name: "k", meta: "K", default: "4", help: "subset size" },
+        Flag { name: "psi", meta: "METRES", default: "200", help: "service radius ψ" },
+        Flag { name: "scenario", meta: "transit|points|length", default: "transit", help: "service semantics (paper scenarios 1-3)" },
+        Flag { name: "placement", meta: "two-point|segmented|full", default: "two-point", help: "trajectory-to-item mapping (TQ / S-TQ / F-TQ)" },
+        Flag { name: "method", meta: "greedy|two-step|genetic|exact", default: "two-step", help: "MaxkCovRST solver" },
+        Flag { name: "backend", meta: "tq-z|tq-b|bl", default: "tq-z", help: "index backend: TQ(Z), TQ(B) or the BL baseline" },
+        Flag { name: "beta", meta: "B", default: "64", help: "TQ-tree bucket size β" },
+        Flag { name: "k-prime", meta: "K'", default: "max(4k, 32)", help: "two-step candidate-pool size k′" },
+        Flag { name: "seed", meta: "SEED", default: "0x5EED", help: "genetic-algorithm RNG seed" },
+        Flag { name: "threads", meta: "N", default: "0", help: "worker threads (0 = one per core)" },
+    ],
+};
+
+const STREAM: Command = Command {
+    name: "stream",
+    summary: "dynamic workload: batched arrivals/expiries, incremental answers",
+    positional: "",
+    flags: &[
+        Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
+        Flag { name: "users", meta: "N", default: "20000", help: "initial trajectory count" },
+        Flag { name: "events", meta: "N", default: "2000", help: "total arrival/expiry events" },
+        Flag { name: "batch", meta: "B", default: "200", help: "events per applied batch" },
+        Flag { name: "expire", meta: "RATIO", default: "0.5", help: "expiry share of events (0..1)" },
+        Flag { name: "routes", meta: "N", default: "128", help: "number of candidate routes" },
+        Flag { name: "stops", meta: "S", default: "16", help: "stops per route" },
+        Flag { name: "k", meta: "K", default: "8", help: "top-k reported after the stream" },
+        Flag { name: "psi", meta: "METRES", default: "preset", help: "service radius ψ" },
+        Flag { name: "scenario", meta: "transit|points|length", default: "transit", help: "service semantics" },
+        Flag { name: "placement", meta: "two-point|segmented|full", default: "per kind", help: "defaults to the variant that sees all of a kind's points" },
+        Flag { name: "beta", meta: "B", default: "64", help: "TQ-tree bucket size β" },
+        Flag { name: "seed", meta: "SEED", default: "1", help: "trace RNG seed" },
+        Flag { name: "threads", meta: "N", default: "0", help: "worker threads (0 = one per core)" },
+        Flag { name: "verify", meta: "true|false", default: "false", help: "cross-check the final top-k against a fresh build" },
+    ],
+};
+
+const COMMANDS: [&Command; 6] = [&GENERATE, &IMPORT_TAXI, &STATS, &TOPK, &MAXCOV, &STREAM];
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -63,12 +134,12 @@ fn main() {
         "maxcov" => cmd_maxcov(rest),
         "stream" => cmd_stream(rest),
         "help" | "--help" | "-h" => {
-            print!("{USAGE}");
+            print!("{}", global_usage(&COMMANDS));
             Ok(())
         }
         other => {
             // Unknown commands get the full synopsis, not just an error.
-            eprint!("{USAGE}");
+            eprint!("{}", global_usage(&COMMANDS));
             Err(format!("unknown command {other:?}").into())
         }
     };
@@ -79,6 +150,17 @@ fn main() {
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Parses against a command table; `Ok(None)` means help was printed.
+fn parse(cmd: &Command, raw: Vec<String>) -> Result<Option<Args>, Box<dyn std::error::Error>> {
+    match cmd.parse(raw)? {
+        Some(a) => Ok(Some(a)),
+        None => {
+            print!("{}", cmd.usage());
+            Ok(None)
+        }
+    }
+}
 
 fn load(path: &str) -> Result<(UserSet, FacilitySet), Box<dyn std::error::Error>> {
     let raw = std::fs::read(path)?;
@@ -105,8 +187,23 @@ fn placement_of(name: &str) -> Result<Placement, String> {
     }
 }
 
+/// Applies the `--backend` flag to an [`EngineBuilder`].
+fn backend_of(
+    builder: EngineBuilder,
+    name: &str,
+    placement: Placement,
+    beta: usize,
+) -> Result<EngineBuilder, String> {
+    match name {
+        "tq-z" => Ok(builder.tree_config(TqTreeConfig::z_order(placement).with_beta(beta))),
+        "tq-b" => Ok(builder.tree_config(TqTreeConfig::basic(placement).with_beta(beta))),
+        "bl" => Ok(builder.baseline()),
+        other => Err(format!("unknown backend {other:?} (tq-z|tq-b|bl)")),
+    }
+}
+
 fn cmd_generate(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["kind", "users", "routes", "stops", "seed", "out"])?;
+    let Some(a) = parse(&GENERATE, raw)? else { return Ok(()) };
     let kind = a.get("kind").unwrap_or("nyt");
     let users_n: usize = a.get_or("users", 50_000, "integer")?;
     let routes_n: usize = a.get_or("routes", 128, "integer")?;
@@ -148,7 +245,7 @@ fn cmd_generate(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_import_taxi(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["trips", "routes", "out"])?;
+    let Some(a) = parse(&IMPORT_TAXI, raw)? else { return Ok(()) };
     let trips_path = a.required("trips")?;
     let routes_path = a.required("routes")?;
     let out = a.required("out")?;
@@ -166,7 +263,7 @@ fn cmd_import_taxi(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_stats(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["beta"])?;
+    let Some(a) = parse(&STATS, raw)? else { return Ok(()) };
     let [path] = a.positional() else {
         return Err("stats needs one dataset file".into());
     };
@@ -209,10 +306,7 @@ fn cmd_stats(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_topk(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(
-        raw,
-        &["k", "psi", "scenario", "placement", "method", "beta", "threads"],
-    )?;
+    let Some(a) = parse(&TOPK, raw)? else { return Ok(()) };
     let [path] = a.positional() else {
         return Err("topk needs one dataset file".into());
     };
@@ -221,44 +315,78 @@ fn cmd_topk(raw: Vec<String>) -> CliResult {
     let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
     let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
     let beta: usize = a.get_or("beta", 64, "integer")?;
-    let method = a.get("method").unwrap_or("tq-z");
+    let backend = a.get("backend").unwrap_or("tq-z");
+    let threads: usize = a.get_or("threads", 0, "integer")?;
+    tq_core::set_threads(threads);
+    let (users, facilities) = load(path)?;
+    let model = ServiceModel::new(scenario, psi);
+
+    let builder = Engine::builder(model).users(users).facilities(facilities);
+    let mut engine = backend_of(builder, backend, placement, beta)?.build()?;
+    let answer = engine.run(Query::top_k(k))?;
+    println!(
+        "kMaxRRST top-{k} ({backend}, {scenario:?}, ψ={psi}) in {:.3}s:",
+        answer.explain.wall.as_secs_f64()
+    );
+    for (rank, (id, value)) in answer.ranked().iter().enumerate() {
+        println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+    }
+    println!("explain: {}", answer.explain);
+    Ok(())
+}
+
+fn cmd_maxcov(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&MAXCOV, raw)? else { return Ok(()) };
+    let [path] = a.positional() else {
+        return Err("maxcov needs one dataset file".into());
+    };
+    let k: usize = a.get_or("k", 4, "integer")?;
+    let psi: f64 = a.get_or("psi", 200.0, "number")?;
+    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
+    let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let method = a.get("method").unwrap_or("two-step");
+    let backend = a.get("backend").unwrap_or("tq-z");
     tq_core::set_threads(a.get_or("threads", 0, "integer")?);
     let (users, facilities) = load(path)?;
     let model = ServiceModel::new(scenario, psi);
 
-    let t = std::time::Instant::now();
-    let ranked = match method {
-        "bl" => {
-            BaselineIndex::build(&users)
-                .top_k(&users, &model, &facilities, k)
-                .ranked
+    let builder = Engine::builder(model).users(users).facilities(facilities);
+    let mut engine = backend_of(builder, backend, placement, beta)?.build()?;
+    let mut query = Query::max_cov(k);
+    query = match method {
+        "greedy" => query.algorithm(Algorithm::Greedy),
+        "two-step" => {
+            let kp: usize = a.get_or("k-prime", (4 * k).max(32), "integer")?;
+            query.algorithm(Algorithm::TwoStep).k_prime(kp)
         }
-        "tq-b" => {
-            let tree = TqTree::build(&users, TqTreeConfig::basic(placement).with_beta(beta));
-            top_k_facilities(&tree, &users, &model, &facilities, k).ranked
+        "genetic" => {
+            let seed: u64 = a.get_or("seed", 0x5EED, "integer")?;
+            query.algorithm(Algorithm::Genetic).seed(seed)
         }
-        "tq-z" => {
-            let tree = TqTree::build(&users, TqTreeConfig::z_order(placement).with_beta(beta));
-            top_k_facilities(&tree, &users, &model, &facilities, k).ranked
+        "exact" => query.algorithm(Algorithm::Exact),
+        other => {
+            return Err(
+                format!("unknown method {other:?} (greedy|two-step|genetic|exact)").into(),
+            )
         }
-        other => return Err(format!("unknown method {other:?} (tq-z|tq-b|bl)").into()),
     };
-    let secs = t.elapsed().as_secs_f64();
-    println!("kMaxRRST top-{k} ({method}, {scenario:?}, ψ={psi}) in {secs:.3}s:");
-    for (rank, (id, value)) in ranked.iter().enumerate() {
-        println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
-    }
+    let answer = engine.run(query)?;
+    let out = answer.cover();
+    println!(
+        "MaxkCovRST k={k} ({method}, {backend}, {scenario:?}, ψ={psi}) in {:.3}s: \
+         combined service {:.3}, {} users served",
+        answer.explain.wall.as_secs_f64(),
+        out.value,
+        out.users_served
+    );
+    println!("  facilities: {:?}", out.chosen);
+    println!("explain: {}", answer.explain);
     Ok(())
 }
 
 fn cmd_stream(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(
-        raw,
-        &[
-            "kind", "users", "events", "batch", "expire", "routes", "stops", "k", "psi",
-            "scenario", "placement", "beta", "seed", "threads", "verify",
-        ],
-    )?;
+    let Some(a) = parse(&STREAM, raw)? else { return Ok(()) };
     let kind_name = a.get("kind").unwrap_or("nyt");
     let users_n: usize = a.get_or("users", 20_000, "integer")?;
     let events_n: usize = a.get_or("events", 2_000, "integer")?;
@@ -271,7 +399,7 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
     let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
     // Multipoint kinds default to the placement that sees all their points
     // (two-point placement would evaluate trace endpoints only).
-    let default_placement = match a.get("kind").unwrap_or("nyt") {
+    let default_placement = match kind_name {
         "nyf" => "segmented",
         "bjg" => "full",
         _ => "two-point",
@@ -303,10 +431,7 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         seed ^ 0xB05,
     );
     let model = ServiceModel::new(scenario, psi);
-    let config = DynamicConfig {
-        tree: TqTreeConfig::z_order(placement).with_beta(beta),
-        ..DynamicConfig::default()
-    };
+    let tree_cfg = TqTreeConfig::z_order(placement).with_beta(beta);
     println!(
         "stream: {} initial {kind_name} trajectories, {} events ({} arrivals / {} expiries), \
          batches of {batch}, {} routes × {stops} stops",
@@ -317,13 +442,15 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         facilities.len(),
     );
     let t = std::time::Instant::now();
-    let mut engine = DynamicEngine::new(
-        scenario_trace.initial,
-        facilities.clone(),
-        model,
-        config,
-        scenario_trace.bounds,
-    );
+    let mut engine = Engine::builder(model)
+        .users(scenario_trace.initial)
+        .facilities(facilities.clone())
+        .tree_config(tree_cfg)
+        .bounds(scenario_trace.bounds)
+        .build()?;
+    // Seed the served-table memo so every batch maintains it incrementally
+    // instead of the final query paying one full evaluation.
+    engine.warm();
     println!("build:  index + initial evaluation in {:.3}s", t.elapsed().as_secs_f64());
 
     let mut apply_secs = 0.0f64;
@@ -351,7 +478,7 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
             out.reevaluated,
         );
     }
-    let s = engine.stats();
+    let s = *engine.stats();
     println!(
         "totals: {} batches ({} inserts, {} removes) in {apply_secs:.3}s incremental",
         s.batches, s.inserts, s.removes
@@ -364,22 +491,31 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         100.0 * s.skipped_fraction(),
         100.0 * s.untouched_fraction(),
     );
+    let answer = engine.run(Query::top_k(k))?;
     println!("kMaxRRST top-{k} ({scenario:?}, ψ={psi}) over the final live set:");
-    for (rank, (id, value)) in engine.top_k(k).iter().enumerate() {
+    for (rank, (id, value)) in answer.ranked().iter().enumerate() {
         println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
     }
+    println!(
+        "explain: {} (answered from the incrementally maintained table)",
+        answer.explain
+    );
 
     if verify {
         let t = std::time::Instant::now();
-        let live = engine.live_set();
-        let tree = TqTree::build_with_bounds(&live, config.tree, scenario_trace.bounds);
-        let fresh = top_k_facilities(&tree, &live, &model, &facilities, k);
+        let mut fresh = Engine::builder(model)
+            .users(engine.live_set())
+            .facilities(facilities)
+            .tree_config(tree_cfg)
+            .bounds(scenario_trace.bounds)
+            .build()?;
+        let want = fresh.run(Query::top_k(k))?;
         let fresh_secs = t.elapsed().as_secs_f64();
-        let got = engine.top_k(k);
-        let ok = got.len() == fresh.ranked.len()
+        let got = answer.ranked();
+        let ok = got.len() == want.ranked().len()
             && got
                 .iter()
-                .zip(&fresh.ranked)
+                .zip(want.ranked())
                 .all(|((_, gv), (_, fv))| gv.to_bits() == fv.to_bits());
         if ok {
             println!(
@@ -389,64 +525,10 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         } else {
             return Err(format!(
                 "verify FAILED: incremental {got:?} vs fresh {:?}",
-                fresh.ranked
+                want.ranked()
             )
             .into());
         }
     }
-    Ok(())
-}
-
-fn cmd_maxcov(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(
-        raw,
-        &["k", "psi", "scenario", "placement", "method", "beta", "k-prime", "threads"],
-    )?;
-    let [path] = a.positional() else {
-        return Err("maxcov needs one dataset file".into());
-    };
-    let k: usize = a.get_or("k", 4, "integer")?;
-    let psi: f64 = a.get_or("psi", 200.0, "number")?;
-    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
-    let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
-    let beta: usize = a.get_or("beta", 64, "integer")?;
-    let method = a.get("method").unwrap_or("two-step");
-    tq_core::set_threads(a.get_or("threads", 0, "integer")?);
-    let (users, facilities) = load(path)?;
-    let model = ServiceModel::new(scenario, psi);
-    let tree = TqTree::build(&users, TqTreeConfig::z_order(placement).with_beta(beta));
-
-    let t = std::time::Instant::now();
-    let out = match method {
-        "greedy" => {
-            let table = ServedTable::build(&tree, &users, &model, &facilities);
-            greedy(&table, &users, &model, k)
-        }
-        "two-step" => {
-            let kp: usize = a.get_or("k-prime", (4 * k).max(32), "integer")?;
-            two_step_greedy(&tree, &users, &model, &facilities, k, Some(kp))
-        }
-        "genetic" => {
-            let table = ServedTable::build(&tree, &users, &model, &facilities);
-            genetic(&table, &users, &model, k, &GeneticConfig::default())
-        }
-        "exact" => {
-            let table = ServedTable::build(&tree, &users, &model, &facilities);
-            exact(&table, &users, &model, k, Some(100_000_000))
-                .ok_or("exact search exceeded its node budget; reduce --k or facilities")?
-        }
-        other => {
-            return Err(
-                format!("unknown method {other:?} (greedy|two-step|genetic|exact)").into(),
-            )
-        }
-    };
-    let secs = t.elapsed().as_secs_f64();
-    println!(
-        "MaxkCovRST k={k} ({method}, {scenario:?}, ψ={psi}) in {secs:.3}s: \
-         combined service {:.3}, {} users served",
-        out.value, out.users_served
-    );
-    println!("  facilities: {:?}", out.chosen);
     Ok(())
 }

@@ -1,21 +1,15 @@
-//! Dynamic-workload engine: incremental index *and* query-result
-//! maintenance under streaming trajectory arrivals and expiries.
+//! Dynamic-workload types and the historical [`DynamicEngine`] wrapper.
 //!
 //! The paper presents the TQ-tree as an updatable index (§III-C discusses
 //! insertion alongside the bulk `constructTQtree`), but its experiments are
 //! static: build once, query once. Real trajectory traffic — taxi trips
 //! arriving and aging out of a sliding window — is a stream of updates with
-//! queries interleaved. [`DynamicEngine`] makes that workload first-class:
-//!
-//! * it owns a [`TqTree`] + [`UserSet`] pair and applies batched
-//!   [`Update::Insert`] / [`Update::Remove`] events through the incremental
-//!   insert/remove machinery of [`crate::tqtree`] (no index rebuilds);
-//! * it keeps the answers of both query families — kMaxRRST top-k (paper
-//!   Algorithms 3/4) and the greedy MaxkCovRST solvers (§V) — correct after
-//!   every batch by maintaining the per-facility served-point masks (the
-//!   [`ServedTable`] state every solver consumes) *incrementally*;
-//! * [`UpdateStats`] proves how much work the incremental path avoided
-//!   compared to re-evaluating every facility from scratch each batch.
+//! queries interleaved. This module defines the vocabulary of that workload
+//! ([`Update`], [`UpdateError`], [`UpdateStats`], [`BatchOutcome`],
+//! [`DynamicConfig`]); the *maintenance machinery itself now lives in the
+//! unified engine* — [`Engine::apply`](crate::engine::Engine::apply) keeps
+//! every memoized [`ServedTable`] in sync across batches, so static and
+//! streaming callers share one type.
 //!
 //! # The invalidation rule
 //!
@@ -29,9 +23,8 @@
 //! not an approximation). When a batch touches a facility with more deltas
 //! than [`DynamicConfig::rebuild_fraction`] of the live set, patching would
 //! approach the cost of a fresh evaluation, so the engine falls back to a
-//! *targeted rebuild* of just that facility's cache through the TQ-tree
-//! ([`crate::eval::evaluate_masks`]) — fanned out across threads via
-//! [`crate::parallel`] together with all other rebuilds of the batch.
+//! *targeted rebuild* of just that facility's cache through the TQ-tree —
+//! fanned out across threads together with all other rebuilds of the batch.
 //!
 //! # Bit-identity
 //!
@@ -48,6 +41,10 @@
 //!    after every batch of seeded event traces.)
 //!
 //! # Example
+//!
+//! [`DynamicEngine`] is a thin compatibility wrapper over [`Engine`] (an
+//! eagerly warmed engine with a TQ-tree backend); new code should use
+//! [`Engine`] and [`Engine::apply`] directly.
 //!
 //! ```
 //! use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update};
@@ -114,13 +111,12 @@
 //! assert_eq!(engine.live_users(), 1);
 //! ```
 
-use crate::eval::canonical_value;
+use crate::engine::{Engine, EngineError};
 use crate::maxcov::{greedy, CovOutcome, ServedTable};
-use crate::parallel;
-use crate::service::{PointMask, ServiceModel};
-use crate::tqtree::{Placement, TqTree, TqTreeConfig};
+use crate::service::ServiceModel;
+use crate::tqtree::{TqTree, TqTreeConfig};
 use tq_geometry::Rect;
-use tq_trajectory::{Facility, FacilityId, FacilitySet, Trajectory, TrajectoryId, UserSet};
+use tq_trajectory::{FacilityId, FacilitySet, Trajectory, TrajectoryId, UserSet};
 
 /// One event of a dynamic trajectory workload.
 #[derive(Debug, Clone)]
@@ -134,8 +130,9 @@ pub enum Update {
     Remove(TrajectoryId),
 }
 
-/// Errors rejected by [`DynamicEngine::apply`]. A rejected batch is applied
-/// not at all (all-or-nothing).
+/// Errors rejected by [`Engine::apply`] /
+/// [`DynamicEngine::apply`]. A rejected batch is applied not at all
+/// (all-or-nothing).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateError {
     /// An inserted trajectory has points outside the engine's fixed bounds.
@@ -266,34 +263,21 @@ impl Default for DynamicConfig {
     fn default() -> Self {
         DynamicConfig {
             tree: TqTreeConfig::default(),
-            rebuild_fraction: 0.25,
+            rebuild_fraction: crate::engine::DEFAULT_REBUILD_FRACTION,
         }
     }
 }
 
-/// A dynamic-workload engine: an incrementally maintained TQ-tree plus
-/// incrementally maintained query state for a fixed facility set and
-/// service model. See the [module docs](self) for the maintenance rules and
-/// the bit-identity guarantee.
+/// Compatibility wrapper: an eagerly warmed [`Engine`] with a TQ-tree
+/// backend, exposing the original dynamic-workload API. All maintenance
+/// logic lives in [`Engine::apply`]; this type only delegates. New code
+/// should use [`Engine`] and [`crate::engine::Query`] directly.
 #[derive(Debug, Clone)]
 pub struct DynamicEngine {
-    tree: TqTree,
-    users: UserSet,
-    facilities: FacilitySet,
-    model: ServiceModel,
+    inner: Engine,
+    /// The full-facility candidate key (all ids, ascending).
+    all: Vec<FacilityId>,
     config: DynamicConfig,
-    /// Per-facility ψ-expanded stop bounding rectangles (EMBRs), the
-    /// invalidation test.
-    embrs: Vec<Rect>,
-    /// The maintained query state: complete per-facility served-point masks
-    /// and canonically summed values, held directly as the [`ServedTable`]
-    /// every MaxkCovRST solver consumes so queries borrow it without
-    /// copying.
-    table: ServedTable,
-    /// Liveness per trajectory id (`false` = removed tombstone).
-    live: Vec<bool>,
-    live_count: usize,
-    stats: UpdateStats,
 }
 
 impl DynamicEngine {
@@ -318,207 +302,25 @@ impl DynamicEngine {
                 .all(|(_, t)| t.points().iter().all(|p| bounds.contains(p))),
             "initial trajectories must lie within the engine bounds"
         );
-        let tree = TqTree::build_with_bounds(&initial, config.tree, bounds);
-        let embrs: Vec<Rect> = facilities
-            .iter()
-            .map(|(_, f)| f.embr(model.psi))
-            .collect();
-        let ids: Vec<FacilityId> = facilities.iter().map(|(id, _)| id).collect();
-        let outcomes =
-            parallel::par_evaluate_candidates(&tree, &initial, &model, &facilities, &ids, true);
-        let mut masks = Vec::with_capacity(ids.len());
-        let mut values = Vec::with_capacity(ids.len());
-        for out in outcomes {
-            values.push(out.value);
-            masks.push(out.masks);
-        }
-        let table = ServedTable {
-            ids,
-            masks,
-            values,
-            stats: Default::default(),
-        };
-        let live_count = initial.len();
-        DynamicEngine {
-            tree,
-            live: vec![true; live_count],
-            users: initial,
-            facilities,
-            model,
-            config,
-            embrs,
-            table,
-            live_count,
-            stats: UpdateStats::default(),
-        }
+        let mut inner = Engine::builder(model)
+            .users(initial)
+            .facilities(facilities)
+            .tree_config(config.tree)
+            .bounds(bounds)
+            .rebuild_fraction(config.rebuild_fraction)
+            .build()
+            .expect("bounds pre-checked");
+        inner.warm();
+        let all = inner.facilities().iter().map(|(id, _)| id).collect();
+        DynamicEngine { inner, all, config }
     }
 
-    /// Applies one batch of updates: validates it, mutates the index, then
-    /// brings every facility's cached masks and value back in sync.
-    ///
-    /// All-or-nothing: a batch with an out-of-bounds insert or a dead
-    /// removal id is rejected without touching the engine.
+    /// Applies one batch of updates — see [`Engine::apply`].
     pub fn apply(&mut self, updates: &[Update]) -> Result<BatchOutcome, UpdateError> {
-        self.validate_batch(updates)?;
-
-        // Phase 1: mutate the index, collecting the delta list.
-        let mut outcome = BatchOutcome::default();
-        // (id, inserted?, trajectory MBR) per event, in order.
-        let mut deltas: Vec<(TrajectoryId, bool, Rect)> = Vec::with_capacity(updates.len());
-        for u in updates {
-            match u {
-                Update::Insert(t) => {
-                    let mbr = t.mbr();
-                    let id = self
-                        .tree
-                        .insert(&mut self.users, t.clone())
-                        .expect("validated against the bounds");
-                    self.live.push(true);
-                    self.live_count += 1;
-                    self.stats.inserts += 1;
-                    outcome.inserted.push(id);
-                    deltas.push((id, true, mbr));
-                }
-                Update::Remove(id) => {
-                    self.tree
-                        .remove(&self.users, *id)
-                        .expect("validated as live");
-                    self.live[*id as usize] = false;
-                    self.live_count -= 1;
-                    self.stats.removes += 1;
-                    outcome.removed += 1;
-                    deltas.push((*id, false, self.users.get(*id).mbr()));
-                }
-            }
-        }
-
-        // Phase 2: classify facilities by the EMBR∩delta-MBR rule and patch
-        // the cheap ones in place.
-        let rebuild_threshold =
-            (self.config.rebuild_fraction * self.live_count.max(1) as f64).ceil() as usize;
-        let mut rebuilds: Vec<FacilityId> = Vec::new();
-        for fi in 0..self.facilities.len() {
-            let embr = &self.embrs[fi];
-            let relevant: Vec<&(TrajectoryId, bool, Rect)> = deltas
-                .iter()
-                .filter(|(_, _, mbr)| embr.intersects(mbr))
-                .collect();
-            if relevant.is_empty() {
-                self.stats.facilities_untouched += 1;
-                outcome.untouched += 1;
-                continue;
-            }
-            if relevant.len() > rebuild_threshold {
-                rebuilds.push(fi as FacilityId);
-                continue;
-            }
-            let facility = self.facilities.get(fi as FacilityId);
-            let mut changed = false;
-            for &&(id, inserted, _) in &relevant {
-                if inserted {
-                    self.stats.patch_evaluations += 1;
-                    if let Some(mask) = self.delta_mask(id, facility) {
-                        self.table.masks[fi].insert(id, mask);
-                        changed = true;
-                    }
-                } else {
-                    changed |= self.table.masks[fi].remove(&id).is_some();
-                }
-            }
-            if changed {
-                self.table.values[fi] =
-                    canonical_value(&self.users, &self.model, &self.table.masks[fi]);
-            }
-            self.stats.facilities_patched += 1;
-            outcome.patched += 1;
-        }
-
-        // Phase 3: targeted rebuilds, fanned out across threads.
-        if !rebuilds.is_empty() {
-            let outcomes = parallel::par_evaluate_candidates(
-                &self.tree,
-                &self.users,
-                &self.model,
-                &self.facilities,
-                &rebuilds,
-                true,
-            );
-            for (fid, out) in rebuilds.iter().zip(outcomes) {
-                self.table.masks[*fid as usize] = out.masks;
-                self.table.values[*fid as usize] = out.value;
-            }
-            self.stats.facilities_reevaluated += rebuilds.len() as u64;
-            outcome.reevaluated = rebuilds.len();
-        }
-
-        self.stats.batches += 1;
-        Ok(outcome)
-    }
-
-    /// The served-point mask of one trajectory against one facility,
-    /// restricted to the points the index placement exposes — two-point
-    /// placement anchors only the source and destination, so interior
-    /// points of multipoint trajectories are invisible to the indexed
-    /// evaluation and must stay invisible to the patch path too (otherwise
-    /// patched answers would diverge from a fresh build+query).
-    ///
-    /// Returns `None` when no exposed point is served.
-    fn delta_mask(&self, id: TrajectoryId, facility: &Facility) -> Option<PointMask> {
-        let t = self.users.get(id);
-        let psi = self.model.psi;
-        let mut mask = PointMask::empty(t.len());
-        let mut any = false;
-        let mut test = |i: usize, p| {
-            if facility.serves_point(p, psi) {
-                mask.set(i);
-                any = true;
-            }
-        };
-        match self.config.tree.placement {
-            Placement::TwoPoint => {
-                let (src, dst) = (t.source(), t.destination());
-                test(0, &src);
-                test(t.len() - 1, &dst);
-            }
-            Placement::Segmented | Placement::FullTrajectory => {
-                for (i, p) in t.points().iter().enumerate() {
-                    test(i, p);
-                }
-            }
-        }
-        any.then_some(mask)
-    }
-
-    /// Validates a batch without mutating anything: bounds for inserts,
-    /// liveness (accounting for earlier events of the same batch) for
-    /// removals.
-    fn validate_batch(&self, updates: &[Update]) -> Result<(), UpdateError> {
-        let bounds = self.tree.bounds();
-        let mut next_id = self.users.len() as TrajectoryId;
-        let mut batch_removed: crate::fasthash::FxHashSet<TrajectoryId> = Default::default();
-        for (index, u) in updates.iter().enumerate() {
-            match u {
-                Update::Insert(t) => {
-                    if t.points().iter().any(|p| !bounds.contains(p)) {
-                        return Err(UpdateError::OutOfBounds { index });
-                    }
-                    next_id += 1;
-                }
-                Update::Remove(id) => {
-                    let preexisting = (*id as usize) < self.live.len();
-                    let live = if preexisting {
-                        self.live[*id as usize]
-                    } else {
-                        // Inserted earlier in this batch?
-                        *id < next_id
-                    };
-                    if !live || !batch_removed.insert(*id) {
-                        return Err(UpdateError::NotLive { index, id: *id });
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.inner.apply(updates).map_err(|e| match e {
+            EngineError::Update(u) => u,
+            other => unreachable!("tq-tree backend apply: {other}"),
+        })
     }
 
     /// The kMaxRRST answer over the current live set: the `k` facilities
@@ -526,94 +328,84 @@ impl DynamicEngine {
     /// facility id — bit-identical to
     /// [`crate::top_k_facilities`] on a freshly built index.
     pub fn top_k(&self, k: usize) -> Vec<(FacilityId, f64)> {
-        let mut ranked: Vec<(FacilityId, f64)> = self
-            .table
-            .values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as FacilityId, *v))
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        ranked
+        Engine::rank_table(self.served_table(), k)
     }
 
     /// The greedy MaxkCovRST answer over the current live set —
     /// bit-identical to [`greedy()`](crate::maxcov::greedy()) over a
     /// freshly built [`ServedTable`].
     pub fn greedy_cover(&self, k: usize) -> CovOutcome {
-        greedy(self.served_table(), &self.users, &self.model, k)
+        greedy(
+            self.served_table(),
+            self.inner.users(),
+            self.inner.model(),
+            k,
+        )
     }
 
     /// The maintained per-facility state as the [`ServedTable`] every
     /// MaxkCovRST solver consumes — borrowed, not copied.
     pub fn served_table(&self) -> &ServedTable {
-        &self.table
+        self.inner
+            .cached_table(&self.all)
+            .expect("warmed at construction")
     }
 
     /// The maintained service value of one facility.
     pub fn value_of(&self, id: FacilityId) -> f64 {
-        self.table.values[id as usize]
+        self.served_table().values[id as usize]
     }
 
     /// Number of live (inserted and not yet removed) trajectories.
     pub fn live_users(&self) -> usize {
-        self.live_count
+        self.inner.live_users()
     }
 
     /// Whether trajectory `id` is currently live.
     pub fn is_live(&self, id: TrajectoryId) -> bool {
-        (id as usize) < self.live.len() && self.live[id as usize]
+        self.inner.is_live(id)
     }
 
     /// Ids of the live trajectories, ascending.
     pub fn live_ids(&self) -> impl Iterator<Item = TrajectoryId> + '_ {
-        self.live
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| **l)
-            .map(|(i, _)| i as TrajectoryId)
+        self.inner.live_ids()
     }
 
     /// A compacted [`UserSet`] of just the live trajectories, in ascending
-    /// id order — the set a fresh build should index when cross-checking
-    /// the engine against build-from-scratch.
-    ///
-    /// Compaction renumbers ids but is *monotone*, which is what keeps the
-    /// canonical (ascending-id) value summation order — and with it the
-    /// bit-identity guarantee — intact across the two id spaces.
+    /// id order — see [`Engine::live_set`].
     pub fn live_set(&self) -> UserSet {
-        UserSet::from_vec(
-            self.live_ids()
-                .map(|id| self.users.get(id).clone())
-                .collect(),
-        )
+        self.inner.live_set()
     }
 
     /// Accumulated work counters.
     pub fn stats(&self) -> &UpdateStats {
-        &self.stats
+        self.inner.stats()
     }
 
     /// The owned index.
     pub fn tree(&self) -> &TqTree {
-        &self.tree
+        self.inner.tree().expect("tq-tree backend")
     }
 
     /// The owned trajectory set (including removed tombstones; see
     /// [`DynamicEngine::is_live`]).
     pub fn users(&self) -> &UserSet {
-        &self.users
+        self.inner.users()
     }
 
     /// The registered facilities.
     pub fn facilities(&self) -> &FacilitySet {
-        &self.facilities
+        self.inner.facilities()
     }
 
     /// The registered service model.
     pub fn model(&self) -> &ServiceModel {
-        &self.model
+        self.inner.model()
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
     }
 }
 

@@ -1,0 +1,1520 @@
+//! The unified query engine: one typed entry point over every backend.
+//!
+//! The paper frames kMaxRRST and MaxkCovRST as two queries over one index
+//! family (the TQ-tree versus the BL baseline); this module gives that frame
+//! a single session-style API. An [`Engine`] owns a [`UserSet`], a
+//! [`ServiceModel`] and a [`Backend`] (a [`TqTree`] or a [`BaselineIndex`]
+//! behind the common [`Index`] trait), answers typed [`Query`]s through
+//! [`Engine::run`], and applies streaming updates through [`Engine::apply`]
+//! — so static and dynamic callers share one type, and every answer carries
+//! an [`Explain`] report (prune/eval counters, cache outcome, wall time).
+//!
+//! # Request flow
+//!
+//! ```text
+//! Query::top_k(k) ─────────────┐
+//! Query::max_cov(k)            │      ┌───────────────────────────────┐
+//!   .algorithm(..) ────────────┼────► │ Engine::run                   │
+//!   .candidates(..)            │      │  1 validate (EngineError)     │
+//!   .threads(..)               │      │  2 ServedTable memo lookup    │
+//!                              │      │  3 dispatch to Backend/solver │
+//! Engine::apply(batch) ───────►│      │  4 wrap in Answer + Explain   │
+//!   (incremental maintenance   │      └──────────────┬────────────────┘
+//!    of every memoized table)  │                     ▼
+//!                              │      Backend::TqTree ──► best-first topk /
+//!                              │                          evaluateService
+//!                              │      Backend::Baseline ► range-query + verify
+//! ```
+//!
+//! # Memoization
+//!
+//! The expensive artifact every MaxkCovRST solver consumes — the
+//! [`ServedTable`] of complete served-point masks — is memoized **per
+//! candidate set**. A top-k query that follows a coverage query over the
+//! same candidates is answered straight from the cached table (reported as
+//! [`CacheStatus::Hit`] in [`Explain`]). The full-facility table is
+//! pinned; subset tables are LRU-bounded by [`MAX_SUBSET_TABLES`] so the
+//! memo cannot grow without bound under shifting candidate sets. And
+//! [`Engine::apply`] keeps every memoized table in sync incrementally (the
+//! [`dynamic`](crate::dynamic)-engine invalidation rule: facilities whose
+//! ψ-expanded EMBR misses every delta MBR are untouched, touched ones are
+//! patched delta-by-delta, heavy ones are re-evaluated through the tree).
+//!
+//! # Bit-identity
+//!
+//! Answers are **bit-identical across backends and histories**: both
+//! backends sum service values in the canonical ascending-trajectory-id
+//! order ([`crate::eval::canonical_value`]), so `Engine` over
+//! [`Backend::TqTree`] and over [`Backend::Baseline`] return identical
+//! floats, and an engine that has applied update batches answers exactly
+//! like a freshly built one (`tests/engine_api.rs` and
+//! `tests/dynamic_equivalence.rs` enforce both).
+//!
+//! One caveat scopes the cross-backend half: the two backends must
+//! *expose the same trajectory points*. The BL baseline indexes every
+//! point of every trajectory, while a TQ-tree under
+//! [`Placement::TwoPoint`] anchors only each trajectory's source and
+//! destination — an intentional endpoint approximation for multipoint
+//! data (see `eval.rs`). So over two-point trajectories (taxi-like trips)
+//! the backends agree under every placement, and over multipoint data
+//! they agree when the tree uses [`Placement::Segmented`] or
+//! [`Placement::FullTrajectory`]; two-point placement over multipoint
+//! data answers a *different* (endpoint-only) question than the
+//! baseline under the partial scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use tq_core::engine::{Algorithm, Engine, Query};
+//! use tq_core::service::{Scenario, ServiceModel};
+//! use tq_geometry::Point;
+//! use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+//!
+//! let p = |x: f64, y: f64| Point::new(x, y);
+//! let users = UserSet::from_vec(vec![
+//!     Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0)),
+//!     Trajectory::two_point(p(50.0, 50.0), p(60.0, 50.0)),
+//! ]);
+//! let routes = FacilitySet::from_vec(vec![
+//!     Facility::new(vec![p(0.0, 1.0), p(10.0, 1.0)]),
+//!     Facility::new(vec![p(50.0, 51.0), p(60.0, 51.0)]),
+//! ]);
+//! let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+//!     .users(users)
+//!     .facilities(routes)
+//!     .build()
+//!     .unwrap();
+//!
+//! // kMaxRRST: the best facility.
+//! let top = engine.run(Query::top_k(1)).unwrap();
+//! assert_eq!(top.ranked()[0].1, 1.0);
+//!
+//! // MaxkCovRST: the best pair, greedily.
+//! let cover = engine
+//!     .run(Query::max_cov(2).algorithm(Algorithm::Greedy))
+//!     .unwrap();
+//! assert_eq!(cover.cover().value, 2.0);
+//!
+//! // The greedy query built a ServedTable for all candidates; a top-k
+//! // query over the same candidates now hits that cache.
+//! let again = engine.run(Query::top_k(2)).unwrap();
+//! assert!(again.explain.cache.is_hit());
+//! assert_eq!(again.ranked()[0].1, top.ranked()[0].1);
+//! ```
+
+#![deny(missing_docs)]
+
+use crate::baseline::BaselineIndex;
+use crate::dynamic::{BatchOutcome, Update, UpdateError, UpdateStats};
+use crate::eval::{canonical_value, EvalOutcome, EvalStats};
+use crate::fasthash::{FxHashMap, FxHashSet};
+use crate::maxcov::{exact, genetic, greedy, CovOutcome, GeneticConfig, ServedTable};
+use crate::parallel;
+use crate::service::{PointMask, ServiceModel};
+use crate::topk::{top_k_facilities, TopKOutcome};
+use crate::tqtree::{Placement, TqTree, TqTreeConfig};
+use std::time::{Duration, Instant};
+use tq_geometry::Rect;
+use tq_trajectory::{Facility, FacilityId, FacilitySet, TrajectoryId, UserSet};
+
+/// Default patch-vs-rebuild threshold for [`Engine::apply`] (see
+/// [`crate::dynamic::DynamicConfig::rebuild_fraction`]).
+pub const DEFAULT_REBUILD_FRACTION: f64 = 0.25;
+
+/// Maximum number of *subset* [`ServedTable`]s the engine memoizes at
+/// once; the least-recently-used subset table is evicted beyond this.
+/// The full-facility table (the streaming workhorse seeded by
+/// [`Engine::warm`]) is pinned and never counts against the cap, so a
+/// long-running session interleaving [`Engine::apply`] with
+/// shifting-candidate queries has bounded memory and bounded per-batch
+/// maintenance cost.
+pub const MAX_SUBSET_TABLES: usize = 8;
+
+// ---------------------------------------------------------------------------
+// The Index trait and the Backend enum
+// ---------------------------------------------------------------------------
+
+/// What a query backend must provide: per-facility evaluation with complete
+/// served-point masks, an accelerated (or exhaustive) top-k, and
+/// [`ServedTable`] construction for a candidate subset.
+///
+/// Implemented by [`TqTree`] (the paper's contribution) and
+/// [`BaselineIndex`] (the paper's BL reference); [`Backend`] dispatches
+/// between them. All implementations must report values summed in the
+/// canonical ascending-trajectory-id order
+/// ([`crate::eval::canonical_value`]) so answers are bit-identical across
+/// backends whenever the backends expose the same trajectory points (see
+/// the [module docs](self) for the one placement caveat).
+pub trait Index {
+    /// Which backend this is, for [`Explain`] reports.
+    fn backend_kind(&self) -> BackendKind;
+
+    /// Evaluates one facility with **complete** served-point masks (the
+    /// flavour MaxkCovRST's `AGG` union requires).
+    fn evaluate(&self, users: &UserSet, model: &ServiceModel, facility: &Facility)
+        -> EvalOutcome;
+
+    /// The `k` facilities with the highest service value, best first, ties
+    /// broken by ascending facility id.
+    fn top_k(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        k: usize,
+    ) -> TopKOutcome;
+
+    /// Builds the complete [`ServedTable`] for the given candidate ids.
+    fn served_table(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        candidates: &[FacilityId],
+    ) -> ServedTable;
+}
+
+impl Index for TqTree {
+    fn backend_kind(&self) -> BackendKind {
+        BackendKind::TqTree
+    }
+
+    fn evaluate(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facility: &Facility,
+    ) -> EvalOutcome {
+        crate::eval::evaluate_masks(self, users, model, facility)
+    }
+
+    fn top_k(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        k: usize,
+    ) -> TopKOutcome {
+        top_k_facilities(self, users, model, facilities, k)
+    }
+
+    fn served_table(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        candidates: &[FacilityId],
+    ) -> ServedTable {
+        ServedTable::build_for(self, users, model, facilities, candidates)
+    }
+}
+
+impl Index for BaselineIndex {
+    fn backend_kind(&self) -> BackendKind {
+        BackendKind::Baseline
+    }
+
+    fn evaluate(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facility: &Facility,
+    ) -> EvalOutcome {
+        BaselineIndex::evaluate(self, users, model, facility)
+    }
+
+    fn top_k(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        k: usize,
+    ) -> TopKOutcome {
+        BaselineIndex::top_k(self, users, model, facilities, k)
+    }
+
+    fn served_table(
+        &self,
+        users: &UserSet,
+        model: &ServiceModel,
+        facilities: &FacilitySet,
+        candidates: &[FacilityId],
+    ) -> ServedTable {
+        // Same fan-out shape as the TQ-tree table build: independent
+        // per-candidate evaluations, ordered reduction, canonical values.
+        let outcomes = parallel::par_map(candidates, |&fid| {
+            BaselineIndex::evaluate(self, users, model, facilities.get(fid))
+        });
+        let mut stats = EvalStats::default();
+        let mut masks = Vec::with_capacity(candidates.len());
+        for out in outcomes {
+            stats.add(&out.stats);
+            masks.push(out.masks);
+        }
+        ServedTable::from_masks(users, model, candidates.to_vec(), masks, stats)
+    }
+}
+
+/// The index behind an [`Engine`].
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// The paper's TQ-tree — TQ(B) or TQ(Z) depending on its
+    /// [`TqTreeConfig`]. The only backend that supports
+    /// [`Engine::apply`] updates.
+    TqTree(TqTree),
+    /// The paper's BL point-quadtree baseline (exhaustive top-k, range
+    /// query + verification per facility).
+    Baseline(BaselineIndex),
+}
+
+impl Backend {
+    fn as_index(&self) -> &dyn Index {
+        match self {
+            Backend::TqTree(t) => t,
+            Backend::Baseline(b) => b,
+        }
+    }
+
+    /// Which backend this is.
+    pub fn kind(&self) -> BackendKind {
+        self.as_index().backend_kind()
+    }
+}
+
+/// Discriminant of [`Backend`], carried by [`Explain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`Backend::TqTree`].
+    TqTree,
+    /// [`Backend::Baseline`].
+    Baseline,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::TqTree => write!(f, "tq-tree"),
+            BackendKind::Baseline => write!(f, "baseline"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed errors of the [`Engine`] API — every condition the older free
+/// functions answered with a panic or silent truncation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query's candidate set is empty (no facilities registered, or an
+    /// explicit empty [`Query::candidates`] list).
+    EmptyCandidates,
+    /// `k == 0` — the query asks for nothing.
+    ZeroK,
+    /// `k` exceeds the number of candidate facilities.
+    KExceedsCandidates {
+        /// The requested `k`.
+        k: usize,
+        /// The number of candidates actually available.
+        candidates: usize,
+    },
+    /// A [`Query::candidates`] id does not name a registered facility.
+    UnknownCandidate {
+        /// The offending id.
+        id: FacilityId,
+    },
+    /// An update batch was rejected (out-of-bounds insert, or a removal
+    /// naming a trajectory id that is not live). The batch was applied not
+    /// at all.
+    Update(UpdateError),
+    /// [`Engine::apply`] was called on a backend without update support
+    /// (the BL baseline is a static index).
+    UpdatesUnsupported,
+    /// An initial trajectory lies outside the explicit engine bounds passed
+    /// to [`EngineBuilder::bounds`].
+    TrajectoryOutOfBounds {
+        /// The offending trajectory id.
+        id: TrajectoryId,
+    },
+    /// The exact branch-and-bound solver exhausted its node budget before
+    /// proving optimality (raise [`Query::node_budget`], lower `k`, or use
+    /// [`Algorithm::Greedy`]).
+    ExactBudgetExhausted,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyCandidates => {
+                write!(f, "the query's candidate facility set is empty")
+            }
+            EngineError::ZeroK => write!(f, "k must be at least 1"),
+            EngineError::KExceedsCandidates { k, candidates } => write!(
+                f,
+                "k = {k} exceeds the {candidates} candidate facilities available"
+            ),
+            EngineError::UnknownCandidate { id } => {
+                write!(f, "candidate id {id} does not name a registered facility")
+            }
+            EngineError::Update(e) => write!(f, "update batch rejected: {e}"),
+            EngineError::UpdatesUnsupported => {
+                write!(f, "the baseline backend is static and cannot apply updates")
+            }
+            EngineError::TrajectoryOutOfBounds { id } => {
+                write!(f, "initial trajectory {id} lies outside the engine bounds")
+            }
+            EngineError::ExactBudgetExhausted => write!(
+                f,
+                "exact search exceeded its node budget before proving optimality"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<UpdateError> for EngineError {
+    fn from(e: UpdateError) -> Self {
+        EngineError::Update(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+/// Which MaxkCovRST solver a [`Query::max_cov`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Straightforward greedy over the full candidate [`ServedTable`]
+    /// (G-BL / G-TQ in the paper, depending on the backend).
+    #[default]
+    Greedy,
+    /// The paper's two-step greedy: a kMaxRRST pass narrows the pool to the
+    /// `k′` individually best candidates ([`Query::k_prime`]), greedy runs
+    /// on those only.
+    TwoStep,
+    /// Exact branch-and-bound (for approximation-ratio studies; bounded by
+    /// [`Query::node_budget`]).
+    Exact,
+    /// The paper's Gn genetic-algorithm competitor (deterministic under
+    /// [`Query::seed`]).
+    Genetic,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryKind {
+    TopK,
+    MaxCov,
+}
+
+/// A typed query, built fluently and answered by [`Engine::run`].
+///
+/// ```
+/// use tq_core::engine::{Algorithm, Query};
+/// let q = Query::max_cov(4)
+///     .algorithm(Algorithm::TwoStep)
+///     .k_prime(16)
+///     .threads(2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    kind: QueryKind,
+    k: usize,
+    algorithm: Algorithm,
+    candidates: Option<Vec<FacilityId>>,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    k_prime: Option<usize>,
+    node_budget: Option<usize>,
+}
+
+impl Query {
+    fn new(kind: QueryKind, k: usize) -> Query {
+        Query {
+            kind,
+            k,
+            algorithm: Algorithm::default(),
+            candidates: None,
+            threads: None,
+            seed: None,
+            k_prime: None,
+            node_budget: Some(100_000_000),
+        }
+    }
+
+    /// A kMaxRRST query: the `k` individually best facilities.
+    pub fn top_k(k: usize) -> Query {
+        Query::new(QueryKind::TopK, k)
+    }
+
+    /// A MaxkCovRST query: the size-`k` subset with the best combined
+    /// (overlap counted once) service. Defaults to [`Algorithm::Greedy`].
+    pub fn max_cov(k: usize) -> Query {
+        Query::new(QueryKind::MaxCov, k)
+    }
+
+    /// Selects the MaxkCovRST solver (ignored by top-k queries).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Query {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Restricts the query to a subset of the registered facilities.
+    /// Ids are deduplicated; unknown ids fail with
+    /// [`EngineError::UnknownCandidate`].
+    pub fn candidates(mut self, ids: &[FacilityId]) -> Query {
+        self.candidates = Some(ids.to_vec());
+        self
+    }
+
+    /// Runs the query with an explicit thread count (`0` = one per core).
+    /// Without this, the process-wide setting
+    /// ([`crate::parallel::set_threads`]) applies. Results are identical at
+    /// any thread count.
+    pub fn threads(mut self, threads: usize) -> Query {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// RNG seed for [`Algorithm::Genetic`] (defaults to
+    /// [`GeneticConfig::default`]'s seed; the solver is deterministic under
+    /// a fixed seed).
+    pub fn seed(mut self, seed: u64) -> Query {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Candidate-pool size `k′ ≥ k` for [`Algorithm::TwoStep`] (defaults to
+    /// `max(4k, 32)`, clamped to the candidate count).
+    pub fn k_prime(mut self, k_prime: usize) -> Query {
+        self.k_prime = Some(k_prime);
+        self
+    }
+
+    /// DFS node budget for [`Algorithm::Exact`]; exhausting it fails with
+    /// [`EngineError::ExactBudgetExhausted`] rather than returning a result
+    /// mislabeled "exact". Defaults to 10⁸ nodes.
+    pub fn node_budget(mut self, nodes: usize) -> Query {
+        self.node_budget = Some(nodes);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Answer + Explain
+// ---------------------------------------------------------------------------
+
+/// Whether a query could be answered from a memoized [`ServedTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheStatus {
+    /// The query did not need a served table (e.g. best-first top-k).
+    #[default]
+    Unused,
+    /// A table was built (and memoized) for this query.
+    Miss,
+    /// The query reused a memoized table — no facility evaluation at all.
+    Hit,
+}
+
+impl CacheStatus {
+    /// `true` for [`CacheStatus::Hit`].
+    pub fn is_hit(self) -> bool {
+        self == CacheStatus::Hit
+    }
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheStatus::Unused => write!(f, "unused"),
+            CacheStatus::Miss => write!(f, "miss"),
+            CacheStatus::Hit => write!(f, "hit"),
+        }
+    }
+}
+
+/// How a query was executed: backend, work counters, cache outcome, wall
+/// time. Returned with every [`Answer`].
+#[derive(Debug, Clone, Default)]
+pub struct Explain {
+    /// Which backend answered.
+    pub backend: Option<BackendKind>,
+    /// Number of candidate facilities after [`Query::candidates`]
+    /// restriction.
+    pub candidates: usize,
+    /// Aggregated evaluation counters (nodes visited, items tested/pruned,
+    /// distance checks, parallel tasks). Zero on a cache hit.
+    pub eval: EvalStats,
+    /// Best-first state relaxations (top-k on the TQ-tree backend only).
+    pub relaxations: usize,
+    /// [`ServedTable`] memo outcome.
+    pub cache: CacheStatus,
+    /// Worker threads active for the query.
+    pub threads: usize,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "backend={} candidates={} cache={} nodes={} tested={} pruned={} \
+             dist-checks={} relaxations={} threads={} wall={:.3}ms",
+            self.backend.map_or("?".into(), |b| b.to_string()),
+            self.candidates,
+            self.cache,
+            self.eval.nodes_visited,
+            self.eval.items_tested,
+            self.eval.items_pruned,
+            self.eval.distance_checks,
+            self.relaxations,
+            self.threads,
+            self.wall.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// The result payload of a [`Query`].
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// Answer to [`Query::top_k`]: facilities with their exact service
+    /// values, best first.
+    TopK(Vec<(FacilityId, f64)>),
+    /// Answer to [`Query::max_cov`]: the chosen subset with its combined
+    /// value and served-user count.
+    MaxCov(CovOutcome),
+}
+
+/// A query answer: the typed result plus its [`Explain`] report.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The result payload.
+    pub result: QueryResult,
+    /// How the query was executed.
+    pub explain: Explain,
+}
+
+impl Answer {
+    /// The ranked `(facility, value)` list of a top-k answer.
+    ///
+    /// # Panics
+    /// Panics when the answer belongs to a max-cov query.
+    pub fn ranked(&self) -> &[(FacilityId, f64)] {
+        match &self.result {
+            QueryResult::TopK(r) => r,
+            QueryResult::MaxCov(_) => panic!("Answer::ranked on a max-cov answer"),
+        }
+    }
+
+    /// The coverage outcome of a max-cov answer.
+    ///
+    /// # Panics
+    /// Panics when the answer belongs to a top-k query.
+    pub fn cover(&self) -> &CovOutcome {
+        match &self.result {
+            QueryResult::MaxCov(c) => c,
+            QueryResult::TopK(_) => panic!("Answer::cover on a top-k answer"),
+        }
+    }
+
+    /// The headline value: the best facility's service value (top-k) or the
+    /// combined service value of the chosen subset (max-cov).
+    pub fn value(&self) -> f64 {
+        match &self.result {
+            QueryResult::TopK(r) => r.first().map_or(0.0, |(_, v)| *v),
+            QueryResult::MaxCov(c) => c.value,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BackendChoice {
+    TqTree(TqTreeConfig),
+    Baseline { capacity: usize },
+}
+
+/// Fluent constructor for [`Engine`] — see [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    model: ServiceModel,
+    users: UserSet,
+    facilities: FacilitySet,
+    backend: BackendChoice,
+    bounds: Option<Rect>,
+    rebuild_fraction: f64,
+}
+
+impl EngineBuilder {
+    /// Registers the user trajectories the engine indexes and serves.
+    pub fn users(mut self, users: UserSet) -> EngineBuilder {
+        self.users = users;
+        self
+    }
+
+    /// Registers the candidate facilities queries rank and combine.
+    pub fn facilities(mut self, facilities: FacilitySet) -> EngineBuilder {
+        self.facilities = facilities;
+        self
+    }
+
+    /// Uses a TQ-tree backend with this configuration (the default backend
+    /// uses [`TqTreeConfig::default`]).
+    pub fn tree_config(mut self, config: TqTreeConfig) -> EngineBuilder {
+        self.backend = BackendChoice::TqTree(config);
+        self
+    }
+
+    /// Uses the BL point-quadtree baseline backend instead of the TQ-tree.
+    pub fn baseline(self) -> EngineBuilder {
+        self.baseline_capacity(crate::baseline::DEFAULT_LEAF_CAPACITY)
+    }
+
+    /// [`EngineBuilder::baseline`] with an explicit quadtree leaf capacity.
+    pub fn baseline_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.backend = BackendChoice::Baseline { capacity };
+        self
+    }
+
+    /// Fixes the TQ-tree bounds (required when [`Engine::apply`] will
+    /// insert trajectories outside the initial data extent, e.g. the full
+    /// city rectangle). Initial trajectories outside the bounds fail the
+    /// build with [`EngineError::TrajectoryOutOfBounds`]. Ignored by the
+    /// baseline backend.
+    pub fn bounds(mut self, bounds: Rect) -> EngineBuilder {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Patch-vs-rebuild threshold for [`Engine::apply`] (see
+    /// [`crate::dynamic::DynamicConfig::rebuild_fraction`]; defaults to
+    /// [`DEFAULT_REBUILD_FRACTION`]).
+    pub fn rebuild_fraction(mut self, fraction: f64) -> EngineBuilder {
+        self.rebuild_fraction = fraction;
+        self
+    }
+
+    /// Builds the backend index and the engine.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let backend = match self.backend {
+            BackendChoice::TqTree(config) => match self.bounds {
+                Some(bounds) => {
+                    for (id, t) in self.users.iter() {
+                        if t.points().iter().any(|p| !bounds.contains(p)) {
+                            return Err(EngineError::TrajectoryOutOfBounds { id });
+                        }
+                    }
+                    Backend::TqTree(TqTree::build_with_bounds(&self.users, config, bounds))
+                }
+                None => Backend::TqTree(TqTree::build(&self.users, config)),
+            },
+            BackendChoice::Baseline { capacity } => {
+                Backend::Baseline(BaselineIndex::build_with_capacity(&self.users, capacity))
+            }
+        };
+        let mut engine = Engine::new(self.users, self.facilities, self.model, backend);
+        engine.rebuild_fraction = self.rebuild_fraction;
+        Ok(engine)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// The unified query/update session over one user set, service model and
+/// backend. See the [module docs](self) for the request flow, memoization
+/// and bit-identity guarantees.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    users: UserSet,
+    facilities: FacilitySet,
+    model: ServiceModel,
+    backend: Backend,
+    /// Per-facility ψ-expanded stop bounding rectangles (EMBRs) — the
+    /// update-invalidation test.
+    embrs: Vec<Rect>,
+    /// Liveness per trajectory id (`false` = removed tombstone).
+    live: Vec<bool>,
+    live_count: usize,
+    rebuild_fraction: f64,
+    /// Memoized [`ServedTable`]s, keyed by sorted candidate id list; kept
+    /// in sync by [`Engine::apply`]. The full-facility table is pinned;
+    /// subset tables are LRU-bounded by [`MAX_SUBSET_TABLES`] (recency
+    /// tracked in `subset_lru`, front = oldest).
+    tables: FxHashMap<Vec<FacilityId>, ServedTable>,
+    subset_lru: Vec<Vec<FacilityId>>,
+    stats: UpdateStats,
+}
+
+impl Engine {
+    /// Starts a fluent [`EngineBuilder`] (TQ-tree backend with default
+    /// configuration unless overridden).
+    pub fn builder(model: ServiceModel) -> EngineBuilder {
+        EngineBuilder {
+            model,
+            users: UserSet::new(),
+            facilities: FacilitySet::new(),
+            backend: BackendChoice::TqTree(TqTreeConfig::default()),
+            bounds: None,
+            rebuild_fraction: DEFAULT_REBUILD_FRACTION,
+        }
+    }
+
+    /// Wraps a pre-built backend. The backend must index exactly `users`
+    /// (e.g. `Backend::TqTree(TqTree::build(&users, cfg))`).
+    pub fn new(
+        users: UserSet,
+        facilities: FacilitySet,
+        model: ServiceModel,
+        backend: Backend,
+    ) -> Engine {
+        let embrs = facilities.iter().map(|(_, f)| f.embr(model.psi)).collect();
+        let live_count = users.len();
+        Engine {
+            live: vec![true; live_count],
+            users,
+            facilities,
+            model,
+            backend,
+            embrs,
+            live_count,
+            rebuild_fraction: DEFAULT_REBUILD_FRACTION,
+            tables: FxHashMap::default(),
+            subset_lru: Vec::new(),
+            stats: UpdateStats::default(),
+        }
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    /// Answers a typed [`Query`].
+    ///
+    /// Validation errors ([`EngineError::EmptyCandidates`],
+    /// [`EngineError::ZeroK`], [`EngineError::KExceedsCandidates`],
+    /// [`EngineError::UnknownCandidate`]) are returned before any
+    /// evaluation work happens.
+    pub fn run(&mut self, query: Query) -> Result<Answer, EngineError> {
+        let start = Instant::now();
+        let cand = self.resolve_candidates(&query)?;
+        if query.k == 0 {
+            return Err(EngineError::ZeroK);
+        }
+        if query.k > cand.len() {
+            return Err(EngineError::KExceedsCandidates {
+                k: query.k,
+                candidates: cand.len(),
+            });
+        }
+        let mut explain = Explain {
+            backend: Some(self.backend.kind()),
+            candidates: cand.len(),
+            ..Explain::default()
+        };
+        let result = match query.threads {
+            Some(n) => parallel::with_threads(n, || {
+                explain.threads = parallel::current_threads();
+                self.execute(&query, &cand, &mut explain)
+            })?,
+            None => {
+                explain.threads = parallel::current_threads();
+                self.execute(&query, &cand, &mut explain)?
+            }
+        };
+        explain.wall = start.elapsed();
+        Ok(Answer { result, explain })
+    }
+
+    /// Sorted, deduplicated, validated candidate ids for a query.
+    fn resolve_candidates(&self, query: &Query) -> Result<Vec<FacilityId>, EngineError> {
+        let mut cand = match &query.candidates {
+            Some(ids) => {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                for &id in &ids {
+                    if id as usize >= self.facilities.len() {
+                        return Err(EngineError::UnknownCandidate { id });
+                    }
+                }
+                ids
+            }
+            None => self.facilities.iter().map(|(id, _)| id).collect(),
+        };
+        cand.shrink_to_fit();
+        if cand.is_empty() {
+            return Err(EngineError::EmptyCandidates);
+        }
+        Ok(cand)
+    }
+
+    fn execute(
+        &mut self,
+        query: &Query,
+        cand: &[FacilityId],
+        explain: &mut Explain,
+    ) -> Result<QueryResult, EngineError> {
+        match query.kind {
+            QueryKind::TopK => Ok(QueryResult::TopK(self.run_top_k(cand, query.k, explain))),
+            QueryKind::MaxCov => self.run_max_cov(query, cand, explain),
+        }
+    }
+
+    /// Top-k over a candidate set: from the memoized table when one exists
+    /// (zero evaluation work), otherwise through the backend's search.
+    fn run_top_k(
+        &mut self,
+        cand: &[FacilityId],
+        k: usize,
+        explain: &mut Explain,
+    ) -> Vec<(FacilityId, f64)> {
+        if let Some(table) = self.tables.get(cand) {
+            explain.cache = CacheStatus::Hit;
+            return Self::rank_table(table, k);
+        }
+        let out = if cand.len() == self.facilities.len() {
+            self.backend
+                .as_index()
+                .top_k(&self.users, &self.model, &self.facilities, k)
+        } else {
+            // Restricted candidate set: search over a sub-facility-set and
+            // map the dense sub-ids back. `cand` is sorted, so sub-id order
+            // equals real-id order and tie-breaking is preserved.
+            let sub = FacilitySet::from_vec(
+                cand.iter()
+                    .map(|&id| self.facilities.get(id).clone())
+                    .collect(),
+            );
+            let mut out = self
+                .backend
+                .as_index()
+                .top_k(&self.users, &self.model, &sub, k);
+            for (id, _) in &mut out.ranked {
+                *id = cand[*id as usize];
+            }
+            out
+        };
+        explain.eval.add(&out.stats);
+        explain.relaxations += out.relaxations;
+        out.ranked
+    }
+
+    fn run_max_cov(
+        &mut self,
+        query: &Query,
+        cand: &[FacilityId],
+        explain: &mut Explain,
+    ) -> Result<QueryResult, EngineError> {
+        let k = query.k;
+        let pool: Vec<FacilityId> = match query.algorithm {
+            Algorithm::TwoStep => {
+                // Step 1: kMaxRRST narrows the pool to the k′ individually
+                // best candidates.
+                let kp = query
+                    .k_prime
+                    .unwrap_or_else(|| (4 * k).max(32))
+                    .max(k)
+                    .min(cand.len());
+                let mut top = self.run_top_k(cand, kp, explain);
+                let mut ids: Vec<FacilityId> = top.drain(..).map(|(id, _)| id).collect();
+                ids.sort_unstable();
+                ids
+            }
+            _ => cand.to_vec(),
+        };
+        self.ensure_table(&pool, explain);
+        let table = &self.tables[&pool];
+        let out = match query.algorithm {
+            Algorithm::Greedy | Algorithm::TwoStep => {
+                greedy(table, &self.users, &self.model, k)
+            }
+            Algorithm::Genetic => {
+                let cfg = GeneticConfig {
+                    seed: query.seed.unwrap_or(GeneticConfig::default().seed),
+                    ..GeneticConfig::default()
+                };
+                genetic(table, &self.users, &self.model, k, &cfg)
+            }
+            Algorithm::Exact => exact(table, &self.users, &self.model, k, query.node_budget)
+                .ok_or(EngineError::ExactBudgetExhausted)?,
+        };
+        Ok(QueryResult::MaxCov(out))
+    }
+
+    /// Memoizes the [`ServedTable`] for a (sorted) candidate set, building
+    /// and caching it on first use. Subset tables are LRU-bounded by
+    /// [`MAX_SUBSET_TABLES`]; the full-facility table is pinned.
+    fn ensure_table(&mut self, cand: &[FacilityId], explain: &mut Explain) {
+        let is_full = cand.len() == self.facilities.len();
+        if self.tables.contains_key(cand) {
+            explain.cache = CacheStatus::Hit;
+            if !is_full {
+                if let Some(pos) = self.subset_lru.iter().position(|k| k == cand) {
+                    let key = self.subset_lru.remove(pos);
+                    self.subset_lru.push(key);
+                }
+            }
+        } else {
+            explain.cache = CacheStatus::Miss;
+            let table =
+                self.backend
+                    .as_index()
+                    .served_table(&self.users, &self.model, &self.facilities, cand);
+            explain.eval.add(&table.stats);
+            self.tables.insert(cand.to_vec(), table);
+            if !is_full {
+                self.subset_lru.push(cand.to_vec());
+                if self.subset_lru.len() > MAX_SUBSET_TABLES {
+                    let evicted = self.subset_lru.remove(0);
+                    self.tables.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn rank_table(table: &ServedTable, k: usize) -> Vec<(FacilityId, f64)> {
+        let mut ranked: Vec<(FacilityId, f64)> = table
+            .ids
+            .iter()
+            .zip(&table.values)
+            .map(|(id, v)| (*id, *v))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Pre-evaluates (and memoizes) the [`ServedTable`] over **all**
+    /// registered facilities, so subsequent queries hit the cache and
+    /// [`Engine::apply`] maintains it incrementally from the start.
+    /// Returns the table.
+    pub fn warm(&mut self) -> &ServedTable {
+        let all: Vec<FacilityId> = self.facilities.iter().map(|(id, _)| id).collect();
+        let mut scratch = Explain::default();
+        self.ensure_table(&all, &mut scratch);
+        &self.tables[&all]
+    }
+
+    /// The memoized table for a candidate set, if one exists (`None` until
+    /// a coverage query or [`Engine::warm`] built it).
+    pub fn cached_table(&self, candidates: &[FacilityId]) -> Option<&ServedTable> {
+        self.tables.get(candidates)
+    }
+
+    /// The memoized full-facility table (see [`Engine::warm`]).
+    pub fn full_table(&self) -> Option<&ServedTable> {
+        let all: Vec<FacilityId> = self.facilities.iter().map(|(id, _)| id).collect();
+        self.tables.get(&all)
+    }
+
+    // -- updates ------------------------------------------------------------
+
+    /// Applies one batch of updates: validates it, mutates the index, then
+    /// brings **every memoized table** back in sync incrementally
+    /// (untouched / patched / re-evaluated per facility, as counted by
+    /// [`Engine::stats`]).
+    ///
+    /// All-or-nothing: a batch with an out-of-bounds insert or a dead
+    /// removal id is rejected without touching the engine
+    /// ([`EngineError::Update`]). The baseline backend rejects all updates
+    /// with [`EngineError::UpdatesUnsupported`].
+    pub fn apply(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError> {
+        if !matches!(self.backend, Backend::TqTree(_)) {
+            return Err(EngineError::UpdatesUnsupported);
+        }
+        self.validate_batch(updates)?;
+        let Backend::TqTree(tree) = &mut self.backend else {
+            unreachable!("checked above");
+        };
+
+        // Phase 1: mutate the index, collecting the delta list
+        // (id, inserted?, trajectory MBR) per event, in order.
+        let mut outcome = BatchOutcome::default();
+        let mut deltas: Vec<(TrajectoryId, bool, Rect)> = Vec::with_capacity(updates.len());
+        for u in updates {
+            match u {
+                Update::Insert(t) => {
+                    let mbr = t.mbr();
+                    let id = tree
+                        .insert(&mut self.users, t.clone())
+                        .expect("validated against the bounds");
+                    self.live.push(true);
+                    self.live_count += 1;
+                    self.stats.inserts += 1;
+                    outcome.inserted.push(id);
+                    deltas.push((id, true, mbr));
+                }
+                Update::Remove(id) => {
+                    tree.remove(&self.users, *id).expect("validated as live");
+                    self.live[*id as usize] = false;
+                    self.live_count -= 1;
+                    self.stats.removes += 1;
+                    outcome.removed += 1;
+                    deltas.push((*id, false, self.users.get(*id).mbr()));
+                }
+            }
+        }
+
+        // Phases 2+3 per memoized table: classify its candidates by the
+        // EMBR∩delta-MBR rule, patch the cheap ones in place, rebuild the
+        // heavy ones through the tree (fanned out across threads).
+        let rebuild_threshold =
+            (self.rebuild_fraction * self.live_count.max(1) as f64).ceil() as usize;
+        let placement = tree.config().placement;
+        let mut tables = std::mem::take(&mut self.tables);
+        for table in tables.values_mut() {
+            let mut rebuilds: Vec<usize> = Vec::new();
+            for ti in 0..table.ids.len() {
+                let fid = table.ids[ti];
+                let embr = &self.embrs[fid as usize];
+                let relevant: Vec<&(TrajectoryId, bool, Rect)> = deltas
+                    .iter()
+                    .filter(|(_, _, mbr)| embr.intersects(mbr))
+                    .collect();
+                if relevant.is_empty() {
+                    self.stats.facilities_untouched += 1;
+                    outcome.untouched += 1;
+                    continue;
+                }
+                if relevant.len() > rebuild_threshold {
+                    rebuilds.push(ti);
+                    continue;
+                }
+                let facility = self.facilities.get(fid);
+                let mut changed = false;
+                for &&(id, inserted, _) in &relevant {
+                    if inserted {
+                        self.stats.patch_evaluations += 1;
+                        if let Some(mask) =
+                            delta_mask(&self.users, &self.model, placement, id, facility)
+                        {
+                            table.masks[ti].insert(id, mask);
+                            changed = true;
+                        }
+                    } else {
+                        changed |= table.masks[ti].remove(&id).is_some();
+                    }
+                }
+                if changed {
+                    table.values[ti] =
+                        canonical_value(&self.users, &self.model, &table.masks[ti]);
+                }
+                self.stats.facilities_patched += 1;
+                outcome.patched += 1;
+            }
+            if !rebuilds.is_empty() {
+                let ids: Vec<FacilityId> = rebuilds.iter().map(|&ti| table.ids[ti]).collect();
+                let outcomes = parallel::par_evaluate_candidates(
+                    tree,
+                    &self.users,
+                    &self.model,
+                    &self.facilities,
+                    &ids,
+                    true,
+                );
+                for (&ti, out) in rebuilds.iter().zip(outcomes) {
+                    table.masks[ti] = out.masks;
+                    table.values[ti] = out.value;
+                }
+                self.stats.facilities_reevaluated += rebuilds.len() as u64;
+                outcome.reevaluated += rebuilds.len();
+            }
+        }
+        self.tables = tables;
+        self.stats.batches += 1;
+        Ok(outcome)
+    }
+
+    /// Validates a batch without mutating anything: bounds for inserts,
+    /// liveness (accounting for earlier events of the same batch) for
+    /// removals.
+    fn validate_batch(&self, updates: &[Update]) -> Result<(), UpdateError> {
+        let Backend::TqTree(tree) = &self.backend else {
+            return Ok(());
+        };
+        let bounds = tree.bounds();
+        let mut next_id = self.users.len() as TrajectoryId;
+        let mut batch_removed: FxHashSet<TrajectoryId> = Default::default();
+        for (index, u) in updates.iter().enumerate() {
+            match u {
+                Update::Insert(t) => {
+                    if t.points().iter().any(|p| !bounds.contains(p)) {
+                        return Err(UpdateError::OutOfBounds { index });
+                    }
+                    next_id += 1;
+                }
+                Update::Remove(id) => {
+                    let preexisting = (*id as usize) < self.live.len();
+                    let live = if preexisting {
+                        self.live[*id as usize]
+                    } else {
+                        // Inserted earlier in this batch?
+                        *id < next_id
+                    };
+                    if !live || !batch_removed.insert(*id) {
+                        return Err(UpdateError::NotLive { index, id: *id });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// The registered user trajectories (including removed tombstones; see
+    /// [`Engine::is_live`]).
+    pub fn users(&self) -> &UserSet {
+        &self.users
+    }
+
+    /// The registered candidate facilities.
+    pub fn facilities(&self) -> &FacilitySet {
+        &self.facilities
+    }
+
+    /// The registered service model.
+    pub fn model(&self) -> &ServiceModel {
+        &self.model
+    }
+
+    /// The backend index.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The TQ-tree, when that is the backend.
+    pub fn tree(&self) -> Option<&TqTree> {
+        match &self.backend {
+            Backend::TqTree(t) => Some(t),
+            Backend::Baseline(_) => None,
+        }
+    }
+
+    /// Number of live (inserted and not yet removed) trajectories.
+    pub fn live_users(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether trajectory `id` is currently live.
+    pub fn is_live(&self, id: TrajectoryId) -> bool {
+        (id as usize) < self.live.len() && self.live[id as usize]
+    }
+
+    /// Ids of the live trajectories, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = TrajectoryId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(i, _)| i as TrajectoryId)
+    }
+
+    /// A compacted [`UserSet`] of just the live trajectories, in ascending
+    /// id order — the set a fresh build should index when cross-checking
+    /// the engine against build-from-scratch.
+    ///
+    /// Compaction renumbers ids but is *monotone*, which is what keeps the
+    /// canonical (ascending-id) value summation order — and with it the
+    /// bit-identity guarantee — intact across the two id spaces.
+    pub fn live_set(&self) -> UserSet {
+        UserSet::from_vec(
+            self.live_ids()
+                .map(|id| self.users.get(id).clone())
+                .collect(),
+        )
+    }
+
+    /// Accumulated update-work counters across every applied batch, summed
+    /// over all memoized tables.
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+}
+
+/// The served-point mask of one trajectory against one facility, restricted
+/// to the points the index placement exposes — two-point placement anchors
+/// only the source and destination, so interior points of multipoint
+/// trajectories are invisible to the indexed evaluation and must stay
+/// invisible to the patch path too (otherwise patched answers would diverge
+/// from a fresh build+query).
+///
+/// Returns `None` when no exposed point is served.
+fn delta_mask(
+    users: &UserSet,
+    model: &ServiceModel,
+    placement: Placement,
+    id: TrajectoryId,
+    facility: &Facility,
+) -> Option<PointMask> {
+    let t = users.get(id);
+    let psi = model.psi;
+    let mut mask = PointMask::empty(t.len());
+    let mut any = false;
+    let mut test = |i: usize, p: &tq_geometry::Point| {
+        if facility.serves_point(p, psi) {
+            mask.set(i);
+            any = true;
+        }
+    };
+    match placement {
+        Placement::TwoPoint => {
+            let (src, dst) = (t.source(), t.destination());
+            test(0, &src);
+            test(t.len() - 1, &dst);
+        }
+        Placement::Segmented | Placement::FullTrajectory => {
+            for (i, p) in t.points().iter().enumerate() {
+                test(i, p);
+            }
+        }
+    }
+    any.then_some(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Scenario;
+    use tq_geometry::Point;
+    use tq_trajectory::Trajectory;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn small_instance() -> (UserSet, FacilitySet) {
+        let users = UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0)),
+            Trajectory::two_point(p(50.0, 50.0), p(60.0, 50.0)),
+            Trajectory::two_point(p(0.5, 0.0), p(9.5, 0.0)),
+        ]);
+        let facilities = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(0.0, 1.0), p(10.0, 1.0)]),
+            Facility::new(vec![p(50.0, 51.0), p(60.0, 51.0)]),
+            Facility::new(vec![p(90.0, 90.0)]),
+        ]);
+        (users, facilities)
+    }
+
+    fn engine() -> Engine {
+        let (users, facilities) = small_instance();
+        Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut e = engine();
+        assert_eq!(e.run(Query::top_k(0)).unwrap_err(), EngineError::ZeroK);
+        assert_eq!(
+            e.run(Query::top_k(4)).unwrap_err(),
+            EngineError::KExceedsCandidates { k: 4, candidates: 3 }
+        );
+        assert_eq!(
+            e.run(Query::top_k(1).candidates(&[])).unwrap_err(),
+            EngineError::EmptyCandidates
+        );
+        assert_eq!(
+            e.run(Query::top_k(1).candidates(&[7])).unwrap_err(),
+            EngineError::UnknownCandidate { id: 7 }
+        );
+    }
+
+    #[test]
+    fn candidate_restriction_maps_ids_back() {
+        let mut e = engine();
+        let ans = e.run(Query::top_k(1).candidates(&[1, 2])).unwrap();
+        assert_eq!(ans.ranked()[0].0, 1);
+        assert_eq!(ans.ranked()[0].1, 1.0);
+    }
+
+    #[test]
+    fn maxcov_then_topk_hits_cache_with_identical_values() {
+        let mut e = engine();
+        let fresh = e.run(Query::top_k(3)).unwrap();
+        assert_eq!(fresh.explain.cache, CacheStatus::Unused);
+
+        let cov = e.run(Query::max_cov(2)).unwrap();
+        assert_eq!(cov.explain.cache, CacheStatus::Miss);
+        let cached = e.run(Query::top_k(3)).unwrap();
+        assert!(cached.explain.cache.is_hit());
+        assert_eq!(cached.explain.eval.items_tested, 0, "no work on a hit");
+        for (a, b) in fresh.ranked().iter().zip(cached.ranked()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+
+        // Second coverage query over the same candidates also hits.
+        let cov2 = e.run(Query::max_cov(2)).unwrap();
+        assert!(cov2.explain.cache.is_hit());
+        assert_eq!(cov2.cover().value.to_bits(), cov.cover().value.to_bits());
+    }
+
+    #[test]
+    fn baseline_backend_rejects_updates() {
+        let (users, facilities) = small_instance();
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities)
+            .baseline()
+            .build()
+            .unwrap();
+        let batch = vec![Update::Insert(Trajectory::two_point(
+            p(1.0, 1.0),
+            p(2.0, 2.0),
+        ))];
+        assert_eq!(e.apply(&batch).unwrap_err(), EngineError::UpdatesUnsupported);
+    }
+
+    #[test]
+    fn builder_bounds_check() {
+        let (users, facilities) = small_instance();
+        let err = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities)
+            .bounds(Rect::new(p(0.0, 0.0), p(20.0, 20.0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::TrajectoryOutOfBounds { id: 1 });
+    }
+
+    #[test]
+    fn apply_maintains_every_memoized_table() {
+        let (users, facilities) = small_instance();
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities.clone())
+            .bounds(Rect::new(p(0.0, 0.0), p(100.0, 100.0)))
+            .build()
+            .unwrap();
+        // Memoize two tables: the full set and a subset.
+        e.run(Query::max_cov(1)).unwrap();
+        e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+
+        // A commuter arrives near facility 0.
+        e.apply(&[Update::Insert(Trajectory::two_point(
+            p(0.2, 0.0),
+            p(9.8, 0.0),
+        ))])
+        .unwrap();
+
+        // Both memoized tables now answer like a fresh engine.
+        let got = e.run(Query::top_k(3)).unwrap();
+        assert!(got.explain.cache.is_hit());
+        let mut fresh = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(e.live_set())
+            .facilities(facilities)
+            .build()
+            .unwrap();
+        let want = fresh.run(Query::top_k(3)).unwrap();
+        for (g, w) in got.ranked().iter().zip(want.ranked()) {
+            assert_eq!(g.0, w.0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+        let sub = e.run(Query::top_k(2).candidates(&[0, 1])).unwrap();
+        assert!(sub.explain.cache.is_hit());
+        assert_eq!(sub.ranked()[0].1, 3.0);
+    }
+
+    #[test]
+    fn exact_budget_exhaustion_is_typed() {
+        // Source-only and destination-only facilities: every per-facility
+        // potential is 1 but no single facility serves anyone, so the
+        // branch-and-bound must actually explore nodes — which a zero
+        // budget forbids.
+        let users = UserSet::from_vec(vec![Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0))]);
+        let facilities = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(0.0, 0.5)]),
+            Facility::new(vec![p(10.0, 0.5)]),
+        ]);
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 1.0))
+            .users(users)
+            .facilities(facilities)
+            .build()
+            .unwrap();
+        let err = e
+            .run(Query::max_cov(2).algorithm(Algorithm::Exact).node_budget(0))
+            .unwrap_err();
+        assert_eq!(err, EngineError::ExactBudgetExhausted);
+        // With the default budget the same query completes.
+        let ok = e.run(Query::max_cov(2).algorithm(Algorithm::Exact)).unwrap();
+        assert_eq!(ok.cover().value, 1.0);
+    }
+
+    #[test]
+    fn subset_table_memo_is_bounded_and_full_table_pinned() {
+        let users = UserSet::from_vec(
+            (0..4)
+                .map(|i| {
+                    let y = i as f64;
+                    Trajectory::two_point(p(0.0, y), p(10.0, y))
+                })
+                .collect(),
+        );
+        let facilities = FacilitySet::from_vec(
+            (0..(MAX_SUBSET_TABLES + 4))
+                .map(|i| {
+                    let y = (i % 4) as f64;
+                    Facility::new(vec![p(0.0, y + 0.5), p(10.0, y + 0.5)])
+                })
+                .collect(),
+        );
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 1.0))
+            .users(users)
+            .facilities(facilities)
+            .build()
+            .unwrap();
+        e.warm();
+        // Many distinct subset queries: the memo must stay bounded and the
+        // pinned full table must survive every eviction.
+        for i in 0..(MAX_SUBSET_TABLES as u32 + 3) {
+            e.run(Query::max_cov(1).candidates(&[i, i + 1])).unwrap();
+            assert!(
+                e.tables.len() <= MAX_SUBSET_TABLES + 1,
+                "memo grew past the cap at query {i}: {}",
+                e.tables.len()
+            );
+            assert!(e.full_table().is_some(), "full table evicted at query {i}");
+        }
+        assert_eq!(e.subset_lru.len(), MAX_SUBSET_TABLES);
+        // The oldest subset was evicted, the newest re-queries as a hit.
+        let newest = [MAX_SUBSET_TABLES as u32 + 2, MAX_SUBSET_TABLES as u32 + 3];
+        let hit = e.run(Query::max_cov(1).candidates(&newest)).unwrap();
+        assert!(hit.explain.cache.is_hit());
+        let oldest = e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert_eq!(oldest.explain.cache, CacheStatus::Miss, "oldest was evicted");
+    }
+
+    #[test]
+    fn update_errors_are_wrapped() {
+        let (users, facilities) = small_instance();
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities)
+            .bounds(Rect::new(p(0.0, 0.0), p(100.0, 100.0)))
+            .build()
+            .unwrap();
+        let err = e.apply(&[Update::Remove(99)]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Update(UpdateError::NotLive { index: 0, id: 99 })
+        );
+        let err = e
+            .apply(&[Update::Insert(Trajectory::two_point(
+                p(-5.0, 0.0),
+                p(1.0, 1.0),
+            ))])
+            .unwrap_err();
+        assert_eq!(err, EngineError::Update(UpdateError::OutOfBounds { index: 0 }));
+    }
+}

@@ -24,10 +24,22 @@
 //! captured by [`service::Scenario`] and evaluated through per-user
 //! served-point masks ([`service::PointMask`]), which double as the
 //! overlap-aware `AGG` aggregation MaxkCovRST requires.
+//!
+//! All of the above is served through one typed entry point — the
+//! **[`engine`]** module's [`engine::Engine`] / [`engine::Query`] API,
+//! which unifies the TQ-tree and the [`baseline`] BL index behind the
+//! [`engine::Index`] trait, memoizes [`maxcov::ServedTable`]s across
+//! queries, folds the dynamic-update machinery into
+//! [`engine::Engine::apply`], and reports an [`engine::Explain`] with every
+//! answer. The free functions ([`top_k_facilities`],
+//! [`maxcov::two_step_greedy`], …) remain as the low-level solver layer the
+//! engine dispatches to.
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod dynamic;
+pub mod engine;
 pub mod eval;
 pub mod fasthash;
 pub mod maxcov;
@@ -36,7 +48,12 @@ pub mod service;
 pub mod topk;
 pub mod tqtree;
 
+pub use baseline::BaselineIndex;
 pub use dynamic::{DynamicConfig, DynamicEngine, Update, UpdateError, UpdateStats};
+pub use engine::{
+    Algorithm, Answer, Backend, BackendKind, CacheStatus, Engine, EngineBuilder, EngineError,
+    Explain, Index, Query, QueryResult,
+};
 pub use eval::{
     brute_force_masks, brute_force_value, canonical_value, evaluate_masks, evaluate_service,
     EvalOutcome, EvalStats, FacilityComponent,

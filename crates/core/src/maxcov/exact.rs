@@ -44,11 +44,16 @@ pub fn exact(
     // Admissible per-facility potential: Σ max_value(u) over touched users.
     // Marginal gain under ANY coverage state is at most this (each touched
     // user contributes at most its max value, untouched users contribute 0).
+    // Summed in ascending-id order (not hash-map order) so the candidate
+    // ordering — and with it the search — is deterministic for any two
+    // content-equal tables, e.g. across engine backends.
     let potentials: Vec<f64> = table
         .masks
         .iter()
         .map(|m| {
-            m.keys()
+            let mut ids: Vec<_> = m.keys().copied().collect();
+            ids.sort_unstable();
+            ids.iter()
                 .map(|id| model.max_value(users.get(*id)))
                 .sum::<f64>()
         })
@@ -65,16 +70,11 @@ pub fn exact(
     for i in 0..n {
         prefix[i + 1] = prefix[i] + sorted_pots[i];
     }
-    let top_sum = |from: usize, r: usize| -> f64 {
-        let to = (from + r).min(n);
-        prefix[to] - prefix[from]
-    };
-
     // Seed the incumbent with greedy — a strong lower bound that makes the
     // pruning bite immediately.
     let seed = greedy::greedy(table, users, model, k);
-    let mut best_value = seed.value;
-    let mut best_set: Vec<usize> = seed
+    let best_value = seed.value;
+    let best_set: Vec<usize> = seed
         .chosen
         .iter()
         .map(|fid| table.ids.iter().position(|i| i == fid).expect("greedy id"))
@@ -89,27 +89,29 @@ pub fn exact(
         users: &'a UserSet,
         model: &'a ServiceModel,
         order: &'a [usize],
+        /// Prefix sums of the descending potential order: the sum of the
+        /// `r` best remaining potentials from position `i` is
+        /// `prefix[min(i + r, n)] - prefix[i]`.
+        prefix: &'a [f64],
         k: usize,
         nodes: usize,
         budget: usize,
         exhausted: bool,
+        best_value: f64,
+        best_set: Vec<usize>,
     }
 
     impl Dfs<'_> {
-        #[allow(clippy::too_many_arguments)]
-        fn run(
-            &mut self,
-            pos: usize,
-            chosen: &mut Vec<usize>,
-            cov: &mut Coverage,
-            top_sum: &dyn Fn(usize, usize) -> f64,
-            best_value: &mut f64,
-            best_set: &mut Vec<usize>,
-        ) {
+        fn top_sum(&self, from: usize, r: usize) -> f64 {
+            let to = (from + r).min(self.order.len());
+            self.prefix[to] - self.prefix[from]
+        }
+
+        fn run(&mut self, pos: usize, chosen: &mut Vec<usize>, cov: &mut Coverage) {
             if chosen.len() == self.k {
-                if cov.value() > *best_value + 1e-12 {
-                    *best_value = cov.value();
-                    *best_set = chosen.clone();
+                if cov.value() > self.best_value + 1e-12 {
+                    self.best_value = cov.value();
+                    self.best_set = chosen.clone();
                 }
                 return;
             }
@@ -124,7 +126,7 @@ pub fn exact(
                 }
                 // Admissible bound: current value + best `need` remaining
                 // potentials.
-                if cov.value() + top_sum(i, need) <= *best_value + 1e-12 {
+                if cov.value() + self.top_sum(i, need) <= self.best_value + 1e-12 {
                     break; // sorted order → no later i can do better
                 }
                 self.nodes += 1;
@@ -136,7 +138,7 @@ pub fn exact(
                 let undo =
                     cov.add_undoable_entries(self.users, self.model, &self.entries[cand]);
                 chosen.push(cand);
-                self.run(i + 1, chosen, cov, top_sum, best_value, best_set);
+                self.run(i + 1, chosen, cov);
                 chosen.pop();
                 cov.undo(undo);
             }
@@ -148,24 +150,21 @@ pub fn exact(
         users,
         model,
         order: &order,
+        prefix: &prefix,
         k,
         nodes: 0,
         budget: node_budget.unwrap_or(usize::MAX),
         exhausted: false,
+        best_value,
+        best_set,
     };
     let mut cov = Coverage::new();
     let mut chosen = Vec::with_capacity(k);
-    dfs.run(
-        0,
-        &mut chosen,
-        &mut cov,
-        &top_sum,
-        &mut best_value,
-        &mut best_set,
-    );
+    dfs.run(0, &mut chosen, &mut cov);
     if dfs.exhausted {
         return None;
     }
+    let best_set = dfs.best_set;
 
     let mut final_cov = Coverage::new();
     for &i in &best_set {

@@ -1,16 +1,30 @@
-//! Quickstart: index taxi trips in a TQ-tree and answer both query types.
+//! Quickstart: one engine over indexed taxi trips answering both query
+//! types, with an `Explain` report per answer.
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! TQ_EXAMPLE_SCALE=0.05 cargo run --release --example quickstart   # CI-sized
 //! ```
 
 use tq::prelude::*;
 
-fn main() {
+/// Scales a workload size by the `TQ_EXAMPLE_SCALE` env var (CI runs the
+/// examples at a small fraction of the default size).
+fn scaled(n: usize) -> usize {
+    match std::env::var("TQ_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(s) if s > 0.0 => ((n as f64 * s) as usize).max(64),
+        _ => n,
+    }
+}
+
+fn main() -> Result<(), EngineError> {
     // A synthetic 10 km × 10 km city with 8 hotspots, 20k commuter trips
     // and 64 candidate bus routes of 16 stops each.
     let city = CityModel::synthetic(7, 8, 10_000.0);
-    let users = taxi_trips(&city, 20_000, 1);
+    let users = taxi_trips(&city, scaled(20_000), 1);
     let routes = bus_routes(&city, 64, 16, 4_000.0, 2);
     println!(
         "city 10×10 km — {} trips, {} candidate routes",
@@ -18,8 +32,15 @@ fn main() {
         routes.len()
     );
 
-    // Build the TQ-tree (two-point placement, z-ordered buckets).
-    let tree = TqTree::build(&users, TqTreeConfig::default());
+    // One engine: the users, the service model (scenario 1: a commuter
+    // rides a route when both trip endpoints are within ψ = 250 m of
+    // stops), and a TQ-tree backend (two-point placement, z-ordered
+    // buckets).
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 250.0))
+        .users(users)
+        .facilities(routes)
+        .build()?;
+    let tree = engine.tree().expect("tq-tree backend");
     println!(
         "TQ-tree: {} nodes, height {}, {} items, ~{} KiB",
         tree.node_count(),
@@ -28,29 +49,40 @@ fn main() {
         tree.memory_bytes() / 1024
     );
 
-    // Scenario 1: a commuter rides a route when both endpoints of their trip
-    // are within ψ = 250 m of stops.
-    let model = ServiceModel::new(Scenario::Transit, 250.0);
-
     // kMaxRRST: the 5 individually best routes.
-    let top = top_k_facilities(&tree, &users, &model, &routes, 5);
+    let top = engine.run(Query::top_k(5))?;
     println!("\nkMaxRRST — top 5 routes by riders served:");
-    for (rank, (id, value)) in top.ranked.iter().enumerate() {
+    for (rank, (id, value)) in top.ranked().iter().enumerate() {
         println!("  #{:<2} route {:>3}  serves {:>6.0} riders", rank + 1, id, value);
     }
-    println!(
-        "  (explored with {} state relaxations, {} items tested)",
-        top.relaxations, top.stats.items_tested
-    );
+    println!("  explain: {}", top.explain);
 
-    // MaxkCovRST: the best *pair* of routes serving the most riders jointly.
-    let cover = two_step_greedy(&tree, &users, &model, &routes, 2, None);
+    // MaxkCovRST: the best *pair* of routes serving the most riders jointly
+    // (greedy over the full served table — which the engine memoizes).
+    let cover = engine.run(Query::max_cov(2))?;
     println!(
         "\nMaxkCovRST — best pair {:?} jointly serves {} riders",
-        cover.chosen, cover.users_served
+        cover.cover().chosen,
+        cover.cover().users_served
     );
     assert!(
-        cover.value >= top.ranked[0].1 - 1e-9,
+        cover.cover().value >= top.ranked()[0].1 - 1e-9,
         "a pair always covers at least the best single route"
     );
+
+    // The coverage query memoized the full served table; a top-k re-query
+    // over the same candidates is answered from cache, evaluating nothing.
+    let cached = engine.run(Query::top_k(5))?;
+    assert!(cached.explain.cache.is_hit());
+    println!(
+        "top-5 re-query: cache {}, {} items tested, bit-identical values: {}",
+        cached.explain.cache,
+        cached.explain.eval.items_tested,
+        cached
+            .ranked()
+            .iter()
+            .zip(top.ranked())
+            .all(|((_, a), (_, b))| a.to_bits() == b.to_bits()),
+    );
+    Ok(())
 }

@@ -6,15 +6,27 @@
 //!
 //! ```text
 //! cargo run --release --example tourist_tours
+//! TQ_EXAMPLE_SCALE=0.05 cargo run --release --example tourist_tours
 //! ```
 
-use tq::core::tqtree::Placement;
 use tq::prelude::*;
 
-fn main() {
+/// Scales a workload size by the `TQ_EXAMPLE_SCALE` env var (CI runs the
+/// examples at a small fraction of the default size).
+fn scaled(n: usize) -> usize {
+    match std::env::var("TQ_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(s) if s > 0.0 => ((n as f64 * s) as usize).max(64),
+        _ => n,
+    }
+}
+
+fn main() -> Result<(), EngineError> {
     let city = CityModel::synthetic(33, 10, 12_000.0);
-    // 30k tourists, each with a 2–9 POI day plan (check-in style).
-    let tourists = checkins(&city, 30_000, 21);
+    // Tourists, each with a 2–9 POI day plan (check-in style).
+    let tourists = checkins(&city, scaled(30_000), 21);
     let shuttles = bus_routes(&city, 96, 20, 6_000.0, 22);
     // A POI is served when a shuttle stop is within 250 m of it.
     let model = ServiceModel::new(Scenario::PointCount, 250.0);
@@ -26,17 +38,24 @@ fn main() {
         shuttles.len()
     );
 
-    // Compare the paper's two multipoint index generalizations.
+    // Compare the paper's two multipoint index generalizations: same
+    // query, one engine per placement.
     for (name, placement) in [
         ("segmented S-TQ", Placement::Segmented),
         ("full-trajectory F-TQ", Placement::FullTrajectory),
     ] {
-        let tree = TqTree::build(&tourists, TqTreeConfig::z_order(placement));
-        let start = std::time::Instant::now();
-        let top = top_k_facilities(&tree, &tourists, &model, &shuttles, 3);
-        let secs = start.elapsed().as_secs_f64();
-        println!("\n{name}: {} items indexed, query {:.1} ms", tree.item_count(), secs * 1e3);
-        for (id, v) in &top.ranked {
+        let mut engine = Engine::builder(model)
+            .users(tourists.clone())
+            .facilities(shuttles.clone())
+            .tree_config(TqTreeConfig::z_order(placement))
+            .build()?;
+        let top = engine.run(Query::top_k(3))?;
+        println!(
+            "\n{name}: {} items indexed, query {:.1} ms",
+            engine.tree().expect("tq backend").item_count(),
+            top.explain.wall.as_secs_f64() * 1e3
+        );
+        for (id, v) in top.ranked() {
             println!(
                 "  shuttle {id:>3} — expected POI coverage {:.1} tourist-equivalents",
                 v
@@ -46,16 +65,23 @@ fn main() {
 
     // Pick 3 complementary shuttles: overlap-aware coverage beats the three
     // individually best shuttles whenever they serve the same district.
-    let tree = TqTree::build(&tourists, TqTreeConfig::z_order(Placement::FullTrajectory));
-    let cover = two_step_greedy(&tree, &tourists, &model, &shuttles, 3, None);
-    let top3_sum: f64 = top_k_facilities(&tree, &tourists, &model, &shuttles, 3)
-        .ranked
+    let mut engine = Engine::builder(model)
+        .users(tourists)
+        .facilities(shuttles)
+        .tree_config(TqTreeConfig::z_order(Placement::FullTrajectory))
+        .build()?;
+    let cover = engine.run(Query::max_cov(3).algorithm(Algorithm::TwoStep))?;
+    let top3_sum: f64 = engine
+        .run(Query::top_k(3))?
+        .ranked()
         .iter()
         .map(|(_, v)| v)
         .sum();
     println!(
         "\nMaxkCovRST k=3: joint coverage {:.1} vs naive top-3 sum {:.1} \
          (the difference is double-counted overlap)",
-        cover.value, top3_sum
+        cover.cover().value,
+        top3_sum
     );
+    Ok(())
 }

@@ -1,57 +1,89 @@
 //! Scenario 1 of the paper: an on-demand transport operator picks new
 //! service routes for commuters (binary source+destination service), and
-//! keeps the index fresh as new commute trips stream in.
+//! keeps the engine fresh as new commute trips stream in.
 //!
 //! ```text
 //! cargo run --release --example transit_planning
+//! TQ_EXAMPLE_SCALE=0.05 cargo run --release --example transit_planning
 //! ```
 
-use tq::core::tqtree::Placement;
 use tq::prelude::*;
 
-fn main() {
+/// Scales a workload size by the `TQ_EXAMPLE_SCALE` env var (CI runs the
+/// examples at a small fraction of the default size).
+fn scaled(n: usize) -> usize {
+    match std::env::var("TQ_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(s) if s > 0.0 => ((n as f64 * s) as usize).max(64),
+        _ => n,
+    }
+}
+
+fn main() -> Result<(), EngineError> {
     let city = CityModel::synthetic(21, 12, 20_000.0);
     // Morning commute: many trips from residential hotspots into the core.
-    let mut users = taxi_trips(&city, 50_000, 11);
+    let users = taxi_trips(&city, scaled(50_000), 11);
     let candidates = bus_routes(&city, 128, 24, 9_000.0, 12);
-    let model = ServiceModel::new(Scenario::Transit, 300.0);
 
-    // Build once...
-    let mut tree = TqTree::build(&users, TqTreeConfig::z_order(Placement::TwoPoint));
-    let before = top_k_facilities(&tree, &users, &model, &candidates, 3);
+    // One engine for the whole session: build once over the morning trips,
+    // with bounds covering the city so evening arrivals can stream in.
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 300.0))
+        .users(users)
+        .facilities(candidates)
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint))
+        .bounds(city.bounds.expand(1.0))
+        .build()?;
+
+    let before = engine.run(Query::top_k(3))?;
     println!("before the evening wave — top 3 routes:");
-    for (id, v) in &before.ranked {
+    for (id, v) in before.ranked() {
         println!("  route {id:>3} serves {v:>7.0}");
     }
 
-    // ... then stream in an evening wave of 10k new trips (paper §III-C:
-    // the TQ-tree supports O(h) dynamic insertion).
-    let evening = taxi_trips(&city, 10_000, 13);
-    let mut inserted = 0;
-    for (_, t) in evening.iter() {
-        if tree.insert(&mut users, t.clone()).is_ok() {
-            inserted += 1;
-        }
-    }
-    println!("\ninserted {inserted} evening trips (index now {} items)", tree.item_count());
+    // ... then stream in an evening wave of new trips as one update batch
+    // (paper §III-C: the TQ-tree supports O(h) dynamic insertion; the
+    // engine also patches its memoized answers instead of re-evaluating).
+    let evening = taxi_trips(&city, scaled(10_000), 13);
+    let batch: Vec<Update> = evening
+        .iter()
+        .map(|(_, t)| Update::Insert(t.clone()))
+        .collect();
+    let out = engine.apply(&batch)?;
+    println!(
+        "\ninserted {} evening trips (index now {} items)",
+        out.inserted.len(),
+        engine.tree().expect("tq backend").item_count()
+    );
 
-    let after = top_k_facilities(&tree, &users, &model, &candidates, 3);
+    let after = engine.run(Query::top_k(3))?;
     println!("after the evening wave — top 3 routes:");
-    for (id, v) in &after.ranked {
+    for (id, v) in after.ranked() {
         println!("  route {id:>3} serves {v:>7.0}");
     }
 
     // The operator wants 4 routes that *jointly* serve the most commuters —
-    // and compares greedy against the genetic metaheuristic.
-    let table = ServedTable::build(&tree, &users, &model, &candidates);
-    let g = greedy(&table, &users, &model, 4);
-    let gn = genetic(&table, &users, &model, 4, &GeneticConfig::default());
+    // and compares greedy against the genetic metaheuristic. Both queries
+    // share one memoized served table (the second reports a cache hit).
+    let g = engine.run(Query::max_cov(4))?;
+    let gn = engine.run(Query::max_cov(4).algorithm(Algorithm::Genetic))?;
+    assert!(gn.explain.cache.is_hit());
     println!(
         "\nMaxkCovRST k=4: greedy {:?} serves {} | genetic {:?} serves {}",
-        g.chosen, g.users_served, gn.chosen, gn.users_served
+        g.cover().chosen,
+        g.cover().users_served,
+        gn.cover().chosen,
+        gn.cover().users_served
     );
     println!(
-        "greedy {} the genetic solution",
-        if g.value >= gn.value { "matches or beats" } else { "trails" }
+        "greedy {} the genetic solution (genetic answered from cache: {})",
+        if g.cover().value >= gn.cover().value {
+            "matches or beats"
+        } else {
+            "trails"
+        },
+        gn.explain.cache,
     );
+    Ok(())
 }

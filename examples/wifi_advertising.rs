@@ -4,19 +4,28 @@
 //!
 //! ```text
 //! cargo run --release --example wifi_advertising
+//! TQ_EXAMPLE_SCALE=0.05 cargo run --release --example wifi_advertising
 //! ```
 
-use tq::core::tqtree::Placement;
 use tq::prelude::*;
 
-fn main() {
+/// Scales a workload size by the `TQ_EXAMPLE_SCALE` env var (CI runs the
+/// examples at a small fraction of the default size).
+fn scaled(n: usize) -> usize {
+    match std::env::var("TQ_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(s) if s > 0.0 => ((n as f64 * s) as usize).max(64),
+        _ => n,
+    }
+}
+
+fn main() -> Result<(), EngineError> {
     let city = CityModel::synthetic(55, 14, 16_000.0);
     // Long GPS traces (Geolife-like): tens of points per user.
-    let traces = gps_traces(&city, 8_000, 31);
+    let traces = gps_traces(&city, scaled(8_000), 31);
     let routes = bus_routes(&city, 64, 32, 8_000.0, 32);
-    // A trace point is "on the route" within 300 m; a segment counts when
-    // both endpoints are covered (DESIGN.md §5).
-    let model = ServiceModel::new(Scenario::Length, 300.0);
 
     println!(
         "{} GPS traces, avg {:.0} points, total length {:.0} km",
@@ -25,30 +34,42 @@ fn main() {
         traces.iter().map(|(_, t)| t.length()).sum::<f64>() / 1_000.0
     );
 
-    let tree = TqTree::build(&traces, TqTreeConfig::z_order(Placement::Segmented));
+    // A trace point is "on the route" within 300 m; a segment counts when
+    // both endpoints are covered (DESIGN.md §5). Segmented placement so the
+    // index sees every trace point.
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Length, 300.0))
+        .users(traces.clone())
+        .facilities(routes.clone())
+        .tree_config(TqTreeConfig::z_order(Placement::Segmented))
+        .build()?;
+    let tree = engine.tree().expect("tq backend");
     println!(
         "segmented TQ-tree: {} segment items in {} nodes",
         tree.item_count(),
         tree.node_count()
     );
 
-    let top = top_k_facilities(&tree, &traces, &model, &routes, 5);
+    let top = engine.run(Query::top_k(5))?;
     println!("\ntop 5 routes by covered travel distance (user-length equivalents):");
-    for (id, v) in &top.ranked {
+    for (id, v) in top.ranked() {
         println!("  route {id:>3} — {v:>8.1}");
     }
+    println!("explain: {}", top.explain);
 
-    // Verify one route against the exact oracle — the index is an
+    // Verify one route against the exact oracle — the engine is an
     // accelerator, never an approximation.
-    let (best_id, best_v) = top.ranked[0];
-    let oracle = tq::core::brute_force_value(&traces, &model, routes.get(best_id));
+    let (best_id, best_v) = top.ranked()[0];
+    let oracle = tq::core::brute_force_value(&traces, engine.model(), routes.get(best_id));
     assert!((best_v - oracle).abs() < 1e-6);
     println!("\noracle check for route {best_id}: {oracle:.3} == {best_v:.3} ✓");
 
     // Exposure planning: 4 routes with maximal joint coverage.
-    let cover = two_step_greedy(&tree, &traces, &model, &routes, 4, None);
+    let cover = engine.run(Query::max_cov(4).algorithm(Algorithm::TwoStep))?;
     println!(
         "MaxkCovRST k=4: routes {:?} jointly cover {:.1} user-lengths ({} users touched)",
-        cover.chosen, cover.value, cover.users_served
+        cover.cover().chosen,
+        cover.cover().value,
+        cover.cover().users_served
     );
+    Ok(())
 }

@@ -11,11 +11,17 @@
 //! * [`geometry`] — points, rectangles, adaptive Z-order ids;
 //! * [`trajectory`] — user trajectories, facilities, dataset containers;
 //! * [`quadtree`] — the traditional point quadtree behind the baseline;
-//! * [`core`] — the TQ-tree, service evaluation, top-k and coverage solvers;
+//! * [`core`] — the [`Engine`](core::engine::Engine) layer, the TQ-tree,
+//!   service evaluation, top-k and coverage solvers;
 //! * [`baseline`] — the paper's BL / G-BL reference methods;
 //! * [`datagen`] — seeded NYT/NYF/BJG-like workload generators.
 //!
 //! ## Quickstart
+//!
+//! Everything is served through one typed entry point: an
+//! [`Engine`](core::engine::Engine) owning the users, the service model and
+//! a backend index, answering [`Query`](core::engine::Query)s with an
+//! [`Explain`](core::engine::Explain) report attached.
 //!
 //! ```
 //! use tq::prelude::*;
@@ -25,16 +31,53 @@
 //! let users = taxi_trips(&city, 2_000, 1);
 //! let routes = bus_routes(&city, 32, 12, 3_000.0, 2);
 //!
-//! // Index the trips in a TQ-tree and ask for the 4 best routes.
-//! let tree = TqTree::build(&users, TqTreeConfig::default());
-//! let model = ServiceModel::new(Scenario::Transit, 200.0);
-//! let top = top_k_facilities(&tree, &users, &model, &routes, 4);
-//! assert_eq!(top.ranked.len(), 4);
+//! // One engine: users + service model + a TQ-tree backend.
+//! let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 200.0))
+//!     .users(users)
+//!     .facilities(routes)
+//!     .build()?;
 //!
-//! // And for the best pair of routes that jointly serve the most users.
-//! let cover = two_step_greedy(&tree, &users, &model, &routes, 2, None);
-//! assert!(cover.value >= top.ranked[0].1 - 1e-9);
+//! // kMaxRRST: the 4 individually best routes.
+//! let top = engine.run(Query::top_k(4))?;
+//! assert_eq!(top.ranked().len(), 4);
+//!
+//! // MaxkCovRST: the best pair of routes that jointly serve the most users.
+//! let cover = engine.run(Query::max_cov(2).algorithm(Algorithm::TwoStep))?;
+//! assert!(cover.cover().value >= top.ranked()[0].1 - 1e-9);
+//!
+//! // The engine memoizes the served table the coverage query built, so a
+//! // top-k re-query over the same candidates is answered from cache.
+//! let again = engine.run(Query::top_k(4))?;
+//! assert!(again.explain.cache.is_hit());
+//! # Ok::<(), tq::core::engine::EngineError>(())
 //! ```
+//!
+//! Streaming workloads use the same type — [`Engine::apply`] ingests
+//! batched arrivals/expiries and keeps every memoized answer bit-identical
+//! to a fresh build+query:
+//!
+//! ```
+//! use tq::prelude::*;
+//!
+//! let city = CityModel::synthetic(7, 4, 5_000.0);
+//! let trips = taxi_trips(&city, 500, 1);
+//! let routes = bus_routes(&city, 8, 6, 2_000.0, 2);
+//! let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 150.0))
+//!     .users(trips)
+//!     .facilities(routes)
+//!     .bounds(city.bounds.expand(1.0))
+//!     .build()?;
+//! engine.warm(); // seed the memo so batches maintain it incrementally
+//!
+//! let newcomer = taxi_trips(&city, 1, 99).get(0).clone();
+//! engine.apply(&[Update::Insert(newcomer), Update::Remove(0)])?;
+//! assert_eq!(engine.live_users(), 500);
+//! let top = engine.run(Query::top_k(3))?;
+//! assert!(top.explain.cache.is_hit());
+//! # Ok::<(), tq::core::engine::EngineError>(())
+//! ```
+//!
+//! [`Engine::apply`]: core::engine::Engine::apply
 
 /// The user guide's `rust` code blocks, compiled and run as doctests so
 /// the documented examples can never rot (`cargo test --doc -p tq`).
@@ -51,8 +94,14 @@ pub use tq_trajectory as trajectory;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use tq_baseline::BaselineIndex;
-    pub use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update, UpdateStats};
+    pub use tq_core::baseline::BaselineIndex;
+    pub use tq_core::dynamic::{
+        DynamicConfig, DynamicEngine, Update, UpdateError, UpdateStats,
+    };
+    pub use tq_core::engine::{
+        Algorithm, Answer, Backend, BackendKind, CacheStatus, Engine, EngineBuilder,
+        EngineError, Explain, Index, Query, QueryResult,
+    };
     pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
     pub use tq_core::{
         evaluate_masks, evaluate_service, top_k_facilities, Placement, PointMask, Scenario,

@@ -1,0 +1,400 @@
+//! The unified `Engine`/`Query` surface:
+//!
+//! * a cross-backend property test — on seeded datagen workloads, every
+//!   query family answered over `Backend::TqTree` and `Backend::Baseline`
+//!   must be **bit-identical** (same ids, same value bits);
+//! * one test per `EngineError` variant;
+//! * `ServedTable` memoization — a top-k query after a max-cov query on the
+//!   same candidates reports a cache hit and identical values, and
+//!   `Engine::apply` keeps memoized tables equivalent to a fresh build.
+
+use tq::core::dynamic::{Update, UpdateError};
+use tq::core::tqtree::TqTreeConfig;
+use tq::prelude::*;
+
+fn engines_for(
+    users: &UserSet,
+    routes: &FacilitySet,
+    model: ServiceModel,
+) -> (Engine, Engine) {
+    let tq = Engine::builder(model)
+        .users(users.clone())
+        .facilities(routes.clone())
+        .tree_config(TqTreeConfig::default().with_beta(16))
+        .build()
+        .unwrap();
+    let bl = Engine::builder(model)
+        .users(users.clone())
+        .facilities(routes.clone())
+        .baseline()
+        .build()
+        .unwrap();
+    (tq, bl)
+}
+
+fn assert_ranked_bit_identical(a: &Answer, b: &Answer, label: &str) {
+    assert_eq!(a.ranked().len(), b.ranked().len(), "{label}: length");
+    for (i, ((aid, av), (bid, bv))) in a.ranked().iter().zip(b.ranked()).enumerate() {
+        assert_eq!(aid, bid, "{label} rank {i}: facility id");
+        assert_eq!(
+            av.to_bits(),
+            bv.to_bits(),
+            "{label} rank {i}: value {av} vs {bv}"
+        );
+    }
+}
+
+fn assert_cover_bit_identical(a: &Answer, b: &Answer, label: &str) {
+    let (ac, bc) = (a.cover(), b.cover());
+    assert_eq!(ac.chosen, bc.chosen, "{label}: chosen set");
+    assert_eq!(
+        ac.value.to_bits(),
+        bc.value.to_bits(),
+        "{label}: value {} vs {}",
+        ac.value,
+        bc.value
+    );
+    assert_eq!(ac.users_served, bc.users_served, "{label}: users served");
+}
+
+/// The property: for seeded datagen workloads across every scenario, the
+/// TQ-tree and baseline backends answer every query family bit-identically.
+#[test]
+fn cross_backend_answers_bit_identical_on_seeded_workloads() {
+    for seed in [11u64, 22, 33] {
+        let city = CityModel::synthetic(seed, 8, 6_000.0);
+        let users = taxi_trips(&city, 1_200, seed);
+        let routes = bus_routes(&city, 24, 10, 2_500.0, seed ^ 0xF00);
+        for scenario in Scenario::ALL {
+            let model = ServiceModel::new(scenario, 180.0);
+            let (mut tq, mut bl) = engines_for(&users, &routes, model);
+            let label = format!("seed {seed}/{scenario:?}");
+
+            // kMaxRRST, full ranking and a strict prefix.
+            for k in [3, routes.len()] {
+                let a = tq.run(Query::top_k(k)).unwrap();
+                let b = bl.run(Query::top_k(k)).unwrap();
+                assert_eq!(a.explain.backend, Some(BackendKind::TqTree));
+                assert_eq!(b.explain.backend, Some(BackendKind::Baseline));
+                assert_ranked_bit_identical(&a, &b, &format!("{label} top-{k}"));
+            }
+
+            // Every MaxkCovRST solver.
+            for (name, query) in [
+                ("greedy", Query::max_cov(4)),
+                ("two-step", Query::max_cov(4).algorithm(Algorithm::TwoStep).k_prime(12)),
+                ("genetic", Query::max_cov(4).algorithm(Algorithm::Genetic).seed(777)),
+                ("exact", Query::max_cov(2).algorithm(Algorithm::Exact)),
+            ] {
+                let a = tq.run(query.clone()).unwrap();
+                let b = bl.run(query).unwrap();
+                assert_cover_bit_identical(&a, &b, &format!("{label} {name}"));
+            }
+
+            // Restricted candidate sets go through the same machinery.
+            let sub = [1u32, 5, 9, 17];
+            let a = tq.run(Query::top_k(2).candidates(&sub)).unwrap();
+            let b = bl.run(Query::top_k(2).candidates(&sub)).unwrap();
+            assert_ranked_bit_identical(&a, &b, &format!("{label} subset"));
+            assert!(sub.contains(&a.ranked()[0].0));
+        }
+    }
+}
+
+/// The same property over **multipoint** trajectories (check-ins, GPS
+/// traces): the baseline evaluates every trajectory point, so cross-backend
+/// bit-identity requires a TQ-tree placement that exposes every point too
+/// (segmented / full-trajectory — the placement caveat documented in
+/// `tq_core::engine`).
+#[test]
+fn cross_backend_bit_identical_on_multipoint_workloads() {
+    for (placement, seed) in [
+        (Placement::Segmented, 44u64),
+        (Placement::FullTrajectory, 55),
+    ] {
+        let city = CityModel::synthetic(seed, 6, 6_000.0);
+        let users = checkins(&city, 800, seed);
+        let routes = bus_routes(&city, 16, 8, 2_500.0, seed ^ 0xF00);
+        for scenario in Scenario::ALL {
+            let model = ServiceModel::new(scenario, 200.0);
+            let mut tq = Engine::builder(model)
+                .users(users.clone())
+                .facilities(routes.clone())
+                .tree_config(TqTreeConfig::z_order(placement).with_beta(16))
+                .build()
+                .unwrap();
+            let mut bl = Engine::builder(model)
+                .users(users.clone())
+                .facilities(routes.clone())
+                .baseline()
+                .build()
+                .unwrap();
+            let label = format!("{placement:?}/{scenario:?}");
+            let a = tq.run(Query::top_k(routes.len())).unwrap();
+            let b = bl.run(Query::top_k(routes.len())).unwrap();
+            assert_ranked_bit_identical(&a, &b, &format!("{label} top-k"));
+            let a = tq.run(Query::max_cov(4)).unwrap();
+            let b = bl.run(Query::max_cov(4)).unwrap();
+            assert_cover_bit_identical(&a, &b, &format!("{label} greedy"));
+        }
+    }
+}
+
+/// Thread-count invariance through the query API (the engine's scoped
+/// `.threads(n)` wraps the same deterministic fan-out).
+#[test]
+fn thread_count_does_not_change_answers() {
+    let city = CityModel::synthetic(5, 6, 5_000.0);
+    let users = taxi_trips(&city, 800, 3);
+    let routes = bus_routes(&city, 16, 8, 2_000.0, 4);
+    let model = ServiceModel::new(Scenario::Transit, 200.0);
+    let mut engine = Engine::builder(model)
+        .users(users)
+        .facilities(routes)
+        .build()
+        .unwrap();
+    let serial = engine.run(Query::max_cov(4).threads(1)).unwrap();
+    // New engine so the memo can't mask a parallel divergence.
+    let mut engine2 = Engine::builder(model)
+        .users(engine.users().clone())
+        .facilities(engine.facilities().clone())
+        .build()
+        .unwrap();
+    let parallel = engine2.run(Query::max_cov(4).threads(4)).unwrap();
+    assert_cover_bit_identical(&serial, &parallel, "threads 1 vs 4");
+}
+
+// ---------------------------------------------------------------------------
+// EngineError variants
+// ---------------------------------------------------------------------------
+
+fn tiny_engine() -> Engine {
+    let users = UserSet::from_vec(vec![
+        Trajectory::two_point(Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+    ]);
+    let routes = FacilitySet::from_vec(vec![
+        Facility::new(vec![Point::new(0.0, 1.0), Point::new(10.0, 1.0)]),
+        Facility::new(vec![Point::new(50.0, 50.0)]),
+    ]);
+    Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+        .users(users)
+        .facilities(routes)
+        .bounds(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn error_zero_k() {
+    assert_eq!(tiny_engine().run(Query::top_k(0)).unwrap_err(), EngineError::ZeroK);
+    assert_eq!(tiny_engine().run(Query::max_cov(0)).unwrap_err(), EngineError::ZeroK);
+}
+
+#[test]
+fn error_k_exceeds_candidates() {
+    assert_eq!(
+        tiny_engine().run(Query::top_k(3)).unwrap_err(),
+        EngineError::KExceedsCandidates { k: 3, candidates: 2 }
+    );
+    assert_eq!(
+        tiny_engine().run(Query::max_cov(2).candidates(&[1])).unwrap_err(),
+        EngineError::KExceedsCandidates { k: 2, candidates: 1 }
+    );
+}
+
+#[test]
+fn error_empty_candidates() {
+    // Explicit empty restriction…
+    assert_eq!(
+        tiny_engine().run(Query::top_k(1).candidates(&[])).unwrap_err(),
+        EngineError::EmptyCandidates
+    );
+    // …and an engine with no facilities registered at all.
+    let mut bare = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+        .users(UserSet::new())
+        .build()
+        .unwrap();
+    assert_eq!(bare.run(Query::top_k(1)).unwrap_err(), EngineError::EmptyCandidates);
+}
+
+#[test]
+fn error_unknown_candidate() {
+    assert_eq!(
+        tiny_engine().run(Query::top_k(1).candidates(&[9])).unwrap_err(),
+        EngineError::UnknownCandidate { id: 9 }
+    );
+}
+
+#[test]
+fn error_update_mismatched_trajectory_ids() {
+    let mut e = tiny_engine();
+    // Removing a never-inserted id is rejected, all-or-nothing.
+    let err = e
+        .apply(&[
+            Update::Insert(Trajectory::two_point(Point::new(1.0, 1.0), Point::new(2.0, 2.0))),
+            Update::Remove(42),
+        ])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Update(UpdateError::NotLive { index: 1, id: 42 })
+    );
+    assert_eq!(e.live_users(), 1, "rejected batch left no partial insert");
+    // Out-of-bounds inserts are typed too.
+    let err = e
+        .apply(&[Update::Insert(Trajectory::two_point(
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ))])
+        .unwrap_err();
+    assert_eq!(err, EngineError::Update(UpdateError::OutOfBounds { index: 0 }));
+}
+
+#[test]
+fn error_updates_unsupported_on_baseline() {
+    let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+        .users(UserSet::from_vec(vec![Trajectory::two_point(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        )]))
+        .facilities(FacilitySet::from_vec(vec![Facility::new(vec![Point::new(0.0, 0.5)])]))
+        .baseline()
+        .build()
+        .unwrap();
+    assert_eq!(
+        e.apply(&[Update::Remove(0)]).unwrap_err(),
+        EngineError::UpdatesUnsupported
+    );
+}
+
+#[test]
+fn error_initial_trajectory_out_of_bounds() {
+    let err = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+        .users(UserSet::from_vec(vec![Trajectory::two_point(
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 0.0),
+        )]))
+        .facilities(FacilitySet::from_vec(vec![Facility::new(vec![Point::new(0.0, 0.5)])]))
+        .bounds(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, EngineError::TrajectoryOutOfBounds { id: 0 });
+}
+
+#[test]
+fn error_exact_budget_exhausted() {
+    // Complementary source/destination facilities force real branching.
+    let users = UserSet::from_vec(vec![Trajectory::two_point(
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+    )]);
+    let routes = FacilitySet::from_vec(vec![
+        Facility::new(vec![Point::new(0.0, 0.5)]),
+        Facility::new(vec![Point::new(10.0, 0.5)]),
+    ]);
+    let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 1.0))
+        .users(users)
+        .facilities(routes)
+        .build()
+        .unwrap();
+    assert_eq!(
+        e.run(Query::max_cov(2).algorithm(Algorithm::Exact).node_budget(0))
+            .unwrap_err(),
+        EngineError::ExactBudgetExhausted
+    );
+}
+
+#[test]
+fn errors_render_readable_messages() {
+    let msgs = [
+        EngineError::EmptyCandidates.to_string(),
+        EngineError::ZeroK.to_string(),
+        EngineError::KExceedsCandidates { k: 9, candidates: 4 }.to_string(),
+        EngineError::UnknownCandidate { id: 3 }.to_string(),
+        EngineError::Update(UpdateError::NotLive { index: 1, id: 7 }).to_string(),
+        EngineError::UpdatesUnsupported.to_string(),
+        EngineError::TrajectoryOutOfBounds { id: 2 }.to_string(),
+        EngineError::ExactBudgetExhausted.to_string(),
+    ];
+    for m in msgs {
+        assert!(!m.is_empty());
+        assert!(m.is_ascii() || m.chars().count() > 5, "{m}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServedTable memoization
+// ---------------------------------------------------------------------------
+
+#[test]
+fn topk_after_maxcov_hits_cache_with_identical_values() {
+    let city = CityModel::synthetic(9, 6, 5_000.0);
+    let users = taxi_trips(&city, 1_000, 7);
+    let routes = bus_routes(&city, 20, 8, 2_000.0, 8);
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 200.0))
+        .users(users)
+        .facilities(routes)
+        .build()
+        .unwrap();
+
+    // Fresh top-k: answered by the best-first search, no table involved.
+    let fresh = engine.run(Query::top_k(20)).unwrap();
+    assert_eq!(fresh.explain.cache, CacheStatus::Unused);
+    assert!(fresh.explain.eval.items_tested > 0);
+
+    // Coverage query builds + memoizes the table…
+    let cov = engine.run(Query::max_cov(4)).unwrap();
+    assert_eq!(cov.explain.cache, CacheStatus::Miss);
+
+    // …and the follow-up top-k over the same candidates reports a hit,
+    // does zero evaluation work, and returns bit-identical values.
+    let cached = engine.run(Query::top_k(20)).unwrap();
+    assert!(cached.explain.cache.is_hit());
+    assert_eq!(cached.explain.eval.items_tested, 0);
+    assert_eq!(cached.explain.eval.nodes_visited, 0);
+    assert_ranked_bit_identical(&fresh, &cached, "fresh vs cached");
+
+    // A second coverage query hits too, with the identical chosen set.
+    let cov2 = engine.run(Query::max_cov(4)).unwrap();
+    assert!(cov2.explain.cache.is_hit());
+    assert_cover_bit_identical(&cov, &cov2, "greedy twice");
+}
+
+#[test]
+fn apply_keeps_memoized_tables_equal_to_fresh_build() {
+    let city = CityModel::synthetic(13, 6, 5_000.0);
+    let trace = stream_scenario(&city, StreamKind::Taxi, 600, 120, 0.5, 5);
+    let routes = bus_routes(&city, 16, 8, 2_000.0, 6);
+    let model = ServiceModel::new(Scenario::Transit, 200.0);
+    let mut engine = Engine::builder(model)
+        .users(trace.initial.clone())
+        .facilities(routes.clone())
+        .bounds(trace.bounds)
+        .build()
+        .unwrap();
+    engine.warm();
+
+    for chunk in trace.events.chunks(30) {
+        let batch: Vec<Update> = chunk
+            .iter()
+            .map(|e| match e {
+                StreamEvent::Arrive(t) => Update::Insert(t.clone()),
+                StreamEvent::Expire(id) => Update::Remove(*id),
+            })
+            .collect();
+        engine.apply(&batch).unwrap();
+
+        let maintained = engine.run(Query::top_k(8)).unwrap();
+        assert!(maintained.explain.cache.is_hit(), "table maintained, not rebuilt");
+        let mut fresh = Engine::builder(model)
+            .users(engine.live_set())
+            .facilities(routes.clone())
+            .bounds(trace.bounds)
+            .build()
+            .unwrap();
+        let want = fresh.run(Query::top_k(8)).unwrap();
+        assert_ranked_bit_identical(&maintained, &want, "incremental vs fresh");
+    }
+    assert!(engine.stats().batches == 4);
+    assert!(engine.stats().rebuild_evaluations() > 0);
+}
