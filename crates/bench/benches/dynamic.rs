@@ -18,7 +18,7 @@ use tq_core::dynamic::{DynamicConfig, DynamicEngine, Update, UpdateStats};
 use tq_core::maxcov::ServedTable;
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
-use tq_datagen::{presets, stream_scenario, StreamEvent, StreamKind, StreamScenario};
+use tq_datagen::{presets, stream_scenario, StreamKind, StreamScenario};
 use tq_trajectory::{FacilitySet, Trajectory, UserSet};
 
 const USERS: usize = 10_000;
@@ -45,19 +45,7 @@ fn scenario_for(rate: f64) -> (StreamScenario, Vec<Vec<Update>>) {
         0.5,
         0xD1A,
     );
-    let batches = trace
-        .events
-        .chunks(batch)
-        .map(|chunk| {
-            chunk
-                .iter()
-                .map(|e| match e {
-                    StreamEvent::Arrive(t) => Update::Insert(t.clone()),
-                    StreamEvent::Expire(id) => Update::Remove(*id),
-                })
-                .collect()
-        })
-        .collect();
+    let batches = trace.update_batches(batch);
     (trace, batches)
 }
 

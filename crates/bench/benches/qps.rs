@@ -1,0 +1,209 @@
+//! Serving-throughput bench: read scaling across snapshot reader threads,
+//! and aggregate read throughput under an in-flight update stream versus
+//! the single-session baseline.
+//!
+//! Three sections, all on one seeded NYT-like dataset:
+//!
+//! 1. **read scaling** — `serve` with 1, 2 and 4 client threads and no
+//!    updates: queries per second against frozen snapshots (each answer a
+//!    memo hit, so this measures the serving loop, not evaluation).
+//! 2. **mixed workload** — the architecture claim: 4 concurrent clients
+//!    with the single writer streaming update batches, versus one session
+//!    interleaving the same queries and the same update stream on one
+//!    thread (what `Engine::run(&mut self)` forced before the
+//!    read/control-plane split). The bench asserts the concurrent
+//!    arm clears **2× the single-session qps** and prints the measured
+//!    ratio.
+//! 3. **writer stall** — total writer busy time and the worst single
+//!    batch publish during the mixed run: the longest a *new* snapshot
+//!    request can lag the freshest data. Readers never pause — they keep
+//!    answering on the epoch they hold.
+
+use std::time::{Duration, Instant};
+use tq_core::dynamic::Update;
+use tq_core::engine::{Engine, Query};
+use tq_core::serve::{serve, ServeConfig, Workload};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, TqTreeConfig};
+use tq_datagen::{presets, stream_scenario, StreamKind};
+
+const USERS: usize = 4_000;
+const ROUTES: usize = 64;
+const STOPS: usize = 12;
+const K: usize = 8;
+/// Events per update batch.
+const BATCH: usize = 50;
+/// Batches generated — enough that neither arm drains the stream: the
+/// mixed sections model a *saturating* writer (batches applied
+/// back-to-back for the whole run, 50% expiries so the live set stays
+/// near its initial size), the regime the read/control-plane split exists
+/// for.
+const N_BATCHES: usize = 2_500;
+/// Wall time per measured section.
+const DURATION: Duration = Duration::from_millis(1500);
+const CLIENTS: usize = 4;
+
+fn build_engine() -> (Engine, Vec<Vec<Update>>) {
+    let city = presets::ny_city();
+    let trace = stream_scenario(&city, StreamKind::Taxi, USERS, N_BATCHES * BATCH, 0.5, 0x9A5);
+    let facilities = tq_datagen::bus_routes(
+        &city,
+        ROUTES,
+        STOPS,
+        presets::ROUTE_LENGTH,
+        0x9A5 ^ 0xB05,
+    );
+    let batches = trace.update_batches(BATCH);
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, presets::DEFAULT_PSI))
+        .users(trace.initial)
+        .facilities(facilities)
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(64))
+        .bounds(trace.bounds)
+        .build()
+        .expect("bench engine builds");
+    engine.warm();
+    (engine, batches)
+}
+
+fn queries() -> Vec<Query> {
+    // One evaluation thread per query in *both* arms: what the serve
+    // shards' session budget picks on this box anyway, pinned explicitly
+    // so the single-session arm runs the identical query plan (per-round
+    // fan-out of a cache-hit greedy solve costs more in thread spawns
+    // than the work it splits).
+    //
+    // The serving mix: both query families answered from the maintained
+    // (incrementally patched) full table — the steady-state traffic this
+    // architecture serves. Index-searching misses are measured per query
+    // by the `kmaxrrst` bench instead; here they would drown the
+    // serving-loop signal in memory-bandwidth-bound evaluation.
+    vec![Query::top_k(K).threads(1), Query::max_cov(K).threads(1)]
+}
+
+/// The pre-split serving model: one session, one thread, queries and
+/// update batches interleaved through `&mut self` — every batch stalls
+/// the reader. Returns achieved qps, batches applied, and the fraction of
+/// wall time reads were stalled inside `apply`.
+fn single_session_mixed(engine: &mut Engine, batches: &[Vec<Update>]) -> (f64, u64, f64) {
+    let script = queries();
+    let mut cursor = 0usize;
+    let mut answered = 0u64;
+    let mut applied = 0u64;
+    let mut stalled = Duration::ZERO;
+    let mut batch_iter = batches.iter();
+    let start = Instant::now();
+    let deadline = start + DURATION;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        // Saturating writer, same as serve's (update_pause = 0): the next
+        // batch is always due.
+        if let Some(batch) = batch_iter.next() {
+            let t = Instant::now();
+            engine.apply(batch).expect("bench batches are valid");
+            stalled += t.elapsed();
+            applied += 1;
+        }
+        engine
+            .run(script[cursor % script.len()].clone())
+            .expect("bench queries are valid");
+        cursor += 1;
+        answered += 1;
+    }
+    let wall = start.elapsed();
+    (
+        answered as f64 / wall.as_secs_f64(),
+        applied,
+        stalled.as_secs_f64() / wall.as_secs_f64(),
+    )
+}
+
+fn main() {
+    println!("qps bench: {USERS} trajectories, {ROUTES} routes × {STOPS} stops, k={K}");
+    println!("queries: top-{K} + max-cov-{K}, both served from the maintained table\n");
+
+    // -- 1: read scaling over frozen snapshots ------------------------------
+    println!("read scaling (no updates, {:.1}s per point):", DURATION.as_secs_f64());
+    let mut base_qps = 0.0;
+    for clients in [1usize, 2, 4] {
+        let (mut engine, _) = build_engine();
+        let workload = Workload {
+            queries: queries(),
+            update_batches: Vec::new(),
+        };
+        let config = ServeConfig {
+            clients,
+            duration: DURATION,
+            ..ServeConfig::default()
+        };
+        let report = serve(&mut engine, &workload, &config).expect("serve runs");
+        assert_eq!(report.epoch_regressions(), 0);
+        if clients == 1 {
+            base_qps = report.qps;
+        }
+        println!(
+            "  {clients} client(s): {:>8.0} qps  ({:.2}x vs 1 client, mean queue {:.4}ms)",
+            report.qps,
+            report.qps / base_qps,
+            report.mean_queued().as_secs_f64() * 1e3,
+        );
+    }
+
+    // -- 2: mixed workload — single session vs concurrent serving ----------
+    println!("\nmixed workload (batches of {BATCH} events, writer saturated — applied back-to-back):");
+    let (mut engine, batches) = build_engine();
+    let (serial_qps, serial_batches, stall) = single_session_mixed(&mut engine, &batches);
+    println!(
+        "  single session (reads stall on writes): {serial_qps:>8.0} qps \
+         ({serial_batches} batches applied, reads stalled {:.0}% of the run)",
+        stall * 100.0
+    );
+
+    let (mut engine, batches) = build_engine();
+    let workload = Workload {
+        queries: queries(),
+        update_batches: batches,
+    };
+    let config = ServeConfig {
+        clients: CLIENTS,
+        duration: DURATION,
+        update_pause: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let report = serve(&mut engine, &workload, &config).expect("serve runs");
+    assert_eq!(report.epoch_regressions(), 0);
+    let ratio = report.qps / serial_qps;
+    println!(
+        "  {CLIENTS} concurrent clients + writer:        {:>8.0} qps \
+         ({} batches applied) → {ratio:.2}x",
+        report.qps, report.batches_applied
+    );
+
+    // -- 3: writer stall ----------------------------------------------------
+    println!(
+        "\nwriter stall during the concurrent run: busy {:.3}s of {:.3}s \
+         ({:.1}%), worst single publish {:.3}ms — readers never paused \
+         (epochs {}..={}, {} regressions)",
+        report.writer_busy.as_secs_f64(),
+        report.wall.as_secs_f64(),
+        100.0 * report.writer_busy.as_secs_f64() / report.wall.as_secs_f64(),
+        report.max_publish.as_secs_f64() * 1e3,
+        report.first_epoch,
+        report.last_epoch,
+        report.epoch_regressions(),
+    );
+
+    assert!(
+        report.batches_applied > 0,
+        "the mixed run must actually stream updates"
+    );
+    assert!(
+        ratio > 2.0,
+        "concurrent serving must clear 2x the single-session qps with an \
+         in-flight update stream (got {ratio:.2}x: {:.0} vs {serial_qps:.0})",
+        report.qps
+    );
+    println!("\nqps bench OK: {ratio:.2}x aggregate read throughput at {CLIENTS} clients");
+}

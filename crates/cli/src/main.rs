@@ -7,6 +7,7 @@
 //! tq topk    city.tqd --k 8 --psi 200 --scenario transit
 //! tq maxcov  city.tqd --k 4 --psi 200 --method two-step
 //! tq stream  --kind nyt --users 20000 --events 2000 --batch 200 --k 8
+//! tq serve   --clients 4 --duration 5 --users 20000 --batch 200
 //! ```
 //!
 //! Every query command runs through the unified [`tq_core::engine::Engine`]
@@ -24,10 +25,11 @@ mod args;
 
 use args::{global_usage, Args, Command, Flag};
 use tq_core::engine::{Algorithm, Engine, EngineBuilder, Query};
-use tq_core::dynamic::Update;
+
+use tq_core::serve::{serve, ServeConfig, Workload};
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
-use tq_datagen::{StreamEvent, StreamKind};
+use tq_datagen::StreamKind;
 use tq_trajectory::{snapshot, FacilitySet, UserSet};
 
 const GENERATE: Command = Command {
@@ -120,7 +122,33 @@ const STREAM: Command = Command {
     ],
 };
 
-const COMMANDS: [&Command; 6] = [&GENERATE, &IMPORT_TAXI, &STATS, &TOPK, &MAXCOV, &STREAM];
+const SERVE: Command = Command {
+    name: "serve",
+    summary: "concurrent serving: N reader threads over snapshots + one update writer",
+    positional: "",
+    flags: &[
+        Flag { name: "clients", meta: "N", default: "4", help: "concurrent reader (client) threads" },
+        Flag { name: "duration", meta: "SECONDS", default: "5", help: "how long to serve the mixed workload" },
+        Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
+        Flag { name: "users", meta: "N", default: "20000", help: "initial trajectory count" },
+        Flag { name: "events", meta: "N", default: "20000", help: "arrival/expiry events available to the writer" },
+        Flag { name: "batch", meta: "B", default: "200", help: "events per applied update batch" },
+        Flag { name: "expire", meta: "RATIO", default: "0.5", help: "expiry share of events (0..1)" },
+        Flag { name: "pause", meta: "MILLIS", default: "0", help: "writer pause between update batches" },
+        Flag { name: "routes", meta: "N", default: "128", help: "number of candidate routes" },
+        Flag { name: "stops", meta: "S", default: "16", help: "stops per route" },
+        Flag { name: "k", meta: "K", default: "8", help: "k of the scripted top-k / max-cov queries" },
+        Flag { name: "psi", meta: "METRES", default: "preset", help: "service radius ψ" },
+        Flag { name: "scenario", meta: "transit|points|length", default: "transit", help: "service semantics" },
+        Flag { name: "placement", meta: "two-point|segmented|full", default: "per kind", help: "defaults to the variant that sees all of a kind's points" },
+        Flag { name: "beta", meta: "B", default: "64", help: "TQ-tree bucket size β" },
+        Flag { name: "seed", meta: "SEED", default: "1", help: "trace RNG seed" },
+        Flag { name: "client-threads", meta: "N", default: "0", help: "evaluation threads per client (0 = cores/(clients+1))" },
+    ],
+};
+
+const COMMANDS: [&Command; 7] =
+    [&GENERATE, &IMPORT_TAXI, &STATS, &TOPK, &MAXCOV, &STREAM, &SERVE];
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -133,6 +161,7 @@ fn main() {
         "topk" => cmd_topk(rest),
         "maxcov" => cmd_maxcov(rest),
         "stream" => cmd_stream(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             print!("{}", global_usage(&COMMANDS));
             Ok(())
@@ -441,6 +470,7 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         scenario_trace.expiries(),
         facilities.len(),
     );
+    let batches = scenario_trace.update_batches(batch);
     let t = std::time::Instant::now();
     let mut engine = Engine::builder(model)
         .users(scenario_trace.initial)
@@ -454,23 +484,16 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
     println!("build:  index + initial evaluation in {:.3}s", t.elapsed().as_secs_f64());
 
     let mut apply_secs = 0.0f64;
-    for (i, chunk) in scenario_trace.events.chunks(batch).enumerate() {
-        let updates: Vec<Update> = chunk
-            .iter()
-            .map(|e| match e {
-                StreamEvent::Arrive(t) => Update::Insert(t.clone()),
-                StreamEvent::Expire(id) => Update::Remove(*id),
-            })
-            .collect();
+    for (i, updates) in batches.iter().enumerate() {
         let t = std::time::Instant::now();
-        let out = engine.apply(&updates)?;
+        let out = engine.apply(updates)?;
         let secs = t.elapsed().as_secs_f64();
         apply_secs += secs;
         println!(
             "batch {:>3}: {:>4} events in {:>7.1}ms | {} live | facilities: \
              {} untouched, {} patched, {} reevaluated",
             i + 1,
-            chunk.len(),
+            updates.len(),
             secs * 1e3,
             engine.live_users(),
             out.untouched,
@@ -532,3 +555,105 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
     }
     Ok(())
 }
+
+fn cmd_serve(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&SERVE, raw)? else { return Ok(()) };
+    let clients: usize = a.get_or("clients", 4, "integer")?;
+    let duration: f64 = a.get_or("duration", 5.0, "number")?;
+    let kind_name = a.get("kind").unwrap_or("nyt");
+    let users_n: usize = a.get_or("users", 20_000, "integer")?;
+    let events_n: usize = a.get_or("events", 20_000, "integer")?;
+    let batch: usize = a.get_or("batch", 200, "integer")?;
+    let expire: f64 = a.get_or("expire", 0.5, "number")?;
+    let pause_ms: u64 = a.get_or("pause", 0, "integer")?;
+    let routes_n: usize = a.get_or("routes", 128, "integer")?;
+    let stops: usize = a.get_or("stops", 16, "integer")?;
+    let k: usize = a.get_or("k", 8, "integer")?;
+    let psi: f64 = a.get_or("psi", tq_datagen::presets::DEFAULT_PSI, "number")?;
+    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
+    let default_placement = match kind_name {
+        "nyf" => "segmented",
+        "bjg" => "full",
+        _ => "two-point",
+    };
+    let placement = placement_of(a.get("placement").unwrap_or(default_placement))?;
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let seed: u64 = a.get_or("seed", 1, "integer")?;
+    let client_threads: usize = a.get_or("client-threads", 0, "integer")?;
+    if clients == 0 {
+        return Err("--clients must be positive".into());
+    }
+    if !duration.is_finite() || duration < 0.0 {
+        return Err("--duration must be a non-negative number of seconds".into());
+    }
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&expire) {
+        return Err("--expire must be between 0 and 1".into());
+    }
+
+    let (city, kind) = match kind_name {
+        "nyt" => (tq_datagen::presets::ny_city(), StreamKind::Taxi),
+        "nyf" => (tq_datagen::presets::ny_city(), StreamKind::Checkins),
+        "bjg" => (tq_datagen::presets::bj_city(), StreamKind::Gps),
+        other => return Err(format!("unknown kind {other:?} (nyt|nyf|bjg)").into()),
+    };
+    let trace = tq_datagen::stream_scenario(&city, kind, users_n, events_n, expire, seed);
+    let facilities = tq_datagen::bus_routes(
+        &city,
+        routes_n,
+        stops,
+        tq_datagen::presets::ROUTE_LENGTH,
+        seed ^ 0xB05,
+    );
+    let model = ServiceModel::new(scenario, psi);
+    println!(
+        "serve: {} initial {kind_name} trajectories, {} routes × {stops} stops, \
+         {clients} clients for {duration}s, update batches of {batch} \
+         ({} events available)",
+        trace.initial.len(),
+        facilities.len(),
+        trace.events.len(),
+    );
+    let update_batches = trace.update_batches(batch);
+    let t = std::time::Instant::now();
+    let mut engine = Engine::builder(model)
+        .users(trace.initial)
+        .facilities(facilities)
+        .tree_config(TqTreeConfig::z_order(placement).with_beta(beta))
+        .bounds(trace.bounds)
+        .build()?;
+    engine.warm();
+    println!(
+        "build:  index + initial evaluation in {:.3}s (epoch {})",
+        t.elapsed().as_secs_f64(),
+        engine.epoch()
+    );
+
+    let workload = Workload {
+        queries: vec![Query::top_k(k), Query::max_cov(k)],
+        update_batches,
+    };
+    let config = ServeConfig {
+        clients,
+        duration: std::time::Duration::from_secs_f64(duration),
+        threads_per_client: client_threads,
+        update_pause: std::time::Duration::from_millis(pause_ms),
+    };
+    let report = serve(&mut engine, &workload, &config)?;
+    println!("{}", report.summary());
+    if report.epoch_regressions() > 0 {
+        return Err(format!(
+            "{} epoch regressions observed — snapshot publication is broken",
+            report.epoch_regressions()
+        )
+        .into());
+    }
+    if let Some(sample) = report.sample_answer() {
+        println!("explain: {} (sample answer, client 0)", sample.explain);
+    }
+    println!("{} live trajectories at the final epoch", engine.live_users());
+    Ok(())
+}
+

@@ -7,9 +7,12 @@
 //! queries interleaved. This module defines the vocabulary of that workload
 //! ([`Update`], [`UpdateError`], [`UpdateStats`], [`BatchOutcome`],
 //! [`DynamicConfig`]); the *maintenance machinery itself now lives in the
-//! unified engine* — [`Engine::apply`](crate::engine::Engine::apply) keeps
-//! every memoized [`ServedTable`] in sync across batches, so static and
-//! streaming callers share one type.
+//! unified engine's single-writer control plane* —
+//! [`Engine::apply`](crate::engine::Engine::apply) keeps every memoized
+//! [`ServedTable`] in sync across batches and publishes each batch as a
+//! new immutable [`Snapshot`](crate::engine::Snapshot) epoch, so static,
+//! streaming and concurrent-serving callers share one type (see
+//! [`crate::serve`] for the multi-reader side).
 //!
 //! # The invalidation rule
 //!

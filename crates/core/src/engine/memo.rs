@@ -1,0 +1,103 @@
+//! Writer-side bookkeeping for the [`ServedTable`] memo.
+//!
+//! The tables themselves are frozen inside the published
+//! [`Snapshot`](super::Snapshot) (behind `Arc`, shared by every reader);
+//! what lives here is the single-writer control-plane state that decides
+//! *which* tables the next snapshot carries: the pinned full-facility key,
+//! the LRU recency order of the subset keys, and the configurable capacity
+//! bound. Keeping this out of the snapshot is what lets readers run
+//! without locks — recency is a write-plane concern, so a reader cache
+//! hit never refreshes it (only [`Engine::run`](super::Engine::run) hits
+//! do).
+
+use tq_trajectory::FacilityId;
+
+/// Default number of *subset* [`ServedTable`](crate::maxcov::ServedTable)s
+/// the engine memoizes at once (the least-recently-used subset table is
+/// evicted beyond this). Override it per engine with
+/// [`EngineBuilder::subset_tables`](super::EngineBuilder::subset_tables);
+/// `0` disables subset caching entirely. The full-facility table (the
+/// streaming workhorse seeded by [`Engine::warm`](super::Engine::warm)) is
+/// pinned and never counts against the cap, so a long-running session
+/// interleaving updates with shifting-candidate queries has bounded memory
+/// and bounded per-batch maintenance cost.
+pub const DEFAULT_SUBSET_TABLES: usize = 8;
+
+/// The single-writer memo index: subset-key recency plus the capacity
+/// bound. See the module docs for why this is not part of the snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct TableMemo {
+    /// Maximum number of subset tables; `0` = no subset caching.
+    capacity: usize,
+    /// Subset keys in recency order, front = least recently used.
+    lru: Vec<Vec<FacilityId>>,
+}
+
+impl TableMemo {
+    pub(crate) fn new(capacity: usize) -> TableMemo {
+        TableMemo {
+            capacity,
+            lru: Vec::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of subset keys currently tracked.
+    #[cfg(test)]
+    pub(crate) fn subset_count(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Refreshes a subset key's recency after a writer-side cache hit.
+    /// Unknown keys (the pinned full key, or a key already evicted) are
+    /// ignored.
+    pub(crate) fn touch(&mut self, key: &[FacilityId]) {
+        if let Some(pos) = self.lru.iter().position(|k| k == key) {
+            let key = self.lru.remove(pos);
+            self.lru.push(key);
+        }
+    }
+
+    /// Admits a freshly built subset table's key, returning the keys to
+    /// evict from the next published snapshot to stay within capacity.
+    ///
+    /// Callers must check [`TableMemo::capacity`] `> 0` first (capacity 0
+    /// means the table is not admitted at all).
+    pub(crate) fn admit(&mut self, key: Vec<FacilityId>) -> Vec<Vec<FacilityId>> {
+        debug_assert!(self.capacity > 0, "admit called with subset caching off");
+        debug_assert!(!self.lru.contains(&key), "admit of an already-tracked key");
+        self.lru.push(key);
+        let mut evicted = Vec::new();
+        while self.lru.len() > self.capacity {
+            evicted.push(self.lru.remove(0));
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_evicts_least_recently_used() {
+        let mut memo = TableMemo::new(2);
+        assert!(memo.admit(vec![0]).is_empty());
+        assert!(memo.admit(vec![1]).is_empty());
+        // Touch [0] so [1] becomes the LRU victim.
+        memo.touch(&[0]);
+        let evicted = memo.admit(vec![2]);
+        assert_eq!(evicted, vec![vec![1]]);
+        assert_eq!(memo.subset_count(), 2);
+    }
+
+    #[test]
+    fn touch_of_unknown_key_is_ignored() {
+        let mut memo = TableMemo::new(2);
+        memo.touch(&[9, 9]);
+        assert_eq!(memo.subset_count(), 0);
+    }
+}

@@ -1,66 +1,92 @@
-//! The unified query engine: one typed entry point over every backend.
+//! The unified query engine, split into a shared read plane and a
+//! single-writer control plane for concurrent serving.
 //!
 //! The paper frames kMaxRRST and MaxkCovRST as two queries over one index
-//! family (the TQ-tree versus the BL baseline); this module gives that frame
-//! a single session-style API. An [`Engine`] owns a [`UserSet`], a
-//! [`ServiceModel`] and a [`Backend`] (a [`TqTree`] or a [`BaselineIndex`]
-//! behind the common [`Index`] trait), answers typed [`Query`]s through
-//! [`Engine::run`], and applies streaming updates through [`Engine::apply`]
-//! — so static and dynamic callers share one type, and every answer carries
-//! an [`Explain`] report (prune/eval counters, cache outcome, wall time).
+//! family (the TQ-tree versus the BL baseline); this module gives that
+//! frame a session-style API built for many readers and one writer:
+//!
+//! * **[`Snapshot`]** — the read plane: an immutable, epoch-numbered
+//!   version of the entire queryable state (users + facilities +
+//!   [`ServiceModel`] + backend index + frozen [`ServedTable`] memo, all
+//!   behind `Arc`). [`Snapshot::run`] answers typed [`Query`]s through
+//!   `&self` with **zero locks** — any number of threads serve queries
+//!   concurrently, each answer bit-identical to serial execution.
+//! * **[`Engine`]** — the single-writer control plane: owns the
+//!   publication slot, answers queries itself ([`Engine::run`], which
+//!   additionally memoizes the tables queries build), and applies
+//!   streaming [`Update`] batches ([`Engine::apply`]) by copy-on-write:
+//!   only the touched facilities' tables (and the mutated index/user set)
+//!   are cloned and patched, everything else is `Arc`-shared with the
+//!   previous epoch, and the new snapshot is published atomically.
+//!   Readers never wait out a batch — they keep answering on the epoch
+//!   they hold, and old epochs drain via `Arc` refcounts.
+//! * **[`Reader`]** — the cloneable, `Send + Sync` handle serving threads
+//!   hold; [`Reader::snapshot`] yields the latest published epoch. The
+//!   [`serve`](crate::serve) module drives a whole worker pool off this.
 //!
 //! # Request flow
 //!
 //! ```text
-//! Query::top_k(k) ─────────────┐
-//! Query::max_cov(k)            │      ┌───────────────────────────────┐
-//!   .algorithm(..) ────────────┼────► │ Engine::run                   │
-//!   .candidates(..)            │      │  1 validate (EngineError)     │
-//!   .threads(..)               │      │  2 ServedTable memo lookup    │
-//!                              │      │  3 dispatch to Backend/solver │
-//! Engine::apply(batch) ───────►│      │  4 wrap in Answer + Explain   │
-//!   (incremental maintenance   │      └──────────────┬────────────────┘
-//!    of every memoized table)  │                     ▼
-//!                              │      Backend::TqTree ──► best-first topk /
-//!                              │                          evaluateService
-//!                              │      Backend::Baseline ► range-query + verify
+//!                     writer (one thread)             readers (N threads)
+//!                 ┌───────────────────────┐        ┌──────────────────────┐
+//! Engine::apply ─►│ validate → CoW-patch  │        │ reader.snapshot()    │
+//!                 │ index + touched tables│        │   └► Arc<Snapshot>   │
+//!                 │ → publish epoch e+1 ──┼──swap──┼──►                   │
+//! Engine::run ───►│ execute on epoch e;   │ (slot) │ snapshot.run(query)  │
+//!                 │ absorb built tables   │        │   &self, zero locks  │
+//!                 └───────────────────────┘        └──────────────────────┘
+//!        Query::top_k(k) / Query::max_cov(k).algorithm(..) → Answer + Explain
+//!        (epoch e stays valid for readers still on it; freed by refcount)
 //! ```
 //!
 //! # Memoization
 //!
 //! The expensive artifact every MaxkCovRST solver consumes — the
 //! [`ServedTable`] of complete served-point masks — is memoized **per
-//! candidate set**. A top-k query that follows a coverage query over the
-//! same candidates is answered straight from the cached table (reported as
-//! [`CacheStatus::Hit`] in [`Explain`]). The full-facility table is
-//! pinned; subset tables are LRU-bounded by [`MAX_SUBSET_TABLES`] so the
-//! memo cannot grow without bound under shifting candidate sets. And
+//! candidate set** in the published snapshot. A top-k query that follows a
+//! coverage query over the same candidates is answered straight from the
+//! frozen table (reported as [`CacheStatus::Hit`] in [`Explain`]). The
+//! full-facility table is pinned; subset tables are LRU-bounded by the
+//! [`EngineBuilder::subset_tables`] capacity (default
+//! [`DEFAULT_SUBSET_TABLES`], `0` disables subset caching) so the memo
+//! cannot grow without bound under shifting candidate sets. Memoization is
+//! a *control-plane* action: [`Engine::run`] absorbs the tables its
+//! queries build by publishing a successor snapshot, while
+//! [`Snapshot::run`] on the read plane builds missing tables locally and
+//! discards them — readers never mutate shared state.
+//!
 //! [`Engine::apply`] keeps every memoized table in sync incrementally (the
 //! [`dynamic`](crate::dynamic)-engine invalidation rule: facilities whose
-//! ψ-expanded EMBR misses every delta MBR are untouched, touched ones are
-//! patched delta-by-delta, heavy ones are re-evaluated through the tree).
+//! ψ-expanded EMBR misses every delta MBR are untouched — their tables
+//! stay `Arc`-shared with the previous epoch at zero cost — touched ones
+//! are cloned and patched delta-by-delta, heavy ones re-evaluated through
+//! the tree).
 //!
 //! # Bit-identity
 //!
-//! Answers are **bit-identical across backends and histories**: both
-//! backends sum service values in the canonical ascending-trajectory-id
-//! order ([`crate::eval::canonical_value`]), so `Engine` over
-//! [`Backend::TqTree`] and over [`Backend::Baseline`] return identical
-//! floats, and an engine that has applied update batches answers exactly
-//! like a freshly built one (`tests/engine_api.rs` and
-//! `tests/dynamic_equivalence.rs` enforce both).
+//! Answers are **bit-identical across backends, histories, and planes**:
+//! both backends sum service values in the canonical
+//! ascending-trajectory-id order ([`crate::eval::canonical_value`]), so
+//! `Engine` over [`Backend::TqTree`] and over [`Backend::Baseline`] return
+//! identical floats; an engine that has applied update batches answers
+//! exactly like a freshly built one; and a query run on any reader's
+//! snapshot equals the same query run serially on the engine at that epoch
+//! (`tests/engine_api.rs`, `tests/dynamic_equivalence.rs` and
+//! `tests/concurrent_serving.rs` enforce all three).
 //!
 //! One caveat scopes the cross-backend half: the two backends must
 //! *expose the same trajectory points*. The BL baseline indexes every
 //! point of every trajectory, while a TQ-tree under
-//! [`Placement::TwoPoint`] anchors only each trajectory's source and
-//! destination — an intentional endpoint approximation for multipoint
-//! data (see `eval.rs`). So over two-point trajectories (taxi-like trips)
-//! the backends agree under every placement, and over multipoint data
-//! they agree when the tree uses [`Placement::Segmented`] or
-//! [`Placement::FullTrajectory`]; two-point placement over multipoint
-//! data answers a *different* (endpoint-only) question than the
-//! baseline under the partial scenarios.
+//! [`Placement::TwoPoint`](crate::tqtree::Placement::TwoPoint) anchors
+//! only each trajectory's source and destination — an intentional
+//! endpoint approximation for multipoint data (see `eval.rs`). So over
+//! two-point trajectories (taxi-like trips) the backends agree under
+//! every placement, and over multipoint data they agree when the tree
+//! uses [`Placement::Segmented`](crate::tqtree::Placement::Segmented) or
+//! [`Placement::FullTrajectory`](crate::tqtree::Placement::FullTrajectory);
+//! two-point placement over multipoint data answers a *different*
+//! (endpoint-only) question than the baseline under the partial
+//! scenarios.
 //!
 //! # Example
 //!
@@ -96,39 +122,50 @@
 //! assert_eq!(cover.cover().value, 2.0);
 //!
 //! // The greedy query built a ServedTable for all candidates; a top-k
-//! // query over the same candidates now hits that cache.
+//! // query over the same candidates now hits that cache — on the engine
+//! // and on every snapshot published since.
 //! let again = engine.run(Query::top_k(2)).unwrap();
 //! assert!(again.explain.cache.is_hit());
 //! assert_eq!(again.ranked()[0].1, top.ranked()[0].1);
+//!
+//! // The read plane: a Reader is Send + Sync + Clone, and snapshots
+//! // answer through &self — hand them to as many threads as you like.
+//! let reader = engine.reader();
+//! let snap = reader.snapshot();
+//! let served = snap.run(Query::top_k(2)).unwrap();
+//! assert_eq!(served.ranked(), again.ranked());
+//! assert_eq!(served.explain.snapshot_epoch, snap.epoch());
 //! ```
 
 #![deny(missing_docs)]
+
+mod memo;
+mod session;
+mod snapshot;
+
+pub use memo::DEFAULT_SUBSET_TABLES;
+pub use session::{Algorithm, Answer, CacheStatus, Explain, Query, QueryResult};
+pub use snapshot::{Reader, Snapshot};
+
+use memo::TableMemo;
+use snapshot::SnapshotSlot;
 
 use crate::baseline::BaselineIndex;
 use crate::dynamic::{BatchOutcome, Update, UpdateError, UpdateStats};
 use crate::eval::{canonical_value, EvalOutcome, EvalStats};
 use crate::fasthash::{FxHashMap, FxHashSet};
-use crate::maxcov::{exact, genetic, greedy, CovOutcome, GeneticConfig, ServedTable};
+use crate::maxcov::ServedTable;
 use crate::parallel;
-use crate::service::{PointMask, ServiceModel};
+use crate::service::ServiceModel;
 use crate::topk::{top_k_facilities, TopKOutcome};
-use crate::tqtree::{Placement, TqTree, TqTreeConfig};
-use std::time::{Duration, Instant};
+use crate::tqtree::{TqTree, TqTreeConfig};
+use std::sync::Arc;
 use tq_geometry::Rect;
 use tq_trajectory::{Facility, FacilityId, FacilitySet, TrajectoryId, UserSet};
 
 /// Default patch-vs-rebuild threshold for [`Engine::apply`] (see
 /// [`crate::dynamic::DynamicConfig::rebuild_fraction`]).
 pub const DEFAULT_REBUILD_FRACTION: f64 = 0.25;
-
-/// Maximum number of *subset* [`ServedTable`]s the engine memoizes at
-/// once; the least-recently-used subset table is evicted beyond this.
-/// The full-facility table (the streaming workhorse seeded by
-/// [`Engine::warm`]) is pinned and never counts against the cap, so a
-/// long-running session interleaving [`Engine::apply`] with
-/// shifting-candidate queries has bounded memory and bounded per-batch
-/// maintenance cost.
-pub const MAX_SUBSET_TABLES: usize = 8;
 
 // ---------------------------------------------------------------------------
 // The Index trait and the Backend enum
@@ -268,7 +305,7 @@ pub enum Backend {
 }
 
 impl Backend {
-    fn as_index(&self) -> &dyn Index {
+    pub(crate) fn as_index(&self) -> &dyn Index {
         match self {
             Backend::TqTree(t) => t,
             Backend::Baseline(b) => b,
@@ -381,256 +418,6 @@ impl From<UpdateError> for EngineError {
 }
 
 // ---------------------------------------------------------------------------
-// Query
-// ---------------------------------------------------------------------------
-
-/// Which MaxkCovRST solver a [`Query::max_cov`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Algorithm {
-    /// Straightforward greedy over the full candidate [`ServedTable`]
-    /// (G-BL / G-TQ in the paper, depending on the backend).
-    #[default]
-    Greedy,
-    /// The paper's two-step greedy: a kMaxRRST pass narrows the pool to the
-    /// `k′` individually best candidates ([`Query::k_prime`]), greedy runs
-    /// on those only.
-    TwoStep,
-    /// Exact branch-and-bound (for approximation-ratio studies; bounded by
-    /// [`Query::node_budget`]).
-    Exact,
-    /// The paper's Gn genetic-algorithm competitor (deterministic under
-    /// [`Query::seed`]).
-    Genetic,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum QueryKind {
-    TopK,
-    MaxCov,
-}
-
-/// A typed query, built fluently and answered by [`Engine::run`].
-///
-/// ```
-/// use tq_core::engine::{Algorithm, Query};
-/// let q = Query::max_cov(4)
-///     .algorithm(Algorithm::TwoStep)
-///     .k_prime(16)
-///     .threads(2);
-/// ```
-#[derive(Debug, Clone)]
-pub struct Query {
-    kind: QueryKind,
-    k: usize,
-    algorithm: Algorithm,
-    candidates: Option<Vec<FacilityId>>,
-    threads: Option<usize>,
-    seed: Option<u64>,
-    k_prime: Option<usize>,
-    node_budget: Option<usize>,
-}
-
-impl Query {
-    fn new(kind: QueryKind, k: usize) -> Query {
-        Query {
-            kind,
-            k,
-            algorithm: Algorithm::default(),
-            candidates: None,
-            threads: None,
-            seed: None,
-            k_prime: None,
-            node_budget: Some(100_000_000),
-        }
-    }
-
-    /// A kMaxRRST query: the `k` individually best facilities.
-    pub fn top_k(k: usize) -> Query {
-        Query::new(QueryKind::TopK, k)
-    }
-
-    /// A MaxkCovRST query: the size-`k` subset with the best combined
-    /// (overlap counted once) service. Defaults to [`Algorithm::Greedy`].
-    pub fn max_cov(k: usize) -> Query {
-        Query::new(QueryKind::MaxCov, k)
-    }
-
-    /// Selects the MaxkCovRST solver (ignored by top-k queries).
-    pub fn algorithm(mut self, algorithm: Algorithm) -> Query {
-        self.algorithm = algorithm;
-        self
-    }
-
-    /// Restricts the query to a subset of the registered facilities.
-    /// Ids are deduplicated; unknown ids fail with
-    /// [`EngineError::UnknownCandidate`].
-    pub fn candidates(mut self, ids: &[FacilityId]) -> Query {
-        self.candidates = Some(ids.to_vec());
-        self
-    }
-
-    /// Runs the query with an explicit thread count (`0` = one per core).
-    /// Without this, the process-wide setting
-    /// ([`crate::parallel::set_threads`]) applies. Results are identical at
-    /// any thread count.
-    pub fn threads(mut self, threads: usize) -> Query {
-        self.threads = Some(threads);
-        self
-    }
-
-    /// RNG seed for [`Algorithm::Genetic`] (defaults to
-    /// [`GeneticConfig::default`]'s seed; the solver is deterministic under
-    /// a fixed seed).
-    pub fn seed(mut self, seed: u64) -> Query {
-        self.seed = Some(seed);
-        self
-    }
-
-    /// Candidate-pool size `k′ ≥ k` for [`Algorithm::TwoStep`] (defaults to
-    /// `max(4k, 32)`, clamped to the candidate count).
-    pub fn k_prime(mut self, k_prime: usize) -> Query {
-        self.k_prime = Some(k_prime);
-        self
-    }
-
-    /// DFS node budget for [`Algorithm::Exact`]; exhausting it fails with
-    /// [`EngineError::ExactBudgetExhausted`] rather than returning a result
-    /// mislabeled "exact". Defaults to 10⁸ nodes.
-    pub fn node_budget(mut self, nodes: usize) -> Query {
-        self.node_budget = Some(nodes);
-        self
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Answer + Explain
-// ---------------------------------------------------------------------------
-
-/// Whether a query could be answered from a memoized [`ServedTable`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CacheStatus {
-    /// The query did not need a served table (e.g. best-first top-k).
-    #[default]
-    Unused,
-    /// A table was built (and memoized) for this query.
-    Miss,
-    /// The query reused a memoized table — no facility evaluation at all.
-    Hit,
-}
-
-impl CacheStatus {
-    /// `true` for [`CacheStatus::Hit`].
-    pub fn is_hit(self) -> bool {
-        self == CacheStatus::Hit
-    }
-}
-
-impl std::fmt::Display for CacheStatus {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CacheStatus::Unused => write!(f, "unused"),
-            CacheStatus::Miss => write!(f, "miss"),
-            CacheStatus::Hit => write!(f, "hit"),
-        }
-    }
-}
-
-/// How a query was executed: backend, work counters, cache outcome, wall
-/// time. Returned with every [`Answer`].
-#[derive(Debug, Clone, Default)]
-pub struct Explain {
-    /// Which backend answered.
-    pub backend: Option<BackendKind>,
-    /// Number of candidate facilities after [`Query::candidates`]
-    /// restriction.
-    pub candidates: usize,
-    /// Aggregated evaluation counters (nodes visited, items tested/pruned,
-    /// distance checks, parallel tasks). Zero on a cache hit.
-    pub eval: EvalStats,
-    /// Best-first state relaxations (top-k on the TQ-tree backend only).
-    pub relaxations: usize,
-    /// [`ServedTable`] memo outcome.
-    pub cache: CacheStatus,
-    /// Worker threads active for the query.
-    pub threads: usize,
-    /// Wall-clock execution time.
-    pub wall: Duration,
-}
-
-impl std::fmt::Display for Explain {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "backend={} candidates={} cache={} nodes={} tested={} pruned={} \
-             dist-checks={} relaxations={} threads={} wall={:.3}ms",
-            self.backend.map_or("?".into(), |b| b.to_string()),
-            self.candidates,
-            self.cache,
-            self.eval.nodes_visited,
-            self.eval.items_tested,
-            self.eval.items_pruned,
-            self.eval.distance_checks,
-            self.relaxations,
-            self.threads,
-            self.wall.as_secs_f64() * 1e3,
-        )
-    }
-}
-
-/// The result payload of a [`Query`].
-#[derive(Debug, Clone)]
-pub enum QueryResult {
-    /// Answer to [`Query::top_k`]: facilities with their exact service
-    /// values, best first.
-    TopK(Vec<(FacilityId, f64)>),
-    /// Answer to [`Query::max_cov`]: the chosen subset with its combined
-    /// value and served-user count.
-    MaxCov(CovOutcome),
-}
-
-/// A query answer: the typed result plus its [`Explain`] report.
-#[derive(Debug, Clone)]
-pub struct Answer {
-    /// The result payload.
-    pub result: QueryResult,
-    /// How the query was executed.
-    pub explain: Explain,
-}
-
-impl Answer {
-    /// The ranked `(facility, value)` list of a top-k answer.
-    ///
-    /// # Panics
-    /// Panics when the answer belongs to a max-cov query.
-    pub fn ranked(&self) -> &[(FacilityId, f64)] {
-        match &self.result {
-            QueryResult::TopK(r) => r,
-            QueryResult::MaxCov(_) => panic!("Answer::ranked on a max-cov answer"),
-        }
-    }
-
-    /// The coverage outcome of a max-cov answer.
-    ///
-    /// # Panics
-    /// Panics when the answer belongs to a top-k query.
-    pub fn cover(&self) -> &CovOutcome {
-        match &self.result {
-            QueryResult::MaxCov(c) => c,
-            QueryResult::TopK(_) => panic!("Answer::cover on a top-k answer"),
-        }
-    }
-
-    /// The headline value: the best facility's service value (top-k) or the
-    /// combined service value of the chosen subset (max-cov).
-    pub fn value(&self) -> f64 {
-        match &self.result {
-            QueryResult::TopK(r) => r.first().map_or(0.0, |(_, v)| *v),
-            QueryResult::MaxCov(c) => c.value,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Builder
 // ---------------------------------------------------------------------------
 
@@ -649,6 +436,7 @@ pub struct EngineBuilder {
     backend: BackendChoice,
     bounds: Option<Rect>,
     rebuild_fraction: f64,
+    subset_tables: usize,
 }
 
 impl EngineBuilder {
@@ -700,6 +488,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Capacity of the *subset* [`ServedTable`] memo: how many
+    /// non-full-candidate-set tables the engine keeps (LRU-evicted beyond
+    /// this). `0` disables subset caching entirely — subset coverage
+    /// queries then build their table per query, like snapshot readers do.
+    /// The pinned full-facility table is unaffected. Defaults to
+    /// [`DEFAULT_SUBSET_TABLES`].
+    pub fn subset_tables(mut self, capacity: usize) -> EngineBuilder {
+        self.subset_tables = capacity;
+        self
+    }
+
     /// Builds the backend index and the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         let backend = match self.backend {
@@ -720,37 +519,56 @@ impl EngineBuilder {
         };
         let mut engine = Engine::new(self.users, self.facilities, self.model, backend);
         engine.rebuild_fraction = self.rebuild_fraction;
+        engine.memo = TableMemo::new(self.subset_tables);
         Ok(engine)
     }
 }
 
 // ---------------------------------------------------------------------------
-// Engine
+// Engine (the control plane)
 // ---------------------------------------------------------------------------
 
-/// The unified query/update session over one user set, service model and
-/// backend. See the [module docs](self) for the request flow, memoization
-/// and bit-identity guarantees.
-#[derive(Debug, Clone)]
+/// The single-writer control plane over one user set, service model and
+/// backend: publishes [`Snapshot`]s for the read plane, answers queries
+/// itself (with memoization), and applies [`Update`] batches by
+/// copy-on-write. See the [module docs](self) for the two-plane design,
+/// the memoization rules and the bit-identity guarantees.
+#[derive(Debug)]
 pub struct Engine {
-    users: UserSet,
-    facilities: FacilitySet,
-    model: ServiceModel,
-    backend: Backend,
+    /// The publication slot shared with every [`Reader`].
+    slot: Arc<SnapshotSlot>,
+    /// The writer's handle to the currently published snapshot (always the
+    /// same `Arc` the slot holds).
+    snapshot: Arc<Snapshot>,
     /// Per-facility ψ-expanded stop bounding rectangles (EMBRs) — the
-    /// update-invalidation test.
+    /// update-invalidation test. Facilities are immutable, so this never
+    /// changes after construction.
     embrs: Vec<Rect>,
     /// Liveness per trajectory id (`false` = removed tombstone).
     live: Vec<bool>,
-    live_count: usize,
     rebuild_fraction: f64,
-    /// Memoized [`ServedTable`]s, keyed by sorted candidate id list; kept
-    /// in sync by [`Engine::apply`]. The full-facility table is pinned;
-    /// subset tables are LRU-bounded by [`MAX_SUBSET_TABLES`] (recency
-    /// tracked in `subset_lru`, front = oldest).
-    tables: FxHashMap<Vec<FacilityId>, ServedTable>,
-    subset_lru: Vec<Vec<FacilityId>>,
+    /// Subset-table recency/capacity bookkeeping (the tables themselves
+    /// are frozen in the snapshot).
+    memo: TableMemo,
     stats: UpdateStats,
+}
+
+impl Clone for Engine {
+    /// Clones the control plane into an *independent* engine with its own
+    /// publication slot seeded at the current snapshot. Readers of the
+    /// original keep following the original; the clone starts a separate
+    /// epoch history (continuing from the current epoch number).
+    fn clone(&self) -> Engine {
+        Engine {
+            slot: Arc::new(SnapshotSlot::new(self.snapshot.clone())),
+            snapshot: self.snapshot.clone(),
+            embrs: self.embrs.clone(),
+            live: self.live.clone(),
+            rebuild_fraction: self.rebuild_fraction,
+            memo: self.memo.clone(),
+            stats: self.stats,
+        }
+    }
 }
 
 impl Engine {
@@ -764,6 +582,7 @@ impl Engine {
             backend: BackendChoice::TqTree(TqTreeConfig::default()),
             bounds: None,
             rebuild_fraction: DEFAULT_REBUILD_FRACTION,
+            subset_tables: DEFAULT_SUBSET_TABLES,
         }
     }
 
@@ -777,306 +596,235 @@ impl Engine {
     ) -> Engine {
         let embrs = facilities.iter().map(|(_, f)| f.embr(model.psi)).collect();
         let live_count = users.len();
-        Engine {
-            live: vec![true; live_count],
-            users,
-            facilities,
+        let snapshot = Arc::new(Snapshot {
+            epoch: 0,
+            users: Arc::new(users),
+            facilities: Arc::new(facilities),
             model,
-            backend,
-            embrs,
+            backend: Arc::new(backend),
             live_count,
-            rebuild_fraction: DEFAULT_REBUILD_FRACTION,
             tables: FxHashMap::default(),
-            subset_lru: Vec::new(),
+        });
+        Engine {
+            slot: Arc::new(SnapshotSlot::new(snapshot.clone())),
+            snapshot,
+            embrs,
+            live: vec![true; live_count],
+            rebuild_fraction: DEFAULT_REBUILD_FRACTION,
+            memo: TableMemo::new(DEFAULT_SUBSET_TABLES),
             stats: UpdateStats::default(),
         }
     }
 
+    // -- the read plane -----------------------------------------------------
+
+    /// A cloneable, `Send + Sync` [`Reader`] handle that always yields the
+    /// engine's latest published snapshot — the thing to hand to serving
+    /// threads.
+    pub fn reader(&self) -> Reader {
+        Reader {
+            slot: self.slot.clone(),
+        }
+    }
+
+    /// The currently published snapshot (readers obtained it through
+    /// [`Engine::reader`]; the writer gets the same `Arc` here without
+    /// touching the slot).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot.clone()
+    }
+
+    /// The current publication epoch. Starts at 0; bumped by every
+    /// publication — update batches ([`Engine::apply`]) and table
+    /// absorptions ([`Engine::run`] misses, [`Engine::warm`]).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch
+    }
+
+    /// Atomically publishes a successor snapshot and keeps the writer's
+    /// handle in sync. The one and only place epochs advance.
+    fn publish(&mut self, snapshot: Snapshot) {
+        debug_assert!(snapshot.epoch > self.snapshot.epoch, "epochs are monotone");
+        let arc = Arc::new(snapshot);
+        self.snapshot = arc.clone();
+        self.slot.store(arc);
+    }
+
     // -- queries ------------------------------------------------------------
 
-    /// Answers a typed [`Query`].
+    /// Answers a typed [`Query`], memoizing any [`ServedTable`] the query
+    /// had to build (absorbed into a newly published snapshot, so
+    /// subsequent queries — on the engine *and* on every reader — hit it).
     ///
     /// Validation errors ([`EngineError::EmptyCandidates`],
     /// [`EngineError::ZeroK`], [`EngineError::KExceedsCandidates`],
     /// [`EngineError::UnknownCandidate`]) are returned before any
     /// evaluation work happens.
     pub fn run(&mut self, query: Query) -> Result<Answer, EngineError> {
-        let start = Instant::now();
-        let cand = self.resolve_candidates(&query)?;
-        if query.k == 0 {
-            return Err(EngineError::ZeroK);
-        }
-        if query.k > cand.len() {
-            return Err(EngineError::KExceedsCandidates {
-                k: query.k,
-                candidates: cand.len(),
-            });
-        }
-        let mut explain = Explain {
-            backend: Some(self.backend.kind()),
-            candidates: cand.len(),
-            ..Explain::default()
-        };
-        let result = match query.threads {
-            Some(n) => parallel::with_threads(n, || {
-                explain.threads = parallel::current_threads();
-                self.execute(&query, &cand, &mut explain)
-            })?,
-            None => {
-                explain.threads = parallel::current_threads();
-                self.execute(&query, &cand, &mut explain)?
-            }
-        };
-        explain.wall = start.elapsed();
-        Ok(Answer { result, explain })
-    }
-
-    /// Sorted, deduplicated, validated candidate ids for a query.
-    fn resolve_candidates(&self, query: &Query) -> Result<Vec<FacilityId>, EngineError> {
-        let mut cand = match &query.candidates {
-            Some(ids) => {
-                let mut ids = ids.clone();
-                ids.sort_unstable();
-                ids.dedup();
-                for &id in &ids {
-                    if id as usize >= self.facilities.len() {
-                        return Err(EngineError::UnknownCandidate { id });
-                    }
-                }
-                ids
-            }
-            None => self.facilities.iter().map(|(id, _)| id).collect(),
-        };
-        cand.shrink_to_fit();
-        if cand.is_empty() {
-            return Err(EngineError::EmptyCandidates);
-        }
-        Ok(cand)
-    }
-
-    fn execute(
-        &mut self,
-        query: &Query,
-        cand: &[FacilityId],
-        explain: &mut Explain,
-    ) -> Result<QueryResult, EngineError> {
-        match query.kind {
-            QueryKind::TopK => Ok(QueryResult::TopK(self.run_top_k(cand, query.k, explain))),
-            QueryKind::MaxCov => self.run_max_cov(query, cand, explain),
-        }
-    }
-
-    /// Top-k over a candidate set: from the memoized table when one exists
-    /// (zero evaluation work), otherwise through the backend's search.
-    fn run_top_k(
-        &mut self,
-        cand: &[FacilityId],
-        k: usize,
-        explain: &mut Explain,
-    ) -> Vec<(FacilityId, f64)> {
-        if let Some(table) = self.tables.get(cand) {
-            explain.cache = CacheStatus::Hit;
-            return Self::rank_table(table, k);
-        }
-        let out = if cand.len() == self.facilities.len() {
-            self.backend
-                .as_index()
-                .top_k(&self.users, &self.model, &self.facilities, k)
-        } else {
-            // Restricted candidate set: search over a sub-facility-set and
-            // map the dense sub-ids back. `cand` is sorted, so sub-id order
-            // equals real-id order and tie-breaking is preserved.
-            let sub = FacilitySet::from_vec(
-                cand.iter()
-                    .map(|&id| self.facilities.get(id).clone())
-                    .collect(),
-            );
-            let mut out = self
-                .backend
-                .as_index()
-                .top_k(&self.users, &self.model, &sub, k);
-            for (id, _) in &mut out.ranked {
-                *id = cand[*id as usize];
-            }
-            out
-        };
-        explain.eval.add(&out.stats);
-        explain.relaxations += out.relaxations;
-        out.ranked
-    }
-
-    fn run_max_cov(
-        &mut self,
-        query: &Query,
-        cand: &[FacilityId],
-        explain: &mut Explain,
-    ) -> Result<QueryResult, EngineError> {
-        let k = query.k;
-        let pool: Vec<FacilityId> = match query.algorithm {
-            Algorithm::TwoStep => {
-                // Step 1: kMaxRRST narrows the pool to the k′ individually
-                // best candidates.
-                let kp = query
-                    .k_prime
-                    .unwrap_or_else(|| (4 * k).max(32))
-                    .max(k)
-                    .min(cand.len());
-                let mut top = self.run_top_k(cand, kp, explain);
-                let mut ids: Vec<FacilityId> = top.drain(..).map(|(id, _)| id).collect();
-                ids.sort_unstable();
-                ids
-            }
-            _ => cand.to_vec(),
-        };
-        self.ensure_table(&pool, explain);
-        let table = &self.tables[&pool];
-        let out = match query.algorithm {
-            Algorithm::Greedy | Algorithm::TwoStep => {
-                greedy(table, &self.users, &self.model, k)
-            }
-            Algorithm::Genetic => {
-                let cfg = GeneticConfig {
-                    seed: query.seed.unwrap_or(GeneticConfig::default().seed),
-                    ..GeneticConfig::default()
-                };
-                genetic(table, &self.users, &self.model, k, &cfg)
-            }
-            Algorithm::Exact => exact(table, &self.users, &self.model, k, query.node_budget)
-                .ok_or(EngineError::ExactBudgetExhausted)?,
-        };
-        Ok(QueryResult::MaxCov(out))
-    }
-
-    /// Memoizes the [`ServedTable`] for a (sorted) candidate set, building
-    /// and caching it on first use. Subset tables are LRU-bounded by
-    /// [`MAX_SUBSET_TABLES`]; the full-facility table is pinned.
-    fn ensure_table(&mut self, cand: &[FacilityId], explain: &mut Explain) {
-        let is_full = cand.len() == self.facilities.len();
-        if self.tables.contains_key(cand) {
-            explain.cache = CacheStatus::Hit;
-            if !is_full {
-                if let Some(pos) = self.subset_lru.iter().position(|k| k == cand) {
-                    let key = self.subset_lru.remove(pos);
-                    self.subset_lru.push(key);
-                }
-            }
-        } else {
-            explain.cache = CacheStatus::Miss;
-            let table =
-                self.backend
-                    .as_index()
-                    .served_table(&self.users, &self.model, &self.facilities, cand);
-            explain.eval.add(&table.stats);
-            self.tables.insert(cand.to_vec(), table);
-            if !is_full {
-                self.subset_lru.push(cand.to_vec());
-                if self.subset_lru.len() > MAX_SUBSET_TABLES {
-                    let evicted = self.subset_lru.remove(0);
-                    self.tables.remove(&evicted);
-                }
+        let (answer, outcome) = session::execute(&self.snapshot, &query)?;
+        if let Some(outcome) = outcome {
+            match outcome.built {
+                Some(table) => self.absorb_table(outcome.key, table),
+                None => self.memo.touch(&outcome.key),
             }
         }
+        Ok(answer)
     }
 
-    pub(crate) fn rank_table(table: &ServedTable, k: usize) -> Vec<(FacilityId, f64)> {
-        let mut ranked: Vec<(FacilityId, f64)> = table
-            .ids
-            .iter()
-            .zip(&table.values)
-            .map(|(id, v)| (*id, *v))
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        ranked
+    /// Absorbs a freshly built table into the memo: admits it against the
+    /// capacity bound and publishes a successor snapshot carrying it (and
+    /// dropping any evicted ones). No-op for subset tables when subset
+    /// caching is disabled.
+    fn absorb_table(&mut self, key: Vec<FacilityId>, table: Arc<ServedTable>) {
+        let is_full = key.len() == self.snapshot.facilities.len();
+        let mut evicted = Vec::new();
+        if !is_full {
+            if self.memo.capacity() == 0 {
+                return;
+            }
+            evicted = self.memo.admit(key.clone());
+        }
+        let mut tables = self.snapshot.tables.clone();
+        for k in &evicted {
+            tables.remove(k);
+        }
+        tables.insert(key, table);
+        self.publish(Snapshot {
+            epoch: self.snapshot.epoch + 1,
+            users: self.snapshot.users.clone(),
+            facilities: self.snapshot.facilities.clone(),
+            model: self.snapshot.model,
+            backend: self.snapshot.backend.clone(),
+            live_count: self.snapshot.live_count,
+            tables,
+        });
     }
 
     /// Pre-evaluates (and memoizes) the [`ServedTable`] over **all**
     /// registered facilities, so subsequent queries hit the cache and
     /// [`Engine::apply`] maintains it incrementally from the start.
-    /// Returns the table.
+    /// Publishes the snapshot carrying it and returns the table.
     pub fn warm(&mut self) -> &ServedTable {
-        let all: Vec<FacilityId> = self.facilities.iter().map(|(id, _)| id).collect();
-        let mut scratch = Explain::default();
-        self.ensure_table(&all, &mut scratch);
-        &self.tables[&all]
+        let all: Vec<FacilityId> = self.snapshot.facilities.iter().map(|(id, _)| id).collect();
+        if !self.snapshot.tables.contains_key(&all) {
+            let table = self.snapshot.backend.as_index().served_table(
+                &self.snapshot.users,
+                &self.snapshot.model,
+                &self.snapshot.facilities,
+                &all,
+            );
+            self.absorb_table(all.clone(), Arc::new(table));
+        }
+        &self.snapshot.tables[&all]
     }
 
     /// The memoized table for a candidate set, if one exists (`None` until
     /// a coverage query or [`Engine::warm`] built it).
     pub fn cached_table(&self, candidates: &[FacilityId]) -> Option<&ServedTable> {
-        self.tables.get(candidates)
+        self.snapshot.cached_table(candidates)
     }
 
     /// The memoized full-facility table (see [`Engine::warm`]).
     pub fn full_table(&self) -> Option<&ServedTable> {
-        let all: Vec<FacilityId> = self.facilities.iter().map(|(id, _)| id).collect();
-        self.tables.get(&all)
+        self.snapshot.full_table()
+    }
+
+    pub(crate) fn rank_table(table: &ServedTable, k: usize) -> Vec<(FacilityId, f64)> {
+        session::rank_table(table, k)
     }
 
     // -- updates ------------------------------------------------------------
 
-    /// Applies one batch of updates: validates it, mutates the index, then
+    /// Applies one batch of updates and publishes the resulting snapshot:
+    /// validates the batch, copy-on-write-mutates the index and user set,
     /// brings **every memoized table** back in sync incrementally
-    /// (untouched / patched / re-evaluated per facility, as counted by
-    /// [`Engine::stats`]).
+    /// (untouched tables stay `Arc`-shared with the previous epoch at zero
+    /// cost; touched ones are cloned and patched / re-evaluated per
+    /// facility, as counted by [`Engine::stats`]), then swaps the new
+    /// epoch into the publication slot. Readers keep answering on the old
+    /// epoch until they next ask for a snapshot; the old epoch is freed by
+    /// its `Arc` refcount.
     ///
     /// All-or-nothing: a batch with an out-of-bounds insert or a dead
     /// removal id is rejected without touching the engine
     /// ([`EngineError::Update`]). The baseline backend rejects all updates
     /// with [`EngineError::UpdatesUnsupported`].
     pub fn apply(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError> {
-        if !matches!(self.backend, Backend::TqTree(_)) {
+        if !matches!(&*self.snapshot.backend, Backend::TqTree(_)) {
             return Err(EngineError::UpdatesUnsupported);
         }
         self.validate_batch(updates)?;
-        let Backend::TqTree(tree) = &mut self.backend else {
+
+        // Copy-on-write of the mutable halves: readers may still hold the
+        // published snapshot, so the index and user set are cloned, mutated,
+        // and re-published — never mutated in place.
+        let mut users = UserSet::clone(&self.snapshot.users);
+        let Backend::TqTree(tree_ref) = &*self.snapshot.backend else {
             unreachable!("checked above");
         };
+        let mut tree = tree_ref.clone();
 
         // Phase 1: mutate the index, collecting the delta list
         // (id, inserted?, trajectory MBR) per event, in order.
         let mut outcome = BatchOutcome::default();
+        let mut live_count = self.snapshot.live_count;
         let mut deltas: Vec<(TrajectoryId, bool, Rect)> = Vec::with_capacity(updates.len());
         for u in updates {
             match u {
                 Update::Insert(t) => {
                     let mbr = t.mbr();
                     let id = tree
-                        .insert(&mut self.users, t.clone())
+                        .insert(&mut users, t.clone())
                         .expect("validated against the bounds");
                     self.live.push(true);
-                    self.live_count += 1;
+                    live_count += 1;
                     self.stats.inserts += 1;
                     outcome.inserted.push(id);
                     deltas.push((id, true, mbr));
                 }
                 Update::Remove(id) => {
-                    tree.remove(&self.users, *id).expect("validated as live");
+                    tree.remove(&users, *id).expect("validated as live");
                     self.live[*id as usize] = false;
-                    self.live_count -= 1;
+                    live_count -= 1;
                     self.stats.removes += 1;
                     outcome.removed += 1;
-                    deltas.push((*id, false, self.users.get(*id).mbr()));
+                    deltas.push((*id, false, users.get(*id).mbr()));
                 }
             }
         }
 
         // Phases 2+3 per memoized table: classify its candidates by the
-        // EMBR∩delta-MBR rule, patch the cheap ones in place, rebuild the
-        // heavy ones through the tree (fanned out across threads).
+        // EMBR∩delta-MBR rule. A table none of whose facilities intersect
+        // any delta keeps its Arc from the previous epoch (zero copies);
+        // a touched table is cloned once, then patched in place (cheap
+        // facilities) or rebuilt through the tree (heavy ones, fanned out
+        // across threads).
         let rebuild_threshold =
-            (self.rebuild_fraction * self.live_count.max(1) as f64).ceil() as usize;
+            (self.rebuild_fraction * live_count.max(1) as f64).ceil() as usize;
         let placement = tree.config().placement;
-        let mut tables = std::mem::take(&mut self.tables);
-        for table in tables.values_mut() {
+        let mut tables = self.snapshot.tables.clone();
+        for shared in tables.values_mut() {
+            let relevant: Vec<Vec<&(TrajectoryId, bool, Rect)>> = shared
+                .ids
+                .iter()
+                .map(|&fid| {
+                    let embr = &self.embrs[fid as usize];
+                    deltas
+                        .iter()
+                        .filter(|(_, _, mbr)| embr.intersects(mbr))
+                        .collect()
+                })
+                .collect();
+            if relevant.iter().all(|r| r.is_empty()) {
+                let n = shared.ids.len();
+                self.stats.facilities_untouched += n as u64;
+                outcome.untouched += n;
+                continue;
+            }
+            // Copy-on-write: clone this table once, patch the clone.
+            let mut table = ServedTable::clone(shared);
             let mut rebuilds: Vec<usize> = Vec::new();
-            for ti in 0..table.ids.len() {
-                let fid = table.ids[ti];
-                let embr = &self.embrs[fid as usize];
-                let relevant: Vec<&(TrajectoryId, bool, Rect)> = deltas
-                    .iter()
-                    .filter(|(_, _, mbr)| embr.intersects(mbr))
-                    .collect();
+            for (ti, relevant) in relevant.iter().enumerate() {
                 if relevant.is_empty() {
                     self.stats.facilities_untouched += 1;
                     outcome.untouched += 1;
@@ -1086,14 +834,19 @@ impl Engine {
                     rebuilds.push(ti);
                     continue;
                 }
-                let facility = self.facilities.get(fid);
+                let fid = table.ids[ti];
+                let facility = self.snapshot.facilities.get(fid);
                 let mut changed = false;
-                for &&(id, inserted, _) in &relevant {
+                for &&(id, inserted, _) in relevant {
                     if inserted {
                         self.stats.patch_evaluations += 1;
-                        if let Some(mask) =
-                            delta_mask(&self.users, &self.model, placement, id, facility)
-                        {
+                        if let Some(mask) = session::delta_mask(
+                            &users,
+                            &self.snapshot.model,
+                            placement,
+                            id,
+                            facility,
+                        ) {
                             table.masks[ti].insert(id, mask);
                             changed = true;
                         }
@@ -1103,7 +856,7 @@ impl Engine {
                 }
                 if changed {
                     table.values[ti] =
-                        canonical_value(&self.users, &self.model, &table.masks[ti]);
+                        canonical_value(&users, &self.snapshot.model, &table.masks[ti]);
                 }
                 self.stats.facilities_patched += 1;
                 outcome.patched += 1;
@@ -1111,10 +864,10 @@ impl Engine {
             if !rebuilds.is_empty() {
                 let ids: Vec<FacilityId> = rebuilds.iter().map(|&ti| table.ids[ti]).collect();
                 let outcomes = parallel::par_evaluate_candidates(
-                    tree,
-                    &self.users,
-                    &self.model,
-                    &self.facilities,
+                    &tree,
+                    &users,
+                    &self.snapshot.model,
+                    &self.snapshot.facilities,
                     &ids,
                     true,
                 );
@@ -1125,9 +878,18 @@ impl Engine {
                 self.stats.facilities_reevaluated += rebuilds.len() as u64;
                 outcome.reevaluated += rebuilds.len();
             }
+            *shared = Arc::new(table);
         }
-        self.tables = tables;
         self.stats.batches += 1;
+        self.publish(Snapshot {
+            epoch: self.snapshot.epoch + 1,
+            users: Arc::new(users),
+            facilities: self.snapshot.facilities.clone(),
+            model: self.snapshot.model,
+            backend: Arc::new(Backend::TqTree(tree)),
+            live_count,
+            tables,
+        });
         Ok(outcome)
     }
 
@@ -1135,11 +897,11 @@ impl Engine {
     /// liveness (accounting for earlier events of the same batch) for
     /// removals.
     fn validate_batch(&self, updates: &[Update]) -> Result<(), UpdateError> {
-        let Backend::TqTree(tree) = &self.backend else {
+        let Backend::TqTree(tree) = &*self.snapshot.backend else {
             return Ok(());
         };
         let bounds = tree.bounds();
-        let mut next_id = self.users.len() as TrajectoryId;
+        let mut next_id = self.snapshot.users.len() as TrajectoryId;
         let mut batch_removed: FxHashSet<TrajectoryId> = Default::default();
         for (index, u) in updates.iter().enumerate() {
             match u {
@@ -1171,35 +933,32 @@ impl Engine {
     /// The registered user trajectories (including removed tombstones; see
     /// [`Engine::is_live`]).
     pub fn users(&self) -> &UserSet {
-        &self.users
+        self.snapshot.users()
     }
 
     /// The registered candidate facilities.
     pub fn facilities(&self) -> &FacilitySet {
-        &self.facilities
+        self.snapshot.facilities()
     }
 
     /// The registered service model.
     pub fn model(&self) -> &ServiceModel {
-        &self.model
+        self.snapshot.model()
     }
 
     /// The backend index.
     pub fn backend(&self) -> &Backend {
-        &self.backend
+        self.snapshot.backend()
     }
 
     /// The TQ-tree, when that is the backend.
     pub fn tree(&self) -> Option<&TqTree> {
-        match &self.backend {
-            Backend::TqTree(t) => Some(t),
-            Backend::Baseline(_) => None,
-        }
+        self.snapshot.tree()
     }
 
     /// Number of live (inserted and not yet removed) trajectories.
     pub fn live_users(&self) -> usize {
-        self.live_count
+        self.snapshot.live_users()
     }
 
     /// Whether trajectory `id` is currently live.
@@ -1226,7 +985,7 @@ impl Engine {
     pub fn live_set(&self) -> UserSet {
         UserSet::from_vec(
             self.live_ids()
-                .map(|id| self.users.get(id).clone())
+                .map(|id| self.snapshot.users.get(id).clone())
                 .collect(),
         )
     }
@@ -1236,46 +995,6 @@ impl Engine {
     pub fn stats(&self) -> &UpdateStats {
         &self.stats
     }
-}
-
-/// The served-point mask of one trajectory against one facility, restricted
-/// to the points the index placement exposes — two-point placement anchors
-/// only the source and destination, so interior points of multipoint
-/// trajectories are invisible to the indexed evaluation and must stay
-/// invisible to the patch path too (otherwise patched answers would diverge
-/// from a fresh build+query).
-///
-/// Returns `None` when no exposed point is served.
-fn delta_mask(
-    users: &UserSet,
-    model: &ServiceModel,
-    placement: Placement,
-    id: TrajectoryId,
-    facility: &Facility,
-) -> Option<PointMask> {
-    let t = users.get(id);
-    let psi = model.psi;
-    let mut mask = PointMask::empty(t.len());
-    let mut any = false;
-    let mut test = |i: usize, p: &tq_geometry::Point| {
-        if facility.serves_point(p, psi) {
-            mask.set(i);
-            any = true;
-        }
-    };
-    match placement {
-        Placement::TwoPoint => {
-            let (src, dst) = (t.source(), t.destination());
-            test(0, &src);
-            test(t.len() - 1, &dst);
-        }
-        Placement::Segmented | Placement::FullTrajectory => {
-            for (i, p) in t.points().iter().enumerate() {
-                test(i, p);
-            }
-        }
-    }
-    any.then_some(mask)
 }
 
 #[cfg(test)]
@@ -1361,6 +1080,85 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_answers_match_engine_and_never_publish() {
+        let mut e = engine();
+        e.warm();
+        let epoch_before = e.epoch();
+        let reader = e.reader();
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch(), epoch_before);
+
+        // Cache hit from the frozen memo.
+        let hit = snap.run(Query::top_k(3)).unwrap();
+        assert!(hit.explain.cache.is_hit());
+        assert_eq!(hit.explain.snapshot_epoch, epoch_before);
+
+        // Subset miss: the snapshot builds the table locally, answers
+        // correctly, and memoizes nothing (no publication).
+        let miss = snap.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert_eq!(miss.explain.cache, CacheStatus::Miss);
+        assert_eq!(reader.epoch(), epoch_before, "snapshot runs never publish");
+        let again = snap.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert_eq!(again.explain.cache, CacheStatus::Miss);
+        assert_eq!(again.cover().value.to_bits(), miss.cover().value.to_bits());
+
+        // The engine's answers at the same epoch are bit-identical.
+        let own = e.run(Query::top_k(3)).unwrap();
+        for (a, b) in own.ranked().iter().zip(hit.ranked()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn readers_observe_published_epochs_old_snapshots_stay_valid() {
+        let (users, facilities) = small_instance();
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities)
+            .bounds(Rect::new(p(0.0, 0.0), p(100.0, 100.0)))
+            .build()
+            .unwrap();
+        e.warm();
+        let reader = e.reader();
+        let old = reader.snapshot();
+        let old_top = old.run(Query::top_k(3)).unwrap();
+
+        e.apply(&[Update::Insert(Trajectory::two_point(
+            p(0.2, 0.0),
+            p(9.8, 0.0),
+        ))])
+        .unwrap();
+
+        // The reader handle sees the new epoch; the held snapshot still
+        // answers exactly as before (no torn state).
+        let new = reader.snapshot();
+        assert!(new.epoch() > old.epoch());
+        assert_eq!(new.live_users(), 4);
+        assert_eq!(old.live_users(), 3);
+        let old_again = old.run(Query::top_k(3)).unwrap();
+        for (a, b) in old_top.ranked().iter().zip(old_again.ranked()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        let new_top = new.run(Query::top_k(3)).unwrap();
+        assert!(new_top.ranked()[0].1 > old_top.ranked()[0].1);
+    }
+
+    #[test]
+    fn clone_is_an_independent_writer() {
+        let mut e = engine();
+        e.warm();
+        let reader = e.reader();
+        let mut fork = e.clone();
+        let fork_reader = fork.reader();
+        // A publication on the fork is invisible to the original's readers.
+        fork.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert!(fork_reader.epoch() > reader.epoch());
+        assert_eq!(reader.epoch(), e.epoch());
+    }
+
+    #[test]
     fn baseline_backend_rejects_updates() {
         let (users, facilities) = small_instance();
         let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
@@ -1427,6 +1225,34 @@ mod tests {
     }
 
     #[test]
+    fn untouched_tables_stay_arc_shared_across_epochs() {
+        let (users, facilities) = small_instance();
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(users)
+            .facilities(facilities)
+            .bounds(Rect::new(p(0.0, 0.0), p(100.0, 100.0)))
+            .build()
+            .unwrap();
+        // Subset table for facility 1 only (far corner), full table too.
+        e.warm();
+        e.run(Query::max_cov(1).candidates(&[1])).unwrap();
+        let before = e.snapshot();
+        let key = vec![1u32];
+        // A batch near facility 0: facility 1's subset table is untouched
+        // and must be the *same allocation* in the new epoch; the full
+        // table (contains facility 0) must be a fresh copy.
+        e.apply(&[Update::Insert(Trajectory::two_point(
+            p(0.2, 0.0),
+            p(9.8, 0.0),
+        ))])
+        .unwrap();
+        let after = e.snapshot();
+        assert!(Arc::ptr_eq(&before.tables[&key], &after.tables[&key]));
+        let full: Vec<FacilityId> = (0..3).collect();
+        assert!(!Arc::ptr_eq(&before.tables[&full], &after.tables[&full]));
+    }
+
+    #[test]
     fn exact_budget_exhaustion_is_typed() {
         // Source-only and destination-only facilities: every per-facility
         // potential is 1 but no single facility serves anyone, so the
@@ -1451,8 +1277,7 @@ mod tests {
         assert_eq!(ok.cover().value, 1.0);
     }
 
-    #[test]
-    fn subset_table_memo_is_bounded_and_full_table_pinned() {
+    fn grid_instance(extra_facilities: usize) -> (UserSet, FacilitySet) {
         let users = UserSet::from_vec(
             (0..4)
                 .map(|i| {
@@ -1462,13 +1287,19 @@ mod tests {
                 .collect(),
         );
         let facilities = FacilitySet::from_vec(
-            (0..(MAX_SUBSET_TABLES + 4))
+            (0..extra_facilities)
                 .map(|i| {
                     let y = (i % 4) as f64;
                     Facility::new(vec![p(0.0, y + 0.5), p(10.0, y + 0.5)])
                 })
                 .collect(),
         );
+        (users, facilities)
+    }
+
+    #[test]
+    fn subset_table_memo_is_bounded_and_full_table_pinned() {
+        let (users, facilities) = grid_instance(DEFAULT_SUBSET_TABLES + 4);
         let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 1.0))
             .users(users)
             .facilities(facilities)
@@ -1477,22 +1308,72 @@ mod tests {
         e.warm();
         // Many distinct subset queries: the memo must stay bounded and the
         // pinned full table must survive every eviction.
-        for i in 0..(MAX_SUBSET_TABLES as u32 + 3) {
+        for i in 0..(DEFAULT_SUBSET_TABLES as u32 + 3) {
             e.run(Query::max_cov(1).candidates(&[i, i + 1])).unwrap();
             assert!(
-                e.tables.len() <= MAX_SUBSET_TABLES + 1,
+                e.snapshot.tables.len() <= DEFAULT_SUBSET_TABLES + 1,
                 "memo grew past the cap at query {i}: {}",
-                e.tables.len()
+                e.snapshot.tables.len()
             );
             assert!(e.full_table().is_some(), "full table evicted at query {i}");
         }
-        assert_eq!(e.subset_lru.len(), MAX_SUBSET_TABLES);
+        assert_eq!(e.memo.subset_count(), DEFAULT_SUBSET_TABLES);
         // The oldest subset was evicted, the newest re-queries as a hit.
-        let newest = [MAX_SUBSET_TABLES as u32 + 2, MAX_SUBSET_TABLES as u32 + 3];
+        let newest = [
+            DEFAULT_SUBSET_TABLES as u32 + 2,
+            DEFAULT_SUBSET_TABLES as u32 + 3,
+        ];
         let hit = e.run(Query::max_cov(1).candidates(&newest)).unwrap();
         assert!(hit.explain.cache.is_hit());
         let oldest = e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
         assert_eq!(oldest.explain.cache, CacheStatus::Miss, "oldest was evicted");
+    }
+
+    #[test]
+    fn subset_table_capacity_is_configurable() {
+        let (users, facilities) = grid_instance(6);
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 1.0))
+            .users(users)
+            .facilities(facilities)
+            .subset_tables(1)
+            .build()
+            .unwrap();
+        e.warm();
+        e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        let hit = e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert!(hit.explain.cache.is_hit());
+        // A second subset evicts the first at capacity 1.
+        e.run(Query::max_cov(1).candidates(&[2, 3])).unwrap();
+        assert_eq!(e.snapshot.tables.len(), 2, "full + one subset");
+        let miss = e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert_eq!(miss.explain.cache, CacheStatus::Miss);
+        assert!(e.full_table().is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_subset_caching() {
+        let (users, facilities) = grid_instance(6);
+        let mut e = Engine::builder(ServiceModel::new(Scenario::Transit, 1.0))
+            .users(users)
+            .facilities(facilities)
+            .subset_tables(0)
+            .build()
+            .unwrap();
+        let epoch0 = e.epoch();
+        let first = e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert_eq!(first.explain.cache, CacheStatus::Miss);
+        assert_eq!(e.epoch(), epoch0, "no publication for an uncached table");
+        let second = e.run(Query::max_cov(1).candidates(&[0, 1])).unwrap();
+        assert_eq!(second.explain.cache, CacheStatus::Miss, "never cached");
+        assert_eq!(
+            second.cover().value.to_bits(),
+            first.cover().value.to_bits()
+        );
+        // The pinned full table is unaffected by the knob.
+        e.run(Query::max_cov(1)).unwrap();
+        assert!(e.full_table().is_some());
+        let hit = e.run(Query::max_cov(1)).unwrap();
+        assert!(hit.explain.cache.is_hit());
     }
 
     #[test]

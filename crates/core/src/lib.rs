@@ -34,6 +34,14 @@
 //! answer. The free functions ([`top_k_facilities`],
 //! [`maxcov::two_step_greedy`], …) remain as the low-level solver layer the
 //! engine dispatches to.
+//!
+//! For concurrent serving the engine is split into two planes: immutable,
+//! epoch-numbered [`engine::Snapshot`]s answer queries through `&self`
+//! with zero locks (any number of reader threads), while the single-writer
+//! [`engine::Engine`] control plane applies update batches copy-on-write
+//! and publishes each new epoch atomically to every [`engine::Reader`].
+//! The **[`serve`]** module drives a whole sharded worker pool off that
+//! split — N client threads of mixed queries against a live update stream.
 
 #![warn(missing_docs)]
 
@@ -44,6 +52,7 @@ pub mod eval;
 pub mod fasthash;
 pub mod maxcov;
 pub mod parallel;
+pub mod serve;
 pub mod service;
 pub mod topk;
 pub mod tqtree;
@@ -52,13 +61,16 @@ pub use baseline::BaselineIndex;
 pub use dynamic::{DynamicConfig, DynamicEngine, Update, UpdateError, UpdateStats};
 pub use engine::{
     Algorithm, Answer, Backend, BackendKind, CacheStatus, Engine, EngineBuilder, EngineError,
-    Explain, Index, Query, QueryResult,
+    Explain, Index, Query, QueryResult, Reader, Snapshot,
 };
 pub use eval::{
     brute_force_masks, brute_force_value, canonical_value, evaluate_masks, evaluate_service,
     EvalOutcome, EvalStats, FacilityComponent,
 };
-pub use parallel::{current_threads, par_evaluate_candidates, set_threads};
+pub use parallel::{
+    current_threads, par_evaluate_candidates, session_thread_budget, set_threads,
+};
+pub use serve::{ClientStats, ServeConfig, ServeReport, Workload};
 pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
 pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};
 pub use topk::{top_k_facilities, TopKOutcome};

@@ -308,6 +308,18 @@ pub struct StreamScenario {
     pub bounds: Rect,
 }
 
+impl StreamEvent {
+    /// The engine update this event maps to: an arrival becomes
+    /// [`Update::Insert`](tq_core::dynamic::Update::Insert), an expiry
+    /// becomes [`Update::Remove`](tq_core::dynamic::Update::Remove).
+    pub fn to_update(&self) -> tq_core::dynamic::Update {
+        match self {
+            StreamEvent::Arrive(t) => tq_core::dynamic::Update::Insert(t.clone()),
+            StreamEvent::Expire(id) => tq_core::dynamic::Update::Remove(*id),
+        }
+    }
+}
+
 impl StreamScenario {
     /// Number of [`StreamEvent::Arrive`] events.
     pub fn arrivals(&self) -> usize {
@@ -320,6 +332,21 @@ impl StreamScenario {
     /// Number of [`StreamEvent::Expire`] events.
     pub fn expiries(&self) -> usize {
         self.events.len() - self.arrivals()
+    }
+
+    /// The event trace chunked into ready-to-apply engine update batches
+    /// of `batch` events each (the last batch may be shorter) — the shape
+    /// [`Engine::apply`](tq_core::engine::Engine::apply) and
+    /// [`serve`](tq_core::serve) workloads consume.
+    ///
+    /// # Panics
+    /// Panics when `batch == 0`.
+    pub fn update_batches(&self, batch: usize) -> Vec<Vec<tq_core::dynamic::Update>> {
+        assert!(batch > 0, "batch size must be positive");
+        self.events
+            .chunks(batch)
+            .map(|chunk| chunk.iter().map(StreamEvent::to_update).collect())
+            .collect()
     }
 }
 

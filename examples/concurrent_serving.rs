@@ -1,0 +1,119 @@
+//! Concurrent serving: a query fleet over immutable snapshots while
+//! update batches stream through the single writer.
+//!
+//! A ride-hailing dashboard keeps asking "which routes matter right now"
+//! from many frontends at once, while trips keep arriving and expiring.
+//! The engine's two-plane split serves both without either waiting: the
+//! frontends read lock-free from published [`Snapshot`]s (each answer
+//! stamped with its epoch), and the writer publishes a new epoch per
+//! applied batch. This example drives the [`serve`] worker pool directly
+//! and then pulls the same machinery apart by hand.
+//!
+//! ```text
+//! cargo run --release --example concurrent_serving
+//! TQ_EXAMPLE_SCALE=0.05 cargo run --release --example concurrent_serving
+//! ```
+//!
+//! [`Snapshot`]: tq::core::engine::Snapshot
+//! [`serve`]: tq::core::serve::serve
+
+use std::time::Duration;
+use tq::prelude::*;
+
+/// Scales a workload size by the `TQ_EXAMPLE_SCALE` env var (CI runs the
+/// examples at a small fraction of the default size).
+fn scaled(n: usize) -> usize {
+    match std::env::var("TQ_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        Some(s) if s > 0.0 => ((n as f64 * s) as usize).max(64),
+        _ => n,
+    }
+}
+
+fn main() -> Result<(), EngineError> {
+    let city = CityModel::synthetic(31, 10, 16_000.0);
+    let trace = stream_scenario(
+        &city,
+        StreamKind::Taxi,
+        scaled(20_000),
+        scaled(4_000),
+        0.5,
+        17,
+    );
+    let routes = bus_routes(&city, 96, 16, 7_000.0, 18);
+
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 250.0))
+        .users(trace.initial.clone())
+        .facilities(routes)
+        .bounds(trace.bounds)
+        .build()?;
+    engine.warm(); // publish epoch 1 with the memoized full table
+    println!(
+        "engine ready: {} trips, {} candidate routes, epoch {}",
+        engine.live_users(),
+        engine.facilities().len(),
+        engine.epoch()
+    );
+
+    // --- the packaged loop: 4 dashboard clients + the update stream -----
+    let workload = Workload {
+        queries: vec![Query::top_k(8), Query::max_cov(4)],
+        update_batches: trace.update_batches(scaled(400)),
+    };
+    let report = serve(
+        &mut engine,
+        &workload,
+        &ServeConfig {
+            clients: 4,
+            duration: Duration::from_millis(750),
+            ..ServeConfig::default()
+        },
+    )?;
+    println!("\n{}\n", report.summary());
+    assert_eq!(report.epoch_regressions(), 0, "epochs are monotone");
+    if let Some(sample) = report.sample_answer() {
+        println!("a sampled answer's explain: {}", sample.explain);
+    }
+
+    // --- the same machinery by hand: readers keep old epochs alive ------
+    let reader = engine.reader();
+    let held = reader.snapshot(); // pin the current epoch
+    let before = held.run(Query::top_k(1))?;
+    let newcomers = taxi_trips(&city, scaled(2_000), 19);
+    engine.apply(
+        &newcomers
+            .iter()
+            .map(|(_, t)| Update::Insert(t.clone()))
+            .collect::<Vec<_>>(),
+    )?;
+    let fresh = reader.snapshot();
+    println!(
+        "\nwriter published epoch {} — a pinned reader still answers on epoch {}:",
+        fresh.epoch(),
+        held.epoch()
+    );
+    let still = held.run(Query::top_k(1))?;
+    assert_eq!(
+        before.ranked()[0].1.to_bits(),
+        still.ranked()[0].1.to_bits(),
+        "a held snapshot never changes"
+    );
+    println!(
+        "  epoch {}: best route {} serves {:>7.0}",
+        held.epoch(),
+        still.ranked()[0].0,
+        still.ranked()[0].1
+    );
+    let now = fresh.run(Query::top_k(1))?;
+    println!(
+        "  epoch {}: best route {} serves {:>7.0} (after {} arrivals)",
+        fresh.epoch(),
+        now.ranked()[0].0,
+        now.ranked()[0].1,
+        newcomers.len()
+    );
+    assert!(now.ranked()[0].1 >= still.ranked()[0].1);
+    Ok(())
+}

@@ -100,8 +100,9 @@ pub mod prelude {
     };
     pub use tq_core::engine::{
         Algorithm, Answer, Backend, BackendKind, CacheStatus, Engine, EngineBuilder,
-        EngineError, Explain, Index, Query, QueryResult,
+        EngineError, Explain, Index, Query, QueryResult, Reader, Snapshot,
     };
+    pub use tq_core::serve::{serve, ClientStats, ServeConfig, ServeReport, Workload};
     pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
     pub use tq_core::{
         evaluate_masks, evaluate_service, top_k_facilities, Placement, PointMask, Scenario,

@@ -1,0 +1,239 @@
+//! Concurrency stress tests for the two-plane engine: N reader threads
+//! interleaved with single-writer update batches must always see answers
+//! **bit-identical to some serial snapshot history** — no torn reads, no
+//! stale-mixed state, strictly monotone epochs per reader — on both the
+//! TqTree and the Baseline backends.
+//!
+//! The protocol: the writer publishes epochs (update batches on the
+//! TQ-tree backend; memo absorptions on the static baseline) and records,
+//! for every epoch it published, the *serial* answer fingerprint of a
+//! fixed query script (computed single-threadedly on that epoch's
+//! snapshot, plus — on the updatable backend — cross-checked against a
+//! fresh build over the live set). Reader threads race against the
+//! writer, each logging `(epoch, fingerprint)` observations. After the
+//! join, every observation must equal the serial fingerprint recorded for
+//! its epoch: a reader that ever saw half-applied state would fingerprint
+//! a state no serial history contains.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tq::core::tqtree::TqTreeConfig;
+use tq::prelude::*;
+
+/// How many reader threads race the writer. CI runs this test in release
+/// mode with a high `--test-threads` so several stress tests contend for
+/// the machine at once.
+const READERS: usize = 8;
+
+/// The fixed query script fingerprinted on every snapshot: exercises the
+/// memo-hit path (full-set queries after `warm`), the build-locally path
+/// (subset queries, never memoized by readers), and two solver families.
+fn script() -> Vec<Query> {
+    vec![
+        Query::top_k(5),
+        Query::max_cov(3),
+        Query::top_k(3).candidates(&[0, 2, 4, 6, 8]),
+        Query::max_cov(2).algorithm(Algorithm::TwoStep).k_prime(6),
+    ]
+}
+
+/// The exact bits of every id and value the script produces on one
+/// snapshot — the unit of "bit-identical".
+fn fingerprint(snapshot: &Snapshot) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for q in script() {
+        let ans = snapshot.run(q).expect("script queries are valid");
+        match &ans.result {
+            QueryResult::TopK(ranked) => {
+                for (id, v) in ranked {
+                    bits.push(u64::from(*id));
+                    bits.push(v.to_bits());
+                }
+            }
+            QueryResult::MaxCov(cov) => {
+                for id in &cov.chosen {
+                    bits.push(u64::from(*id));
+                }
+                bits.push(cov.value.to_bits());
+                bits.push(cov.users_served as u64);
+            }
+        }
+    }
+    bits
+}
+
+fn users(n: usize, seed: u64) -> UserSet {
+    let city = CityModel::synthetic(seed, 6, 1_000.0);
+    taxi_trips(&city, n, seed)
+}
+
+fn routes(n: usize, seed: u64) -> FacilitySet {
+    let city = CityModel::synthetic(seed, 6, 1_000.0);
+    bus_routes(&city, n, 8, 400.0, seed ^ 0xB05)
+}
+
+/// Runs `writer` (which should publish epochs and record serial
+/// fingerprints) while `READERS` threads log `(epoch, fingerprint)`
+/// observations off the engine's reader handle, then checks every
+/// observation against the serial history.
+fn race_readers_against(
+    engine: &mut Engine,
+    writer: impl FnOnce(&mut Engine, &mut HashMap<u64, Vec<u64>>),
+) {
+    let reader = engine.reader();
+    let mut serial: HashMap<u64, Vec<u64>> = HashMap::new();
+    serial.insert(engine.epoch(), fingerprint(&engine.snapshot()));
+
+    let stop = AtomicBool::new(false);
+    let observations: Vec<Vec<(u64, Vec<u64>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let reader = reader.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut last_epoch = 0u64;
+                    loop {
+                        let snap = reader.snapshot();
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "epoch regressed: {} after {last_epoch}",
+                            snap.epoch()
+                        );
+                        last_epoch = snap.epoch();
+                        seen.push((snap.epoch(), fingerprint(&snap)));
+                        if stop.load(Ordering::Relaxed) {
+                            return seen;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        writer(engine, &mut serial);
+        // Give the racing readers a moment on the final epoch too.
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+
+    let mut total = 0usize;
+    for (r, seen) in observations.iter().enumerate() {
+        assert!(!seen.is_empty(), "reader {r} made no observations");
+        for (epoch, bits) in seen {
+            let expected = serial
+                .get(epoch)
+                .unwrap_or_else(|| panic!("reader {r} saw unpublished epoch {epoch}"));
+            assert_eq!(
+                bits, expected,
+                "reader {r} at epoch {epoch}: answers diverged from the serial history"
+            );
+            total += 1;
+        }
+    }
+    // Sanity: the race actually exercised concurrency.
+    assert!(total >= READERS, "too few observations: {total}");
+}
+
+#[test]
+fn tqtree_readers_match_serial_history_under_update_batches() {
+    let city = CityModel::synthetic(3, 6, 1_000.0);
+    let trace = stream_scenario(&city, StreamKind::Taxi, 300, 180, 0.5, 7);
+    let bounds = trace.bounds;
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 40.0))
+        .users(trace.initial.clone())
+        .facilities(routes(12, 4))
+        .tree_config(TqTreeConfig::default().with_beta(8))
+        .bounds(bounds)
+        .build()
+        .unwrap();
+    engine.warm();
+
+    race_readers_against(&mut engine, |engine, serial| {
+        for batch in trace.update_batches(30) {
+            engine.apply(&batch).unwrap();
+
+            // Record this epoch's serial truth...
+            let snap = engine.snapshot();
+            let bits = fingerprint(&snap);
+            // ...and pin it to a from-scratch build over the live set: the
+            // serial history itself is bit-identical to fresh execution.
+            let mut fresh = Engine::builder(*engine.model())
+                .users(engine.live_set())
+                .facilities(engine.facilities().clone())
+                .tree_config(*engine.tree().unwrap().config())
+                .bounds(bounds)
+                .build()
+                .unwrap();
+            fresh.warm();
+            assert_eq!(
+                bits,
+                fingerprint(&fresh.snapshot()),
+                "published epoch {} diverged from a fresh build",
+                snap.epoch()
+            );
+            serial.insert(snap.epoch(), bits);
+        }
+    });
+}
+
+#[test]
+fn baseline_readers_match_serial_history_under_memo_publications() {
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::PointCount, 40.0))
+        .users(users(250, 11))
+        .facilities(routes(12, 12))
+        .baseline()
+        .subset_tables(2)
+        .build()
+        .unwrap();
+    engine.warm();
+
+    race_readers_against(&mut engine, |engine, serial| {
+        // The static baseline publishes epochs only through control-plane
+        // memo absorption (subset-table builds + LRU evictions). Data
+        // never changes, so every epoch's serial fingerprint must be the
+        // same bits — and every racing reader must agree.
+        let subsets: [&[u32]; 4] = [&[0, 1, 2], &[3, 4, 5], &[6, 7, 8], &[9, 10, 11]];
+        for (i, sub) in subsets.iter().cycle().take(12).enumerate() {
+            engine
+                .run(Query::max_cov(2).candidates(sub))
+                .unwrap_or_else(|e| panic!("memo publication {i}: {e}"));
+            // (epochs advance on misses; hits re-run at the same epoch)
+            serial.insert(engine.epoch(), fingerprint(&engine.snapshot()));
+        }
+        // Updates stay rejected on the static backend.
+        assert_eq!(
+            engine.apply(&[Update::Remove(0)]).unwrap_err(),
+            EngineError::UpdatesUnsupported
+        );
+    });
+}
+
+#[test]
+fn snapshots_outlive_the_engine_and_later_epochs() {
+    let city = CityModel::synthetic(21, 5, 800.0);
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 40.0))
+        .users(taxi_trips(&city, 200, 21))
+        .facilities(bus_routes(&city, 10, 6, 300.0, 22))
+        .bounds(city.bounds)
+        .build()
+        .unwrap();
+    engine.warm();
+    let old = engine.snapshot();
+    let before = fingerprint(&old);
+
+    let newcomers = taxi_trips(&city, 40, 23);
+    let batch: Vec<Update> = newcomers
+        .iter()
+        .map(|(_, t)| Update::Insert(t.clone()))
+        .collect();
+    engine.apply(&batch).unwrap();
+    drop(engine); // the writer is gone; the epoch the reader holds survives
+
+    assert_eq!(fingerprint(&old), before, "old epoch changed after drop");
+}

@@ -26,6 +26,21 @@ thread_local! {
     static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// The machine's available parallelism, resolved once.
+/// `std::thread::available_parallelism` can cost filesystem reads and
+/// syscalls (cgroup quota discovery) on every call; hot paths ask for the
+/// thread count per operation, so the answer is cached for the process
+/// lifetime (upstream rayon likewise sizes its global pool once).
+fn available_parallelism_cached() -> usize {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// Number of threads parallel operations fan out to on this thread: an
 /// [`ThreadPool::install`] override if active, else the global setting, else
 /// the machine's available parallelism.
@@ -38,9 +53,7 @@ pub fn current_num_threads() -> usize {
     if global > 0 {
         return global;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    available_parallelism_cached()
 }
 
 /// Error type of [`ThreadPoolBuilder::build_global`] (the shim never fails;
@@ -114,9 +127,7 @@ impl ThreadPool {
         if self.num_threads > 0 {
             self.num_threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            available_parallelism_cached()
         }
     }
 }
