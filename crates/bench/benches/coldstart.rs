@@ -1,0 +1,148 @@
+//! Cold-start bench: `Engine::open` from a `tq-store` snapshot versus
+//! rebuilding the same serving-ready engine from raw trajectory data.
+//!
+//! Both arms start from files on disk and end with an engine that can
+//! serve its first query from the warmed full-facility [`ServedTable`]:
+//!
+//! * **load** — `Engine::open(store)`: read + CRC-verify the snapshot,
+//!   decode users/facilities, the *whole TQ-tree arena* and the persisted
+//!   served table, validate the tree, replay the (empty) WAL. `O(read)`.
+//! * **rebuild** — decode the raw `.tqd` dataset, run the full
+//!   `Engine::build` pipeline (quadtree splits, z-partition refinement,
+//!   z-sorting) and re-evaluate the served table with `warm()`.
+//!   `O(rebuild)` — what every cold start cost before `tq-store`.
+//!
+//! After the criterion runs the bench asserts the CI gate — **load must
+//! be at least 5x faster than rebuild** (minimum of interleaved reps) at
+//! the default scenario size — and cross-checks that both arms answer an identical
+//! top-k (bit-identical values) with the load arm answering from cache,
+//! so the speedup is never bought with a different engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tq_core::engine::{Engine, Query};
+use tq_core::persist::StoreConfig;
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, TqTreeConfig};
+use tq_datagen::presets;
+use tq_trajectory::snapshot;
+
+// The default scenario: a BJG-like GPS workload served under the length
+// scenario with full-trajectory placement — the regime where facility
+// evaluation is genuinely expensive (partial service over every point of
+// every multipoint trace), i.e. where a serving system hurts most on a
+// cold start. Two-point transit workloads rebuild much faster — the
+// TQ-tree prunes their evaluation extremely well — so their load-vs-
+// rebuild gap is smaller; this bench gates the case durability exists
+// for.
+const USERS: usize = 15_000;
+const ROUTES: usize = 192;
+const STOPS: usize = 32;
+const K: usize = 8;
+/// Repetitions for the gate estimate. The gate compares *minima*: both
+/// arms are deterministic, so the minimum is the noise-robust estimator
+/// on a shared/throttled CI box (medians still wander with cgroup
+/// scheduling jitter).
+const GATE_REPS: usize = 5;
+
+fn tree_config() -> TqTreeConfig {
+    TqTreeConfig::z_order(Placement::FullTrajectory).with_beta(64)
+}
+
+fn minimum(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[0]
+}
+
+fn bench_coldstart(c: &mut Criterion) {
+    let model = ServiceModel::new(Scenario::Length, presets::DEFAULT_PSI);
+    let city = presets::bj_city();
+    let users = tq_datagen::gps_traces(&city, USERS, 0xC01D);
+    let routes = tq_datagen::bus_routes(&city, ROUTES, STOPS, presets::ROUTE_LENGTH, 0xB05);
+
+    let dir = std::env::temp_dir().join(format!("tq-coldstart-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let raw_path = dir.join("city.tqd");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The raw-data file the rebuild arm cold-starts from.
+    std::fs::write(&raw_path, snapshot::encode(&users, &routes)).unwrap();
+    // The store the load arm cold-starts from: warmed, then checkpointed,
+    // so the snapshot carries the full served table.
+    let mut writer = Engine::builder(model)
+        .users(users)
+        .facilities(routes)
+        .tree_config(tree_config())
+        .persist_with(&store_dir, StoreConfig::default())
+        .build()
+        .unwrap();
+    writer.warm();
+    writer.checkpoint().unwrap();
+    let want = writer.run(Query::top_k(K)).unwrap();
+    drop(writer);
+
+    let load = || {
+        let engine = Engine::open(&store_dir).unwrap();
+        assert!(engine.full_table().is_some(), "served table not persisted");
+        engine
+    };
+    let rebuild = || {
+        let raw = std::fs::read(&raw_path).unwrap();
+        let (users, routes) = snapshot::decode(raw.into()).unwrap();
+        let mut engine = Engine::builder(model)
+            .users(users)
+            .facilities(routes)
+            .tree_config(tree_config())
+            .build()
+            .unwrap();
+        engine.warm();
+        engine
+    };
+
+    let mut group = c.benchmark_group("coldstart");
+    group.sample_size(10);
+    group.bench_function("load_snapshot", |b| b.iter(|| load().users().len()));
+    group.bench_function("rebuild_from_raw", |b| b.iter(|| rebuild().users().len()));
+    group.finish();
+
+    // -- the CI gate: minima over interleaved reps -----------------------
+    let mut load_secs = Vec::with_capacity(GATE_REPS);
+    let mut rebuild_secs = Vec::with_capacity(GATE_REPS);
+    for _ in 0..GATE_REPS {
+        let t = std::time::Instant::now();
+        let e = load();
+        load_secs.push(t.elapsed().as_secs_f64());
+        drop(e);
+        let t = std::time::Instant::now();
+        let e = rebuild();
+        rebuild_secs.push(t.elapsed().as_secs_f64());
+        drop(e);
+    }
+    let (load_min, rebuild_min) = (minimum(load_secs), minimum(rebuild_secs));
+    let speedup = rebuild_min / load_min;
+    println!(
+        "\ncold start over {USERS} GPS traces × {ROUTES} routes (serving-ready, warmed \
+         table, min of {GATE_REPS}):\n  load snapshot {:.1}ms vs rebuild-from-raw {:.1}ms — {speedup:.1}x",
+        load_min * 1e3,
+        rebuild_min * 1e3
+    );
+
+    // The loaded engine is the *same* engine, to the bit, and serves its
+    // first answer straight from the persisted table.
+    let mut loaded = Engine::open(&store_dir).unwrap();
+    let got = loaded.run(Query::top_k(K)).unwrap();
+    assert!(got.explain.cache.is_hit(), "persisted table not hit");
+    for (g, w) in got.ranked().iter().zip(want.ranked()) {
+        assert_eq!(g.0, w.0);
+        assert_eq!(g.1.to_bits(), w.1.to_bits(), "loaded engine answers differently");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        speedup >= 5.0,
+        "snapshot load must be ≥5x faster than rebuild-from-raw, measured {speedup:.1}x"
+    );
+}
+
+criterion_group!(coldstart, bench_coldstart);
+criterion_main!(coldstart);

@@ -19,7 +19,12 @@
 //! per-command flag documentation (generated from the same tables that
 //! drive parsing — see [`args`]).
 //!
-//! Datasets travel as `.tqd` snapshot files (`tq-trajectory::snapshot`).
+//! Datasets travel as `.tqd` snapshot files (`tq-trajectory::snapshot`);
+//! *engines* travel as `tq-store` directories (arena snapshot + update
+//! WAL): `tq save` persists a built engine, `tq load` cold-starts from
+//! one (replaying the WAL tail), `tq inspect` diagnoses store files from
+//! the shell, and `tq stream --wal` / `tq serve --persist` run their
+//! update streams durably.
 
 mod args;
 
@@ -29,6 +34,7 @@ use tq_core::engine::{Algorithm, Engine, EngineBuilder, Query};
 use tq_core::serve::{serve, ServeConfig, Workload};
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
+use tq_core::StoreConfig;
 use tq_datagen::StreamKind;
 use tq_trajectory::{snapshot, FacilitySet, UserSet};
 
@@ -99,11 +105,44 @@ const MAXCOV: Command = Command {
     ],
 };
 
+const SAVE: Command = Command {
+    name: "save",
+    summary: "build an engine over a dataset and persist it to a store directory",
+    positional: "FILE",
+    flags: &[
+        Flag { name: "store", meta: "DIR", default: "", help: "store directory to create (must not already hold one)" },
+        Flag { name: "psi", meta: "METRES", default: "200", help: "service radius ψ" },
+        Flag { name: "scenario", meta: "transit|points|length", default: "transit", help: "service semantics (paper scenarios 1-3)" },
+        Flag { name: "placement", meta: "two-point|segmented|full", default: "two-point", help: "trajectory-to-item mapping (TQ / S-TQ / F-TQ)" },
+        Flag { name: "backend", meta: "tq-z|tq-b|bl", default: "tq-z", help: "index backend: TQ(Z), TQ(B) or the BL baseline" },
+        Flag { name: "beta", meta: "B", default: "64", help: "TQ-tree bucket size β" },
+    ],
+};
+
+const LOAD: Command = Command {
+    name: "load",
+    summary: "cold-start an engine from a store (newest snapshot + WAL replay)",
+    positional: "",
+    flags: &[
+        Flag { name: "store", meta: "DIR", default: "", help: "store directory written by save / persist_to" },
+        Flag { name: "k", meta: "K", default: "0", help: "also answer a top-k query from the loaded engine (0 = summary only)" },
+        Flag { name: "threads", meta: "N", default: "0", help: "worker threads (0 = one per core)" },
+    ],
+};
+
+const INSPECT: Command = Command {
+    name: "inspect",
+    summary: "describe a store directory, snapshot file or WAL file (even corrupt ones)",
+    positional: "PATH",
+    flags: &[],
+};
+
 const STREAM: Command = Command {
     name: "stream",
     summary: "dynamic workload: batched arrivals/expiries, incremental answers",
     positional: "",
     flags: &[
+        Flag { name: "wal", meta: "DIR", default: "", help: "persist the run: store directory for the snapshot + update WAL" },
         Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
         Flag { name: "users", meta: "N", default: "20000", help: "initial trajectory count" },
         Flag { name: "events", meta: "N", default: "2000", help: "total arrival/expiry events" },
@@ -127,6 +166,7 @@ const SERVE: Command = Command {
     summary: "concurrent serving: N reader threads over snapshots + one update writer",
     positional: "",
     flags: &[
+        Flag { name: "persist", meta: "DIR", default: "", help: "durable serving: store directory (WAL per batch + final checkpoint)" },
         Flag { name: "clients", meta: "N", default: "4", help: "concurrent reader (client) threads" },
         Flag { name: "duration", meta: "SECONDS", default: "5", help: "how long to serve the mixed workload" },
         Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
@@ -147,8 +187,18 @@ const SERVE: Command = Command {
     ],
 };
 
-const COMMANDS: [&Command; 7] =
-    [&GENERATE, &IMPORT_TAXI, &STATS, &TOPK, &MAXCOV, &STREAM, &SERVE];
+const COMMANDS: [&Command; 10] = [
+    &GENERATE,
+    &IMPORT_TAXI,
+    &STATS,
+    &TOPK,
+    &MAXCOV,
+    &SAVE,
+    &LOAD,
+    &INSPECT,
+    &STREAM,
+    &SERVE,
+];
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -160,6 +210,9 @@ fn main() {
         "stats" => cmd_stats(rest),
         "topk" => cmd_topk(rest),
         "maxcov" => cmd_maxcov(rest),
+        "save" => cmd_save(rest),
+        "load" => cmd_load(rest),
+        "inspect" => cmd_inspect(rest),
         "stream" => cmd_stream(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
@@ -414,6 +467,84 @@ fn cmd_maxcov(raw: Vec<String>) -> CliResult {
     Ok(())
 }
 
+fn cmd_save(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&SAVE, raw)? else { return Ok(()) };
+    let [path] = a.positional() else {
+        return Err("save needs one dataset file".into());
+    };
+    let store = a.required("store")?;
+    let psi: f64 = a.get_or("psi", 200.0, "number")?;
+    let scenario = scenario_of(a.get("scenario").unwrap_or("transit"))?;
+    let placement = placement_of(a.get("placement").unwrap_or("two-point"))?;
+    let backend = a.get("backend").unwrap_or("tq-z");
+    let beta: usize = a.get_or("beta", 64, "integer")?;
+    let (users, facilities) = load(path)?;
+    let n_users = users.len();
+    let n_facilities = facilities.len();
+
+    let t = std::time::Instant::now();
+    let builder = Engine::builder(ServiceModel::new(scenario, psi))
+        .users(users)
+        .facilities(facilities)
+        .persist_to(store);
+    let engine = backend_of(builder, backend, placement, beta)?.build()?;
+    println!(
+        "saved epoch {}: {} trajectories, {} facilities ({backend}, {scenario:?}, ψ={psi}) \
+         in {:.3}s",
+        engine.epoch(),
+        n_users,
+        n_facilities,
+        t.elapsed().as_secs_f64()
+    );
+    if let Some(status) = engine.persistence() {
+        println!("{status}");
+    }
+    println!("reload it with: tq load --store {store}");
+    Ok(())
+}
+
+fn cmd_load(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&LOAD, raw)? else { return Ok(()) };
+    let store = a.required("store")?;
+    let k: usize = a.get_or("k", 0, "integer")?;
+    tq_core::set_threads(a.get_or("threads", 0, "integer")?);
+
+    let t = std::time::Instant::now();
+    let mut engine = Engine::open(store)?;
+    let load_secs = t.elapsed().as_secs_f64();
+    println!(
+        "loaded {} in {load_secs:.3}s: epoch {}, {} backend, {} live of {} trajectories, \
+         {} facilities",
+        store,
+        engine.epoch(),
+        engine.backend().kind(),
+        engine.live_users(),
+        engine.users().len(),
+        engine.facilities().len(),
+    );
+    if let Some(status) = engine.persistence() {
+        println!("{status}");
+    }
+    if k > 0 {
+        let answer = engine.run(Query::top_k(k))?;
+        println!("kMaxRRST top-{k} from the recovered epoch:");
+        for (rank, (id, value)) in answer.ranked().iter().enumerate() {
+            println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+        }
+        println!("explain: {}", answer.explain);
+    }
+    Ok(())
+}
+
+fn cmd_inspect(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&INSPECT, raw)? else { return Ok(()) };
+    let [path] = a.positional() else {
+        return Err("inspect needs one path (store directory, .tqs or .tql file)".into());
+    };
+    print!("{}", tq_store::inspect::report(std::path::Path::new(path))?);
+    Ok(())
+}
+
 fn cmd_stream(raw: Vec<String>) -> CliResult {
     let Some(a) = parse(&STREAM, raw)? else { return Ok(()) };
     let kind_name = a.get("kind").unwrap_or("nyt");
@@ -472,12 +603,15 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
     );
     let batches = scenario_trace.update_batches(batch);
     let t = std::time::Instant::now();
-    let mut engine = Engine::builder(model)
+    let mut builder = Engine::builder(model)
         .users(scenario_trace.initial)
         .facilities(facilities.clone())
         .tree_config(tree_cfg)
-        .bounds(scenario_trace.bounds)
-        .build()?;
+        .bounds(scenario_trace.bounds);
+    if let Some(dir) = a.get("wal") {
+        builder = builder.persist_to(dir);
+    }
+    let mut engine = builder.build()?;
     // Seed the served-table memo so every batch maintains it incrementally
     // instead of the final query paying one full evaluation.
     engine.warm();
@@ -506,6 +640,13 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         "totals: {} batches ({} inserts, {} removes) in {apply_secs:.3}s incremental",
         s.batches, s.inserts, s.removes
     );
+    if let Some(status) = engine.persistence() {
+        println!(
+            "durable: {status} — every batch was WAL-logged before publishing; \
+             `tq load --store {}` replays the tail",
+            status.dir.display()
+        );
+    }
     println!(
         "        rebuild-every-batch would evaluate {} facilities; the engine fully \
          re-evaluated {} ({:.1}% skipped, {:.1}% untouched outright)",
@@ -618,12 +759,16 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
     );
     let update_batches = trace.update_batches(batch);
     let t = std::time::Instant::now();
-    let mut engine = Engine::builder(model)
+    let mut builder = Engine::builder(model)
         .users(trace.initial)
         .facilities(facilities)
         .tree_config(TqTreeConfig::z_order(placement).with_beta(beta))
-        .bounds(trace.bounds)
-        .build()?;
+        .bounds(trace.bounds);
+    let persist = a.get("persist").map(str::to_string);
+    if let Some(dir) = &persist {
+        builder = builder.persist_with(dir, StoreConfig::default());
+    }
+    let mut engine = builder.build()?;
     engine.warm();
     println!(
         "build:  index + initial evaluation in {:.3}s (epoch {})",
@@ -640,9 +785,16 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
         duration: std::time::Duration::from_secs_f64(duration),
         threads_per_client: client_threads,
         update_pause: std::time::Duration::from_millis(pause_ms),
+        final_checkpoint: persist.is_some(),
     };
     let report = serve(&mut engine, &workload, &config)?;
     println!("{}", report.summary());
+    if let Some(status) = engine.persistence() {
+        println!(
+            "durable: {status} — run checkpointed; `tq load --store {}` cold-starts it",
+            status.dir.display()
+        );
+    }
     if report.epoch_regressions() > 0 {
         return Err(format!(
             "{} epoch regressions observed — snapshot publication is broken",

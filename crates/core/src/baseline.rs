@@ -69,6 +69,13 @@ impl BaselineIndex {
         self.tree.len()
     }
 
+    /// The leaf capacity the index was built with — the build parameter
+    /// the snapshot format persists so a load can rebuild this index
+    /// bit-identically from the decoded user set.
+    pub fn capacity(&self) -> usize {
+        self.tree.capacity()
+    }
+
     /// Returns `true` when no points are indexed.
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()

@@ -156,9 +156,11 @@ use crate::eval::{canonical_value, EvalOutcome, EvalStats};
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::maxcov::ServedTable;
 use crate::parallel;
+use crate::persist::{Durable, StoreConfig};
 use crate::service::ServiceModel;
 use crate::topk::{top_k_facilities, TopKOutcome};
 use crate::tqtree::{TqTree, TqTreeConfig};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tq_geometry::Rect;
 use tq_trajectory::{Facility, FacilityId, FacilitySet, TrajectoryId, UserSet};
@@ -378,6 +380,22 @@ pub enum EngineError {
     /// proving optimality (raise [`Query::node_budget`], lower `k`, or use
     /// [`Algorithm::Greedy`]).
     ExactBudgetExhausted,
+    /// A persistence operation failed — I/O, a corrupt store, a refused
+    /// WAL append. Carries the rendered [`tq_store::StoreError`]. A WAL
+    /// failure inside [`Engine::apply`] rejects the batch with the
+    /// in-memory engine untouched.
+    Persist(String),
+    /// The *post-publish* threshold checkpoint inside [`Engine::apply`]
+    /// failed. Unlike [`EngineError::Persist`], the batch itself **was
+    /// applied, published and durably WAL-logged** — do not retry it;
+    /// only the log compaction failed (it will be retried by the next
+    /// apply over threshold, or an explicit [`Engine::checkpoint`]).
+    CheckpointFailed(String),
+    /// [`Engine::checkpoint`] was called on an engine without an attached
+    /// store (build with
+    /// [`EngineBuilder::persist_to`] or load with [`Engine::open`] to get
+    /// one).
+    NotDurable,
 }
 
 impl std::fmt::Display for EngineError {
@@ -405,6 +423,14 @@ impl std::fmt::Display for EngineError {
                 f,
                 "exact search exceeded its node budget before proving optimality"
             ),
+            EngineError::Persist(why) => write!(f, "persistence failed: {why}"),
+            EngineError::CheckpointFailed(why) => write!(
+                f,
+                "batch applied and WAL-logged, but the threshold checkpoint failed: {why}"
+            ),
+            EngineError::NotDurable => {
+                write!(f, "no store attached (build with persist_to or Engine::open)")
+            }
         }
     }
 }
@@ -437,6 +463,7 @@ pub struct EngineBuilder {
     bounds: Option<Rect>,
     rebuild_fraction: f64,
     subset_tables: usize,
+    persist: Option<(PathBuf, StoreConfig)>,
 }
 
 impl EngineBuilder {
@@ -499,6 +526,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Makes the engine durable: creates a fresh
+    /// [`tq_store`] directory at `dir`, writes the built engine's initial
+    /// snapshot into it, and attaches the store so every
+    /// [`Engine::apply`] batch is WAL-logged before it publishes and
+    /// [`Engine::checkpoint`] (explicit or threshold-triggered) compacts
+    /// the log into a new snapshot.
+    ///
+    /// The build fails with [`EngineError::Persist`] when `dir` already
+    /// holds a store — reopen existing state with [`Engine::open`]
+    /// instead of silently overwriting its history.
+    pub fn persist_to(self, dir: impl AsRef<Path>) -> EngineBuilder {
+        self.persist_with(dir, StoreConfig::default())
+    }
+
+    /// [`EngineBuilder::persist_to`] with explicit store tunables (fsync
+    /// policy, auto-checkpoint threshold, snapshot retention).
+    pub fn persist_with(mut self, dir: impl AsRef<Path>, config: StoreConfig) -> EngineBuilder {
+        self.persist = Some((dir.as_ref().to_path_buf(), config));
+        self
+    }
+
     /// Builds the backend index and the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         let backend = match self.backend {
@@ -520,6 +568,9 @@ impl EngineBuilder {
         let mut engine = Engine::new(self.users, self.facilities, self.model, backend);
         engine.rebuild_fraction = self.rebuild_fraction;
         engine.memo = TableMemo::new(self.subset_tables);
+        if let Some((dir, config)) = self.persist {
+            crate::persist::attach_new_store(&mut engine, &dir, config)?;
+        }
         Ok(engine)
     }
 }
@@ -551,6 +602,9 @@ pub struct Engine {
     /// are frozen in the snapshot).
     memo: TableMemo,
     stats: UpdateStats,
+    /// The attached store when the engine is durable (see
+    /// [`crate::persist`]); `None` for in-memory engines.
+    pub(crate) durable: Option<Durable>,
 }
 
 impl Clone for Engine {
@@ -558,6 +612,10 @@ impl Clone for Engine {
     /// publication slot seeded at the current snapshot. Readers of the
     /// original keep following the original; the clone starts a separate
     /// epoch history (continuing from the current epoch number).
+    ///
+    /// The clone is always **in-memory**: a store has one WAL and one
+    /// writer, and that is the engine being cloned. Persist the fork to a
+    /// different directory if it needs its own durability.
     fn clone(&self) -> Engine {
         Engine {
             slot: Arc::new(SnapshotSlot::new(self.snapshot.clone())),
@@ -567,6 +625,7 @@ impl Clone for Engine {
             rebuild_fraction: self.rebuild_fraction,
             memo: self.memo.clone(),
             stats: self.stats,
+            durable: None,
         }
     }
 }
@@ -583,6 +642,7 @@ impl Engine {
             bounds: None,
             rebuild_fraction: DEFAULT_REBUILD_FRACTION,
             subset_tables: DEFAULT_SUBSET_TABLES,
+            persist: None,
         }
     }
 
@@ -613,7 +673,66 @@ impl Engine {
             rebuild_fraction: DEFAULT_REBUILD_FRACTION,
             memo: TableMemo::new(DEFAULT_SUBSET_TABLES),
             stats: UpdateStats::default(),
+            durable: None,
         }
+    }
+
+    /// Reassembles an engine from decoded snapshot state — the
+    /// deserialization counterpart of [`Engine::new`] that additionally
+    /// restores the live bitmap, the publication epoch and the builder
+    /// knobs. Only [`crate::persist`] calls this.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        users: UserSet,
+        facilities: FacilitySet,
+        model: ServiceModel,
+        backend: Backend,
+        live: Vec<bool>,
+        epoch: u64,
+        rebuild_fraction: f64,
+        subset_tables: usize,
+        full_table: Option<ServedTable>,
+    ) -> Engine {
+        let embrs = facilities.iter().map(|(_, f)| f.embr(model.psi)).collect();
+        let live_count = live.iter().filter(|&&l| l).count();
+        let mut tables = FxHashMap::default();
+        if let Some(table) = full_table {
+            tables.insert(table.ids.clone(), Arc::new(table));
+        }
+        let snapshot = Arc::new(Snapshot {
+            epoch,
+            users: Arc::new(users),
+            facilities: Arc::new(facilities),
+            model,
+            backend: Arc::new(backend),
+            live_count,
+            tables,
+        });
+        Engine {
+            slot: Arc::new(SnapshotSlot::new(snapshot.clone())),
+            snapshot,
+            embrs,
+            live,
+            rebuild_fraction,
+            memo: TableMemo::new(subset_tables),
+            stats: UpdateStats::default(),
+            durable: None,
+        }
+    }
+
+    /// Attaches an opened store (see [`crate::persist`]).
+    pub(crate) fn attach_store(&mut self, store: tq_store::Store) {
+        self.durable = Some(Durable { store });
+    }
+
+    /// The patch-vs-rebuild threshold, for the snapshot codec.
+    pub(crate) fn rebuild_fraction(&self) -> f64 {
+        self.rebuild_fraction
+    }
+
+    /// The subset-table memo capacity, for the snapshot codec.
+    pub(crate) fn subset_table_capacity(&self) -> usize {
+        self.memo.capacity()
     }
 
     // -- the read plane -----------------------------------------------------
@@ -749,12 +868,51 @@ impl Engine {
     /// removal id is rejected without touching the engine
     /// ([`EngineError::Update`]). The baseline backend rejects all updates
     /// with [`EngineError::UpdatesUnsupported`].
+    ///
+    /// On a durable engine (built with [`EngineBuilder::persist_to`] or
+    /// loaded with [`Engine::open`]) the validated batch is appended to
+    /// the write-ahead log — fsynced per the configured
+    /// [`crate::persist::SyncPolicy`] — **before** any state mutates, so
+    /// an acknowledged batch survives a crash at any later instant (a
+    /// WAL failure surfaces as [`EngineError::Persist`] with the batch
+    /// rejected and the engine untouched); and once the store's
+    /// `checkpoint_every` threshold is reached the apply finishes by
+    /// checkpointing (fresh snapshot, truncated WAL). A failure of that
+    /// post-publish compaction is the one error after which the batch
+    /// *is* applied — it is reported distinctly as
+    /// [`EngineError::CheckpointFailed`] so callers never retry an
+    /// already-durable batch.
     pub fn apply(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError> {
         if !matches!(&*self.snapshot.backend, Backend::TqTree(_)) {
             return Err(EngineError::UpdatesUnsupported);
         }
         self.validate_batch(updates)?;
+        self.wal_append(updates)?;
+        let outcome = self.apply_validated(updates, self.snapshot.epoch + 1);
+        self.maybe_auto_checkpoint()?;
+        Ok(outcome)
+    }
 
+    /// Re-applies one WAL batch during [`Engine::open`] recovery: same
+    /// validation and mutation as [`Engine::apply`], but publishing at
+    /// the epoch the original apply stamped into the record (so the
+    /// recovered engine resumes exactly where the writer was) and without
+    /// re-appending to the WAL.
+    pub(crate) fn replay_batch(
+        &mut self,
+        updates: &[Update],
+        stamp: u64,
+    ) -> Result<BatchOutcome, EngineError> {
+        if !matches!(&*self.snapshot.backend, Backend::TqTree(_)) {
+            return Err(EngineError::UpdatesUnsupported);
+        }
+        self.validate_batch(updates)?;
+        Ok(self.apply_validated(updates, stamp))
+    }
+
+    /// The mutation half of [`Engine::apply`]: the batch must already be
+    /// validated (and WAL-logged when durable); publishes at `new_epoch`.
+    fn apply_validated(&mut self, updates: &[Update], new_epoch: u64) -> BatchOutcome {
         // Copy-on-write of the mutable halves: readers may still hold the
         // published snapshot, so the index and user set are cloned, mutated,
         // and re-published — never mutated in place.
@@ -882,7 +1040,7 @@ impl Engine {
         }
         self.stats.batches += 1;
         self.publish(Snapshot {
-            epoch: self.snapshot.epoch + 1,
+            epoch: new_epoch,
             users: Arc::new(users),
             facilities: self.snapshot.facilities.clone(),
             model: self.snapshot.model,
@@ -890,7 +1048,7 @@ impl Engine {
             live_count,
             tables,
         });
-        Ok(outcome)
+        outcome
     }
 
     /// Validates a batch without mutating anything: bounds for inserts,

@@ -42,6 +42,13 @@
 //! and publishes each new epoch atomically to every [`engine::Reader`].
 //! The **[`serve`]** module drives a whole sharded worker pool off that
 //! split — N client threads of mixed queries against a live update stream.
+//!
+//! Engines are durable via the **[`persist`]** module (built on the
+//! `tq-store` crate): [`engine::EngineBuilder::persist_to`] snapshots the
+//! full state — TQ-tree arena and warmed served table included — and
+//! WAL-logs every [`engine::Engine::apply`] batch before it publishes;
+//! [`engine::Engine::open`] cold-starts in `O(read)` with crash-safe
+//! longest-valid-prefix WAL replay and bit-identical answers.
 
 #![warn(missing_docs)]
 
@@ -52,6 +59,7 @@ pub mod eval;
 pub mod fasthash;
 pub mod maxcov;
 pub mod parallel;
+pub mod persist;
 pub mod serve;
 pub mod service;
 pub mod topk;
@@ -70,6 +78,7 @@ pub use eval::{
 pub use parallel::{
     current_threads, par_evaluate_candidates, session_thread_budget, set_threads,
 };
+pub use persist::{PersistStatus, StoreConfig, SyncPolicy};
 pub use serve::{ClientStats, ServeConfig, ServeReport, Workload};
 pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
 pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};

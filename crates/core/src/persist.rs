@@ -1,0 +1,689 @@
+//! Engine persistence: snapshot + WAL durability for the
+//! [`Engine`], built on [`tq_store`].
+//!
+//! # What is durable
+//!
+//! A persisted engine writes two artifacts into its store directory (see
+//! [`tq_store::store`] for the file layout):
+//!
+//! * **snapshots** — the full engine state at one epoch: every user
+//!   trajectory (including removed tombstones, so ids stay stable), the
+//!   live bitmap, the facilities, the [`ServiceModel`], the backend build
+//!   parameters, and — for the TQ-tree backend — the **entire node arena**
+//!   (every slot, free list, z-partitions, assigned z-ids), so
+//!   [`Engine::open`] is `O(read)`, not `O(rebuild)`;
+//! * **a WAL** — one record per [`Engine::apply`] batch, appended (and
+//!   fsynced per [`SyncPolicy`]) *after validation but before the batch
+//!   publishes*, stamped with the epoch the batch publishes.
+//!
+//! The snapshot also carries the **warmed full-facility `ServedTable`**
+//! when the engine has one — re-evaluating it is the dominant cost of a
+//! *serving* cold start, so `tq serve --persist` checkpoints it and the
+//! next `Engine::open` answers its first query from cache. Subset tables
+//! are ephemeral LRU cache and are not persisted; every answer is
+//! bit-identical either way (tables are a deterministic function of the
+//! rest of the state).
+//!
+//! # Recovery
+//!
+//! [`Engine::open`] loads the newest snapshot that passes CRC validation
+//! (falling back to the previous checkpoint if the newest is damaged),
+//! re-checks the decoded TQ-tree with
+//! [`validate_with_count`](crate::tqtree::TqTree::validate_with_count),
+//! then replays the WAL's longest valid prefix: records at or below the
+//! snapshot epoch (leftovers of a crash between checkpoint-write and
+//! WAL-truncate) are skipped by their stamp; the rest re-apply exactly,
+//! and the engine resumes at the last replayed stamp. Torn tails and
+//! bit-flipped records are cut off by CRC — never panicked on. The
+//! reopened engine answers every query **bit-identical** to the engine
+//! that wrote the files (`tests/persistence.rs` proves it per byte of
+//! truncation).
+//!
+//! # Epochs
+//!
+//! WAL stamps are publication epochs, so they are increasing but not
+//! dense — epochs spent on memo absorptions ([`Engine::run`] misses,
+//! [`Engine::warm`]) leave gaps, and being pure cache activity they are
+//! not logged. A recovered engine therefore resumes at the epoch of the
+//! last durable batch (or the checkpoint epoch when the WAL is empty).
+//!
+//! # Example
+//!
+//! ```
+//! use tq_core::engine::{Engine, Query};
+//! use tq_core::service::{Scenario, ServiceModel};
+//! use tq_geometry::Point;
+//! use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+//!
+//! let dir = std::env::temp_dir().join(format!("tq-persist-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! let p = |x: f64, y: f64| Point::new(x, y);
+//! let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+//!     .users(UserSet::from_vec(vec![
+//!         Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0)),
+//!     ]))
+//!     .facilities(FacilitySet::from_vec(vec![
+//!         Facility::new(vec![p(0.0, 1.0), p(10.0, 1.0)]),
+//!     ]))
+//!     .persist_to(&dir)
+//!     .build()
+//!     .unwrap();
+//! let want = engine.run(Query::top_k(1)).unwrap();
+//! drop(engine);
+//!
+//! let mut reopened = Engine::open(&dir).unwrap();
+//! let got = reopened.run(Query::top_k(1)).unwrap();
+//! assert_eq!(got.ranked(), want.ranked());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::baseline::BaselineIndex;
+use crate::dynamic::Update;
+use crate::engine::{Backend, Engine, EngineError};
+use crate::eval::EvalStats;
+use crate::fasthash::FxHashMap;
+use crate::maxcov::ServedTable;
+use crate::service::{PointMask, Scenario, ServiceModel};
+use crate::tqtree::{self, Placement};
+use bytes::{BufMut, BytesMut};
+use std::path::{Path, PathBuf};
+use tq_store::codec::{decode_bitmap, encode_bitmap, put_varint_u32, Decode, Encode, Reader};
+use tq_store::snapshot::{SnapshotMeta, BACKEND_BASELINE, BACKEND_TQTREE};
+use tq_store::store::Store;
+use tq_store::StoreError;
+pub use tq_store::{StoreConfig, SyncPolicy};
+use tq_trajectory::{FacilitySet, Trajectory, TrajectoryId, UserSet};
+
+/// The durable half an engine carries once persistence is attached.
+#[derive(Debug)]
+pub(crate) struct Durable {
+    pub(crate) store: Store,
+}
+
+/// A read-only description of an engine's attached store, for reports.
+#[derive(Debug, Clone)]
+pub struct PersistStatus {
+    /// The store directory.
+    pub dir: PathBuf,
+    /// Batches currently in the WAL (appended since the last checkpoint).
+    pub wal_batches: usize,
+    /// The auto-checkpoint threshold (`0` = manual checkpoints only).
+    pub checkpoint_every: usize,
+}
+
+impl std::fmt::Display for PersistStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "store {} ({} WAL batches, checkpoint every {})",
+            self.dir.display(),
+            self.wal_batches,
+            self.checkpoint_every
+        )
+    }
+}
+
+fn persist_err(e: StoreError) -> EngineError {
+    EngineError::Persist(e.to_string())
+}
+
+fn corrupt(why: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(why.into())
+}
+
+// ---------------------------------------------------------------------------
+// Scenario / model codec
+// ---------------------------------------------------------------------------
+
+pub(crate) fn scenario_tag(s: Scenario) -> u8 {
+    match s {
+        Scenario::Transit => 0,
+        Scenario::PointCount => 1,
+        Scenario::Length => 2,
+    }
+}
+
+fn scenario_of_tag(tag: u8) -> Result<Scenario, StoreError> {
+    match tag {
+        0 => Ok(Scenario::Transit),
+        1 => Ok(Scenario::PointCount),
+        2 => Ok(Scenario::Length),
+        other => Err(corrupt(format!("scenario tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update-batch codec (the WAL payload)
+// ---------------------------------------------------------------------------
+
+/// Encodes one `Update` batch as a WAL record payload.
+pub(crate) fn encode_batch(updates: &[Update]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(16 + updates.len() * 8);
+    buf.put_u32_le(updates.len() as u32);
+    for u in updates {
+        match u {
+            Update::Insert(t) => {
+                buf.put_u8(0);
+                t.encode(&mut buf);
+            }
+            Update::Remove(id) => {
+                buf.put_u8(1);
+                buf.put_u32_le(*id);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a WAL record payload back into an `Update` batch.
+pub(crate) fn decode_batch(r: &mut Reader) -> Result<Vec<Update>, StoreError> {
+    let n = r.count(5)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => Update::Insert(Trajectory::decode(r)?),
+            1 => Update::Remove(r.u32()?),
+            other => return Err(corrupt(format!("update tag {other}"))),
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// ServedTable codec (the warmed full-facility memo)
+// ---------------------------------------------------------------------------
+
+/// Mask words are width-fitted: almost every trajectory has few points
+/// (two, for trips), so its served mask fits one byte.
+fn put_mask(m: &PointMask, buf: &mut BytesMut) {
+    match m {
+        PointMask::Small(word) => {
+            if *word <= u8::MAX as u64 {
+                buf.put_u8(1);
+                buf.put_u8(*word as u8);
+            } else if *word <= u16::MAX as u64 {
+                buf.put_u8(2);
+                buf.put_u16_le(*word as u16);
+            } else if *word <= u32::MAX as u64 {
+                buf.put_u8(3);
+                buf.put_u32_le(*word as u32);
+            } else {
+                buf.put_u8(4);
+                buf.put_u64_le(*word);
+            }
+        }
+        PointMask::Large(words) => {
+            buf.put_u8(5);
+            buf.put_u32_le(words.len() as u32);
+            for w in words.iter() {
+                buf.put_u64_le(*w);
+            }
+        }
+    }
+}
+
+fn get_mask(r: &mut Reader, n_points: usize) -> Result<PointMask, StoreError> {
+    let tag = r.u8()?;
+    if (1..=4).contains(&tag) && n_points > 64 {
+        return Err(corrupt("inline mask for a >64-point trajectory"));
+    }
+    match tag {
+        1 => Ok(PointMask::Small(r.u8()? as u64)),
+        2 => Ok(PointMask::Small(r.u16()? as u64)),
+        3 => Ok(PointMask::Small(r.u32()? as u64)),
+        4 => Ok(PointMask::Small(r.u64()?)),
+        5 => {
+            let n = r.count(8)?;
+            if n_points <= 64 || n != n_points.div_ceil(64) {
+                return Err(corrupt(format!(
+                    "{n}-word heap mask for a {n_points}-point trajectory"
+                )));
+            }
+            let mut words = Vec::with_capacity(n);
+            for _ in 0..n {
+                words.push(r.u64()?);
+            }
+            Ok(PointMask::Large(words.into_boxed_slice()))
+        }
+        other => Err(corrupt(format!("mask tag {other}"))),
+    }
+    .and_then(|mask| {
+        if let PointMask::Small(word) = &mask {
+            if n_points < 64 && word >> n_points != 0 {
+                return Err(corrupt("mask bits beyond the trajectory's points"));
+            }
+        }
+        Ok(mask)
+    })
+}
+
+/// Encodes the warmed full-facility [`ServedTable`] — the expensive
+/// artifact a *serving* cold start otherwise re-evaluates from scratch.
+///
+/// Layout: per facility (ids are implicit — a full table is `0..n` by
+/// construction), one length-prefixed blob holding the value and the
+/// served-mask entries, delta-varint-coded in ascending trajectory order
+/// (hash-map iteration order is not canonical; sorting also buys the
+/// 1-byte deltas). The length prefixes are what let [`get_table`] hand
+/// each facility's blob to a different thread.
+fn put_table(table: &ServedTable, buf: &mut BytesMut) {
+    buf.put_u32_le(table.ids.len() as u32);
+    let mut blob = BytesMut::with_capacity(1 << 16);
+    for (i, _) in table.ids.iter().enumerate() {
+        blob.put_f64_le(table.values[i]);
+        let mut entries: Vec<(&u32, &PointMask)> = table.masks[i].iter().collect();
+        entries.sort_by_key(|(id, _)| **id);
+        put_varint_u32(&mut blob, entries.len() as u32);
+        let mut prev: u32 = 0;
+        for (&traj, mask) in entries {
+            // First delta is from 0, later ones from predecessor + 1
+            // (ids strictly increase).
+            put_varint_u32(&mut blob, traj - prev);
+            prev = traj + 1;
+            put_mask(mask, &mut blob);
+        }
+        buf.put_u32_le(blob.len() as u32);
+        buf.put_slice(blob.as_ref());
+        blob.clear(); // keep the allocation for the next facility
+    }
+    for n in [
+        table.stats.nodes_visited,
+        table.stats.items_tested,
+        table.stats.items_pruned,
+        table.stats.distance_checks,
+        table.stats.parallel_tasks,
+    ] {
+        buf.put_u64_le(n as u64);
+    }
+}
+
+/// Decodes one facility's blob of [`put_table`].
+fn get_facility_blob(
+    blob: &bytes::Bytes,
+    users: &UserSet,
+) -> Result<(f64, FxHashMap<TrajectoryId, PointMask>), StoreError> {
+    let mut r = Reader::new(blob.clone());
+    let value = r.f64()?;
+    let entries = r.varint_u32()? as usize;
+    if entries.saturating_mul(2) > r.remaining() {
+        return Err(corrupt(format!(
+            "{entries} mask entries exceed the {} bytes remaining",
+            r.remaining()
+        )));
+    }
+    let mut map: FxHashMap<TrajectoryId, PointMask> = FxHashMap::default();
+    map.reserve(entries);
+    let mut next: u64 = 0;
+    for _ in 0..entries {
+        let traj = next + r.varint_u32()? as u64;
+        if traj >= users.len() as u64 {
+            return Err(corrupt(format!(
+                "mask entry names trajectory {traj} of {}",
+                users.len()
+            )));
+        }
+        next = traj + 1;
+        let mask = get_mask(&mut r, users.get(traj as u32).len())?;
+        map.insert(traj as u32, mask);
+    }
+    r.finish()?;
+    Ok((value, map))
+}
+
+fn get_table(
+    r: &mut Reader,
+    users: &UserSet,
+    n_facilities: usize,
+) -> Result<ServedTable, StoreError> {
+    let n = r.count(4)?;
+    if n != n_facilities {
+        return Err(corrupt(format!(
+            "full table covers {n} of {n_facilities} facilities"
+        )));
+    }
+    let mut blobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.u32()? as usize;
+        blobs.push(r.take(len)?);
+    }
+    // Blobs are independent — fan the map reconstruction out (this is the
+    // bulkiest section of a warmed snapshot).
+    let decoded = crate::parallel::par_map(&blobs, |blob| get_facility_blob(blob, users));
+    let mut values = Vec::with_capacity(n);
+    let mut masks = Vec::with_capacity(n);
+    for d in decoded {
+        let (value, map) = d?;
+        values.push(value);
+        masks.push(map);
+    }
+    let mut stats_fields = [0usize; 5];
+    for f in &mut stats_fields {
+        *f = r.u64()? as usize;
+    }
+    Ok(ServedTable {
+        ids: (0..n as u32).collect(),
+        masks,
+        values,
+        stats: EvalStats {
+            nodes_visited: stats_fields[0],
+            items_tested: stats_fields[1],
+            items_pruned: stats_fields[2],
+            distance_checks: stats_fields[3],
+            parallel_tasks: stats_fields[4],
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine-state codec (the snapshot body)
+// ---------------------------------------------------------------------------
+
+/// Encodes the engine's full durable state and the snapshot header
+/// metadata describing it.
+pub(crate) fn encode_engine(engine: &Engine) -> (SnapshotMeta, BytesMut) {
+    let users = engine.users();
+    let facilities = engine.facilities();
+    let model = engine.model();
+    let live: Vec<bool> = (0..users.len() as u32)
+        .map(|id| engine.is_live(id))
+        .collect();
+
+    let mut buf = BytesMut::with_capacity(64 + users.total_points() * 16);
+    buf.put_u8(scenario_tag(model.scenario));
+    buf.put_f64_le(model.psi);
+    buf.put_f64_le(engine.rebuild_fraction());
+    buf.put_u64_le(engine.subset_table_capacity() as u64);
+    buf.put_u64_le(engine.epoch());
+    users.encode(&mut buf);
+    encode_bitmap(&live, &mut buf);
+    facilities.encode(&mut buf);
+
+    let (backend_tag, tree_nodes, tree_items) = match engine.backend() {
+        Backend::TqTree(tree) => {
+            buf.put_u8(BACKEND_TQTREE);
+            tqtree::persist::encode_tree(tree, &mut buf);
+            (BACKEND_TQTREE, tree.node_count() as u64, tree.item_count() as u64)
+        }
+        Backend::Baseline(bl) => {
+            buf.put_u8(BACKEND_BASELINE);
+            buf.put_u64_le(bl.capacity() as u64);
+            (BACKEND_BASELINE, 0, 0)
+        }
+    };
+    // The warmed full-facility ServedTable, when the engine carries one —
+    // the other half of a serving cold start (subset tables are ephemeral
+    // LRU cache and stay that way).
+    match engine.full_table() {
+        Some(table) => {
+            buf.put_u8(1);
+            put_table(table, &mut buf);
+        }
+        None => buf.put_u8(0),
+    }
+    let meta = SnapshotMeta {
+        epoch: engine.epoch(),
+        backend: backend_tag,
+        scenario: scenario_tag(model.scenario),
+        users: users.len() as u64,
+        live: engine.live_users() as u64,
+        facilities: facilities.len() as u64,
+        tree_nodes,
+        tree_items,
+    };
+    (meta, buf)
+}
+
+/// Decodes an engine from a validated snapshot file. The TQ-tree arena is
+/// additionally structure-checked with `validate_with_count` — corrupt
+/// state that slipped past the CRCs is an error, never a panic or a
+/// silently wrong engine.
+pub(crate) fn decode_engine(
+    file: &tq_store::SnapshotFile,
+) -> Result<Engine, StoreError> {
+    let mut r = Reader::new(file.body.clone());
+    let scenario = scenario_of_tag(r.u8()?)?;
+    let psi = r.f64()?;
+    if !psi.is_finite() || psi < 0.0 {
+        return Err(corrupt(format!("ψ = {psi}")));
+    }
+    let model = ServiceModel::new(scenario, psi);
+    let rebuild_fraction = r.f64()?;
+    if !rebuild_fraction.is_finite() || rebuild_fraction < 0.0 {
+        return Err(corrupt(format!("rebuild fraction {rebuild_fraction}")));
+    }
+    let subset_tables = r.u64()? as usize;
+    let epoch = r.u64()?;
+    if epoch != file.meta.epoch {
+        return Err(corrupt(format!(
+            "body epoch {epoch} disagrees with header epoch {}",
+            file.meta.epoch
+        )));
+    }
+    let users = UserSet::decode(&mut r)?;
+    let live = decode_bitmap(&mut r)?;
+    if live.len() != users.len() {
+        return Err(corrupt(format!(
+            "live bitmap covers {} of {} trajectories",
+            live.len(),
+            users.len()
+        )));
+    }
+    let facilities = FacilitySet::decode(&mut r)?;
+
+    let backend = match r.u8()? {
+        BACKEND_TQTREE => {
+            let tree = tqtree::persist::decode_tree(&mut r, &users)?;
+            let expected: usize = match tree.config().placement {
+                Placement::TwoPoint | Placement::FullTrajectory => {
+                    live.iter().filter(|&&l| l).count()
+                }
+                Placement::Segmented => users
+                    .iter()
+                    .filter(|(id, _)| live[*id as usize])
+                    .map(|(_, t)| t.num_segments())
+                    .sum(),
+            };
+            if tree.item_count() != expected {
+                return Err(corrupt(format!(
+                    "tree stores {} items but the live set implies {expected}",
+                    tree.item_count()
+                )));
+            }
+            tree.validate_with_count(&users, expected)
+                .map_err(|why| corrupt(format!("tree validation failed: {why}")))?;
+            Backend::TqTree(tree)
+        }
+        BACKEND_BASELINE => {
+            let capacity = r.u64()? as usize;
+            if capacity == 0 || capacity > 1 << 20 {
+                return Err(corrupt(format!("baseline leaf capacity {capacity}")));
+            }
+            if live.iter().any(|&l| !l) {
+                return Err(corrupt("baseline backend with removed trajectories"));
+            }
+            Backend::Baseline(BaselineIndex::build_with_capacity(&users, capacity))
+        }
+        other => return Err(corrupt(format!("backend tag {other}"))),
+    };
+    let full_table = match r.u8()? {
+        0 => None,
+        1 => Some(get_table(&mut r, &users, facilities.len())?),
+        other => return Err(corrupt(format!("table tag {other}"))),
+    };
+    r.finish()?;
+    Ok(Engine::from_restored(
+        users,
+        facilities,
+        model,
+        backend,
+        live,
+        epoch,
+        rebuild_fraction,
+        subset_tables,
+        full_table,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The Engine-facing API
+// ---------------------------------------------------------------------------
+
+impl Engine {
+    /// Opens a persisted engine from its store directory with the default
+    /// [`StoreConfig`]: loads the newest valid snapshot, replays the
+    /// WAL's longest valid prefix, resumes at the recovered epoch, and
+    /// keeps the store attached (subsequent [`Engine::apply`] calls
+    /// append to the WAL; [`Engine::checkpoint`] compacts it).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Engine, EngineError> {
+        Engine::open_with(dir, StoreConfig::default())
+    }
+
+    /// [`Engine::open`] with explicit store tunables.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<Engine, EngineError> {
+        let (store, recovered) = Store::open(dir.as_ref(), config).map_err(persist_err)?;
+        let mut engine = decode_engine(&recovered.snapshot).map_err(persist_err)?;
+        for record in &recovered.wal_records {
+            if record.epoch <= engine.epoch() {
+                // Logged before the snapshot's checkpoint (a crash landed
+                // between snapshot-write and WAL-truncate): already
+                // reflected in the loaded state.
+                continue;
+            }
+            // The record passed its CRC, so these bytes are exactly what
+            // the writer logged; a batch that fails to decode or
+            // re-validate here is writer corruption, not bit rot, and
+            // aborts the open rather than silently dropping an
+            // acknowledged batch.
+            let mut r = Reader::new(record.payload.clone());
+            let updates = decode_batch(&mut r)
+                .and_then(|u| r.finish().map(|()| u))
+                .map_err(persist_err)?;
+            engine.replay_batch(&updates, record.epoch)?;
+        }
+        engine.attach_store(store);
+        Ok(engine)
+    }
+
+    /// Writes a fresh snapshot of the engine's current state to the
+    /// attached store — durably, atomically — then truncates the WAL and
+    /// prunes old snapshots. The WAL-before-publish ordering in
+    /// [`Engine::apply`] plus the snapshot-before-truncate ordering here
+    /// means every instant of a durable engine's life is recoverable.
+    ///
+    /// Returns the path of the snapshot file. Errors with
+    /// [`EngineError::NotDurable`] when no store is attached.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, EngineError> {
+        if self.durable.is_none() {
+            return Err(EngineError::NotDurable);
+        }
+        let (meta, body) = encode_engine(self);
+        let durable = self.durable.as_mut().expect("checked above");
+        durable
+            .store
+            .checkpoint(&meta, body.freeze().as_ref())
+            .map_err(persist_err)
+    }
+
+    /// The attached store's status, or `None` for an in-memory engine.
+    pub fn persistence(&self) -> Option<PersistStatus> {
+        self.durable.as_ref().map(|d| PersistStatus {
+            dir: d.store.dir().to_path_buf(),
+            wal_batches: d.store.wal_batches(),
+            checkpoint_every: d.store.config().checkpoint_every,
+        })
+    }
+
+    /// Appends a validated batch to the WAL, stamped with the epoch it
+    /// will publish. Called by [`Engine::apply`] after validation and
+    /// before any state mutation; a WAL failure therefore rejects the
+    /// batch with the engine untouched.
+    pub(crate) fn wal_append(&mut self, updates: &[Update]) -> Result<(), EngineError> {
+        let stamp = self.epoch() + 1;
+        if let Some(durable) = self.durable.as_mut() {
+            let payload = encode_batch(updates);
+            durable
+                .store
+                .append_batch(stamp, payload.freeze().as_ref())
+                .map_err(persist_err)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the threshold checkpoint after a successful apply. The batch
+    /// is already applied, published and WAL-logged at this point, so a
+    /// failure here is remapped to [`EngineError::CheckpointFailed`] —
+    /// callers must be able to tell "batch rejected" from "batch durable
+    /// but compaction failed" (retrying the batch would double-apply it).
+    pub(crate) fn maybe_auto_checkpoint(&mut self) -> Result<(), EngineError> {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.store.should_checkpoint());
+        if due {
+            self.checkpoint().map_err(|e| match e {
+                EngineError::Persist(why) => EngineError::CheckpointFailed(why),
+                other => other,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Creates the store for [`EngineBuilder::persist_to`](crate::engine::EngineBuilder::persist_to)
+/// and writes the engine's initial checkpoint into it.
+pub(crate) fn attach_new_store(
+    engine: &mut Engine,
+    dir: &Path,
+    config: StoreConfig,
+) -> Result<(), EngineError> {
+    let store = Store::create(dir, config).map_err(persist_err)?;
+    engine.attach_store(store);
+    if let Err(e) = engine.checkpoint() {
+        // Don't brick the directory: a WAL without any snapshot would
+        // make both a retried `persist_to` (AlreadyExists) and
+        // `Engine::open` (NoSnapshot) refuse it. Remove what `create`
+        // made so the failed build is retryable.
+        engine.durable = None;
+        let _ = std::fs::remove_file(dir.join(tq_store::store::WAL_FILE));
+        return Err(e);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_geometry::Point;
+
+    #[test]
+    fn batch_codec_roundtrip() {
+        let p = |x: f64, y: f64| Point::new(x, y);
+        let batch = vec![
+            Update::Insert(Trajectory::two_point(p(0.0, 0.0), p(1.0, 1.0))),
+            Update::Remove(7),
+            Update::Insert(Trajectory::new(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0)])),
+        ];
+        let buf = encode_batch(&batch);
+        let mut r = Reader::new(buf.freeze());
+        let back = decode_batch(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), 3);
+        match (&batch[0], &back[0]) {
+            (Update::Insert(a), Update::Insert(b)) => assert_eq!(a, b),
+            _ => panic!("variant mismatch"),
+        }
+        assert!(matches!(back[1], Update::Remove(7)));
+    }
+
+    #[test]
+    fn bad_update_tag_is_corrupt() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(1);
+        buf.put_u8(9);
+        assert!(decode_batch(&mut Reader::new(buf.freeze())).is_err());
+    }
+}

@@ -101,6 +101,13 @@ pub struct ServeConfig {
     /// Writer pacing: sleep between consecutive update batches
     /// (`Duration::ZERO` = apply back-to-back).
     pub update_pause: Duration,
+    /// On a durable engine (see [`crate::persist`]), finish the run with
+    /// an [`Engine::checkpoint`] so the whole serving session's updates
+    /// are compacted into one fresh snapshot and the WAL is empty for the
+    /// next cold start. Ignored (no-op) on in-memory engines. During the
+    /// run itself every applied batch is already WAL-logged by
+    /// [`Engine::apply`] before it publishes.
+    pub final_checkpoint: bool,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +117,7 @@ impl Default for ServeConfig {
             duration: Duration::from_secs(1),
             threads_per_client: 0,
             update_pause: Duration::ZERO,
+            final_checkpoint: false,
         }
     }
 }
@@ -330,6 +338,9 @@ pub fn serve(
     let mut per_client = Vec::with_capacity(shard_results.len());
     for r in shard_results {
         per_client.push(r?);
+    }
+    if config.final_checkpoint && engine.persistence().is_some() {
+        engine.checkpoint()?;
     }
     let wall = start.elapsed();
     let queries: u64 = per_client.iter().map(|c| c.queries).sum();

@@ -23,6 +23,7 @@
 mod build;
 mod insert;
 pub mod item;
+pub(crate) mod persist;
 mod remove;
 mod stats;
 pub mod zlist;
@@ -329,7 +330,9 @@ impl TqTree {
                 ));
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        // Fx hashing: validate runs on every snapshot load (`tq-store`),
+        // so the per-item set insert is on the cold-start path.
+        let mut seen = crate::fasthash::FxHashSet::default();
         for (id, node) in self.iter_nodes() {
             for it in node.list.items() {
                 if !seen.insert((it.traj, it.seg)) {

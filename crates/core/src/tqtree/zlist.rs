@@ -95,6 +95,32 @@ impl ZList {
         (self.starts.leaf_count(), self.ends.leaf_count())
     }
 
+    /// The start-point partition, for persistence.
+    pub(crate) fn starts(&self) -> &ZPartition {
+        &self.starts
+    }
+
+    /// The end-point partition, for persistence.
+    pub(crate) fn ends(&self) -> &ZPartition {
+        &self.ends
+    }
+
+    /// Reassembles a z-list from persisted parts — the items must already
+    /// carry their z-ids and be in the sorted order [`ZList::build`]
+    /// produces (the decoder verifies the sort; `TqTree::validate` checks
+    /// it again on load).
+    pub(crate) fn from_raw_parts(
+        items: Vec<StoredItem>,
+        starts: ZPartition,
+        ends: ZPartition,
+    ) -> ZList {
+        ZList {
+            items,
+            starts,
+            ends,
+        }
+    }
+
     /// Incremental insert: assigns z-ids from the *existing* partitions
     /// (the cells containing the item's anchors) and splices the item into
     /// the sorted list — `O(log n)` search plus the vector shift.

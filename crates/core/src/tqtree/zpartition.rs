@@ -140,6 +140,79 @@ impl ZPartition {
         self.nodes.len()
     }
 
+    /// The compact structural form, for persistence: per node, in arena
+    /// order, the index of its first child — [`ZPartition::build`] always
+    /// allocates the four children consecutively — or `None` for a leaf.
+    /// Everything else (zids, rects) is derivable from the structure plus
+    /// the root rectangle, so it is not worth a single stored byte.
+    pub(crate) fn compact_nodes(&self) -> impl Iterator<Item = Option<u32>> + '_ {
+        self.nodes.iter().map(|n| n.children.map(|c| c[0]))
+    }
+
+    /// Rebuilds a partition from [`ZPartition::compact_nodes`] output and
+    /// the root rectangle it was built over, re-deriving each node's zid
+    /// and rectangle by quadrant descent — the same operations `build`
+    /// performed, hence bit-identical rectangles.
+    ///
+    /// Rejects structures that could make traversal unsound: an empty
+    /// table, or a child base that is not a *forward* in-range index
+    /// (forwardness is what `build` produces and what guarantees
+    /// [`ZPartition::locate`] terminates on decoded data).
+    pub(crate) fn from_compact(
+        root: Rect,
+        compact: &[Option<u32>],
+    ) -> Result<ZPartition, String> {
+        if compact.is_empty() {
+            return Err("z-partition with no nodes".into());
+        }
+        let n = compact.len();
+        // Every slot must be derived exactly once: the root here, every
+        // other node by its parent. Forward child links mean a parent's
+        // index precedes its children's, so iterating ascending always
+        // finds a node's zid/rect already derived when it is processed.
+        let mut nodes: Vec<PartNode> = vec![
+            PartNode {
+                zid: ZId::root(),
+                rect: root,
+                children: None,
+            };
+            n
+        ];
+        let mut derived = vec![false; n];
+        derived[0] = true;
+        for (i, &base) in compact.iter().enumerate() {
+            if !derived[i] {
+                return Err(format!("z-partition node {i} is unreachable"));
+            }
+            let Some(base) = base else { continue };
+            let base = base as usize;
+            if base <= i || base + 3 >= n {
+                return Err(format!("z-partition node {i} links children at {base} (of {n})"));
+            }
+            let (zid, rect) = (nodes[i].zid, nodes[i].rect);
+            if zid.depth() >= tq_geometry::MAX_Z_DEPTH {
+                return Err(format!("z-partition node {i} splits beyond MAX_Z_DEPTH"));
+            }
+            nodes[i].children = Some([
+                base as u32,
+                base as u32 + 1,
+                base as u32 + 2,
+                base as u32 + 3,
+            ]);
+            for qi in 0..4u8 {
+                let slot = base + qi as usize;
+                if derived[slot] {
+                    return Err(format!("z-partition slot {slot} assigned twice"));
+                }
+                derived[slot] = true;
+                let q = Quadrant::from_index(qi);
+                nodes[slot].zid = zid.child(q);
+                nodes[slot].rect = rect.quadrant(q);
+            }
+        }
+        Ok(ZPartition { nodes })
+    }
+
     /// Number of leaf cells.
     pub fn leaf_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.children.is_none()).count()

@@ -55,6 +55,27 @@ impl ZId {
         self.path
     }
 
+    /// Reconstructs a `ZId` from its raw representation
+    /// ([`ZId::path_bits`], [`ZId::depth`]) — the inverse used when
+    /// decoding persisted ids. Returns `None` when the pair is not a
+    /// valid id: depth beyond [`MAX_Z_DEPTH`], or path bits set below the
+    /// `depth`-level prefix (every id keeps its unused low bits zero, an
+    /// invariant [`Ord`] relies on).
+    pub fn from_raw(path: u64, depth: u8) -> Option<ZId> {
+        if depth > MAX_Z_DEPTH {
+            return None;
+        }
+        let mask = if depth == 0 {
+            0
+        } else {
+            !0u64 << (64 - 2 * depth as u32)
+        };
+        if path & !mask != 0 {
+            return None;
+        }
+        Some(ZId { path, depth })
+    }
+
     /// The child cell obtained by descending into quadrant `q`.
     ///
     /// # Panics
@@ -299,6 +320,18 @@ mod tests {
         assert_eq!(z.depth(), 6);
         // Clamped to the SE corner.
         assert!(z.cell(&root).contains(&Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn from_raw_roundtrips_and_validates() {
+        let z = ZId::root().child(q(2)).child(q(1)).child(q(3));
+        assert_eq!(ZId::from_raw(z.path_bits(), z.depth()), Some(z));
+        assert_eq!(ZId::from_raw(0, 0), Some(ZId::root()));
+        // Depth beyond the maximum.
+        assert_eq!(ZId::from_raw(0, MAX_Z_DEPTH + 1), None);
+        // Path bits set below the depth prefix.
+        assert_eq!(ZId::from_raw(z.path_bits() | 1, z.depth()), None);
+        assert_eq!(ZId::from_raw(1, 0), None);
     }
 
     #[test]

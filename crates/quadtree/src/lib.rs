@@ -94,6 +94,13 @@ impl<T: Copy> QuadTree<T> {
         self.bounds
     }
 
+    /// The leaf capacity the tree splits at — a build parameter persisted
+    /// so a reloaded index can be reconstructed identically.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Inserts a point with its payload. Out-of-bounds points are clamped.
     pub fn insert(&mut self, p: Point, value: T) {
         let p = Point::new(

@@ -1,0 +1,150 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+//!
+//! Every length-prefixed payload in the snapshot and WAL formats carries
+//! one of these so recovery can tell a torn or bit-flipped record from a
+//! valid one. CRC-32 is not cryptographic — it guards against the failure
+//! modes crash recovery actually faces (truncation, zero-fill, single-bit
+//! rot), not against an adversary.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Eight 256-entry lookup tables (slicing-by-8), built at compile time.
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k]` advances a
+/// byte through `k` additional zero bytes, which is what lets the hot loop
+/// fold eight input bytes per iteration (~8x the byte-wise throughput —
+/// snapshot bodies are megabytes, and the whole body is checksummed on
+/// every load).
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// A streaming CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let one = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+            let two = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            crc = TABLES[7][(one & 0xFF) as usize]
+                ^ TABLES[6][((one >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((one >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(one >> 24) as usize]
+                ^ TABLES[3][(two & 0xFF) as usize]
+                ^ TABLES[2][((two >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((two >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(two >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            let idx = (crc ^ b as u32) & 0xFF;
+            crc = (crc >> 8) ^ TABLES[0][idx as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    /// Byte-at-a-time reference the sliced hot loop must agree with.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in bytes {
+            let idx = (crc ^ b as u32) & 0xFF;
+            crc = (crc >> 8) ^ TABLES[0][idx as usize];
+        }
+        !crc
+    }
+
+    #[test]
+    fn sliced_path_matches_bytewise_at_every_length() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 131 % 251) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), crc32_bytewise(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

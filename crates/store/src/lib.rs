@@ -1,0 +1,124 @@
+//! Durable state for TQ engines — the storage layer under
+//! [`tq_core`](../tq_core/index.html)'s `Engine`.
+//!
+//! The TQ-tree and its served tables are expensive to construct, yet
+//! without this crate every process rebuilt them from raw trajectory data
+//! and every applied update batch died with the process. `tq-store`
+//! provides the two durable artifacts a serving system needs, plus the
+//! codec and file plumbing beneath them:
+//!
+//! * **Snapshot files** ([`snapshot`]) — a versioned, length-prefixed,
+//!   checksummed binary image of an engine's full state at one epoch
+//!   (user trajectories, facilities, service model, backend build
+//!   parameters, and the TQ-tree arena itself, so loading is `O(read)`
+//!   rather than `O(rebuild)`).
+//! * **A write-ahead log** ([`wal`]) — one CRC-framed record per applied
+//!   `Update` batch, stamped with the epoch the batch published, with a
+//!   configurable [`SyncPolicy`]. Recovery reads the *longest valid
+//!   prefix*: torn tails and bit-flipped records are detected by CRC and
+//!   cleanly ignored, never panicked on.
+//! * **A store directory** ([`store::Store`]) — `snapshot-<epoch>.tqs`
+//!   files plus `wal.tql`, with atomic (write-temp-then-rename) snapshot
+//!   publication, checkpoint/truncate, and stale-snapshot pruning.
+//!
+//! The division of labour with `tq-core`: this crate owns the *format*
+//! (framing, checksums, file layout, recovery rules) and the codecs for
+//! the geometry/trajectory vocabulary it can see; `tq-core` encodes its
+//! own engine and arena state through the [`codec`] traits and drives
+//! `Store` from `Engine::apply`/`checkpoint`/`open`.
+//!
+//! Everything is little-endian and bit-exact: an `f64` travels as its raw
+//! bits, so a loaded engine answers queries bit-identical to the engine
+//! that wrote the files.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod inspect;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use codec::{Decode, Encode, Reader};
+pub use snapshot::{SnapshotFile, SnapshotMeta, BACKEND_BASELINE, BACKEND_TQTREE};
+pub use store::{Store, StoreConfig};
+pub use wal::{SyncPolicy, WalRecord, WalSummary, WalWriter};
+
+/// Errors of the storage layer.
+///
+/// Decoding errors are deliberately coarse: recovery code treats any of
+/// them as "this file (or record) is not usable", logs the reason, and
+/// falls back — to an older snapshot, or to the WAL prefix before the bad
+/// record. Nothing in this crate panics on malformed input.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The buffer does not start with the expected magic number.
+    BadMagic {
+        /// What the file claimed to be.
+        found: u32,
+        /// What the caller expected.
+        expected: u32,
+    },
+    /// The file was written by an unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A checksum mismatch: the payload was torn or bit-flipped.
+    CrcMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the payload actually read.
+        computed: u32,
+    },
+    /// The bytes decoded, but describe an impossible value (a count that
+    /// exceeds the buffer, a non-finite coordinate, a dangling index…).
+    Corrupt(String),
+    /// No usable snapshot exists in the store directory.
+    NoSnapshot,
+    /// `persist_to` was pointed at a directory that already holds a store
+    /// (open it with `Engine::open` instead of overwriting it).
+    AlreadyExists(std::path::PathBuf),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::BadMagic { found, expected } => write!(
+                f,
+                "bad magic {found:#010x} (expected {expected:#010x}) — not a tq-store file"
+            ),
+            StoreError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            StoreError::Truncated => write!(f, "buffer truncated before declared contents"),
+            StoreError::CrcMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::Corrupt(why) => write!(f, "corrupt contents: {why}"),
+            StoreError::NoSnapshot => write!(f, "store holds no usable snapshot"),
+            StoreError::AlreadyExists(p) => write!(
+                f,
+                "{} already holds a tq-store; open it instead of persisting over it",
+                p.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}

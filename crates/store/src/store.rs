@@ -1,0 +1,464 @@
+//! The store directory: snapshot files + WAL, with atomic publication,
+//! checkpointing and recovery.
+//!
+//! ```text
+//! <dir>/
+//!   snapshot-00000000000000000042.tqs   one engine image per checkpoint
+//!   snapshot-00000000000000000117.tqs   (newest valid one wins on open)
+//!   wal.tql                             Update batches since the newest
+//! ```
+//!
+//! Invariants the layout maintains:
+//!
+//! * a snapshot file becomes visible **atomically** (written to a `.tmp`
+//!   name, fsynced, renamed into place, directory fsynced) — a reader or
+//!   a crash never observes a half-written snapshot under its final name;
+//! * the WAL is truncated only **after** the checkpoint snapshot is
+//!   durably in place, so every state is recoverable at every instant:
+//!   a crash between the two leaves a new snapshot plus the *previous*
+//!   checkpoint's WAL, which recovery discards by its lineage header
+//!   (and would skip record-by-record via epoch stamps regardless);
+//! * opening never trusts file names: each candidate snapshot (newest
+//!   epoch first) is read and CRC-verified — read errors count as
+//!   corruption — and the first valid one is used, so a corrupt latest
+//!   snapshot degrades to the previous checkpoint instead of failing the
+//!   open. The WAL replays only onto the exact checkpoint it continues
+//!   ([`wal`] module docs): records of a lost newer lineage are
+//!   discarded rather than silently replayed onto older state.
+
+use crate::snapshot::{self, SnapshotFile, SnapshotMeta};
+use crate::wal::{self, SyncPolicy, WalRecord, WalSummary, WalWriter};
+use crate::StoreError;
+use bytes::Bytes;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Name of the WAL file inside a store directory.
+pub const WAL_FILE: &str = "wal.tql";
+/// Prefix of snapshot files inside a store directory.
+pub const SNAPSHOT_PREFIX: &str = "snapshot-";
+/// Extension of snapshot files.
+pub const SNAPSHOT_EXT: &str = "tqs";
+
+/// Tunables of a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// When WAL appends reach the disk ([`SyncPolicy::Always`] by
+    /// default: an acknowledged batch is a durable batch).
+    pub sync: SyncPolicy,
+    /// Auto-checkpoint threshold: after this many WAL batches the engine
+    /// writes a fresh snapshot and truncates the WAL on its own. `0`
+    /// disables the threshold (checkpoints happen only on explicit
+    /// `Engine::checkpoint` calls).
+    pub checkpoint_every: usize,
+    /// How many snapshot files to retain after a checkpoint (at least 1;
+    /// keeping 2 means a corrupt newest snapshot still recovers from the
+    /// previous one).
+    pub keep_snapshots: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 512,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// What [`Store::open`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The newest valid snapshot.
+    pub snapshot: SnapshotFile,
+    /// The *replayable* WAL records: the valid prefix of a log whose
+    /// lineage header matches the recovered snapshot (empty otherwise).
+    /// Records at or below the snapshot epoch are already reflected in
+    /// the snapshot and must still be skipped by the replayer.
+    pub wal_records: Vec<WalRecord>,
+    /// The WAL read summary (tail/lineage diagnostics).
+    pub wal_summary: WalSummary,
+}
+
+/// An open store directory: the durable half of an engine.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    writer: WalWriter,
+    wal_batches: usize,
+}
+
+/// Lists `(epoch, path)` of every well-named snapshot file, newest first
+/// — the one listing both recovery ([`Store::open`]) and diagnostics
+/// (`inspect`) use, so the two can never disagree about what a store
+/// contains.
+pub(crate) fn snapshot_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|s| s.strip_suffix(&format!(".{SNAPSHOT_EXT}")))
+        else {
+            continue;
+        };
+        if let Ok(epoch) = stem.parse::<u64>() {
+            out.push((epoch, path));
+        }
+    }
+    out.sort_by_key(|(epoch, _)| std::cmp::Reverse(*epoch));
+    Ok(out)
+}
+
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{epoch:020}.{SNAPSHOT_EXT}"))
+}
+
+/// Removes `snapshot-*.tmp` leftovers of interrupted checkpoints. They
+/// are invisible to recovery (never under their final name) but would
+/// otherwise leak one full engine image per crashed checkpoint forever.
+fn remove_stale_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let is_stale_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(SNAPSHOT_PREFIX) && n.ends_with(".tmp"));
+        if is_stale_tmp {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Best-effort directory fsync (makes the rename itself durable; not
+/// supported on every platform, hence not fatal).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Store {
+    /// Creates a fresh store in `dir` (creating the directory if needed).
+    /// Refuses with [`StoreError::AlreadyExists`] when the directory
+    /// already holds a store — open that with `Engine::open` instead of
+    /// silently overwriting its history.
+    pub fn create(dir: &Path, config: StoreConfig) -> Result<Store, StoreError> {
+        fs::create_dir_all(dir)?;
+        remove_stale_tmp(dir);
+        if !snapshot_files(dir)?.is_empty() || dir.join(WAL_FILE).exists() {
+            return Err(StoreError::AlreadyExists(dir.to_path_buf()));
+        }
+        // Parent epoch 0 is a placeholder: the caller's first checkpoint
+        // recreates the log bound to the real snapshot epoch, and records
+        // without any snapshot can never replay anyway.
+        let writer = WalWriter::create(&dir.join(WAL_FILE), 0, config.sync)?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            config,
+            writer,
+            wal_batches: 0,
+        })
+    }
+
+    /// Opens an existing store: picks the newest snapshot that passes
+    /// CRC validation (falling back to older ones), reads the WAL's
+    /// longest valid prefix, truncates any torn tail so subsequent
+    /// appends extend the valid prefix, and returns both.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(Store, Recovered), StoreError> {
+        remove_stale_tmp(dir);
+        let candidates = snapshot_files(dir)?;
+        if candidates.is_empty() {
+            return Err(StoreError::NoSnapshot);
+        }
+        let mut snapshot = None;
+        for (_, path) in &candidates {
+            // A read error is treated exactly like a CRC failure: disk rot
+            // often surfaces as EIO, and the point of keeping older
+            // checkpoints is surviving precisely that.
+            let Ok(raw) = fs::read(path) else { continue };
+            match snapshot::decode(Bytes::from(raw)) {
+                Ok(file) => {
+                    snapshot = Some(file);
+                    break;
+                }
+                Err(_) => continue, // corrupt — try the previous checkpoint
+            }
+        }
+        let snapshot = snapshot.ok_or(StoreError::NoSnapshot)?;
+
+        let epoch = snapshot.meta.epoch;
+        let wal_path = dir.join(WAL_FILE);
+        let (wal_records, wal_summary, writer) = if wal_path.exists() {
+            let (records, mut summary) = wal::read(&wal_path)?;
+            if summary.parent_epoch == Some(epoch) {
+                let writer = WalWriter::open_after_recovery(
+                    &wal_path,
+                    summary.valid_bytes,
+                    epoch,
+                    config.sync,
+                )?;
+                (records, summary, writer)
+            } else {
+                // Lineage mismatch: the log continues a different
+                // checkpoint (usually the newest snapshot, now lost to
+                // corruption, or a checkpoint whose WAL-truncate was
+                // interrupted). Its records presuppose state this
+                // snapshot does not have — replaying them would silently
+                // corrupt the engine — so recovery lands on this
+                // checkpoint's exact state and the log restarts bound to
+                // it.
+                summary.tail_note = Some(format!(
+                    "records discarded: log continues checkpoint epoch {:?}, \
+                     recovered snapshot is epoch {epoch}",
+                    summary.parent_epoch
+                ));
+                let writer = WalWriter::create(&wal_path, epoch, config.sync)?;
+                (Vec::new(), summary, writer)
+            }
+        } else {
+            // A store without a WAL (e.g. copied snapshot only) is a
+            // store with zero pending batches.
+            let writer = WalWriter::create(&wal_path, epoch, config.sync)?;
+            (
+                Vec::new(),
+                WalSummary {
+                    parent_epoch: Some(epoch),
+                    records: 0,
+                    valid_bytes: 0,
+                    total_bytes: 0,
+                    epoch_range: None,
+                    tail_note: None,
+                },
+                writer,
+            )
+        };
+        let store = Store {
+            dir: dir.to_path_buf(),
+            config,
+            writer,
+            wal_batches: wal_records.len(),
+        };
+        Ok((
+            store,
+            Recovered {
+                snapshot,
+                wal_records,
+                wal_summary,
+            },
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of batches currently in the WAL (since the last checkpoint).
+    pub fn wal_batches(&self) -> usize {
+        self.wal_batches
+    }
+
+    /// Whether the auto-checkpoint threshold has been reached.
+    pub fn should_checkpoint(&self) -> bool {
+        self.config.checkpoint_every > 0 && self.wal_batches >= self.config.checkpoint_every
+    }
+
+    /// Appends one encoded batch to the WAL (fsynced per the
+    /// [`SyncPolicy`]). Called *before* the batch publishes.
+    pub fn append_batch(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
+        self.writer.append(epoch, payload)?;
+        self.wal_batches += 1;
+        Ok(())
+    }
+
+    /// Checkpoints: durably writes a new snapshot (atomic tmp + rename),
+    /// **then** truncates the WAL and prunes snapshots beyond
+    /// [`StoreConfig::keep_snapshots`]. Returns the snapshot path.
+    pub fn checkpoint(&mut self, meta: &SnapshotMeta, body: &[u8]) -> Result<PathBuf, StoreError> {
+        let final_path = snapshot_path(&self.dir, meta.epoch);
+        let tmp_path = final_path.with_extension("tmp");
+        let encoded = snapshot::encode(meta, body);
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(encoded.as_ref())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir);
+
+        // Only now is it safe to drop the logged batches; the fresh log
+        // is bound to the snapshot it continues from.
+        self.writer = WalWriter::create(&self.dir.join(WAL_FILE), meta.epoch, self.config.sync)?;
+        self.wal_batches = 0;
+
+        for (_, stale) in snapshot_files(&self.dir)?
+            .into_iter()
+            .skip(self.config.keep_snapshots.max(1))
+        {
+            let _ = fs::remove_file(stale);
+        }
+        Ok(final_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::BACKEND_TQTREE;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tq-store-dir-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta(epoch: u64) -> SnapshotMeta {
+        SnapshotMeta {
+            epoch,
+            backend: BACKEND_TQTREE,
+            scenario: 0,
+            users: 10,
+            live: 10,
+            facilities: 3,
+            tree_nodes: 1,
+            tree_items: 10,
+        }
+    }
+
+    #[test]
+    fn create_checkpoint_open_cycle() {
+        let dir = tmp_dir("cycle");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(0), b"state at epoch zero").unwrap();
+        store.append_batch(1, b"batch one").unwrap();
+        store.append_batch(2, b"batch two").unwrap();
+        drop(store);
+
+        let (store, recovered) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot.meta.epoch, 0);
+        assert_eq!(recovered.snapshot.body.as_ref(), b"state at epoch zero");
+        assert_eq!(recovered.wal_records.len(), 2);
+        assert_eq!(store.wal_batches(), 2);
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = tmp_dir("refuse");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(0), b"x").unwrap();
+        drop(store);
+        assert!(matches!(
+            Store::create(&dir, StoreConfig::default()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_prunes() {
+        let dir = tmp_dir("prune");
+        let cfg = StoreConfig {
+            keep_snapshots: 2,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::create(&dir, cfg).unwrap();
+        store.checkpoint(&meta(0), b"s0").unwrap();
+        for e in [5u64, 9, 12] {
+            store.append_batch(e, b"b").unwrap();
+            store.checkpoint(&meta(e), format!("s{e}").as_bytes()).unwrap();
+            assert_eq!(store.wal_batches(), 0);
+        }
+        let files = snapshot_files(&dir).unwrap();
+        assert_eq!(files.len(), 2, "pruned to keep_snapshots");
+        assert_eq!(files[0].0, 12);
+        assert_eq!(files[1].0, 9);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let dir = tmp_dir("fallback");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(3), b"good old state").unwrap();
+        store.checkpoint(&meta(8), b"bad new state").unwrap();
+        // Corrupt the newest file.
+        let newest = snapshot_path(&dir, 8);
+        let mut raw = fs::read(&newest).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&newest, raw).unwrap();
+
+        let (_, recovered) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot.meta.epoch, 3);
+        assert_eq!(recovered.snapshot.body.as_ref(), b"good old state");
+    }
+
+    #[test]
+    fn wal_of_a_lost_newer_checkpoint_is_discarded_not_replayed() {
+        // checkpoint A → checkpoint B (WAL recreated, bound to B) →
+        // append records on B's lineage → B's snapshot rots away.
+        let dir = tmp_dir("lineage");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(3), b"state A").unwrap();
+        store.checkpoint(&meta(8), b"state B").unwrap();
+        store.append_batch(9, b"presupposes state B").unwrap();
+        drop(store);
+        let newest = snapshot_path(&dir, 8);
+        let mut raw = fs::read(&newest).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&newest, raw).unwrap();
+
+        let (store, recovered) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot.meta.epoch, 3);
+        assert!(
+            recovered.wal_records.is_empty(),
+            "records of the lost lineage must not replay onto epoch 3"
+        );
+        assert!(recovered.wal_summary.tail_note.is_some());
+        assert_eq!(store.wal_batches(), 0);
+        // The recreated log is bound to the recovered checkpoint.
+        let (_, summary) = wal::read(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(summary.parent_epoch, Some(3));
+    }
+
+    #[test]
+    fn open_without_snapshot_errors() {
+        let dir = tmp_dir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            Store::open(&dir, StoreConfig::default()),
+            Err(StoreError::NoSnapshot)
+        ));
+    }
+
+    #[test]
+    fn should_checkpoint_threshold() {
+        let dir = tmp_dir("threshold");
+        let cfg = StoreConfig {
+            checkpoint_every: 2,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::create(&dir, cfg).unwrap();
+        store.checkpoint(&meta(0), b"s").unwrap();
+        assert!(!store.should_checkpoint());
+        store.append_batch(1, b"b").unwrap();
+        assert!(!store.should_checkpoint());
+        store.append_batch(2, b"b").unwrap();
+        assert!(store.should_checkpoint());
+    }
+}

@@ -1,0 +1,432 @@
+//! The update write-ahead log: CRC-framed `Update`-batch records with a
+//! configurable fsync policy and longest-valid-prefix recovery.
+//!
+//! ```text
+//! file   = header record*
+//! header = magic "TQWL" (u32) | version (u16) | parent epoch (u64) | header crc (u32)
+//! record = payload_len (u32) | epoch (u64) | crc (u32) | payload
+//! ```
+//!
+//! The header's **parent epoch** names the checkpoint snapshot this WAL
+//! continues from (the log is recreated at every checkpoint). Recovery
+//! replays records only onto that exact snapshot: if the parent
+//! snapshot is lost to bit rot and an older checkpoint is used instead,
+//! the records presuppose state the older snapshot does not have —
+//! replaying them there would silently corrupt the engine (e.g. inserts
+//! assigned the wrong trajectory ids), so they are discarded and the
+//! open recovers the older checkpoint's exact state.
+//!
+//! `crc` is CRC-32 over the epoch bytes followed by the payload, so a
+//! record torn anywhere — length field, epoch, checksum, payload — fails
+//! verification. [`read`] returns the **longest valid prefix**: it stops
+//! at the first record whose frame is incomplete or whose CRC mismatches
+//! and reports why in the [`WalSummary`], but never errors on (let alone
+//! panics over) a damaged tail — a torn tail is the *expected* state
+//! after a crash mid-append. The payload is opaque here; `tq-core`
+//! encodes one applied `Update` batch per record, stamped with the epoch
+//! that batch published.
+
+use crate::crc::Crc32;
+use crate::StoreError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+
+/// WAL file magic, `"TQWL"`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"TQWL");
+/// Current WAL format version.
+pub const VERSION: u16 = 1;
+/// File-header size in bytes (magic + version + parent epoch + CRC).
+pub const HEADER_LEN: u64 = 18;
+/// Per-record frame size (length + epoch + CRC) before the payload.
+pub const FRAME_LEN: usize = 16;
+
+/// When the WAL writer calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every appended record — a batch acknowledged is a
+    /// batch on disk. The durable default.
+    Always,
+    /// `fsync` every `n` records (and on explicit [`WalWriter::sync`]).
+    /// A crash can lose up to the last `n - 1` acknowledged batches.
+    EveryN(u32),
+    /// Never `fsync`; the OS flushes when it pleases. Fastest, weakest.
+    Never,
+}
+
+/// One valid WAL record.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The epoch the logged batch published.
+    pub epoch: u64,
+    /// The opaque batch payload.
+    pub payload: Bytes,
+}
+
+/// What [`read`] found in a WAL file.
+#[derive(Debug, Clone)]
+pub struct WalSummary {
+    /// Epoch of the checkpoint snapshot this WAL continues from
+    /// (`None` when the file header itself was torn).
+    pub parent_epoch: Option<u64>,
+    /// Number of valid records (the recovered prefix).
+    pub records: usize,
+    /// Byte length of the valid prefix (header + valid records) — the
+    /// offset a writer should truncate to before appending.
+    pub valid_bytes: u64,
+    /// Total file length in bytes.
+    pub total_bytes: u64,
+    /// Epochs of the first and last valid record.
+    pub epoch_range: Option<(u64, u64)>,
+    /// Why reading stopped before the end of the file, when it did.
+    pub tail_note: Option<String>,
+}
+
+/// Encodes one record frame + payload.
+fn encode_record(epoch: u64, payload: &[u8]) -> BytesMut {
+    let mut crc = Crc32::new();
+    crc.update(&epoch.to_le_bytes());
+    crc.update(payload);
+    let mut buf = BytesMut::with_capacity(FRAME_LEN + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u64_le(epoch);
+    buf.put_u32_le(crc.finish());
+    buf.put_slice(payload);
+    buf
+}
+
+/// Reads a WAL file, returning its longest valid record prefix.
+///
+/// Errors only when the file cannot be read at all or is recognizably
+/// *not* a WAL (wrong magic on a file long enough to carry one, or a
+/// future format version). Torn headers, torn records and bit-flipped
+/// records are not errors — they terminate the prefix, with the reason
+/// recorded in [`WalSummary::tail_note`].
+pub fn read(path: &Path) -> Result<(Vec<WalRecord>, WalSummary), StoreError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let total_bytes = raw.len() as u64;
+    let bytes: Bytes = raw.into();
+
+    if total_bytes < HEADER_LEN {
+        // A crash during WAL creation can leave a short stub; there is
+        // nothing it could contain.
+        return Ok((
+            Vec::new(),
+            WalSummary {
+                parent_epoch: None,
+                records: 0,
+                valid_bytes: 0,
+                total_bytes,
+                epoch_range: None,
+                tail_note: Some("torn file header".into()),
+            },
+        ));
+    }
+    let mut header = bytes.slice(0..HEADER_LEN as usize);
+    let magic = header.get_u32_le();
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic,
+            expected: MAGIC,
+        });
+    }
+    let version = header.get_u16_le();
+    if version != VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    let parent_epoch = header.get_u64_le();
+    let stored_crc = header.get_u32_le();
+    let computed = crate::crc::crc32(bytes.slice(0..HEADER_LEN as usize - 4).as_ref());
+    if stored_crc != computed {
+        // The lineage field decides whether acknowledged records replay;
+        // a rotted header must be a loud error, never a silent discard.
+        return Err(StoreError::CrcMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    let mut tail_note = None;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_LEN {
+            tail_note = Some(format!("torn frame ({remaining} trailing bytes)"));
+            break;
+        }
+        let mut frame = bytes.slice(offset..offset + FRAME_LEN);
+        let len = frame.get_u32_le() as usize;
+        let epoch = frame.get_u64_le();
+        let stored_crc = frame.get_u32_le();
+        if len > remaining - FRAME_LEN {
+            tail_note = Some(format!(
+                "torn record at offset {offset} (declares {len} payload bytes, {} remain)",
+                remaining - FRAME_LEN
+            ));
+            break;
+        }
+        let payload = bytes.slice(offset + FRAME_LEN..offset + FRAME_LEN + len);
+        let mut crc = Crc32::new();
+        crc.update(&epoch.to_le_bytes());
+        crc.update(payload.as_ref());
+        if crc.finish() != stored_crc {
+            tail_note = Some(format!("checksum mismatch at offset {offset}"));
+            break;
+        }
+        records.push(WalRecord { epoch, payload });
+        offset += FRAME_LEN + len;
+    }
+    let epoch_range = match (records.first(), records.last()) {
+        (Some(a), Some(b)) => Some((a.epoch, b.epoch)),
+        _ => None,
+    };
+    let summary = WalSummary {
+        parent_epoch: Some(parent_epoch),
+        records: records.len(),
+        valid_bytes: offset as u64,
+        total_bytes,
+        epoch_range,
+        tail_note,
+    };
+    Ok((records, summary))
+}
+
+/// An append handle over a WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    policy: SyncPolicy,
+    since_sync: u32,
+}
+
+impl WalWriter {
+    /// Creates (or truncates to empty) the WAL at `path` and writes the
+    /// file header — including the epoch of the checkpoint snapshot this
+    /// log continues from — synced.
+    pub fn create(
+        path: &Path,
+        parent_epoch: u64,
+        policy: SyncPolicy,
+    ) -> Result<WalWriter, StoreError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = BytesMut::with_capacity(HEADER_LEN as usize);
+        header.put_u32_le(MAGIC);
+        header.put_u16_le(VERSION);
+        header.put_u64_le(parent_epoch);
+        let body = header.freeze();
+        let mut full = BytesMut::with_capacity(HEADER_LEN as usize);
+        full.put_slice(body.as_ref());
+        full.put_u32_le(crate::crc::crc32(body.as_ref()));
+        file.write_all(full.freeze().as_ref())?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            policy,
+            since_sync: 0,
+        })
+    }
+
+    /// Opens an existing WAL for appending after recovery: truncates the
+    /// file to `valid_bytes` (discarding any torn tail so fresh appends
+    /// land on the valid prefix) and seeks to the end. When `valid_bytes`
+    /// is shorter than a file header — a torn stub — the file is
+    /// recreated. A clean WAL (no torn tail) opens without truncating or
+    /// fsyncing, keeping the no-crash reopen path free of write
+    /// amplification.
+    pub fn open_after_recovery(
+        path: &Path,
+        valid_bytes: u64,
+        parent_epoch: u64,
+        policy: SyncPolicy,
+    ) -> Result<WalWriter, StoreError> {
+        if valid_bytes < HEADER_LEN {
+            return WalWriter::create(path, parent_epoch, policy);
+        }
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        if file.metadata()?.len() != valid_bytes {
+            file.set_len(valid_bytes)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            policy,
+            since_sync: 0,
+        })
+    }
+
+    /// Appends one record and applies the [`SyncPolicy`]. The frame and
+    /// payload go down in a single `write_all`, narrowing (not closing —
+    /// that is what the CRC is for) the torn-write window.
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
+        let record = encode_record(epoch, payload);
+        self.file.write_all(record.freeze().as_ref())?;
+        match self.policy {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                self.since_sync += 1;
+                if self.since_sync >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces an `fsync` now, regardless of policy.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.since_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tq-store-wal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.tql")
+    }
+
+    fn write_three(path: &Path) {
+        let mut w = WalWriter::create(path, 9, SyncPolicy::Always).unwrap();
+        w.append(1, b"first batch").unwrap();
+        w.append(2, b"second").unwrap();
+        w.append(3, b"the third and final batch").unwrap();
+    }
+
+    #[test]
+    fn roundtrip_and_summary() {
+        let path = tmp("roundtrip");
+        write_three(&path);
+        let (records, summary) = read(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].payload.as_ref(), b"first batch");
+        assert_eq!(records[2].epoch, 3);
+        assert_eq!(summary.epoch_range, Some((1, 3)));
+        assert_eq!(summary.parent_epoch, Some(9));
+        assert_eq!(summary.valid_bytes, summary.total_bytes);
+        assert!(summary.tail_note.is_none());
+    }
+
+    #[test]
+    fn truncation_at_every_byte_recovers_a_record_prefix() {
+        let path = tmp("truncate");
+        write_three(&path);
+        let full = std::fs::read(&path).unwrap();
+        let boundaries: Vec<u64> = {
+            let (records, _) = read(&path).unwrap();
+            let mut acc = HEADER_LEN;
+            let mut b = vec![acc];
+            for r in &records {
+                acc += (FRAME_LEN + r.payload.len()) as u64;
+                b.push(acc);
+            }
+            b
+        };
+        let cut_path = path.with_extension("cut");
+        for cut in 0..=full.len() {
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            let (records, summary) = read(&cut_path).unwrap();
+            // The recovered prefix is exactly the records whose bytes are
+            // fully inside the cut.
+            let expect = if (cut as u64) < HEADER_LEN {
+                0
+            } else {
+                boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1
+            };
+            assert_eq!(records.len(), expect, "cut at {cut}");
+            assert!(summary.valid_bytes <= cut as u64);
+            if cut < full.len() {
+                assert!(summary.tail_note.is_some() || summary.valid_bytes == cut as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_cut_the_prefix_cleanly() {
+        let path = tmp("bitflip");
+        write_three(&path);
+        let full = std::fs::read(&path).unwrap();
+        let flip_path = path.with_extension("flip");
+        for byte in HEADER_LEN as usize..full.len() {
+            let mut bad = full.clone();
+            bad[byte] ^= 0x40;
+            std::fs::write(&flip_path, &bad).unwrap();
+            let (records, summary) = read(&flip_path).unwrap();
+            assert!(records.len() < 3, "flip at {byte} went unnoticed");
+            // Whatever survives is a prefix with intact payloads.
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.epoch, i as u64 + 1);
+            }
+            assert!(summary.tail_note.is_some());
+        }
+    }
+
+    #[test]
+    fn torn_stub_reads_as_empty() {
+        let path = tmp("stub");
+        std::fs::write(&path, b"TQ").unwrap();
+        let (records, summary) = read(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(summary.valid_bytes, 0);
+        assert!(summary.tail_note.is_some());
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"#!/bin/sh\necho not a wal\n").unwrap();
+        assert!(matches!(read(&path), Err(StoreError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn append_after_recovery_truncates_the_torn_tail() {
+        let path = tmp("reopen");
+        write_three(&path);
+        // Tear the last record.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (records, summary) = read(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        let mut w = WalWriter::open_after_recovery(
+            &path,
+            summary.valid_bytes,
+            9,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        w.append(7, b"after recovery").unwrap();
+        let (records, summary) = read(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].epoch, 7);
+        assert!(summary.tail_note.is_none());
+    }
+
+    #[test]
+    fn every_n_policy_counts(){
+        let path = tmp("everyn");
+        let mut w = WalWriter::create(&path, 0, SyncPolicy::EveryN(2)).unwrap();
+        for e in 0..5u64 {
+            w.append(e, b"x").unwrap();
+        }
+        w.sync().unwrap();
+        let (records, _) = read(&path).unwrap();
+        assert_eq!(records.len(), 5);
+    }
+}

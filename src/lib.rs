@@ -13,6 +13,10 @@
 //! * [`quadtree`] — the traditional point quadtree behind the baseline;
 //! * [`core`] — the [`Engine`](core::engine::Engine) layer, the TQ-tree,
 //!   service evaluation, top-k and coverage solvers;
+//! * [`store`] — durable engine state: checksummed snapshot files, the
+//!   update WAL with crash recovery, and the binary codec under both
+//!   (drive it through [`Engine::open`](core::engine::Engine::open) /
+//!   [`EngineBuilder::persist_to`](core::engine::EngineBuilder::persist_to));
 //! * [`baseline`] — the paper's BL / G-BL reference methods;
 //! * [`datagen`] — seeded NYT/NYF/BJG-like workload generators.
 //!
@@ -90,6 +94,7 @@ pub use tq_core as core;
 pub use tq_datagen as datagen;
 pub use tq_geometry as geometry;
 pub use tq_quadtree as quadtree;
+pub use tq_store as store;
 pub use tq_trajectory as trajectory;
 
 /// The most common imports in one place.
@@ -102,6 +107,7 @@ pub mod prelude {
         Algorithm, Answer, Backend, BackendKind, CacheStatus, Engine, EngineBuilder,
         EngineError, Explain, Index, Query, QueryResult, Reader, Snapshot,
     };
+    pub use tq_core::persist::{PersistStatus, StoreConfig, SyncPolicy};
     pub use tq_core::serve::{serve, ClientStats, ServeConfig, ServeReport, Workload};
     pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
     pub use tq_core::{

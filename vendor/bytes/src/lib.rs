@@ -105,9 +105,20 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         self.vec.into()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
     }
 }
 
@@ -121,6 +132,11 @@ pub trait Buf {
     /// # Panics
     /// Implementations panic when fewer than `N` bytes remain.
     fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
 
     /// Reads a little-endian `u16`.
     fn get_u16_le(&mut self) -> u16 {
@@ -162,6 +178,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
     /// Writes a little-endian `u16`.
     fn put_u16_le(&mut self, v: u16) {
         self.put_slice(&v.to_le_bytes());
@@ -196,15 +217,30 @@ mod tests {
     #[test]
     fn write_freeze_read_roundtrip() {
         let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xA5);
         w.put_u32_le(0xDEAD_BEEF);
         w.put_u16_le(7);
+        w.put_u64_le(u64::MAX - 1);
         w.put_f64_le(2.5);
         let mut r = w.freeze();
-        assert_eq!(r.remaining(), 14);
+        assert_eq!(r.remaining(), 23);
+        assert_eq!(r.get_u8(), 0xA5);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_u16_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
         assert_eq!(r.get_f64_le(), 2.5);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_bits_roundtrip_exactly() {
+        // The snapshot codec's bit-identity guarantee rides on these.
+        let mut w = BytesMut::with_capacity(16);
+        w.put_f64_le(-0.0);
+        w.put_f64_le(f64::from_bits(0x7FF8_0000_0000_1234));
+        let mut r = w.freeze();
+        assert_eq!(r.get_f64_le().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64_le().to_bits(), 0x7FF8_0000_0000_1234);
     }
 
     #[test]
