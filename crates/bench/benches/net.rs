@@ -1,0 +1,172 @@
+//! Network-serving bench: what a loopback TCP round-trip through `tqd`'s
+//! frame codec costs on top of an in-process snapshot query, and how
+//! aggregate throughput scales when several blocking clients share one
+//! daemon.
+//!
+//! Three sections on one seeded NYT-like dataset (all answers cache hits
+//! against the maintained full-facility table, so the wire — not
+//! evaluation — dominates):
+//!
+//! 1. **round-trip overhead** — in-process `snapshot.run()` qps versus
+//!    one networked client's qps, and the implied per-query wire cost
+//!    (frame encode, CRC both ways, two syscalls, frame decode).
+//! 2. **client scaling** — 1, 2 and 4 concurrent clients: the server is
+//!    thread-per-connection over lock-free snapshot reads, so aggregate
+//!    qps should not collapse as clients are added.
+//! 3. **apply path** — acked update batches per second through the
+//!    writer funnel, with the readers still hammering (the funnel
+//!    serializes writes; reads never queue behind them).
+//!
+//! The bench asserts *identity*, not speed ratios: every networked
+//! answer must be bit-identical to the in-process answer for the same
+//! epoch. Loopback latency on a shared CI box is too noisy to gate.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tq_core::dynamic::Update;
+use tq_core::engine::{Engine, Query};
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, TqTreeConfig};
+use tq_datagen::{presets, stream_scenario, StreamKind};
+use tq_net::{Client, Server, ServerConfig};
+
+const USERS: usize = 4_000;
+const ROUTES: usize = 64;
+const STOPS: usize = 12;
+const K: usize = 8;
+const BATCH: usize = 50;
+const N_BATCHES: usize = 400;
+/// Wall time per measured section.
+const DURATION: Duration = Duration::from_millis(1200);
+
+fn build_engine() -> (Engine, Vec<Vec<Update>>) {
+    let city = presets::ny_city();
+    let trace = stream_scenario(&city, StreamKind::Taxi, USERS, N_BATCHES * BATCH, 0.5, 0x9A5);
+    let facilities =
+        tq_datagen::bus_routes(&city, ROUTES, STOPS, presets::ROUTE_LENGTH, 0x9A5 ^ 0xB05);
+    let batches = trace.update_batches(BATCH);
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, presets::DEFAULT_PSI))
+        .users(trace.initial)
+        .facilities(facilities)
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(64))
+        .bounds(trace.bounds)
+        .build()
+        .expect("bench engine builds");
+    engine.warm();
+    (engine, batches)
+}
+
+/// One evaluation thread per query (see the qps bench): cache-hit serving
+/// traffic where the wire cost is visible.
+fn query() -> Query {
+    Query::top_k(K).threads(1)
+}
+
+/// Queries through one client until the deadline; returns (qps, answers).
+fn client_qps(addr: &str) -> f64 {
+    let mut client = Client::connect(addr).expect("bench client connects");
+    let mut answered = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < DURATION {
+        client.query(query()).expect("bench query succeeds");
+        answered += 1;
+    }
+    answered as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!(
+        "net bench: {USERS} trajectories, {ROUTES} routes × {STOPS} stops, \
+         top-{K} cache hits over loopback TCP\n"
+    );
+    let (engine, batches) = build_engine();
+
+    // -- in-process floor ---------------------------------------------------
+    let reader = engine.reader();
+    let snap = reader.snapshot();
+    let local_answer = snap.run(query()).expect("local query");
+    let mut answered = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < DURATION {
+        snap.run(query()).expect("local query");
+        answered += 1;
+    }
+    let local_qps = answered as f64 / start.elapsed().as_secs_f64();
+    println!("in-process snapshot.run():        {local_qps:>9.0} qps");
+
+    let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("ephemeral bind");
+    let addr = handle.addr().to_string();
+
+    // -- 1: single-client round-trip overhead -------------------------------
+    let mut probe = Client::connect(&addr).expect("probe connects");
+    let networked = probe.query(query()).expect("networked query");
+    assert_eq!(
+        networked
+            .ranked()
+            .iter()
+            .map(|(id, v)| (*id, v.to_bits()))
+            .collect::<Vec<_>>(),
+        local_answer
+            .ranked()
+            .iter()
+            .map(|(id, v)| (*id, v.to_bits()))
+            .collect::<Vec<_>>(),
+        "networked answer must be bit-identical to the in-process answer"
+    );
+    drop(probe);
+    let net_qps = client_qps(&addr);
+    let overhead_us = 1e6 / net_qps - 1e6 / local_qps;
+    println!(
+        "1 networked client:               {net_qps:>9.0} qps  \
+         (wire overhead ~{overhead_us:.1}µs per round-trip)"
+    );
+
+    // -- 2: client scaling --------------------------------------------------
+    for clients in [2usize, 4] {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                thread::spawn(move || client_qps(&addr))
+            })
+            .collect();
+        let total: f64 = workers.into_iter().map(|w| w.join().expect("client")).sum();
+        println!(
+            "{clients} networked clients:             {total:>9.0} qps aggregate  \
+             ({:.2}x vs 1 client)",
+            total / net_qps
+        );
+    }
+
+    // -- 3: apply path through the writer funnel ----------------------------
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || client_qps(&addr))
+        })
+        .collect();
+    let mut writer = Client::connect(&addr).expect("writer connects");
+    let mut applied = 0u64;
+    let start = Instant::now();
+    for batch in &batches {
+        if start.elapsed() >= DURATION {
+            break;
+        }
+        writer.apply(batch.clone()).expect("bench batches are valid");
+        applied += 1;
+    }
+    let bps = applied as f64 / start.elapsed().as_secs_f64();
+    for r in readers {
+        r.join().expect("reader");
+    }
+    println!(
+        "apply path (2 readers hammering): {bps:>9.0} acked batches/s \
+         ({applied} batches of {BATCH} events)"
+    );
+
+    assert_eq!(handle.panics(), 0, "server caught a handler panic");
+    let engine = handle.shutdown().expect("graceful shutdown");
+    assert!(engine.epoch() > 0);
+    println!("\ngraceful shutdown at epoch {}", engine.epoch());
+}

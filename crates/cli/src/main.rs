@@ -142,6 +142,7 @@ const STREAM: Command = Command {
     summary: "dynamic workload: batched arrivals/expiries, incremental answers",
     positional: "",
     flags: &[
+        Flag { name: "connect", meta: "HOST:PORT", default: "", help: "stream the batches to a tqd daemon instead of applying in-process (expiry ids refer to the daemon's dataset — seed it from the same generate flags)" },
         Flag { name: "wal", meta: "DIR", default: "", help: "persist the run: store directory for the snapshot + update WAL" },
         Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
         Flag { name: "users", meta: "N", default: "20000", help: "initial trajectory count" },
@@ -187,7 +188,37 @@ const SERVE: Command = Command {
     ],
 };
 
-const COMMANDS: [&Command; 10] = [
+const QUERY: Command = Command {
+    name: "query",
+    summary: "run one query against a tqd daemon",
+    positional: "",
+    flags: &[
+        Flag { name: "connect", meta: "HOST:PORT", default: "", help: "tqd address" },
+        Flag { name: "k", meta: "K", default: "8", help: "result count / subset size" },
+        Flag { name: "mode", meta: "topk|maxcov", default: "topk", help: "kMaxRRST ranking or MaxkCovRST subset" },
+        Flag { name: "method", meta: "greedy|two-step|genetic|exact", default: "two-step", help: "MaxkCovRST solver (maxcov mode)" },
+    ],
+};
+
+const STATUS: Command = Command {
+    name: "status",
+    summary: "report a tqd daemon's serving status",
+    positional: "",
+    flags: &[
+        Flag { name: "connect", meta: "HOST:PORT", default: "", help: "tqd address" },
+    ],
+};
+
+const SHUTDOWN: Command = Command {
+    name: "shutdown",
+    summary: "gracefully stop a tqd daemon (drain + final checkpoint)",
+    positional: "",
+    flags: &[
+        Flag { name: "connect", meta: "HOST:PORT", default: "", help: "tqd address" },
+    ],
+};
+
+const COMMANDS: [&Command; 13] = [
     &GENERATE,
     &IMPORT_TAXI,
     &STATS,
@@ -198,6 +229,9 @@ const COMMANDS: [&Command; 10] = [
     &INSPECT,
     &STREAM,
     &SERVE,
+    &QUERY,
+    &STATUS,
+    &SHUTDOWN,
 ];
 
 fn main() {
@@ -215,6 +249,9 @@ fn main() {
         "inspect" => cmd_inspect(rest),
         "stream" => cmd_stream(rest),
         "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
+        "status" => cmd_status(rest),
+        "shutdown" => cmd_shutdown(rest),
         "help" | "--help" | "-h" => {
             print!("{}", global_usage(&COMMANDS));
             Ok(())
@@ -602,6 +639,9 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
         facilities.len(),
     );
     let batches = scenario_trace.update_batches(batch);
+    if let Some(addr) = a.get("connect") {
+        return stream_remote(addr, &batches, k);
+    }
     let t = std::time::Instant::now();
     let mut builder = Engine::builder(model)
         .users(scenario_trace.initial)
@@ -694,6 +734,119 @@ fn cmd_stream(raw: Vec<String>) -> CliResult {
             .into());
         }
     }
+    Ok(())
+}
+
+/// The `stream --connect` path: ship each update batch to a tqd daemon as
+/// an `apply` frame and keep going past per-batch engine rejections (a
+/// rejected batch leaves the daemon's engine and WAL untouched).
+fn stream_remote(
+    addr: &str,
+    batches: &[Vec<tq_core::dynamic::Update>],
+    k: usize,
+) -> CliResult {
+    let mut client = tq_net::Client::connect(addr)?;
+    let info = client.info().clone();
+    println!(
+        "connected to {addr}: epoch {}, {} backend, {} live of {} trajectories, durable {}",
+        info.epoch, info.backend, info.live_users, info.users, info.durable
+    );
+    let (mut acked, mut rejected) = (0usize, 0usize);
+    for (i, updates) in batches.iter().enumerate() {
+        let t = std::time::Instant::now();
+        match client.apply(updates.clone()) {
+            Ok(ack) => {
+                acked += 1;
+                let out = ack.outcome.unwrap_or_default();
+                println!(
+                    "batch {:>3}: {:>4} events in {:>7.1}ms | epoch {:>4} | \
+                     {} inserted, {} removed | {} wal batches pending",
+                    i + 1,
+                    updates.len(),
+                    t.elapsed().as_secs_f64() * 1e3,
+                    ack.epoch,
+                    out.inserted.len(),
+                    out.removed,
+                    ack.wal_batches,
+                );
+            }
+            Err(tq_net::NetError::Remote(e)) => {
+                rejected += 1;
+                println!("batch {:>3}: rejected by the daemon ({e}); continuing", i + 1);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    println!("totals: {acked} batches acked, {rejected} rejected");
+    let answer = client.query(Query::top_k(k))?;
+    println!("kMaxRRST top-{k} at the daemon's epoch:");
+    for (rank, (id, value)) in answer.ranked().iter().enumerate() {
+        println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+    }
+    println!("explain: {}", answer.explain);
+    Ok(())
+}
+
+fn cmd_query(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&QUERY, raw)? else { return Ok(()) };
+    let addr = a.required("connect")?;
+    let k: usize = a.get_or("k", 8, "integer")?;
+    let mode = a.get("mode").unwrap_or("topk");
+    let mut client = tq_net::Client::connect(addr)?;
+    match mode {
+        "topk" => {
+            let answer = client.query(Query::top_k(k))?;
+            println!("kMaxRRST top-{k} from {addr}:");
+            for (rank, (id, value)) in answer.ranked().iter().enumerate() {
+                println!("  #{:<3} facility {:>5}   service {:>12.3}", rank + 1, id, value);
+            }
+            println!("explain: {}", answer.explain);
+        }
+        "maxcov" => {
+            let mut query = Query::max_cov(k);
+            query = match a.get("method").unwrap_or("two-step") {
+                "greedy" => query.algorithm(Algorithm::Greedy),
+                "two-step" => query.algorithm(Algorithm::TwoStep),
+                "genetic" => query.algorithm(Algorithm::Genetic),
+                "exact" => query.algorithm(Algorithm::Exact),
+                other => {
+                    return Err(
+                        format!("unknown method {other:?} (greedy|two-step|genetic|exact)").into(),
+                    )
+                }
+            };
+            let answer = client.query(query)?;
+            let out = answer.cover();
+            println!(
+                "MaxkCovRST k={k} from {addr}: combined service {:.3}, {} users served",
+                out.value, out.users_served
+            );
+            println!("  facilities: {:?}", out.chosen);
+            println!("explain: {}", answer.explain);
+        }
+        other => return Err(format!("unknown mode {other:?} (topk|maxcov)").into()),
+    }
+    Ok(())
+}
+
+fn cmd_status(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&STATUS, raw)? else { return Ok(()) };
+    let addr = a.required("connect")?;
+    let mut client = tq_net::Client::connect(addr)?;
+    println!("{}", client.status()?);
+    Ok(())
+}
+
+fn cmd_shutdown(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&SHUTDOWN, raw)? else { return Ok(()) };
+    let addr = a.required("connect")?;
+    let client = tq_net::Client::connect(addr)?;
+    let ack = client.shutdown_server()?;
+    println!(
+        "daemon at {addr} acknowledged shutdown at epoch {} ({} wal batches pending \
+         before the final checkpoint)",
+        ack.epoch, ack.wal_batches
+    );
     Ok(())
 }
 

@@ -140,7 +140,7 @@
 #![deny(missing_docs)]
 
 mod memo;
-mod session;
+pub(crate) mod session;
 mod snapshot;
 
 pub use memo::DEFAULT_SUBSET_TABLES;

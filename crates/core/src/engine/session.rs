@@ -46,7 +46,7 @@ pub enum Algorithm {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum QueryKind {
+pub(crate) enum QueryKind {
     TopK,
     MaxCov,
 }
@@ -64,14 +64,17 @@ enum QueryKind {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Query {
-    kind: QueryKind,
-    k: usize,
-    algorithm: Algorithm,
-    candidates: Option<Vec<FacilityId>>,
-    threads: Option<usize>,
-    seed: Option<u64>,
-    k_prime: Option<usize>,
-    node_budget: Option<usize>,
+    // Fields are crate-visible (not public) so the wire codec in
+    // [`crate::wire`] can transport queries while the builder methods stay
+    // the only outside way to construct one.
+    pub(crate) kind: QueryKind,
+    pub(crate) k: usize,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) candidates: Option<Vec<FacilityId>>,
+    pub(crate) threads: Option<usize>,
+    pub(crate) seed: Option<u64>,
+    pub(crate) k_prime: Option<usize>,
+    pub(crate) node_budget: Option<usize>,
 }
 
 impl Query {

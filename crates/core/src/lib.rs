@@ -64,6 +64,8 @@ pub mod serve;
 pub mod service;
 pub mod topk;
 pub mod tqtree;
+pub mod wire;
+pub mod writer;
 
 pub use baseline::BaselineIndex;
 pub use dynamic::{DynamicConfig, DynamicEngine, Update, UpdateError, UpdateStats};
@@ -84,3 +86,4 @@ pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
 pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};
 pub use topk::{top_k_facilities, TopKOutcome};
 pub use tqtree::{Placement, Storage, TqTree, TqTreeConfig};
+pub use writer::{BatchAck, CheckpointAck, WriterError, WriterHandle, WriterHub};

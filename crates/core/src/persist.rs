@@ -93,7 +93,7 @@ use tq_store::snapshot::{SnapshotMeta, BACKEND_BASELINE, BACKEND_TQTREE};
 use tq_store::store::Store;
 use tq_store::StoreError;
 pub use tq_store::{StoreConfig, SyncPolicy};
-use tq_trajectory::{FacilitySet, Trajectory, TrajectoryId, UserSet};
+use tq_trajectory::{FacilitySet, TrajectoryId, UserSet};
 
 /// The durable half an engine carries once persistence is attached.
 #[derive(Debug)]
@@ -158,36 +158,22 @@ fn scenario_of_tag(tag: u8) -> Result<Scenario, StoreError> {
 // ---------------------------------------------------------------------------
 
 /// Encodes one `Update` batch as a WAL record payload.
+///
+/// The layout is the length-prefixed [`Vec<Update>`] encoding from
+/// [`crate::wire`] (`u32` count, then tagged updates) — the WAL payload and
+/// the `tq-net` apply-request body are the same bytes by construction.
 pub(crate) fn encode_batch(updates: &[Update]) -> BytesMut {
     let mut buf = BytesMut::with_capacity(16 + updates.len() * 8);
     buf.put_u32_le(updates.len() as u32);
     for u in updates {
-        match u {
-            Update::Insert(t) => {
-                buf.put_u8(0);
-                t.encode(&mut buf);
-            }
-            Update::Remove(id) => {
-                buf.put_u8(1);
-                buf.put_u32_le(*id);
-            }
-        }
+        u.encode(&mut buf);
     }
     buf
 }
 
 /// Decodes a WAL record payload back into an `Update` batch.
 pub(crate) fn decode_batch(r: &mut Reader) -> Result<Vec<Update>, StoreError> {
-    let n = r.count(5)?;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(match r.u8()? {
-            0 => Update::Insert(Trajectory::decode(r)?),
-            1 => Update::Remove(r.u32()?),
-            other => return Err(corrupt(format!("update tag {other}"))),
-        });
-    }
-    Ok(out)
+    Vec::<Update>::decode(r)
 }
 
 // ---------------------------------------------------------------------------
@@ -658,6 +644,7 @@ pub(crate) fn attach_new_store(
 mod tests {
     use super::*;
     use tq_geometry::Point;
+    use tq_trajectory::Trajectory;
 
     #[test]
     fn batch_codec_roundtrip() {

@@ -1,0 +1,300 @@
+//! The single-writer funnel: own an [`Engine`] on a dedicated thread and
+//! expose a cloneable, thread-safe handle that serializes update batches
+//! and checkpoints through a channel.
+//!
+//! The engine's concurrency model is many lock-free readers (clone a
+//! [`Reader`](crate::engine::Reader) before spawning them) and **exactly
+//! one** writer. In-process drivers like [`crate::serve`] keep the writer
+//! on the calling thread; a daemon with many client connections needs the
+//! opposite shape — any connection may carry an update batch, but all of
+//! them must land on one thread. [`WriterHub::spawn`] is that shape:
+//!
+//! ```
+//! use tq_core::engine::{Engine, Query};
+//! use tq_core::dynamic::Update;
+//! use tq_core::service::{Scenario, ServiceModel};
+//! use tq_core::writer::WriterHub;
+//! use tq_geometry::{Point, Rect};
+//! use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+//!
+//! let p = |x: f64, y: f64| Point::new(x, y);
+//! let engine = Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+//!     .users(UserSet::from_vec(vec![
+//!         Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0)),
+//!     ]))
+//!     .facilities(FacilitySet::from_vec(vec![
+//!         Facility::new(vec![p(0.0, 1.0), p(10.0, 1.0)]),
+//!     ]))
+//!     .bounds(Rect::new(p(-50.0, -50.0), p(50.0, 50.0)))
+//!     .build()
+//!     .unwrap();
+//!
+//! let reader = engine.reader();          // lock-free read plane, any thread
+//! let hub = WriterHub::spawn(engine);    // engine moves to the writer thread
+//! let handle = hub.handle();             // Clone one per connection thread
+//!
+//! let ack = handle
+//!     .apply(vec![Update::Insert(Trajectory::two_point(p(1.0, 0.0), p(2.0, 0.0)))])
+//!     .unwrap();
+//! assert_eq!(ack.outcome.inserted, vec![1]);
+//! assert_eq!(reader.snapshot().epoch(), ack.epoch);
+//!
+//! let mut engine = hub.stop(false).unwrap(); // engine moves back to the caller
+//! assert_eq!(engine.live_users(), 2);
+//! # let _ = engine.run(Query::top_k(1)).unwrap();
+//! ```
+//!
+//! Readers are unaffected while a batch applies — they keep answering from
+//! the snapshot the writer last published. Requests block the *calling*
+//! thread until the writer acknowledges; batches from different handles
+//! are applied in channel order, and an acknowledged batch has already
+//! passed through the engine's WAL-before-publish path when the engine is
+//! durable.
+
+use crate::dynamic::{BatchOutcome, Update};
+use crate::engine::{Engine, EngineError};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+/// Acknowledgement of one applied batch: what it did and where it left the
+/// engine.
+#[derive(Debug, Clone)]
+pub struct BatchAck {
+    /// The epoch the batch published — readers observing this epoch (or a
+    /// later one) see the batch.
+    pub epoch: u64,
+    /// Per-batch work summary from [`Engine::apply`].
+    pub outcome: BatchOutcome,
+    /// WAL records pending since the last checkpoint (`0` for an in-memory
+    /// engine, and right after an auto-checkpoint).
+    pub wal_batches: u64,
+}
+
+/// Acknowledgement of an explicit checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointAck {
+    /// The epoch the snapshot captured.
+    pub epoch: u64,
+    /// The snapshot file written.
+    pub path: PathBuf,
+}
+
+/// Why a [`WriterHandle`] request failed.
+#[derive(Debug)]
+pub enum WriterError {
+    /// The engine rejected the request (the engine itself is fine; for
+    /// [`EngineError::CheckpointFailed`] the batch *is* applied and
+    /// durable — see [`Engine::apply`]).
+    Engine(EngineError),
+    /// The writer thread has stopped; no writer holds the engine anymore.
+    Stopped,
+}
+
+impl std::fmt::Display for WriterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriterError::Engine(e) => write!(f, "{e}"),
+            WriterError::Stopped => write!(f, "the writer thread has stopped"),
+        }
+    }
+}
+
+impl std::error::Error for WriterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WriterError::Engine(e) => Some(e),
+            WriterError::Stopped => None,
+        }
+    }
+}
+
+enum Msg {
+    Apply(Vec<Update>, SyncSender<Result<BatchAck, EngineError>>),
+    Checkpoint(SyncSender<Result<CheckpointAck, EngineError>>),
+    Stop { final_checkpoint: bool },
+}
+
+/// A cloneable, sendable handle that funnels requests to the writer
+/// thread. Each call blocks until the writer replies.
+#[derive(Clone)]
+pub struct WriterHandle {
+    tx: Sender<Msg>,
+}
+
+impl WriterHandle {
+    fn roundtrip<T>(
+        &self,
+        make: impl FnOnce(SyncSender<Result<T, EngineError>>) -> Msg,
+    ) -> Result<T, WriterError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx.send(make(reply_tx)).map_err(|_| WriterError::Stopped)?;
+        reply_rx
+            .recv()
+            .map_err(|_| WriterError::Stopped)?
+            .map_err(WriterError::Engine)
+    }
+
+    /// Applies one update batch through the single writer. All-or-nothing,
+    /// exactly as [`Engine::apply`]: a rejected batch leaves the engine (and
+    /// its WAL) untouched.
+    pub fn apply(&self, batch: Vec<Update>) -> Result<BatchAck, WriterError> {
+        self.roundtrip(|reply| Msg::Apply(batch, reply))
+    }
+
+    /// Takes an explicit checkpoint ([`Engine::checkpoint`]). Errors with
+    /// [`EngineError::NotDurable`] through [`WriterError::Engine`] when the
+    /// engine has no attached store.
+    pub fn checkpoint(&self) -> Result<CheckpointAck, WriterError> {
+        self.roundtrip(Msg::Checkpoint)
+    }
+}
+
+/// Owns the writer thread. Keep the hub where the engine's lifecycle is
+/// managed; pass [`WriterHandle`] clones to everything else.
+pub struct WriterHub {
+    tx: Sender<Msg>,
+    thread: JoinHandle<Result<Engine, EngineError>>,
+}
+
+impl WriterHub {
+    /// Moves `engine` to a dedicated writer thread and starts serving
+    /// requests. Clone a [`Reader`](crate::engine::Reader) (and
+    /// [`Engine::warm`], if wanted) *before* spawning — the hub gives the
+    /// engine back only on [`WriterHub::stop`].
+    pub fn spawn(engine: Engine) -> WriterHub {
+        let (tx, rx) = channel::<Msg>();
+        let thread = std::thread::spawn(move || {
+            let mut engine = engine;
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Apply(batch, reply) => {
+                        let ack = engine.apply(&batch).map(|outcome| BatchAck {
+                            epoch: engine.epoch(),
+                            outcome,
+                            wal_batches: engine
+                                .persistence()
+                                .map_or(0, |s| s.wal_batches as u64),
+                        });
+                        // A dropped requester is not a writer problem.
+                        let _ = reply.send(ack);
+                    }
+                    Msg::Checkpoint(reply) => {
+                        let ack = engine.checkpoint().map(|path| CheckpointAck {
+                            epoch: engine.epoch(),
+                            path,
+                        });
+                        let _ = reply.send(ack);
+                    }
+                    Msg::Stop { final_checkpoint } => {
+                        if final_checkpoint && engine.persistence().is_some() {
+                            engine.checkpoint()?;
+                        }
+                        break;
+                    }
+                }
+            }
+            // All senders gone without a Stop counts as an abort: no final
+            // checkpoint, the WAL already holds every acknowledged batch.
+            Ok(engine)
+        });
+        WriterHub { tx, thread }
+    }
+
+    /// A new funnel handle for another thread.
+    pub fn handle(&self) -> WriterHandle {
+        WriterHandle { tx: self.tx.clone() }
+    }
+
+    /// Stops the writer and returns the engine. With `final_checkpoint`
+    /// set, a durable engine writes one last snapshot first (a checkpoint
+    /// failure surfaces here — the WAL still holds every acknowledged
+    /// batch, so nothing is lost). Requests already queued ahead of the
+    /// stop are served first; handles that outlive the hub get
+    /// [`WriterError::Stopped`].
+    pub fn stop(self, final_checkpoint: bool) -> Result<Engine, EngineError> {
+        let _ = self.tx.send(Msg::Stop { final_checkpoint });
+        self.thread
+            .join()
+            .map_err(|_| EngineError::Persist("the writer thread panicked".into()))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Query;
+    use crate::service::{Scenario, ServiceModel};
+    use tq_geometry::{Point, Rect};
+    use tq_trajectory::{Facility, FacilitySet, Trajectory, UserSet};
+
+    fn small_engine() -> Engine {
+        let p = |x: f64, y: f64| Point::new(x, y);
+        Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+            .users(UserSet::from_vec(vec![
+                Trajectory::two_point(p(0.0, 0.0), p(10.0, 0.0)),
+                Trajectory::two_point(p(0.0, 5.0), p(10.0, 5.0)),
+            ]))
+            .facilities(FacilitySet::from_vec(vec![
+                Facility::new(vec![p(0.0, 1.0), p(10.0, 1.0)]),
+                Facility::new(vec![p(0.0, 4.0), p(10.0, 4.0)]),
+            ]))
+            .bounds(Rect::new(p(-100.0, -100.0), p(100.0, 100.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn concurrent_handles_serialize_batches() {
+        let engine = small_engine();
+        let reader = engine.reader();
+        let e0 = engine.epoch();
+        let hub = WriterHub::spawn(engine);
+        let p = |x: f64, y: f64| Point::new(x, y);
+
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let handle = hub.handle();
+                std::thread::spawn(move || {
+                    let y = 10.0 + i as f64;
+                    handle
+                        .apply(vec![Update::Insert(Trajectory::two_point(
+                            p(0.0, y),
+                            p(10.0, y),
+                        ))])
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut epochs: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap().epoch).collect();
+        epochs.sort_unstable();
+        // One publication per batch, strictly ordered: the funnel
+        // serialized four concurrent writers.
+        assert_eq!(epochs, (e0 + 1..=e0 + 4).collect::<Vec<_>>());
+        assert_eq!(reader.snapshot().epoch(), e0 + 4);
+        assert_eq!(reader.snapshot().live_users(), 6);
+
+        let engine = hub.stop(false).unwrap();
+        assert_eq!(engine.live_users(), 6);
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_engine_untouched() {
+        let engine = small_engine();
+        let e0 = engine.epoch();
+        let hub = WriterHub::spawn(engine);
+        let handle = hub.handle();
+        let err = handle.apply(vec![Update::Remove(999)]).unwrap_err();
+        assert!(matches!(err, WriterError::Engine(EngineError::Update(_))));
+        // Checkpoint on an in-memory engine is a typed refusal, not a panic.
+        assert!(matches!(
+            handle.checkpoint().unwrap_err(),
+            WriterError::Engine(EngineError::NotDurable)
+        ));
+        let mut engine = hub.stop(false).unwrap();
+        assert_eq!(engine.epoch(), e0);
+        assert_eq!(engine.live_users(), 2);
+        assert!(handle.apply(vec![]).is_err(), "handle outlived the hub");
+        let _ = engine.run(Query::top_k(1)).unwrap();
+    }
+}

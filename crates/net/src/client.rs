@@ -1,0 +1,190 @@
+//! The blocking client SDK: dial, handshake, then call methods that each
+//! map to one request/response frame pair.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Ack, Request, Response, ServerInfo, StatusReport};
+use crate::{NetError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use std::net::TcpStream;
+use std::time::Duration;
+use tq_core::dynamic::Update;
+use tq_core::engine::{Answer, Explain, Query};
+
+/// How [`Client::connect_with`] dials and frames.
+#[derive(Debug, Clone)]
+pub struct ConnectConfig {
+    /// Dial attempts before giving up (covers the race against a daemon
+    /// that is still binding its listener).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Frame body cap for *received* frames.
+    pub max_frame: usize,
+}
+
+impl Default for ConnectConfig {
+    fn default() -> Self {
+        ConnectConfig {
+            attempts: 10,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// A blocking connection to a `tqd` daemon.
+///
+/// One request/response pair is in flight at a time; clone nothing —
+/// open one client per thread (the server is happy to hold many
+/// connections). Dropping the client closes the connection; the daemon
+/// keeps running.
+pub struct Client {
+    stream: TcpStream,
+    addr: String,
+    config: ConnectConfig,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Dials `addr` with [`ConnectConfig::default`] and handshakes.
+    pub fn connect(addr: &str) -> Result<Client, NetError> {
+        Client::connect_with(addr, ConnectConfig::default())
+    }
+
+    /// Dials `addr`, retrying with exponential backoff, then handshakes.
+    /// The handshake refuses a server speaking a different
+    /// [`PROTOCOL_VERSION`] (surfaced as [`NetError::Remote`] with code
+    /// [`crate::ErrorCode::VersionMismatch`]).
+    pub fn connect_with(addr: &str, config: ConnectConfig) -> Result<Client, NetError> {
+        let mut stream = dial(addr, &config)?;
+        let info = handshake(&mut stream, config.max_frame)?;
+        Ok(Client {
+            stream,
+            addr: addr.to_string(),
+            config,
+            info,
+        })
+    }
+
+    /// Drops the current socket and re-dials the same address with the
+    /// same backoff schedule, handshaking anew. State on the server is
+    /// per-request, so a reconnected client continues where it left off.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let mut stream = dial(&self.addr, &self.config)?;
+        self.info = handshake(&mut stream, self.config.max_frame)?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// What the server reported at handshake time.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Runs a query on the daemon's latest published snapshot.
+    pub fn query(&mut self, query: Query) -> Result<Answer, NetError> {
+        match self.call(Request::Query(query))? {
+            Response::Answer(a) => Ok(*a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a query and returns its explain record.
+    pub fn explain(&mut self, query: Query) -> Result<Explain, NetError> {
+        match self.call(Request::Explain(query))? {
+            Response::Answer(a) => Ok(a.explain),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Applies one update batch through the daemon's single writer. The
+    /// returned ack means the batch is published — and, on a durable
+    /// daemon, already in the WAL.
+    pub fn apply(&mut self, batch: Vec<Update>) -> Result<Ack, NetError> {
+        match self.call(Request::Apply(batch))? {
+            Response::Ack(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to checkpoint now.
+    pub fn checkpoint(&mut self) -> Result<Ack, NetError> {
+        match self.call(Request::Checkpoint)? {
+            Response::Ack(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a serving status report.
+    pub fn status(&mut self) -> Result<StatusReport, NetError> {
+        match self.call(Request::Status)? {
+            Response::Status(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully (drain connections, final
+    /// checkpoint). Consumes the client — the connection is useless after
+    /// the ack.
+    pub fn shutdown_server(mut self) -> Result<Ack, NetError> {
+        match self.call(Request::Shutdown)? {
+            Response::Ack(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One request/response round trip. A typed error frame becomes
+    /// [`NetError::Remote`].
+    pub fn call(&mut self, request: Request) -> Result<Response, NetError> {
+        let (kind, body) = request.to_frame();
+        write_frame(&mut self.stream, kind, body.as_ref())?;
+        let (kind, body) = read_frame(&mut self.stream, self.config.max_frame)?;
+        match Response::from_frame(kind, body)? {
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Ok(other),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> NetError {
+    NetError::Unexpected {
+        kind: resp.to_frame().0,
+    }
+}
+
+fn handshake(stream: &mut TcpStream, max_frame: usize) -> Result<ServerInfo, NetError> {
+    let (kind, body) = Request::Hello {
+        version: PROTOCOL_VERSION,
+    }
+    .to_frame();
+    write_frame(stream, kind, body.as_ref())?;
+    let (kind, body) = read_frame(stream, max_frame)?;
+    match Response::from_frame(kind, body)? {
+        Response::Hello(info) => Ok(info),
+        Response::Error(e) => Err(NetError::Remote(e)),
+        other => Err(unexpected(&other)),
+    }
+}
+
+fn dial(addr: &str, config: &ConnectConfig) -> Result<TcpStream, NetError> {
+    let mut backoff = config.initial_backoff;
+    let mut last_err = None;
+    for attempt in 0..config.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(config.max_backoff);
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(NetError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::other("no dial attempts configured")
+    })))
+}

@@ -1,0 +1,288 @@
+//! The transport envelope: length-framed, CRC-guarded frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! ┌──────────┬──────┬──────────┬───────────────┬──────────┐
+//! │ magic    │ kind │ len      │ body          │ crc      │
+//! │ u32 LE   │ u8   │ u32 LE   │ len bytes     │ u32 LE   │
+//! │ "TQN1"   │      │          │               │          │
+//! └──────────┴──────┴──────────┴───────────────┴──────────┘
+//!              └──────── crc32 covers this ────┘
+//! ```
+//!
+//! The magic pins the stream to this protocol (a stray HTTP request dies
+//! on byte 0); the CRC covers kind, length and body so a bit flip
+//! anywhere after the magic is detected before the body is decoded. The
+//! length is validated against a cap *before* any allocation, so a
+//! hostile prefix cannot make the reader balloon.
+
+use crate::NetError;
+use bytes::{Bytes, BytesMut, BufMut};
+use std::io::{ErrorKind, Read, Write};
+use tq_store::crc::{crc32, Crc32};
+use tq_store::StoreError;
+
+/// The stream magic, `b"TQN1"` read little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"TQN1");
+
+/// Bytes before the body: magic (4) + kind (1) + len (4).
+pub const HEADER_LEN: usize = 9;
+
+/// Bytes after the body: the CRC.
+pub const TRAILER_LEN: usize = 4;
+
+/// Assembles one complete frame around `body`.
+pub fn frame(kind: u8, body: &[u8]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    // The unsuffixed accessors are the vendored shim's little-endian
+    // aliases — see vendor/README.md before swapping in crates.io `bytes`.
+    buf.put_u32(MAGIC);
+    buf.put_u8(kind);
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(body);
+    let crc = crc32(&buf.as_ref()[4..]);
+    buf.put_u32(crc);
+    buf
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame(w: &mut impl Write, kind: u8, body: &[u8]) -> Result<(), NetError> {
+    w.write_all(frame(kind, body).as_ref())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// The frame kind byte (see [`crate::proto`]).
+    pub kind: u8,
+    /// The body length the prefix claims.
+    pub len: u32,
+}
+
+/// Validates the 9 header bytes: magic, then length against `max_frame`.
+pub fn parse_header(raw: &[u8; HEADER_LEN], max_frame: usize) -> Result<Header, NetError> {
+    let magic = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
+    if magic != MAGIC {
+        return Err(NetError::Codec(StoreError::BadMagic {
+            found: magic,
+            expected: MAGIC,
+        }));
+    }
+    let kind = raw[4];
+    let len = u32::from_le_bytes([raw[5], raw[6], raw[7], raw[8]]);
+    if len as u64 > max_frame as u64 {
+        return Err(NetError::FrameTooLarge {
+            len: len as u64,
+            max: max_frame,
+        });
+    }
+    Ok(Header { kind, len })
+}
+
+/// Checks the trailer CRC against the received kind, length and body.
+pub fn verify_crc(header: Header, body: &[u8], stored: u32) -> Result<(), NetError> {
+    let mut crc = Crc32::new();
+    crc.update(&[header.kind]);
+    crc.update(&header.len.to_le_bytes());
+    crc.update(body);
+    let computed = crc.finish();
+    if computed != stored {
+        return Err(NetError::Codec(StoreError::CrcMismatch { stored, computed }));
+    }
+    Ok(())
+}
+
+/// What one read attempt produced.
+#[derive(Debug)]
+pub enum Polled {
+    /// A complete, CRC-verified frame.
+    Frame {
+        /// The frame kind byte.
+        kind: u8,
+        /// The frame body.
+        body: Bytes,
+    },
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// `stop()` turned true before a full frame arrived.
+    Stopped,
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating `WouldBlock`/`TimedOut`
+/// (socket read timeouts) and `Interrupted`, and polling `stop` between
+/// attempts. Returns how many bytes landed before EOF or a stop.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stop: &impl Fn() -> bool,
+) -> Result<(usize, bool), NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop() {
+            return Ok((filled, true));
+        }
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok((filled, false)),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok((filled, false))
+}
+
+/// Reads one frame, checking `stop` between socket reads (pair with a
+/// socket read timeout so a quiet connection still polls the flag).
+///
+/// EOF at a frame boundary is [`Polled::Closed`]; EOF mid-frame is a
+/// [`StoreError::Truncated`] codec error. The body is allocated only
+/// after the length prefix passes the `max_frame` check.
+pub fn read_frame_interruptible(
+    r: &mut impl Read,
+    max_frame: usize,
+    stop: impl Fn() -> bool,
+) -> Result<Polled, NetError> {
+    let mut raw = [0u8; HEADER_LEN];
+    let (filled, stopped) = read_full(r, &mut raw, &stop)?;
+    if stopped {
+        return Ok(Polled::Stopped);
+    }
+    if filled == 0 {
+        return Ok(Polled::Closed);
+    }
+    if filled < HEADER_LEN {
+        return Err(NetError::Codec(StoreError::Truncated));
+    }
+    let header = parse_header(&raw, max_frame)?;
+
+    let mut rest = vec![0u8; header.len as usize + TRAILER_LEN];
+    let (filled, stopped) = read_full(r, &mut rest, &stop)?;
+    if stopped {
+        return Ok(Polled::Stopped);
+    }
+    if filled < rest.len() {
+        return Err(NetError::Codec(StoreError::Truncated));
+    }
+    let crc_at = header.len as usize;
+    let stored = u32::from_le_bytes([
+        rest[crc_at],
+        rest[crc_at + 1],
+        rest[crc_at + 2],
+        rest[crc_at + 3],
+    ]);
+    rest.truncate(crc_at);
+    verify_crc(header, &rest, stored)?;
+    Ok(Polled::Frame {
+        kind: header.kind,
+        body: Bytes::from(rest),
+    })
+}
+
+/// Reads one frame, blocking until it arrives. EOF at a frame boundary is
+/// [`NetError::Closed`]; EOF mid-frame is a truncation codec error.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<(u8, Bytes), NetError> {
+    match read_frame_interruptible(r, max_frame, || false)? {
+        Polled::Frame { kind, body } => Ok((kind, body)),
+        Polled::Closed => Err(NetError::Closed),
+        Polled::Stopped => unreachable!("stop closure is constant false"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let body = b"maximum trajectory coverage".as_slice();
+        let wire = frame(0x42, body);
+        let (kind, got) = read_frame(&mut Cursor::new(wire.as_ref()), 1 << 20).unwrap();
+        assert_eq!(kind, 0x42);
+        assert_eq!(got.as_ref(), body);
+    }
+
+    #[test]
+    fn zero_length_bodies_are_legal_frames() {
+        let wire = frame(0x05, &[]);
+        assert_eq!(wire.len(), HEADER_LEN + TRAILER_LEN);
+        let (kind, body) = read_frame(&mut Cursor::new(wire.as_ref()), 1 << 20).unwrap();
+        assert_eq!(kind, 0x05);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        // Claim a 4 GiB body. If the reader allocated eagerly this test
+        // would OOM; instead the header check refuses it outright.
+        let mut wire = frame(0x02, b"xx").as_ref().to_vec();
+        wire[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&wire[..]), 1 << 20).unwrap_err();
+        match err {
+            NetError::FrameTooLarge { len, max } => {
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(max, 1 << 20);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_on_byte_zero() {
+        let mut wire = frame(0x02, b"hello").as_ref().to_vec();
+        wire[0] ^= 0xFF;
+        let err = read_frame(&mut Cursor::new(&wire[..]), 1 << 20).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Codec(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn any_single_bit_flip_after_the_magic_is_detected() {
+        let wire = frame(0x03, b"coverage").as_ref().to_vec();
+        for byte in 4..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.clone();
+                bad[byte] ^= 1 << bit;
+                let out = read_frame(&mut Cursor::new(&bad[..]), 1 << 20);
+                assert!(
+                    out.is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_detected() {
+        let wire = frame(0x02, b"partial frames must not parse").as_ref().to_vec();
+        for cut in 0..wire.len() {
+            let out = read_frame(&mut Cursor::new(&wire[..cut]), 1 << 20);
+            match out {
+                Err(NetError::Closed) => assert_eq!(cut, 0, "Closed only at the boundary"),
+                Err(_) => {}
+                Ok(_) => panic!("prefix of {cut} bytes parsed as a frame"),
+            }
+        }
+    }
+
+    #[test]
+    fn interruptible_reads_honor_the_stop_flag() {
+        struct NeverReady;
+        impl Read for NeverReady {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "poll"))
+            }
+        }
+        let polled = read_frame_interruptible(&mut NeverReady, 1 << 20, || true).unwrap();
+        assert!(matches!(polled, Polled::Stopped));
+    }
+}

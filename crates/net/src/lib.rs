@@ -1,0 +1,114 @@
+//! Networked serving for durable TQ-tree engines: the wire protocol, the
+//! blocking client SDK and the threaded TCP server behind the `tqd`
+//! daemon.
+//!
+//! The crate is three layers over one invariant:
+//!
+//! * **[`frame`]** — the transport envelope. Every message travels as one
+//!   length-framed, CRC-guarded frame (`magic | kind | len | body | crc`);
+//!   a reader can always tell a truncated or bit-flipped frame from a
+//!   valid one before it touches the body.
+//! * **[`proto`]** — the message vocabulary. [`proto::Request`] and
+//!   [`proto::Response`] map frame kinds onto the `tq-core` wire codec
+//!   ([`tq_core::wire`]): queries, answers and update batches cross the
+//!   network as exactly the bytes the WAL and snapshot files already use.
+//! * **[`client`] / [`server`]** — the endpoints. [`Client`] is a
+//!   blocking, reconnect-with-backoff SDK; [`Server`] runs one thread per
+//!   connection, each holding a lock-free
+//!   [`Reader`](tq_core::engine::Reader) for queries while every update
+//!   batch funnels through the engine's single writer
+//!   ([`tq_core::writer::WriterHub`]).
+//!
+//! The invariant: a networked answer is **bit-identical** to the answer an
+//! in-process [`Engine`](tq_core::engine::Engine) at the same epoch
+//! returns, and an acknowledged update batch is as durable as an
+//! in-process [`Engine::apply`](tq_core::engine::Engine::apply) — the WAL
+//! record is on disk before the ack frame is on the wire.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ConnectConfig};
+pub use proto::{Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, StatusReport};
+pub use server::{Server, ServerConfig, ServerHandle};
+
+use tq_store::StoreError;
+
+/// The protocol revision this build speaks. The handshake refuses any
+/// other value — bump it whenever a frame body's byte layout changes.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default cap on a frame's body length (32 MiB). A hostile or corrupt
+/// length prefix above the cap is rejected *before* any allocation.
+pub const DEFAULT_MAX_FRAME: usize = 32 << 20;
+
+/// Why a network operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The socket failed (connect, read or write).
+    Io(std::io::Error),
+    /// The peer's bytes don't decode: bad magic, CRC mismatch, truncated
+    /// frame, or a body the codec rejects.
+    Codec(StoreError),
+    /// The length prefix exceeds the configured cap; the frame was
+    /// rejected without allocating.
+    FrameTooLarge {
+        /// The length the prefix claimed.
+        len: u64,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The peer sent a well-formed frame of a kind that makes no sense
+    /// here (e.g. a request arriving at a client).
+    Unexpected {
+        /// The offending frame kind byte.
+        kind: u8,
+    },
+    /// The server answered with a typed error frame.
+    Remote(ErrorFrame),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Codec(e) => write!(f, "wire codec error: {e}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::Unexpected { kind } => {
+                write!(f, "unexpected frame kind {kind:#04x}")
+            }
+            NetError::Remote(e) => write!(f, "server error: {e}"),
+            NetError::Closed => write!(f, "the peer closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<StoreError> for NetError {
+    fn from(e: StoreError) -> Self {
+        NetError::Codec(e)
+    }
+}

@@ -1,0 +1,591 @@
+//! The message vocabulary: what the frame kinds mean and how each body is
+//! encoded.
+//!
+//! Bodies reuse the `tq-core` wire codec ([`tq_core::wire`]) wholesale —
+//! a [`Query`], an [`Answer`] or a `Vec<Update>` crosses the network as
+//! exactly the bytes the snapshot and WAL files already use, so there is
+//! one byte layout to fuzz, not three. Every decode ends with
+//! [`Reader::finish`]: trailing garbage after a well-formed body is a
+//! protocol error, not padding.
+//!
+//! Frame kinds (requests have the high bit clear, responses set):
+//!
+//! | kind   | body                      | meaning                          |
+//! |--------|---------------------------|----------------------------------|
+//! | `0x01` | `u16` version             | handshake hello                  |
+//! | `0x02` | [`Query`]                 | run a query                      |
+//! | `0x03` | [`Query`]                 | run a query (explain emphasis)   |
+//! | `0x04` | `Vec<Update>`             | apply one update batch           |
+//! | `0x05` | empty                     | checkpoint now                   |
+//! | `0x06` | empty                     | status report                    |
+//! | `0x07` | empty                     | graceful daemon shutdown         |
+//! | `0x81` | [`ServerInfo`]            | handshake accepted               |
+//! | `0x82` | [`Answer`]                | query answer + explain           |
+//! | `0x83` | [`Ack`]                   | batch / checkpoint / shutdown ack|
+//! | `0x84` | [`StatusReport`]          | status report                    |
+//! | `0x85` | [`ErrorFrame`]            | typed error                      |
+
+use crate::NetError;
+use bytes::{BufMut, Bytes, BytesMut};
+use tq_core::dynamic::{BatchOutcome, Update};
+use tq_core::engine::{Answer, BackendKind, Query};
+use tq_store::{Decode, Encode, Reader};
+use tq_store::StoreError;
+
+/// Frame kind bytes for requests.
+pub mod kind {
+    /// Handshake hello (client → server, first frame on a connection).
+    pub const HELLO: u8 = 0x01;
+    /// Run a query.
+    pub const QUERY: u8 = 0x02;
+    /// Run a query, asked for its explain record.
+    pub const EXPLAIN: u8 = 0x03;
+    /// Apply one update batch through the single writer.
+    pub const APPLY: u8 = 0x04;
+    /// Take an explicit checkpoint.
+    pub const CHECKPOINT: u8 = 0x05;
+    /// Report serving status.
+    pub const STATUS: u8 = 0x06;
+    /// Gracefully shut the daemon down.
+    pub const SHUTDOWN: u8 = 0x07;
+    /// Handshake accepted (server → client).
+    pub const S_HELLO: u8 = 0x81;
+    /// A query answer.
+    pub const S_ANSWER: u8 = 0x82;
+    /// A batch, checkpoint or shutdown acknowledgement.
+    pub const S_ACK: u8 = 0x83;
+    /// A status report.
+    pub const S_STATUS: u8 = 0x84;
+    /// A typed error.
+    pub const S_ERROR: u8 = 0x85;
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// The handshake: must be the first frame on every connection.
+    Hello {
+        /// The protocol revision the client speaks.
+        version: u16,
+    },
+    /// Run a query against the latest published snapshot.
+    Query(Query),
+    /// Same as [`Request::Query`]; spelled separately so traffic captures
+    /// show intent (the client's `explain` call).
+    Explain(Query),
+    /// Apply one update batch. The body bytes are identical to the WAL
+    /// record payload for the same batch.
+    Apply(Vec<Update>),
+    /// Snapshot the engine to disk now.
+    Checkpoint,
+    /// Report serving status.
+    Status,
+    /// Drain connections, take a final checkpoint, exit.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Handshake accepted.
+    Hello(ServerInfo),
+    /// The answer (with its explain record) to a query.
+    Answer(Box<Answer>),
+    /// Acknowledgement of an apply, checkpoint or shutdown.
+    Ack(Ack),
+    /// The status report.
+    Status(StatusReport),
+    /// A typed error. The connection may stay open (engine errors) or
+    /// close right after (protocol errors).
+    Error(ErrorFrame),
+}
+
+/// What the server tells a client at handshake time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerInfo {
+    /// The protocol revision the server speaks.
+    pub version: u16,
+    /// The epoch of the latest published snapshot.
+    pub epoch: u64,
+    /// The index backend serving queries.
+    pub backend: BackendKind,
+    /// Total user trajectories (including tombstones).
+    pub users: u64,
+    /// Live user trajectories.
+    pub live_users: u64,
+    /// Candidate facilities.
+    pub facilities: u64,
+    /// Whether the engine persists to a store (WAL + snapshots).
+    pub durable: bool,
+}
+
+impl Encode for ServerInfo {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.version);
+        buf.put_u64_le(self.epoch);
+        self.backend.encode(buf);
+        buf.put_u64_le(self.users);
+        buf.put_u64_le(self.live_users);
+        buf.put_u64_le(self.facilities);
+        buf.put_u8(self.durable as u8);
+    }
+}
+
+impl Decode for ServerInfo {
+    const MIN_SIZE: usize = 2 + 8 + 1 + 8 + 8 + 8 + 1;
+
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        Ok(ServerInfo {
+            version: r.u16()?,
+            epoch: r.u64()?,
+            backend: BackendKind::decode(r)?,
+            users: r.u64()?,
+            live_users: r.u64()?,
+            facilities: r.u64()?,
+            durable: decode_bool(r)?,
+        })
+    }
+}
+
+/// Acknowledgement of an apply, checkpoint or shutdown request.
+#[derive(Debug, Clone)]
+pub struct Ack {
+    /// The engine epoch after the request.
+    pub epoch: u64,
+    /// For applies, what the batch did; absent on checkpoint/shutdown.
+    pub outcome: Option<BatchOutcome>,
+    /// WAL batches pending since the last checkpoint.
+    pub wal_batches: u64,
+}
+
+impl Encode for Ack {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.epoch);
+        self.outcome.encode(buf);
+        buf.put_u64_le(self.wal_batches);
+    }
+}
+
+impl Decode for Ack {
+    const MIN_SIZE: usize = 8 + 1 + 8;
+
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        Ok(Ack {
+            epoch: r.u64()?,
+            outcome: Option::<BatchOutcome>::decode(r)?,
+            wal_batches: r.u64()?,
+        })
+    }
+}
+
+/// A serving status report (`tq status --connect`).
+#[derive(Debug, Clone)]
+pub struct StatusReport {
+    /// Everything the handshake reports, at report time.
+    pub info: ServerInfo,
+    /// Connections currently open (including the one asking).
+    pub connections: u64,
+    /// Queries answered since the daemon started.
+    pub queries_served: u64,
+    /// Update batches applied since the daemon started.
+    pub batches_applied: u64,
+    /// WAL batches pending since the last checkpoint (as of the most
+    /// recent apply or checkpoint).
+    pub wal_batches: u64,
+}
+
+impl Encode for StatusReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.info.encode(buf);
+        buf.put_u64_le(self.connections);
+        buf.put_u64_le(self.queries_served);
+        buf.put_u64_le(self.batches_applied);
+        buf.put_u64_le(self.wal_batches);
+    }
+}
+
+impl Decode for StatusReport {
+    const MIN_SIZE: usize = ServerInfo::MIN_SIZE + 32;
+
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        Ok(StatusReport {
+            info: ServerInfo::decode(r)?,
+            connections: r.u64()?,
+            queries_served: r.u64()?,
+            batches_applied: r.u64()?,
+            wal_batches: r.u64()?,
+        })
+    }
+}
+
+impl std::fmt::Display for StatusReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "epoch {} | backend {} | protocol v{}",
+            self.info.epoch, self.info.backend, self.info.version
+        )?;
+        writeln!(
+            f,
+            "users {} ({} live) | facilities {} | durable {}",
+            self.info.users, self.info.live_users, self.info.facilities, self.info.durable
+        )?;
+        write!(
+            f,
+            "connections {} | queries {} | batches {} | wal pending {}",
+            self.connections, self.queries_served, self.batches_applied, self.wal_batches
+        )
+    }
+}
+
+/// What class of failure an [`ErrorFrame`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame or body was malformed; the server closes the connection
+    /// after sending this.
+    Protocol,
+    /// The handshake offered a protocol revision the server does not
+    /// speak; the connection closes.
+    VersionMismatch,
+    /// The engine rejected a well-formed request (unknown candidate,
+    /// k = 0, update validation, checkpoint on a non-durable engine, …);
+    /// the connection stays open.
+    Engine,
+    /// A well-formed request the server cannot serve here.
+    Unsupported,
+    /// The daemon is draining connections for shutdown.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::VersionMismatch => 2,
+            ErrorCode::Engine => 3,
+            ErrorCode::Unsupported => 4,
+            ErrorCode::ShuttingDown => 5,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self, StoreError> {
+        Ok(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::VersionMismatch,
+            3 => ErrorCode::Engine,
+            4 => ErrorCode::Unsupported,
+            5 => ErrorCode::ShuttingDown,
+            other => return Err(StoreError::Corrupt(format!("error code {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::Engine => "engine",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A typed error the server sends instead of an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// A human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ErrorFrame {}
+
+impl Encode for ErrorFrame {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.code.to_u16());
+        self.message.encode(buf);
+    }
+}
+
+impl Decode for ErrorFrame {
+    const MIN_SIZE: usize = 2 + 4;
+
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        Ok(ErrorFrame {
+            code: ErrorCode::from_u16(r.u16()?)?,
+            message: String::decode(r)?,
+        })
+    }
+}
+
+fn decode_bool(r: &mut Reader) -> Result<bool, StoreError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(StoreError::Corrupt(format!("bool byte {other}"))),
+    }
+}
+
+fn decode_body<T: Decode>(body: Bytes) -> Result<T, NetError> {
+    let mut r = Reader::new(body);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+impl Request {
+    /// Encodes to the frame kind byte and body.
+    pub fn to_frame(&self) -> (u8, BytesMut) {
+        let mut buf = BytesMut::new();
+        let kind = match self {
+            Request::Hello { version } => {
+                buf.put_u16_le(*version);
+                kind::HELLO
+            }
+            Request::Query(q) => {
+                q.encode(&mut buf);
+                kind::QUERY
+            }
+            Request::Explain(q) => {
+                q.encode(&mut buf);
+                kind::EXPLAIN
+            }
+            Request::Apply(batch) => {
+                batch.encode(&mut buf);
+                kind::APPLY
+            }
+            Request::Checkpoint => kind::CHECKPOINT,
+            Request::Status => kind::STATUS,
+            Request::Shutdown => kind::SHUTDOWN,
+        };
+        (kind, buf)
+    }
+
+    /// Decodes a frame. Unknown kinds are [`NetError::Unexpected`];
+    /// trailing bytes after a well-formed body are a codec error.
+    pub fn from_frame(kind: u8, body: Bytes) -> Result<Request, NetError> {
+        Ok(match kind {
+            kind::HELLO => Request::Hello {
+                version: decode_body::<WireU16>(body)?.0,
+            },
+            kind::QUERY => Request::Query(decode_body(body)?),
+            kind::EXPLAIN => Request::Explain(decode_body(body)?),
+            kind::APPLY => Request::Apply(decode_body(body)?),
+            kind::CHECKPOINT => {
+                expect_empty(&body)?;
+                Request::Checkpoint
+            }
+            kind::STATUS => {
+                expect_empty(&body)?;
+                Request::Status
+            }
+            kind::SHUTDOWN => {
+                expect_empty(&body)?;
+                Request::Shutdown
+            }
+            other => return Err(NetError::Unexpected { kind: other }),
+        })
+    }
+}
+
+impl Response {
+    /// Encodes to the frame kind byte and body.
+    pub fn to_frame(&self) -> (u8, BytesMut) {
+        let mut buf = BytesMut::new();
+        let kind = match self {
+            Response::Hello(info) => {
+                info.encode(&mut buf);
+                kind::S_HELLO
+            }
+            Response::Answer(a) => {
+                a.encode(&mut buf);
+                kind::S_ANSWER
+            }
+            Response::Ack(a) => {
+                a.encode(&mut buf);
+                kind::S_ACK
+            }
+            Response::Status(s) => {
+                s.encode(&mut buf);
+                kind::S_STATUS
+            }
+            Response::Error(e) => {
+                e.encode(&mut buf);
+                kind::S_ERROR
+            }
+        };
+        (kind, buf)
+    }
+
+    /// Decodes a frame. Unknown kinds are [`NetError::Unexpected`].
+    pub fn from_frame(kind: u8, body: Bytes) -> Result<Response, NetError> {
+        Ok(match kind {
+            kind::S_HELLO => Response::Hello(decode_body(body)?),
+            kind::S_ANSWER => Response::Answer(Box::new(decode_body(body)?)),
+            kind::S_ACK => Response::Ack(decode_body(body)?),
+            kind::S_STATUS => Response::Status(decode_body(body)?),
+            kind::S_ERROR => Response::Error(decode_body(body)?),
+            other => return Err(NetError::Unexpected { kind: other }),
+        })
+    }
+}
+
+fn expect_empty(body: &Bytes) -> Result<(), NetError> {
+    if body.is_empty() {
+        Ok(())
+    } else {
+        Err(NetError::Codec(StoreError::Corrupt(format!(
+            "{} trailing bytes on a bodyless request",
+            body.len()
+        ))))
+    }
+}
+
+/// A bare little-endian `u16` body (the hello payload).
+struct WireU16(u16);
+
+impl Decode for WireU16 {
+    const MIN_SIZE: usize = 2;
+
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        Ok(WireU16(r.u16()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_core::engine::Algorithm;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let (kind, body) = req.to_frame();
+        Request::from_frame(kind, body.freeze()).unwrap()
+    }
+
+    fn roundtrip_response(resp: Response) -> Response {
+        let (kind, body) = resp.to_frame();
+        Response::from_frame(kind, body.freeze()).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        match roundtrip_request(Request::Hello { version: 7 }) {
+            Request::Hello { version } => assert_eq!(version, 7),
+            other => panic!("{other:?}"),
+        }
+        let q = Query::max_cov(3)
+            .algorithm(Algorithm::TwoStep)
+            .candidates(&[1, 4, 9])
+            .seed(42);
+        match roundtrip_request(Request::Query(q.clone())) {
+            Request::Query(back) => assert_eq!(format!("{back:?}"), format!("{q:?}")),
+            other => panic!("{other:?}"),
+        }
+        match roundtrip_request(Request::Apply(vec![Update::Remove(3)])) {
+            Request::Apply(batch) => assert_eq!(batch.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        for req in [Request::Checkpoint, Request::Status, Request::Shutdown] {
+            let (kind, body) = req.to_frame();
+            assert!(body.is_empty());
+            Request::from_frame(kind, body.freeze()).unwrap();
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let info = ServerInfo {
+            version: 1,
+            epoch: 12,
+            backend: BackendKind::TqTree,
+            users: 100,
+            live_users: 98,
+            facilities: 40,
+            durable: true,
+        };
+        match roundtrip_response(Response::Hello(info.clone())) {
+            Response::Hello(back) => assert_eq!(back, info),
+            other => panic!("{other:?}"),
+        }
+        let ack = Ack {
+            epoch: 13,
+            outcome: Some(BatchOutcome {
+                inserted: vec![5, 6],
+                ..BatchOutcome::default()
+            }),
+            wal_batches: 4,
+        };
+        match roundtrip_response(Response::Ack(ack)) {
+            Response::Ack(back) => {
+                assert_eq!(back.epoch, 13);
+                assert_eq!(back.outcome.unwrap().inserted, vec![5, 6]);
+                assert_eq!(back.wal_batches, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        let status = StatusReport {
+            info,
+            connections: 3,
+            queries_served: 250,
+            batches_applied: 12,
+            wal_batches: 4,
+        };
+        match roundtrip_response(Response::Status(status.clone())) {
+            Response::Status(back) => {
+                assert_eq!(format!("{back}"), format!("{status}"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = ErrorFrame {
+            code: ErrorCode::Engine,
+            message: "k exceeds the candidate count".into(),
+        };
+        match roundtrip_response(Response::Error(err.clone())) {
+            Response::Error(back) => assert_eq!(back, err),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_and_trailing_bytes_are_rejected() {
+        assert!(matches!(
+            Request::from_frame(0x77, Bytes::new()),
+            Err(NetError::Unexpected { kind: 0x77 })
+        ));
+        assert!(matches!(
+            Response::from_frame(kind::QUERY, Bytes::new()),
+            Err(NetError::Unexpected { .. })
+        ));
+        // A status request must have an empty body.
+        assert!(Request::from_frame(kind::STATUS, Bytes::from_static(b"x")).is_err());
+        // Trailing garbage after a valid hello is rejected by finish().
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(1);
+        buf.put_u8(0xEE);
+        assert!(Request::from_frame(kind::HELLO, buf.freeze()).is_err());
+        // Every error code survives the wire.
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::VersionMismatch,
+            ErrorCode::Engine,
+            ErrorCode::Unsupported,
+            ErrorCode::ShuttingDown,
+        ] {
+            let e = ErrorFrame { code, message: String::new() };
+            match roundtrip_response(Response::Error(e)) {
+                Response::Error(back) => assert_eq!(back.code, code),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The threaded TCP server behind `tqd`.
+//!
+//! Threading model (one box per thread):
+//!
+//! ```text
+//!             ┌────────────┐   TcpStream per conn   ┌──────────────┐
+//!  clients ──▶│ accept loop│──────spawn────────────▶│ conn thread  │──┐
+//!             └────────────┘                        │ (Reader:     │  │ apply /
+//!                   │ polls stop flag               │  lock-free   │  │ checkpoint
+//!                   ▼                               │  queries)    │  ▼
+//!             joins conn threads                    └──────────────┘ WriterHandle
+//!                                                        × N            │ mpsc
+//!                                                                       ▼
+//!                                                               ┌──────────────┐
+//!                                                               │ writer thread│
+//!                                                               │ (the Engine, │
+//!                                                               │  WAL + pub)  │
+//!                                                               └──────────────┘
+//! ```
+//!
+//! Every connection thread holds its own [`Reader`] and answers queries
+//! from the latest published [`Snapshot`](tq_core::engine::Snapshot) with
+//! zero locks and zero engine mutation. Update batches — from any
+//! connection — funnel through one [`WriterHub`] channel to the thread
+//! that owns the [`Engine`], preserving the engine's single-writer
+//! invariant end to end: the network layer adds fan-in, never a second
+//! writer.
+//!
+//! Graceful shutdown (a protocol `Shutdown` frame or
+//! [`ServerHandle::shutdown`]) flips one stop flag; the accept loop stops
+//! accepting, each connection thread notices at its next poll and closes,
+//! and the writer takes a final checkpoint before handing the engine
+//! back. [`ServerHandle::abort`] skips the final checkpoint — the crash
+//! path the WAL exists for.
+
+use crate::frame::{read_frame_interruptible, write_frame, Polled};
+use crate::proto::{Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, StatusReport};
+use crate::{NetError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tq_core::engine::{Engine, EngineError, Reader};
+use tq_core::writer::{WriterError, WriterHandle, WriterHub};
+
+/// Tuning for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Frame body cap for received frames (default 32 MiB).
+    pub max_frame: usize,
+    /// Socket read timeout; bounds how long a quiet connection takes to
+    /// notice the stop flag (default 50 ms).
+    pub poll: Duration,
+    /// Take a final checkpoint on graceful shutdown (default true; only
+    /// applies to durable engines).
+    pub final_checkpoint: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            poll: Duration::from_millis(50),
+            final_checkpoint: true,
+        }
+    }
+}
+
+/// Counters every connection thread updates and `Status` reports.
+struct Shared {
+    stop: AtomicBool,
+    connections: AtomicU64,
+    queries_served: AtomicU64,
+    batches_applied: AtomicU64,
+    wal_batches: AtomicU64,
+    panics: AtomicU64,
+    durable: bool,
+}
+
+/// The TCP server. Construct through [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port — read the real
+    /// one back from [`ServerHandle::addr`]), moves `engine` to its
+    /// writer thread, and starts accepting connections.
+    pub fn start(
+        engine: Engine,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+            batches_applied: AtomicU64::new(0),
+            wal_batches: AtomicU64::new(
+                engine.persistence().map_or(0, |s| s.wal_batches as u64),
+            ),
+            panics: AtomicU64::new(0),
+            durable: engine.persistence().is_some(),
+        });
+        let reader = engine.reader();
+        let hub = WriterHub::spawn(engine);
+        let writer = hub.handle();
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            let reader = reader.clone();
+                            let writer = writer.clone();
+                            let config = config.clone();
+                            let conn = std::thread::spawn(move || {
+                                serve_connection(stream, &shared, &reader, &writer, &config);
+                            });
+                            let mut held = conns.lock().unwrap_or_else(|e| e.into_inner());
+                            held.retain(|h| !h.is_finished());
+                            held.push(conn);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept,
+            conns,
+            hub,
+            config,
+        })
+    }
+}
+
+/// The running server: its address, lifecycle, and the way to get the
+/// engine back.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    hub: WriterHub,
+    config: ServerConfig,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connection-thread panics caught so far (always `0` unless a bug
+    /// slipped through — the torture tests assert on this).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a protocol `Shutdown` frame flips the stop flag, then
+    /// finishes the graceful path and returns the engine.
+    pub fn wait(self) -> Result<Engine, EngineError> {
+        // The accept thread exits when the flag flips.
+        let _ = self.accept.join();
+        drain(&self.conns);
+        self.hub.stop(self.config.final_checkpoint)
+    }
+
+    /// Graceful shutdown: stop accepting, drain connections, final
+    /// checkpoint (per [`ServerConfig::final_checkpoint`]), return the
+    /// engine.
+    pub fn shutdown(self) -> Result<Engine, EngineError> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.wait()
+    }
+
+    /// Hard stop *without* the final checkpoint: what a crash leaves
+    /// behind, minus the process exit. The returned engine's store has
+    /// whatever the WAL held — reopening the directory must replay every
+    /// acknowledged batch.
+    pub fn abort(self) -> Result<Engine, EngineError> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept.join();
+        drain(&self.conns);
+        self.hub.stop(false)
+    }
+}
+
+fn drain(conns: &Mutex<Vec<JoinHandle<()>>>) {
+    let held = std::mem::take(&mut *conns.lock().unwrap_or_else(|e| e.into_inner()));
+    for conn in held {
+        let _ = conn.join();
+    }
+}
+
+/// One connection, start to finish. Never propagates a panic: request
+/// handling runs under `catch_unwind` and a caught panic closes the
+/// connection with a typed error after bumping the panic counter.
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    reader: &Reader,
+    writer: &WriterHandle,
+    config: &ServerConfig,
+) {
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_read_timeout(Some(config.poll));
+    let _ = stream.set_nodelay(true);
+
+    let mut greeted = false;
+    loop {
+        let polled = read_frame_interruptible(&mut stream, config.max_frame, || {
+            shared.stop.load(Ordering::SeqCst)
+        });
+        let (kind, body) = match polled {
+            Ok(Polled::Frame { kind, body }) => (kind, body),
+            Ok(Polled::Closed) => break,
+            Ok(Polled::Stopped) => {
+                send(
+                    &mut stream,
+                    &Response::Error(ErrorFrame {
+                        code: ErrorCode::ShuttingDown,
+                        message: "the daemon is shutting down".into(),
+                    }),
+                );
+                break;
+            }
+            Err(e) => {
+                // Bad magic, CRC mismatch, truncation, oversized length
+                // prefix: reply with a typed protocol error (best effort —
+                // the peer may already be gone) and close.
+                send(&mut stream, &protocol_error(&e));
+                break;
+            }
+        };
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_frame(kind, body, shared, reader, writer, &mut greeted)
+        }));
+        match outcome {
+            Ok(Step::Reply(resp)) => {
+                if !send(&mut stream, &resp) {
+                    break;
+                }
+            }
+            Ok(Step::ReplyClose(resp)) => {
+                send(&mut stream, &resp);
+                break;
+            }
+            Ok(Step::ShutDown(resp)) => {
+                send(&mut stream, &resp);
+                shared.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            Err(_) => {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+                send(
+                    &mut stream,
+                    &Response::Error(ErrorFrame {
+                        code: ErrorCode::Unsupported,
+                        message: "internal error while serving the request".into(),
+                    }),
+                );
+                break;
+            }
+        }
+    }
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+enum Step {
+    Reply(Response),
+    ReplyClose(Response),
+    ShutDown(Response),
+}
+
+fn handle_frame(
+    kind: u8,
+    body: bytes::Bytes,
+    shared: &Shared,
+    reader: &Reader,
+    writer: &WriterHandle,
+    greeted: &mut bool,
+) -> Step {
+    let request = match Request::from_frame(kind, body) {
+        Ok(req) => req,
+        Err(e) => return Step::ReplyClose(protocol_error(&e)),
+    };
+
+    // The handshake gate: nothing is served before a version-matched
+    // Hello.
+    if !*greeted {
+        return match request {
+            Request::Hello { version } if version == PROTOCOL_VERSION => {
+                *greeted = true;
+                Step::Reply(Response::Hello(server_info(reader, shared)))
+            }
+            Request::Hello { version } => Step::ReplyClose(Response::Error(ErrorFrame {
+                code: ErrorCode::VersionMismatch,
+                message: format!(
+                    "server speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"
+                ),
+            })),
+            _ => Step::ReplyClose(Response::Error(ErrorFrame {
+                code: ErrorCode::Protocol,
+                message: "the first frame on a connection must be a hello".into(),
+            })),
+        };
+    }
+
+    match request {
+        Request::Hello { .. } => Step::Reply(Response::Hello(server_info(reader, shared))),
+        Request::Query(q) | Request::Explain(q) => {
+            shared.queries_served.fetch_add(1, Ordering::SeqCst);
+            match reader.snapshot().run(q) {
+                Ok(answer) => Step::Reply(Response::Answer(Box::new(answer))),
+                Err(e) => engine_error(&e),
+            }
+        }
+        Request::Apply(batch) => match writer.apply(batch) {
+            Ok(ack) => {
+                shared.batches_applied.fetch_add(1, Ordering::SeqCst);
+                shared.wal_batches.store(ack.wal_batches, Ordering::SeqCst);
+                Step::Reply(Response::Ack(Ack {
+                    epoch: ack.epoch,
+                    outcome: Some(ack.outcome),
+                    wal_batches: ack.wal_batches,
+                }))
+            }
+            Err(WriterError::Engine(e)) => engine_error(&e),
+            Err(WriterError::Stopped) => Step::ReplyClose(Response::Error(ErrorFrame {
+                code: ErrorCode::ShuttingDown,
+                message: "the writer has stopped".into(),
+            })),
+        },
+        Request::Checkpoint => match writer.checkpoint() {
+            Ok(ack) => {
+                shared.wal_batches.store(0, Ordering::SeqCst);
+                Step::Reply(Response::Ack(Ack {
+                    epoch: ack.epoch,
+                    outcome: None,
+                    wal_batches: 0,
+                }))
+            }
+            Err(WriterError::Engine(e)) => engine_error(&e),
+            Err(WriterError::Stopped) => Step::ReplyClose(Response::Error(ErrorFrame {
+                code: ErrorCode::ShuttingDown,
+                message: "the writer has stopped".into(),
+            })),
+        },
+        Request::Status => Step::Reply(Response::Status(StatusReport {
+            info: server_info(reader, shared),
+            connections: shared.connections.load(Ordering::SeqCst),
+            queries_served: shared.queries_served.load(Ordering::SeqCst),
+            batches_applied: shared.batches_applied.load(Ordering::SeqCst),
+            wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+        })),
+        Request::Shutdown => Step::ShutDown(Response::Ack(Ack {
+            epoch: reader.epoch(),
+            outcome: None,
+            wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+        })),
+    }
+}
+
+fn server_info(reader: &Reader, shared: &Shared) -> ServerInfo {
+    let snap = reader.snapshot();
+    ServerInfo {
+        version: PROTOCOL_VERSION,
+        epoch: snap.epoch(),
+        backend: snap.backend().kind(),
+        users: snap.users().len() as u64,
+        live_users: snap.live_users() as u64,
+        facilities: snap.facilities().len() as u64,
+        durable: shared.durable,
+    }
+}
+
+/// An engine refusal is request-scoped: the snapshot and WAL are
+/// untouched, so the connection stays usable.
+fn engine_error(e: &EngineError) -> Step {
+    Step::Reply(Response::Error(ErrorFrame {
+        code: ErrorCode::Engine,
+        message: e.to_string(),
+    }))
+}
+
+fn protocol_error(e: &NetError) -> Response {
+    Response::Error(ErrorFrame {
+        code: ErrorCode::Protocol,
+        message: e.to_string(),
+    })
+}
+
+/// Best-effort response write; false means the peer is gone.
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    let (kind, body) = resp.to_frame();
+    write_frame(stream, kind, body.as_ref()).is_ok()
+}

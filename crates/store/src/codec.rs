@@ -183,6 +183,60 @@ impl Decode for bool {
     }
 }
 
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    const MIN_SIZE: usize = 4;
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        let n = r.count(1)?;
+        let raw = r.take(n)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StoreError::Corrupt("string is not UTF-8".into()))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    const MIN_SIZE: usize = 1;
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(StoreError::Corrupt(format!("option byte {other}"))),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    const MIN_SIZE: usize = A::MIN_SIZE + B::MIN_SIZE;
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.len() as u32);
@@ -432,6 +486,41 @@ mod tests {
         roundtrip(-0.0f64);
         roundtrip(true);
         roundtrip(vec![1u32, 2, 3]);
+    }
+
+    #[test]
+    fn wire_vocabulary_roundtrips() {
+        // The tq-net request/response vocabulary rides on these.
+        roundtrip(String::new());
+        roundtrip("ψ-radius naïveté".to_string());
+        roundtrip(None::<u64>);
+        roundtrip(Some(0xFACEu32));
+        roundtrip(Some("typed error".to_string()));
+        roundtrip((7u32, -0.5f64));
+        roundtrip(vec![(0u32, 1.5f64), (9, -0.0)]);
+        roundtrip(Some(vec![3u32, 1, 4]));
+    }
+
+    #[test]
+    fn corrupt_wire_vocabulary_is_rejected() {
+        // Non-UTF-8 string bytes.
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(String::decode(&mut Reader::new(buf.freeze())).is_err());
+
+        // String length exceeding the buffer (hostile count).
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            String::decode(&mut Reader::new(buf.freeze())),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // Invalid option discriminant.
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_u8(9);
+        assert!(Option::<u8>::decode(&mut Reader::new(buf.freeze())).is_err());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   update WAL with crash recovery, and the binary codec under both
 //!   (drive it through [`Engine::open`](core::engine::Engine::open) /
 //!   [`EngineBuilder::persist_to`](core::engine::EngineBuilder::persist_to));
+//! * [`net`] — networked serving: the `tqd` daemon's length-framed,
+//!   CRC-guarded wire protocol, the blocking [`Client`](net::Client) SDK
+//!   and the threaded [`Server`](net::Server) (queries stay lock-free per
+//!   connection; update batches funnel through the engine's single
+//!   writer);
 //! * [`baseline`] — the paper's BL / G-BL reference methods;
 //! * [`datagen`] — seeded NYT/NYF/BJG-like workload generators.
 //!
@@ -93,6 +98,7 @@ pub use tq_baseline as baseline;
 pub use tq_core as core;
 pub use tq_datagen as datagen;
 pub use tq_geometry as geometry;
+pub use tq_net as net;
 pub use tq_quadtree as quadtree;
 pub use tq_store as store;
 pub use tq_trajectory as trajectory;
@@ -108,6 +114,8 @@ pub mod prelude {
         EngineError, Explain, Index, Query, QueryResult, Reader, Snapshot,
     };
     pub use tq_core::persist::{PersistStatus, StoreConfig, SyncPolicy};
+    pub use tq_core::writer::{BatchAck, WriterError, WriterHandle, WriterHub};
+    pub use tq_net::{Client, ConnectConfig, NetError, Server, ServerConfig, ServerHandle};
     pub use tq_core::serve::{serve, ClientStats, ServeConfig, ServeReport, Workload};
     pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
     pub use tq_core::{

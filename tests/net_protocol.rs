@@ -1,0 +1,297 @@
+//! Wire-protocol torture tests for the `tqd` network layer (`tq-net`).
+//!
+//! The server's headline robustness guarantee: **no byte stream a client
+//! can send — truncated, bit-flipped, or outright hostile — panics the
+//! server or mutates engine state through a rejected frame.** Every
+//! malformed frame is answered with a typed error frame or a clean
+//! close, and the epoch observed by a well-behaved client afterwards is
+//! exactly what it was before the torture began.
+//!
+//! The recorded session under torture covers every request kind except
+//! `shutdown` (so the server outlives each replay): handshake, top-k
+//! query, explain, an *engine-rejected* apply (removing an id that does
+//! not exist), status, and a checkpoint against a non-durable engine
+//! (a typed `engine` error, not a panic).
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use tq::net::frame::{self, read_frame};
+use tq::net::proto::kind;
+use tq::net::{
+    Client, ErrorCode, NetError, Request, Response, Server, ServerConfig, ServerHandle,
+    PROTOCOL_VERSION,
+};
+use rand::{Rng, SeedableRng};
+use tq::prelude::*;
+
+// ---------------------------------------------------------------------------
+// A small served engine
+// ---------------------------------------------------------------------------
+
+fn small_engine(seed: u64) -> Engine {
+    let city = CityModel::synthetic(seed, 4, 4_000.0);
+    let trace = stream_scenario(&city, StreamKind::Taxi, 60, 40, 0.4, seed);
+    let routes = bus_routes(&city, 8, 6, 1_500.0, seed ^ 0xB05);
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, 200.0))
+        .users(trace.initial.clone())
+        .facilities(routes)
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(8))
+        .bounds(trace.bounds)
+        .build()
+        .expect("workload builds");
+    engine.warm();
+    engine
+}
+
+fn start_server() -> ServerHandle {
+    Server::start(small_engine(17), "127.0.0.1:0", ServerConfig::default())
+        .expect("ephemeral bind")
+}
+
+/// The raw bytes of a full well-formed session, one frame per request.
+fn recorded_session() -> Vec<u8> {
+    let requests = [
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        Request::Query(Query::top_k(3)),
+        Request::Explain(Query::max_cov(2).algorithm(Algorithm::Greedy)),
+        // The only id we remove does not exist: the engine rejects the
+        // batch, so even a fully-delivered replay never mutates state.
+        Request::Apply(vec![Update::Remove(9_999)]),
+        Request::Status,
+        // The engine is in-memory: checkpoint is a typed engine error.
+        Request::Checkpoint,
+    ];
+    let mut bytes = Vec::new();
+    for request in &requests {
+        let (kind, body) = request.to_frame();
+        bytes.extend_from_slice(frame::frame(kind, body.as_ref()).as_ref());
+    }
+    bytes
+}
+
+/// Writes `bytes`, half-closes, then drains every response frame until
+/// the server closes (or stops sending). Returns the response kinds.
+/// Panics only on *client-side* surprises; anything the server does
+/// short of a panic is legal here.
+fn play(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The server may close mid-write (e.g. right after a corrupt
+    // handshake); a send error is a legal server reaction, not a failure.
+    if stream.write_all(bytes).is_err() {
+        return Vec::new();
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut kinds = Vec::new();
+    loop {
+        match read_frame(&mut stream, tq::net::DEFAULT_MAX_FRAME) {
+            Ok((kind, _body)) => kinds.push(kind),
+            Err(_) => return kinds, // clean close, reset, or timeout
+        }
+    }
+}
+
+fn served_epoch(addr: &str) -> u64 {
+    Client::connect(addr).expect("server still serving").info().epoch
+}
+
+// ---------------------------------------------------------------------------
+// Torture: truncation at every byte boundary
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_truncated_at_every_byte_never_panics_the_server() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+    let session = recorded_session();
+    let epoch_before = served_epoch(&addr);
+
+    for cut in 0..=session.len() {
+        let kinds = play(&addr, &session[..cut]);
+        // Every response the server did send is a well-formed frame of a
+        // response kind (play() already verified framing + CRC).
+        for k in &kinds {
+            assert!(
+                *k >= 0x81,
+                "cut={cut}: server sent a request kind 0x{k:02x} back"
+            );
+        }
+    }
+
+    assert_eq!(handle.panics(), 0, "server caught a handler panic");
+    assert_eq!(
+        served_epoch(&addr),
+        epoch_before,
+        "a truncated replay mutated engine state"
+    );
+    handle.shutdown().expect("graceful shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Torture: seeded single-bit flips over the whole session
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_bit_flips_get_typed_errors_or_clean_closes_never_panics() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+    let session = recorded_session();
+    let epoch_before = served_epoch(&addr);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB17F11B5);
+    let flips = 300.min(session.len() * 8);
+    for _ in 0..flips {
+        let byte = rng.gen_range(0..session.len());
+        let bit = rng.gen_range(0..8u32);
+        let mut mutated = session.clone();
+        mutated[byte] ^= 1 << bit;
+        let kinds = play(&addr, &mutated);
+        for k in &kinds {
+            assert!(
+                *k >= 0x81,
+                "flip {byte}.{bit}: server echoed request kind 0x{k:02x}"
+            );
+        }
+    }
+
+    assert_eq!(handle.panics(), 0, "server caught a handler panic");
+    assert_eq!(
+        served_epoch(&addr),
+        epoch_before,
+        "a corrupted replay mutated engine state"
+    );
+    handle.shutdown().expect("graceful shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Targeted handshake and rejection semantics
+// ---------------------------------------------------------------------------
+
+/// Sends one raw request frame on a fresh connection and decodes the
+/// first response.
+fn call_raw(addr: &str, request: &Request) -> Result<Response, NetError> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (kind, body) = request.to_frame();
+    frame::write_frame(&mut stream, kind, body.as_ref())?;
+    let (kind, body) = read_frame(&mut stream, tq::net::DEFAULT_MAX_FRAME)?;
+    Response::from_frame(kind, body)
+}
+
+#[test]
+fn version_mismatch_is_refused_with_a_typed_error_and_a_close() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (kind, body) = Request::Hello {
+        version: PROTOCOL_VERSION + 41,
+    }
+    .to_frame();
+    frame::write_frame(&mut stream, kind, body.as_ref()).unwrap();
+    let (kind, body) = read_frame(&mut stream, tq::net::DEFAULT_MAX_FRAME).unwrap();
+    match Response::from_frame(kind, body).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::VersionMismatch),
+        other => panic!("expected a version-mismatch error, got {other:?}"),
+    }
+    // The server hangs up after refusing the handshake.
+    match read_frame(&mut stream, tq::net::DEFAULT_MAX_FRAME) {
+        Err(NetError::Closed) => {}
+        other => panic!("expected a close after the refusal, got {other:?}"),
+    }
+
+    assert_eq!(handle.panics(), 0);
+    handle.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn any_request_before_the_handshake_is_a_protocol_error() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+
+    for request in [
+        Request::Query(Query::top_k(2)),
+        Request::Status,
+        Request::Apply(vec![Update::Remove(1)]),
+    ] {
+        match call_raw(&addr, &request) {
+            Ok(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Protocol),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+
+    assert_eq!(handle.panics(), 0);
+    handle.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn an_engine_rejected_apply_leaves_the_connection_open_and_state_untouched() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let epoch_before = client.info().epoch;
+
+    // The rejected batch: a typed engine error on the same connection.
+    match client.apply(vec![Update::Remove(9_999)]) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::Engine),
+        other => panic!("expected a remote engine error, got {other:?}"),
+    }
+    // The connection survives the rejection and still answers.
+    let status = client.status().expect("connection survives the rejection");
+    assert_eq!(status.info.epoch, epoch_before, "rejected apply bumped the epoch");
+    assert_eq!(status.batches_applied, 0);
+
+    // Checkpoint against an in-memory engine: typed, not fatal.
+    match client.checkpoint() {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::Engine),
+        other => panic!("expected a remote engine error, got {other:?}"),
+    }
+
+    assert_eq!(handle.panics(), 0);
+    handle.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn unknown_frame_kinds_are_typed_protocol_errors() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Handshake first, so the unknown kind is judged on its own merits.
+    let (k, body) = Request::Hello {
+        version: PROTOCOL_VERSION,
+    }
+    .to_frame();
+    frame::write_frame(&mut stream, k, body.as_ref()).unwrap();
+    let (k, body) = read_frame(&mut stream, tq::net::DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(
+        Response::from_frame(k, body).unwrap(),
+        Response::Hello(_)
+    ));
+
+    frame::write_frame(&mut stream, 0x7E, b"mystery").unwrap();
+    let (k, body) = read_frame(&mut stream, tq::net::DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!(k, kind::S_ERROR);
+    match Response::from_frame(k, body).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+
+    assert_eq!(handle.panics(), 0);
+    handle.shutdown().expect("graceful shutdown");
+}

@@ -1,0 +1,312 @@
+//! End-to-end serving tests for the `tqd` network layer: concurrent
+//! clients over a live daemon answer **bit-identically** to an
+//! in-process mirror engine replaying the same update batches.
+//!
+//! "Bit-identical" is checked at the wire level: the networked
+//! [`Answer`]'s result payload is re-encoded with the snapshot codec and
+//! compared byte-for-byte against the mirror snapshot's answer for the
+//! same epoch — every `f64` bit pattern included. The mirror keeps an
+//! `Arc<Snapshot>` per epoch (an `Engine::run` would absorb memo tables
+//! and bump the epoch, so mirrors must answer from stored snapshots).
+//!
+//! The crash test kills the daemon without a final checkpoint
+//! (`ServerHandle::abort`, the in-process stand-in for SIGKILL), reopens
+//! the store, and requires the recovered engine to serve the same bits:
+//! a WAL write precedes every ack, so no acked batch is ever lost.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use tq::net::{Client, Server, ServerConfig};
+use tq::prelude::*;
+use tq::store::Encode;
+
+// ---------------------------------------------------------------------------
+// Scratch directories
+// ---------------------------------------------------------------------------
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!(
+            "tq-net-serving-test-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload and comparison helpers
+// ---------------------------------------------------------------------------
+
+fn workload(seed: u64) -> (StreamScenario, FacilitySet) {
+    let city = CityModel::synthetic(seed, 4, 4_000.0);
+    let trace = stream_scenario(&city, StreamKind::Taxi, 80, 48, 0.4, seed);
+    let routes = bus_routes(&city, 10, 6, 1_500.0, seed ^ 0xB05);
+    (trace, routes)
+}
+
+fn builder_for(trace: &StreamScenario, routes: &FacilitySet, baseline: bool) -> EngineBuilder {
+    let b = Engine::builder(ServiceModel::new(Scenario::Transit, 300.0))
+        .users(trace.initial.clone())
+        .facilities(routes.clone())
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(8))
+        .bounds(trace.bounds);
+    if baseline {
+        b.baseline()
+    } else {
+        b
+    }
+}
+
+/// The exact wire bytes of an answer's result payload — the strongest
+/// equality the codec can express (every `f64` compared by bit pattern).
+fn result_bits(answer: &Answer) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    answer.result.encode(&mut buf);
+    buf.as_ref().to_vec()
+}
+
+/// The semantic bytes of an answer: the ranked list or the chosen subset
+/// with its value and served count, but *not* the evaluation counters a
+/// max-cov outcome carries. A recovered engine rebuilds its served table
+/// from scratch while the mirror maintained it incrementally, so the
+/// counters legitimately differ even when the answers are the same bits.
+fn semantic_bits(answer: &Answer) -> Vec<u8> {
+    match &answer.result {
+        QueryResult::TopK(_) => result_bits(answer),
+        QueryResult::MaxCov(out) => {
+            let mut bytes = Vec::new();
+            for id in &out.chosen {
+                bytes.extend_from_slice(&id.to_le_bytes());
+            }
+            bytes.extend_from_slice(&out.value.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&(out.users_served as u64).to_le_bytes());
+            bytes
+        }
+    }
+}
+
+/// The query mix every client thread cycles through.
+fn query_mix() -> Vec<Query> {
+    vec![
+        Query::top_k(3),
+        Query::top_k(1),
+        Query::max_cov(2).algorithm(Algorithm::Greedy),
+        Query::max_cov(3).algorithm(Algorithm::TwoStep),
+    ]
+}
+
+/// Mirror replay: one stored snapshot per epoch, from the initial build
+/// through every applied batch.
+fn mirror_snapshots(
+    trace: &StreamScenario,
+    routes: &FacilitySet,
+    batches: &[Vec<Update>],
+    baseline: bool,
+) -> HashMap<u64, Arc<Snapshot>> {
+    let mut mirror = builder_for(trace, routes, baseline).build().unwrap();
+    mirror.warm();
+    let mut snaps = HashMap::new();
+    let snap = mirror.reader().snapshot();
+    snaps.insert(snap.epoch(), snap);
+    for batch in batches {
+        mirror.apply(batch).unwrap();
+        let snap = mirror.reader().snapshot();
+        snaps.insert(snap.epoch(), snap);
+    }
+    snaps
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent clients vs the mirror, both backends
+// ---------------------------------------------------------------------------
+
+fn concurrent_identity(baseline: bool) {
+    let (trace, routes) = workload(23);
+    // The baseline backend is static (updates are rejected by design), so
+    // its identity run is query-only; the TQ-tree run streams the batches
+    // concurrently with the readers.
+    let batches = if baseline {
+        Vec::new()
+    } else {
+        trace.update_batches(8)
+    };
+    assert!(baseline || batches.len() >= 4, "need a multi-batch stream");
+    let snaps = mirror_snapshots(&trace, &routes, &batches, baseline);
+
+    let mut served = builder_for(&trace, &routes, baseline).build().unwrap();
+    served.warm();
+    let handle = Server::start(served, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+
+    let initial = Client::connect(&addr).unwrap().info().epoch;
+    assert!(
+        snaps.contains_key(&initial),
+        "server initial epoch {initial} missing from the mirror replay"
+    );
+
+    // One writer streams the batches while four reader clients hammer the
+    // daemon with the full query mix.
+    let writer = {
+        let addr = addr.clone();
+        let batches = batches.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            for batch in batches {
+                client.apply(batch).expect("every batch is valid");
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|shift| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mix = query_mix();
+                let mut seen = Vec::new();
+                for i in 0..24 {
+                    let query = mix[(i + shift) % mix.len()].clone();
+                    let answer = client.query(query.clone()).expect("query succeeds");
+                    seen.push((query, answer));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer thread");
+    let mut answers = Vec::new();
+    for reader in readers {
+        answers.extend(reader.join().expect("reader thread"));
+    }
+
+    // Every networked answer matches the mirror snapshot for the epoch it
+    // reports, byte for byte.
+    let mut epochs_seen = std::collections::HashSet::new();
+    for (query, answer) in &answers {
+        let epoch = answer.explain.snapshot_epoch;
+        epochs_seen.insert(epoch);
+        let snap = snaps
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("answer at unknown epoch {epoch}"));
+        let expected = snap.run(query.clone()).unwrap();
+        assert_eq!(
+            result_bits(answer),
+            result_bits(&expected),
+            "networked answer diverged from the mirror at epoch {epoch}"
+        );
+    }
+    assert!(!epochs_seen.is_empty());
+
+    assert_eq!(handle.panics(), 0);
+    let engine = handle.shutdown().unwrap();
+    assert_eq!(
+        engine.epoch(),
+        initial + batches.len() as u64,
+        "server applied a different number of batches than acked"
+    );
+}
+
+#[test]
+fn concurrent_clients_match_the_mirror_on_the_tq_tree_backend() {
+    concurrent_identity(false);
+}
+
+#[test]
+fn concurrent_clients_match_the_mirror_on_the_baseline_backend() {
+    concurrent_identity(true);
+}
+
+// ---------------------------------------------------------------------------
+// Kill, reopen, serve identical bits
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_killed_daemon_recovers_every_acked_batch_and_serves_identical_bits() {
+    let (trace, routes) = workload(29);
+    let batches = trace.update_batches(8);
+    let snaps = mirror_snapshots(&trace, &routes, &batches, false);
+
+    let scratch = Scratch::new("kill");
+    let store_dir = scratch.0.join("store");
+    // checkpoint_every: 0 — every batch stays in the WAL, so recovery
+    // exercises the replay path rather than a lucky checkpoint.
+    let config = StoreConfig {
+        checkpoint_every: 0,
+        ..StoreConfig::default()
+    };
+    let mut served = builder_for(&trace, &routes, false)
+        .persist_with(&store_dir, config)
+        .build()
+        .unwrap();
+    served.warm();
+    let handle = Server::start(served, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let mut last_ack = client.info().epoch;
+    for batch in &batches {
+        last_ack = client.apply(batch.clone()).expect("acked batch").epoch;
+    }
+    let before = client.query(Query::top_k(3)).unwrap();
+    assert_eq!(before.explain.snapshot_epoch, last_ack);
+
+    // SIGKILL stand-in: stop serving without draining into a final
+    // checkpoint. The store holds the startup snapshot plus the WAL tail.
+    drop(client);
+    let killed = handle.abort().unwrap();
+    let epoch_at_kill = killed.epoch();
+    let live_at_kill = killed.live_users();
+    drop(killed);
+
+    // Reopen, restart, and demand the same bits for every acked batch.
+    let mut recovered = Engine::open(&store_dir).unwrap();
+    recovered.warm();
+    assert_eq!(
+        recovered.live_users(),
+        live_at_kill,
+        "recovery lost or invented trajectories"
+    );
+    let handle = Server::start(recovered, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // The mirror's final snapshot is the ground truth for the last acked
+    // epoch; the recovered daemon must serve exactly those bits (epochs
+    // may be renumbered across a reopen, so bits are what's compared).
+    let truth = snaps
+        .values()
+        .max_by_key(|s| s.epoch())
+        .expect("mirror has snapshots");
+    for query in query_mix() {
+        let networked = client.query(query.clone()).unwrap();
+        let expected = truth.run(query).unwrap();
+        assert_eq!(
+            semantic_bits(&networked),
+            semantic_bits(&expected),
+            "recovered daemon diverged from the pre-kill state (killed at epoch {epoch_at_kill})"
+        );
+    }
+
+    assert_eq!(handle.panics(), 0);
+    handle.shutdown().unwrap();
+}

@@ -18,6 +18,17 @@ pub struct Bytes {
 }
 
 impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// A view over a static byte slice (copied here — upstream borrows it
+    /// zero-copy, which this shim's `Arc<[u8]>` backing cannot express).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
     /// Length of the view in bytes.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -47,6 +58,12 @@ impl Bytes {
     /// Copies the view into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
@@ -88,6 +105,11 @@ pub struct BytesMut {
 }
 
 impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
     /// An empty buffer with `cap` bytes pre-allocated.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
@@ -148,6 +170,16 @@ pub trait Buf {
         u32::from_le_bytes(self.take_array())
     }
 
+    /// Reads a `u32` in this workspace's wire order (little-endian).
+    ///
+    /// **Divergence from upstream:** real `bytes` reads big-endian from its
+    /// unsuffixed accessors. Every tq format is little-endian, so the shim's
+    /// unsuffixed accessor is an alias of [`Buf::get_u32_le`] — see
+    /// vendor/README.md before swapping in the crates.io crate.
+    fn get_u32(&mut self) -> u32 {
+        self.get_u32_le()
+    }
+
     /// Reads a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64 {
         u64::from_le_bytes(self.take_array())
@@ -193,6 +225,16 @@ pub trait BufMut {
         self.put_slice(&v.to_le_bytes());
     }
 
+    /// Writes a `u32` in this workspace's wire order (little-endian).
+    ///
+    /// **Divergence from upstream:** real `bytes` writes big-endian from its
+    /// unsuffixed accessors. Every tq format is little-endian, so the shim's
+    /// unsuffixed accessor is an alias of [`BufMut::put_u32_le`] — see
+    /// vendor/README.md before swapping in the crates.io crate.
+    fn put_u32(&mut self, v: u32) {
+        self.put_u32_le(v);
+    }
+
     /// Writes a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
@@ -229,6 +271,20 @@ mod tests {
         assert_eq!(r.get_u16_le(), 7);
         assert_eq!(r.get_u64_le(), u64::MAX - 1);
         assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn unsuffixed_u32_is_little_endian() {
+        // The tq-net frame header rides on these; they must stay LE and
+        // byte-compatible with the explicit *_le pair.
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u32(0x0102_0304);
+        w.put_u32_le(0x0102_0304);
+        assert_eq!(w.as_ref(), &[4, 3, 2, 1, 4, 3, 2, 1]);
+        let mut r = w.freeze();
+        assert_eq!(r.get_u32(), 0x0102_0304);
+        assert_eq!(r.get_u32(), 0x0102_0304);
         assert_eq!(r.remaining(), 0);
     }
 
