@@ -137,11 +137,79 @@ fn bench_coldstart(c: &mut Criterion) {
         assert_eq!(g.1.to_bits(), w.1.to_bits(), "loaded engine answers differently");
     }
 
+    // -- sharded recovery: shards recover in parallel ---------------------
+    // The same dataset persisted as a 4-shard store: `open_sharded`
+    // recovers every shard concurrently (snapshot decode + CRC + WAL
+    // replay each on its own thread), so wall-clock recovery should
+    // approach the single-store time divided by the core-bounded shard
+    // parallelism. Gate only on boxes with enough cores to show it.
+    let sharded_dir = dir.join("sharded");
+    let raw = std::fs::read(&raw_path).unwrap();
+    let (users, routes) = snapshot::decode(raw.into()).unwrap();
+    let mut writer = Engine::builder(model)
+        .users(users)
+        .facilities(routes)
+        .tree_config(tree_config())
+        .bounds(city.bounds)
+        .shards(4)
+        .persist_with(&sharded_dir, StoreConfig::default())
+        .build_sharded()
+        .unwrap();
+    writer.warm();
+    writer.checkpoint().unwrap();
+    let want_sharded: Vec<(u32, u64)> = writer
+        .run(Query::top_k(K))
+        .unwrap()
+        .ranked()
+        .iter()
+        .map(|(id, v)| (*id, v.to_bits()))
+        .collect();
+    drop(writer);
+
+    let mut sharded_secs = Vec::with_capacity(GATE_REPS);
+    for _ in 0..GATE_REPS {
+        let t = std::time::Instant::now();
+        let e = Engine::open_sharded(&sharded_dir).unwrap();
+        sharded_secs.push(t.elapsed().as_secs_f64());
+        drop(e);
+    }
+    let sharded_min = minimum(sharded_secs);
+    let recovery_ratio = load_min / sharded_min;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "sharded recovery (same data, 4 shards, min of {GATE_REPS}): {:.1}ms vs \
+         single-store {:.1}ms — {recovery_ratio:.2}x ({cores} cores)",
+        sharded_min * 1e3,
+        load_min * 1e3
+    );
+
+    // The recovered sharded engine answers identically, from its merged
+    // persisted tables.
+    let mut reopened = Engine::open_sharded(&sharded_dir).unwrap();
+    let got: Vec<(u32, u64)> = reopened
+        .run(Query::top_k(K))
+        .unwrap()
+        .ranked()
+        .iter()
+        .map(|(id, v)| (*id, v.to_bits()))
+        .collect();
+    assert_eq!(got, want_sharded, "sharded recovery changed the answers");
+    drop(reopened);
+
     let _ = std::fs::remove_dir_all(&dir);
     assert!(
         speedup >= 5.0,
         "snapshot load must be ≥5x faster than rebuild-from-raw, measured {speedup:.1}x"
     );
+    if cores >= 4 {
+        assert!(
+            recovery_ratio >= 1.5,
+            "4-shard parallel recovery must be ≥1.5x faster than the \
+             single store on a ≥4-core box, measured {recovery_ratio:.2}x"
+        );
+    } else {
+        println!("(sharded recovery gate skipped: needs ≥4 cores, this box has {cores})");
+    }
 }
 
 criterion_group!(coldstart, bench_coldstart);

@@ -22,8 +22,9 @@
 use std::time::{Duration, Instant};
 use tq_core::dynamic::Update;
 use tq_core::engine::{Engine, Query};
-use tq_core::serve::{serve, ServeConfig, Workload};
+use tq_core::serve::{serve, serve_sharded, ServeConfig, Workload};
 use tq_core::service::{Scenario, ServiceModel};
+use tq_core::sharding::ShardedEngine;
 use tq_core::tqtree::{Placement, TqTreeConfig};
 use tq_datagen::{presets, stream_scenario, StreamKind};
 
@@ -63,6 +64,37 @@ fn build_engine() -> (Engine, Vec<Vec<Update>>) {
         .expect("bench engine builds");
     engine.warm();
     (engine, batches)
+}
+
+fn build_sharded_engine(shards: usize) -> ShardedEngine {
+    let city = presets::ny_city();
+    let trace = stream_scenario(&city, StreamKind::Taxi, USERS, 1, 0.5, 0x9A5);
+    let facilities = tq_datagen::bus_routes(
+        &city,
+        ROUTES,
+        STOPS,
+        presets::ROUTE_LENGTH,
+        0x9A5 ^ 0xB05,
+    );
+    Engine::builder(ServiceModel::new(Scenario::Transit, presets::DEFAULT_PSI))
+        .users(trace.initial)
+        .facilities(facilities)
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(64))
+        .bounds(trace.bounds)
+        .shards(shards)
+        .build_sharded()
+        .expect("bench sharded engine builds")
+}
+
+/// Memo-missing scripts: rotating candidate subsets, so every query pays
+/// a real table build — the work the scatter over shards parallelizes.
+fn subset_queries() -> Vec<Query> {
+    (0..6u32)
+        .map(|i| {
+            let ids: Vec<u32> = (0..24u32).map(|j| (i * 7 + j * 2) % ROUTES as u32).collect();
+            Query::top_k(K).candidates(&ids).threads(1)
+        })
+        .collect()
 }
 
 fn queries() -> Vec<Query> {
@@ -205,5 +237,60 @@ fn main() {
          in-flight update stream (got {ratio:.2}x: {:.0} vs {serial_qps:.0})",
         report.qps
     );
+
+    // -- 4: sharded scatter–gather ------------------------------------------
+    // Memo-missing subset queries, so each answer pays a table build the
+    // shards split; 2 clients keep the client × shard thread product
+    // within a small core count.
+    println!(
+        "\nsharded scatter–gather (memo-missing subset queries, 2 clients, \
+         {:.1}s per point):",
+        DURATION.as_secs_f64()
+    );
+    let sharded_config = ServeConfig {
+        clients: 2,
+        duration: DURATION,
+        ..ServeConfig::default()
+    };
+    let workload = Workload {
+        queries: subset_queries(),
+        update_batches: Vec::new(),
+    };
+    let mut qps_at = [0.0f64; 2];
+    let mut ranked_at: Vec<Vec<(u32, u64)>> = Vec::new();
+    for (slot, shards) in [1usize, 4].into_iter().enumerate() {
+        let mut engine = build_sharded_engine(shards);
+        let report = serve_sharded(&mut engine, &workload, &sharded_config).expect("serve runs");
+        assert_eq!(report.epoch_regressions(), 0);
+        qps_at[slot] = report.qps;
+        let answer = engine.run(subset_queries()[0].clone()).expect("subset query runs");
+        ranked_at.push(
+            answer
+                .ranked()
+                .iter()
+                .map(|(id, v)| (*id, v.to_bits()))
+                .collect(),
+        );
+        println!("  {shards} shard(s): {:>8.0} qps", report.qps);
+    }
+    assert_eq!(
+        ranked_at[0], ranked_at[1],
+        "1-shard and 4-shard answers must be bit-identical"
+    );
+    let sharded_ratio = qps_at[1] / qps_at[0];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  4 shards vs 1: {sharded_ratio:.2}x aggregate qps ({cores} cores)");
+    if cores >= 4 {
+        assert!(
+            sharded_ratio > 1.5,
+            "4-shard scatter–gather must clear 1.5x the 1-shard qps on a \
+             ≥4-core box (got {sharded_ratio:.2}x: {:.0} vs {:.0})",
+            qps_at[1],
+            qps_at[0]
+        );
+    } else {
+        println!("  (scaling gate skipped: needs ≥4 cores, this box has {cores})");
+    }
+
     println!("\nqps bench OK: {ratio:.2}x aggregate read throughput at {CLIENTS} clients");
 }

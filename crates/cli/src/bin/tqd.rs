@@ -15,6 +15,13 @@
 //! on graceful shutdown (the protocol `shutdown` frame) drains
 //! connections and writes a final checkpoint. A killed daemon loses
 //! nothing acked: reopening the store replays the WAL tail.
+//!
+//! Sharded store directories (created by `tq serve --shards N --persist`
+//! or [`EngineBuilder::build_sharded`](tq_core::engine::EngineBuilder))
+//! are detected automatically: the daemon recovers every shard in
+//! parallel and serves scatter–gather queries over the
+//! [`ShardedEngine`](tq_core::sharding::ShardedEngine) front end — same
+//! wire protocol, bit-identical answers.
 
 #[path = "../args.rs"]
 #[allow(dead_code)]
@@ -22,6 +29,7 @@ mod args;
 
 use args::{Command, Flag};
 use tq_core::engine::Engine;
+use tq_core::writer::{ControlPlane, ReadPlane};
 use tq_core::StoreConfig;
 use tq_net::{Server, ServerConfig};
 
@@ -30,9 +38,10 @@ const TQD: Command = Command {
     summary: "serve a durable engine store over TCP",
     positional: "",
     flags: &[
-        Flag { name: "persist", meta: "DIR", default: "", help: "store directory to open (tq save / tq stream --wal)" },
+        Flag { name: "persist", meta: "DIR", default: "", help: "store directory to open (tq save / tq stream --wal); sharded directories are detected automatically" },
         Flag { name: "addr", meta: "HOST:PORT", default: "127.0.0.1:7071", help: "listen address (port 0 = ephemeral, printed on stdout)" },
         Flag { name: "checkpoint-every", meta: "N", default: "512", help: "auto-checkpoint after N WAL batches (0 = manual only)" },
+        Flag { name: "bg-checkpoints", meta: "true|false", default: "false", help: "stage threshold checkpoints on a worker thread, off the write path" },
         Flag { name: "threads", meta: "N", default: "0", help: "evaluation threads per query (0 = one per core)" },
     ],
 };
@@ -53,41 +62,55 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let dir = a.required("persist")?;
     let addr = a.get("addr").unwrap_or("127.0.0.1:7071");
     let checkpoint_every: usize = a.get_or("checkpoint-every", 512, "integer")?;
+    let background_checkpoints: bool = a.get_or("bg-checkpoints", false, "true|false")?;
     tq_core::set_threads(a.get_or("threads", 0, "integer")?);
+    let config = StoreConfig {
+        checkpoint_every,
+        background_checkpoints,
+        ..StoreConfig::default()
+    };
 
-    let t = std::time::Instant::now();
-    let mut engine = Engine::open_with(
-        dir,
-        StoreConfig {
-            checkpoint_every,
-            ..StoreConfig::default()
-        },
-    )?;
-    // Seed the served-table memo up front so the first coverage query (and
-    // every funneled batch) maintains it incrementally.
-    engine.warm();
+    if tq_store::manifest::is_sharded_dir(std::path::Path::new(dir)) {
+        let t = std::time::Instant::now();
+        let mut engine = Engine::open_sharded_with(dir, config)?;
+        engine.warm();
+        let secs = t.elapsed().as_secs_f64();
+        announce(&engine, dir, secs, &format!("{} shards", engine.shard_count()));
+        daemonize(engine, addr)
+    } else {
+        let t = std::time::Instant::now();
+        let mut engine = Engine::open_with(dir, config)?;
+        // Seed the served-table memo up front so the first coverage query
+        // (and every funneled batch) maintains it incrementally.
+        engine.warm();
+        let secs = t.elapsed().as_secs_f64();
+        announce(&engine, dir, secs, "single store");
+        daemonize(engine, addr)
+    }
+}
+
+fn announce<C: ControlPlane>(engine: &C, dir: &str, secs: f64, shape: &str) {
+    let info = engine.reader().info();
     println!(
-        "tqd: recovered {dir} in {:.3}s — epoch {}, {} backend, {} live of {} trajectories, \
-         {} facilities",
-        t.elapsed().as_secs_f64(),
-        engine.epoch(),
-        engine.backend().kind(),
-        engine.live_users(),
-        engine.users().len(),
-        engine.facilities().len(),
+        "tqd: recovered {dir} ({shape}) in {secs:.3}s — epoch {}, {} backend, \
+         {} live of {} trajectories, {} facilities",
+        info.epoch, info.backend, info.live_users, info.users, info.facilities,
     );
+}
 
+/// Serves until a protocol shutdown frame arrives, then drains
+/// connections and writes the final checkpoint — identical for the
+/// single and the sharded control plane.
+fn daemonize<C: ControlPlane>(engine: C, addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     let handle = Server::start(engine, addr, ServerConfig::default())?;
     println!("tqd: listening on {}", handle.addr());
-    // Blocks until a protocol shutdown frame arrives, then drains
-    // connections and writes the final checkpoint.
     let engine = handle.wait()?;
+    let info = engine.reader().info();
     println!(
         "tqd: shut down at epoch {} ({} live trajectories); final checkpoint written",
-        engine.epoch(),
-        engine.live_users()
+        info.epoch, info.live_users,
     );
-    if let Some(status) = engine.persistence() {
+    if let Some(status) = engine.persist_status() {
         println!("tqd: {status}");
     }
     Ok(())

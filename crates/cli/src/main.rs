@@ -31,7 +31,7 @@ mod args;
 use args::{global_usage, Args, Command, Flag};
 use tq_core::engine::{Algorithm, Engine, EngineBuilder, Query};
 
-use tq_core::serve::{serve, ServeConfig, Workload};
+use tq_core::serve::{serve, serve_sharded, ServeConfig, Workload};
 use tq_core::service::{Scenario, ServiceModel};
 use tq_core::tqtree::{Placement, TqTree, TqTreeConfig};
 use tq_core::StoreConfig;
@@ -168,6 +168,7 @@ const SERVE: Command = Command {
     positional: "",
     flags: &[
         Flag { name: "persist", meta: "DIR", default: "", help: "durable serving: store directory (WAL per batch + final checkpoint)" },
+        Flag { name: "shards", meta: "N", default: "1", help: "partition users across N engines; queries scatter–gather, bit-identical to 1" },
         Flag { name: "clients", meta: "N", default: "4", help: "concurrent reader (client) threads" },
         Flag { name: "duration", meta: "SECONDS", default: "5", help: "how long to serve the mixed workload" },
         Flag { name: "kind", meta: "nyt|nyf|bjg", default: "nyt", help: "taxi trips / check-ins / GPS traces" },
@@ -874,8 +875,12 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
     let beta: usize = a.get_or("beta", 64, "integer")?;
     let seed: u64 = a.get_or("seed", 1, "integer")?;
     let client_threads: usize = a.get_or("client-threads", 0, "integer")?;
+    let shards: usize = a.get_or("shards", 1, "integer")?;
     if clients == 0 {
         return Err("--clients must be positive".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be positive".into());
     }
     if !duration.is_finite() || duration < 0.0 {
         return Err("--duration must be a non-negative number of seconds".into());
@@ -921,13 +926,6 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
     if let Some(dir) = &persist {
         builder = builder.persist_with(dir, StoreConfig::default());
     }
-    let mut engine = builder.build()?;
-    engine.warm();
-    println!(
-        "build:  index + initial evaluation in {:.3}s (epoch {})",
-        t.elapsed().as_secs_f64(),
-        engine.epoch()
-    );
 
     let workload = Workload {
         queries: vec![Query::top_k(k), Query::max_cov(k)],
@@ -940,11 +938,32 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
         update_pause: std::time::Duration::from_millis(pause_ms),
         final_checkpoint: persist.is_some(),
     };
-    let report = serve(&mut engine, &workload, &config)?;
-    println!("{}", report.summary());
-    if let Some(status) = engine.persistence() {
+    let (report, live, status) = if shards > 1 {
+        let mut engine = builder.shards(shards).build_sharded()?;
+        engine.warm();
         println!(
-            "durable: {status} — run checkpointed; `tq load --store {}` cold-starts it",
+            "build:  {shards} shards — index + initial evaluation in {:.3}s (epoch {})",
+            t.elapsed().as_secs_f64(),
+            engine.epoch()
+        );
+        let report = serve_sharded(&mut engine, &workload, &config)?;
+        (report, engine.live_users(), engine.persistence())
+    } else {
+        let mut engine = builder.build()?;
+        engine.warm();
+        println!(
+            "build:  index + initial evaluation in {:.3}s (epoch {})",
+            t.elapsed().as_secs_f64(),
+            engine.epoch()
+        );
+        let report = serve(&mut engine, &workload, &config)?;
+        (report, engine.live_users(), engine.persistence())
+    };
+    println!("{}", report.summary());
+    if let Some(status) = status {
+        let hint = if shards > 1 { "tq inspect" } else { "tq load --store" };
+        println!(
+            "durable: {status} — run checkpointed; `{hint} {}` cold-starts it",
             status.dir.display()
         );
     }
@@ -958,7 +977,7 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
     if let Some(sample) = report.sample_answer() {
         println!("explain: {} (sample answer, client 0)", sample.explain);
     }
-    println!("{} live trajectories at the final epoch", engine.live_users());
+    println!("{live} live trajectories at the final epoch");
     Ok(())
 }
 

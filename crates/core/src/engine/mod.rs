@@ -147,7 +147,7 @@ pub use memo::DEFAULT_SUBSET_TABLES;
 pub use session::{Algorithm, Answer, CacheStatus, Explain, Query, QueryResult};
 pub use snapshot::{Reader, Snapshot};
 
-use memo::TableMemo;
+pub(crate) use memo::TableMemo;
 use snapshot::SnapshotSlot;
 
 use crate::baseline::BaselineIndex;
@@ -396,6 +396,11 @@ pub enum EngineError {
     /// [`EngineBuilder::persist_to`] or load with [`Engine::open`] to get
     /// one).
     NotDurable,
+    /// A sharded-engine configuration or consistency problem — a front end
+    /// that cannot be built as requested ([`EngineBuilder::build_sharded`])
+    /// or a sharded store whose shards and routing log disagree beyond
+    /// what recovery can reconcile ([`Engine::open_sharded`]).
+    Sharded(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -431,6 +436,7 @@ impl std::fmt::Display for EngineError {
             EngineError::NotDurable => {
                 write!(f, "no store attached (build with persist_to or Engine::open)")
             }
+            EngineError::Sharded(why) => write!(f, "sharded engine: {why}"),
         }
     }
 }
@@ -448,7 +454,7 @@ impl From<UpdateError> for EngineError {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-enum BackendChoice {
+pub(crate) enum BackendChoice {
     TqTree(TqTreeConfig),
     Baseline { capacity: usize },
 }
@@ -456,14 +462,19 @@ enum BackendChoice {
 /// Fluent constructor for [`Engine`] — see [`Engine::builder`].
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
-    model: ServiceModel,
-    users: UserSet,
-    facilities: FacilitySet,
-    backend: BackendChoice,
-    bounds: Option<Rect>,
-    rebuild_fraction: f64,
-    subset_tables: usize,
-    persist: Option<(PathBuf, StoreConfig)>,
+    pub(crate) model: ServiceModel,
+    pub(crate) users: UserSet,
+    pub(crate) facilities: FacilitySet,
+    pub(crate) backend: BackendChoice,
+    pub(crate) bounds: Option<Rect>,
+    pub(crate) rebuild_fraction: f64,
+    pub(crate) subset_tables: usize,
+    pub(crate) persist: Option<(PathBuf, StoreConfig)>,
+    /// Shard count for [`EngineBuilder::build_sharded`]; ignored by
+    /// [`EngineBuilder::build`].
+    pub(crate) shards: usize,
+    /// `true` = z-range spatial partitioner, `false` = hash partitioner.
+    pub(crate) spatial: bool,
 }
 
 impl EngineBuilder {
@@ -545,6 +556,36 @@ impl EngineBuilder {
     pub fn persist_with(mut self, dir: impl AsRef<Path>, config: StoreConfig) -> EngineBuilder {
         self.persist = Some((dir.as_ref().to_path_buf(), config));
         self
+    }
+
+    /// Number of shards for [`EngineBuilder::build_sharded`] (clamped to at
+    /// least 1). Users are partitioned across `n` independent engines by
+    /// the hash partitioner unless [`EngineBuilder::partition_by_space`]
+    /// selects z-range splitting. Ignored by plain [`EngineBuilder::build`].
+    pub fn shards(mut self, n: usize) -> EngineBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Selects the spatial z-range partitioner for
+    /// [`EngineBuilder::build_sharded`]: shard boundaries are quantile
+    /// splits of the initial users' source-point Z-curve codes, so
+    /// spatially close trajectories land on the same shard. Requires
+    /// explicit [`EngineBuilder::bounds`] or a non-empty initial user set
+    /// (the split root rectangle).
+    pub fn partition_by_space(mut self) -> EngineBuilder {
+        self.spatial = true;
+        self
+    }
+
+    /// Builds a [`crate::sharding::ShardedEngine`] front end over
+    /// [`EngineBuilder::shards`] independent shard engines — same model,
+    /// facilities, backend and tuning, each indexing its partition of the
+    /// users. With [`EngineBuilder::persist_with`], `dir` becomes a
+    /// *sharded* store directory: a shard manifest, a routing log and one
+    /// plain store per shard (reopen with [`Engine::open_sharded`]).
+    pub fn build_sharded(self) -> Result<crate::sharding::ShardedEngine, EngineError> {
+        crate::sharding::ShardedEngine::from_builder(self)
     }
 
     /// Builds the backend index and the engine.
@@ -643,6 +684,8 @@ impl Engine {
             rebuild_fraction: DEFAULT_REBUILD_FRACTION,
             subset_tables: DEFAULT_SUBSET_TABLES,
             persist: None,
+            shards: 1,
+            spatial: false,
         }
     }
 
@@ -722,7 +765,7 @@ impl Engine {
 
     /// Attaches an opened store (see [`crate::persist`]).
     pub(crate) fn attach_store(&mut self, store: tq_store::Store) {
-        self.durable = Some(Durable { store });
+        self.durable = Some(Durable::new(store));
     }
 
     /// The patch-vs-rebuild threshold, for the snapshot codec.
@@ -794,7 +837,7 @@ impl Engine {
     /// capacity bound and publishes a successor snapshot carrying it (and
     /// dropping any evicted ones). No-op for subset tables when subset
     /// caching is disabled.
-    fn absorb_table(&mut self, key: Vec<FacilityId>, table: Arc<ServedTable>) {
+    pub(crate) fn absorb_table(&mut self, key: Vec<FacilityId>, table: Arc<ServedTable>) {
         let is_full = key.len() == self.snapshot.facilities.len();
         let mut evicted = Vec::new();
         if !is_full {
@@ -817,6 +860,13 @@ impl Engine {
             live_count: self.snapshot.live_count,
             tables,
         });
+    }
+
+    /// Refreshes a memoized subset table's recency (LRU order) without
+    /// running a query — used by the sharded front end to keep per-shard
+    /// memo eviction in lockstep with its own.
+    pub(crate) fn touch_table(&mut self, key: &[FacilityId]) {
+        self.memo.touch(key);
     }
 
     /// Pre-evaluates (and memoizes) the [`ServedTable`] over **all**

@@ -346,19 +346,28 @@ pub(crate) fn execute(
 
 /// Sorted, deduplicated, validated candidate ids for a query.
 fn resolve_candidates(snap: &Snapshot, query: &Query) -> Result<Vec<FacilityId>, EngineError> {
+    resolve_candidates_in(&snap.facilities, query)
+}
+
+/// [`resolve_candidates`] against an explicit facility set — shared with
+/// the sharded front end, whose candidate rules must match exactly.
+pub(crate) fn resolve_candidates_in(
+    facilities: &FacilitySet,
+    query: &Query,
+) -> Result<Vec<FacilityId>, EngineError> {
     let mut cand = match &query.candidates {
         Some(ids) => {
             let mut ids = ids.clone();
             ids.sort_unstable();
             ids.dedup();
             for &id in &ids {
-                if id as usize >= snap.facilities.len() {
+                if id as usize >= facilities.len() {
                     return Err(EngineError::UnknownCandidate { id });
                 }
             }
             ids
         }
-        None => snap.facilities.iter().map(|(id, _)| id).collect(),
+        None => facilities.iter().map(|(id, _)| id).collect(),
     };
     cand.shrink_to_fit();
     if cand.is_empty() {

@@ -48,7 +48,22 @@
 //! full state — TQ-tree arena and warmed served table included — and
 //! WAL-logs every [`engine::Engine::apply`] batch before it publishes;
 //! [`engine::Engine::open`] cold-starts in `O(read)` with crash-safe
-//! longest-valid-prefix WAL replay and bit-identical answers.
+//! longest-valid-prefix WAL replay and bit-identical answers. Threshold
+//! checkpoints can be staged off the write path on a worker thread
+//! ([`persist::StoreConfig::background_checkpoints`]).
+//!
+//! The **[`sharding`]** module scales the whole stack out: a
+//! [`sharding::ShardedEngine`] partitions the users across N engines
+//! (hash or spatial z-range placement) and scatter–gathers the same
+//! [`engine::Query`] API over them — top-k by merging per-shard served
+//! tables in canonical order, greedy max-cov through the cross-shard
+//! [`sharding::GainCombiner`] rounds — **bit-identical to one engine
+//! over the union** at every shard count, with one `tq-store` per shard
+//! recovered in parallel by [`engine::Engine::open_sharded`]. Both
+//! planes are abstracted by the [`writer`] module's
+//! [`writer::ControlPlane`] / [`writer::ReadPlane`] traits, so
+//! [`serve`] and the `tq-net` server run either engine through one
+//! generic code path.
 
 #![warn(missing_docs)]
 
@@ -62,6 +77,7 @@ pub mod parallel;
 pub mod persist;
 pub mod serve;
 pub mod service;
+pub mod sharding;
 pub mod topk;
 pub mod tqtree;
 pub mod wire;
@@ -84,6 +100,12 @@ pub use persist::{PersistStatus, StoreConfig, SyncPolicy};
 pub use serve::{ClientStats, ServeConfig, ServeReport, Workload};
 pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
 pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};
+pub use sharding::{
+    GainCombiner, Partitioner, ShardedEngine, ShardedReader, ShardedSnapshot,
+};
 pub use topk::{top_k_facilities, TopKOutcome};
 pub use tqtree::{Placement, Storage, TqTree, TqTreeConfig};
-pub use writer::{BatchAck, CheckpointAck, WriterError, WriterHandle, WriterHub};
+pub use writer::{
+    BatchAck, CheckpointAck, ControlPlane, PlaneInfo, ReadPlane, WriterError, WriterHandle,
+    WriterHub,
+};

@@ -86,8 +86,12 @@ use crate::fasthash::FxHashMap;
 use crate::maxcov::ServedTable;
 use crate::service::{PointMask, Scenario, ServiceModel};
 use crate::tqtree::{self, Placement};
+use crate::engine::Snapshot;
 use bytes::{BufMut, BytesMut};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use tq_store::codec::{decode_bitmap, encode_bitmap, put_varint_u32, Decode, Encode, Reader};
 use tq_store::snapshot::{SnapshotMeta, BACKEND_BASELINE, BACKEND_TQTREE};
 use tq_store::store::Store;
@@ -95,10 +99,47 @@ use tq_store::StoreError;
 pub use tq_store::{StoreConfig, SyncPolicy};
 use tq_trajectory::{FacilitySet, TrajectoryId, UserSet};
 
+/// Test-only knob: milliseconds a *background* checkpoint sleeps between
+/// encoding its image and staging it to disk, to widen the apply/
+/// checkpoint overlap deterministically. Zero (the default) is free.
+#[doc(hidden)]
+pub static BG_CHECKPOINT_DELAY_MS: AtomicU64 = AtomicU64::new(0);
+
 /// The durable half an engine carries once persistence is attached.
+///
+/// The store sits behind a mutex so a background checkpoint
+/// ([`StoreConfig::background_checkpoints`]) can commit its staged image
+/// concurrently with the engine's WAL appends; the lock is held only for
+/// the O(1) append and the commit's renames, never while an image is
+/// encoded or written.
 #[derive(Debug)]
 pub(crate) struct Durable {
-    pub(crate) store: Store,
+    pub(crate) store: Arc<Mutex<Store>>,
+    /// The in-flight background checkpoint, if any. At most one at a
+    /// time; harvested on the next threshold check, explicit checkpoint,
+    /// or drop.
+    pub(crate) worker: Option<JoinHandle<Result<PathBuf, StoreError>>>,
+}
+
+impl Durable {
+    pub(crate) fn new(store: Store) -> Durable {
+        Durable {
+            store: Arc::new(Mutex::new(store)),
+            worker: None,
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for Durable {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 /// A read-only description of an engine's attached store, for reports.
@@ -368,24 +409,48 @@ fn get_table(
 /// Encodes the engine's full durable state and the snapshot header
 /// metadata describing it.
 pub(crate) fn encode_engine(engine: &Engine) -> (SnapshotMeta, BytesMut) {
-    let users = engine.users();
-    let facilities = engine.facilities();
-    let model = engine.model();
-    let live: Vec<bool> = (0..users.len() as u32)
+    let live: Vec<bool> = (0..engine.users().len() as u32)
         .map(|id| engine.is_live(id))
         .collect();
+    encode_parts(
+        engine.users(),
+        engine.facilities(),
+        *engine.model(),
+        &live,
+        engine.backend(),
+        engine.full_table(),
+        engine.epoch(),
+        engine.rebuild_fraction(),
+        engine.subset_table_capacity(),
+    )
+}
 
+/// [`encode_engine`] over loose parts, so a background checkpoint can
+/// encode from a published immutable [`Snapshot`] (plus the scalars a
+/// snapshot does not carry) without borrowing the engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_parts(
+    users: &UserSet,
+    facilities: &FacilitySet,
+    model: ServiceModel,
+    live: &[bool],
+    backend: &Backend,
+    full_table: Option<&ServedTable>,
+    epoch: u64,
+    rebuild_fraction: f64,
+    subset_capacity: usize,
+) -> (SnapshotMeta, BytesMut) {
     let mut buf = BytesMut::with_capacity(64 + users.total_points() * 16);
     buf.put_u8(scenario_tag(model.scenario));
     buf.put_f64_le(model.psi);
-    buf.put_f64_le(engine.rebuild_fraction());
-    buf.put_u64_le(engine.subset_table_capacity() as u64);
-    buf.put_u64_le(engine.epoch());
+    buf.put_f64_le(rebuild_fraction);
+    buf.put_u64_le(subset_capacity as u64);
+    buf.put_u64_le(epoch);
     users.encode(&mut buf);
-    encode_bitmap(&live, &mut buf);
+    encode_bitmap(live, &mut buf);
     facilities.encode(&mut buf);
 
-    let (backend_tag, tree_nodes, tree_items) = match engine.backend() {
+    let (backend_tag, tree_nodes, tree_items) = match backend {
         Backend::TqTree(tree) => {
             buf.put_u8(BACKEND_TQTREE);
             tqtree::persist::encode_tree(tree, &mut buf);
@@ -400,7 +465,7 @@ pub(crate) fn encode_engine(engine: &Engine) -> (SnapshotMeta, BytesMut) {
     // The warmed full-facility ServedTable, when the engine carries one —
     // the other half of a serving cold start (subset tables are ephemeral
     // LRU cache and stay that way).
-    match engine.full_table() {
+    match full_table {
         Some(table) => {
             buf.put_u8(1);
             put_table(table, &mut buf);
@@ -408,11 +473,11 @@ pub(crate) fn encode_engine(engine: &Engine) -> (SnapshotMeta, BytesMut) {
         None => buf.put_u8(0),
     }
     let meta = SnapshotMeta {
-        epoch: engine.epoch(),
+        epoch,
         backend: backend_tag,
         scenario: scenario_tag(model.scenario),
         users: users.len() as u64,
-        live: engine.live_users() as u64,
+        live: live.iter().filter(|&&l| l).count() as u64,
         facilities: facilities.len() as u64,
         tree_nodes,
         tree_items,
@@ -562,24 +627,32 @@ impl Engine {
     ///
     /// Returns the path of the snapshot file. Errors with
     /// [`EngineError::NotDurable`] when no store is attached.
+    ///
+    /// Explicit checkpoints are synchronous and act as a barrier: an
+    /// in-flight background checkpoint is joined first (its verdict is
+    /// superseded — the image written here is a superset of its state).
     pub fn checkpoint(&mut self) -> Result<PathBuf, EngineError> {
         if self.durable.is_none() {
             return Err(EngineError::NotDurable);
         }
+        let _ = self.harvest_checkpoint_worker(true);
         let (meta, body) = encode_engine(self);
-        let durable = self.durable.as_mut().expect("checked above");
+        let durable = self.durable.as_ref().expect("checked above");
         durable
-            .store
+            .lock()
             .checkpoint(&meta, body.freeze().as_ref())
             .map_err(persist_err)
     }
 
     /// The attached store's status, or `None` for an in-memory engine.
     pub fn persistence(&self) -> Option<PersistStatus> {
-        self.durable.as_ref().map(|d| PersistStatus {
-            dir: d.store.dir().to_path_buf(),
-            wal_batches: d.store.wal_batches(),
-            checkpoint_every: d.store.config().checkpoint_every,
+        self.durable.as_ref().map(|d| {
+            let store = d.lock();
+            PersistStatus {
+                dir: store.dir().to_path_buf(),
+                wal_batches: store.wal_batches(),
+                checkpoint_every: store.config().checkpoint_every,
+            }
         })
     }
 
@@ -589,10 +662,10 @@ impl Engine {
     /// batch with the engine untouched.
     pub(crate) fn wal_append(&mut self, updates: &[Update]) -> Result<(), EngineError> {
         let stamp = self.epoch() + 1;
-        if let Some(durable) = self.durable.as_mut() {
+        if let Some(durable) = self.durable.as_ref() {
             let payload = encode_batch(updates);
             durable
-                .store
+                .lock()
                 .append_batch(stamp, payload.freeze().as_ref())
                 .map_err(persist_err)?;
         }
@@ -604,18 +677,104 @@ impl Engine {
     /// failure here is remapped to [`EngineError::CheckpointFailed`] —
     /// callers must be able to tell "batch rejected" from "batch durable
     /// but compaction failed" (retrying the batch would double-apply it).
+    ///
+    /// With [`StoreConfig::background_checkpoints`] the snapshot is
+    /// encoded from the just-published immutable [`Snapshot`] and staged
+    /// on a worker thread, so the apply acks without waiting for the
+    /// image write; the worker's verdict (including
+    /// [`EngineError::CheckpointFailed`]) surfaces on a later apply, by
+    /// which point the batch it covered has long been durable in the WAL.
     pub(crate) fn maybe_auto_checkpoint(&mut self) -> Result<(), EngineError> {
-        let due = self
-            .durable
-            .as_ref()
-            .is_some_and(|d| d.store.should_checkpoint());
-        if due {
-            self.checkpoint().map_err(|e| match e {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        if let Some(e) = self.harvest_checkpoint_worker(false) {
+            return Err(EngineError::CheckpointFailed(e.to_string()));
+        }
+        let (due, background) = {
+            let durable = self.durable.as_ref().expect("checked above");
+            let store = durable.lock();
+            (
+                store.should_checkpoint(),
+                store.config().background_checkpoints,
+            )
+        };
+        if !due {
+            return Ok(());
+        }
+        if !background {
+            return self.checkpoint().map(|_| ()).map_err(|e| match e {
                 EngineError::Persist(why) => EngineError::CheckpointFailed(why),
                 other => other,
-            })?;
+            });
         }
+        if self.durable.as_ref().expect("checked above").worker.is_some() {
+            // One image at a time: the threshold stays tripped and the
+            // next apply re-checks once this worker is harvested.
+            return Ok(());
+        }
+        self.spawn_background_checkpoint();
         Ok(())
+    }
+
+    /// Stages a checkpoint of the engine's current published state on a
+    /// worker thread: encode from the immutable snapshot, write the image
+    /// to its `.tmp` name (both without the store lock), then take the
+    /// lock briefly to rename it live and rebase the WAL.
+    fn spawn_background_checkpoint(&mut self) {
+        let snapshot: Arc<Snapshot> = self.snapshot();
+        let live: Vec<bool> = (0..snapshot.users().len() as u32)
+            .map(|id| self.is_live(id))
+            .collect();
+        let rebuild_fraction = self.rebuild_fraction();
+        let subset_capacity = self.subset_table_capacity();
+        let durable = self.durable.as_mut().expect("caller checked durability");
+        let store = Arc::clone(&durable.store);
+        let dir = durable.lock().dir().to_path_buf();
+        let handle = std::thread::Builder::new()
+            .name("tq-checkpoint".into())
+            .spawn(move || {
+                let (meta, body) = encode_parts(
+                    snapshot.users(),
+                    snapshot.facilities(),
+                    *snapshot.model(),
+                    &live,
+                    snapshot.backend(),
+                    snapshot.full_table(),
+                    snapshot.epoch(),
+                    rebuild_fraction,
+                    subset_capacity,
+                );
+                let delay = BG_CHECKPOINT_DELAY_MS.load(Ordering::Relaxed);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                let tmp = Store::stage_snapshot(&dir, &meta, body.freeze().as_ref())?;
+                store
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .commit_snapshot(meta.epoch, &tmp)
+            })
+            .expect("spawn checkpoint worker");
+        durable.worker = Some(handle);
+    }
+
+    /// Collects a background checkpoint's verdict: the worker's error if
+    /// it finished (or, with `wait`, once it finishes) unsuccessfully.
+    fn harvest_checkpoint_worker(&mut self, wait: bool) -> Option<StoreError> {
+        let durable = self.durable.as_mut()?;
+        let done = durable.worker.as_ref().is_some_and(|w| w.is_finished());
+        let joinable = wait && durable.worker.is_some();
+        if !done && !joinable {
+            return None;
+        }
+        match durable.worker.take()?.join() {
+            Ok(Ok(_)) => None,
+            Ok(Err(e)) => Some(e),
+            Err(_) => Some(StoreError::Corrupt(
+                "background checkpoint worker panicked".into(),
+            )),
+        }
     }
 }
 

@@ -5,9 +5,12 @@
 //! ([`Snapshot`](crate::engine::Snapshot) read plane, single-writer
 //! [`Engine`] control plane) into a serving loop: [`serve`] spawns one
 //! **client shard** per requested client thread, hands each a cloned
-//! [`Reader`], and drives the engine's update
+//! [`Reader`](crate::engine::Reader), and drives the engine's update
 //! stream from the calling thread (the single writer) until the
-//! configured duration elapses. Each shard owns its slice of the load —
+//! configured duration elapses. [`serve_sharded`] runs the identical
+//! loop over a [`ShardedEngine`] — readers hold
+//! [`ShardedReader`](crate::sharding::ShardedReader)s and every query scatter–gathers across the
+//! shards, bit-identical to a single engine. Each shard owns its slice of the load —
 //! its own query cursor (offset by shard id so shards interleave the
 //! script differently), its own counters, its own latency accumulators —
 //! so the hot path shares nothing but the publication slot and one stop
@@ -66,8 +69,10 @@
 //! ```
 
 use crate::dynamic::Update;
-use crate::engine::{Answer, Engine, EngineError, Query, Reader};
+use crate::engine::{Answer, Engine, EngineError, Query};
 use crate::parallel;
+use crate::sharding::ShardedEngine;
+use crate::writer::{ControlPlane, ReadPlane};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -251,10 +256,39 @@ pub fn serve(
     workload: &Workload,
     config: &ServeConfig,
 ) -> Result<ServeReport, EngineError> {
+    serve_with(engine, workload, config)
+}
+
+/// The sharded sibling of [`serve`]: identical loop, identical report —
+/// client shards answer off published
+/// [`ShardedSnapshot`](crate::sharding::ShardedSnapshot)s (each query
+/// scatter–gathers across the engine's shards, bit-identical to a single
+/// engine) while the calling thread applies the update stream through
+/// [`ShardedEngine::apply`], which routes each batch to its owning
+/// shards and publishes one new sharded epoch.
+///
+/// # Panics
+/// Panics when `config.clients == 0` or `workload.queries` is empty.
+pub fn serve_sharded(
+    engine: &mut ShardedEngine,
+    workload: &Workload,
+    config: &ServeConfig,
+) -> Result<ServeReport, EngineError> {
+    serve_with(engine, workload, config)
+}
+
+/// The serving loop both front ends share, generic over the
+/// single-writer [`ControlPlane`] and its paired
+/// [`ReadPlane`] handle.
+fn serve_with<C: ControlPlane>(
+    engine: &mut C,
+    workload: &Workload,
+    config: &ServeConfig,
+) -> Result<ServeReport, EngineError> {
     assert!(config.clients >= 1, "serve needs at least one client");
     assert!(!workload.queries.is_empty(), "serve needs a query script");
     let reader = engine.reader();
-    let first_epoch = engine.epoch();
+    let first_epoch = engine.current_epoch();
     let budget = if config.threads_per_client > 0 {
         config.threads_per_client
     } else {
@@ -298,7 +332,7 @@ pub fn serve(
                     // as each client shard — the `+ 1` share the budget
                     // reserved — so rebuild-heavy batches don't fan out
                     // to every core under the readers.
-                    match parallel::with_threads(budget, || engine.apply(batch)) {
+                    match parallel::with_threads(budget, || engine.apply_batch(batch)) {
                         Ok(_) => {
                             let took = t.elapsed();
                             writer_busy += took;
@@ -339,8 +373,8 @@ pub fn serve(
     for r in shard_results {
         per_client.push(r?);
     }
-    if config.final_checkpoint && engine.persistence().is_some() {
-        engine.checkpoint()?;
+    if config.final_checkpoint && engine.persist_status().is_some() {
+        engine.write_checkpoint()?;
     }
     let wall = start.elapsed();
     let queries: u64 = per_client.iter().map(|c| c.queries).sum();
@@ -351,7 +385,7 @@ pub fn serve(
         qps: queries as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
         batches_applied,
         first_epoch,
-        last_epoch: engine.epoch(),
+        last_epoch: engine.current_epoch(),
         writer_busy,
         max_publish,
         per_client,
@@ -361,9 +395,9 @@ pub fn serve(
 /// One client shard's serving loop: pick the next scripted query, take
 /// the latest snapshot, answer lock-free, account. Runs under the shard's
 /// evaluation thread budget so concurrent shards' fan-outs compose.
-fn client_shard(
+fn client_shard<R: ReadPlane>(
     shard: usize,
-    reader: &Reader,
+    reader: &R,
     queries: &[Query],
     stop: &AtomicBool,
     budget: usize,
@@ -374,10 +408,7 @@ fn client_shard(
         loop {
             let query = queries[cursor % queries.len()].clone();
             cursor += 1;
-            let arrived = Instant::now();
-            let snapshot = reader.snapshot();
-            let queued = arrived.elapsed();
-            let mut answer = match snapshot.run(query) {
+            let answer = match reader.query(query) {
                 Ok(a) => a,
                 Err(e) => {
                     // Wave the whole run off: the script is deterministic,
@@ -388,7 +419,7 @@ fn client_shard(
                     return Err(e);
                 }
             };
-            answer.explain.queued = queued;
+            let queued = answer.explain.queued;
 
             let epoch = answer.explain.snapshot_epoch;
             if stats.queries == 0 {
@@ -506,6 +537,54 @@ mod tests {
             start.elapsed() < Duration::from_secs(30),
             "run should end at the first shard error, not at the deadline"
         );
+    }
+
+    #[test]
+    fn sharded_serving_matches_the_single_engine() {
+        let users = UserSet::from_vec(vec![
+            Trajectory::two_point(p(1.0, 1.0), p(9.0, 1.0)),
+            Trajectory::two_point(p(1.0, 5.0), p(9.0, 5.0)),
+            Trajectory::two_point(p(2.0, 1.0), p(8.0, 1.0)),
+        ]);
+        let routes = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(1.0, 2.0), p(9.0, 2.0)]),
+            Facility::new(vec![p(1.0, 6.0), p(9.0, 6.0)]),
+        ]);
+        let bounds = Rect::new(p(0.0, 0.0), p(10.0, 10.0));
+        let build = || {
+            Engine::builder(ServiceModel::new(Scenario::Transit, 2.0))
+                .users(users.clone())
+                .facilities(routes.clone())
+                .bounds(bounds)
+        };
+        let mut sharded = build().shards(2).build_sharded().unwrap();
+        let mut single = build().build().unwrap();
+
+        let workload = Workload {
+            queries: vec![Query::top_k(2), Query::max_cov(1)],
+            update_batches: vec![
+                vec![Update::Insert(Trajectory::two_point(p(2.0, 5.0), p(8.0, 5.0)))],
+                vec![Update::Remove(0)],
+            ],
+        };
+        let config = ServeConfig {
+            clients: 2,
+            duration: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let report = serve_sharded(&mut sharded, &workload, &config).unwrap();
+        assert_eq!(report.batches_applied, 2);
+        assert!(report.queries >= 2);
+        assert_eq!(report.epoch_regressions(), 0);
+        assert_eq!(report.last_epoch, sharded.epoch());
+
+        // The served answers are the single engine's answers, bit for bit.
+        for batch in &workload.update_batches {
+            single.apply(batch).unwrap();
+        }
+        let want = single.run(Query::top_k(2)).unwrap();
+        let got = sharded.run(Query::top_k(2)).unwrap();
+        assert_eq!(got.ranked(), want.ranked());
     }
 
     #[test]

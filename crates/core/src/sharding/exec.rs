@@ -1,0 +1,440 @@
+//! The sharded read plane: [`ShardedSnapshot`] (one immutable version of
+//! the whole sharded state), [`ShardedReader`] (the serving-thread
+//! handle), and the scatter–gather query execution both planes share.
+//!
+//! The merge invariant, stated once: **a merged table is a real
+//! [`ServedTable`] over the global id space** — per candidate, the union
+//! of the shards' disjoint mask maps (local ids translated through the
+//! shard's monotone local→global map) with values recomputed by
+//! [`canonical_value`](crate::eval::canonical_value) over the global user
+//! set. Masks are pure functions of (trajectory, facility, model,
+//! placement), so the union equals what a single engine computes, and the
+//! canonical summation fixes the fold order by content — merged values
+//! are bit-identical to single-engine values by construction, not by
+//! accident of scheduling.
+
+use super::gain::{sharded_greedy, LocalGains};
+use crate::engine::{
+    session, Answer, BackendKind, CacheStatus, EngineError, Explain, Query, QueryResult,
+    Snapshot,
+};
+use crate::eval::EvalStats;
+use crate::fasthash::FxHashMap;
+use crate::maxcov::{exact, genetic, CovOutcome, GeneticConfig, ServedTable};
+use crate::parallel;
+use crate::service::{PointMask, ServiceModel};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use tq_trajectory::{FacilityId, FacilitySet, TrajectoryId, UserSet};
+
+// ---------------------------------------------------------------------------
+// Snapshot / slot / reader
+// ---------------------------------------------------------------------------
+
+/// One immutable, epoch-numbered version of a sharded engine's entire
+/// queryable state: the per-shard [`Snapshot`]s, the global user set, the
+/// local→global id maps, and the merged-table memo.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) shards: Vec<Arc<Snapshot>>,
+    /// Per shard: local id → global id, monotone (ascending local id ⇒
+    /// ascending global id) — the property that makes per-shard canonical
+    /// orders concatenate into the global canonical order.
+    pub(crate) locals: Vec<Arc<Vec<TrajectoryId>>>,
+    /// The global user set (including tombstones), id-aligned with the
+    /// routing map.
+    pub(crate) users: Arc<UserSet>,
+    pub(crate) live_count: usize,
+    pub(crate) facilities: Arc<FacilitySet>,
+    pub(crate) model: ServiceModel,
+    /// Merged tables, maintained in lockstep with the per-shard memos.
+    pub(crate) tables: FxHashMap<Vec<FacilityId>, Arc<ServedTable>>,
+}
+
+impl ShardedSnapshot {
+    /// Epoch of this version (monotone across publications).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global user set, including removed tombstones.
+    pub fn users(&self) -> &UserSet {
+        &self.users
+    }
+
+    /// The registered candidate facilities (identical on every shard).
+    pub fn facilities(&self) -> &FacilitySet {
+        &self.facilities
+    }
+
+    /// The service model.
+    pub fn model(&self) -> &ServiceModel {
+        &self.model
+    }
+
+    /// Number of live (not removed) trajectories across all shards.
+    pub fn live_users(&self) -> usize {
+        self.live_count
+    }
+
+    /// Shard `i`'s snapshot.
+    pub fn shard(&self, i: usize) -> &Arc<Snapshot> {
+        &self.shards[i]
+    }
+
+    /// The backend kind (homogeneous across shards).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.shards[0].backend().kind()
+    }
+
+    /// The memoized merged table for a (sorted) candidate set, if any.
+    pub fn cached_table(&self, candidates: &[FacilityId]) -> Option<&ServedTable> {
+        self.tables.get(candidates).map(|t| t.as_ref())
+    }
+
+    /// The memoized merged full-facility table (see
+    /// [`ShardedEngine::warm`](super::ShardedEngine::warm)).
+    pub fn full_table(&self) -> Option<&ServedTable> {
+        let all: Vec<FacilityId> = self.facilities.iter().map(|(id, _)| id).collect();
+        self.cached_table(&all)
+    }
+
+    /// Executes a query against this immutable version — the sharded
+    /// read-plane entry point, safe to call from any number of threads.
+    /// Tables built on a memo miss are used and discarded, exactly like
+    /// [`Snapshot::run`]; only the control plane
+    /// ([`ShardedEngine::run`](super::ShardedEngine::run)) memoizes.
+    pub fn run(&self, query: Query) -> Result<Answer, EngineError> {
+        execute(self, &query).map(|(answer, _)| answer)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ShardedSlot {
+    current: RwLock<Arc<ShardedSnapshot>>,
+}
+
+impl ShardedSlot {
+    pub(crate) fn new(snapshot: Arc<ShardedSnapshot>) -> ShardedSlot {
+        ShardedSlot {
+            current: RwLock::new(snapshot),
+        }
+    }
+
+    pub(crate) fn load(&self) -> Arc<ShardedSnapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    pub(crate) fn store(&self, snapshot: Arc<ShardedSnapshot>) {
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
+    }
+}
+
+/// A cloneable, `Send + Sync` handle to a sharded engine's latest
+/// published [`ShardedSnapshot`] — the sharded sibling of
+/// [`Reader`](crate::engine::Reader), with the same monotone-epoch
+/// publication contract.
+#[derive(Debug, Clone)]
+pub struct ShardedReader {
+    pub(crate) slot: Arc<ShardedSlot>,
+}
+
+impl ShardedReader {
+    /// The latest published sharded snapshot (O(1) pointer clone).
+    pub fn snapshot(&self) -> Arc<ShardedSnapshot> {
+        self.slot.load()
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.slot.load().epoch
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Tables materialized by a memo miss: the merged global table and the
+/// per-shard tables it was merged from — the control plane absorbs both
+/// (front memo and shard memos move in lockstep), the read plane drops
+/// them.
+pub(crate) struct BuiltTables {
+    pub(crate) merged: Arc<ServedTable>,
+    pub(crate) per_shard: Vec<Arc<ServedTable>>,
+}
+
+/// The sharded sibling of [`session::TableOutcome`].
+pub(crate) struct MergedOutcome {
+    pub(crate) key: Vec<FacilityId>,
+    pub(crate) built: Option<BuiltTables>,
+}
+
+/// Executes a query against one sharded snapshot. Mirrors
+/// [`session::execute`] decision-for-decision: same candidate resolution,
+/// same error order, same cache-status reporting.
+pub(crate) fn execute(
+    snap: &ShardedSnapshot,
+    query: &Query,
+) -> Result<(Answer, Option<MergedOutcome>), EngineError> {
+    let start = Instant::now();
+    let cand = session::resolve_candidates_in(&snap.facilities, query)?;
+    if query.k == 0 {
+        return Err(EngineError::ZeroK);
+    }
+    if query.k > cand.len() {
+        return Err(EngineError::KExceedsCandidates {
+            k: query.k,
+            candidates: cand.len(),
+        });
+    }
+    let mut explain = Explain {
+        backend: Some(snap.backend_kind()),
+        snapshot_epoch: snap.epoch,
+        candidates: cand.len(),
+        ..Explain::default()
+    };
+    let mut outcome = None;
+    let result = match query.threads {
+        Some(n) => parallel::with_threads(n, || {
+            explain.threads = parallel::current_threads();
+            dispatch(snap, query, &cand, &mut explain, &mut outcome)
+        })?,
+        None => {
+            explain.threads = parallel::current_threads();
+            dispatch(snap, query, &cand, &mut explain, &mut outcome)?
+        }
+    };
+    explain.wall = start.elapsed();
+    Ok((Answer { result, explain }, outcome))
+}
+
+fn dispatch(
+    snap: &ShardedSnapshot,
+    query: &Query,
+    cand: &[FacilityId],
+    explain: &mut Explain,
+    outcome: &mut Option<MergedOutcome>,
+) -> Result<QueryResult, EngineError> {
+    match query.kind {
+        session::QueryKind::TopK => {
+            let ranked = run_top_k(snap, cand, query.k, explain);
+            if explain.cache.is_hit() {
+                *outcome = Some(MergedOutcome {
+                    key: cand.to_vec(),
+                    built: None,
+                });
+            }
+            Ok(QueryResult::TopK(ranked))
+        }
+        session::QueryKind::MaxCov => run_max_cov(snap, query, cand, explain, outcome),
+    }
+}
+
+/// Sharded top-k, mirroring the single engine's cache semantics: a
+/// memoized merged table answers with zero evaluation
+/// ([`CacheStatus::Hit`]); a miss scatter-builds per-shard values, merges
+/// canonically, ranks, and — like the single engine's best-first search —
+/// leaves the cache status [`CacheStatus::Unused`] and memoizes nothing.
+fn run_top_k(
+    snap: &ShardedSnapshot,
+    cand: &[FacilityId],
+    k: usize,
+    explain: &mut Explain,
+) -> Vec<(FacilityId, f64)> {
+    if let Some(table) = snap.tables.get(cand) {
+        explain.cache = CacheStatus::Hit;
+        return session::rank_table(table, k);
+    }
+    let built = build_merged(snap, cand);
+    explain.eval.add(&built.merged.stats);
+    session::rank_table(&built.merged, k)
+}
+
+fn run_max_cov(
+    snap: &ShardedSnapshot,
+    query: &Query,
+    cand: &[FacilityId],
+    explain: &mut Explain,
+    outcome: &mut Option<MergedOutcome>,
+) -> Result<QueryResult, EngineError> {
+    let k = query.k;
+    let pool: Vec<FacilityId> = match query.algorithm {
+        crate::engine::Algorithm::TwoStep => {
+            let kp = query
+                .k_prime
+                .unwrap_or_else(|| (4 * k).max(32))
+                .max(k)
+                .min(cand.len());
+            let mut top = run_top_k(snap, cand, kp, explain);
+            let mut ids: Vec<FacilityId> = top.drain(..).map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        }
+        _ => cand.to_vec(),
+    };
+    let (merged, per_shard, merged_outcome) = resolve_merged(snap, pool, explain);
+    let out = match query.algorithm {
+        crate::engine::Algorithm::Greedy | crate::engine::Algorithm::TwoStep => {
+            // The scatter–gather combiner rounds (see [`super::gain`]).
+            let mut workers: Vec<LocalGains> = per_shard
+                .iter()
+                .enumerate()
+                .map(|(s, table)| {
+                    LocalGains::new(
+                        table.clone(),
+                        snap.locals[s].clone(),
+                        snap.shards[s].users.clone(),
+                        snap.model,
+                    )
+                })
+                .collect();
+            let (chosen, value, users_served) = sharded_greedy(&mut workers, &merged.ids, k);
+            CovOutcome {
+                chosen,
+                value,
+                users_served,
+                stats: merged.stats,
+            }
+        }
+        crate::engine::Algorithm::Genetic => {
+            let cfg = GeneticConfig {
+                seed: query.seed.unwrap_or(GeneticConfig::default().seed),
+                ..GeneticConfig::default()
+            };
+            genetic(&merged, &snap.users, &snap.model, k, &cfg)
+        }
+        crate::engine::Algorithm::Exact => {
+            exact(&merged, &snap.users, &snap.model, k, query.node_budget)
+                .ok_or(EngineError::ExactBudgetExhausted)?
+        }
+    };
+    *outcome = Some(merged_outcome);
+    Ok(QueryResult::MaxCov(out))
+}
+
+/// The merged table (and the per-shard tables behind it) for a sorted
+/// candidate key: from the front memo on a hit, scatter-built on a miss —
+/// the sharded sibling of the single engine's `resolve_table`, with the
+/// same [`CacheStatus`] reporting.
+fn resolve_merged(
+    snap: &ShardedSnapshot,
+    key: Vec<FacilityId>,
+    explain: &mut Explain,
+) -> (Arc<ServedTable>, Vec<Arc<ServedTable>>, MergedOutcome) {
+    if let Some(table) = snap.tables.get(&key) {
+        explain.cache = CacheStatus::Hit;
+        // The per-shard tables are maintained in lockstep with the front
+        // memo, so on a front hit each shard serves from its own cache;
+        // build_merged falls back to a local build if one is missing.
+        let per_shard = shard_tables(snap, &key).0;
+        return (
+            table.clone(),
+            per_shard,
+            MergedOutcome { key, built: None },
+        );
+    }
+    explain.cache = CacheStatus::Miss;
+    let built = build_merged(snap, &key);
+    explain.eval.add(&built.merged.stats);
+    let merged = built.merged.clone();
+    let per_shard = built.per_shard.clone();
+    (
+        merged,
+        per_shard,
+        MergedOutcome {
+            key,
+            built: Some(built),
+        },
+    )
+}
+
+/// Per-shard tables for a key: each shard's memoized table when present,
+/// a scatter of local builds otherwise (one thread per missing shard).
+/// Returns the tables and the summed evaluation stats of the builds that
+/// actually ran.
+fn shard_tables(
+    snap: &ShardedSnapshot,
+    key: &[FacilityId],
+) -> (Vec<Arc<ServedTable>>, EvalStats) {
+    let missing: Vec<usize> = (0..snap.shards.len())
+        .filter(|&s| snap.shards[s].cached_table(key).is_none())
+        .collect();
+    let built: Vec<Arc<ServedTable>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = missing
+            .iter()
+            .map(|&s| {
+                let shard = &snap.shards[s];
+                scope.spawn(move || {
+                    Arc::new(shard.backend().as_index().served_table(
+                        shard.users(),
+                        shard.model(),
+                        shard.facilities(),
+                        key,
+                    ))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut stats = EvalStats::default();
+    for t in &built {
+        stats.add(&t.stats);
+    }
+    let mut built = built.into_iter();
+    let tables = (0..snap.shards.len())
+        .map(|s| match snap.shards[s].tables.get(key) {
+            Some(t) => t.clone(),
+            None => built.next().expect("one build per missing shard"),
+        })
+        .collect();
+    (tables, stats)
+}
+
+/// Builds the merged global table for a key (see the module docs for the
+/// merge invariant).
+pub(crate) fn build_merged(snap: &ShardedSnapshot, key: &[FacilityId]) -> BuiltTables {
+    let (per_shard, stats) = shard_tables(snap, key);
+    let merged = Arc::new(merge_tables(
+        key,
+        &per_shard,
+        &snap.locals,
+        &snap.users,
+        &snap.model,
+        stats,
+    ));
+    BuiltTables { merged, per_shard }
+}
+
+/// The merge itself: disjoint union of translated per-shard masks,
+/// canonical value recomputation over the global user set.
+pub(crate) fn merge_tables(
+    key: &[FacilityId],
+    per_shard: &[Arc<ServedTable>],
+    locals: &[Arc<Vec<TrajectoryId>>],
+    users: &UserSet,
+    model: &ServiceModel,
+    stats: EvalStats,
+) -> ServedTable {
+    let masks: Vec<FxHashMap<TrajectoryId, PointMask>> = (0..key.len())
+        .map(|ci| {
+            let mut merged: FxHashMap<TrajectoryId, PointMask> = Default::default();
+            for (s, table) in per_shard.iter().enumerate() {
+                for (lid, mask) in &table.masks[ci] {
+                    merged.insert(locals[s][*lid as usize], mask.clone());
+                }
+            }
+            merged
+        })
+        .collect();
+    ServedTable::from_masks(users, model, key.to_vec(), masks, stats)
+}

@@ -1,0 +1,800 @@
+//! Multi-shard scatter–gather: [`ShardedEngine`] partitions the user
+//! trajectories across N independent [`Engine`]s and serves the same
+//! typed [`Query`] API over them, **bit-identical** to one engine over
+//! the union.
+//!
+//! # Why sharding composes exactly
+//!
+//! Everything a query answers is derived from per-user served-point
+//! masks, and every reported value is a [`canonical
+//! summation`](crate::eval::canonical_value) of per-user values in
+//! ascending trajectory-id order. Users live on exactly one shard and
+//! shard-local ids are assigned in ascending *global*-id order, so:
+//!
+//! * a per-candidate mask map is the **disjoint union** of the shards'
+//!   mask maps (translated local→global), and
+//! * the global canonical fold order is the k-way merge of the shards'
+//!   canonical orders.
+//!
+//! Top-k therefore scatter-builds per-shard tables, merges them
+//! (`exec::merge_tables`) and ranks the merged values — the exact bits
+//! a single engine computes. Greedy max-cov runs as scatter–gather
+//! *rounds* over the [`GainCombiner`] trait (see `gain.rs`): each shard
+//! scores candidates against its local coverage, the front end merges the
+//! per-user marginal-delta streams in global id order, picks the winner
+//! with plain greedy's comparator and replays the winner's stream
+//! entry-by-entry — reproducing the single engine's accumulation order,
+//! and with it the value bits. Exact and genetic solvers run on the
+//! merged table directly (they are already table-level algorithms).
+//!
+//! # The two planes, sharded
+//!
+//! The single engine's split survives intact: the [`ShardedEngine`] is
+//! the single-writer control plane; it publishes immutable
+//! [`ShardedSnapshot`]s (per-shard snapshots + global id maps + merged
+//! tables) through [`ShardedReader`] handles. Update batches are
+//! validated globally, split into per-shard sub-batches by the
+//! [`Partitioner`], and applied to the shards **in parallel** — each
+//! shard revalidates and WAL-logs its sub-batch independently.
+//!
+//! # Durability: per-shard stores + a routing log
+//!
+//! A durable sharded engine owns a directory of one `tq-store` per shard
+//! plus two front-end files: a [`manifest`](tq_store::manifest) (shard
+//! count + partitioner) and a routing log (`routing.rs` — which global id
+//! lives where, with per-shard WAL stamps). [`Engine::open_sharded`]
+//! recovers every shard in parallel, then replays the routing log with
+//! the same epoch-stamp rule single-engine recovery uses — composed per
+//! shard, so each shard independently recovers its longest valid prefix
+//! and the front end re-derives a consistent global id space over
+//! whatever survived (see `recover.rs`).
+
+mod exec;
+mod gain;
+mod partition;
+mod recover;
+mod routing;
+
+pub use exec::{ShardedReader, ShardedSnapshot};
+pub use gain::{GainCombiner, LocalGains};
+pub use partition::Partitioner;
+
+use crate::dynamic::{BatchOutcome, Update, UpdateError};
+use crate::engine::{
+    Answer, Backend, BackendChoice, Engine, EngineBuilder, EngineError, Query, TableMemo,
+};
+use crate::eval::EvalStats;
+use crate::fasthash::{FxHashMap, FxHashSet};
+use crate::maxcov::ServedTable;
+use crate::persist::StoreConfig;
+use exec::{BuiltTables, ShardedSlot};
+use routing::{RouteEvent, RoutingRecord};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tq_geometry::Rect;
+use tq_store::manifest::{is_sharded_dir, ShardManifest, ROUTING_FILE};
+use tq_store::wal::WalWriter;
+use tq_trajectory::{FacilityId, TrajectoryId, UserSet};
+
+/// Where one global trajectory id lives: its owning shard and its
+/// shard-local id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RouteEntry {
+    pub(crate) shard: u16,
+    pub(crate) lid: TrajectoryId,
+}
+
+/// The durable half of a sharded front end: the root directory, the open
+/// routing log, and the store tunables shared by every shard.
+#[derive(Debug)]
+pub(crate) struct ShardedDurable {
+    root: PathBuf,
+    log: WalWriter,
+    config: StoreConfig,
+    /// Sequence number the next routing record will carry (`0` is the
+    /// initial placement, then one per applied batch).
+    batch_seq: u64,
+}
+
+/// The sharded single-writer control plane: N independent [`Engine`]s,
+/// one global id space routed over them, and a merged-table memo kept in
+/// lockstep with the shards' memos. See the [module docs](self) for the
+/// bit-identity argument and the durability layout.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    engines: Vec<Engine>,
+    partitioner: Partitioner,
+    /// Global liveness, id-aligned with `routing`.
+    live: Vec<bool>,
+    /// Global id → owning shard + local id.
+    routing: Vec<RouteEntry>,
+    /// Per shard: local id → global id (monotone).
+    locals: Vec<Vec<TrajectoryId>>,
+    /// Front-end subset-table recency bookkeeping — admitted/evicted in
+    /// lockstep with every shard memo (same capacity, same key sequence).
+    memo: TableMemo,
+    slot: Arc<ShardedSlot>,
+    snapshot: Arc<ShardedSnapshot>,
+    durable: Option<ShardedDurable>,
+    /// Explicit tree bounds (always `Some` for TQ-tree shards — the
+    /// builder enforces it — `None` for baseline shards).
+    bounds: Option<Rect>,
+}
+
+fn persist_err(e: tq_store::StoreError) -> EngineError {
+    EngineError::Persist(e.to_string())
+}
+
+impl ShardedEngine {
+    // -- construction -------------------------------------------------------
+
+    /// Builds the front end from a prepared [`EngineBuilder`] — the
+    /// implementation behind [`EngineBuilder::build_sharded`].
+    pub(crate) fn from_builder(mut b: EngineBuilder) -> Result<ShardedEngine, EngineError> {
+        let shards = b.shards.max(1);
+        let is_tree = matches!(b.backend, BackendChoice::TqTree(_));
+        if is_tree && b.bounds.is_none() {
+            return Err(EngineError::Sharded(
+                "a sharded TQ-tree engine needs explicit EngineBuilder::bounds \
+                 (every shard must index the same rectangle)"
+                    .into(),
+            ));
+        }
+        if let (true, Some(bounds)) = (is_tree, b.bounds) {
+            for (id, t) in b.users.iter() {
+                if t.points().iter().any(|p| !bounds.contains(p)) {
+                    return Err(EngineError::TrajectoryOutOfBounds { id });
+                }
+            }
+        }
+        let partitioner = if b.spatial {
+            let root = match b.bounds.or_else(|| b.users.mbr()) {
+                Some(r) => r,
+                None => {
+                    return Err(EngineError::Sharded(
+                        "the z-range partitioner needs bounds or a non-empty \
+                         initial user set"
+                            .into(),
+                    ))
+                }
+            };
+            Partitioner::z_range(root, &b.users, shards)
+        } else {
+            Partitioner::Hash
+        };
+
+        // Partition the initial users in ascending global-id order, so
+        // each shard's local ids are assigned monotonically in global-id
+        // order — the invariant every merge in this module leans on.
+        let mut locals: Vec<Vec<TrajectoryId>> = vec![Vec::new(); shards];
+        let mut routing: Vec<RouteEntry> = Vec::with_capacity(b.users.len());
+        let mut per_shard: Vec<Vec<tq_trajectory::Trajectory>> = vec![Vec::new(); shards];
+        for (gid, t) in b.users.iter() {
+            let s = partitioner.shard_of(t, shards);
+            routing.push(RouteEntry {
+                shard: s as u16,
+                lid: per_shard[s].len() as TrajectoryId,
+            });
+            locals[s].push(gid);
+            per_shard[s].push(t.clone());
+        }
+
+        // Durable scaffolding first: manifest + routing record 0, so a
+        // crash between shard creations leaves a recognizable (if
+        // incomplete) sharded directory rather than orphan stores.
+        let persist = b.persist.take();
+        let mut durable = None;
+        if let Some((dir, config)) = &persist {
+            if is_sharded_dir(dir) {
+                return Err(EngineError::Persist(format!(
+                    "{} already holds a sharded store — open it with \
+                     Engine::open_sharded instead of overwriting",
+                    dir.display()
+                )));
+            }
+            std::fs::create_dir_all(dir).map_err(|e| EngineError::Persist(e.to_string()))?;
+            ShardManifest {
+                shards: shards as u16,
+                partitioner: partitioner.spec(),
+            }
+            .write(dir)
+            .map_err(persist_err)?;
+            let mut log =
+                routing::create_log(&dir.join(ROUTING_FILE), config.sync).map_err(persist_err)?;
+            let placement = RoutingRecord {
+                seq: 0,
+                events: routing
+                    .iter()
+                    .map(|e| RouteEvent::Insert {
+                        shard: e.shard,
+                        alive: true,
+                    })
+                    .collect(),
+                stamps: vec![0; shards],
+            };
+            log.append(0, placement.encode().as_ref())
+                .map_err(persist_err)?;
+            durable = Some(ShardedDurable {
+                root: dir.clone(),
+                log,
+                config: *config,
+                batch_seq: 1,
+            });
+        }
+
+        let users = std::mem::replace(&mut b.users, UserSet::new());
+        let template = b;
+        let mut engines = Vec::with_capacity(shards);
+        for (s, shard_users) in per_shard.into_iter().enumerate() {
+            let mut sb = template.clone();
+            sb.users = UserSet::from_vec(shard_users);
+            sb.shards = 1;
+            sb.persist = persist
+                .as_ref()
+                .map(|(dir, config)| (ShardManifest::shard_dir(dir, s), *config));
+            engines.push(sb.build()?);
+        }
+
+        let live_count = users.len();
+        let live = vec![true; users.len()];
+        let memo = TableMemo::new(template.subset_tables);
+        let bounds = if is_tree { template.bounds } else { None };
+        Ok(ShardedEngine::assemble(
+            engines, partitioner, live, live_count, routing, locals, users, memo, durable, bounds,
+        ))
+    }
+
+    /// Final assembly shared by the builder and [`recover`]: publishes
+    /// epoch 0 over the given state.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        engines: Vec<Engine>,
+        partitioner: Partitioner,
+        live: Vec<bool>,
+        live_count: usize,
+        routing: Vec<RouteEntry>,
+        locals: Vec<Vec<TrajectoryId>>,
+        users: UserSet,
+        memo: TableMemo,
+        durable: Option<ShardedDurable>,
+        bounds: Option<Rect>,
+    ) -> ShardedEngine {
+        let facilities = engines[0].snapshot().facilities.clone();
+        let model = *engines[0].model();
+        let snapshot = Arc::new(ShardedSnapshot {
+            epoch: 0,
+            shards: engines.iter().map(|e| e.snapshot()).collect(),
+            locals: locals.iter().map(|l| Arc::new(l.clone())).collect(),
+            users: Arc::new(users),
+            live_count,
+            facilities,
+            model,
+            tables: FxHashMap::default(),
+        });
+        ShardedEngine {
+            engines,
+            partitioner,
+            live,
+            routing,
+            locals,
+            memo,
+            slot: Arc::new(ShardedSlot::new(snapshot.clone())),
+            snapshot,
+            durable,
+            bounds,
+        }
+    }
+
+    /// Atomically publishes a successor sharded snapshot and keeps the
+    /// writer's handle in sync — the sharded sibling of the single
+    /// engine's `publish`.
+    fn publish(&mut self, snapshot: ShardedSnapshot) {
+        debug_assert!(snapshot.epoch > self.snapshot.epoch, "epochs are monotone");
+        let arc = Arc::new(snapshot);
+        self.snapshot = arc.clone();
+        self.slot.store(arc);
+    }
+
+    /// Refreshed per-shard snapshot `Arc`s (after shard publications).
+    fn shard_snapshots(&self) -> Vec<Arc<crate::engine::Snapshot>> {
+        self.engines.iter().map(|e| e.snapshot()).collect()
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    /// Answers a typed [`Query`] with scatter–gather over the shards,
+    /// memoizing any merged table the query had to build (and the
+    /// per-shard tables behind it, keeping the shard memos in lockstep).
+    /// Bit-identical to [`Engine::run`] on one engine over the union of
+    /// the shards' users.
+    pub fn run(&mut self, query: Query) -> Result<Answer, EngineError> {
+        let (answer, outcome) = exec::execute(&self.snapshot, &query)?;
+        if let Some(outcome) = outcome {
+            match outcome.built {
+                Some(built) => self.absorb(outcome.key, built),
+                None => {
+                    self.memo.touch(&outcome.key);
+                    for engine in &mut self.engines {
+                        engine.touch_table(&outcome.key);
+                    }
+                }
+            }
+        }
+        Ok(answer)
+    }
+
+    /// Absorbs a freshly built merged table (and its per-shard halves)
+    /// into the memos — same admission/eviction decisions as the single
+    /// engine, applied to the front *and* every shard so their caches
+    /// stay key-for-key identical.
+    fn absorb(&mut self, key: Vec<FacilityId>, built: BuiltTables) {
+        let is_full = key.len() == self.snapshot.facilities.len();
+        let mut evicted = Vec::new();
+        if !is_full {
+            if self.memo.capacity() == 0 {
+                return;
+            }
+            evicted = self.memo.admit(key.clone());
+        }
+        for (s, engine) in self.engines.iter_mut().enumerate() {
+            engine.absorb_table(key.clone(), built.per_shard[s].clone());
+        }
+        let mut tables = self.snapshot.tables.clone();
+        for k in &evicted {
+            tables.remove(k);
+        }
+        tables.insert(key, built.merged);
+        self.publish(ShardedSnapshot {
+            epoch: self.snapshot.epoch + 1,
+            shards: self.shard_snapshots(),
+            locals: self.snapshot.locals.clone(),
+            users: self.snapshot.users.clone(),
+            live_count: self.snapshot.live_count,
+            facilities: self.snapshot.facilities.clone(),
+            model: self.snapshot.model,
+            tables,
+        });
+    }
+
+    /// Pre-builds (and memoizes) the merged [`ServedTable`] over **all**
+    /// registered facilities: warms every shard in parallel, merges, and
+    /// publishes — the sharded sibling of [`Engine::warm`].
+    pub fn warm(&mut self) -> &ServedTable {
+        let all: Vec<FacilityId> = self.snapshot.facilities.iter().map(|(id, _)| id).collect();
+        if !self.snapshot.tables.contains_key(&all) {
+            std::thread::scope(|scope| {
+                for engine in self.engines.iter_mut() {
+                    scope.spawn(move || {
+                        engine.warm();
+                    });
+                }
+            });
+            let per_shard: Vec<Arc<ServedTable>> = self
+                .engines
+                .iter()
+                .map(|e| {
+                    let snap = e.snapshot();
+                    snap.tables[&all].clone()
+                })
+                .collect();
+            let mut stats = EvalStats::default();
+            for t in &per_shard {
+                stats.add(&t.stats);
+            }
+            let merged = Arc::new(exec::merge_tables(
+                &all,
+                &per_shard,
+                &self.snapshot.locals,
+                &self.snapshot.users,
+                &self.snapshot.model,
+                stats,
+            ));
+            let mut tables = self.snapshot.tables.clone();
+            tables.insert(all.clone(), merged);
+            self.publish(ShardedSnapshot {
+                epoch: self.snapshot.epoch + 1,
+                shards: self.shard_snapshots(),
+                locals: self.snapshot.locals.clone(),
+                users: self.snapshot.users.clone(),
+                live_count: self.snapshot.live_count,
+                facilities: self.snapshot.facilities.clone(),
+                model: self.snapshot.model,
+                tables,
+            });
+        }
+        &self.snapshot.tables[&all]
+    }
+
+    // -- updates ------------------------------------------------------------
+
+    /// Applies one batch of updates across the shards and publishes the
+    /// resulting sharded snapshot.
+    ///
+    /// The batch is validated **globally** first (bounds, liveness,
+    /// double-removal — the same rules as [`Engine::apply`], in the
+    /// global id space), split into per-shard sub-batches by the
+    /// partitioner, then applied to the shards in parallel; each durable
+    /// shard WAL-logs its own sub-batch. On a durable front end the
+    /// routing record (batch events + per-shard WAL stamps) is appended
+    /// and fsynced **before** the shard applies, so the routing log is
+    /// always a superset of shard state and recovery's stamp rule can
+    /// skip exactly the sub-batches that never reached their shard.
+    ///
+    /// All-or-nothing at the front: a validation or routing-log failure
+    /// rejects the batch with nothing mutated. A *shard* apply failure
+    /// after that is reported as the shard's error with the front end
+    /// unpublished — on a durable engine, reopen with
+    /// [`Engine::open_sharded`] to resynchronize; an in-memory engine
+    /// cannot recover the split batch and should be discarded.
+    ///
+    /// [`EngineError::CheckpointFailed`] from a shard's threshold
+    /// checkpoint is the one post-publish error: the batch **is** applied
+    /// and published everywhere (do not retry it), only that shard's log
+    /// compaction failed.
+    pub fn apply(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError> {
+        if !matches!(self.engines[0].backend(), Backend::TqTree(_)) {
+            return Err(EngineError::UpdatesUnsupported);
+        }
+        self.validate_global(updates).map_err(EngineError::Update)?;
+
+        // Split into per-shard sub-batches, translating global ids to
+        // shard-local ids (including ids inserted earlier in this batch).
+        let shards = self.engines.len();
+        let mut subs: Vec<Vec<Update>> = vec![Vec::new(); shards];
+        let mut events: Vec<RouteEvent> = Vec::with_capacity(updates.len());
+        let mut pending: Vec<RouteEntry> = Vec::new();
+        let mut next_lid: Vec<u32> = self
+            .engines
+            .iter()
+            .map(|e| e.users().len() as u32)
+            .collect();
+        for u in updates {
+            match u {
+                Update::Insert(t) => {
+                    let s = self.partitioner.shard_of(t, shards);
+                    pending.push(RouteEntry {
+                        shard: s as u16,
+                        lid: next_lid[s],
+                    });
+                    next_lid[s] += 1;
+                    subs[s].push(Update::Insert(t.clone()));
+                    events.push(RouteEvent::Insert {
+                        shard: s as u16,
+                        alive: true,
+                    });
+                }
+                Update::Remove(gid) => {
+                    let entry = if (*gid as usize) < self.routing.len() {
+                        self.routing[*gid as usize]
+                    } else {
+                        pending[*gid as usize - self.routing.len()]
+                    };
+                    subs[entry.shard as usize].push(Update::Remove(entry.lid));
+                    events.push(RouteEvent::Remove { gid: *gid });
+                }
+            }
+        }
+        // Per-shard WAL stamps: the epoch each shard's own WAL will carry
+        // this sub-batch under (0 = no events for that shard) — what lets
+        // recovery decide, per shard, whether the sub-batch survived.
+        let stamps: Vec<u64> = (0..shards)
+            .map(|s| {
+                if subs[s].is_empty() {
+                    0
+                } else {
+                    self.engines[s].epoch() + 1
+                }
+            })
+            .collect();
+        if let Some(d) = self.durable.as_mut() {
+            let record = RoutingRecord {
+                seq: d.batch_seq,
+                events,
+                stamps,
+            };
+            d.log
+                .append(record.seq, record.encode().as_ref())
+                .map_err(persist_err)?;
+            d.batch_seq += 1;
+        }
+
+        // Scatter: parallel per-shard applies (shards without events keep
+        // their epoch — their WAL sees nothing, matching their stamp 0).
+        let results: Vec<Option<Result<BatchOutcome, EngineError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .engines
+                    .iter_mut()
+                    .zip(&subs)
+                    .map(|(engine, sub)| {
+                        if sub.is_empty() {
+                            None
+                        } else {
+                            Some(scope.spawn(move || engine.apply(sub)))
+                        }
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("shard apply panicked")))
+                    .collect()
+            });
+        let mut outcome = BatchOutcome::default();
+        let mut checkpoint_failed: Option<EngineError> = None;
+        for result in results.into_iter().flatten() {
+            match result {
+                Ok(o) => {
+                    outcome.removed += o.removed;
+                    outcome.untouched += o.untouched;
+                    outcome.patched += o.patched;
+                    outcome.reevaluated += o.reevaluated;
+                }
+                Err(EngineError::CheckpointFailed(why)) => {
+                    checkpoint_failed
+                        .get_or_insert(EngineError::CheckpointFailed(why));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Gather: fold the batch into the global id space.
+        let mut users = UserSet::clone(&self.snapshot.users);
+        let mut pending = pending.into_iter();
+        for u in updates {
+            match u {
+                Update::Insert(t) => {
+                    let gid = users.push(t.clone());
+                    outcome.inserted.push(gid);
+                    let entry = pending.next().expect("one route per insert");
+                    self.routing.push(entry);
+                    self.locals[entry.shard as usize].push(gid);
+                    self.live.push(true);
+                }
+                Update::Remove(gid) => {
+                    self.live[*gid as usize] = false;
+                }
+            }
+        }
+        let live_count =
+            self.snapshot.live_count + outcome.inserted.len() - outcome.removed;
+
+        // Re-merge every memoized front table from the shards' freshly
+        // maintained tables. Stats stay as originally built — exactly the
+        // single engine's incremental-maintenance behavior.
+        let shard_snaps = self.shard_snapshots();
+        let locals: Vec<Arc<Vec<TrajectoryId>>> =
+            self.locals.iter().map(|l| Arc::new(l.clone())).collect();
+        let users = Arc::new(users);
+        let mut tables = FxHashMap::default();
+        for (key, old) in &self.snapshot.tables {
+            let per_shard: Vec<Arc<ServedTable>> = shard_snaps
+                .iter()
+                .map(|snap| match snap.tables.get(key) {
+                    Some(t) => t.clone(),
+                    None => Arc::new(snap.backend().as_index().served_table(
+                        snap.users(),
+                        snap.model(),
+                        snap.facilities(),
+                        key,
+                    )),
+                })
+                .collect();
+            let merged = exec::merge_tables(
+                key,
+                &per_shard,
+                &locals,
+                &users,
+                &self.snapshot.model,
+                old.stats,
+            );
+            tables.insert(key.clone(), Arc::new(merged));
+        }
+        self.publish(ShardedSnapshot {
+            epoch: self.snapshot.epoch + 1,
+            shards: shard_snaps,
+            locals,
+            users,
+            live_count,
+            facilities: self.snapshot.facilities.clone(),
+            model: self.snapshot.model,
+            tables,
+        });
+        match checkpoint_failed {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+
+    /// Global-id-space batch validation — the same rules as the single
+    /// engine's, against the front end's bounds and liveness.
+    fn validate_global(&self, updates: &[Update]) -> Result<(), UpdateError> {
+        let Some(bounds) = self.bounds else {
+            return Ok(());
+        };
+        let mut next_id = self.snapshot.users.len() as TrajectoryId;
+        let mut batch_removed: FxHashSet<TrajectoryId> = Default::default();
+        for (index, u) in updates.iter().enumerate() {
+            match u {
+                Update::Insert(t) => {
+                    if t.points().iter().any(|p| !bounds.contains(p)) {
+                        return Err(UpdateError::OutOfBounds { index });
+                    }
+                    next_id += 1;
+                }
+                Update::Remove(id) => {
+                    let preexisting = (*id as usize) < self.live.len();
+                    let live = if preexisting {
+                        self.live[*id as usize]
+                    } else {
+                        *id < next_id
+                    };
+                    if !live || !batch_removed.insert(*id) {
+                        return Err(UpdateError::NotLive { index, id: *id });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Checkpoints every shard (fresh snapshot, truncated WAL) and
+    /// compacts the routing log down to a single full-placement record.
+    /// Returns the store's root directory. Fails with
+    /// [`EngineError::NotDurable`] on an in-memory front end.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, EngineError> {
+        if self.durable.is_none() {
+            return Err(EngineError::NotDurable);
+        }
+        for engine in &mut self.engines {
+            engine.checkpoint()?;
+        }
+        self.rewrite_routing().map_err(persist_err)?;
+        Ok(self.durable.as_ref().expect("checked durable").root.clone())
+    }
+
+    /// The attached store's status — the sharded root directory, with
+    /// pending WAL batches summed across the shard stores — or `None`
+    /// for an in-memory front end.
+    pub fn persistence(&self) -> Option<crate::persist::PersistStatus> {
+        let durable = self.durable.as_ref()?;
+        Some(crate::persist::PersistStatus {
+            dir: durable.root.clone(),
+            wal_batches: self
+                .engines
+                .iter()
+                .filter_map(|e| e.persistence())
+                .map(|s| s.wal_batches)
+                .sum(),
+            checkpoint_every: durable.config.checkpoint_every,
+        })
+    }
+
+    /// Replaces the routing log with one full-placement record covering
+    /// the current state (every event stamp 0 = snapshot-covered).
+    /// Crash-safe: written to a temp file, then renamed over the old log.
+    fn rewrite_routing(&mut self) -> Result<(), tq_store::StoreError> {
+        let durable = self.durable.as_mut().expect("checked durable");
+        let record = RoutingRecord {
+            seq: 0,
+            events: self
+                .routing
+                .iter()
+                .zip(&self.live)
+                .map(|(entry, &alive)| RouteEvent::Insert {
+                    shard: entry.shard,
+                    alive,
+                })
+                .collect(),
+            stamps: vec![0; self.engines.len()],
+        };
+        let tmp = durable.root.join("routing.tql.tmp");
+        let mut log = routing::create_log(&tmp, durable.config.sync)?;
+        log.append(0, record.encode().as_ref())?;
+        std::fs::rename(&tmp, durable.root.join(ROUTING_FILE))?;
+        std::fs::File::open(&durable.root)?.sync_all()?;
+        durable.log = log;
+        durable.batch_seq = 1;
+        Ok(())
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// A cloneable handle for serving threads — follows every publication
+    /// of this engine.
+    pub fn reader(&self) -> ShardedReader {
+        ShardedReader {
+            slot: self.slot.clone(),
+        }
+    }
+
+    /// The currently published sharded snapshot.
+    pub fn snapshot(&self) -> Arc<ShardedSnapshot> {
+        self.snapshot.clone()
+    }
+
+    /// The current front-end publication epoch (restarts at 0 on reopen;
+    /// the durable epochs are the per-shard ones).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Shard `i`'s engine (read access — all writes go through the front
+    /// end to keep the routing map consistent).
+    pub fn shard(&self, i: usize) -> &Engine {
+        &self.engines[i]
+    }
+
+    /// The partitioner routing inserts to shards.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The global user set, including removed tombstones.
+    pub fn users(&self) -> &UserSet {
+        self.snapshot.users()
+    }
+
+    /// Number of live (not removed) trajectories across all shards.
+    pub fn live_users(&self) -> usize {
+        self.snapshot.live_count
+    }
+
+    /// Whether global trajectory `id` is currently live.
+    pub fn is_live(&self, id: TrajectoryId) -> bool {
+        (id as usize) < self.live.len() && self.live[id as usize]
+    }
+
+    /// A compacted [`UserSet`] of the live trajectories in ascending
+    /// global id order — the set a single-engine cross-check should
+    /// index (see [`Engine::live_set`]).
+    pub fn live_set(&self) -> UserSet {
+        UserSet::from_vec(
+            self.live
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l)
+                .map(|(id, _)| self.snapshot.users.get(id as TrajectoryId).clone())
+                .collect(),
+        )
+    }
+
+    /// The memoized merged table for a (sorted) candidate set, if any.
+    pub fn cached_table(&self, candidates: &[FacilityId]) -> Option<&ServedTable> {
+        self.snapshot.cached_table(candidates)
+    }
+
+    /// The memoized merged full-facility table (see
+    /// [`ShardedEngine::warm`]).
+    pub fn full_table(&self) -> Option<&ServedTable> {
+        self.snapshot.full_table()
+    }
+}
+
+impl Engine {
+    /// Opens a sharded store directory (created by
+    /// [`EngineBuilder::build_sharded`] with persistence) with default
+    /// [`StoreConfig`] — see [`Engine::open_sharded_with`].
+    pub fn open_sharded(dir: impl AsRef<Path>) -> Result<ShardedEngine, EngineError> {
+        Engine::open_sharded_with(dir, StoreConfig::default())
+    }
+
+    /// Opens a sharded store directory: recovers every shard's store in
+    /// parallel (each to its own longest valid prefix), then replays the
+    /// routing log under the per-shard epoch-stamp rule to rebuild a
+    /// consistent global id space over exactly the batches that survived.
+    /// Never panics on torn or corrupt state; unreconcilable directories
+    /// fail with [`EngineError::Persist`] / [`EngineError::Sharded`].
+    pub fn open_sharded_with(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<ShardedEngine, EngineError> {
+        recover::open_sharded(dir.as_ref(), config)
+    }
+}

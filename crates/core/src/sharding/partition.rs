@@ -1,0 +1,191 @@
+//! Partitioners: the pure rule assigning each trajectory to a shard.
+//!
+//! The rule must be a function of the trajectory *content* only — never of
+//! arrival order or current shard sizes — so that replaying a routing log
+//! (or rebuilding from scratch) lands every trajectory on the same shard.
+//! Two rules are provided:
+//!
+//! * **Hash** — an [`FxHasher`] over the trajectory's endpoints and length,
+//!   modulo the shard count. Spreads any workload evenly; destroys
+//!   locality.
+//! * **Z-range** — the trajectory's source point is mapped to a Z-order
+//!   cell ([`ZId::of_point`]) at a fixed depth under the engine bounds and
+//!   binary-searched against `shards − 1` split codes. Preserves spatial
+//!   locality, so range-heavy scatter work stays shard-local; the splits
+//!   are quantiles of the initial user set (falling back to an even
+//!   horizontal slicing when the engine starts empty).
+//!
+//! Either way the *answers* of a sharded engine are bit-identical to a
+//! single engine — the partitioner only decides where per-user work
+//! happens, never how values are combined.
+
+use crate::fasthash::FxHasher;
+use std::hash::Hasher;
+use tq_geometry::{Point, Rect, ZId};
+use tq_store::manifest::PartitionerSpec;
+use tq_trajectory::{Trajectory, UserSet};
+
+/// Z-code depth used by [`Partitioner::z_range`] splits.
+pub const Z_SPLIT_DEPTH: u8 = 16;
+
+/// The shard-assignment rule of a
+/// [`ShardedEngine`](crate::sharding::ShardedEngine). See the
+/// module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioner {
+    /// Content hash modulo shard count.
+    Hash,
+    /// Spatial Z-order range split of the source point.
+    ZRange {
+        /// Root rectangle of the Z-space (the engine bounds).
+        root: Rect,
+        /// Depth at which source points are z-coded.
+        depth: u8,
+        /// `shards − 1` sorted split codes; shard `i` owns the codes in
+        /// `[splits[i-1], splits[i])`.
+        splits: Vec<ZId>,
+    },
+}
+
+impl Partitioner {
+    /// Builds a z-range partitioner whose splits are quantiles of
+    /// `sample`'s source-point z-codes (even horizontal slices of `root`
+    /// when the sample is empty). With fewer distinct codes than shards,
+    /// trailing shards simply start empty — correctness does not depend on
+    /// balance.
+    pub fn z_range(root: Rect, sample: &UserSet, shards: usize) -> Partitioner {
+        let mut codes: Vec<ZId> = sample
+            .iter()
+            .map(|(_, t)| ZId::of_point(&root, &t.source(), Z_SPLIT_DEPTH))
+            .collect();
+        codes.sort_unstable();
+        let splits = (1..shards)
+            .map(|i| {
+                if codes.is_empty() {
+                    let frac = i as f64 / shards as f64;
+                    let p = Point::new(
+                        root.min.x + (root.max.x - root.min.x) * frac,
+                        root.min.y,
+                    );
+                    ZId::of_point(&root, &p, Z_SPLIT_DEPTH)
+                } else {
+                    codes[(i * codes.len()) / shards]
+                }
+            })
+            .collect();
+        Partitioner::ZRange {
+            root,
+            depth: Z_SPLIT_DEPTH,
+            splits,
+        }
+    }
+
+    /// The shard owning `t`, in `0..shards`.
+    pub fn shard_of(&self, t: &Trajectory, shards: usize) -> usize {
+        match self {
+            Partitioner::Hash => {
+                let mut h = FxHasher::default();
+                let (src, dst) = (t.source(), t.destination());
+                h.write_u64(src.x.to_bits());
+                h.write_u64(src.y.to_bits());
+                h.write_u64(dst.x.to_bits());
+                h.write_u64(dst.y.to_bits());
+                h.write_u64(t.len() as u64);
+                (h.finish() % shards as u64) as usize
+            }
+            Partitioner::ZRange { root, depth, splits } => {
+                let z = ZId::of_point(root, &t.source(), *depth);
+                splits.partition_point(|s| *s <= z)
+            }
+        }
+    }
+
+    /// The durable description written into the store manifest.
+    pub(crate) fn spec(&self) -> PartitionerSpec {
+        match self {
+            Partitioner::Hash => PartitionerSpec::Hash,
+            Partitioner::ZRange { root, depth, splits } => PartitionerSpec::ZRange {
+                root: *root,
+                depth: *depth,
+                splits: splits.iter().map(|z| (z.path_bits(), z.depth())).collect(),
+            },
+        }
+    }
+
+    /// Rebuilds a partitioner from its manifest description, validating
+    /// the raw split codes.
+    pub(crate) fn from_spec(spec: &PartitionerSpec) -> Result<Partitioner, String> {
+        match spec {
+            PartitionerSpec::Hash => Ok(Partitioner::Hash),
+            PartitionerSpec::ZRange { root, depth, splits } => {
+                let splits = splits
+                    .iter()
+                    .map(|&(path, d)| {
+                        ZId::from_raw(path, d)
+                            .ok_or_else(|| format!("invalid z split ({path:#x}, {d})"))
+                    })
+                    .collect::<Result<Vec<ZId>, String>>()?;
+                Ok(Partitioner::ZRange {
+                    root: *root,
+                    depth: *depth,
+                    splits,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users(n: usize) -> UserSet {
+        UserSet::from_vec(
+            (0..n)
+                .map(|i| {
+                    let x = (i as f64 * 7.3) % 100.0;
+                    let y = (i as f64 * 3.1) % 100.0;
+                    Trajectory::two_point(Point::new(x, y), Point::new(x + 1.0, y + 1.0))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let us = users(200);
+        for shards in [1, 2, 4, 8] {
+            for (_, t) in us.iter() {
+                let s = Partitioner::Hash.shard_of(t, shards);
+                assert!(s < shards);
+                assert_eq!(s, Partitioner::Hash.shard_of(t, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn z_range_quantiles_balance_and_roundtrip() {
+        let root = Rect::new(Point::new(0.0, 0.0), Point::new(101.0, 101.0));
+        let us = users(400);
+        for shards in [2, 4, 8] {
+            let p = Partitioner::z_range(root, &us, shards);
+            let mut counts = vec![0usize; shards];
+            for (_, t) in us.iter() {
+                counts[p.shard_of(t, shards)] += 1;
+            }
+            // Quantile splits keep every shard within a loose balance band.
+            assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+            // Manifest roundtrip preserves the rule exactly.
+            let back = Partitioner::from_spec(&p.spec()).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn z_range_of_empty_sample_still_partitions() {
+        let root = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let p = Partitioner::z_range(root, &UserSet::new(), 4);
+        let t = Trajectory::two_point(Point::new(9.0, 9.0), Point::new(9.5, 9.5));
+        assert!(p.shard_of(&t, 4) < 4);
+    }
+}

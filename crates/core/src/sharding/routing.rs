@@ -1,0 +1,217 @@
+//! The routing log: the sharded front end's own write-ahead record of
+//! *where* every trajectory went, in global arrival order.
+//!
+//! Per-shard stores already make each shard's state durable; what they
+//! cannot express is the **global id space** — which global id each insert
+//! received, and on which shard it lives. The routing log records exactly
+//! that, one record per applied batch, using the standard
+//! [`tq_store::wal`] framing (CRC per record, longest-valid-prefix reads):
+//!
+//! ```text
+//! record seq 0   initial placement: one Insert event per initial
+//!                trajectory, in global id order
+//! record seq g   batch g's events, in their original order
+//! ```
+//!
+//! Each record also carries one **WAL stamp per shard**: the epoch the
+//! shard's own WAL will stamp this batch's sub-batch with (`0` when the
+//! batch has no events for that shard). Recovery replays the routing log
+//! against the independently recovered shards and materializes a record's
+//! events for shard `s` only when `stamp ≤` the shard's recovered epoch —
+//! the same epoch-stamp rule single-engine recovery uses, composed per
+//! shard. See [`super::recover`] for the walk.
+//!
+//! The log is written **before** the per-shard applies and fsynced, so the
+//! routing log is always a superset of shard state; a routing record whose
+//! sub-batches never reached the shards is simply skipped by the stamp
+//! rule on the next open.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::path::Path;
+use tq_store::codec::Reader;
+use tq_store::wal::{self, SyncPolicy, WalSummary, WalWriter};
+use tq_store::StoreError;
+use tq_trajectory::TrajectoryId;
+
+/// One routed event. Mirrors [`crate::dynamic::Update`], with the
+/// trajectory body elided (shard stores hold it) and the shard decision
+/// made explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RouteEvent {
+    /// The next global id was assigned to a trajectory on `shard`.
+    /// `alive` is false only in rebased logs (a recovered tombstone whose
+    /// removal already happened).
+    Insert {
+        /// Owning shard.
+        shard: u16,
+        /// Liveness at log-write time.
+        alive: bool,
+    },
+    /// The trajectory with this global id was removed.
+    Remove {
+        /// The removed global id.
+        gid: TrajectoryId,
+    },
+}
+
+/// One decoded routing record (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RoutingRecord {
+    /// Record sequence number (the WAL frame's epoch field): `0` for the
+    /// initial placement, then one per batch.
+    pub(crate) seq: u64,
+    /// The batch's events, in original order.
+    pub(crate) events: Vec<RouteEvent>,
+    /// Per-shard WAL stamps; `0` = no events for that shard.
+    pub(crate) stamps: Vec<u64>,
+}
+
+impl RoutingRecord {
+    /// Encodes the record payload (the WAL frame adds seq + CRC).
+    pub(crate) fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.events.len() * 5);
+        buf.put_u32_le(self.events.len() as u32);
+        for e in &self.events {
+            match *e {
+                RouteEvent::Insert { shard, alive } => {
+                    buf.put_u8(if alive { 0 } else { 2 });
+                    buf.put_u16_le(shard);
+                }
+                RouteEvent::Remove { gid } => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(gid);
+                }
+            }
+        }
+        buf.put_u16_le(self.stamps.len() as u16);
+        for &s in &self.stamps {
+            buf.put_u64_le(s);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a record payload read back from the log.
+    pub(crate) fn decode(seq: u64, payload: Bytes) -> Result<RoutingRecord, StoreError> {
+        let mut r = Reader::new(payload);
+        let n = r.count(3)?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(match r.u8()? {
+                0 => RouteEvent::Insert {
+                    shard: r.u16()?,
+                    alive: true,
+                },
+                2 => RouteEvent::Insert {
+                    shard: r.u16()?,
+                    alive: false,
+                },
+                1 => RouteEvent::Remove { gid: r.u32()? },
+                tag => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unknown routing event tag {tag}"
+                    )))
+                }
+            });
+        }
+        let m = r.u16()? as usize;
+        let mut stamps = Vec::with_capacity(m);
+        for _ in 0..m {
+            stamps.push(r.u64()?);
+        }
+        r.finish()?;
+        Ok(RoutingRecord { seq, events, stamps })
+    }
+}
+
+/// Reads the routing log's longest valid prefix: CRC-framed prefix (from
+/// [`wal::read`]) further cut at the first record that fails structural
+/// decoding or breaks the dense `0, 1, 2, …` sequence rule.
+pub(crate) fn read_log(path: &Path) -> Result<(Vec<RoutingRecord>, WalSummary), StoreError> {
+    let (raw, mut summary) = wal::read(path)?;
+    let mut records = Vec::with_capacity(raw.len());
+    for rec in raw {
+        if rec.epoch != records.len() as u64 {
+            summary.tail_note = Some(format!(
+                "routing seq {} where {} was expected",
+                rec.epoch,
+                records.len()
+            ));
+            break;
+        }
+        match RoutingRecord::decode(rec.epoch, rec.payload) {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                summary.tail_note = Some(format!(
+                    "undecodable routing record {}: {e}",
+                    rec.epoch
+                ));
+                break;
+            }
+        }
+    }
+    summary.records = records.len();
+    Ok((records, summary))
+}
+
+/// Creates a fresh routing log (truncating any existing one) with the
+/// standard WAL header. The parent-epoch field is unused by routing
+/// recovery (the stamp rule replaces it) and always written as 0.
+pub(crate) fn create_log(path: &Path, sync: SyncPolicy) -> Result<WalWriter, StoreError> {
+    WalWriter::create(path, 0, sync)
+}
+
+/// Opens an existing routing log for appending after [`read_log`],
+/// truncating the torn tail.
+pub(crate) fn open_log(
+    path: &Path,
+    valid_bytes: u64,
+    sync: SyncPolicy,
+) -> Result<WalWriter, StoreError> {
+    WalWriter::open_after_recovery(path, valid_bytes, 0, sync)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> RoutingRecord {
+        RoutingRecord {
+            seq,
+            events: vec![
+                RouteEvent::Insert { shard: 3, alive: true },
+                RouteEvent::Remove { gid: 17 },
+                RouteEvent::Insert { shard: 0, alive: false },
+            ],
+            stamps: vec![5, 0, 0, 9],
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let r = sample(4);
+        let enc = r.encode();
+        assert_eq!(RoutingRecord::decode(4, enc).unwrap(), r);
+    }
+
+    #[test]
+    fn log_roundtrip_and_sequence_rule() {
+        let dir = std::env::temp_dir().join(format!("tq-routing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("routing.tql");
+        {
+            let mut w = create_log(&path, SyncPolicy::Always).unwrap();
+            for seq in 0..3 {
+                let rec = sample(seq);
+                w.append(seq, rec.encode().as_ref()).unwrap();
+            }
+            // A record violating the dense-sequence rule terminates the
+            // readable prefix without erroring.
+            w.append(7, sample(7).encode().as_ref()).unwrap();
+        }
+        let (records, summary) = read_log(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(summary.tail_note.unwrap().contains("seq 7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,7 +3,7 @@
 //! and checkpoints through a channel.
 //!
 //! The engine's concurrency model is many lock-free readers (clone a
-//! [`Reader`](crate::engine::Reader) before spawning them) and **exactly
+//! [`Reader`] before spawning them) and **exactly
 //! one** writer. In-process drivers like [`crate::serve`] keep the writer
 //! on the calling thread; a daemon with many client connections needs the
 //! opposite shape — any connection may carry an update batch, but all of
@@ -52,10 +52,168 @@
 //! durable.
 
 use crate::dynamic::{BatchOutcome, Update};
-use crate::engine::{Engine, EngineError};
+use crate::engine::{Answer, BackendKind, Engine, EngineError, Query, Reader};
+use crate::persist::PersistStatus;
+use crate::sharding::{ShardedEngine, ShardedReader};
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A point-in-time description of a read plane — what a daemon's
+/// hello/status frames report about the engine behind them.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneInfo {
+    /// The latest published epoch.
+    pub epoch: u64,
+    /// The backend kind (homogeneous across shards on a sharded plane).
+    pub backend: BackendKind,
+    /// Total trajectories, tombstones included.
+    pub users: usize,
+    /// Live (not removed) trajectories.
+    pub live_users: usize,
+    /// Registered candidate facilities.
+    pub facilities: usize,
+}
+
+/// The lock-free read plane paired with a [`ControlPlane`]: a cloneable
+/// handle that answers queries off the latest published snapshot from
+/// any number of threads, never touching the writer. Implemented by
+/// [`Reader`] (single engine) and [`ShardedReader`] (scatter–gather
+/// front end) with identical semantics.
+pub trait ReadPlane: Clone + Send + Sync + 'static {
+    /// The latest published epoch.
+    fn latest_epoch(&self) -> u64;
+    /// Takes the latest snapshot (an O(1) pointer clone) and answers
+    /// `query` on it. The snapshot-grab time is recorded into the
+    /// answer's [`Explain::queued`](crate::engine::Explain::queued).
+    fn query(&self, query: Query) -> Result<Answer, EngineError>;
+    /// Describes the latest snapshot for status reporting.
+    fn info(&self) -> PlaneInfo;
+}
+
+impl ReadPlane for Reader {
+    fn latest_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn query(&self, query: Query) -> Result<Answer, EngineError> {
+        let arrived = Instant::now();
+        let snapshot = self.snapshot();
+        let queued = arrived.elapsed();
+        let mut answer = snapshot.run(query)?;
+        answer.explain.queued = queued;
+        Ok(answer)
+    }
+
+    fn info(&self) -> PlaneInfo {
+        let snap = self.snapshot();
+        PlaneInfo {
+            epoch: snap.epoch(),
+            backend: snap.backend().kind(),
+            users: snap.users().len(),
+            live_users: snap.live_users(),
+            facilities: snap.facilities().len(),
+        }
+    }
+}
+
+impl ReadPlane for ShardedReader {
+    fn latest_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn query(&self, query: Query) -> Result<Answer, EngineError> {
+        let arrived = Instant::now();
+        let snapshot = self.snapshot();
+        let queued = arrived.elapsed();
+        let mut answer = snapshot.run(query)?;
+        answer.explain.queued = queued;
+        Ok(answer)
+    }
+
+    fn info(&self) -> PlaneInfo {
+        let snap = self.snapshot();
+        PlaneInfo {
+            epoch: snap.epoch(),
+            backend: snap.backend_kind(),
+            users: snap.users().len(),
+            live_users: snap.live_users(),
+            facilities: snap.facilities().len(),
+        }
+    }
+}
+
+/// A single-writer control plane a [`WriterHub`] can own: the engine-side
+/// contract of the funnel — all-or-nothing batch application, epoch
+/// publication, and explicit checkpoints. Implemented by [`Engine`] and
+/// by the sharded front end ([`ShardedEngine`]), so one daemon codebase
+/// serves both (`tqd --shards N` funnels batches through the exact same
+/// hub).
+pub trait ControlPlane: Send + 'static {
+    /// The read-plane handle paired with this control plane.
+    type Reader: ReadPlane;
+    /// A cloneable read handle following every publication of this
+    /// engine. Clone before moving the engine into a [`WriterHub`].
+    fn reader(&self) -> Self::Reader;
+    /// Applies one update batch, all-or-nothing ([`Engine::apply`]).
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError>;
+    /// The current published epoch.
+    fn current_epoch(&self) -> u64;
+    /// The attached store's status, `None` for in-memory.
+    fn persist_status(&self) -> Option<PersistStatus>;
+    /// Writes an explicit checkpoint, returning the snapshot path (the
+    /// store's root directory for a sharded plane).
+    fn write_checkpoint(&mut self) -> Result<PathBuf, EngineError>;
+}
+
+impl ControlPlane for Engine {
+    type Reader = Reader;
+
+    fn reader(&self) -> Reader {
+        Engine::reader(self)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError> {
+        self.apply(updates)
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn persist_status(&self) -> Option<PersistStatus> {
+        self.persistence()
+    }
+
+    fn write_checkpoint(&mut self) -> Result<PathBuf, EngineError> {
+        self.checkpoint()
+    }
+}
+
+impl ControlPlane for ShardedEngine {
+    type Reader = ShardedReader;
+
+    fn reader(&self) -> ShardedReader {
+        ShardedEngine::reader(self)
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<BatchOutcome, EngineError> {
+        self.apply(updates)
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn persist_status(&self) -> Option<PersistStatus> {
+        self.persistence()
+    }
+
+    fn write_checkpoint(&mut self) -> Result<PathBuf, EngineError> {
+        self.checkpoint()
+    }
+}
 
 /// Acknowledgement of one applied batch: what it did and where it left the
 /// engine.
@@ -152,43 +310,47 @@ impl WriterHandle {
 
 /// Owns the writer thread. Keep the hub where the engine's lifecycle is
 /// managed; pass [`WriterHandle`] clones to everything else.
-pub struct WriterHub {
+///
+/// Generic over the [`ControlPlane`] it owns — a plain [`Engine`] (the
+/// default) or a [`ShardedEngine`] front end; the handles are identical
+/// either way.
+pub struct WriterHub<C: ControlPlane = Engine> {
     tx: Sender<Msg>,
-    thread: JoinHandle<Result<Engine, EngineError>>,
+    thread: JoinHandle<Result<C, EngineError>>,
 }
 
-impl WriterHub {
-    /// Moves `engine` to a dedicated writer thread and starts serving
-    /// requests. Clone a [`Reader`](crate::engine::Reader) (and
-    /// [`Engine::warm`], if wanted) *before* spawning — the hub gives the
-    /// engine back only on [`WriterHub::stop`].
-    pub fn spawn(engine: Engine) -> WriterHub {
+impl<C: ControlPlane> WriterHub<C> {
+    /// Moves the control plane to a dedicated writer thread and starts
+    /// serving requests. Clone a [`Reader`] (and
+    /// warm, if wanted) *before* spawning — the hub gives the engine back
+    /// only on [`WriterHub::stop`].
+    pub fn spawn(engine: C) -> WriterHub<C> {
         let (tx, rx) = channel::<Msg>();
         let thread = std::thread::spawn(move || {
             let mut engine = engine;
             while let Ok(msg) = rx.recv() {
                 match msg {
                     Msg::Apply(batch, reply) => {
-                        let ack = engine.apply(&batch).map(|outcome| BatchAck {
-                            epoch: engine.epoch(),
+                        let ack = engine.apply_batch(&batch).map(|outcome| BatchAck {
+                            epoch: engine.current_epoch(),
                             outcome,
                             wal_batches: engine
-                                .persistence()
+                                .persist_status()
                                 .map_or(0, |s| s.wal_batches as u64),
                         });
                         // A dropped requester is not a writer problem.
                         let _ = reply.send(ack);
                     }
                     Msg::Checkpoint(reply) => {
-                        let ack = engine.checkpoint().map(|path| CheckpointAck {
-                            epoch: engine.epoch(),
+                        let ack = engine.write_checkpoint().map(|path| CheckpointAck {
+                            epoch: engine.current_epoch(),
                             path,
                         });
                         let _ = reply.send(ack);
                     }
                     Msg::Stop { final_checkpoint } => {
-                        if final_checkpoint && engine.persistence().is_some() {
-                            engine.checkpoint()?;
+                        if final_checkpoint && engine.persist_status().is_some() {
+                            engine.write_checkpoint()?;
                         }
                         break;
                     }
@@ -212,7 +374,7 @@ impl WriterHub {
     /// batch, so nothing is lost). Requests already queued ahead of the
     /// stop are served first; handles that outlive the hub get
     /// [`WriterError::Stopped`].
-    pub fn stop(self, final_checkpoint: bool) -> Result<Engine, EngineError> {
+    pub fn stop(self, final_checkpoint: bool) -> Result<C, EngineError> {
         let _ = self.tx.send(Msg::Stop { final_checkpoint });
         self.thread
             .join()

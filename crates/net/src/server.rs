@@ -18,13 +18,17 @@
 //!                                                               └──────────────┘
 //! ```
 //!
-//! Every connection thread holds its own [`Reader`] and answers queries
-//! from the latest published [`Snapshot`](tq_core::engine::Snapshot) with
-//! zero locks and zero engine mutation. Update batches — from any
-//! connection — funnel through one [`WriterHub`] channel to the thread
-//! that owns the [`Engine`], preserving the engine's single-writer
-//! invariant end to end: the network layer adds fan-in, never a second
-//! writer.
+//! Every connection thread holds its own read plane ([`ReadPlane`])
+//! and answers queries from the latest published snapshot with zero
+//! locks and zero engine mutation. Update batches — from any connection
+//! — funnel through one [`WriterHub`] channel to the thread that owns
+//! the control plane, preserving the single-writer invariant end to
+//! end: the network layer adds fan-in, never a second writer. The
+//! server is generic over [`ControlPlane`], so a plain
+//! [`Engine`] and a sharded
+//! [`ShardedEngine`](tq_core::sharding::ShardedEngine) serve the
+//! identical wire protocol — `tqd` picks by auto-detecting the store
+//! directory's layout.
 //!
 //! Graceful shutdown (a protocol `Shutdown` frame or
 //! [`ServerHandle::shutdown`]) flips one stop flag; the accept loop stops
@@ -42,8 +46,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tq_core::engine::{Engine, EngineError, Reader};
-use tq_core::writer::{WriterError, WriterHandle, WriterHub};
+use tq_core::engine::{Engine, EngineError};
+use tq_core::writer::{ControlPlane, ReadPlane, WriterError, WriterHandle, WriterHub};
 
 /// Tuning for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -86,11 +90,16 @@ impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port — read the real
     /// one back from [`ServerHandle::addr`]), moves `engine` to its
     /// writer thread, and starts accepting connections.
-    pub fn start(
-        engine: Engine,
+    ///
+    /// Generic over the [`ControlPlane`]: a plain [`Engine`] or a
+    /// [`ShardedEngine`](tq_core::sharding::ShardedEngine) front end —
+    /// connections serve off whichever read plane the engine pairs with,
+    /// and the wire protocol is identical either way.
+    pub fn start<C: ControlPlane>(
+        engine: C,
         addr: &str,
         config: ServerConfig,
-    ) -> Result<ServerHandle, NetError> {
+    ) -> Result<ServerHandle<C>, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -101,10 +110,10 @@ impl Server {
             queries_served: AtomicU64::new(0),
             batches_applied: AtomicU64::new(0),
             wal_batches: AtomicU64::new(
-                engine.persistence().map_or(0, |s| s.wal_batches as u64),
+                engine.persist_status().map_or(0, |s| s.wal_batches as u64),
             ),
             panics: AtomicU64::new(0),
-            durable: engine.persistence().is_some(),
+            durable: engine.persist_status().is_some(),
         });
         let reader = engine.reader();
         let hub = WriterHub::spawn(engine);
@@ -151,17 +160,18 @@ impl Server {
 }
 
 /// The running server: its address, lifecycle, and the way to get the
-/// engine back.
-pub struct ServerHandle {
+/// engine back. Generic over the [`ControlPlane`] it owns (defaulting
+/// to a plain [`Engine`]).
+pub struct ServerHandle<C: ControlPlane = Engine> {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    hub: WriterHub,
+    hub: WriterHub<C>,
     config: ServerConfig,
 }
 
-impl ServerHandle {
+impl<C: ControlPlane> ServerHandle<C> {
     /// The bound address (with the real port when `addr` asked for `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -175,7 +185,7 @@ impl ServerHandle {
 
     /// Blocks until a protocol `Shutdown` frame flips the stop flag, then
     /// finishes the graceful path and returns the engine.
-    pub fn wait(self) -> Result<Engine, EngineError> {
+    pub fn wait(self) -> Result<C, EngineError> {
         // The accept thread exits when the flag flips.
         let _ = self.accept.join();
         drain(&self.conns);
@@ -185,7 +195,7 @@ impl ServerHandle {
     /// Graceful shutdown: stop accepting, drain connections, final
     /// checkpoint (per [`ServerConfig::final_checkpoint`]), return the
     /// engine.
-    pub fn shutdown(self) -> Result<Engine, EngineError> {
+    pub fn shutdown(self) -> Result<C, EngineError> {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.wait()
     }
@@ -194,7 +204,7 @@ impl ServerHandle {
     /// behind, minus the process exit. The returned engine's store has
     /// whatever the WAL held — reopening the directory must replay every
     /// acknowledged batch.
-    pub fn abort(self) -> Result<Engine, EngineError> {
+    pub fn abort(self) -> Result<C, EngineError> {
         self.shared.stop.store(true, Ordering::SeqCst);
         let _ = self.accept.join();
         drain(&self.conns);
@@ -212,10 +222,10 @@ fn drain(conns: &Mutex<Vec<JoinHandle<()>>>) {
 /// One connection, start to finish. Never propagates a panic: request
 /// handling runs under `catch_unwind` and a caught panic closes the
 /// connection with a typed error after bumping the panic counter.
-fn serve_connection(
+fn serve_connection<R: ReadPlane>(
     mut stream: TcpStream,
     shared: &Shared,
-    reader: &Reader,
+    reader: &R,
     writer: &WriterHandle,
     config: &ServerConfig,
 ) {
@@ -290,11 +300,11 @@ enum Step {
     ShutDown(Response),
 }
 
-fn handle_frame(
+fn handle_frame<R: ReadPlane>(
     kind: u8,
     body: bytes::Bytes,
     shared: &Shared,
-    reader: &Reader,
+    reader: &R,
     writer: &WriterHandle,
     greeted: &mut bool,
 ) -> Step {
@@ -328,7 +338,7 @@ fn handle_frame(
         Request::Hello { .. } => Step::Reply(Response::Hello(server_info(reader, shared))),
         Request::Query(q) | Request::Explain(q) => {
             shared.queries_served.fetch_add(1, Ordering::SeqCst);
-            match reader.snapshot().run(q) {
+            match reader.query(q) {
                 Ok(answer) => Step::Reply(Response::Answer(Box::new(answer))),
                 Err(e) => engine_error(&e),
             }
@@ -372,22 +382,22 @@ fn handle_frame(
             wal_batches: shared.wal_batches.load(Ordering::SeqCst),
         })),
         Request::Shutdown => Step::ShutDown(Response::Ack(Ack {
-            epoch: reader.epoch(),
+            epoch: reader.latest_epoch(),
             outcome: None,
             wal_batches: shared.wal_batches.load(Ordering::SeqCst),
         })),
     }
 }
 
-fn server_info(reader: &Reader, shared: &Shared) -> ServerInfo {
-    let snap = reader.snapshot();
+fn server_info<R: ReadPlane>(reader: &R, shared: &Shared) -> ServerInfo {
+    let info = reader.info();
     ServerInfo {
         version: PROTOCOL_VERSION,
-        epoch: snap.epoch(),
-        backend: snap.backend().kind(),
-        users: snap.users().len() as u64,
-        live_users: snap.live_users() as u64,
-        facilities: snap.facilities().len() as u64,
+        epoch: info.epoch,
+        backend: info.backend,
+        users: info.users as u64,
+        live_users: info.live_users as u64,
+        facilities: info.facilities as u64,
         durable: shared.durable,
     }
 }

@@ -6,6 +6,7 @@
 //! damaged, *where* the WAL's valid prefix ends, and what the headers
 //! claim, instead of staring at an opaque error.
 
+use crate::manifest::{is_sharded_dir, PartitionerSpec, ShardManifest, ROUTING_FILE};
 use crate::snapshot;
 use crate::store::{snapshot_files, WAL_FILE};
 use crate::{wal, StoreError};
@@ -13,10 +14,14 @@ use bytes::Bytes;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Renders a report for `path`: a store directory, one `.tqs` snapshot
-/// file, or one `.tql` WAL file (detected by magic, not extension).
+/// Renders a report for `path`: a store directory (sharded or single), one
+/// `.tqs` snapshot file, or one `.tql` WAL file (detected by magic, not
+/// extension).
 pub fn report(path: &Path) -> Result<String, StoreError> {
     if path.is_dir() {
+        if is_sharded_dir(path) {
+            return report_sharded_dir(path);
+        }
         return report_dir(path);
     }
     let raw = std::fs::read(path)?;
@@ -68,6 +73,70 @@ fn report_dir(dir: &Path) -> Result<String, StoreError> {
         }
     } else {
         out.push_str("  no WAL file\n");
+    }
+    Ok(out)
+}
+
+/// A sharded root: manifest summary, routing-log summary, then each
+/// shard's store report in turn. A damaged manifest, routing log or
+/// shard never aborts the report — the whole point is diagnosing
+/// directories that refuse to open.
+fn report_sharded_dir(dir: &Path) -> Result<String, StoreError> {
+    let mut out = format!("sharded store {}\n", dir.display());
+    let shards = match ShardManifest::read(dir) {
+        Ok(manifest) => {
+            let rule = match &manifest.partitioner {
+                PartitionerSpec::Hash => "hash".to_string(),
+                PartitionerSpec::ZRange { depth, splits, .. } => format!(
+                    "z-range (depth {depth}, {} split boundaries)",
+                    splits.len()
+                ),
+            };
+            let _ = writeln!(
+                out,
+                "  manifest: {} shards, {rule} partitioner",
+                manifest.shards
+            );
+            manifest.shards as usize
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  manifest UNUSABLE: {e}");
+            // Fall back to the shard directories that physically exist so
+            // the per-shard verdicts still print.
+            (0..)
+                .take_while(|&i| ShardManifest::shard_dir(dir, i).is_dir())
+                .count()
+        }
+    };
+    let routing = dir.join(ROUTING_FILE);
+    if routing.exists() {
+        match report_wal(&routing) {
+            Ok(r) => out.push_str(&r),
+            Err(e) => {
+                let _ = writeln!(out, "wal {ROUTING_FILE}\n  UNUSABLE: {e}");
+            }
+        }
+    } else {
+        out.push_str("  no routing log\n");
+    }
+    for i in 0..shards {
+        let shard_dir = ShardManifest::shard_dir(dir, i);
+        let _ = writeln!(out, "shard {i:03}:");
+        let shard_report = if shard_dir.is_dir() {
+            report_dir(&shard_dir)
+        } else {
+            Err(StoreError::Corrupt("shard directory missing".into()))
+        };
+        match shard_report {
+            Ok(r) => {
+                for line in r.lines().skip(1) {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  UNUSABLE: {e}");
+            }
+        }
     }
     Ok(out)
 }
@@ -213,6 +282,86 @@ mod tests {
         let r = report(&dir).unwrap();
         assert!(r.contains("FAILED"), "{r}");
         assert!(r.contains("tail ignored"), "{r}");
+    }
+
+    #[test]
+    fn reports_a_sharded_store_with_one_corrupted_shard() {
+        use crate::manifest::{PartitionerSpec, ShardManifest};
+
+        let dir = tmp_dir("sharded");
+        std::fs::create_dir_all(&dir).unwrap();
+        ShardManifest {
+            shards: 2,
+            partitioner: PartitionerSpec::Hash,
+        }
+        .write(&dir)
+        .unwrap();
+        crate::wal::WalWriter::create(
+            &dir.join(crate::manifest::ROUTING_FILE),
+            0,
+            crate::SyncPolicy::Always,
+        )
+        .unwrap()
+        .append(1, b"routing record")
+        .unwrap();
+        let meta = SnapshotMeta {
+            epoch: 3,
+            backend: BACKEND_BASELINE,
+            scenario: 0,
+            users: 4,
+            live: 4,
+            facilities: 2,
+            tree_nodes: 0,
+            tree_items: 0,
+        };
+        for shard in 0..2usize {
+            let shard_dir = ShardManifest::shard_dir(&dir, shard);
+            let mut store = Store::create(&shard_dir, StoreConfig::default()).unwrap();
+            store.checkpoint(&meta, b"shard body").unwrap();
+            store.append_batch(4, b"payload").unwrap();
+        }
+        // Deliberately corrupt shard 1's snapshot body: its verdict must
+        // flip to FAILED while shard 0 still reads verified — and the
+        // report must never error out.
+        let shard1 = ShardManifest::shard_dir(&dir, 1);
+        for entry in std::fs::read_dir(&shard1).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "tqs") {
+                let mut raw = std::fs::read(&p).unwrap();
+                let last = raw.len() - 1;
+                raw[last] ^= 0xFF;
+                std::fs::write(&p, raw).unwrap();
+            }
+        }
+
+        let r = report(&dir).unwrap();
+        assert!(r.contains("sharded store"), "{r}");
+        assert!(r.contains("2 shards, hash partitioner"), "{r}");
+        assert!(r.contains("wal routing.tql: 1 valid records"), "{r}");
+        assert!(r.contains("shard 000:"), "{r}");
+        assert!(r.contains("shard 001:"), "{r}");
+        assert!(r.contains("verified"), "{r}");
+        assert!(r.contains("FAILED"), "{r}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_missing_shard_directory_reports_instead_of_failing() {
+        use crate::manifest::{PartitionerSpec, ShardManifest};
+
+        let dir = tmp_dir("missing-shard");
+        std::fs::create_dir_all(&dir).unwrap();
+        ShardManifest {
+            shards: 2,
+            partitioner: PartitionerSpec::Hash,
+        }
+        .write(&dir)
+        .unwrap();
+        // No routing log, no shard directories at all.
+        let r = report(&dir).unwrap();
+        assert!(r.contains("no routing log"), "{r}");
+        assert!(r.contains("UNUSABLE: corrupt contents: shard directory missing"), "{r}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod codec;
 pub mod crc;
 pub mod inspect;
+pub mod manifest;
 pub mod snapshot;
 pub mod store;
 pub mod wal;

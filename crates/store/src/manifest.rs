@@ -1,0 +1,239 @@
+//! Manifest for **sharded** store directories.
+//!
+//! A sharded store root looks like
+//!
+//! ```text
+//! DIR/
+//!   shards.tqm     manifest: shard count + partitioner (this file)
+//!   routing.tql    routing log (standard WAL framing, parent epoch 0)
+//!   shard-000/     per-shard Store (snapshots + WAL)
+//!   shard-001/
+//!   ...
+//! ```
+//!
+//! The manifest is tiny, written once at creation (and rewritten only when
+//! a lossy recovery rebases the routing log), and carries its own CRC so a
+//! torn write is detected rather than misread. Layout after the 4-byte
+//! magic `TQSH`:
+//!
+//! ```text
+//! u16  format version (1)
+//! u16  shard count
+//! u8   partitioner tag (0 = hash, 1 = z-range)
+//!      z-range only:
+//!        4 x f64   root rect (min.x, min.y, max.x, max.y)
+//!        u8        z depth
+//!        u32 count, then per split: u64 path bits + u8 depth
+//! u32  CRC-32 of everything after the magic
+//! ```
+
+use crate::codec::Reader;
+use crate::crc::crc32;
+use crate::StoreError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tq_geometry::{Point, Rect};
+
+/// File name of the manifest inside a sharded root directory.
+pub const MANIFEST_FILE: &str = "shards.tqm";
+/// File name of the routing log inside a sharded root directory.
+pub const ROUTING_FILE: &str = "routing.tql";
+/// Magic bytes opening a manifest file.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"TQSH";
+/// Manifest format version this build writes.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// How a sharded front end assigns a trajectory to a shard — the durable
+/// description, kept deliberately independent of `tq-core` types so the
+/// store crate can verify a directory without the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionerSpec {
+    /// Content hash of the trajectory, modulo the shard count.
+    Hash,
+    /// Z-order split: the trajectory's first point is mapped to a Z-cell
+    /// of `depth` under `root`, then binary-searched against `splits`
+    /// (shard count − 1 boundaries, each `(path_bits, depth)` of a
+    /// [`tq_geometry::ZId`]).
+    ZRange {
+        /// Root rectangle of the Z-space.
+        root: Rect,
+        /// Depth at which trajectory anchors are z-coded.
+        depth: u8,
+        /// Sorted shard boundaries as raw `(path_bits, depth)` pairs.
+        splits: Vec<(u64, u8)>,
+    },
+}
+
+/// Decoded contents of a `shards.tqm` manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// Number of shard subdirectories (`shard-000` .. `shard-{n-1:03}`).
+    pub shards: u16,
+    /// Partitioner rule.
+    pub partitioner: PartitionerSpec,
+}
+
+impl ShardManifest {
+    /// Serializes the manifest (magic + body + CRC).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        body.put_u16_le(MANIFEST_VERSION);
+        body.put_u16_le(self.shards);
+        match &self.partitioner {
+            PartitionerSpec::Hash => body.put_u8(0),
+            PartitionerSpec::ZRange { root, depth, splits } => {
+                body.put_u8(1);
+                body.put_f64_le(root.min.x);
+                body.put_f64_le(root.min.y);
+                body.put_f64_le(root.max.x);
+                body.put_f64_le(root.max.y);
+                body.put_u8(*depth);
+                body.put_u32_le(splits.len() as u32);
+                for (path, d) in splits {
+                    body.put_u64_le(*path);
+                    body.put_u8(*d);
+                }
+            }
+        }
+        let crc = crc32(body.as_ref());
+        let mut out = BytesMut::with_capacity(4 + body.len() + 4);
+        out.put_slice(&MANIFEST_MAGIC);
+        out.put_slice(body.as_ref());
+        out.put_u32_le(crc);
+        out.freeze()
+    }
+
+    /// Parses a manifest, verifying magic, version, CRC, and field sanity.
+    pub fn decode(bytes: &[u8]) -> Result<ShardManifest, StoreError> {
+        if bytes.len() < 4 + 4 || bytes[..4] != MANIFEST_MAGIC {
+            return Err(StoreError::Corrupt("bad manifest magic".into()));
+        }
+        let body = &bytes[4..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(StoreError::Corrupt("manifest CRC mismatch".into()));
+        }
+        let mut r = Reader::new(Bytes::from(body));
+        let version = r.u16()?;
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported manifest version {version}"
+            )));
+        }
+        let shards = r.u16()?;
+        if shards == 0 {
+            return Err(StoreError::Corrupt("manifest declares zero shards".into()));
+        }
+        let partitioner = match r.u8()? {
+            0 => PartitionerSpec::Hash,
+            1 => {
+                let min = Point::new(r.f64()?, r.f64()?);
+                let max = Point::new(r.f64()?, r.f64()?);
+                let depth = r.u8()?;
+                let n = r.count(9)?;
+                let mut splits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    splits.push((r.u64()?, r.u8()?));
+                }
+                PartitionerSpec::ZRange {
+                    root: Rect::new(min, max),
+                    depth,
+                    splits,
+                }
+            }
+            tag => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown partitioner tag {tag}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(ShardManifest { shards, partitioner })
+    }
+
+    /// Writes the manifest atomically (tmp + rename + dir sync).
+    pub fn write(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join("shards.tqm.tmp");
+        let path = dir.join(MANIFEST_FILE);
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(self.encode().as_ref())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, &path)?;
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Reads and parses `DIR/shards.tqm`.
+    pub fn read(dir: &Path) -> Result<ShardManifest, StoreError> {
+        let bytes = fs::read(dir.join(MANIFEST_FILE))?;
+        ShardManifest::decode(&bytes)
+    }
+
+    /// Path of shard `i`'s store directory under `dir`.
+    pub fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard-{shard:03}"))
+    }
+}
+
+/// True if `dir` looks like a sharded store root (has a manifest file).
+pub fn is_sharded_dir(dir: &Path) -> bool {
+    dir.join(MANIFEST_FILE).is_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zrange() -> ShardManifest {
+        ShardManifest {
+            shards: 4,
+            partitioner: PartitionerSpec::ZRange {
+                root: Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 50.0)),
+                depth: 16,
+                splits: vec![(0x1000 << 32, 16), (0x2000 << 32, 16), (0x3000 << 32, 16)],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_hash_and_zrange() {
+        for m in [
+            ShardManifest {
+                shards: 2,
+                partitioner: PartitionerSpec::Hash,
+            },
+            zrange(),
+        ] {
+            let enc = m.encode();
+            assert_eq!(ShardManifest::decode(enc.as_ref()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut enc = zrange().encode().to_vec();
+        // Flip one bit in every byte position in turn: each must fail
+        // (magic, CRC, or structural), never panic or misread.
+        for i in 0..enc.len() {
+            enc[i] ^= 0x40;
+            assert!(ShardManifest::decode(&enc).is_err(), "byte {i} accepted");
+            enc[i] ^= 0x40;
+        }
+        let short = &enc[..6];
+        assert!(ShardManifest::decode(short).is_err());
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let m = ShardManifest {
+            shards: 0,
+            partitioner: PartitionerSpec::Hash,
+        };
+        assert!(ShardManifest::decode(m.encode().as_ref()).is_err());
+    }
+}

@@ -40,6 +40,8 @@ pub const WAL_FILE: &str = "wal.tql";
 pub const SNAPSHOT_PREFIX: &str = "snapshot-";
 /// Extension of snapshot files.
 pub const SNAPSHOT_EXT: &str = "tqs";
+/// Scratch name a WAL rebase writes before renaming over [`WAL_FILE`].
+const WAL_REBASE_FILE: &str = "wal.tql.new";
 
 /// Tunables of a [`Store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +58,15 @@ pub struct StoreConfig {
     /// keeping 2 means a corrupt newest snapshot still recovers from the
     /// previous one).
     pub keep_snapshots: usize,
+    /// Run threshold auto-checkpoints on a background thread instead of
+    /// the write path: the engine encodes the image from its published
+    /// immutable snapshot and stages it to disk off-thread, so an apply
+    /// that trips [`StoreConfig::checkpoint_every`] acks without waiting
+    /// for the snapshot write. Update batches appended while the image is
+    /// staging are rebased onto the new checkpoint when it commits
+    /// ([`Store::commit_snapshot`]). Explicit checkpoints stay
+    /// synchronous. Off by default.
+    pub background_checkpoints: bool,
 }
 
 impl Default for StoreConfig {
@@ -64,6 +75,7 @@ impl Default for StoreConfig {
             sync: SyncPolicy::Always,
             checkpoint_every: 512,
             keep_snapshots: 2,
+            background_checkpoints: false,
         }
     }
 }
@@ -120,17 +132,17 @@ fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("{SNAPSHOT_PREFIX}{epoch:020}.{SNAPSHOT_EXT}"))
 }
 
-/// Removes `snapshot-*.tmp` leftovers of interrupted checkpoints. They
-/// are invisible to recovery (never under their final name) but would
-/// otherwise leak one full engine image per crashed checkpoint forever.
+/// Removes `snapshot-*.tmp` and `wal.tql.new` leftovers of interrupted
+/// checkpoints. They are invisible to recovery (never under their final
+/// names) but would otherwise leak one full engine image per crashed
+/// checkpoint forever.
 fn remove_stale_tmp(dir: &Path) {
     let Ok(entries) = fs::read_dir(dir) else { return };
     for entry in entries.filter_map(|e| e.ok()) {
         let path = entry.path();
-        let is_stale_tmp = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .is_some_and(|n| n.starts_with(SNAPSHOT_PREFIX) && n.ends_with(".tmp"));
+        let is_stale_tmp = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+            (n.starts_with(SNAPSHOT_PREFIX) && n.ends_with(".tmp")) || n == WAL_REBASE_FILE
+        });
         if is_stale_tmp {
             let _ = fs::remove_file(path);
         }
@@ -198,23 +210,27 @@ impl Store {
         let wal_path = dir.join(WAL_FILE);
         let (wal_records, wal_summary, writer) = if wal_path.exists() {
             let (records, mut summary) = wal::read(&wal_path)?;
-            if summary.parent_epoch == Some(epoch) {
+            if summary.parent_epoch.is_some_and(|parent| parent <= epoch) {
+                // Exact lineage, or an *ancestor*: the log is bound to an
+                // older checkpoint of the same linear history (a crash
+                // landed between a background checkpoint's snapshot
+                // rename and its WAL rebase). The snapshot descends from
+                // every record at or below its epoch, so the replayer's
+                // stamp skip lands exactly on the suffix the snapshot
+                // lacks.
                 let writer = WalWriter::open_after_recovery(
                     &wal_path,
                     summary.valid_bytes,
-                    epoch,
+                    summary.parent_epoch.unwrap_or(epoch),
                     config.sync,
                 )?;
                 (records, summary, writer)
             } else {
-                // Lineage mismatch: the log continues a different
-                // checkpoint (usually the newest snapshot, now lost to
-                // corruption, or a checkpoint whose WAL-truncate was
-                // interrupted). Its records presuppose state this
-                // snapshot does not have — replaying them would silently
-                // corrupt the engine — so recovery lands on this
-                // checkpoint's exact state and the log restarts bound to
-                // it.
+                // The log continues a *newer* checkpoint, now lost to
+                // corruption. Its records presuppose state this snapshot
+                // does not have — replaying them would silently corrupt
+                // the engine — so recovery lands on this checkpoint's
+                // exact state and the log restarts bound to it.
                 summary.tail_note = Some(format!(
                     "records discarded: log continues checkpoint epoch {:?}, \
                      recovered snapshot is epoch {epoch}",
@@ -244,7 +260,9 @@ impl Store {
             dir: dir.to_path_buf(),
             config,
             writer,
-            wal_batches: wal_records.len(),
+            // Records the snapshot already contains don't count against
+            // the next checkpoint threshold.
+            wal_batches: wal_records.iter().filter(|r| r.epoch > epoch).count(),
         };
         Ok((
             store,
@@ -285,24 +303,58 @@ impl Store {
     }
 
     /// Checkpoints: durably writes a new snapshot (atomic tmp + rename),
-    /// **then** truncates the WAL and prunes snapshots beyond
+    /// **then** rebases the WAL onto it and prunes snapshots beyond
     /// [`StoreConfig::keep_snapshots`]. Returns the snapshot path.
     pub fn checkpoint(&mut self, meta: &SnapshotMeta, body: &[u8]) -> Result<PathBuf, StoreError> {
-        let final_path = snapshot_path(&self.dir, meta.epoch);
-        let tmp_path = final_path.with_extension("tmp");
+        let tmp_path = Store::stage_snapshot(&self.dir, meta, body)?;
+        self.commit_snapshot(meta.epoch, &tmp_path)
+    }
+
+    /// The slow half of a checkpoint: encodes and durably writes the
+    /// snapshot image under its `.tmp` name. Needs no store handle — a
+    /// background checkpoint runs this without blocking WAL appends; the
+    /// image becomes part of the store only at [`Store::commit_snapshot`].
+    pub fn stage_snapshot(
+        dir: &Path,
+        meta: &SnapshotMeta,
+        body: &[u8],
+    ) -> Result<PathBuf, StoreError> {
+        let tmp_path = snapshot_path(dir, meta.epoch).with_extension("tmp");
         let encoded = snapshot::encode(meta, body);
-        {
-            let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(encoded.as_ref())?;
-            f.sync_data()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
+        let mut f = fs::File::create(&tmp_path)?;
+        f.write_all(encoded.as_ref())?;
+        f.sync_data()?;
+        Ok(tmp_path)
+    }
+
+    /// The fast half of a checkpoint: renames a staged snapshot into
+    /// place, **then** rebases the WAL onto it — batches appended while
+    /// the image was staging (stamped above `epoch`) are carried into a
+    /// fresh log bound to the new checkpoint; the rest are dropped. Both
+    /// transitions are rename-atomic, and a crash between them leaves the
+    /// old log as a valid *ancestor* lineage that [`Store::open`] still
+    /// replays, so no acknowledged batch is ever lost.
+    pub fn commit_snapshot(&mut self, epoch: u64, tmp_path: &Path) -> Result<PathBuf, StoreError> {
+        let final_path = snapshot_path(&self.dir, epoch);
+        fs::rename(tmp_path, &final_path)?;
         sync_dir(&self.dir);
 
-        // Only now is it safe to drop the logged batches; the fresh log
-        // is bound to the snapshot it continues from.
-        self.writer = WalWriter::create(&self.dir.join(WAL_FILE), meta.epoch, self.config.sync)?;
-        self.wal_batches = 0;
+        let wal_path = self.dir.join(WAL_FILE);
+        let (records, _) = wal::read(&wal_path)?;
+        let rebase_path = self.dir.join(WAL_REBASE_FILE);
+        let mut writer = WalWriter::create(&rebase_path, epoch, self.config.sync)?;
+        let mut survivors = 0usize;
+        for record in records.iter().filter(|r| r.epoch > epoch) {
+            writer.append(record.epoch, record.payload.as_ref())?;
+            survivors += 1;
+        }
+        writer.sync()?;
+        fs::rename(&rebase_path, &wal_path)?;
+        sync_dir(&self.dir);
+        // The writer's descriptor follows the rename: it now appends to
+        // the live `wal.tql`.
+        self.writer = writer;
+        self.wal_batches = survivors;
 
         for (_, stale) in snapshot_files(&self.dir)?
             .into_iter()
@@ -444,6 +496,59 @@ mod tests {
             Store::open(&dir, StoreConfig::default()),
             Err(StoreError::NoSnapshot)
         ));
+    }
+
+    #[test]
+    fn commit_rebases_batches_appended_while_staging() {
+        // Background-checkpoint interleaving: batches land in the WAL
+        // after the image is staged but before it commits. The commit
+        // must carry exactly the batches the snapshot lacks.
+        let dir = tmp_dir("rebase");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(0), b"s0").unwrap();
+        store.append_batch(1, b"in the image").unwrap();
+        store.append_batch(2, b"in the image too").unwrap();
+        let tmp = Store::stage_snapshot(&dir, &meta(2), b"s2").unwrap();
+        store.append_batch(3, b"staged past me").unwrap();
+        store.append_batch(4, b"me too").unwrap();
+        store.commit_snapshot(2, &tmp).unwrap();
+        assert_eq!(store.wal_batches(), 2);
+        store.append_batch(5, b"after commit").unwrap();
+        drop(store);
+
+        let (store, recovered) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot.meta.epoch, 2);
+        let epochs: Vec<u64> = recovered.wal_records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![3, 4, 5]);
+        assert_eq!(recovered.wal_records[0].payload.as_ref(), b"staged past me");
+        assert_eq!(store.wal_batches(), 3);
+    }
+
+    #[test]
+    fn ancestor_lineage_wal_replays_after_crash_before_rebase() {
+        // A crash between a committed snapshot's rename and its WAL
+        // rebase leaves the log bound to the *previous* checkpoint. The
+        // snapshot descends from that lineage, so the records above its
+        // epoch must replay rather than be discarded.
+        let dir = tmp_dir("ancestor");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(0), b"s0").unwrap();
+        store.append_batch(1, b"b1").unwrap();
+        store.append_batch(2, b"b2").unwrap();
+        store.append_batch(3, b"b3").unwrap();
+        // Simulate the crash: the epoch-2 snapshot lands, the rebase
+        // never runs (the WAL stays bound to epoch 0).
+        let tmp = Store::stage_snapshot(&dir, &meta(2), b"s2").unwrap();
+        fs::rename(&tmp, snapshot_path(&dir, 2)).unwrap();
+        drop(store);
+
+        let (store, recovered) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot.meta.epoch, 2);
+        // All records come back (the replayer skips by stamp), but only
+        // the post-snapshot ones count against the threshold.
+        assert_eq!(recovered.wal_records.len(), 3);
+        assert_eq!(store.wal_batches(), 1);
+        assert!(recovered.wal_summary.tail_note.is_none());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`trajectory`] — user trajectories, facilities, dataset containers;
 //! * [`quadtree`] — the traditional point quadtree behind the baseline;
 //! * [`core`] — the [`Engine`](core::engine::Engine) layer, the TQ-tree,
-//!   service evaluation, top-k and coverage solvers;
+//!   service evaluation, top-k and coverage solvers, and the
+//!   [`ShardedEngine`](core::sharding::ShardedEngine) scatter–gather
+//!   front end (bit-identical to one engine at every shard count);
 //! * [`store`] — durable engine state: checksummed snapshot files, the
 //!   update WAL with crash recovery, and the binary codec under both
 //!   (drive it through [`Engine::open`](core::engine::Engine::open) /
@@ -114,9 +116,16 @@ pub mod prelude {
         EngineError, Explain, Index, Query, QueryResult, Reader, Snapshot,
     };
     pub use tq_core::persist::{PersistStatus, StoreConfig, SyncPolicy};
-    pub use tq_core::writer::{BatchAck, WriterError, WriterHandle, WriterHub};
+    pub use tq_core::sharding::{
+        GainCombiner, Partitioner, ShardedEngine, ShardedReader, ShardedSnapshot,
+    };
+    pub use tq_core::writer::{
+        BatchAck, ControlPlane, PlaneInfo, ReadPlane, WriterError, WriterHandle, WriterHub,
+    };
     pub use tq_net::{Client, ConnectConfig, NetError, Server, ServerConfig, ServerHandle};
-    pub use tq_core::serve::{serve, ClientStats, ServeConfig, ServeReport, Workload};
+    pub use tq_core::serve::{
+        serve, serve_sharded, ClientStats, ServeConfig, ServeReport, Workload,
+    };
     pub use tq_core::maxcov::{exact, genetic, greedy, two_step_greedy, GeneticConfig, ServedTable};
     pub use tq_core::{
         evaluate_masks, evaluate_service, top_k_facilities, Placement, PointMask, Scenario,

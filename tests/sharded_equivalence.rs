@@ -1,0 +1,381 @@
+//! Cross-shard equivalence: a [`ShardedEngine`] must answer **bit-identical**
+//! to one [`Engine`] over the union of its shards' users — same top-k ids and
+//! value bits, same max-cov choices / value bits / served counts for every
+//! solver, and the same explain cache semantics — at every tested shard
+//! count, across both backends, both partitioners and seeded scenarios.
+//!
+//! The merge argument being tested (see `tq_core::sharding`): masks are
+//! per-user and users live on exactly one shard, so per-candidate tables are
+//! disjoint unions; every reported value is a canonical ascending-id
+//! summation, and shard-local ids are assigned in ascending global-id order,
+//! so per-shard canonical orders merge back into the global canonical order.
+//! Nothing here asserts approximate equality — every float is compared by
+//! its bits.
+
+use tq::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Workload + fingerprints
+// ---------------------------------------------------------------------------
+
+fn small_workload(seed: u64, kind: StreamKind) -> (StreamScenario, FacilitySet) {
+    let city = CityModel::synthetic(seed, 4, 4_000.0);
+    let trace = stream_scenario(&city, kind, 70, 50, 0.4, seed);
+    let routes = bus_routes(&city, 8, 6, 1_500.0, seed ^ 0xB05);
+    (trace, routes)
+}
+
+fn tree_builder(
+    model: ServiceModel,
+    trace: &StreamScenario,
+    routes: &FacilitySet,
+) -> EngineBuilder {
+    Engine::builder(model)
+        .users(trace.initial.clone())
+        .facilities(routes.clone())
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(8))
+        .bounds(trace.bounds)
+}
+
+fn baseline_builder(
+    model: ServiceModel,
+    trace: &StreamScenario,
+    routes: &FacilitySet,
+) -> EngineBuilder {
+    Engine::builder(model)
+        .users(trace.initial.clone())
+        .facilities(routes.clone())
+        .baseline()
+}
+
+/// Every query family's answer reduced to exactly comparable bits, plus
+/// the explain-level cache verdicts (the sharded front end must make the
+/// same hit/miss/unused decisions the single engine makes, in the same
+/// query order).
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    top_k: Vec<(u32, u64)>,
+    top_cache: String,
+    covers: Vec<(Vec<u32>, u64, usize, String)>,
+}
+
+fn fingerprint(run: &mut dyn FnMut(Query) -> Answer, full: bool) -> Fingerprint {
+    let top = run(Query::top_k(3));
+    let top_k = top
+        .ranked()
+        .iter()
+        .map(|(id, v)| (*id, v.to_bits()))
+        .collect();
+    let top_cache = format!("{:?}", top.explain.cache);
+    let mut algorithms = vec![Algorithm::Greedy];
+    if full {
+        algorithms.extend([Algorithm::TwoStep, Algorithm::Genetic, Algorithm::Exact]);
+    }
+    let covers = algorithms
+        .into_iter()
+        .map(|alg| {
+            let q = Query::max_cov(2)
+                .algorithm(alg)
+                .seed(0x5EED)
+                .node_budget(200_000);
+            let ans = run(q);
+            let cache = format!("{:?}", ans.explain.cache);
+            let c = ans.cover();
+            (c.chosen.clone(), c.value.to_bits(), c.users_served, cache)
+        })
+        .collect();
+    Fingerprint {
+        top_k,
+        top_cache,
+        covers,
+    }
+}
+
+fn engine_fingerprint(engine: &mut Engine, full: bool) -> Fingerprint {
+    fingerprint(&mut |q| engine.run(q).unwrap(), full)
+}
+
+fn sharded_fingerprint(engine: &mut ShardedEngine, full: bool) -> Fingerprint {
+    fingerprint(&mut |q| engine.run(q).unwrap(), full)
+}
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+// ---------------------------------------------------------------------------
+// Static equivalence: shard counts × backends × partitioners × scenarios
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_answers_are_bit_identical_across_counts_backends_and_partitioners() {
+    for seed in [3u64, 29] {
+        for scenario in [Scenario::Transit, Scenario::PointCount] {
+            let model = ServiceModel::new(scenario, 220.0);
+            let (trace, routes) = small_workload(seed, StreamKind::Taxi);
+            for baseline in [false, true] {
+                let builder = |spatial: bool| {
+                    let b = if baseline {
+                        baseline_builder(model, &trace, &routes)
+                    } else {
+                        tree_builder(model, &trace, &routes)
+                    };
+                    if spatial {
+                        b.partition_by_space()
+                    } else {
+                        b
+                    }
+                };
+                let mut single = builder(false).build().unwrap();
+                let want = engine_fingerprint(&mut single, true);
+                for shards in SHARD_COUNTS {
+                    for spatial in [false, true] {
+                        let mut sharded =
+                            builder(spatial).shards(shards).build_sharded().unwrap();
+                        assert_eq!(sharded.shard_count(), shards);
+                        assert_eq!(
+                            sharded.users().len(),
+                            single.users().len(),
+                            "partitioning lost users"
+                        );
+                        let got = sharded_fingerprint(&mut sharded, true);
+                        assert_eq!(
+                            got, want,
+                            "{shards} shards, baseline={baseline}, spatial={spatial}, \
+                             {scenario:?}, seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic equivalence: identical update streams, compared after every batch
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_tracks_single_engine_through_update_batches() {
+    for seed in [7u64, 41] {
+        for spatial in [false, true] {
+            let model = ServiceModel::new(Scenario::Transit, 200.0);
+            let (trace, routes) = small_workload(seed, StreamKind::Taxi);
+            let batches = trace.update_batches(10);
+            assert!(batches.len() >= 4, "need a multi-batch stream");
+
+            let single = tree_builder(model, &trace, &routes).build().unwrap();
+            let base = tree_builder(model, &trace, &routes);
+            let base = if spatial { base.partition_by_space() } else { base };
+            for shards in [2usize, 4] {
+                let mut sharded = base.clone().shards(shards).build_sharded().unwrap();
+                let mut reference = single.clone();
+                for (i, batch) in batches.iter().enumerate() {
+                    let got = sharded.apply(batch).unwrap();
+                    let want = reference.apply(batch).unwrap();
+                    assert_eq!(got.inserted, want.inserted, "global id assignment");
+                    assert_eq!(got.removed, want.removed);
+                    assert_eq!(sharded.live_users(), reference.live_users());
+                    assert_eq!(
+                        sharded_fingerprint(&mut sharded, false),
+                        engine_fingerprint(&mut reference, false),
+                        "batch {i}, {shards} shards, spatial={spatial}, seed {seed}"
+                    );
+                }
+                // The compacted live sets agree trajectory-for-trajectory.
+                assert_eq!(
+                    sharded.live_set().len(),
+                    reference.live_set().len()
+                );
+                // And full solvers still agree after the whole stream.
+                assert_eq!(
+                    sharded_fingerprint(&mut sharded, true),
+                    engine_fingerprint(&mut reference, true),
+                    "final, {shards} shards, spatial={spatial}, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache semantics: warm, hits, memo lockstep with eviction
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_and_cached_queries_hit_identically() {
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let (trace, routes) = small_workload(13, StreamKind::Taxi);
+    let mut single = tree_builder(model, &trace, &routes).build().unwrap();
+    let mut sharded = tree_builder(model, &trace, &routes)
+        .shards(4)
+        .build_sharded()
+        .unwrap();
+
+    // Warm both: merged full table must carry the single engine's bits.
+    let want: Vec<(u32, u64)> = {
+        let t = single.warm();
+        t.ids
+            .iter()
+            .copied()
+            .zip(t.values.iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    let got: Vec<(u32, u64)> = {
+        let t = sharded.warm();
+        t.ids
+            .iter()
+            .copied()
+            .zip(t.values.iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    assert_eq!(got, want, "merged warm table diverges");
+    assert!(sharded.full_table().is_some());
+
+    // First post-warm query is a Hit on both, same bits.
+    let a = single.run(Query::top_k(3)).unwrap();
+    let b = sharded.run(Query::top_k(3)).unwrap();
+    assert!(a.explain.cache.is_hit());
+    assert!(b.explain.cache.is_hit());
+    assert_eq!(a.ranked(), b.ranked());
+
+    // Subset max-cov: Miss then Hit, mirrored.
+    let ids: Vec<u32> = routes.iter().map(|(id, _)| id).take(4).collect();
+    for (pass, want_hit) in [(1, false), (2, true)] {
+        let q = || Query::max_cov(2).candidates(&ids);
+        let a = single.run(q()).unwrap();
+        let b = sharded.run(q()).unwrap();
+        assert_eq!(
+            a.explain.cache.is_hit(),
+            want_hit,
+            "single pass {pass}"
+        );
+        assert_eq!(
+            b.explain.cache.is_hit(),
+            want_hit,
+            "sharded pass {pass}"
+        );
+        assert_eq!(a.cover().chosen, b.cover().chosen);
+        assert_eq!(a.cover().value.to_bits(), b.cover().value.to_bits());
+    }
+}
+
+#[test]
+fn subset_memo_eviction_stays_in_lockstep() {
+    // Capacity-1 subset memo: querying B must evict A on the front *and*
+    // on every shard, so a re-query of A misses on both engines.
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let (trace, routes) = small_workload(17, StreamKind::Taxi);
+    let ids: Vec<u32> = routes.iter().map(|(id, _)| id).collect();
+    let (a_ids, b_ids) = (&ids[..3], &ids[3..6]);
+
+    let mut single = tree_builder(model, &trace, &routes)
+        .subset_tables(1)
+        .build()
+        .unwrap();
+    let mut sharded = tree_builder(model, &trace, &routes)
+        .subset_tables(1)
+        .shards(4)
+        .build_sharded()
+        .unwrap();
+    let mut statuses = |q: Query| {
+        let a = single.run(q.clone()).unwrap();
+        let b = sharded.run(q).unwrap();
+        assert_eq!(a.cover().value.to_bits(), b.cover().value.to_bits());
+        (a.explain.cache.is_hit(), b.explain.cache.is_hit())
+    };
+    assert_eq!(statuses(Query::max_cov(2).candidates(a_ids)), (false, false));
+    assert_eq!(statuses(Query::max_cov(2).candidates(a_ids)), (true, true));
+    assert_eq!(statuses(Query::max_cov(2).candidates(b_ids)), (false, false));
+    // B evicted A from the capacity-1 memo — on both engines alike.
+    assert_eq!(statuses(Query::max_cov(2).candidates(a_ids)), (false, false));
+}
+
+// ---------------------------------------------------------------------------
+// Read plane: snapshots and readers answer identically, without memoizing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_snapshots_and_readers_answer_like_single_engine_snapshots() {
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let (trace, routes) = small_workload(19, StreamKind::Taxi);
+    let mut single = tree_builder(model, &trace, &routes).build().unwrap();
+    let mut sharded = tree_builder(model, &trace, &routes)
+        .shards(4)
+        .build_sharded()
+        .unwrap();
+    let reader = sharded.reader();
+    assert_eq!(reader.epoch(), 0);
+
+    let q = || Query::max_cov(2).algorithm(Algorithm::Greedy);
+    let want = single.snapshot().run(q()).unwrap();
+    let snap = reader.snapshot();
+    let got = snap.run(q()).unwrap();
+    assert_eq!(got.cover().chosen, want.cover().chosen);
+    assert_eq!(got.cover().value.to_bits(), want.cover().value.to_bits());
+    // Read-plane queries never memoize: the same snapshot misses again…
+    assert!(!snap.run(q()).unwrap().explain.cache.is_hit());
+    // …but a control-plane run absorbs the table and publishes, and the
+    // reader observes the new epoch with a warm cache.
+    sharded.run(q()).unwrap();
+    single.run(q()).unwrap();
+    assert!(reader.epoch() > 0);
+    assert!(reader.snapshot().run(q()).unwrap().explain.cache.is_hit());
+    assert_eq!(
+        sharded_fingerprint(&mut sharded, false),
+        engine_fingerprint(&mut single, false)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Builder contract edges
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_tree_engine_requires_explicit_bounds() {
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let (trace, routes) = small_workload(23, StreamKind::Taxi);
+    let err = Engine::builder(model)
+        .users(trace.initial.clone())
+        .facilities(routes.clone())
+        .shards(2)
+        .build_sharded()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Sharded(_)), "{err}");
+}
+
+#[test]
+fn baseline_shards_reject_updates_like_a_single_baseline() {
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let (trace, routes) = small_workload(27, StreamKind::Taxi);
+    let mut sharded = baseline_builder(model, &trace, &routes)
+        .shards(2)
+        .build_sharded()
+        .unwrap();
+    let t = trace.initial.get(0).clone();
+    assert!(matches!(
+        sharded.apply(&[Update::Insert(t)]),
+        Err(EngineError::UpdatesUnsupported)
+    ));
+}
+
+#[test]
+fn global_validation_rejects_bad_batches_all_or_nothing() {
+    let model = ServiceModel::new(Scenario::Transit, 220.0);
+    let (trace, routes) = small_workload(31, StreamKind::Taxi);
+    let mut sharded = tree_builder(model, &trace, &routes)
+        .shards(4)
+        .build_sharded()
+        .unwrap();
+    let before = sharded.epoch();
+    // Dead removal id.
+    assert!(matches!(
+        sharded.apply(&[Update::Remove(99_999)]),
+        Err(EngineError::Update(_))
+    ));
+    // Double removal inside one batch.
+    assert!(matches!(
+        sharded.apply(&[Update::Remove(0), Update::Remove(0)]),
+        Err(EngineError::Update(_))
+    ));
+    assert_eq!(sharded.epoch(), before, "rejected batches must not publish");
+    assert_eq!(sharded.live_users(), trace.initial.len());
+}
