@@ -1,0 +1,255 @@
+//! Replication bench: what serving WAL-shipping feeds costs the
+//! primary's write path.
+//!
+//! Three measured sections over identical durable engines on one seeded
+//! NYT-like stream:
+//!
+//! 1. **bare funnel** — acked update batches per second through a
+//!    daemon that serves no replication feeds (the `tqd` write path as
+//!    it was before replication existed: WAL append, publish, ack).
+//! 2. **shipping cost** — the same funnel feeding an ack-only sink
+//!    follower: every record crosses the wire and is acknowledged, but
+//!    nothing re-applies it. This isolates what the *primary* pays for
+//!    replication — the post-ack tap, the batch encoding, the feed
+//!    thread, the position bookkeeping — and is the parity target:
+//!    within ~10% of the bare figure.
+//! 3. **warm standby** — a full follower applying every record into its
+//!    own durable engine. On a multi-core host this pipelines behind the
+//!    primary; on a single-core host it halves the machine's apply
+//!    budget, so the printed figure measures the box, not the write
+//!    path.
+//!
+//! The bench asserts *correctness*, not speed ratios (loopback
+//! throughput on a shared CI box is too noisy to gate): every acked
+//! batch must reach each follower — zero replication lag at the end —
+//! and the standby must finish on the primary's exact epoch.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use tq_core::dynamic::Update;
+use tq_core::engine::Engine;
+use tq_core::service::{Scenario, ServiceModel};
+use tq_core::tqtree::{Placement, TqTreeConfig};
+use tq_core::StoreConfig;
+use tq_datagen::{presets, stream_scenario, StreamKind};
+use tq_net::frame::{read_frame_interruptible, write_frame, Polled};
+use tq_net::proto::kind;
+use tq_net::{
+    bootstrap_follower, ingest, Client, ConnectConfig, Server, ServerConfig, ServerHandle,
+    DEFAULT_MAX_FRAME,
+};
+use tq_repl::proto::{ReplAck, ReplRecord};
+use tq_store::codec::Reader as CodecReader;
+
+const USERS: usize = 2_000;
+const ROUTES: usize = 32;
+const STOPS: usize = 12;
+const BATCH: usize = 50;
+const N_BATCHES: usize = 2_000;
+/// Wall time per measured section.
+const DURATION: Duration = Duration::from_millis(1200);
+
+fn scratch(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tq-repl-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// A fresh durable primary over the shared stream's initial state.
+fn build_primary(dir: &Path) -> (Engine, Vec<Vec<Update>>) {
+    let city = presets::ny_city();
+    let trace = stream_scenario(&city, StreamKind::Taxi, USERS, N_BATCHES * BATCH, 0.5, 0x9A5);
+    let facilities =
+        tq_datagen::bus_routes(&city, ROUTES, STOPS, presets::ROUTE_LENGTH, 0x9A5 ^ 0xB05);
+    let batches = trace.update_batches(BATCH);
+    let mut engine = Engine::builder(ServiceModel::new(Scenario::Transit, presets::DEFAULT_PSI))
+        .users(trace.initial)
+        .facilities(facilities)
+        .tree_config(TqTreeConfig::z_order(Placement::TwoPoint).with_beta(64))
+        .bounds(trace.bounds)
+        .persist_with(dir, StoreConfig::default())
+        .build()
+        .expect("bench engine builds");
+    engine.warm();
+    (engine, batches)
+}
+
+fn serve_replicating(engine: Engine, dir: &Path) -> ServerHandle {
+    Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            repl_dir: Some(dir.to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind")
+}
+
+/// Applies batches through one client until the deadline; returns
+/// (acked batches per second, last acked epoch, batches applied).
+fn funnel_bps(addr: &str, batches: &[Vec<Update>]) -> (f64, u64, usize) {
+    let mut client = Client::connect(addr).expect("bench writer connects");
+    let mut applied = 0usize;
+    let mut last_ack = 0u64;
+    let start = Instant::now();
+    for batch in batches {
+        if start.elapsed() >= DURATION {
+            break;
+        }
+        last_ack = client.apply(batch.clone()).expect("bench batches are valid").epoch;
+        applied += 1;
+    }
+    (applied as f64 / start.elapsed().as_secs_f64(), last_ack, applied)
+}
+
+/// Blocks until the primary's hub reports zero lag against `target`.
+fn await_zero_lag(handle: &ServerHandle, target: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let status = handle.repl_status().expect("primary serves feeds");
+        if status.min_acked == Some(status.last_shipped) && status.last_shipped >= target {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} never caught up to epoch {target}: {status:?}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// An ack-only follower: drains the feed and acknowledges every record
+/// without applying anything. Returns the drain thread; flip `stop` and
+/// join to shut it down.
+fn spawn_sink(addr: &str, have_epoch: u64, stop: Arc<AtomicBool>) -> thread::JoinHandle<()> {
+    let mut feed = tq_net::open_feed(addr, have_epoch, &ConnectConfig::default())
+        .expect("sink feed opens");
+    feed.set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("read timeout");
+    thread::spawn(move || loop {
+        match read_frame_interruptible(&mut feed, DEFAULT_MAX_FRAME, || {
+            stop.load(Ordering::Relaxed)
+        }) {
+            Ok(Polled::Frame { kind: k, body }) if k == kind::S_REPL_RECORD => {
+                let mut r = CodecReader::new(body);
+                let Ok(record) = ReplRecord::decode(&mut r) else {
+                    return;
+                };
+                let mut buf = BytesMut::new();
+                ReplAck {
+                    epoch: record.epoch,
+                }
+                .encode(&mut buf);
+                if write_frame(&mut feed, kind::REPL_ACK, buf.as_ref()).is_err() {
+                    return;
+                }
+            }
+            _ => return,
+        }
+    })
+}
+
+fn main() {
+    println!(
+        "repl bench: {USERS} trajectories, batches of {BATCH} events over loopback TCP\n"
+    );
+
+    // -- 1: the bare funnel (no feeds served) -------------------------------
+    let bare_dir = scratch("bare");
+    let (engine, batches) = build_primary(&bare_dir);
+    let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("ephemeral bind");
+    let (bare_bps, _, applied) = funnel_bps(&handle.addr().to_string(), &batches);
+    println!(
+        "bare funnel:                      {bare_bps:>9.0} acked batches/s ({applied} batches)"
+    );
+    handle.shutdown().expect("graceful shutdown");
+    let _ = std::fs::remove_dir_all(&bare_dir);
+
+    // -- 2: shipping cost on the write path (ack-only sink) ------------------
+    let ship_dir = scratch("ship");
+    let (engine, batches) = build_primary(&ship_dir);
+    let start_epoch = engine.epoch();
+    let primary = serve_replicating(engine, &ship_dir);
+    let primary_addr = primary.addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let sink = spawn_sink(&primary_addr, start_epoch, Arc::clone(&stop));
+
+    let (ship_bps, last_ack, applied) = funnel_bps(&primary_addr, &batches);
+    await_zero_lag(&primary, last_ack, "the sink");
+    println!(
+        "funnel + live feed (ack sink):    {ship_bps:>9.0} acked batches/s ({applied} batches)"
+    );
+    println!(
+        "shipping cost:                    {:>8.1}% of bare throughput retained",
+        100.0 * ship_bps / bare_bps
+    );
+    stop.store(true, Ordering::Relaxed);
+    sink.join().expect("sink thread");
+    assert_eq!(primary.panics(), 0, "primary caught a handler panic");
+    primary.shutdown().expect("graceful shutdown");
+    let _ = std::fs::remove_dir_all(&ship_dir);
+
+    // -- 3: a full warm standby applying every record ------------------------
+    let primary_dir = scratch("primary");
+    let follower_dir = scratch("follower");
+    let (engine, batches) = build_primary(&primary_dir);
+    let primary = serve_replicating(engine, &primary_dir);
+    let primary_addr = primary.addr().to_string();
+
+    let boot = bootstrap_follower(
+        &follower_dir,
+        StoreConfig::default(),
+        &primary_addr,
+        &ConnectConfig::default(),
+    )
+    .expect("follower bootstraps");
+    let follower = Server::start(
+        boot.engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            repl_dir: Some(follower_dir.clone()),
+            follow: Some(primary_addr.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("follower binds");
+    let parts = follower.follower_parts();
+    let mut stream = boot.stream;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("read timeout");
+    let ingest_thread = thread::spawn(move || {
+        let done = || parts.stopping() || !parts.is_follower();
+        let _ = ingest(&mut stream, parts.writer(), DEFAULT_MAX_FRAME, done);
+    });
+
+    let (standby_bps, last_ack, applied) = funnel_bps(&primary_addr, &batches);
+    println!(
+        "funnel + warm standby:            {standby_bps:>9.0} acked batches/s ({applied} batches)"
+    );
+
+    // Correctness gate: zero lag, and the standby finished on the
+    // primary's exact epoch.
+    await_zero_lag(&primary, last_ack, "the standby");
+    let mut probe = Client::connect(&follower.addr().to_string()).expect("probe connects");
+    let follower_epoch = probe.status().expect("follower status").info.epoch;
+    assert_eq!(follower_epoch, last_ack, "standby stopped short of the primary");
+    drop(probe);
+
+    assert_eq!(primary.panics(), 0, "primary caught a handler panic");
+    assert_eq!(follower.panics(), 0, "follower caught a handler panic");
+    follower.shutdown().expect("follower shutdown");
+    ingest_thread.join().expect("ingest thread");
+    let engine = primary.shutdown().expect("primary shutdown");
+    assert_eq!(engine.epoch(), last_ack);
+    println!("\nzero lag at epoch {last_ack}; graceful shutdown");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}

@@ -219,7 +219,16 @@ const SHUTDOWN: Command = Command {
     ],
 };
 
-const COMMANDS: [&Command; 13] = [
+const PROMOTE: Command = Command {
+    name: "promote",
+    summary: "promote a follower tqd daemon to primary (it accepts writes from the ack on)",
+    positional: "",
+    flags: &[
+        Flag { name: "connect", meta: "HOST:PORT", default: "", help: "follower tqd address" },
+    ],
+};
+
+const COMMANDS: [&Command; 14] = [
     &GENERATE,
     &IMPORT_TAXI,
     &STATS,
@@ -233,6 +242,7 @@ const COMMANDS: [&Command; 13] = [
     &QUERY,
     &STATUS,
     &SHUTDOWN,
+    &PROMOTE,
 ];
 
 fn main() {
@@ -253,6 +263,7 @@ fn main() {
         "query" => cmd_query(rest),
         "status" => cmd_status(rest),
         "shutdown" => cmd_shutdown(rest),
+        "promote" => cmd_promote(rest),
         "help" | "--help" | "-h" => {
             print!("{}", global_usage(&COMMANDS));
             Ok(())
@@ -847,6 +858,18 @@ fn cmd_shutdown(raw: Vec<String>) -> CliResult {
         "daemon at {addr} acknowledged shutdown at epoch {} ({} wal batches pending \
          before the final checkpoint)",
         ack.epoch, ack.wal_batches
+    );
+    Ok(())
+}
+
+fn cmd_promote(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&PROMOTE, raw)? else { return Ok(()) };
+    let addr = a.required("connect")?;
+    let mut client = tq_net::Client::connect(addr)?;
+    let ack = client.promote()?;
+    println!(
+        "daemon at {addr} promoted to primary at epoch {} — writes are accepted there now",
+        ack.epoch
     );
     Ok(())
 }

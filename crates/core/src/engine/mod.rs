@@ -401,6 +401,13 @@ pub enum EngineError {
     /// or a sharded store whose shards and routing log disagree beyond
     /// what recovery can reconcile ([`Engine::open_sharded`]).
     Sharded(String),
+    /// The write was sent to a replication follower. Followers apply only
+    /// batches shipped from their primary; direct writes must go to the
+    /// named primary address instead.
+    ReadOnly {
+        /// Address of the primary this follower replicates from.
+        primary: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -437,6 +444,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "no store attached (build with persist_to or Engine::open)")
             }
             EngineError::Sharded(why) => write!(f, "sharded engine: {why}"),
+            EngineError::ReadOnly { primary } => write!(
+                f,
+                "this node is a read-only follower; send writes to the primary at {primary}"
+            ),
         }
     }
 }
@@ -958,6 +969,40 @@ impl Engine {
         }
         self.validate_batch(updates)?;
         Ok(self.apply_validated(updates, stamp))
+    }
+
+    /// Applies one batch shipped from a replication primary, publishing at
+    /// the epoch the primary stamped it with.
+    ///
+    /// The stamp makes this **idempotent**: a batch at or below the
+    /// engine's current epoch is already reflected in the state (the
+    /// follower saw it through catch-up *and* the live feed, or through a
+    /// reconnect replaying an overlap) and is skipped with an empty
+    /// [`BatchOutcome`]. Stamps above the current epoch may legitimately
+    /// skip epochs — WAL stamps are increasing but not dense (see
+    /// [`crate::persist`]) — and publish exactly at the primary's stamp,
+    /// the same rule the WAL replay of [`Engine::open`] follows.
+    ///
+    /// On a durable follower the batch lands in the local WAL at the
+    /// primary's stamp *before* it publishes — exactly the
+    /// WAL-before-publish ordering of [`Engine::apply`] — so a follower
+    /// crash replays to the same epoch it acknowledged.
+    pub fn apply_replicated(
+        &mut self,
+        updates: &[Update],
+        stamp: u64,
+    ) -> Result<BatchOutcome, EngineError> {
+        if stamp <= self.snapshot.epoch {
+            return Ok(BatchOutcome::default());
+        }
+        if !matches!(&*self.snapshot.backend, Backend::TqTree(_)) {
+            return Err(EngineError::UpdatesUnsupported);
+        }
+        self.validate_batch(updates)?;
+        self.wal_append_at(updates, stamp)?;
+        let outcome = self.apply_validated(updates, stamp);
+        self.maybe_auto_checkpoint()?;
+        Ok(outcome)
     }
 
     /// The mutation half of [`Engine::apply`]: the batch must already be

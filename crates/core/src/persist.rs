@@ -217,6 +217,21 @@ pub(crate) fn decode_batch(r: &mut Reader) -> Result<Vec<Update>, StoreError> {
     Vec::<Update>::decode(r)
 }
 
+/// Encodes one `Update` batch as WAL-payload bytes — the exact bytes a
+/// primary's WAL record carries and a replication feed ships.
+pub fn encode_update_batch(updates: &[Update]) -> bytes::Bytes {
+    encode_batch(updates).freeze()
+}
+
+/// Decodes WAL-payload bytes back into an `Update` batch, refusing
+/// trailing garbage. The inverse of [`encode_update_batch`].
+pub fn decode_update_batch(payload: &[u8]) -> Result<Vec<Update>, StoreError> {
+    let mut r = Reader::new(bytes::Bytes::from(payload.to_vec()));
+    let updates = decode_batch(&mut r)?;
+    r.finish()?;
+    Ok(updates)
+}
+
 // ---------------------------------------------------------------------------
 // ServedTable codec (the warmed full-facility memo)
 // ---------------------------------------------------------------------------
@@ -661,7 +676,16 @@ impl Engine {
     /// before any state mutation; a WAL failure therefore rejects the
     /// batch with the engine untouched.
     pub(crate) fn wal_append(&mut self, updates: &[Update]) -> Result<(), EngineError> {
-        let stamp = self.epoch() + 1;
+        self.wal_append_at(updates, self.epoch() + 1)
+    }
+
+    /// [`Engine::wal_append`] at an explicit stamp — the replicated-apply
+    /// path logs at the epoch the *primary* stamped, not `epoch + 1`.
+    pub(crate) fn wal_append_at(
+        &mut self,
+        updates: &[Update],
+        stamp: u64,
+    ) -> Result<(), EngineError> {
         if let Some(durable) = self.durable.as_ref() {
             let payload = encode_batch(updates);
             durable
@@ -685,6 +709,28 @@ impl Engine {
     /// [`EngineError::CheckpointFailed`]) surfaces on a later apply, by
     /// which point the batch it covered has long been durable in the WAL.
     pub(crate) fn maybe_auto_checkpoint(&mut self) -> Result<(), EngineError> {
+        self.run_checkpoint_policy(Store::should_checkpoint)
+    }
+
+    /// Idle-time housekeeping for a durable engine: harvests a finished
+    /// background checkpoint's verdict and runs the **age-based**
+    /// checkpoint policy ([`StoreConfig::checkpoint_max_age`]) — the
+    /// batch-count threshold never fires on a quiet engine, so a writer
+    /// hub calls this from its idle tick to bound how stale the newest
+    /// snapshot can get while batches sit in the WAL. A no-op for
+    /// in-memory engines and stores without an age limit.
+    pub fn maintain(&mut self) -> Result<(), EngineError> {
+        self.run_checkpoint_policy(Store::checkpoint_due_by_age)
+    }
+
+    /// The shared checkpoint policy behind the post-apply threshold check
+    /// (batch-count) and [`Engine::maintain`] (age threshold):
+    /// harvest the worker, ask `due`, then checkpoint synchronously or
+    /// stage one in the background per [`StoreConfig`].
+    fn run_checkpoint_policy(
+        &mut self,
+        due: impl Fn(&Store) -> bool,
+    ) -> Result<(), EngineError> {
         if self.durable.is_none() {
             return Ok(());
         }
@@ -694,10 +740,7 @@ impl Engine {
         let (due, background) = {
             let durable = self.durable.as_ref().expect("checked above");
             let store = durable.lock();
-            (
-                store.should_checkpoint(),
-                store.config().background_checkpoints,
-            )
+            (due(&store), store.config().background_checkpoints)
         };
         if !due {
             return Ok(());

@@ -56,9 +56,9 @@ use crate::engine::{Answer, BackendKind, Engine, EngineError, Query, Reader};
 use crate::persist::PersistStatus;
 use crate::sharding::{ShardedEngine, ShardedReader};
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, RecvTimeoutError, Sender, SyncSender};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A point-in-time description of a read plane — what a daemon's
 /// hello/status frames report about the engine behind them.
@@ -165,6 +165,24 @@ pub trait ControlPlane: Send + 'static {
     /// Writes an explicit checkpoint, returning the snapshot path (the
     /// store's root directory for a sharded plane).
     fn write_checkpoint(&mut self) -> Result<PathBuf, EngineError>;
+    /// Applies a batch shipped from a replication primary, publishing at
+    /// the primary's stamp ([`Engine::apply_replicated`]). Control planes
+    /// without replication support refuse it typed, never silently.
+    fn apply_replicated(
+        &mut self,
+        _updates: &[Update],
+        _stamp: u64,
+    ) -> Result<BatchOutcome, EngineError> {
+        Err(EngineError::Sharded(
+            "this control plane cannot apply replicated batches".into(),
+        ))
+    }
+    /// Idle-time housekeeping ([`Engine::maintain`]): age-based
+    /// checkpointing and background-worker harvesting. Defaults to a
+    /// no-op.
+    fn maintain(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
 }
 
 impl ControlPlane for Engine {
@@ -188,6 +206,18 @@ impl ControlPlane for Engine {
 
     fn write_checkpoint(&mut self) -> Result<PathBuf, EngineError> {
         self.checkpoint()
+    }
+
+    fn apply_replicated(
+        &mut self,
+        updates: &[Update],
+        stamp: u64,
+    ) -> Result<BatchOutcome, EngineError> {
+        Engine::apply_replicated(self, updates, stamp)
+    }
+
+    fn maintain(&mut self) -> Result<(), EngineError> {
+        Engine::maintain(self)
     }
 }
 
@@ -269,8 +299,38 @@ impl std::error::Error for WriterError {
 
 enum Msg {
     Apply(Vec<Update>, SyncSender<Result<BatchAck, EngineError>>),
+    Replicate(Vec<Update>, u64, SyncSender<Result<BatchAck, EngineError>>),
     Checkpoint(SyncSender<Result<CheckpointAck, EngineError>>),
+    Promote(SyncSender<Result<u64, EngineError>>),
     Stop { final_checkpoint: bool },
+}
+
+/// A post-acknowledgement observer of every batch the writer publishes:
+/// called on the writer thread with the published epoch and the batch,
+/// *after* the batch is applied, WAL-logged and acknowledged. A
+/// replication primary installs one to feed its followers; the tap must
+/// never block (the [`tq_repl` hub]'s queues are bounded `try_send` for
+/// exactly that reason).
+///
+/// [`tq_repl` hub]: ../../tq_repl/index.html
+pub type BatchTap = Box<dyn Fn(u64, &[Update]) + Send>;
+
+/// Tunables for [`WriterHub::spawn_with`]. The [`Default`] options are
+/// exactly [`WriterHub::spawn`]: no tap, writable, half-second tick.
+#[derive(Default)]
+pub struct WriterOptions {
+    /// Observer of every published batch — see [`BatchTap`]. Fires for
+    /// direct *and* replicated applies, so a promoted (or chained)
+    /// follower feeds its own followers.
+    pub tap: Option<BatchTap>,
+    /// `Some(primary_addr)` starts the hub read-only: direct
+    /// [`WriterHandle::apply`] calls are refused with
+    /// [`EngineError::ReadOnly`] naming that address, while replicated
+    /// applies (and [`WriterHandle::promote`]) still work.
+    pub read_only: Option<String>,
+    /// Idle interval between [`ControlPlane::maintain`] calls when no
+    /// requests arrive. Defaults to 500 ms.
+    pub tick: Option<Duration>,
 }
 
 /// A cloneable, sendable handle that funnels requests to the writer
@@ -306,6 +366,24 @@ impl WriterHandle {
     pub fn checkpoint(&self) -> Result<CheckpointAck, WriterError> {
         self.roundtrip(Msg::Checkpoint)
     }
+
+    /// Applies a batch shipped from a replication primary at the
+    /// primary's epoch stamp ([`Engine::apply_replicated`]). Works on a
+    /// read-only hub — this *is* the follower's write path.
+    pub fn apply_replicated(
+        &self,
+        batch: Vec<Update>,
+        stamp: u64,
+    ) -> Result<BatchAck, WriterError> {
+        self.roundtrip(|reply| Msg::Replicate(batch, stamp, reply))
+    }
+
+    /// Lifts a read-only hub into a writable one (follower promotion) and
+    /// returns the epoch it promotes at. Idempotent; a no-op on a hub
+    /// that is already writable.
+    pub fn promote(&self) -> Result<u64, WriterError> {
+        self.roundtrip(Msg::Promote)
+    }
 }
 
 /// Owns the writer thread. Keep the hub where the engine's lifecycle is
@@ -325,12 +403,41 @@ impl<C: ControlPlane> WriterHub<C> {
     /// warm, if wanted) *before* spawning — the hub gives the engine back
     /// only on [`WriterHub::stop`].
     pub fn spawn(engine: C) -> WriterHub<C> {
+        WriterHub::spawn_with(engine, WriterOptions::default())
+    }
+
+    /// [`WriterHub::spawn`] with explicit [`WriterOptions`]: a post-ack
+    /// batch tap (the replication feed point), an initial read-only state
+    /// (a follower hub), and the idle [`ControlPlane::maintain`] tick.
+    pub fn spawn_with(engine: C, options: WriterOptions) -> WriterHub<C> {
         let (tx, rx) = channel::<Msg>();
+        let tick = options.tick.unwrap_or(Duration::from_millis(500));
+        let tap = options.tap;
+        let mut read_only = options.read_only;
         let thread = std::thread::spawn(move || {
             let mut engine = engine;
-            while let Ok(msg) = rx.recv() {
+            loop {
+                let msg = match rx.recv_timeout(tick) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Idle housekeeping. An error here (a failed
+                        // age-based checkpoint) has no requester to carry
+                        // it; the WAL still holds every acked batch, and
+                        // the verdict resurfaces on the next apply's
+                        // harvest.
+                        let _ = engine.maintain();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
                 match msg {
                     Msg::Apply(batch, reply) => {
+                        if let Some(primary) = &read_only {
+                            let _ = reply.send(Err(EngineError::ReadOnly {
+                                primary: primary.clone(),
+                            }));
+                            continue;
+                        }
                         let ack = engine.apply_batch(&batch).map(|outcome| BatchAck {
                             epoch: engine.current_epoch(),
                             outcome,
@@ -339,7 +446,34 @@ impl<C: ControlPlane> WriterHub<C> {
                                 .map_or(0, |s| s.wal_batches as u64),
                         });
                         // A dropped requester is not a writer problem.
+                        let ship = ack.as_ref().map(|a| a.epoch).ok();
                         let _ = reply.send(ack);
+                        // Ship-after-ack: the batch is applied, WAL-logged
+                        // and acknowledged before any follower sees it.
+                        if let (Some(tap), Some(epoch)) = (&tap, ship) {
+                            tap(epoch, &batch);
+                        }
+                    }
+                    Msg::Replicate(batch, stamp, reply) => {
+                        let before = engine.current_epoch();
+                        let ack =
+                            engine.apply_replicated(&batch, stamp).map(|outcome| BatchAck {
+                                epoch: engine.current_epoch(),
+                                outcome,
+                                wal_batches: engine
+                                    .persist_status()
+                                    .map_or(0, |s| s.wal_batches as u64),
+                            });
+                        // A stamp-skipped (already-reflected) batch leaves
+                        // the epoch in place and must not re-ship.
+                        let ship = ack.as_ref().map(|a| a.epoch).ok().filter(|&e| e > before);
+                        let _ = reply.send(ack);
+                        // Replicated applies feed the tap too, so a chained
+                        // or later-promoted follower can serve followers of
+                        // its own.
+                        if let (Some(tap), Some(epoch)) = (&tap, ship) {
+                            tap(epoch, &batch);
+                        }
                     }
                     Msg::Checkpoint(reply) => {
                         let ack = engine.write_checkpoint().map(|path| CheckpointAck {
@@ -347,6 +481,10 @@ impl<C: ControlPlane> WriterHub<C> {
                             path,
                         });
                         let _ = reply.send(ack);
+                    }
+                    Msg::Promote(reply) => {
+                        read_only = None;
+                        let _ = reply.send(Ok(engine.current_epoch()));
                     }
                     Msg::Stop { final_checkpoint } => {
                         if final_checkpoint && engine.persist_status().is_some() {

@@ -1,8 +1,14 @@
 //! The blocking client SDK: dial, handshake, then call methods that each
 //! map to one request/response frame pair.
+//!
+//! A client may hold **several addresses** (comma-separated in
+//! [`Client::connect`]) — a primary and its standbys. Reads fail over to
+//! the next address when the connection drops; a write refused with
+//! [`ErrorCode::ReadOnly`] redirects once to the primary the follower
+//! named in its handshake.
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{Ack, Request, Response, ServerInfo, StatusReport};
+use crate::proto::{Ack, ErrorCode, Request, Response, ServerInfo, StatusReport};
 use crate::{NetError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -42,40 +48,79 @@ impl Default for ConnectConfig {
 /// keeps running.
 pub struct Client {
     stream: TcpStream,
-    addr: String,
+    /// Every address this client may serve from; `active` indexes the
+    /// one currently connected.
+    addrs: Vec<String>,
+    active: usize,
     config: ConnectConfig,
     info: ServerInfo,
 }
 
 impl Client {
     /// Dials `addr` with [`ConnectConfig::default`] and handshakes.
+    /// `addr` may be a comma-separated list (`"primary:4100,standby:4101"`):
+    /// the first address that connects wins, and later failures rotate
+    /// through the rest.
     pub fn connect(addr: &str) -> Result<Client, NetError> {
         Client::connect_with(addr, ConnectConfig::default())
     }
 
-    /// Dials `addr`, retrying with exponential backoff, then handshakes.
-    /// The handshake refuses a server speaking a different
-    /// [`PROTOCOL_VERSION`] (surfaced as [`NetError::Remote`] with code
+    /// Dials `addr` (or the first reachable of a comma-separated list),
+    /// retrying with exponential backoff, then handshakes. The handshake
+    /// refuses a server speaking a different [`PROTOCOL_VERSION`]
+    /// (surfaced as [`NetError::Remote`] with code
     /// [`crate::ErrorCode::VersionMismatch`]).
     pub fn connect_with(addr: &str, config: ConnectConfig) -> Result<Client, NetError> {
-        let mut stream = dial(addr, &config)?;
-        let info = handshake(&mut stream, config.max_frame)?;
-        Ok(Client {
-            stream,
-            addr: addr.to_string(),
-            config,
-            info,
-        })
+        let addrs: Vec<String> = addr
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect();
+        if addrs.is_empty() {
+            return Err(NetError::Io(std::io::Error::other("no address to dial")));
+        }
+        let mut last = None;
+        for (active, candidate) in addrs.iter().enumerate() {
+            match dial(candidate, &config).and_then(|mut stream| {
+                handshake(&mut stream, config.max_frame).map(|info| (stream, info))
+            }) {
+                Ok((stream, info)) => {
+                    return Ok(Client {
+                        stream,
+                        addrs,
+                        active,
+                        config,
+                        info,
+                    })
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one address was tried"))
     }
 
-    /// Drops the current socket and re-dials the same address with the
-    /// same backoff schedule, handshaking anew. State on the server is
-    /// per-request, so a reconnected client continues where it left off.
+    /// Drops the current socket and re-dials, handshaking anew — the
+    /// current address first, then the rest of the list in rotation.
+    /// State on the server is per-request, so a reconnected client
+    /// continues where it left off.
     pub fn reconnect(&mut self) -> Result<(), NetError> {
-        let mut stream = dial(&self.addr, &self.config)?;
-        self.info = handshake(&mut stream, self.config.max_frame)?;
-        self.stream = stream;
-        Ok(())
+        let mut last = None;
+        for step in 0..self.addrs.len() {
+            let candidate = (self.active + step) % self.addrs.len();
+            match dial(&self.addrs[candidate], &self.config).and_then(|mut stream| {
+                handshake(&mut stream, self.config.max_frame).map(|info| (stream, info))
+            }) {
+                Ok((stream, info)) => {
+                    self.stream = stream;
+                    self.info = info;
+                    self.active = candidate;
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one address was tried"))
     }
 
     /// What the server reported at handshake time.
@@ -83,17 +128,25 @@ impl Client {
         &self.info
     }
 
-    /// Runs a query on the daemon's latest published snapshot.
+    /// The address currently connected.
+    pub fn addr(&self) -> &str {
+        &self.addrs[self.active]
+    }
+
+    /// Runs a query on the daemon's latest published snapshot. Fails
+    /// over: a dropped connection reconnects (rotating through the
+    /// address list) and retries once.
     pub fn query(&mut self, query: Query) -> Result<Answer, NetError> {
-        match self.call(Request::Query(query))? {
+        match self.call_failover(Request::Query(query))? {
             Response::Answer(a) => Ok(*a),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Runs a query and returns its explain record.
+    /// Runs a query and returns its explain record. Fails over like
+    /// [`Client::query`].
     pub fn explain(&mut self, query: Query) -> Result<Explain, NetError> {
-        match self.call(Request::Explain(query))? {
+        match self.call_failover(Request::Explain(query))? {
             Response::Answer(a) => Ok(a.explain),
             other => Err(unexpected(&other)),
         }
@@ -102,8 +155,29 @@ impl Client {
     /// Applies one update batch through the daemon's single writer. The
     /// returned ack means the batch is published — and, on a durable
     /// daemon, already in the WAL.
+    ///
+    /// A follower refuses writes with [`ErrorCode::ReadOnly`]; this call
+    /// then redirects **once** to the primary the follower named at
+    /// handshake, reconnecting and retrying there.
     pub fn apply(&mut self, batch: Vec<Update>) -> Result<Ack, NetError> {
-        match self.call(Request::Apply(batch))? {
+        let (kind, body) = Request::Apply(batch).to_frame();
+        let response = match self.call_frame(kind, body.as_ref()) {
+            Err(NetError::Remote(e)) if e.code == ErrorCode::ReadOnly => {
+                self.redirect_to_primary(NetError::Remote(e))?;
+                self.call_frame(kind, body.as_ref())?
+            }
+            other => other?,
+        };
+        match response {
+            Response::Ack(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Promotes the connected daemon — a follower — to primary: it
+    /// accepts writes from the ack on.
+    pub fn promote(&mut self) -> Result<Ack, NetError> {
+        match self.call(Request::Promote)? {
             Response::Ack(a) => Ok(a),
             other => Err(unexpected(&other)),
         }
@@ -117,9 +191,9 @@ impl Client {
         }
     }
 
-    /// Fetches a serving status report.
+    /// Fetches a serving status report. Fails over like [`Client::query`].
     pub fn status(&mut self) -> Result<StatusReport, NetError> {
-        match self.call(Request::Status)? {
+        match self.call_failover(Request::Status)? {
             Response::Status(s) => Ok(s),
             other => Err(unexpected(&other)),
         }
@@ -139,12 +213,52 @@ impl Client {
     /// [`NetError::Remote`].
     pub fn call(&mut self, request: Request) -> Result<Response, NetError> {
         let (kind, body) = request.to_frame();
-        write_frame(&mut self.stream, kind, body.as_ref())?;
+        self.call_frame(kind, body.as_ref())
+    }
+
+    /// A round trip that survives one dropped connection: on an I/O
+    /// error or a clean close, reconnect (rotating through the address
+    /// list) and resend the identical frame once. Used by the read-side
+    /// calls — idempotent by nature — never by [`Client::apply`].
+    fn call_failover(&mut self, request: Request) -> Result<Response, NetError> {
+        let (kind, body) = request.to_frame();
+        match self.call_frame(kind, body.as_ref()) {
+            Err(NetError::Io(_) | NetError::Closed) => {
+                self.reconnect()?;
+                self.call_frame(kind, body.as_ref())
+            }
+            other => other,
+        }
+    }
+
+    fn call_frame(&mut self, kind: u8, body: &[u8]) -> Result<Response, NetError> {
+        write_frame(&mut self.stream, kind, body)?;
         let (kind, body) = read_frame(&mut self.stream, self.config.max_frame)?;
         match Response::from_frame(kind, body)? {
             Response::Error(e) => Err(NetError::Remote(e)),
             other => Ok(other),
         }
+    }
+
+    /// Moves the connection to the primary the current server named at
+    /// handshake. `refused` is returned unchanged when no primary is
+    /// known (already on the primary, or pre-replication server).
+    fn redirect_to_primary(&mut self, refused: NetError) -> Result<(), NetError> {
+        let primary = self.info.primary.clone();
+        if primary.is_empty() || self.addrs[self.active] == primary {
+            return Err(refused);
+        }
+        match self.addrs.iter().position(|a| *a == primary) {
+            Some(i) => self.active = i,
+            None => {
+                self.addrs.push(primary);
+                self.active = self.addrs.len() - 1;
+            }
+        }
+        let mut stream = dial(&self.addrs[self.active], &self.config)?;
+        self.info = handshake(&mut stream, self.config.max_frame)?;
+        self.stream = stream;
+        Ok(())
     }
 }
 
@@ -168,12 +282,12 @@ fn handshake(stream: &mut TcpStream, max_frame: usize) -> Result<ServerInfo, Net
     }
 }
 
-fn dial(addr: &str, config: &ConnectConfig) -> Result<TcpStream, NetError> {
+pub(crate) fn dial(addr: &str, config: &ConnectConfig) -> Result<TcpStream, NetError> {
     let mut backoff = config.initial_backoff;
     let mut last_err = None;
     for attempt in 0..config.attempts.max(1) {
         if attempt > 0 {
-            std::thread::sleep(backoff);
+            std::thread::sleep(backoff + jitter(addr, attempt, backoff));
             backoff = (backoff * 2).min(config.max_backoff);
         }
         match TcpStream::connect(addr) {
@@ -187,4 +301,21 @@ fn dial(addr: &str, config: &ConnectConfig) -> Result<TcpStream, NetError> {
     Err(NetError::Io(last_err.unwrap_or_else(|| {
         std::io::Error::other("no dial attempts configured")
     })))
+}
+
+/// Up to 25% of extra sleep per retry, spread deterministically by
+/// (address, pid, attempt) through an xorshift mix — so a fleet of
+/// clients reconnecting after a primary restart doesn't stampede the
+/// listener in lockstep, without an RNG dependency.
+fn jitter(addr: &str, attempt: u32, backoff: Duration) -> Duration {
+    let mut seed = 0x9e37_79b9_7f4a_7c15u64
+        ^ ((std::process::id() as u64) << 32)
+        ^ u64::from(attempt);
+    for b in addr.bytes() {
+        seed = seed.rotate_left(8) ^ u64::from(b);
+    }
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    (backoff / 1024) * ((seed % 256) as u32)
 }

@@ -18,6 +18,12 @@
 //!   [`Reader`](tq_core::engine::Reader) for queries while every update
 //!   batch funnels through the engine's single writer
 //!   ([`tq_core::writer::WriterHub`]).
+//! * **[`repl`]** — the follower side of WAL-shipping replication:
+//!   [`bootstrap_follower`] opens (or seeds) a local store from a
+//!   primary's feed, and [`repl::ingest`] applies shipped records through
+//!   the same idempotent stamped-replay path crash recovery uses. The
+//!   primary side lives in [`tq_repl`] and is served by [`Server`] when
+//!   [`ServerConfig::repl_dir`](server::ServerConfig::repl_dir) is set.
 //!
 //! The invariant: a networked answer is **bit-identical** to the answer an
 //! in-process [`Engine`](tq_core::engine::Engine) at the same epoch
@@ -30,17 +36,23 @@
 pub mod client;
 pub mod frame;
 pub mod proto;
+pub mod repl;
 pub mod server;
 
 pub use client::{Client, ConnectConfig};
-pub use proto::{Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, StatusReport};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use proto::{
+    Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, ServerRole, StatusReport,
+};
+pub use repl::{bootstrap_follower, ingest, open_feed, FollowerEngine, IngestEnd};
+pub use server::{FollowerParts, Server, ServerConfig, ServerHandle};
 
 use tq_store::StoreError;
 
 /// The protocol revision this build speaks. The handshake refuses any
 /// other value — bump it whenever a frame body's byte layout changes.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// v2 added replication: the hello/status bodies carry the node's role
+/// and primary address, and the `repl-*` frame kinds exist.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Default cap on a frame's body length (32 MiB). A hostile or corrupt
 /// length prefix above the cap is rejected *before* any allocation.
@@ -70,6 +82,9 @@ pub enum NetError {
     },
     /// The server answered with a typed error frame.
     Remote(ErrorFrame),
+    /// The *local* engine failed while following a primary: it refused a
+    /// replicated batch, or the bootstrapped store would not open.
+    Engine(tq_core::engine::EngineError),
     /// The peer closed the connection at a frame boundary.
     Closed,
 }
@@ -86,6 +101,7 @@ impl std::fmt::Display for NetError {
                 write!(f, "unexpected frame kind {kind:#04x}")
             }
             NetError::Remote(e) => write!(f, "server error: {e}"),
+            NetError::Engine(e) => write!(f, "local engine error: {e}"),
             NetError::Closed => write!(f, "the peer closed the connection"),
         }
     }
@@ -96,6 +112,7 @@ impl std::error::Error for NetError {
         match self {
             NetError::Io(e) => Some(e),
             NetError::Codec(e) => Some(e),
+            NetError::Engine(e) => Some(e),
             _ => None,
         }
     }

@@ -19,11 +19,21 @@
 //! | `0x05` | empty                     | checkpoint now                   |
 //! | `0x06` | empty                     | status report                    |
 //! | `0x07` | empty                     | graceful daemon shutdown         |
+//! | `0x08` | `ReplHello` (tq-repl)     | open a replication feed          |
+//! | `0x09` | empty                     | promote a follower to primary    |
+//! | `0x0A` | `ReplAck` (tq-repl)       | follower feed acknowledgement    |
 //! | `0x81` | [`ServerInfo`]            | handshake accepted               |
 //! | `0x82` | [`Answer`]                | query answer + explain           |
 //! | `0x83` | [`Ack`]                   | batch / checkpoint / shutdown ack|
 //! | `0x84` | [`StatusReport`]          | status report                    |
 //! | `0x85` | [`ErrorFrame`]            | typed error                      |
+//! | `0x86` | `ReplRecord` (tq-repl)    | one shipped WAL record           |
+//! | `0x87` | `SnapshotChunk` (tq-repl) | one snapshot-transfer chunk      |
+//!
+//! The `repl-*` bodies (`0x08`, `0x0A`, `0x86`, `0x87`) are owned by
+//! [`tq_repl::proto`] and never appear inside [`Request`]/[`Response`] —
+//! a feed connection leaves the request/response rhythm after its hello
+//! and is handled by the dedicated feed loop ([`crate::repl`]).
 
 use crate::NetError;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -48,6 +58,13 @@ pub mod kind {
     pub const STATUS: u8 = 0x06;
     /// Gracefully shut the daemon down.
     pub const SHUTDOWN: u8 = 0x07;
+    /// Open a replication feed (body: `tq_repl::proto::ReplHello`).
+    /// Takes the place of the handshake hello on a feed connection.
+    pub const REPL_HELLO: u8 = 0x08;
+    /// Promote a follower to primary (empty body).
+    pub const PROMOTE: u8 = 0x09;
+    /// Follower feed acknowledgement (body: `tq_repl::proto::ReplAck`).
+    pub const REPL_ACK: u8 = 0x0A;
     /// Handshake accepted (server → client).
     pub const S_HELLO: u8 = 0x81;
     /// A query answer.
@@ -58,6 +75,10 @@ pub mod kind {
     pub const S_STATUS: u8 = 0x84;
     /// A typed error.
     pub const S_ERROR: u8 = 0x85;
+    /// One shipped WAL record (body: `tq_repl::proto::ReplRecord`).
+    pub const S_REPL_RECORD: u8 = 0x86;
+    /// One snapshot-transfer chunk (body: `tq_repl::proto::SnapshotChunk`).
+    pub const S_REPL_SNAPSHOT: u8 = 0x87;
 }
 
 /// A client-to-server message.
@@ -82,6 +103,9 @@ pub enum Request {
     Status,
     /// Drain connections, take a final checkpoint, exit.
     Shutdown,
+    /// Promote a follower to primary: its writer funnel starts accepting
+    /// direct applies. Idempotent on a node that is already primary.
+    Promote,
 }
 
 /// A server-to-client message.
@@ -98,6 +122,45 @@ pub enum Response {
     /// A typed error. The connection may stay open (engine errors) or
     /// close right after (protocol errors).
     Error(ErrorFrame),
+}
+
+/// Which side of replication a daemon is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRole {
+    /// Accepts direct writes (and feeds followers, when configured).
+    Primary,
+    /// Read-only standby applying a primary's shipped WAL records.
+    Follower,
+}
+
+impl std::fmt::Display for ServerRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerRole::Primary => write!(f, "primary"),
+            ServerRole::Follower => write!(f, "follower"),
+        }
+    }
+}
+
+impl Encode for ServerRole {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            ServerRole::Primary => 0,
+            ServerRole::Follower => 1,
+        });
+    }
+}
+
+impl Decode for ServerRole {
+    const MIN_SIZE: usize = 1;
+
+    fn decode(r: &mut Reader) -> Result<Self, StoreError> {
+        match r.u8()? {
+            0 => Ok(ServerRole::Primary),
+            1 => Ok(ServerRole::Follower),
+            other => Err(StoreError::Corrupt(format!("server role {other}"))),
+        }
+    }
 }
 
 /// What the server tells a client at handshake time.
@@ -117,6 +180,11 @@ pub struct ServerInfo {
     pub facilities: u64,
     /// Whether the engine persists to a store (WAL + snapshots).
     pub durable: bool,
+    /// Whether this daemon accepts writes or replicates a primary.
+    pub role: ServerRole,
+    /// Address of the primary this follower replicates from; empty on a
+    /// primary. Clients redirect writes here.
+    pub primary: String,
 }
 
 impl Encode for ServerInfo {
@@ -128,11 +196,13 @@ impl Encode for ServerInfo {
         buf.put_u64_le(self.live_users);
         buf.put_u64_le(self.facilities);
         buf.put_u8(self.durable as u8);
+        self.role.encode(buf);
+        self.primary.encode(buf);
     }
 }
 
 impl Decode for ServerInfo {
-    const MIN_SIZE: usize = 2 + 8 + 1 + 8 + 8 + 8 + 1;
+    const MIN_SIZE: usize = 2 + 8 + 1 + 8 + 8 + 8 + 1 + 1 + 4;
 
     fn decode(r: &mut Reader) -> Result<Self, StoreError> {
         Ok(ServerInfo {
@@ -143,6 +213,8 @@ impl Decode for ServerInfo {
             live_users: r.u64()?,
             facilities: r.u64()?,
             durable: decode_bool(r)?,
+            role: ServerRole::decode(r)?,
+            primary: String::decode(r)?,
         })
     }
 }
@@ -192,6 +264,14 @@ pub struct StatusReport {
     /// WAL batches pending since the last checkpoint (as of the most
     /// recent apply or checkpoint).
     pub wal_batches: u64,
+    /// Replication followers currently fed by this daemon.
+    pub followers: u64,
+    /// Epoch of the newest record offered to any follower feed (`0` when
+    /// none were).
+    pub last_shipped: u64,
+    /// The slowest follower's acknowledged epoch; `last_shipped` minus
+    /// this is the replication lag. `0` with no followers.
+    pub min_acked: u64,
 }
 
 impl Encode for StatusReport {
@@ -201,11 +281,14 @@ impl Encode for StatusReport {
         buf.put_u64_le(self.queries_served);
         buf.put_u64_le(self.batches_applied);
         buf.put_u64_le(self.wal_batches);
+        buf.put_u64_le(self.followers);
+        buf.put_u64_le(self.last_shipped);
+        buf.put_u64_le(self.min_acked);
     }
 }
 
 impl Decode for StatusReport {
-    const MIN_SIZE: usize = ServerInfo::MIN_SIZE + 32;
+    const MIN_SIZE: usize = ServerInfo::MIN_SIZE + 56;
 
     fn decode(r: &mut Reader) -> Result<Self, StoreError> {
         Ok(StatusReport {
@@ -214,6 +297,9 @@ impl Decode for StatusReport {
             queries_served: r.u64()?,
             batches_applied: r.u64()?,
             wal_batches: r.u64()?,
+            followers: r.u64()?,
+            last_shipped: r.u64()?,
+            min_acked: r.u64()?,
         })
     }
 }
@@ -230,11 +316,25 @@ impl std::fmt::Display for StatusReport {
             "users {} ({} live) | facilities {} | durable {}",
             self.info.users, self.info.live_users, self.info.facilities, self.info.durable
         )?;
-        write!(
+        writeln!(
             f,
             "connections {} | queries {} | batches {} | wal pending {}",
             self.connections, self.queries_served, self.batches_applied, self.wal_batches
-        )
+        )?;
+        match self.info.role {
+            ServerRole::Follower => {
+                write!(f, "role follower | primary {}", self.info.primary)
+            }
+            ServerRole::Primary if self.followers > 0 => write!(
+                f,
+                "role primary | followers {} | shipped epoch {} | acked epoch {} (lag {})",
+                self.followers,
+                self.last_shipped,
+                self.min_acked,
+                self.last_shipped.saturating_sub(self.min_acked)
+            ),
+            ServerRole::Primary => write!(f, "role primary | followers 0"),
+        }
     }
 }
 
@@ -255,6 +355,10 @@ pub enum ErrorCode {
     Unsupported,
     /// The daemon is draining connections for shutdown.
     ShuttingDown,
+    /// The write was sent to a read-only follower; the message names the
+    /// primary to redirect to. The connection stays open (reads are
+    /// fine).
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -265,6 +369,7 @@ impl ErrorCode {
             ErrorCode::Engine => 3,
             ErrorCode::Unsupported => 4,
             ErrorCode::ShuttingDown => 5,
+            ErrorCode::ReadOnly => 6,
         }
     }
 
@@ -275,6 +380,7 @@ impl ErrorCode {
             3 => ErrorCode::Engine,
             4 => ErrorCode::Unsupported,
             5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::ReadOnly,
             other => return Err(StoreError::Corrupt(format!("error code {other}"))),
         })
     }
@@ -288,6 +394,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Engine => "engine",
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::ReadOnly => "read-only",
         };
         write!(f, "{name}")
     }
@@ -367,6 +474,7 @@ impl Request {
             Request::Checkpoint => kind::CHECKPOINT,
             Request::Status => kind::STATUS,
             Request::Shutdown => kind::SHUTDOWN,
+            Request::Promote => kind::PROMOTE,
         };
         (kind, buf)
     }
@@ -392,6 +500,10 @@ impl Request {
             kind::SHUTDOWN => {
                 expect_empty(&body)?;
                 Request::Shutdown
+            }
+            kind::PROMOTE => {
+                expect_empty(&body)?;
+                Request::Promote
             }
             other => return Err(NetError::Unexpected { kind: other }),
         })
@@ -495,7 +607,12 @@ mod tests {
             Request::Apply(batch) => assert_eq!(batch.len(), 1),
             other => panic!("{other:?}"),
         }
-        for req in [Request::Checkpoint, Request::Status, Request::Shutdown] {
+        for req in [
+            Request::Checkpoint,
+            Request::Status,
+            Request::Shutdown,
+            Request::Promote,
+        ] {
             let (kind, body) = req.to_frame();
             assert!(body.is_empty());
             Request::from_frame(kind, body.freeze()).unwrap();
@@ -512,6 +629,8 @@ mod tests {
             live_users: 98,
             facilities: 40,
             durable: true,
+            role: ServerRole::Follower,
+            primary: "127.0.0.1:4321".into(),
         };
         match roundtrip_response(Response::Hello(info.clone())) {
             Response::Hello(back) => assert_eq!(back, info),
@@ -539,6 +658,9 @@ mod tests {
             queries_served: 250,
             batches_applied: 12,
             wal_batches: 4,
+            followers: 2,
+            last_shipped: 12,
+            min_acked: 11,
         };
         match roundtrip_response(Response::Status(status.clone())) {
             Response::Status(back) => {
@@ -580,6 +702,7 @@ mod tests {
             ErrorCode::Engine,
             ErrorCode::Unsupported,
             ErrorCode::ShuttingDown,
+            ErrorCode::ReadOnly,
         ] {
             let e = ErrorFrame { code, message: String::new() };
             match roundtrip_response(Response::Error(e)) {

@@ -1,0 +1,283 @@
+//! The follower side of WAL-shipping replication.
+//!
+//! A follower daemon runs two loops against one store: the ordinary
+//! [`Server`](crate::Server) serving queries from its read plane (with
+//! writes refused — [`crate::ErrorCode::ReadOnly`]), and an **ingest
+//! loop** applying records shipped from the primary through the same
+//! single-writer funnel, via the idempotent stamped-replay path
+//! ([`WriterHandle::apply_replicated`]). This module owns the pieces
+//! both loops share with the wire:
+//!
+//! * [`bootstrap_follower`] — dial the primary, announce what the local
+//!   store already holds, and come back with an [`Engine`] guaranteed to
+//!   be reachable from the primary's feed: either the local store was
+//!   recent enough to catch up from WAL records alone, or the primary
+//!   streamed its newest snapshot and the store was seeded from it
+//!   ([`tq_store::Store::bootstrap`]).
+//! * [`ingest`] — the record loop: decode each shipped record, apply it
+//!   at its epoch stamp, acknowledge. Generic over the stream so the
+//!   torture tests can drive it from in-memory buffers.
+//!
+//! Both ends are duplicate-tolerant by construction: a record at or
+//! below the follower's epoch acknowledges without re-applying (the
+//! same rule crash recovery uses), so reconnecting and re-catching-up
+//! from any point is always safe.
+
+use crate::client::dial;
+use crate::frame::{read_frame, read_frame_interruptible, write_frame, Polled};
+use crate::proto::{kind, Response};
+use crate::{ConnectConfig, NetError};
+use bytes::{Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use tq_core::engine::Engine;
+use tq_core::persist::decode_update_batch;
+use tq_core::writer::{WriterError, WriterHandle};
+use tq_repl::proto::{ReplAck, ReplHello, ReplRecord, SnapshotChunk, REPL_PROTOCOL_VERSION};
+use tq_store::codec::Reader as CodecReader;
+use tq_store::{snapshot_files, Store, StoreConfig, StoreError};
+
+/// What [`bootstrap_follower`] hands back: a local engine caught up to
+/// the primary's feed origin, and the feed connection positioned at the
+/// start of the record stream.
+pub struct FollowerEngine {
+    /// The follower's engine — open it into a [`Server`](crate::Server)
+    /// with [`ServerConfig::follow`](crate::server::ServerConfig::follow)
+    /// set, then run [`ingest`] with the server's writer handle.
+    pub engine: Engine,
+    /// The feed connection; every frame from here on is a record (or a
+    /// typed error).
+    pub stream: TcpStream,
+}
+
+/// Why [`ingest`] returned without an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestEnd {
+    /// The primary (or the network between) closed the feed — reconnect
+    /// with a fresh [`bootstrap_follower`], or promote.
+    Disconnected,
+    /// The stop closure fired, or the local writer stopped: the follower
+    /// daemon is shutting down (or was promoted out from under the
+    /// loop).
+    Stopped,
+}
+
+/// Dials the primary at `primary` and brings the store at `dir` to a
+/// state its feed can continue from.
+///
+/// * An existing store opens normally (crash recovery included) and its
+///   epoch is announced; the primary then ships only newer records.
+/// * An empty (or absent) directory announces nothing and receives the
+///   primary's newest snapshot in chunks; the store is seeded from it
+///   via [`Store::bootstrap`].
+/// * An existing store **too far behind** the primary's WAL is wiped and
+///   re-seeded the same way — safe here, and only here, because the
+///   bootstrap runs before any server owns the engine.
+///
+/// The returned stream has consumed the feed's opening frame (the
+/// position marker, or the snapshot transfer), so [`ingest`] starts
+/// cleanly at the record stream.
+pub fn bootstrap_follower(
+    dir: &Path,
+    config: StoreConfig,
+    primary: &str,
+    connect: &ConnectConfig,
+) -> Result<FollowerEngine, NetError> {
+    let engine = if has_store(dir) {
+        Some(Engine::open_with(dir, config).map_err(NetError::Engine)?)
+    } else {
+        None
+    };
+
+    let mut stream = dial(primary, connect)?;
+    let hello = ReplHello {
+        protocol: REPL_PROTOCOL_VERSION,
+        shard: 0,
+        have_epoch: engine.as_ref().map(|e| e.epoch()),
+    };
+    let mut body = BytesMut::new();
+    hello.encode(&mut body);
+    write_frame(&mut stream, kind::REPL_HELLO, body.as_ref())?;
+
+    // The primary always answers a valid hello immediately: a position
+    // marker (WAL-only catch-up), the first snapshot chunk, or a typed
+    // error.
+    let (first_kind, first_body) = read_frame(&mut stream, connect.max_frame)?;
+    let engine = match first_kind {
+        kind::S_REPL_RECORD => {
+            let record = decode_record(first_body)?;
+            let mut engine = engine.ok_or(NetError::Unexpected { kind: first_kind })?;
+            let ack = if record.payload.is_empty() {
+                record.epoch
+            } else {
+                let updates = decode_update_batch(record.payload.as_ref())?;
+                engine
+                    .apply_replicated(&updates, record.epoch)
+                    .map_err(NetError::Engine)?;
+                engine.epoch()
+            };
+            send_ack(&mut stream, ack)?;
+            engine
+        }
+        kind::S_REPL_SNAPSHOT => {
+            // The primary decided WAL records can't reach us: whatever
+            // the local store held is superseded by the transfer.
+            drop(engine);
+            if dir.exists() {
+                std::fs::remove_dir_all(dir)?;
+            }
+            let (epoch, image) = collect_snapshot(&mut stream, connect.max_frame, first_body)?;
+            Store::bootstrap(dir, config, epoch, &image)?;
+            Engine::open_with(dir, config).map_err(NetError::Engine)?
+        }
+        other => return Err(reject(other, first_body)),
+    };
+    Ok(FollowerEngine { engine, stream })
+}
+
+/// Re-opens a feed for an already-running follower: dial, hello with
+/// the follower's current epoch, consume the opening position marker.
+/// Unlike [`bootstrap_follower`] this never touches the store — a
+/// primary that answers with a snapshot transfer (the follower fell
+/// behind the primary's retained WAL while disconnected) is surfaced
+/// as [`NetError::Unexpected`]; restarting the daemon re-bootstraps.
+pub fn open_feed(
+    primary: &str,
+    have_epoch: u64,
+    connect: &ConnectConfig,
+) -> Result<TcpStream, NetError> {
+    let mut stream = dial(primary, connect)?;
+    let hello = ReplHello {
+        protocol: REPL_PROTOCOL_VERSION,
+        shard: 0,
+        have_epoch: Some(have_epoch),
+    };
+    let mut body = BytesMut::new();
+    hello.encode(&mut body);
+    write_frame(&mut stream, kind::REPL_HELLO, body.as_ref())?;
+    let (frame_kind, body) = read_frame(&mut stream, connect.max_frame)?;
+    match frame_kind {
+        kind::S_REPL_RECORD => {
+            let record = decode_record(body)?;
+            if !record.payload.is_empty() {
+                return Err(NetError::Unexpected { kind: frame_kind });
+            }
+            send_ack(&mut stream, have_epoch.max(record.epoch))?;
+            Ok(stream)
+        }
+        other => Err(reject(other, body)),
+    }
+}
+
+/// The follower's record loop: reads shipped records off `stream`,
+/// applies each through the writer funnel at its epoch stamp, and
+/// acknowledges with the epoch now durable locally. Duplicates (epoch
+/// at or below the engine's) acknowledge without applying. Returns
+/// [`IngestEnd::Disconnected`] when the feed closes — the caller
+/// decides between reconnecting and promotion.
+pub fn ingest<S: Read + Write>(
+    stream: &mut S,
+    writer: &WriterHandle,
+    max_frame: usize,
+    stop: impl Fn() -> bool,
+) -> Result<IngestEnd, NetError> {
+    loop {
+        let (frame_kind, body) = match read_frame_interruptible(stream, max_frame, &stop)? {
+            Polled::Frame { kind, body } => (kind, body),
+            Polled::Closed => return Ok(IngestEnd::Disconnected),
+            Polled::Stopped => return Ok(IngestEnd::Stopped),
+        };
+        match frame_kind {
+            kind::S_REPL_RECORD => {
+                let record = decode_record(body)?;
+                let ack = if record.payload.is_empty() {
+                    // Position marker: nothing to apply.
+                    record.epoch
+                } else {
+                    let updates = decode_update_batch(record.payload.as_ref())?;
+                    match writer.apply_replicated(updates, record.epoch) {
+                        Ok(ack) => ack.epoch,
+                        Err(WriterError::Stopped) => return Ok(IngestEnd::Stopped),
+                        Err(WriterError::Engine(e)) => return Err(NetError::Engine(e)),
+                    }
+                };
+                send_ack(stream, ack)?;
+            }
+            other => return Err(reject(other, body)),
+        }
+    }
+}
+
+/// Whether `dir` holds an openable store (any snapshot file).
+fn has_store(dir: &Path) -> bool {
+    dir.exists() && snapshot_files(dir).map(|files| !files.is_empty()).unwrap_or(false)
+}
+
+/// Accumulates a snapshot transfer whose first chunk already arrived,
+/// acknowledging each chunk with the byte offset received so far.
+fn collect_snapshot(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    first_body: Bytes,
+) -> Result<(u64, Vec<u8>), NetError> {
+    let mut chunk = decode_chunk(first_body)?;
+    let epoch = chunk.epoch;
+    let total = usize::try_from(chunk.total_len)
+        .map_err(|_| corrupt("snapshot transfer larger than memory"))?;
+    let mut image: Vec<u8> = Vec::with_capacity(total.min(64 << 20));
+    loop {
+        if chunk.epoch != epoch {
+            return Err(corrupt(format!(
+                "snapshot transfer switched epochs ({epoch} then {})",
+                chunk.epoch
+            )));
+        }
+        if chunk.offset != image.len() as u64 || chunk.total_len != total as u64 {
+            return Err(corrupt(format!(
+                "snapshot chunk at offset {} arrived with {} bytes received",
+                chunk.offset,
+                image.len()
+            )));
+        }
+        image.extend_from_slice(chunk.data.as_ref());
+        send_ack(stream, image.len() as u64)?;
+        if image.len() >= total {
+            return Ok((epoch, image));
+        }
+        let (frame_kind, body) = read_frame(stream, max_frame)?;
+        if frame_kind != kind::S_REPL_SNAPSHOT {
+            return Err(reject(frame_kind, body));
+        }
+        chunk = decode_chunk(body)?;
+    }
+}
+
+fn decode_record(body: Bytes) -> Result<ReplRecord, NetError> {
+    let mut r = CodecReader::new(body);
+    Ok(ReplRecord::decode(&mut r).and_then(|rec| r.finish().map(|()| rec))?)
+}
+
+fn decode_chunk(body: Bytes) -> Result<SnapshotChunk, NetError> {
+    let mut r = CodecReader::new(body);
+    Ok(SnapshotChunk::decode(&mut r).and_then(|c| r.finish().map(|()| c))?)
+}
+
+fn send_ack(stream: &mut impl Write, epoch: u64) -> Result<(), NetError> {
+    let mut body = BytesMut::new();
+    ReplAck { epoch }.encode(&mut body);
+    write_frame(stream, kind::REPL_ACK, body.as_ref())
+}
+
+fn corrupt(why: impl Into<String>) -> NetError {
+    NetError::Codec(StoreError::Corrupt(why.into()))
+}
+
+/// An unexpected frame on a feed: surface a typed error frame as
+/// [`NetError::Remote`], anything else as [`NetError::Unexpected`].
+fn reject(frame_kind: u8, body: Bytes) -> NetError {
+    match Response::from_frame(frame_kind, body) {
+        Ok(Response::Error(e)) => NetError::Remote(e),
+        _ => NetError::Unexpected { kind: frame_kind },
+    }
+}

@@ -38,16 +38,29 @@
 //! path the WAL exists for.
 
 use crate::frame::{read_frame_interruptible, write_frame, Polled};
-use crate::proto::{Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, StatusReport};
+use crate::proto::{
+    kind, Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, ServerRole, StatusReport,
+};
 use crate::{NetError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tq_core::engine::{Engine, EngineError};
-use tq_core::writer::{ControlPlane, ReadPlane, WriterError, WriterHandle, WriterHub};
+use tq_core::writer::{ControlPlane, ReadPlane, WriterError, WriterHandle, WriterHub, WriterOptions};
+use tq_repl::proto::{ReplAck, ReplHello, ReplRecord, SnapshotChunk, REPL_PROTOCOL_VERSION};
+use tq_repl::{plan_catch_up, CatchUpPlan, ReplicationHub};
+use tq_store::codec::Reader as CodecReader;
+use tq_store::store::WAL_FILE;
+use tq_store::WalTailReader;
+
+/// Bytes of snapshot image per [`SnapshotChunk`] frame during a
+/// follower bootstrap transfer (1 MiB — well under any sane frame cap).
+const SNAPSHOT_CHUNK_LEN: usize = 1 << 20;
 
 /// Tuning for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -60,6 +73,15 @@ pub struct ServerConfig {
     /// Take a final checkpoint on graceful shutdown (default true; only
     /// applies to durable engines).
     pub final_checkpoint: bool,
+    /// Serve replication feeds from this store directory (the engine's
+    /// own directory). `None` (the default) refuses `repl-hello` frames;
+    /// set it on any durable node that should accept followers.
+    pub repl_dir: Option<PathBuf>,
+    /// Start as a read-only follower of the primary at this address:
+    /// client writes are refused with a typed `read-only` error naming
+    /// it, until a `Promote` frame (or [`FollowerParts::promote`]) flips
+    /// the node to primary.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +90,8 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             poll: Duration::from_millis(50),
             final_checkpoint: true,
+            repl_dir: None,
+            follow: None,
         }
     }
 }
@@ -81,6 +105,37 @@ struct Shared {
     wal_batches: AtomicU64,
     panics: AtomicU64,
     durable: bool,
+    /// `true` while this node is a read-only follower.
+    follower: AtomicBool,
+    /// The primary's address, for redirecting writers (empty once
+    /// promoted, or when this node started as a primary).
+    primary: Mutex<String>,
+}
+
+impl Shared {
+    fn role(&self) -> ServerRole {
+        if self.follower.load(Ordering::SeqCst) {
+            ServerRole::Follower
+        } else {
+            ServerRole::Primary
+        }
+    }
+
+    fn primary_addr(&self) -> String {
+        self.primary.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn become_primary(&self) {
+        self.follower.store(false, Ordering::SeqCst);
+        self.primary.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// The primary-side replication state a serving node carries: the
+/// fan-out hub and the store directory feeds catch followers up from.
+struct ReplState {
+    hub: Arc<ReplicationHub>,
+    dir: PathBuf,
 }
 
 /// The TCP server. Construct through [`Server::start`].
@@ -114,9 +169,24 @@ impl Server {
             ),
             panics: AtomicU64::new(0),
             durable: engine.persist_status().is_some(),
+            follower: AtomicBool::new(config.follow.is_some()),
+            primary: Mutex::new(config.follow.clone().unwrap_or_default()),
+        });
+        let repl = config.repl_dir.as_ref().map(|dir| {
+            Arc::new(ReplState {
+                hub: ReplicationHub::new(Some(dir.clone())),
+                dir: dir.clone(),
+            })
         });
         let reader = engine.reader();
-        let hub = WriterHub::spawn(engine);
+        let hub = WriterHub::spawn_with(
+            engine,
+            WriterOptions {
+                tap: repl.as_ref().map(|r| r.hub.tap()),
+                read_only: config.follow.clone(),
+                tick: None,
+            },
+        );
         let writer = hub.handle();
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -124,6 +194,8 @@ impl Server {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
             let config = config.clone();
+            let writer = writer.clone();
+            let repl = repl.clone();
             std::thread::spawn(move || {
                 while !shared.stop.load(Ordering::SeqCst) {
                     match listener.accept() {
@@ -132,8 +204,16 @@ impl Server {
                             let reader = reader.clone();
                             let writer = writer.clone();
                             let config = config.clone();
+                            let repl = repl.clone();
                             let conn = std::thread::spawn(move || {
-                                serve_connection(stream, &shared, &reader, &writer, &config);
+                                serve_connection(
+                                    stream,
+                                    &shared,
+                                    &reader,
+                                    &writer,
+                                    repl.as_deref(),
+                                    &config,
+                                );
                             });
                             let mut held = conns.lock().unwrap_or_else(|e| e.into_inner());
                             held.retain(|h| !h.is_finished());
@@ -154,6 +234,8 @@ impl Server {
             accept,
             conns,
             hub,
+            writer,
+            repl,
             config,
         })
     }
@@ -168,6 +250,8 @@ pub struct ServerHandle<C: ControlPlane = Engine> {
     accept: JoinHandle<()>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     hub: WriterHub<C>,
+    writer: WriterHandle,
+    repl: Option<Arc<ReplState>>,
     config: ServerConfig,
 }
 
@@ -181,6 +265,28 @@ impl<C: ControlPlane> ServerHandle<C> {
     /// slipped through — the torture tests assert on this).
     pub fn panics(&self) -> u64 {
         self.shared.panics.load(Ordering::SeqCst)
+    }
+
+    /// A handle into the single-writer funnel — what a follower's ingest
+    /// thread applies shipped records through while the server serves
+    /// reads ([`FollowerParts`] bundles it with the role state).
+    pub fn writer(&self) -> WriterHandle {
+        self.writer.clone()
+    }
+
+    /// The replication hub's status, when this node serves feeds
+    /// ([`ServerConfig::repl_dir`]).
+    pub fn repl_status(&self) -> Option<tq_repl::HubStatus> {
+        self.repl.as_ref().map(|r| r.hub.status())
+    }
+
+    /// The pieces a follower's ingest loop needs while the handle itself
+    /// is parked in [`ServerHandle::wait`].
+    pub fn follower_parts(&self) -> FollowerParts {
+        FollowerParts {
+            writer: self.writer.clone(),
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Blocks until a protocol `Shutdown` frame flips the stop flag, then
@@ -219,6 +325,42 @@ fn drain(conns: &Mutex<Vec<JoinHandle<()>>>) {
     }
 }
 
+/// What a follower daemon's ingest thread holds while the
+/// [`ServerHandle`] is parked in [`ServerHandle::wait`]: the writer
+/// funnel to apply shipped records through, and the shared role state.
+#[derive(Clone)]
+pub struct FollowerParts {
+    writer: WriterHandle,
+    shared: Arc<Shared>,
+}
+
+impl FollowerParts {
+    /// The writer funnel — [`WriterHandle::apply_replicated`] is the
+    /// ingest path.
+    pub fn writer(&self) -> &WriterHandle {
+        &self.writer
+    }
+
+    /// Whether the server is stopping — the ingest loop's exit signal.
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Whether this node is still a follower (false after promotion).
+    pub fn is_follower(&self) -> bool {
+        self.shared.follower.load(Ordering::SeqCst)
+    }
+
+    /// Promotes this node to primary: the writer accepts client batches
+    /// from the next message on, and status/hello frames report the
+    /// primary role. Returns the epoch at promotion.
+    pub fn promote(&self) -> Result<u64, WriterError> {
+        let epoch = self.writer.promote()?;
+        self.shared.become_primary();
+        Ok(epoch)
+    }
+}
+
 /// One connection, start to finish. Never propagates a panic: request
 /// handling runs under `catch_unwind` and a caught panic closes the
 /// connection with a typed error after bumping the panic counter.
@@ -227,6 +369,7 @@ fn serve_connection<R: ReadPlane>(
     shared: &Shared,
     reader: &R,
     writer: &WriterHandle,
+    repl: Option<&ReplState>,
     config: &ServerConfig,
 ) {
     shared.connections.fetch_add(1, Ordering::SeqCst);
@@ -260,8 +403,21 @@ fn serve_connection<R: ReadPlane>(
             }
         };
 
+        if kind == kind::REPL_HELLO {
+            // The connection becomes a replication feed: it leaves the
+            // request/response loop for the lockstep ship/ack protocol
+            // and closes when the follower (or the server) goes away.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                serve_feed(&mut stream, body, shared, repl, config);
+            }));
+            if outcome.is_err() {
+                shared.panics.fetch_add(1, Ordering::SeqCst);
+            }
+            break;
+        }
+
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_frame(kind, body, shared, reader, writer, &mut greeted)
+            handle_frame(kind, body, shared, reader, writer, repl, &mut greeted)
         }));
         match outcome {
             Ok(Step::Reply(resp)) => {
@@ -306,6 +462,7 @@ fn handle_frame<R: ReadPlane>(
     shared: &Shared,
     reader: &R,
     writer: &WriterHandle,
+    repl: Option<&ReplState>,
     greeted: &mut bool,
 ) -> Step {
     let request = match Request::from_frame(kind, body) {
@@ -374,13 +531,34 @@ fn handle_frame<R: ReadPlane>(
                 message: "the writer has stopped".into(),
             })),
         },
-        Request::Status => Step::Reply(Response::Status(StatusReport {
-            info: server_info(reader, shared),
-            connections: shared.connections.load(Ordering::SeqCst),
-            queries_served: shared.queries_served.load(Ordering::SeqCst),
-            batches_applied: shared.batches_applied.load(Ordering::SeqCst),
-            wal_batches: shared.wal_batches.load(Ordering::SeqCst),
-        })),
+        Request::Status => {
+            let repl_status = repl.map(|r| r.hub.status());
+            Step::Reply(Response::Status(StatusReport {
+                info: server_info(reader, shared),
+                connections: shared.connections.load(Ordering::SeqCst),
+                queries_served: shared.queries_served.load(Ordering::SeqCst),
+                batches_applied: shared.batches_applied.load(Ordering::SeqCst),
+                wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+                followers: repl_status.as_ref().map_or(0, |s| s.followers.len() as u64),
+                last_shipped: repl_status.as_ref().map_or(0, |s| s.last_shipped),
+                min_acked: repl_status.as_ref().and_then(|s| s.min_acked).unwrap_or(0),
+            }))
+        }
+        Request::Promote => match writer.promote() {
+            Ok(epoch) => {
+                shared.become_primary();
+                Step::Reply(Response::Ack(Ack {
+                    epoch,
+                    outcome: None,
+                    wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+                }))
+            }
+            Err(WriterError::Engine(e)) => engine_error(&e),
+            Err(WriterError::Stopped) => Step::ReplyClose(Response::Error(ErrorFrame {
+                code: ErrorCode::ShuttingDown,
+                message: "the writer has stopped".into(),
+            })),
+        },
         Request::Shutdown => Step::ShutDown(Response::Ack(Ack {
             epoch: reader.latest_epoch(),
             outcome: None,
@@ -399,14 +577,21 @@ fn server_info<R: ReadPlane>(reader: &R, shared: &Shared) -> ServerInfo {
         live_users: info.live_users as u64,
         facilities: info.facilities as u64,
         durable: shared.durable,
+        role: shared.role(),
+        primary: shared.primary_addr(),
     }
 }
 
 /// An engine refusal is request-scoped: the snapshot and WAL are
-/// untouched, so the connection stays usable.
+/// untouched, so the connection stays usable. A follower's write
+/// refusal gets its own code so clients can redirect to the primary.
 fn engine_error(e: &EngineError) -> Step {
+    let code = match e {
+        EngineError::ReadOnly { .. } => ErrorCode::ReadOnly,
+        _ => ErrorCode::Engine,
+    };
     Step::Reply(Response::Error(ErrorFrame {
-        code: ErrorCode::Engine,
+        code,
         message: e.to_string(),
     }))
 }
@@ -422,4 +607,237 @@ fn protocol_error(e: &NetError) -> Response {
 fn send(stream: &mut TcpStream, resp: &Response) -> bool {
     let (kind, body) = resp.to_frame();
     write_frame(stream, kind, body.as_ref()).is_ok()
+}
+
+/// One replication feed, start to finish: validate the hello, register
+/// with the hub *before* touching disk, catch the follower up (snapshot
+/// and/or WAL records), then relay live records — every ship in
+/// lockstep with the follower's `repl-ack`.
+fn serve_feed(
+    stream: &mut TcpStream,
+    hello_body: bytes::Bytes,
+    shared: &Shared,
+    repl: Option<&ReplState>,
+    config: &ServerConfig,
+) {
+    let mut r = CodecReader::new(hello_body);
+    let hello = match ReplHello::decode(&mut r).and_then(|h| r.finish().map(|()| h)) {
+        Ok(h) => h,
+        Err(e) => {
+            send(
+                stream,
+                &Response::Error(ErrorFrame {
+                    code: ErrorCode::Protocol,
+                    message: format!("bad repl-hello body: {e}"),
+                }),
+            );
+            return;
+        }
+    };
+    if hello.protocol != REPL_PROTOCOL_VERSION {
+        send(
+            stream,
+            &Response::Error(ErrorFrame {
+                code: ErrorCode::VersionMismatch,
+                message: format!(
+                    "server speaks replication protocol v{REPL_PROTOCOL_VERSION}, \
+                     follower sent v{}",
+                    hello.protocol
+                ),
+            }),
+        );
+        return;
+    }
+    if hello.shard != 0 {
+        send(
+            stream,
+            &Response::Error(ErrorFrame {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "per-shard feeds are not served yet (requested shard {})",
+                    hello.shard
+                ),
+            }),
+        );
+        return;
+    }
+    let Some(state) = repl else {
+        send(
+            stream,
+            &Response::Error(ErrorFrame {
+                code: ErrorCode::Unsupported,
+                message: "this daemon does not serve replication feeds \
+                          (no replicable store directory)"
+                    .into(),
+            }),
+        );
+        return;
+    };
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    // Register before any disk read: from here on, every published
+    // record is either already durable (the catch-up phase reads it)
+    // or queued (the live phase relays it) — overlap is deduped by
+    // epoch stamp on the follower.
+    let (id, queue) = state.hub.register(peer);
+    let _ = run_feed(stream, shared, state, config, hello.have_epoch, id, &queue);
+    state.hub.deregister(id);
+}
+
+fn run_feed(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    state: &ReplState,
+    config: &ServerConfig,
+    have_epoch: Option<u64>,
+    id: u64,
+    queue: &Receiver<ReplRecord>,
+) -> Result<(), NetError> {
+    let mut last_sent = match plan_catch_up(&state.dir, have_epoch) {
+        Ok(CatchUpPlan::WalOnly { from }) => {
+            // Open the stream explicitly: an empty-payload position
+            // marker tells the follower the feed is live from `from`,
+            // so its bootstrap returns without waiting for a first real
+            // record (which may never come on an idle primary).
+            ship(
+                stream,
+                shared,
+                config,
+                ReplRecord {
+                    epoch: from,
+                    payload: bytes::Bytes::new(),
+                },
+            )?;
+            from
+        }
+        Ok(CatchUpPlan::Snapshot { path, epoch }) => {
+            send_snapshot(stream, shared, config, &path, epoch)?;
+            epoch
+        }
+        Err(e) => {
+            send(
+                stream,
+                &Response::Error(ErrorFrame {
+                    code: ErrorCode::Engine,
+                    message: format!("cannot plan follower catch-up: {e}"),
+                }),
+            );
+            return Ok(());
+        }
+    };
+
+    // WAL catch-up: ship every durable record above the follower's
+    // position. The tail reader holds the WAL's inode open, so a
+    // concurrent checkpoint rebasing the file cannot yank records out
+    // from under this loop; anything appended after registration is in
+    // the queue as well.
+    if let Ok(mut wal) = WalTailReader::open(&state.dir.join(WAL_FILE)) {
+        while let Some(record) = wal.poll().map_err(NetError::Codec)? {
+            if record.epoch <= last_sent {
+                continue;
+            }
+            last_sent = record.epoch;
+            let acked = ship(
+                stream,
+                shared,
+                config,
+                ReplRecord {
+                    epoch: record.epoch,
+                    payload: record.payload,
+                },
+            )?;
+            state.hub.note_shipped(last_sent);
+            state.hub.note_ack(id, acked);
+        }
+    }
+
+    // Live phase: relay the hub queue until the follower drops, the
+    // server stops, or the queue overflows (the follower reconnects and
+    // re-catches-up from disk in that case).
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || state.hub.is_overflowed(id) {
+            return Ok(());
+        }
+        match queue.recv_timeout(config.poll) {
+            Ok(record) => {
+                if record.epoch <= last_sent {
+                    continue;
+                }
+                last_sent = record.epoch;
+                let acked = ship(stream, shared, config, record)?;
+                state.hub.note_ack(id, acked);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+/// Streams one snapshot file to a bootstrapping follower in
+/// [`SNAPSHOT_CHUNK_LEN`] pieces, awaiting the lockstep ack after each.
+/// An empty snapshot still sends one empty chunk so the follower learns
+/// `total_len` and the epoch.
+fn send_snapshot(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    config: &ServerConfig,
+    path: &std::path::Path,
+    epoch: u64,
+) -> Result<(), NetError> {
+    let data = std::fs::read(path)?;
+    let total_len = data.len() as u64;
+    let mut offset = 0usize;
+    loop {
+        let end = (offset + SNAPSHOT_CHUNK_LEN).min(data.len());
+        let chunk = SnapshotChunk {
+            epoch,
+            offset: offset as u64,
+            total_len,
+            data: bytes::Bytes::from(data[offset..end].to_vec()),
+        };
+        let mut body = bytes::BytesMut::new();
+        chunk.encode(&mut body);
+        write_frame(stream, kind::S_REPL_SNAPSHOT, body.as_ref())?;
+        await_ack(stream, shared, config)?;
+        offset = end;
+        if offset >= data.len() {
+            return Ok(());
+        }
+    }
+}
+
+/// Ships one record frame and blocks for its lockstep ack, returning the
+/// epoch the follower reports as durably applied.
+fn ship(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    config: &ServerConfig,
+    record: ReplRecord,
+) -> Result<u64, NetError> {
+    let mut body = bytes::BytesMut::new();
+    record.encode(&mut body);
+    write_frame(stream, kind::S_REPL_RECORD, body.as_ref())?;
+    await_ack(stream, shared, config)
+}
+
+/// Blocks for the follower's `repl-ack`, honouring the stop flag.
+fn await_ack(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    config: &ServerConfig,
+) -> Result<u64, NetError> {
+    let polled = read_frame_interruptible(stream, config.max_frame, || {
+        shared.stop.load(Ordering::SeqCst)
+    })?;
+    match polled {
+        Polled::Frame { kind: k, body } if k == kind::REPL_ACK => {
+            let mut r = CodecReader::new(body);
+            let ack = ReplAck::decode(&mut r).and_then(|a| r.finish().map(|()| a))?;
+            Ok(ack.epoch)
+        }
+        Polled::Frame { kind: k, .. } => Err(NetError::Unexpected { kind: k }),
+        Polled::Closed | Polled::Stopped => Err(NetError::Closed),
+    }
 }

@@ -1,0 +1,145 @@
+//! The catch-up planner: what a feed must send a follower before
+//! switching to live records.
+//!
+//! The primary's store covers history in two pieces: the WAL holds every
+//! record *after* its parent snapshot's epoch, and the snapshot files
+//! hold full images at checkpointed epochs (older ones pruned per
+//! `keep_snapshots`). A follower announcing `have_epoch` can be fed WAL
+//! records alone only if the WAL still reaches back far enough;
+//! otherwise — or when the follower is empty — the newest snapshot is
+//! transferred first and the WAL stream starts from its epoch.
+
+use std::path::{Path, PathBuf};
+use tq_store::store::WAL_FILE;
+use tq_store::{snapshot_files, StoreError, WalTailReader};
+
+/// What to ship a follower, per [`plan_catch_up`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatchUpPlan {
+    /// The follower's store already covers the WAL's parent epoch:
+    /// stream WAL records with stamps above `from`, then go live.
+    WalOnly {
+        /// The follower's newest durable epoch; ship records above it.
+        from: u64,
+    },
+    /// The follower is empty or behind the WAL's reach: transfer the
+    /// newest snapshot in chunks, then stream WAL records above its
+    /// epoch.
+    Snapshot {
+        /// The snapshot file to transfer.
+        path: PathBuf,
+        /// The epoch the snapshot captures (and the WAL stream resumes
+        /// from).
+        epoch: u64,
+    },
+}
+
+/// Decides how a follower at `have_epoch` (`None` = empty store) catches
+/// up from the primary store at `dir`.
+///
+/// The WAL header's parent epoch is the authoritative lower bound of
+/// what WAL shipping can cover: a follower at or above it needs records
+/// only. Anything below — including a missing or torn WAL header —
+/// falls back to transferring the newest snapshot.
+pub fn plan_catch_up(dir: &Path, have_epoch: Option<u64>) -> Result<CatchUpPlan, StoreError> {
+    let parent = WalTailReader::open(&dir.join(WAL_FILE))
+        .map(|r| r.parent_epoch())
+        .ok();
+    if let (Some(have), Some(parent)) = (have_epoch, parent) {
+        if have >= parent {
+            return Ok(CatchUpPlan::WalOnly { from: have });
+        }
+    }
+    let newest = snapshot_files(dir)?
+        .into_iter()
+        .max_by_key(|(epoch, _)| *epoch)
+        .ok_or(StoreError::NoSnapshot)?;
+    Ok(CatchUpPlan::Snapshot {
+        path: newest.1,
+        epoch: newest.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_store::snapshot::SnapshotMeta;
+    use tq_store::{Store, StoreConfig};
+
+    fn meta(epoch: u64) -> SnapshotMeta {
+        SnapshotMeta {
+            epoch,
+            backend: tq_store::BACKEND_TQTREE,
+            scenario: 0,
+            users: 0,
+            live: 0,
+            facilities: 0,
+            tree_nodes: 0,
+            tree_items: 0,
+        }
+    }
+
+    fn store_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tq-catchup-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn empty_follower_gets_the_newest_snapshot() {
+        let dir = store_dir("empty");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(3), b"image-3").unwrap();
+        store.append_batch(4, b"b4").unwrap();
+        store.checkpoint(&meta(5), b"image-5").unwrap();
+
+        let plan = plan_catch_up(&dir, None).unwrap();
+        match plan {
+            CatchUpPlan::Snapshot { epoch, path } => {
+                assert_eq!(epoch, 5);
+                // The newest image travels, framed exactly as on disk.
+                let bytes = std::fs::read(path).unwrap();
+                assert!(bytes
+                    .windows(b"image-5".len())
+                    .any(|w| w == b"image-5"));
+            }
+            other => panic!("expected a snapshot plan, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follower_within_wal_reach_gets_records_only() {
+        let dir = store_dir("wal-only");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        store.checkpoint(&meta(5), b"image-5").unwrap();
+        store.append_batch(6, b"b6").unwrap();
+        store.append_batch(7, b"b7").unwrap();
+
+        // At the parent epoch exactly, and ahead of it: records only.
+        for have in [5, 6, 7] {
+            assert_eq!(
+                plan_catch_up(&dir, Some(have)).unwrap(),
+                CatchUpPlan::WalOnly { from: have }
+            );
+        }
+        // Behind the WAL's parent: the gap (have, 5] is gone from the
+        // WAL, so the snapshot must travel.
+        assert!(matches!(
+            plan_catch_up(&dir, Some(4)).unwrap(),
+            CatchUpPlan::Snapshot { epoch: 5, .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn storeless_directory_is_a_typed_error() {
+        let dir = store_dir("none");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            plan_catch_up(&dir, None),
+            Err(StoreError::NoSnapshot)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,269 @@
+//! Replication payload codecs — the bodies of the `repl-*` frames
+//! `tq-net` carries between a primary and its followers.
+//!
+//! These are plain [`tq_store::codec`] payloads: the transport (framing,
+//! CRC, kind bytes) stays in `tq-net`, so the torture tests here can
+//! drive the codecs from in-memory buffers without a socket.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use tq_store::codec::Reader;
+use tq_store::StoreError;
+
+/// Version of the replication sub-protocol. Carried in [`ReplHello`]
+/// separately from the tq-net protocol version, so the replication
+/// handshake can evolve without forcing a flag day on plain clients.
+pub const REPL_PROTOCOL_VERSION: u16 = 1;
+
+fn corrupt(why: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(why.into())
+}
+
+fn put_bytes(data: &[u8], buf: &mut BytesMut) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn get_bytes(r: &mut Reader) -> Result<Bytes, StoreError> {
+    let len = r.u32()? as usize;
+    r.take(len)
+}
+
+/// What a follower announces when it opens a feed connection: which
+/// replication protocol it speaks, which shard it wants (always `0`
+/// today — the field reserves the wire shape for per-shard feeds), and
+/// the newest epoch already durable in its local store, if any.
+///
+/// The primary answers with either a stream of [`ReplRecord`]s picking
+/// up after `have_epoch`, or — when the follower is behind the oldest
+/// retained checkpoint, or empty — [`SnapshotChunk`]s first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplHello {
+    /// The follower's [`REPL_PROTOCOL_VERSION`].
+    pub protocol: u16,
+    /// Requested shard feed; must be `0` (whole-store replication).
+    pub shard: u16,
+    /// Newest epoch in the follower's local store, `None` for an empty
+    /// bootstrap.
+    pub have_epoch: Option<u64>,
+}
+
+impl ReplHello {
+    /// Serializes the hello body.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.protocol);
+        buf.put_u16_le(self.shard);
+        match self.have_epoch {
+            Some(e) => {
+                buf.put_u8(1);
+                buf.put_u64_le(e);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+
+    /// Parses a hello body.
+    pub fn decode(r: &mut Reader) -> Result<ReplHello, StoreError> {
+        let protocol = r.u16()?;
+        let shard = r.u16()?;
+        let have_epoch = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            other => return Err(corrupt(format!("have-epoch tag {other}"))),
+        };
+        Ok(ReplHello {
+            protocol,
+            shard,
+            have_epoch,
+        })
+    }
+}
+
+/// One shipped WAL record: the epoch the batch published at and the
+/// *exact* WAL payload bytes (the `u32`-count-prefixed update batch —
+/// see `tq_core::persist::encode_update_batch`). Identical bytes on the
+/// primary's disk, on the wire, and in the follower's WAL.
+///
+/// An **empty payload is a position marker**, not a batch: the primary
+/// opens every WAL-only feed with one so the follower learns the feed
+/// is live (and from which epoch) without waiting for a first real
+/// record. The follower acknowledges a marker without applying it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplRecord {
+    /// Epoch this batch published at on the primary.
+    pub epoch: u64,
+    /// The WAL payload bytes (empty for a position marker).
+    pub payload: Bytes,
+}
+
+impl ReplRecord {
+    /// Serializes the record body.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.epoch);
+        put_bytes(self.payload.as_ref(), buf);
+    }
+
+    /// Parses a record body.
+    pub fn decode(r: &mut Reader) -> Result<ReplRecord, StoreError> {
+        let epoch = r.u64()?;
+        let payload = get_bytes(r)?;
+        Ok(ReplRecord { epoch, payload })
+    }
+}
+
+/// One chunk of a snapshot transfer bootstrapping an empty (or too-far-
+/// behind) follower. Chunks arrive in offset order; the last one
+/// satisfies `offset + data.len() == total_len`, after which the
+/// follower seeds its store via `Store::bootstrap` and the feed switches
+/// to [`ReplRecord`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Epoch of the snapshot being transferred.
+    pub epoch: u64,
+    /// Byte offset of this chunk within the snapshot file.
+    pub offset: u64,
+    /// Total snapshot length in bytes (repeated on every chunk, so a
+    /// follower can preallocate and validate completion statelessly).
+    pub total_len: u64,
+    /// The chunk's bytes.
+    pub data: Bytes,
+}
+
+impl SnapshotChunk {
+    /// Serializes the chunk body.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.epoch);
+        buf.put_u64_le(self.offset);
+        buf.put_u64_le(self.total_len);
+        put_bytes(self.data.as_ref(), buf);
+    }
+
+    /// Parses a chunk body, refusing chunks that overrun their declared
+    /// total.
+    pub fn decode(r: &mut Reader) -> Result<SnapshotChunk, StoreError> {
+        let epoch = r.u64()?;
+        let offset = r.u64()?;
+        let total_len = r.u64()?;
+        let data = get_bytes(r)?;
+        if offset.saturating_add(data.len() as u64) > total_len {
+            return Err(corrupt(format!(
+                "chunk at {offset}+{} overruns declared total {total_len}",
+                data.len()
+            )));
+        }
+        Ok(SnapshotChunk {
+            epoch,
+            offset,
+            total_len,
+            data,
+        })
+    }
+}
+
+/// A follower's lockstep acknowledgement: the newest epoch it has
+/// durably applied (or, during a snapshot transfer, the end offset it
+/// has received). The primary advances its lag accounting — and the
+/// advisory `repl.tqr` position file — from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplAck {
+    /// Newest applied epoch (or received byte offset during bootstrap).
+    pub epoch: u64,
+}
+
+impl ReplAck {
+    /// Serializes the ack body.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.epoch);
+    }
+
+    /// Parses an ack body.
+    pub fn decode(r: &mut Reader) -> Result<ReplAck, StoreError> {
+        Ok(ReplAck { epoch: r.u64()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T, E, D>(value: &T, encode: E, decode: D) -> T
+    where
+        E: Fn(&T, &mut BytesMut),
+        D: Fn(&mut Reader) -> Result<T, StoreError>,
+    {
+        let mut buf = BytesMut::new();
+        encode(value, &mut buf);
+        let mut r = Reader::new(buf.freeze());
+        let back = decode(&mut r).unwrap();
+        r.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn hello_roundtrips_both_arms() {
+        for have in [None, Some(0), Some(u64::MAX)] {
+            let hello = ReplHello {
+                protocol: REPL_PROTOCOL_VERSION,
+                shard: 0,
+                have_epoch: have,
+            };
+            assert_eq!(
+                roundtrip(&hello, ReplHello::encode, ReplHello::decode),
+                hello
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_ack_roundtrip() {
+        let record = ReplRecord {
+            epoch: 42,
+            payload: Bytes::from(vec![1, 2, 3, 4, 5]),
+        };
+        assert_eq!(
+            roundtrip(&record, ReplRecord::encode, ReplRecord::decode),
+            record
+        );
+        let ack = ReplAck { epoch: 42 };
+        assert_eq!(roundtrip(&ack, ReplAck::encode, ReplAck::decode), ack);
+    }
+
+    #[test]
+    fn chunk_roundtrips_and_rejects_overrun() {
+        let chunk = SnapshotChunk {
+            epoch: 9,
+            offset: 1024,
+            total_len: 2048,
+            data: Bytes::from(vec![7u8; 1024]),
+        };
+        assert_eq!(
+            roundtrip(&chunk, SnapshotChunk::encode, SnapshotChunk::decode),
+            chunk
+        );
+
+        let mut buf = BytesMut::new();
+        SnapshotChunk {
+            epoch: 9,
+            offset: 2000,
+            total_len: 2048,
+            data: Bytes::from(vec![7u8; 1024]),
+        }
+        .encode(&mut buf);
+        assert!(SnapshotChunk::decode(&mut Reader::new(buf.freeze())).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let mut buf = BytesMut::new();
+        ReplRecord {
+            epoch: 7,
+            payload: Bytes::from(vec![9u8; 32]),
+        }
+        .encode(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut r = Reader::new(full.slice(0..cut));
+            let outcome = ReplRecord::decode(&mut r).and_then(|_| r.finish());
+            assert!(outcome.is_err(), "cut at {cut} accepted");
+        }
+    }
+}

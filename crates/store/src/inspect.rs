@@ -7,6 +7,7 @@
 //! claim, instead of staring at an opaque error.
 
 use crate::manifest::{is_sharded_dir, PartitionerSpec, ShardManifest, ROUTING_FILE};
+use crate::replmeta::{ReplMeta, REPL_META_FILE, REPL_META_MAGIC};
 use crate::snapshot;
 use crate::store::{snapshot_files, WAL_FILE};
 use crate::{wal, StoreError};
@@ -36,6 +37,9 @@ pub fn report(path: &Path) -> Result<String, StoreError> {
         ]);
         if magic == wal::MAGIC {
             return report_wal(path);
+        }
+        if bytes.as_ref()[..4] == REPL_META_MAGIC {
+            return report_repl_meta_bytes(path, bytes.as_ref());
         }
     }
     report_snapshot_bytes(path, bytes)
@@ -74,6 +78,32 @@ fn report_dir(dir: &Path) -> Result<String, StoreError> {
     } else {
         out.push_str("  no WAL file\n");
     }
+    let repl_path = dir.join(REPL_META_FILE);
+    if repl_path.exists() {
+        match std::fs::read(&repl_path)
+            .map_err(StoreError::Io)
+            .and_then(|raw| report_repl_meta_bytes(&repl_path, &raw))
+        {
+            Ok(r) => out.push_str(&r),
+            Err(e) => {
+                let _ = writeln!(out, "replication {REPL_META_FILE}\n  UNUSABLE: {e}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn report_repl_meta_bytes(path: &Path, raw: &[u8]) -> Result<String, StoreError> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+    let meta = ReplMeta::decode(raw)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replication {name}: last shipped epoch {}, last acked epoch {} (lag {})",
+        meta.last_shipped,
+        meta.last_acked,
+        meta.last_shipped.saturating_sub(meta.last_acked),
+    );
     Ok(out)
 }
 
@@ -362,6 +392,50 @@ mod tests {
         assert!(r.contains("no routing log"), "{r}");
         assert!(r.contains("UNUSABLE: corrupt contents: shard directory missing"), "{r}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reports_replication_position_when_metadata_is_present() {
+        let dir = tmp_dir("replmeta");
+        let mut store = Store::create(&dir, StoreConfig::default()).unwrap();
+        let meta = SnapshotMeta {
+            epoch: 2,
+            backend: BACKEND_BASELINE,
+            scenario: 0,
+            users: 3,
+            live: 3,
+            facilities: 1,
+            tree_nodes: 0,
+            tree_items: 0,
+        };
+        store.checkpoint(&meta, b"body").unwrap();
+        // Without the sidecar file the report says nothing about
+        // replication; with it, the position shows up.
+        let before = report(&dir).unwrap();
+        assert!(!before.contains("replication"), "{before}");
+        ReplMeta {
+            last_shipped: 9,
+            last_acked: 6,
+        }
+        .write(&dir)
+        .unwrap();
+        let r = report(&dir).unwrap();
+        assert!(
+            r.contains("replication repl.tqr: last shipped epoch 9, last acked epoch 6 (lag 3)"),
+            "{r}"
+        );
+        // Magic dispatch works on the bare file too, even misnamed.
+        let moved = dir.join("renamed.bin");
+        std::fs::copy(dir.join("repl.tqr"), &moved).unwrap();
+        let r = report(&moved).unwrap();
+        assert!(r.contains("last shipped epoch 9"), "{r}");
+        // A corrupted sidecar degrades to UNUSABLE, never an error.
+        let mut raw = std::fs::read(dir.join("repl.tqr")).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        std::fs::write(dir.join("repl.tqr"), raw).unwrap();
+        let r = report(&dir).unwrap();
+        assert!(r.contains("UNUSABLE"), "{r}");
     }
 
     #[test]

@@ -37,14 +37,16 @@ pub mod codec;
 pub mod crc;
 pub mod inspect;
 pub mod manifest;
+pub mod replmeta;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use codec::{Decode, Encode, Reader};
+pub use replmeta::ReplMeta;
 pub use snapshot::{SnapshotFile, SnapshotMeta, BACKEND_BASELINE, BACKEND_TQTREE};
-pub use store::{Store, StoreConfig};
-pub use wal::{SyncPolicy, WalRecord, WalSummary, WalWriter};
+pub use store::{snapshot_files, Store, StoreConfig};
+pub use wal::{SyncPolicy, WalRecord, WalSummary, WalTailReader, WalWriter};
 
 /// Errors of the storage layer.
 ///

@@ -1,0 +1,141 @@
+//! Replication-position metadata: a tiny sidecar file in a store
+//! directory recording how far a primary has shipped its WAL.
+//!
+//! ```text
+//! repl.tqr = magic "TQRP" (4) | version (u16) | last shipped epoch (u64)
+//!            | last acked epoch (u64) | crc32 of everything after magic
+//! ```
+//!
+//! The file is *advisory*: replication correctness rests on epoch
+//! stamps, not on this record (a follower re-negotiates its position at
+//! every `repl-hello`). It exists so `tq inspect` can report the
+//! replication position of a cold store directory, and it is written
+//! atomically (tmp + rename) by the primary's `ReplicationHub` whenever
+//! a follower acknowledges records — never on the write path itself.
+
+use crate::codec::Reader;
+use crate::crc::crc32;
+use crate::StoreError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File name of the replication metadata inside a store directory.
+pub const REPL_META_FILE: &str = "repl.tqr";
+/// Magic bytes opening a replication metadata file.
+pub const REPL_META_MAGIC: [u8; 4] = *b"TQRP";
+/// Replication metadata format version this build writes.
+pub const REPL_META_VERSION: u16 = 1;
+
+/// The recorded replication position of a primary's store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplMeta {
+    /// Epoch of the newest WAL record handed to any follower feed.
+    pub last_shipped: u64,
+    /// Newest epoch acknowledged by *every* connected follower at write
+    /// time (the slowest follower's position; equal to `last_shipped`
+    /// when all followers are caught up).
+    pub last_acked: u64,
+}
+
+impl ReplMeta {
+    /// Serializes the metadata (magic + body + CRC).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        body.put_u16_le(REPL_META_VERSION);
+        body.put_u64_le(self.last_shipped);
+        body.put_u64_le(self.last_acked);
+        let crc = crc32(body.as_ref());
+        let mut out = BytesMut::with_capacity(4 + body.len() + 4);
+        out.put_slice(&REPL_META_MAGIC);
+        out.put_slice(body.as_ref());
+        out.put_u32_le(crc);
+        out.freeze()
+    }
+
+    /// Parses a metadata file, verifying magic, version and CRC.
+    pub fn decode(bytes: &[u8]) -> Result<ReplMeta, StoreError> {
+        if bytes.len() < 4 + 4 || bytes[..4] != REPL_META_MAGIC {
+            return Err(StoreError::Corrupt("bad replication metadata magic".into()));
+        }
+        let body = &bytes[4..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(StoreError::Corrupt("replication metadata CRC mismatch".into()));
+        }
+        let mut r = Reader::new(Bytes::from(body.to_vec()));
+        let version = r.u16()?;
+        if version != REPL_META_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported replication metadata version {version}"
+            )));
+        }
+        let meta = ReplMeta {
+            last_shipped: r.u64()?,
+            last_acked: r.u64()?,
+        };
+        r.finish()?;
+        Ok(meta)
+    }
+
+    /// Writes the metadata atomically (tmp + rename). No fsync: the file
+    /// is advisory, and the write happens per follower ack.
+    pub fn write(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join("repl.tqr.tmp");
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(self.encode().as_ref())?;
+        drop(f);
+        fs::rename(&tmp, dir.join(REPL_META_FILE))?;
+        Ok(())
+    }
+
+    /// Reads and parses `DIR/repl.tqr`.
+    pub fn read(dir: &Path) -> Result<ReplMeta, StoreError> {
+        let bytes = fs::read(dir.join(REPL_META_FILE))?;
+        ReplMeta::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let meta = ReplMeta {
+            last_shipped: 42,
+            last_acked: 40,
+        };
+        assert_eq!(ReplMeta::decode(meta.encode().as_ref()).unwrap(), meta);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut enc = ReplMeta {
+            last_shipped: 7,
+            last_acked: 7,
+        }
+        .encode()
+        .to_vec();
+        for i in 0..enc.len() {
+            enc[i] ^= 0x20;
+            assert!(ReplMeta::decode(&enc).is_err(), "byte {i} accepted");
+            enc[i] ^= 0x20;
+        }
+        assert!(ReplMeta::decode(&enc[..5]).is_err());
+    }
+
+    #[test]
+    fn write_read_cycle() {
+        let dir = std::env::temp_dir().join(format!("tq-replmeta-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let meta = ReplMeta {
+            last_shipped: 9,
+            last_acked: 3,
+        };
+        meta.write(&dir).unwrap();
+        assert_eq!(ReplMeta::read(&dir).unwrap(), meta);
+    }
+}

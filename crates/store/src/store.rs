@@ -33,6 +33,7 @@ use bytes::Bytes;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Name of the WAL file inside a store directory.
 pub const WAL_FILE: &str = "wal.tql";
@@ -67,6 +68,17 @@ pub struct StoreConfig {
     /// ([`Store::commit_snapshot`]). Explicit checkpoints stay
     /// synchronous. Off by default.
     pub background_checkpoints: bool,
+    /// Age-based checkpoint scheduling: once the newest checkpoint is
+    /// older than this *and* the WAL holds at least one batch, the store
+    /// reports a checkpoint due ([`Store::checkpoint_due_by_age`]) even
+    /// though [`StoreConfig::checkpoint_every`] hasn't tripped — so a
+    /// long-idle primary still compacts its log instead of carrying a
+    /// short WAL tail forever. The timer is *polled*, not threaded: the
+    /// single-writer funnel's idle tick asks on the write thread and
+    /// routes a due checkpoint through the same (background, when
+    /// configured) path as the batch-count threshold. `None` (the
+    /// default) disables it.
+    pub checkpoint_max_age: Option<Duration>,
 }
 
 impl Default for StoreConfig {
@@ -76,6 +88,7 @@ impl Default for StoreConfig {
             checkpoint_every: 512,
             keep_snapshots: 2,
             background_checkpoints: false,
+            checkpoint_max_age: None,
         }
     }
 }
@@ -101,13 +114,14 @@ pub struct Store {
     config: StoreConfig,
     writer: WalWriter,
     wal_batches: usize,
+    last_checkpoint: Instant,
 }
 
 /// Lists `(epoch, path)` of every well-named snapshot file, newest first
-/// — the one listing both recovery ([`Store::open`]) and diagnostics
-/// (`inspect`) use, so the two can never disagree about what a store
-/// contains.
-pub(crate) fn snapshot_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+/// — the one listing recovery ([`Store::open`]), diagnostics (`inspect`)
+/// *and* replication catch-up use, so none of them can disagree about
+/// what a store contains.
+pub fn snapshot_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
@@ -177,7 +191,45 @@ impl Store {
             config,
             writer,
             wal_batches: 0,
+            last_checkpoint: Instant::now(),
         })
+    }
+
+    /// Seeds a store directory from a received snapshot image — the
+    /// follower side of replication bootstrap. Writes the image under its
+    /// final `snapshot-{epoch}.tqs` name (atomic tmp + rename, synced)
+    /// and a fresh empty WAL bound to it, after which a normal
+    /// `Engine::open` recovers the transferred state exactly. Refuses a
+    /// directory that already holds a store, like [`Store::create`].
+    pub fn bootstrap(
+        dir: &Path,
+        config: StoreConfig,
+        epoch: u64,
+        snapshot_bytes: &[u8],
+    ) -> Result<(), StoreError> {
+        fs::create_dir_all(dir)?;
+        remove_stale_tmp(dir);
+        if !snapshot_files(dir)?.is_empty() || dir.join(WAL_FILE).exists() {
+            return Err(StoreError::AlreadyExists(dir.to_path_buf()));
+        }
+        // Validate before publishing: a corrupted transfer must fail the
+        // bootstrap, not plant a snapshot recovery will refuse later.
+        let decoded = snapshot::decode(Bytes::from(snapshot_bytes.to_vec()))?;
+        if decoded.meta.epoch != epoch {
+            return Err(StoreError::Corrupt(format!(
+                "bootstrap snapshot declares epoch {}, transfer said {epoch}",
+                decoded.meta.epoch
+            )));
+        }
+        let tmp_path = snapshot_path(dir, epoch).with_extension("tmp");
+        let mut f = fs::File::create(&tmp_path)?;
+        f.write_all(snapshot_bytes)?;
+        f.sync_data()?;
+        drop(f);
+        fs::rename(&tmp_path, snapshot_path(dir, epoch))?;
+        sync_dir(dir);
+        WalWriter::create(&dir.join(WAL_FILE), epoch, config.sync)?;
+        Ok(())
     }
 
     /// Opens an existing store: picks the newest snapshot that passes
@@ -263,6 +315,9 @@ impl Store {
             // Records the snapshot already contains don't count against
             // the next checkpoint threshold.
             wal_batches: wal_records.iter().filter(|r| r.epoch > epoch).count(),
+            // File mtimes are not trustworthy across hosts; age-based
+            // scheduling restarts its clock at open.
+            last_checkpoint: Instant::now(),
         };
         Ok((
             store,
@@ -292,6 +347,16 @@ impl Store {
     /// Whether the auto-checkpoint threshold has been reached.
     pub fn should_checkpoint(&self) -> bool {
         self.config.checkpoint_every > 0 && self.wal_batches >= self.config.checkpoint_every
+    }
+
+    /// Whether [`StoreConfig::checkpoint_max_age`] has elapsed since the
+    /// last checkpoint (or open) with batches still sitting in the WAL.
+    /// Always `false` when no age is configured or the WAL is empty — an
+    /// idle store with nothing to compact never churns snapshots.
+    pub fn checkpoint_due_by_age(&self) -> bool {
+        self.config
+            .checkpoint_max_age
+            .is_some_and(|age| self.wal_batches > 0 && self.last_checkpoint.elapsed() >= age)
     }
 
     /// Appends one encoded batch to the WAL (fsynced per the
@@ -355,6 +420,7 @@ impl Store {
         // the live `wal.tql`.
         self.writer = writer;
         self.wal_batches = survivors;
+        self.last_checkpoint = Instant::now();
 
         for (_, stale) in snapshot_files(&self.dir)?
             .into_iter()
@@ -549,6 +615,68 @@ mod tests {
         assert_eq!(recovered.wal_records.len(), 3);
         assert_eq!(store.wal_batches(), 1);
         assert!(recovered.wal_summary.tail_note.is_none());
+    }
+
+    #[test]
+    fn checkpoint_age_needs_both_elapsed_time_and_pending_batches() {
+        let dir = tmp_dir("age");
+        let cfg = StoreConfig {
+            checkpoint_every: 1_000_000,
+            checkpoint_max_age: Some(Duration::from_millis(30)),
+            ..StoreConfig::default()
+        };
+        let mut store = Store::create(&dir, cfg).unwrap();
+        store.checkpoint(&meta(0), b"s0").unwrap();
+        // Idle with an empty WAL: never due, no matter how old.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!store.checkpoint_due_by_age());
+        // A pending batch alone isn't enough either — the clock restarts
+        // at the checkpoint above, not at the append.
+        store.append_batch(1, b"b1").unwrap();
+        assert!(store.checkpoint_due_by_age(), "age elapsed with a pending batch");
+        store.checkpoint(&meta(1), b"s1").unwrap();
+        store.append_batch(2, b"b2").unwrap();
+        assert!(!store.checkpoint_due_by_age(), "fresh checkpoint resets the clock");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(store.checkpoint_due_by_age());
+        // No age configured: always false.
+        let dir2 = tmp_dir("age-off");
+        let mut plain = Store::create(&dir2, StoreConfig::default()).unwrap();
+        plain.checkpoint(&meta(0), b"s0").unwrap();
+        plain.append_batch(1, b"b").unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!plain.checkpoint_due_by_age());
+    }
+
+    #[test]
+    fn bootstrap_seeds_an_openable_store() {
+        // Encode a snapshot the way a primary's checkpoint would, ship
+        // its raw file bytes, and bootstrap a fresh directory from them.
+        let src = tmp_dir("bootstrap-src");
+        let mut primary = Store::create(&src, StoreConfig::default()).unwrap();
+        let path = primary.checkpoint(&meta(7), b"shipped state").unwrap();
+        let image = fs::read(path).unwrap();
+
+        let dst = tmp_dir("bootstrap-dst");
+        Store::bootstrap(&dst, StoreConfig::default(), 7, &image).unwrap();
+        let (store, recovered) = Store::open(&dst, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot.meta.epoch, 7);
+        assert_eq!(recovered.snapshot.body.as_ref(), b"shipped state");
+        assert_eq!(store.wal_batches(), 0);
+        let (_, summary) = wal::read(&dst.join(WAL_FILE)).unwrap();
+        assert_eq!(summary.parent_epoch, Some(7));
+
+        // Refuses an existing store and a corrupted/mislabeled image.
+        assert!(matches!(
+            Store::bootstrap(&dst, StoreConfig::default(), 7, &image),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        let dst2 = tmp_dir("bootstrap-bad");
+        assert!(Store::bootstrap(&dst2, StoreConfig::default(), 8, &image).is_err());
+        let mut bad = image.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(Store::bootstrap(&dst2, StoreConfig::default(), 7, &bad).is_err());
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   and the threaded [`Server`](net::Server) (queries stay lock-free per
 //!   connection; update batches funnel through the engine's single
 //!   writer);
+//! * [`repl`] — WAL-shipping replication: the primary-side
+//!   [`ReplicationHub`](repl::ReplicationHub) fan-out, the catch-up
+//!   planner, and the replication payload codecs behind `tqd --follow`
+//!   warm standbys;
 //! * [`baseline`] — the paper's BL / G-BL reference methods;
 //! * [`datagen`] — seeded NYT/NYF/BJG-like workload generators.
 //!
@@ -102,6 +106,7 @@ pub use tq_datagen as datagen;
 pub use tq_geometry as geometry;
 pub use tq_net as net;
 pub use tq_quadtree as quadtree;
+pub use tq_repl as repl;
 pub use tq_store as store;
 pub use tq_trajectory as trajectory;
 
