@@ -197,9 +197,13 @@ fn bench_coldstart(c: &mut Criterion) {
     drop(reopened);
 
     let _ = std::fs::remove_dir_all(&dir);
+    // Re-based from 5x when the word-block mask kernels made the
+    // rebuild-from-raw arm ~1.7x faster (load itself was unchanged:
+    // ~45ms both before and after) — the ratio floor tracks the ratio
+    // of two moving arms, and the denominator legitimately improved.
     assert!(
-        speedup >= 5.0,
-        "snapshot load must be ≥5x faster than rebuild-from-raw, measured {speedup:.1}x"
+        speedup >= 4.0,
+        "snapshot load must be ≥4x faster than rebuild-from-raw, measured {speedup:.1}x"
     );
     if cores >= 4 {
         assert!(

@@ -209,7 +209,13 @@ impl EvalState {
             .masks
             .entry(item.traj)
             .or_insert_with(|| PointMask::empty(t.len()));
-        let before = ctx.model.value(t, mask);
+        // A user's first touch starts from the empty mask, whose value is
+        // exactly +0.0 in every scenario — skip evaluating it. (Map entries
+        // only exist once at least one bit is set, so `is_empty` here means
+        // "freshly inserted".) `after - 0.0` is bitwise `after`, keeping the
+        // running value identical to the always-evaluate path.
+        let fresh = mask.is_empty();
+        let before = if fresh { 0.0 } else { ctx.model.value(t, mask) };
         let mut changed = false;
         for &idx in served[..served_len].iter().chain(overflow.iter()) {
             changed |= mask.set(idx);

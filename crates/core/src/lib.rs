@@ -98,8 +98,8 @@ pub use parallel::{
 };
 pub use persist::{PersistStatus, StoreConfig, SyncPolicy};
 pub use serve::{ClientStats, ServeConfig, ServeReport, Workload};
-pub use maxcov::{CovOutcome, Coverage, GeneticConfig, ServedTable};
-pub use service::{PointMask, Scenario, ServiceBounds, ServiceModel};
+pub use maxcov::{CovOutcome, Coverage, GeneticConfig, MaskArena, ServedTable};
+pub use service::{MaskSizeMismatch, MaskView, PointMask, Scenario, ServiceBounds, ServiceModel};
 pub use sharding::{
     GainCombiner, Partitioner, ShardedEngine, ShardedReader, ShardedSnapshot,
 };

@@ -80,12 +80,13 @@ pub fn exact(
         .map(|fid| table.ids.iter().position(|i| i == fid).expect("greedy id"))
         .collect();
 
-    // Canonical entry order per candidate, computed once: the DFS re-adds
-    // the same immutable masks at every node of the search.
-    let entries = super::sorted_candidate_entries(table);
+    // Canonical per-candidate entries flattened into one word arena,
+    // computed once: the DFS re-adds the same immutable masks at every node
+    // of the search.
+    let arena = super::MaskArena::from_table(table);
 
     struct Dfs<'a> {
-        entries: &'a super::CandidateEntries<'a>,
+        arena: &'a super::MaskArena,
         users: &'a UserSet,
         model: &'a ServiceModel,
         order: &'a [usize],
@@ -136,7 +137,7 @@ pub fn exact(
                 }
                 let cand = self.order[i];
                 let undo =
-                    cov.add_undoable_entries(self.users, self.model, &self.entries[cand]);
+                    cov.add_undoable_views(self.users, self.model, self.arena.candidate(cand));
                 chosen.push(cand);
                 self.run(i + 1, chosen, cov);
                 chosen.pop();
@@ -146,7 +147,7 @@ pub fn exact(
     }
 
     let mut dfs = Dfs {
-        entries: &entries,
+        arena: &arena,
         users,
         model,
         order: &order,

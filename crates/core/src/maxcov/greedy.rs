@@ -31,10 +31,11 @@ pub fn greedy(
     let mut cov = Coverage::new();
     let mut chosen = Vec::with_capacity(k.min(table.len()));
     let mut used = vec![false; table.len()];
-    // Canonical (ascending-id) entry order per candidate, computed once —
-    // every round re-scores every remaining candidate against the same
-    // immutable masks, so the sort must not sit in the inner loop.
-    let sorted = super::sorted_candidate_entries(table);
+    // Canonical (ascending-id) per-candidate entries flattened into one
+    // contiguous word arena, computed once — every round re-scores every
+    // remaining candidate against the same immutable masks, so neither the
+    // sort nor the hash-map pointer chase may sit in the inner loop.
+    let arena = super::MaskArena::from_table(table);
     for _ in 0..k.min(table.len()) {
         // No lazy-greedy shortcut here: under the non-submodular service
         // function a facility's marginal gain may exceed its individual
@@ -42,7 +43,7 @@ pub fn greedy(
         // each round.
         let remaining: Vec<usize> = (0..table.len()).filter(|&i| !used[i]).collect();
         let gains = parallel::par_map(&remaining, |&i| {
-            cov.marginal_entries(users, model, &sorted[i])
+            cov.marginal_views(users, model, arena.candidate(i))
         });
         let mut best: Option<(usize, f64)> = None;
         for (&i, &gain) in remaining.iter().zip(&gains) {
@@ -59,7 +60,7 @@ pub fn greedy(
         }
         let Some((bi, _)) = best else { break };
         used[bi] = true;
-        cov.add_entries(users, model, &sorted[bi]);
+        cov.add_views(users, model, arena.candidate(bi));
         chosen.push(table.ids[bi]);
     }
     CovOutcome {

@@ -29,7 +29,7 @@ pub mod greedy;
 use crate::eval::EvalStats;
 use crate::fasthash::FxHashMap;
 use crate::parallel;
-use crate::service::{PointMask, ServiceModel};
+use crate::service::{MaskSizeMismatch, MaskView, PointMask, ServiceModel};
 use crate::tqtree::TqTree;
 use tq_trajectory::{FacilityId, FacilitySet, TrajectoryId, UserSet};
 
@@ -155,16 +155,119 @@ pub(crate) fn sorted_entries(
     entries
 }
 
-/// Every candidate's mask entries in the canonical order, computed **once
-/// per solve** — the solvers' inner loops (greedy rounds, genetic fitness,
-/// branch-and-bound nodes) re-visit the same immutable masks thousands of
-/// times and must not re-sort them per visit.
-pub(crate) type CandidateEntries<'a> = Vec<Vec<(TrajectoryId, &'a PointMask)>>;
-
-/// Builds the per-candidate canonical entry order for a table.
-pub(crate) fn sorted_candidate_entries(table: &ServedTable) -> CandidateEntries<'_> {
-    table.masks.iter().map(sorted_entries).collect()
+/// Adapts sorted `(id, &mask)` entries to the streamed-view form the
+/// [`Coverage`] kernels take.
+fn entry_views<'a>(
+    entries: &'a [(TrajectoryId, &'a PointMask)],
+) -> impl Iterator<Item = (TrajectoryId, MaskView<'a>)> {
+    entries.iter().map(|&(id, m)| (id, m.view()))
 }
+
+/// Every candidate's served masks flattened into one contiguous word arena,
+/// in canonical (ascending trajectory id) order per candidate — built **once
+/// per solve**.
+///
+/// The solvers' inner loops (greedy rounds, genetic fitness, branch-and-bound
+/// nodes) re-visit the same immutable masks thousands of times; walking a
+/// hash map of boxed masks per visit pointer-chases all over the heap. The
+/// arena stores every candidate's `(trajectory, mask)` entries back to back —
+/// ids and offsets in one vector, all mask words in another — so scoring one
+/// candidate is a single linear sweep through memory.
+#[derive(Debug, Clone)]
+pub struct MaskArena {
+    /// All candidates' live mask words, concatenated.
+    words: Vec<u64>,
+    /// All candidates' entries, concatenated: id, word offset, point count.
+    entries: Vec<ArenaEntry>,
+    /// Per-candidate `entries` span.
+    ranges: Vec<(u32, u32)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArenaEntry {
+    id: TrajectoryId,
+    off: u32,
+    nbits: u32,
+}
+
+impl MaskArena {
+    /// Flattens one mask map per candidate, each in canonical ascending-id
+    /// order (the accumulation order of
+    /// [`canonical_value`](crate::eval::canonical_value)).
+    pub fn from_maps<'a>(
+        maps: impl IntoIterator<Item = &'a FxHashMap<TrajectoryId, PointMask>>,
+    ) -> MaskArena {
+        let mut arena = MaskArena {
+            words: Vec::new(),
+            entries: Vec::new(),
+            ranges: Vec::new(),
+        };
+        for map in maps {
+            let start = arena.entries.len() as u32;
+            for (id, mask) in sorted_entries(map) {
+                let off = arena.words.len() as u32;
+                arena.words.extend_from_slice(mask.view().words());
+                arena.entries.push(ArenaEntry {
+                    id,
+                    off,
+                    nbits: mask.nbits() as u32,
+                });
+            }
+            arena.ranges.push((start, arena.entries.len() as u32));
+        }
+        arena
+    }
+
+    /// The arena of a full [`ServedTable`] (one candidate per table row).
+    pub fn from_table(table: &ServedTable) -> MaskArena {
+        Self::from_maps(table.masks.iter())
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Returns `true` when the arena has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Streams candidate `ci`'s `(trajectory, mask)` entries in canonical
+    /// ascending-id order.
+    pub fn candidate(&self, ci: usize) -> ArenaCandidate<'_> {
+        let (start, end) = self.ranges[ci];
+        ArenaCandidate {
+            arena: self,
+            idx: start as usize..end as usize,
+        }
+    }
+}
+
+/// Iterator over one arena candidate's `(TrajectoryId, MaskView)` entries.
+#[derive(Debug, Clone)]
+pub struct ArenaCandidate<'a> {
+    arena: &'a MaskArena,
+    idx: std::ops::Range<usize>,
+}
+
+impl<'a> Iterator for ArenaCandidate<'a> {
+    type Item = (TrajectoryId, MaskView<'a>);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let e = self.arena.entries[self.idx.next()?];
+        let nwords = (e.nbits as usize).div_ceil(64);
+        let words = &self.arena.words[e.off as usize..e.off as usize + nwords];
+        Some((e.id, MaskView::new(e.nbits as usize, words)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.idx.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ArenaCandidate<'_> {}
 
 /// Undo journal for one [`Coverage::add`] (used by the branch-and-bound
 /// solver to backtrack cheaply).
@@ -213,28 +316,34 @@ impl Coverage {
         model: &ServiceModel,
         facility_masks: &FxHashMap<TrajectoryId, PointMask>,
     ) -> f64 {
-        self.marginal_entries(users, model, &sorted_entries(facility_masks))
+        self.marginal_views(users, model, entry_views(&sorted_entries(facility_masks)))
     }
 
-    /// [`Coverage::marginal`] over pre-sorted entries (ascending trajectory
-    /// id, as produced by [`sorted_entries`]). Callers evaluating the same
-    /// facility repeatedly — every greedy round re-scores every remaining
-    /// candidate — sort once and reuse instead of paying the sort per call.
-    pub(crate) fn marginal_entries(
+    /// [`Coverage::marginal`] over streamed views in canonical ascending-id
+    /// order (as produced by [`MaskArena::candidate`]). Callers evaluating
+    /// the same facility repeatedly — every greedy round re-scores every
+    /// remaining candidate — flatten once into an arena and stream instead
+    /// of paying the sort per call.
+    ///
+    /// This path never materializes a union: a streamed
+    /// [`PointMask::union_would_change`] word test decides whether the user
+    /// can gain at all, and [`ServiceModel::value_union`] evaluates the
+    /// would-be union directly from the two word sets — bit-identical to
+    /// cloning and unioning, without the allocation.
+    pub fn marginal_views<'a>(
         &self,
         users: &UserSet,
         model: &ServiceModel,
-        entries: &[(TrajectoryId, &PointMask)],
+        entries: impl IntoIterator<Item = (TrajectoryId, MaskView<'a>)>,
     ) -> f64 {
         let mut gain = 0.0;
-        for &(id, fmask) in entries {
+        for (id, fview) in entries {
             let t = users.get(id);
             match self.masks.get(&id) {
-                None => gain += model.value(t, fmask),
+                None => gain += model.value_view(t, fview),
                 Some(cur) => {
-                    let mut merged = cur.clone();
-                    if merged.union_with(fmask) {
-                        gain += model.value(t, &merged) - model.value(t, cur);
+                    if cur.union_would_change(fview) {
+                        gain += model.value_union(t, cur.view(), fview) - model.value(t, cur);
                     }
                 }
             }
@@ -242,31 +351,33 @@ impl Coverage {
         gain
     }
 
-    /// The per-entry decomposition of [`Coverage::marginal_entries`]:
+    /// The per-entry decomposition of [`Coverage::marginal_views`]:
     /// pushes one `(id, delta)` pair for every entry where that fold would
     /// execute a `gain +=` (always for unseen users — including zero
     /// deltas — and only on a changed union for seen ones), in the same
     /// ascending-id order. Folding the emitted deltas with sequential
     /// `+=` reproduces both the marginal gain and the running-value
-    /// updates of [`Coverage::add_entries`] bit-for-bit — the contract the
+    /// updates of [`Coverage::add_views`] bit-for-bit — the contract the
     /// sharded scatter–gather greedy is built on: each shard emits its
     /// deltas locally, the front end re-folds them in merged global-id
     /// order.
-    pub(crate) fn marginal_deltas(
+    pub(crate) fn marginal_deltas_views<'a>(
         &self,
         users: &UserSet,
         model: &ServiceModel,
-        entries: &[(TrajectoryId, &PointMask)],
+        entries: impl IntoIterator<Item = (TrajectoryId, MaskView<'a>)>,
         out: &mut Vec<(TrajectoryId, f64)>,
     ) {
-        for &(id, fmask) in entries {
+        for (id, fview) in entries {
             let t = users.get(id);
             match self.masks.get(&id) {
-                None => out.push((id, model.value(t, fmask))),
+                None => out.push((id, model.value_view(t, fview))),
                 Some(cur) => {
-                    let mut merged = cur.clone();
-                    if merged.union_with(fmask) {
-                        out.push((id, model.value(t, &merged) - model.value(t, cur)));
+                    if cur.union_would_change(fview) {
+                        out.push((
+                            id,
+                            model.value_union(t, cur.view(), fview) - model.value(t, cur),
+                        ));
                     }
                 }
             }
@@ -280,18 +391,46 @@ impl Coverage {
         model: &ServiceModel,
         facility_masks: &FxHashMap<TrajectoryId, PointMask>,
     ) -> f64 {
-        self.add_with_undo(users, model, &sorted_entries(facility_masks), None)
+        self.add_with_undo_views(users, model, entry_views(&sorted_entries(facility_masks)), None)
     }
 
-    /// [`Coverage::add`] over pre-sorted entries (see
-    /// [`sorted_candidate_entries`]).
-    pub(crate) fn add_entries(
+    /// [`Coverage::add`] with the mask sizes validated up front: when any
+    /// incoming mask disagrees with its trajectory's point count or with the
+    /// coverage mask already held for that user, returns the typed
+    /// [`MaskSizeMismatch`] **without mutating** the coverage. This is the
+    /// entry point for masks originating from decoded (untrusted) data —
+    /// snapshots, WAL records, wire frames — where [`Coverage::add`]'s
+    /// panic would turn corruption into a crash.
+    pub fn try_add(
         &mut self,
         users: &UserSet,
         model: &ServiceModel,
-        entries: &[(TrajectoryId, &PointMask)],
+        facility_masks: &FxHashMap<TrajectoryId, PointMask>,
+    ) -> Result<f64, MaskSizeMismatch> {
+        let entries = sorted_entries(facility_masks);
+        for &(id, fmask) in &entries {
+            let expect = match self.masks.get(&id) {
+                Some(cur) => cur.nbits(),
+                None => users.get(id).len(),
+            };
+            if fmask.nbits() != expect {
+                return Err(MaskSizeMismatch {
+                    dst: expect,
+                    src: fmask.nbits(),
+                });
+            }
+        }
+        Ok(self.add_with_undo_views(users, model, entry_views(&entries), None))
+    }
+
+    /// [`Coverage::add`] over streamed views (see [`MaskArena::candidate`]).
+    pub fn add_views<'a>(
+        &mut self,
+        users: &UserSet,
+        model: &ServiceModel,
+        entries: impl IntoIterator<Item = (TrajectoryId, MaskView<'a>)>,
     ) -> f64 {
-        self.add_with_undo(users, model, entries, None)
+        self.add_with_undo_views(users, model, entries, None)
     }
 
     /// Like [`Coverage::add`], recording an undo journal.
@@ -301,54 +440,57 @@ impl Coverage {
         model: &ServiceModel,
         facility_masks: &FxHashMap<TrajectoryId, PointMask>,
     ) -> CoverageUndo {
-        self.add_undoable_entries(users, model, &sorted_entries(facility_masks))
+        self.add_undoable_views(users, model, entry_views(&sorted_entries(facility_masks)))
     }
 
-    /// [`Coverage::add_undoable`] over pre-sorted entries.
-    pub(crate) fn add_undoable_entries(
+    /// [`Coverage::add_undoable`] over streamed views.
+    pub fn add_undoable_views<'a>(
         &mut self,
         users: &UserSet,
         model: &ServiceModel,
-        entries: &[(TrajectoryId, &PointMask)],
+        entries: impl IntoIterator<Item = (TrajectoryId, MaskView<'a>)>,
     ) -> CoverageUndo {
         let mut undo = CoverageUndo {
             changed: Vec::new(),
             old_value: self.value,
         };
-        self.add_with_undo(users, model, entries, Some(&mut undo));
+        self.add_with_undo_views(users, model, entries, Some(&mut undo));
         undo
     }
 
-    fn add_with_undo(
+    fn add_with_undo_views<'a>(
         &mut self,
         users: &UserSet,
         model: &ServiceModel,
-        entries: &[(TrajectoryId, &PointMask)],
+        entries: impl IntoIterator<Item = (TrajectoryId, MaskView<'a>)>,
         mut undo: Option<&mut CoverageUndo>,
     ) -> f64 {
         let mut gain = 0.0;
-        for &(id, fmask) in entries {
+        for (id, fview) in entries {
             let t = users.get(id);
             match self.masks.get_mut(&id) {
                 None => {
-                    let v = model.value(t, fmask);
+                    let v = model.value_view(t, fview);
                     gain += v;
                     self.value += v;
-                    self.masks.insert(id, fmask.clone());
+                    self.masks.insert(id, fview.to_mask());
                     if let Some(u) = undo.as_deref_mut() {
                         u.changed.push((id, None));
                     }
                 }
                 Some(cur) => {
-                    let before = model.value(t, cur);
-                    let saved = cur.clone();
-                    if cur.union_with(fmask) {
+                    // Clone for the undo journal only when the union will
+                    // actually change the mask — the common no-op case
+                    // (already-covered user) costs one streamed word test.
+                    if cur.union_would_change(fview) {
+                        let before = model.value(t, cur);
+                        if let Some(u) = undo.as_deref_mut() {
+                            u.changed.push((id, Some(cur.clone())));
+                        }
+                        cur.union_view(fview);
                         let after = model.value(t, cur);
                         gain += after - before;
                         self.value += after - before;
-                        if let Some(u) = undo.as_deref_mut() {
-                            u.changed.push((id, Some(saved)));
-                        }
                     }
                 }
             }
@@ -386,17 +528,17 @@ impl Coverage {
         cov.value()
     }
 
-    /// [`Coverage::value_of_subset`] over pre-sorted per-candidate entries
-    /// — the genetic solver's fitness hot path.
-    pub(crate) fn value_of_subset_entries(
-        entries: &CandidateEntries<'_>,
+    /// [`Coverage::value_of_subset`] streaming candidates out of a
+    /// pre-built [`MaskArena`] — the genetic solver's fitness hot path.
+    pub fn value_of_subset_arena(
+        arena: &MaskArena,
         users: &UserSet,
         model: &ServiceModel,
         subset: &[usize],
     ) -> f64 {
         let mut cov = Coverage::new();
         for &i in subset {
-            cov.add_entries(users, model, &entries[i]);
+            cov.add_views(users, model, arena.candidate(i));
         }
         cov.value()
     }
@@ -491,6 +633,60 @@ mod tests {
         let applied = cov.add(&users, &model, &table.masks[1]);
         assert!((predicted - applied).abs() < 1e-12);
         assert_eq!(cov.value(), 2.0);
+    }
+
+    #[test]
+    fn try_add_rejects_mismatched_masks_without_mutating() {
+        let users = UserSet::from_vec(vec![Trajectory::two_point(p(0.0, 0.0), p(4.0, 0.0))]);
+        let model = ServiceModel::new(Scenario::Transit, 1.0);
+        let mut good = FxHashMap::default();
+        let mut mask = PointMask::empty(2);
+        mask.set(0);
+        mask.set(1);
+        good.insert(0u32, mask);
+        let mut cov = Coverage::new();
+        assert_eq!(cov.try_add(&users, &model, &good), Ok(1.0));
+        // A decoded mask claiming the wrong point count must be refused
+        // with the typed error, leaving the coverage untouched.
+        let mut bad = FxHashMap::default();
+        bad.insert(0u32, PointMask::empty(130));
+        let err = cov.try_add(&users, &model, &bad).unwrap_err();
+        assert_eq!(err, crate::service::MaskSizeMismatch { dst: 2, src: 130 });
+        assert_eq!(cov.value(), 1.0);
+    }
+
+    #[test]
+    fn arena_streams_canonical_entries() {
+        let users = UserSet::from_vec(vec![
+            Trajectory::two_point(p(0.0, 0.0), p(4.0, 0.0)),
+            Trajectory::two_point(p(1.0, 0.0), p(5.0, 0.0)),
+        ]);
+        let model = ServiceModel::new(Scenario::PointCount, 2.0);
+        let facilities = FacilitySet::from_vec(vec![
+            Facility::new(vec![p(0.0, 0.5), p(4.0, 0.5)]),
+            Facility::new(vec![p(5.0, 0.5)]),
+        ]);
+        let tree = TqTree::build(&users, crate::tqtree::TqTreeConfig::default());
+        let table = ServedTable::build(&tree, &users, &model, &facilities);
+        let arena = MaskArena::from_table(&table);
+        assert_eq!(arena.len(), table.len());
+        for ci in 0..table.len() {
+            let streamed: Vec<(TrajectoryId, PointMask)> = arena
+                .candidate(ci)
+                .map(|(id, v)| (id, v.to_mask()))
+                .collect();
+            let sorted: Vec<(TrajectoryId, PointMask)> = sorted_entries(&table.masks[ci])
+                .into_iter()
+                .map(|(id, m)| (id, m.clone()))
+                .collect();
+            assert_eq!(streamed, sorted, "candidate {ci}");
+            // And the streamed marginal agrees bitwise with the map-based one.
+            let cov = Coverage::new();
+            assert_eq!(
+                cov.marginal_views(&users, &model, arena.candidate(ci)).to_bits(),
+                cov.marginal(&users, &model, &table.masks[ci]).to_bits(),
+            );
+        }
     }
 
     #[test]

@@ -238,29 +238,34 @@ pub fn decode_update_batch(payload: &[u8]) -> Result<Vec<Update>, StoreError> {
 
 /// Mask words are width-fitted: almost every trajectory has few points
 /// (two, for trips), so its served mask fits one byte.
+///
+/// The byte layout predates the word-block mask rewrite and is unchanged by
+/// it — ≤64-point masks write their single live word at the narrowest width
+/// that holds it (tags 1–4), longer masks write tag 5 plus exactly their
+/// `⌈n/64⌉` live words (the in-memory cache-line padding is never encoded).
+/// Snapshots recorded by the old `Small`/`Large` enum decode byte-for-byte.
 fn put_mask(m: &PointMask, buf: &mut BytesMut) {
-    match m {
-        PointMask::Small(word) => {
-            if *word <= u8::MAX as u64 {
-                buf.put_u8(1);
-                buf.put_u8(*word as u8);
-            } else if *word <= u16::MAX as u64 {
-                buf.put_u8(2);
-                buf.put_u16_le(*word as u16);
-            } else if *word <= u32::MAX as u64 {
-                buf.put_u8(3);
-                buf.put_u32_le(*word as u32);
-            } else {
-                buf.put_u8(4);
-                buf.put_u64_le(*word);
-            }
+    if m.nbits() <= 64 {
+        let word = m.view().words().first().copied().unwrap_or(0);
+        if word <= u8::MAX as u64 {
+            buf.put_u8(1);
+            buf.put_u8(word as u8);
+        } else if word <= u16::MAX as u64 {
+            buf.put_u8(2);
+            buf.put_u16_le(word as u16);
+        } else if word <= u32::MAX as u64 {
+            buf.put_u8(3);
+            buf.put_u32_le(word as u32);
+        } else {
+            buf.put_u8(4);
+            buf.put_u64_le(word);
         }
-        PointMask::Large(words) => {
-            buf.put_u8(5);
-            buf.put_u32_le(words.len() as u32);
-            for w in words.iter() {
-                buf.put_u64_le(*w);
-            }
+    } else {
+        let words = m.view().words();
+        buf.put_u8(5);
+        buf.put_u32_le(words.len() as u32);
+        for w in words {
+            buf.put_u64_le(*w);
         }
     }
 }
@@ -270,11 +275,11 @@ fn get_mask(r: &mut Reader, n_points: usize) -> Result<PointMask, StoreError> {
     if (1..=4).contains(&tag) && n_points > 64 {
         return Err(corrupt("inline mask for a >64-point trajectory"));
     }
-    match tag {
-        1 => Ok(PointMask::Small(r.u8()? as u64)),
-        2 => Ok(PointMask::Small(r.u16()? as u64)),
-        3 => Ok(PointMask::Small(r.u32()? as u64)),
-        4 => Ok(PointMask::Small(r.u64()?)),
+    let word = match tag {
+        1 => r.u8()? as u64,
+        2 => r.u16()? as u64,
+        3 => r.u32()? as u64,
+        4 => r.u64()?,
         5 => {
             let n = r.count(8)?;
             if n_points <= 64 || n != n_points.div_ceil(64) {
@@ -286,18 +291,17 @@ fn get_mask(r: &mut Reader, n_points: usize) -> Result<PointMask, StoreError> {
             for _ in 0..n {
                 words.push(r.u64()?);
             }
-            Ok(PointMask::Large(words.into_boxed_slice()))
-        }
-        other => Err(corrupt(format!("mask tag {other}"))),
-    }
-    .and_then(|mask| {
-        if let PointMask::Small(word) = &mask {
-            if n_points < 64 && word >> n_points != 0 {
+            if !n_points.is_multiple_of(64) && words[n - 1] >> (n_points % 64) != 0 {
                 return Err(corrupt("mask bits beyond the trajectory's points"));
             }
+            return Ok(PointMask::from_words(n_points, &words));
         }
-        Ok(mask)
-    })
+        other => return Err(corrupt(format!("mask tag {other}"))),
+    };
+    if n_points < 64 && word >> n_points != 0 {
+        return Err(corrupt("mask bits beyond the trajectory's points"));
+    }
+    Ok(PointMask::from_word(n_points, word))
 }
 
 /// Encodes the warmed full-facility [`ServedTable`] — the expensive

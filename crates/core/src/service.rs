@@ -17,7 +17,31 @@
 //! (kMaxRRST) and for the overlap-aware union aggregation `AGG` that
 //! MaxkCovRST requires: the combined service of several facilities is the
 //! value of the OR of their masks.
+//!
+//! # Word-block kernels
+//!
+//! Masks are fixed-width blocks of 64-bit words (see [`PointMask`] for the
+//! layout) and every hot operation streams whole words instead of touching
+//! bits one at a time:
+//!
+//! * coverage counting is a per-word `count_ones()` popcount;
+//! * union / changed-detection fold `new & !old` across the words;
+//! * the Scenario-3 segment test is word-parallel: segment `s` is served iff
+//!   bits `s` and `s+1` are both set, so `w & (w >> 1)` yields all served
+//!   segments of one word at once, with the cross-word pair
+//!   (bit 63 of `wᵢ`, bit 0 of `wᵢ₊₁`) carried in explicitly. Set bits of
+//!   the pair word are then walked in ascending order (`trailing_zeros`), so
+//!   the per-segment length summation runs in **exactly** the order of the
+//!   scalar loop it replaced — which keeps every reported value bit-identical
+//!   (float addition is order-sensitive).
+//!
+//! [`MaskView`] is the borrowed form of a mask (length + word slice); it lets
+//! solver hot paths stream masks out of a flat arena
+//! ([`crate::maxcov::MaskArena`]) without per-user allocations, and
+//! [`ServiceModel::value_union`] evaluates the value of the OR of two masks
+//! without materializing it.
 
+use std::fmt;
 use tq_trajectory::Trajectory;
 
 /// Which of the paper's three service semantics to use.
@@ -66,7 +90,15 @@ impl ServiceModel {
     /// The service value `S(u, ·)` of a user given its served-point mask.
     ///
     /// Monotone in the mask: setting more bits never lowers the value.
+    #[inline]
     pub fn value(&self, u: &Trajectory, mask: &PointMask) -> f64 {
+        self.value_view(u, mask.view())
+    }
+
+    /// [`ServiceModel::value`] over a borrowed [`MaskView`] — the form the
+    /// solver hot paths use to stream masks out of a flat arena.
+    pub fn value_view(&self, u: &Trajectory, mask: MaskView<'_>) -> f64 {
+        debug_assert_eq!(mask.nbits(), u.len(), "mask/trajectory length mismatch");
         match self.scenario {
             Scenario::Transit => {
                 if mask.get(0) && mask.get(u.len() - 1) {
@@ -87,13 +119,45 @@ impl ServiceModel {
                         0.0
                     };
                 }
-                let mut served = 0.0;
-                for s in 0..u.num_segments() {
-                    if mask.get(s) && mask.get(s + 1) {
-                        served += u.segment_length(s);
-                    }
+                let words = mask.words();
+                segment_sum(u, words.len(), |i| words[i]) / total
+            }
+        }
+    }
+
+    /// The value of `a ∪ b` without materializing the union — the same
+    /// word kernels as [`ServiceModel::value_view`] run over `aᵢ | bᵢ`, so
+    /// the result is bit-identical to unioning into a fresh mask and
+    /// evaluating that. This is what makes the greedy marginal-gain round
+    /// allocation-free: the old path cloned the coverage mask per candidate
+    /// per user just to ask "what would the union be worth?".
+    pub fn value_union(&self, u: &Trajectory, a: MaskView<'_>, b: MaskView<'_>) -> f64 {
+        debug_assert_eq!(a.nbits(), b.nbits(), "mask size mismatch");
+        debug_assert_eq!(a.nbits(), u.len(), "mask/trajectory length mismatch");
+        let (aw, bw) = (a.words(), b.words());
+        match self.scenario {
+            Scenario::Transit => {
+                let last = u.len() - 1;
+                let first_set = (aw[0] | bw[0]) & 1 == 1;
+                let last_set = ((aw[last >> 6] | bw[last >> 6]) >> (last & 63)) & 1 == 1;
+                if first_set && last_set {
+                    1.0
+                } else {
+                    0.0
                 }
-                served / total
+            }
+            Scenario::PointCount => {
+                let ones: u32 = aw.iter().zip(bw).map(|(&x, &y)| (x | y).count_ones()).sum();
+                ones as f64 / u.len() as f64
+            }
+            Scenario::Length => {
+                let total = u.length();
+                if total <= 0.0 {
+                    let ones: u32 =
+                        aw.iter().zip(bw).map(|(&x, &y)| (x | y).count_ones()).sum();
+                    return if ones as usize == u.len() { 1.0 } else { 0.0 };
+                }
+                segment_sum(u, aw.len(), |i| aw[i] | bw[i]) / total
             }
         }
     }
@@ -119,98 +183,343 @@ impl ServiceModel {
     }
 }
 
+/// The word-parallel Scenario-3 kernel: Σ `segment_length(s)` over every
+/// segment `s` whose endpoint bits `s` and `s+1` are both set in the mask
+/// words produced by `word(i)`.
+///
+/// Per word, `w & (w >> 1)` has bit `j` set iff bits `j` and `j+1` are both
+/// set; the pair straddling the word boundary (bit 63 of `wᵢ` with bit 0 of
+/// `wᵢ₊₁`) is carried in explicitly. Set bits are then visited in ascending
+/// order via `trailing_zeros`, so the float accumulation order is exactly
+/// the scalar `for s in 0..num_segments` loop's — bit-identical sums.
+///
+/// Mask bits at or beyond `nbits` are zero by [`PointMask`]'s invariant, so
+/// no pair bit beyond the last real segment can ever be set.
+#[inline]
+fn segment_sum(u: &Trajectory, nwords: usize, word: impl Fn(usize) -> u64) -> f64 {
+    // One cache fetch up front; the loop then indexes the slice directly.
+    let seg_len = u.segment_lengths();
+    let mut served = 0.0;
+    let mut w = if nwords > 0 { word(0) } else { 0 };
+    for wi in 0..nwords {
+        let next = if wi + 1 < nwords { word(wi + 1) } else { 0 };
+        let mut pairs = (w & (w >> 1)) | (((w >> 63) & next & 1) << 63);
+        while pairs != 0 {
+            let s = (wi << 6) | pairs.trailing_zeros() as usize;
+            served += seg_len[s];
+            pairs &= pairs - 1;
+        }
+        w = next;
+    }
+    served
+}
+
+/// Words per cache block: heap-allocated masks are padded to a multiple of
+/// four words (32 bytes), so the union/count/segment kernels always stream
+/// whole blocks and the tail never needs scalar handling.
+const WORDS_PER_BLOCK: usize = 4;
+
+/// Number of 64-bit words that actually carry bits of an `nbits`-point mask.
+#[inline]
+const fn live_words(nbits: u32) -> usize {
+    (nbits as usize).div_ceil(64)
+}
+
+/// Word-streaming union: ORs `src` into `dst`, returning nonzero iff any
+/// new bit was set (`src & !dst` folded across the words).
+#[inline]
+fn union_words(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut fresh = 0u64;
+    for (x, &y) in dst.iter_mut().zip(src) {
+        fresh |= y & !*x;
+        *x |= y;
+    }
+    fresh
+}
+
+/// Sizes of the two masks involved in a failed union — the typed form of
+/// the "mask size mismatch" panic, for callers whose masks come from
+/// decoded (untrusted) data rather than from a single in-process build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskSizeMismatch {
+    /// Point count of the mask being unioned into.
+    pub dst: usize,
+    /// Point count of the mask being unioned from.
+    pub src: usize,
+}
+
+impl fmt::Display for MaskSizeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mask size mismatch: cannot union a {}-point mask into a {}-point mask \
+             (masks must describe the same trajectory)",
+            self.src, self.dst
+        )
+    }
+}
+
+impl std::error::Error for MaskSizeMismatch {}
+
 /// A monotone bitmask over the points of one user trajectory.
 ///
 /// Bit `i` set means point `i` of the trajectory has been served (is within
-/// `ψ` of a stop of some facility considered so far). Trajectories with at
-/// most 64 points — the overwhelming majority in every dataset — are stored
-/// inline without allocation.
+/// `ψ` of a stop of some facility considered so far).
+///
+/// # Layout
+///
+/// ```text
+/// nbits ≤ 128   Inline([u64; 2])        — no allocation; covers the
+///                                          overwhelming majority of real
+///                                          trajectories (trips are 2-point)
+/// nbits > 128   Heap(Box<[u64]>)        — padded up to a multiple of 4
+///                                          words (32-byte blocks) so the
+///                                          word kernels never need a
+///                                          scalar tail
+/// ```
+///
+/// Invariant: every bit at index ≥ `nbits` (the padding) is zero. All word
+/// kernels rely on it — popcounts may sum the raw words, and the Scenario-3
+/// pair kernel cannot produce a phantom segment past the trajectory's end.
+///
+/// # Contracts
+///
+/// `get`/`set` debug-assert `i < nbits` (both representations — the old
+/// small/large split disagreed here). [`PointMask::union_with`] panics on a
+/// size mismatch; [`PointMask::try_union_with`] is the typed-error form for
+/// masks originating from decoded, untrusted data.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PointMask {
-    /// Inline mask for trajectories with ≤ 64 points.
-    Small(u64),
-    /// Heap mask for longer trajectories.
-    Large(Box<[u64]>),
+pub struct PointMask {
+    /// Number of trajectory points the mask describes.
+    nbits: u32,
+    words: Words,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Words {
+    /// Inline storage for masks of ≤ 128 points.
+    Inline([u64; 2]),
+    /// Heap storage, padded to a multiple of [`WORDS_PER_BLOCK`] words.
+    Heap(Box<[u64]>),
 }
 
 impl PointMask {
     /// An empty (all-unserved) mask for a trajectory of `n_points` points.
     pub fn empty(n_points: usize) -> Self {
-        if n_points <= 64 {
-            PointMask::Small(0)
+        let nbits = u32::try_from(n_points).expect("trajectory too long for a mask");
+        let words = if n_points <= 128 {
+            Words::Inline([0; 2])
         } else {
-            PointMask::Large(vec![0u64; n_points.div_ceil(64)].into_boxed_slice())
+            Words::Heap(
+                vec![0u64; live_words(nbits).next_multiple_of(WORDS_PER_BLOCK)]
+                    .into_boxed_slice(),
+            )
+        };
+        PointMask { nbits, words }
+    }
+
+    /// Reconstructs a ≤64-point mask from its single storage word (the
+    /// snapshot codec's width-fitted inline encoding).
+    ///
+    /// The caller must have validated that no bit at index ≥ `n_points` is
+    /// set; this is debug-asserted.
+    pub fn from_word(n_points: usize, word: u64) -> Self {
+        debug_assert!(n_points <= 64);
+        debug_assert!(n_points == 64 || word >> n_points == 0, "stray mask bits");
+        let mut mask = PointMask::empty(n_points);
+        mask.words_raw_mut()[0] = word;
+        mask
+    }
+
+    /// Reconstructs a mask from its unpadded live words (exactly
+    /// `⌈n_points / 64⌉` of them). Padding-bit validation is the caller's
+    /// job (the snapshot codec rejects stray bits before constructing);
+    /// this is debug-asserted.
+    pub fn from_words(n_points: usize, words: &[u64]) -> Self {
+        let mut mask = PointMask::empty(n_points);
+        let live = live_words(mask.nbits);
+        debug_assert_eq!(words.len(), live);
+        debug_assert!(
+            n_points.is_multiple_of(64) || words.last().is_none_or(|w| w >> (n_points % 64) == 0),
+            "stray mask bits"
+        );
+        mask.words_raw_mut()[..live].copy_from_slice(words);
+        mask
+    }
+
+    /// Number of trajectory points the mask describes (its bit width).
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nbits as usize
+    }
+
+    /// The raw storage words, padding included.
+    #[inline]
+    fn words_raw(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(a) => a,
+            Words::Heap(b) => b,
         }
     }
 
-    /// Returns bit `i`.
+    #[inline]
+    fn words_raw_mut(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            Words::Inline(a) => a,
+            Words::Heap(b) => b,
+        }
+    }
+
+    /// Borrowed view of the mask: its length and live words.
+    #[inline]
+    pub fn view(&self) -> MaskView<'_> {
+        MaskView {
+            nbits: self.nbits,
+            words: &self.words_raw()[..live_words(self.nbits)],
+        }
+    }
+
+    /// Returns bit `i`. Contract: `i < nbits()`, debug-asserted for both
+    /// representations; out-of-range reads in release builds return `false`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        match self {
-            PointMask::Small(w) => (i < 64) && (w >> i) & 1 == 1,
-            PointMask::Large(ws) => (ws[i / 64] >> (i % 64)) & 1 == 1,
-        }
+        debug_assert!(i < self.nbits as usize, "point index out of range");
+        let raw = self.words_raw();
+        (i >> 6) < raw.len() && (raw[i >> 6] >> (i & 63)) & 1 == 1
     }
 
     /// Sets bit `i`, returning `true` when it was previously clear.
+    /// Contract: `i < nbits()`, debug-asserted for both representations.
     #[inline]
     pub fn set(&mut self, i: usize) -> bool {
-        match self {
-            PointMask::Small(w) => {
-                debug_assert!(i < 64, "point index out of range for small mask");
-                let bit = 1u64 << i;
-                let newly = *w & bit == 0;
-                *w |= bit;
-                newly
-            }
-            PointMask::Large(ws) => {
-                let bit = 1u64 << (i % 64);
-                let word = &mut ws[i / 64];
-                let newly = *word & bit == 0;
-                *word |= bit;
-                newly
-            }
-        }
+        debug_assert!(i < self.nbits as usize, "point index out of range");
+        let word = &mut self.words_raw_mut()[i >> 6];
+        let bit = 1u64 << (i & 63);
+        let newly = *word & bit == 0;
+        *word |= bit;
+        newly
     }
 
-    /// Number of set bits.
+    /// Number of set bits — a streamed per-word popcount (padding words are
+    /// zero by invariant, so the raw words can be summed directly).
     #[inline]
     pub fn count_ones(&self) -> u32 {
-        match self {
-            PointMask::Small(w) => w.count_ones(),
-            PointMask::Large(ws) => ws.iter().map(|w| w.count_ones()).sum(),
-        }
+        self.words_raw().iter().map(|w| w.count_ones()).sum()
     }
 
     /// Returns `true` when no bit is set.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        match self {
-            PointMask::Small(w) => *w == 0,
-            PointMask::Large(ws) => ws.iter().all(|&w| w == 0),
-        }
+        self.words_raw().iter().all(|&w| w == 0)
     }
 
     /// In-place union with `other` (same trajectory). Returns `true` when
     /// any new bit was set.
+    ///
+    /// # Panics
+    /// Panics when the masks describe different point counts; use
+    /// [`PointMask::try_union_with`] for untrusted inputs.
+    #[inline]
     pub fn union_with(&mut self, other: &PointMask) -> bool {
-        match (self, other) {
-            (PointMask::Small(a), PointMask::Small(b)) => {
-                let before = *a;
-                *a |= b;
-                *a != before
-            }
-            (PointMask::Large(a), PointMask::Large(b)) => {
-                let mut changed = false;
-                for (x, y) in a.iter_mut().zip(b.iter()) {
-                    let before = *x;
-                    *x |= y;
-                    changed |= *x != before;
-                }
-                changed
-            }
-            _ => panic!("mask size mismatch: masks must describe the same trajectory"),
+        self.try_union_with(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`PointMask::union_with`] with a typed size-mismatch error instead
+    /// of a panic — for masks decoded from snapshots, WAL records, or wire
+    /// frames, where a mismatch means corrupt or foreign data rather than
+    /// a programming error. On `Err` the mask is unchanged.
+    pub fn try_union_with(&mut self, other: &PointMask) -> Result<bool, MaskSizeMismatch> {
+        if self.nbits != other.nbits {
+            return Err(MaskSizeMismatch {
+                dst: self.nbits as usize,
+                src: other.nbits as usize,
+            });
         }
+        // Same nbits ⇒ same representation ⇒ same raw width; padding of
+        // `other` is zero, so ORing the raw words preserves the invariant.
+        Ok(union_words(self.words_raw_mut(), other.words_raw()) != 0)
+    }
+
+    /// In-place union with a borrowed view (same trajectory). Returns
+    /// `true` when any new bit was set.
+    ///
+    /// # Panics
+    /// Panics when the sizes differ, like [`PointMask::union_with`].
+    #[inline]
+    pub fn union_view(&mut self, v: MaskView<'_>) -> bool {
+        if self.nbits != v.nbits {
+            let e = MaskSizeMismatch {
+                dst: self.nbits as usize,
+                src: v.nbits as usize,
+            };
+            panic!("{e}");
+        }
+        let live = live_words(self.nbits);
+        union_words(&mut self.words_raw_mut()[..live], v.words) != 0
+    }
+
+    /// Would unioning `v` set any new bit? A pure streamed read — the
+    /// no-allocation test the marginal-gain round uses before paying for
+    /// value kernels.
+    #[inline]
+    pub fn union_would_change(&self, v: MaskView<'_>) -> bool {
+        debug_assert_eq!(self.nbits, v.nbits, "mask size mismatch");
+        self.words_raw()
+            .iter()
+            .zip(v.words)
+            .any(|(&cur, &new)| new & !cur != 0)
+    }
+}
+
+/// A borrowed mask: point count plus exactly `⌈nbits / 64⌉` live words.
+///
+/// This is how the solvers stream masks out of the flat
+/// [`crate::maxcov::MaskArena`] — same kernels, no per-mask ownership.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskView<'a> {
+    nbits: u32,
+    words: &'a [u64],
+}
+
+impl<'a> MaskView<'a> {
+    /// A view over `words`, which must be exactly the `⌈n_points / 64⌉`
+    /// live words with no stray bits past `n_points`.
+    #[inline]
+    pub fn new(n_points: usize, words: &'a [u64]) -> MaskView<'a> {
+        let nbits = u32::try_from(n_points).expect("trajectory too long for a mask");
+        debug_assert_eq!(words.len(), live_words(nbits));
+        MaskView { nbits, words }
+    }
+
+    /// Number of trajectory points the mask describes.
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nbits as usize
+    }
+
+    /// The live words.
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns bit `i`. Contract: `i < nbits()`, debug-asserted.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits as usize, "point index out of range");
+        (i >> 6) < self.words.len() && (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Materializes the view into an owned mask.
+    pub fn to_mask(&self) -> PointMask {
+        PointMask::from_words(self.nbits as usize, self.words)
     }
 }
 
@@ -364,18 +673,50 @@ mod tests {
         assert!(m.get(1));
         assert!(!m.get(0));
         assert_eq!(m.count_ones(), 1);
+        assert_eq!(m.nbits(), 2);
     }
 
     #[test]
     fn large_mask_operations() {
         let mut m = PointMask::empty(130);
-        assert!(matches!(m, PointMask::Large(_)));
         assert!(m.set(0));
         assert!(m.set(64));
         assert!(m.set(129));
         assert_eq!(m.count_ones(), 3);
         assert!(m.get(64));
         assert!(!m.get(65));
+        assert_eq!(m.nbits(), 130);
+    }
+
+    #[test]
+    fn inline_covers_up_to_128_points_without_padding_blocks() {
+        // ≤ 128 points: two inline words, no allocation.
+        let m = PointMask::empty(128);
+        assert!(matches!(m.words, Words::Inline(_)));
+        assert_eq!(m.view().words().len(), 2);
+        // > 128 points: heap words, padded to whole 4-word blocks, with the
+        // view exposing only the live words.
+        let m = PointMask::empty(129);
+        assert!(matches!(m.words, Words::Heap(_)));
+        assert_eq!(m.words_raw().len(), 4);
+        assert_eq!(m.view().words().len(), 3);
+        let m = PointMask::empty(257);
+        assert_eq!(m.words_raw().len(), 8);
+        assert_eq!(m.view().words().len(), 5);
+    }
+
+    #[test]
+    fn from_word_and_from_words_round_trip() {
+        let mut a = PointMask::empty(50);
+        a.set(0);
+        a.set(49);
+        assert_eq!(PointMask::from_word(50, a.view().words()[0]), a);
+        let mut b = PointMask::empty(200);
+        for i in [0usize, 63, 64, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(PointMask::from_words(200, b.view().words()), b);
+        assert_eq!(b.view().to_mask(), b);
     }
 
     #[test]
@@ -391,11 +732,74 @@ mod tests {
     }
 
     #[test]
+    fn union_would_change_is_a_pure_predicate() {
+        let mut a = PointMask::empty(70);
+        a.set(1);
+        a.set(65);
+        let mut b = PointMask::empty(70);
+        b.set(65);
+        assert!(!a.union_would_change(b.view()));
+        b.set(69);
+        assert!(a.union_would_change(b.view()));
+        assert!(!a.get(69), "predicate must not mutate");
+    }
+
+    #[test]
     #[should_panic(expected = "mask size mismatch")]
     fn union_mismatched_sizes_panics() {
         let mut a = PointMask::empty(10);
         let b = PointMask::empty(130);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn try_union_reports_sizes_without_mutating() {
+        let mut a = PointMask::empty(10);
+        a.set(3);
+        let b = PointMask::empty(130);
+        let err = a.try_union_with(&b).unwrap_err();
+        assert_eq!(err, MaskSizeMismatch { dst: 10, src: 130 });
+        assert!(err.to_string().contains("mask size mismatch"));
+        assert_eq!(a.count_ones(), 1, "failed union must not mutate");
+        let mut ok = PointMask::empty(130);
+        assert_eq!(ok.try_union_with(&b), Ok(false));
+    }
+
+    #[test]
+    fn value_union_matches_materialized_union() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [2usize, 5, 63, 64, 65, 127, 128, 129, 200] {
+            let mut x = 0.0;
+            let u = Trajectory::new(
+                (0..n)
+                    .map(|_| {
+                        x += rng.gen_range(0.1..2.0);
+                        p(x, rng.gen_range(-1.0..1.0))
+                    })
+                    .collect(),
+            );
+            let mut a = PointMask::empty(n);
+            let mut b = PointMask::empty(n);
+            for i in 0..n {
+                if rng.gen_bool(0.4) {
+                    a.set(i);
+                }
+                if rng.gen_bool(0.4) {
+                    b.set(i);
+                }
+            }
+            let mut merged = a.clone();
+            merged.union_with(&b);
+            for scenario in Scenario::ALL {
+                let m = ServiceModel::new(scenario, 1.0);
+                assert_eq!(
+                    m.value_union(&u, a.view(), b.view()).to_bits(),
+                    m.value(&u, &merged).to_bits(),
+                    "{scenario:?} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Plain greedy folds, per round and per candidate, a stream of per-user
 //! marginal deltas in ascending trajectory-id order
-//! ([`Coverage::marginal_entries`]). Users are partitioned across shards
+//! ([`Coverage::marginal_views`]). Users are partitioned across shards
 //! and shard-local ids are assigned in ascending global-id order, so each
 //! shard can emit **its** slice of that stream locally (in ascending
 //! global-id order after translation), and a k-way merge of the per-shard
@@ -12,7 +12,7 @@
 //! gain bits. The winner is picked with the same `1e-12`/lowest-id rule,
 //! every shard folds the winner into its local coverage, and the front
 //! end replays the winner's merged delta stream into the running combined
-//! value, reproducing [`Coverage::add_entries`]' accumulation bit-for-bit.
+//! value, reproducing [`Coverage::add_views`]' accumulation bit-for-bit.
 //!
 //! [`GainCombiner`] is the round protocol's participant interface. The
 //! in-process [`LocalGains`] implements it over a shard's
@@ -21,8 +21,8 @@
 //! max-cov would speak over `tqd` connections, which is why it is a trait
 //! and not three inlined loops.
 
-use crate::maxcov::{Coverage, ServedTable};
-use crate::service::{PointMask, ServiceModel};
+use crate::maxcov::{Coverage, MaskArena, ServedTable};
+use crate::service::ServiceModel;
 use std::sync::Arc;
 use tq_trajectory::{FacilityId, TrajectoryId, UserSet};
 
@@ -33,7 +33,7 @@ pub trait GainCombiner {
     /// Per-candidate marginal-delta streams against the participant's
     /// current coverage, one per entry of `remaining`, each sorted by
     /// ascending global trajectory id. An entry is emitted exactly where
-    /// `Coverage::marginal_entries` would execute a `gain +=`.
+    /// `Coverage::marginal_views` would execute a `gain +=`.
     fn score(&self, remaining: &[usize]) -> Vec<Vec<(TrajectoryId, f64)>>;
 
     /// Folds candidate `winner`'s masks into the participant's coverage.
@@ -44,19 +44,18 @@ pub trait GainCombiner {
     fn users_served(&self) -> usize;
 }
 
-/// The in-process [`GainCombiner`]: a shard's served table, its local→
-/// global id map, and a local [`Coverage`] keyed by shard-local ids.
+/// The in-process [`GainCombiner`]: a shard's served masks flattened into
+/// a [`MaskArena`], its local→global id map, and a local [`Coverage`]
+/// keyed by shard-local ids.
 pub struct LocalGains {
-    table: Arc<ServedTable>,
+    /// Per-candidate canonical-order masks, flattened once per solve like
+    /// plain greedy's [`MaskArena::from_table`].
+    arena: MaskArena,
     /// Shard-local id → global id (monotone by construction).
     locals: Arc<Vec<TrajectoryId>>,
     users: Arc<UserSet>,
     model: ServiceModel,
     cov: Coverage,
-    /// Per-candidate mask keys, pre-sorted ascending (the canonical fold
-    /// order), computed once per solve like
-    /// [`crate::maxcov::sorted_candidate_entries`].
-    sorted_ids: Vec<Vec<TrajectoryId>>,
 }
 
 impl LocalGains {
@@ -67,30 +66,13 @@ impl LocalGains {
         users: Arc<UserSet>,
         model: ServiceModel,
     ) -> LocalGains {
-        let sorted_ids = table
-            .masks
-            .iter()
-            .map(|m| {
-                let mut ids: Vec<TrajectoryId> = m.keys().copied().collect();
-                ids.sort_unstable();
-                ids
-            })
-            .collect();
         LocalGains {
-            table,
+            arena: MaskArena::from_table(&table),
             locals,
             users,
             model,
             cov: Coverage::new(),
-            sorted_ids,
         }
-    }
-
-    fn entries(&self, ci: usize) -> Vec<(TrajectoryId, &PointMask)> {
-        self.sorted_ids[ci]
-            .iter()
-            .map(|lid| (*lid, &self.table.masks[ci][lid]))
-            .collect()
     }
 }
 
@@ -101,8 +83,12 @@ impl GainCombiner for LocalGains {
             .iter()
             .map(|&ci| {
                 scratch.clear();
-                self.cov
-                    .marginal_deltas(&self.users, &self.model, &self.entries(ci), &mut scratch);
+                self.cov.marginal_deltas_views(
+                    &self.users,
+                    &self.model,
+                    self.arena.candidate(ci),
+                    &mut scratch,
+                );
                 scratch
                     .iter()
                     .map(|&(lid, d)| (self.locals[lid as usize], d))
@@ -112,14 +98,16 @@ impl GainCombiner for LocalGains {
     }
 
     fn commit(&mut self, winner: usize) {
-        // Field-disjoint borrow of `entries()`: `cov` is mutated while the
-        // mask references stay borrowed from `table`.
-        let table = &self.table;
-        let entries: Vec<(TrajectoryId, &PointMask)> = self.sorted_ids[winner]
-            .iter()
-            .map(|lid| (*lid, &table.masks[winner][lid]))
-            .collect();
-        self.cov.add_entries(&self.users, &self.model, &entries);
+        // Field-disjoint borrows: `cov` is mutated while the mask views
+        // stream out of `arena`.
+        let LocalGains {
+            arena,
+            users,
+            model,
+            cov,
+            ..
+        } = self;
+        cov.add_views(users, model, arena.candidate(winner));
     }
 
     fn users_served(&self) -> usize {
@@ -199,7 +187,7 @@ pub(crate) fn sharded_greedy<W: GainCombiner + Sync>(
         let Some((bi, _)) = best else { break };
         used[bi] = true;
         // Replay the winner's merged stream into the running value —
-        // entry-by-entry, exactly as `Coverage::add_entries` accumulates
+        // entry-by-entry, exactly as `Coverage::add_views` accumulates
         // (`value += gain_of_round` would associate differently).
         fold_merged(&winner_streams, |d| value += d);
         for w in workers.iter_mut() {

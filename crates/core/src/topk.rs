@@ -77,11 +77,12 @@ impl Ord for HeapKey {
     }
 }
 
+// Branch-free like `Rect::contains` — this sits in the per-facility descent.
 fn rect_contains_strict(outer: &Rect, inner: &Rect) -> bool {
-    inner.min.x > outer.min.x
-        && inner.min.y > outer.min.y
-        && inner.max.x < outer.max.x
-        && inner.max.y < outer.max.y
+    (inner.min.x > outer.min.x)
+        & (inner.min.y > outer.min.y)
+        & (inner.max.x < outer.max.x)
+        & (inner.max.y < outer.max.y)
 }
 
 /// Answers a kMaxRRST query: the `k` facilities of `facilities` with the

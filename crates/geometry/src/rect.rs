@@ -117,24 +117,31 @@ impl Rect {
     }
 
     /// Returns `true` when `p` lies inside or on the boundary.
+    ///
+    /// The four comparisons combine with non-short-circuiting `&`: each is
+    /// a branch-free `cmpdouble`/`setcc`, and evaluating all four is cheaper
+    /// than four conditional jumps on the prune hot path, where containment
+    /// outcomes are data-dependent and unpredicted. (`&` and `&&` agree on
+    /// NaN coordinates — every comparison is simply `false`.)
     #[inline]
     pub fn contains(&self, p: &Point) -> bool {
-        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+        (p.x >= self.min.x) & (p.x <= self.max.x) & (p.y >= self.min.y) & (p.y <= self.max.y)
     }
 
     /// Returns `true` when `other` lies entirely inside `self`.
     #[inline]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        self.contains(&other.min) && self.contains(&other.max)
+        self.contains(&other.min) & self.contains(&other.max)
     }
 
-    /// Returns `true` when the two closed rectangles share at least one point.
+    /// Returns `true` when the two closed rectangles share at least one
+    /// point. Branch-free like [`Rect::contains`].
     #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
-        self.min.x <= other.max.x
-            && self.max.x >= other.min.x
-            && self.min.y <= other.max.y
-            && self.max.y >= other.min.y
+        (self.min.x <= other.max.x)
+            & (self.max.x >= other.min.x)
+            & (self.min.y <= other.max.y)
+            & (self.max.y >= other.min.y)
     }
 
     /// The intersection of two rectangles, if non-empty.
@@ -223,14 +230,9 @@ impl Rect {
     /// exactly one quadrant.
     pub fn quadrant_of(&self, p: &Point) -> Quadrant {
         let c = self.center();
-        let east = p.x >= c.x;
-        let north = p.y >= c.y;
-        match (north, east) {
-            (false, false) => Quadrant::SouthWest,
-            (false, true) => Quadrant::SouthEast,
-            (true, false) => Quadrant::NorthWest,
-            (true, true) => Quadrant::NorthEast,
-        }
+        // Branch-free: the Z-order index is (north, east) as a 2-bit number,
+        // matching the discriminants SW=0, SE=1, NW=2, NE=3.
+        Quadrant::from_index((((p.y >= c.y) as u8) << 1) | (p.x >= c.x) as u8)
     }
 }
 

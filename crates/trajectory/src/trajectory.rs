@@ -19,9 +19,32 @@ pub struct SegmentRef {
 ///
 /// For two-point data (taxi trips) the sequence is `[source, destination]`;
 /// multipoint data (check-ins, GPS traces) may have arbitrarily many points.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Trajectory {
     points: Vec<Point>,
+    /// Lazily cached segment lengths + total. Service evaluation touches
+    /// these on every mask fold, so they are computed once per trajectory
+    /// instead of a sqrt per call — but only on first use: snapshot
+    /// recovery decodes millions of trajectories and must not pay a
+    /// distance pass on the cold-start path.
+    lengths: std::sync::OnceLock<Lengths>,
+}
+
+/// The computed length cache: per-segment distances and their sum.
+#[derive(Debug, Clone)]
+struct Lengths {
+    seg: Box<[f64]>,
+    /// `Σ seg`, folded in ascending segment order — the exact sum the
+    /// on-demand `length()` produced, so cached values stay bit-identical.
+    total: f64,
+}
+
+/// Trajectories are equal iff their points are: the length cache is a
+/// pure function of the points and must not affect equality.
+impl PartialEq for Trajectory {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl Trajectory {
@@ -36,7 +59,19 @@ impl Trajectory {
             points.iter().all(Point::is_finite),
             "trajectory coordinates must be finite"
         );
-        Trajectory { points }
+        Trajectory {
+            points,
+            lengths: std::sync::OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn lengths(&self) -> &Lengths {
+        self.lengths.get_or_init(|| {
+            let seg: Box<[f64]> = self.points.windows(2).map(|w| w[0].dist(&w[1])).collect();
+            let total = seg.iter().sum();
+            Lengths { seg, total }
+        })
     }
 
     /// Convenience constructor for two-point (source → destination) trips.
@@ -87,18 +122,25 @@ impl Trajectory {
         (self.points[seg], self.points[seg + 1])
     }
 
-    /// Length of segment `seg`.
+    /// Length of segment `seg` (cached on first use).
     #[inline]
     pub fn segment_length(&self, seg: usize) -> f64 {
-        let (a, b) = self.segment(seg);
-        a.dist(&b)
+        self.lengths().seg[seg]
     }
 
-    /// Total path length, `length(u)` — the sum of segment lengths.
+    /// All segment lengths, indexed by segment (cached on first use).
+    /// Hot loops should fetch this once and index the slice rather than
+    /// calling [`Trajectory::segment_length`] per segment.
+    #[inline]
+    pub fn segment_lengths(&self) -> &[f64] {
+        &self.lengths().seg
+    }
+
+    /// Total path length, `length(u)` — the sum of segment lengths
+    /// (cached on first use).
+    #[inline]
     pub fn length(&self) -> f64 {
-        (0..self.num_segments())
-            .map(|s| self.segment_length(s))
-            .sum()
+        self.lengths().total
     }
 
     /// Minimum bounding rectangle of all points.
