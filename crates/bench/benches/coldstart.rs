@@ -197,6 +197,21 @@ fn bench_coldstart(c: &mut Criterion) {
     drop(reopened);
 
     let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"users\": {USERS},\n  \"routes\": {ROUTES},\n  \"k\": {K},\n  \
+         \"load_ms\": {:.3},\n  \"rebuild_ms\": {:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"sharded_load_ms\": {:.3},\n  \"recovery_ratio\": {recovery_ratio:.3},\n  \
+         \"gate\": \"speedup >= 4\",\n  \"pass\": {}\n}}\n",
+        load_min * 1e3,
+        rebuild_min * 1e3,
+        sharded_min * 1e3,
+        speedup >= 4.0,
+    );
+    let json_path = std::env::current_dir().unwrap().join("BENCH_coldstart.json");
+    std::fs::write(&json_path, json).unwrap();
+    println!("wrote {}", json_path.display());
+
     // Re-based from 5x when the word-block mask kernels made the
     // rebuild-from-raw arm ~1.7x faster (load itself was unchanged:
     // ~45ms both before and after) — the ratio floor tracks the ratio

@@ -22,7 +22,9 @@
 //! The bench asserts *correctness*, not speed ratios (loopback
 //! throughput on a shared CI box is too noisy to gate): every acked
 //! batch must reach each follower — zero replication lag at the end —
-//! and the standby must finish on the primary's exact epoch.
+//! and the standby must finish on the primary's exact epoch. Alongside
+//! the human output the bench writes `BENCH_repl.json` (to the working
+//! directory) for machine consumption.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -252,4 +254,18 @@ fn main() {
     println!("\nzero lag at epoch {last_ack}; graceful shutdown");
     let _ = std::fs::remove_dir_all(&primary_dir);
     let _ = std::fs::remove_dir_all(&follower_dir);
+
+    let json = format!(
+        "{{\n  \"users\": {USERS},\n  \"batch\": {BATCH},\n  \
+         \"bare_bps\": {bare_bps:.0},\n  \"ship_bps\": {ship_bps:.0},\n  \
+         \"standby_bps\": {standby_bps:.0},\n  \
+         \"ship_retained\": {:.3},\n  \
+         \"final_epoch\": {last_ack},\n  \
+         \"gate\": \"zero replication lag, standby on the primary's epoch\",\n  \
+         \"pass\": true\n}}\n",
+        ship_bps / bare_bps,
+    );
+    let json_path = std::env::current_dir().unwrap().join("BENCH_repl.json");
+    std::fs::write(&json_path, json).unwrap();
+    println!("wrote {}", json_path.display());
 }

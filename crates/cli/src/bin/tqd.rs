@@ -68,6 +68,7 @@ const TQD: Command = Command {
         Flag { name: "follow", meta: "HOST:PORT", default: "", help: "run as a read-only follower replicating from the primary at this address" },
         Flag { name: "promote-after", meta: "SECS", default: "0", help: "auto-promote to primary after the followed primary has been unreachable SECS seconds (0 = manual promote only)" },
         Flag { name: "threads", meta: "N", default: "0", help: "evaluation threads per query (0 = one per core)" },
+        Flag { name: "slow-query-ms", meta: "MS", default: "1000", help: "retain queries slower than MS (incl. funnel queueing) in the slow-query log (tq metrics --connect)" },
     ],
 };
 
@@ -92,6 +93,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let follow = a.get("follow").filter(|f| !f.is_empty()).map(str::to_string);
     let promote_after: u64 = a.get_or("promote-after", 0, "integer")?;
     tq_core::set_threads(a.get_or("threads", 0, "integer")?);
+    let slow_ms: u64 = a.get_or("slow-query-ms", 1000, "integer")?;
+    tq_obs::set_slow_threshold_ns(slow_ms.saturating_mul(1_000_000));
     let config = StoreConfig {
         checkpoint_every,
         background_checkpoints,

@@ -210,6 +210,17 @@ const STATUS: Command = Command {
     ],
 };
 
+const METRICS: Command = Command {
+    name: "metrics",
+    summary: "dump a tqd daemon's metrics (counters, latency quantiles, slow queries)",
+    positional: "",
+    flags: &[
+        Flag { name: "connect", meta: "HOST:PORT", default: "", help: "tqd address" },
+        Flag { name: "watch", meta: "SECS", default: "0", help: "re-poll every SECS seconds, top-style (0 = print once)" },
+        Flag { name: "grep", meta: "SUBSTR", default: "", help: "only print lines containing SUBSTR" },
+    ],
+};
+
 const SHUTDOWN: Command = Command {
     name: "shutdown",
     summary: "gracefully stop a tqd daemon (drain + final checkpoint)",
@@ -228,7 +239,7 @@ const PROMOTE: Command = Command {
     ],
 };
 
-const COMMANDS: [&Command; 14] = [
+const COMMANDS: [&Command; 15] = [
     &GENERATE,
     &IMPORT_TAXI,
     &STATS,
@@ -241,6 +252,7 @@ const COMMANDS: [&Command; 14] = [
     &SERVE,
     &QUERY,
     &STATUS,
+    &METRICS,
     &SHUTDOWN,
     &PROMOTE,
 ];
@@ -262,6 +274,7 @@ fn main() {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "status" => cmd_status(rest),
+        "metrics" => cmd_metrics(rest),
         "shutdown" => cmd_shutdown(rest),
         "promote" => cmd_promote(rest),
         "help" | "--help" | "-h" => {
@@ -847,6 +860,37 @@ fn cmd_status(raw: Vec<String>) -> CliResult {
     let mut client = tq_net::Client::connect(addr)?;
     println!("{}", client.status()?);
     Ok(())
+}
+
+fn cmd_metrics(raw: Vec<String>) -> CliResult {
+    let Some(a) = parse(&METRICS, raw)? else { return Ok(()) };
+    let addr = a.required("connect")?;
+    let watch: f64 = a.get_or("watch", 0.0, "number")?;
+    let filter = a.get("grep").unwrap_or("");
+    let mut client = tq_net::Client::connect(addr)?;
+    loop {
+        let text = client.metrics()?;
+        let shown: String = if filter.is_empty() {
+            text
+        } else {
+            text.lines()
+                .filter(|l| l.contains(filter))
+                .fold(String::new(), |mut out, l| {
+                    out.push_str(l);
+                    out.push('\n');
+                    out
+                })
+        };
+        if watch <= 0.0 {
+            print!("{shown}");
+            return Ok(());
+        }
+        // Top-style: clear, home, redraw with a timestamped header.
+        print!("\x1b[2J\x1b[H{addr} — every {watch}s (ctrl-c to stop)\n\n{shown}");
+        use std::io::Write as _;
+        std::io::stdout().flush()?;
+        std::thread::sleep(std::time::Duration::from_secs_f64(watch));
+    }
 }
 
 fn cmd_shutdown(raw: Vec<String>) -> CliResult {

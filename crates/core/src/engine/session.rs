@@ -15,7 +15,7 @@ use super::{EngineError, Snapshot};
 use crate::maxcov::{exact, genetic, greedy, CovOutcome, GeneticConfig, ServedTable};
 use crate::parallel;
 use crate::tqtree::Placement;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tq_trajectory::{FacilityId, FacilitySet};
 
@@ -293,6 +293,80 @@ impl Answer {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Registry handles for the query path, interned once per process and
+/// indexed by backend so steady-state recording never formats a label or
+/// touches the registry lock.
+struct QueryMetrics {
+    queries: [&'static tq_obs::Counter; 2],
+    latency: [&'static tq_obs::Histogram; 2],
+    cache_hits: &'static tq_obs::Counter,
+    cache_misses: &'static tq_obs::Counter,
+    nodes_visited: &'static tq_obs::Counter,
+    items_tested: &'static tq_obs::Counter,
+    items_pruned: &'static tq_obs::Counter,
+    distance_checks: &'static tq_obs::Counter,
+}
+
+fn query_metrics() -> &'static QueryMetrics {
+    static M: OnceLock<QueryMetrics> = OnceLock::new();
+    M.get_or_init(|| QueryMetrics {
+        queries: [
+            tq_obs::counter("tq_queries_total", "backend=\"tq-tree\""),
+            tq_obs::counter("tq_queries_total", "backend=\"baseline\""),
+        ],
+        latency: [
+            tq_obs::histogram("tq_query_latency_ns", "backend=\"tq-tree\""),
+            tq_obs::histogram("tq_query_latency_ns", "backend=\"baseline\""),
+        ],
+        cache_hits: tq_obs::counter("tq_query_cache_hits_total", ""),
+        cache_misses: tq_obs::counter("tq_query_cache_misses_total", ""),
+        nodes_visited: tq_obs::counter("tq_eval_nodes_visited_total", ""),
+        items_tested: tq_obs::counter("tq_eval_items_tested_total", ""),
+        items_pruned: tq_obs::counter("tq_eval_items_pruned_total", ""),
+        distance_checks: tq_obs::counter("tq_eval_distance_checks_total", ""),
+    })
+}
+
+/// Rolls one completed query's [`Explain`] into the metrics registry —
+/// the one counting point shared by the single-engine and sharded
+/// execution paths, so every query is counted exactly once. A handful of
+/// `Relaxed` atomic adds; one load-and-branch when recording is off.
+pub(crate) fn note_query(explain: &Explain) {
+    if !tq_obs::enabled() {
+        return;
+    }
+    let m = query_metrics();
+    let i = match explain.backend {
+        Some(BackendKind::Baseline) => 1,
+        _ => 0,
+    };
+    m.queries[i].incr();
+    m.latency[i].record_ns(tq_obs::duration_ns(explain.wall));
+    match explain.cache {
+        CacheStatus::Hit => m.cache_hits.incr(),
+        CacheStatus::Miss => m.cache_misses.incr(),
+        CacheStatus::Unused => {}
+    }
+    m.nodes_visited.add(explain.eval.nodes_visited as u64);
+    m.items_tested.add(explain.eval.items_tested as u64);
+    m.items_pruned.add(explain.eval.items_pruned as u64);
+    m.distance_checks.add(explain.eval.distance_checks as u64);
+}
+
+/// Offers a completed query to the slow-query log, queue delay included.
+/// Called from the read-plane handles — the only place
+/// [`Explain::queued`] is known — so a retained entry tells the full
+/// serving-path story.
+pub(crate) fn note_slow_query(explain: &Explain) {
+    let total =
+        tq_obs::duration_ns(explain.wall).saturating_add(tq_obs::duration_ns(explain.queued));
+    tq_obs::record_slow(total, || format!("query {explain}"));
+}
+
+// ---------------------------------------------------------------------------
 // Execution (shared by Snapshot::run and Engine::run)
 // ---------------------------------------------------------------------------
 
@@ -341,6 +415,7 @@ pub(crate) fn execute(
         }
     };
     explain.wall = start.elapsed();
+    note_query(&explain);
     Ok((Answer { result, explain }, outcome))
 }
 

@@ -215,6 +215,7 @@ pub(crate) fn execute(
         }
     };
     explain.wall = start.elapsed();
+    session::note_query(&explain);
     Ok((Answer { result, explain }, outcome))
 }
 
@@ -369,23 +370,43 @@ fn shard_tables(
     let missing: Vec<usize> = (0..snap.shards.len())
         .filter(|&s| snap.shards[s].cached_table(key).is_none())
         .collect();
+    let fanout = Instant::now();
     let built: Vec<Arc<ServedTable>> = std::thread::scope(|scope| {
         let handles: Vec<_> = missing
             .iter()
             .map(|&s| {
                 let shard = &snap.shards[s];
                 scope.spawn(move || {
-                    Arc::new(shard.backend().as_index().served_table(
+                    let start = Instant::now();
+                    let table = Arc::new(shard.backend().as_index().served_table(
                         shard.users(),
                         shard.model(),
                         shard.facilities(),
                         key,
-                    ))
+                    ));
+                    (table, start.elapsed())
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .zip(&missing)
+    .map(|((table, elapsed), &s)| {
+        // Per-shard scatter timing. Label formatting and the registry
+        // lookup are confined to the memo-miss path, where a full table
+        // build dwarfs them.
+        if tq_obs::enabled() {
+            let label = format!("shard=\"{s}\"");
+            tq_obs::histogram("tq_shard_build_ns", &label).record(elapsed);
+            tq_obs::counter("tq_shard_tables_built_total", &label).incr();
+        }
+        table
+    })
+    .collect();
+    if tq_obs::enabled() && !missing.is_empty() {
+        tq_obs::histogram("tq_shard_fanout_ns", "").record(fanout.elapsed());
+    }
     let mut stats = EvalStats::default();
     for t in &built {
         stats.add(&t.stats);

@@ -52,13 +52,59 @@
 //! durable.
 
 use crate::dynamic::{BatchOutcome, Update};
-use crate::engine::{Answer, BackendKind, Engine, EngineError, Query, Reader};
+use crate::engine::{session, Answer, BackendKind, Engine, EngineError, Explain, Query, Reader};
 use crate::persist::PersistStatus;
 use crate::sharding::{ShardedEngine, ShardedReader};
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, sync_channel, RecvTimeoutError, Sender, SyncSender};
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Registry handles for the writer funnel. The batch histogram's tail
+/// *is* the publish-stall story: a batch applies copy-on-write on the
+/// writer thread and publishes at the end, so its wall time is exactly
+/// how long the funnel was busy (readers are never blocked either way).
+struct WriterMetrics {
+    queue_depth: &'static tq_obs::Gauge,
+    queued_ns: &'static tq_obs::Histogram,
+    batch_ns: &'static tq_obs::Histogram,
+    batches: &'static tq_obs::Counter,
+}
+
+fn writer_metrics() -> &'static WriterMetrics {
+    static M: OnceLock<WriterMetrics> = OnceLock::new();
+    M.get_or_init(|| WriterMetrics {
+        queue_depth: tq_obs::gauge("tq_writer_queue_depth", ""),
+        queued_ns: tq_obs::histogram("tq_writer_queued_ns", ""),
+        batch_ns: tq_obs::histogram("tq_writer_batch_ns", ""),
+        batches: tq_obs::counter("tq_writer_batches_total", ""),
+    })
+}
+
+/// Rolls one funneled batch into the registry and offers it to the
+/// slow-query log — the write-side sibling of the read path's
+/// [`Explain::queued`] accounting, so write stalls surface in the same
+/// place slow queries do.
+fn note_apply(updates: usize, queued: Duration, wall: Duration, epoch: Option<u64>) {
+    if !tq_obs::enabled() {
+        return;
+    }
+    let m = writer_metrics();
+    m.batches.incr();
+    m.queued_ns.record(queued);
+    m.batch_ns.record(wall);
+    let total = tq_obs::duration_ns(queued).saturating_add(tq_obs::duration_ns(wall));
+    tq_obs::record_slow(total, || {
+        let explain = Explain {
+            snapshot_epoch: epoch.unwrap_or(0),
+            queued,
+            wall,
+            ..Explain::default()
+        };
+        format!("apply ({updates} updates) {explain}")
+    });
+}
 
 /// A point-in-time description of a read plane — what a daemon's
 /// hello/status frames report about the engine behind them.
@@ -103,6 +149,7 @@ impl ReadPlane for Reader {
         let queued = arrived.elapsed();
         let mut answer = snapshot.run(query)?;
         answer.explain.queued = queued;
+        session::note_slow_query(&answer.explain);
         Ok(answer)
     }
 
@@ -129,6 +176,7 @@ impl ReadPlane for ShardedReader {
         let queued = arrived.elapsed();
         let mut answer = snapshot.run(query)?;
         answer.explain.queued = queued;
+        session::note_slow_query(&answer.explain);
         Ok(answer)
     }
 
@@ -298,8 +346,11 @@ impl std::error::Error for WriterError {
 }
 
 enum Msg {
-    Apply(Vec<Update>, SyncSender<Result<BatchAck, EngineError>>),
-    Replicate(Vec<Update>, u64, SyncSender<Result<BatchAck, EngineError>>),
+    // Apply-path messages carry their send stamp so the writer thread
+    // can account the channel wait as `Explain::queued` — the write-side
+    // sibling of the read plane's snapshot-grab delay.
+    Apply(Vec<Update>, Instant, SyncSender<Result<BatchAck, EngineError>>),
+    Replicate(Vec<Update>, u64, Instant, SyncSender<Result<BatchAck, EngineError>>),
     Checkpoint(SyncSender<Result<CheckpointAck, EngineError>>),
     Promote(SyncSender<Result<u64, EngineError>>),
     Stop { final_checkpoint: bool },
@@ -357,7 +408,11 @@ impl WriterHandle {
     /// exactly as [`Engine::apply`]: a rejected batch leaves the engine (and
     /// its WAL) untouched.
     pub fn apply(&self, batch: Vec<Update>) -> Result<BatchAck, WriterError> {
-        self.roundtrip(|reply| Msg::Apply(batch, reply))
+        let depth = writer_metrics().queue_depth;
+        depth.inc();
+        let out = self.roundtrip(|reply| Msg::Apply(batch, Instant::now(), reply));
+        depth.dec();
+        out
     }
 
     /// Takes an explicit checkpoint ([`Engine::checkpoint`]). Errors with
@@ -375,7 +430,11 @@ impl WriterHandle {
         batch: Vec<Update>,
         stamp: u64,
     ) -> Result<BatchAck, WriterError> {
-        self.roundtrip(|reply| Msg::Replicate(batch, stamp, reply))
+        let depth = writer_metrics().queue_depth;
+        depth.inc();
+        let out = self.roundtrip(|reply| Msg::Replicate(batch, stamp, Instant::now(), reply));
+        depth.dec();
+        out
     }
 
     /// Lifts a read-only hub into a writable one (follower promotion) and
@@ -431,13 +490,15 @@ impl<C: ControlPlane> WriterHub<C> {
                     Err(RecvTimeoutError::Disconnected) => break,
                 };
                 match msg {
-                    Msg::Apply(batch, reply) => {
+                    Msg::Apply(batch, sent, reply) => {
                         if let Some(primary) = &read_only {
                             let _ = reply.send(Err(EngineError::ReadOnly {
                                 primary: primary.clone(),
                             }));
                             continue;
                         }
+                        let queued = sent.elapsed();
+                        let applying = Instant::now();
                         let ack = engine.apply_batch(&batch).map(|outcome| BatchAck {
                             epoch: engine.current_epoch(),
                             outcome,
@@ -445,8 +506,9 @@ impl<C: ControlPlane> WriterHub<C> {
                                 .persist_status()
                                 .map_or(0, |s| s.wal_batches as u64),
                         });
-                        // A dropped requester is not a writer problem.
                         let ship = ack.as_ref().map(|a| a.epoch).ok();
+                        note_apply(batch.len(), queued, applying.elapsed(), ship);
+                        // A dropped requester is not a writer problem.
                         let _ = reply.send(ack);
                         // Ship-after-ack: the batch is applied, WAL-logged
                         // and acknowledged before any follower sees it.
@@ -454,8 +516,10 @@ impl<C: ControlPlane> WriterHub<C> {
                             tap(epoch, &batch);
                         }
                     }
-                    Msg::Replicate(batch, stamp, reply) => {
+                    Msg::Replicate(batch, stamp, sent, reply) => {
                         let before = engine.current_epoch();
+                        let queued = sent.elapsed();
+                        let applying = Instant::now();
                         let ack =
                             engine.apply_replicated(&batch, stamp).map(|outcome| BatchAck {
                                 epoch: engine.current_epoch(),
@@ -467,6 +531,7 @@ impl<C: ControlPlane> WriterHub<C> {
                         // A stamp-skipped (already-reflected) batch leaves
                         // the epoch in place and must not re-ship.
                         let ship = ack.as_ref().map(|a| a.epoch).ok().filter(|&e| e > before);
+                        note_apply(batch.len(), queued, applying.elapsed(), ship);
                         let _ = reply.send(ack);
                         // Replicated applies feed the tap too, so a chained
                         // or later-promoted follower can serve followers of

@@ -199,6 +199,15 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's metrics snapshot, rendered as `name{label}
+    /// value` text lines. Fails over like [`Client::query`].
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.call_failover(Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully (drain connections, final
     /// checkpoint). Consumes the client — the connection is useless after
     /// the ack.

@@ -52,7 +52,9 @@ use tq_store::StoreError;
 /// other value — bump it whenever a frame body's byte layout changes.
 /// v2 added replication: the hello/status bodies carry the node's role
 /// and primary address, and the `repl-*` frame kinds exist.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// v3 added observability: the status body carries cumulative
+/// connection and panic counters, and the `metrics` frame kinds exist.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Default cap on a frame's body length (32 MiB). A hostile or corrupt
 /// length prefix above the cap is rejected *before* any allocation.

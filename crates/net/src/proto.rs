@@ -22,6 +22,7 @@
 //! | `0x08` | `ReplHello` (tq-repl)     | open a replication feed          |
 //! | `0x09` | empty                     | promote a follower to primary    |
 //! | `0x0A` | `ReplAck` (tq-repl)       | follower feed acknowledgement    |
+//! | `0x0B` | empty                     | metrics snapshot                 |
 //! | `0x81` | [`ServerInfo`]            | handshake accepted               |
 //! | `0x82` | [`Answer`]                | query answer + explain           |
 //! | `0x83` | [`Ack`]                   | batch / checkpoint / shutdown ack|
@@ -29,6 +30,7 @@
 //! | `0x85` | [`ErrorFrame`]            | typed error                      |
 //! | `0x86` | `ReplRecord` (tq-repl)    | one shipped WAL record           |
 //! | `0x87` | `SnapshotChunk` (tq-repl) | one snapshot-transfer chunk      |
+//! | `0x88` | `String`                  | rendered metrics snapshot        |
 //!
 //! The `repl-*` bodies (`0x08`, `0x0A`, `0x86`, `0x87`) are owned by
 //! [`tq_repl::proto`] and never appear inside [`Request`]/[`Response`] —
@@ -65,6 +67,8 @@ pub mod kind {
     pub const PROMOTE: u8 = 0x09;
     /// Follower feed acknowledgement (body: `tq_repl::proto::ReplAck`).
     pub const REPL_ACK: u8 = 0x0A;
+    /// Ask for a metrics snapshot (empty body).
+    pub const METRICS: u8 = 0x0B;
     /// Handshake accepted (server → client).
     pub const S_HELLO: u8 = 0x81;
     /// A query answer.
@@ -79,6 +83,8 @@ pub mod kind {
     pub const S_REPL_RECORD: u8 = 0x86;
     /// One snapshot-transfer chunk (body: `tq_repl::proto::SnapshotChunk`).
     pub const S_REPL_SNAPSHOT: u8 = 0x87;
+    /// A rendered metrics snapshot (body: `String`).
+    pub const S_METRICS: u8 = 0x88;
 }
 
 /// A client-to-server message.
@@ -106,6 +112,8 @@ pub enum Request {
     /// Promote a follower to primary: its writer funnel starts accepting
     /// direct applies. Idempotent on a node that is already primary.
     Promote,
+    /// Report a rendered metrics snapshot (`tq metrics --connect`).
+    Metrics,
 }
 
 /// A server-to-client message.
@@ -119,6 +127,8 @@ pub enum Response {
     Ack(Ack),
     /// The status report.
     Status(StatusReport),
+    /// The metrics snapshot, rendered as `name{label} value` text lines.
+    Metrics(String),
     /// A typed error. The connection may stay open (engine errors) or
     /// close right after (protocol errors).
     Error(ErrorFrame),
@@ -272,6 +282,12 @@ pub struct StatusReport {
     /// The slowest follower's acknowledged epoch; `last_shipped` minus
     /// this is the replication lag. `0` with no followers.
     pub min_acked: u64,
+    /// Connections accepted since the daemon started (cumulative, unlike
+    /// `connections` which counts currently-open ones).
+    pub connections_total: u64,
+    /// Connection-handler panics caught since the daemon started. Always
+    /// `0` on a healthy daemon.
+    pub panics: u64,
 }
 
 impl Encode for StatusReport {
@@ -284,11 +300,13 @@ impl Encode for StatusReport {
         buf.put_u64_le(self.followers);
         buf.put_u64_le(self.last_shipped);
         buf.put_u64_le(self.min_acked);
+        buf.put_u64_le(self.connections_total);
+        buf.put_u64_le(self.panics);
     }
 }
 
 impl Decode for StatusReport {
-    const MIN_SIZE: usize = ServerInfo::MIN_SIZE + 56;
+    const MIN_SIZE: usize = ServerInfo::MIN_SIZE + 72;
 
     fn decode(r: &mut Reader) -> Result<Self, StoreError> {
         Ok(StatusReport {
@@ -300,6 +318,8 @@ impl Decode for StatusReport {
             followers: r.u64()?,
             last_shipped: r.u64()?,
             min_acked: r.u64()?,
+            connections_total: r.u64()?,
+            panics: r.u64()?,
         })
     }
 }
@@ -318,8 +338,13 @@ impl std::fmt::Display for StatusReport {
         )?;
         writeln!(
             f,
-            "connections {} | queries {} | batches {} | wal pending {}",
-            self.connections, self.queries_served, self.batches_applied, self.wal_batches
+            "connections {} ({} total) | queries {} | batches {} | wal pending {} | panics {}",
+            self.connections,
+            self.connections_total,
+            self.queries_served,
+            self.batches_applied,
+            self.wal_batches,
+            self.panics
         )?;
         match self.info.role {
             ServerRole::Follower => {
@@ -475,6 +500,7 @@ impl Request {
             Request::Status => kind::STATUS,
             Request::Shutdown => kind::SHUTDOWN,
             Request::Promote => kind::PROMOTE,
+            Request::Metrics => kind::METRICS,
         };
         (kind, buf)
     }
@@ -505,6 +531,10 @@ impl Request {
                 expect_empty(&body)?;
                 Request::Promote
             }
+            kind::METRICS => {
+                expect_empty(&body)?;
+                Request::Metrics
+            }
             other => return Err(NetError::Unexpected { kind: other }),
         })
     }
@@ -531,6 +561,10 @@ impl Response {
                 s.encode(&mut buf);
                 kind::S_STATUS
             }
+            Response::Metrics(text) => {
+                text.encode(&mut buf);
+                kind::S_METRICS
+            }
             Response::Error(e) => {
                 e.encode(&mut buf);
                 kind::S_ERROR
@@ -546,6 +580,7 @@ impl Response {
             kind::S_ANSWER => Response::Answer(Box::new(decode_body(body)?)),
             kind::S_ACK => Response::Ack(decode_body(body)?),
             kind::S_STATUS => Response::Status(decode_body(body)?),
+            kind::S_METRICS => Response::Metrics(decode_body(body)?),
             kind::S_ERROR => Response::Error(decode_body(body)?),
             other => return Err(NetError::Unexpected { kind: other }),
         })
@@ -612,6 +647,7 @@ mod tests {
             Request::Status,
             Request::Shutdown,
             Request::Promote,
+            Request::Metrics,
         ] {
             let (kind, body) = req.to_frame();
             assert!(body.is_empty());
@@ -661,11 +697,18 @@ mod tests {
             followers: 2,
             last_shipped: 12,
             min_acked: 11,
+            connections_total: 9,
+            panics: 0,
         };
         match roundtrip_response(Response::Status(status.clone())) {
             Response::Status(back) => {
                 assert_eq!(format!("{back}"), format!("{status}"));
             }
+            other => panic!("{other:?}"),
+        }
+        let metrics = "tq_queries_total{backend=\"tq-tree\"} 3\n".to_string();
+        match roundtrip_response(Response::Metrics(metrics.clone())) {
+            Response::Metrics(back) => assert_eq!(back, metrics),
             other => panic!("{other:?}"),
         }
         let err = ErrorFrame {

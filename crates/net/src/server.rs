@@ -37,7 +37,7 @@
 //! back. [`ServerHandle::abort`] skips the final checkpoint — the crash
 //! path the WAL exists for.
 
-use crate::frame::{read_frame_interruptible, write_frame, Polled};
+use crate::frame::{read_frame_interruptible, write_frame, Polled, HEADER_LEN, TRAILER_LEN};
 use crate::proto::{
     kind, Ack, ErrorCode, ErrorFrame, Request, Response, ServerInfo, ServerRole, StatusReport,
 };
@@ -47,7 +47,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tq_core::engine::{Engine, EngineError};
@@ -96,10 +96,15 @@ impl Default for ServerConfig {
     }
 }
 
-/// Counters every connection thread updates and `Status` reports.
+/// Counters every connection thread updates and `Status` reports. The
+/// statistic fields use `Relaxed` ordering throughout: they are
+/// monotonic tallies read for reporting, not synchronization points.
+/// Only `stop` and `follower` carry control-flow decisions and stay
+/// `SeqCst`.
 struct Shared {
     stop: AtomicBool,
     connections: AtomicU64,
+    connections_total: AtomicU64,
     queries_served: AtomicU64,
     batches_applied: AtomicU64,
     wal_batches: AtomicU64,
@@ -162,6 +167,7 @@ impl Server {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
             batches_applied: AtomicU64::new(0),
             wal_batches: AtomicU64::new(
@@ -264,7 +270,7 @@ impl<C: ControlPlane> ServerHandle<C> {
     /// Connection-thread panics caught so far (always `0` unless a bug
     /// slipped through — the torture tests assert on this).
     pub fn panics(&self) -> u64 {
-        self.shared.panics.load(Ordering::SeqCst)
+        self.shared.panics.load(Ordering::Relaxed)
     }
 
     /// A handle into the single-writer funnel — what a follower's ingest
@@ -361,6 +367,65 @@ impl FollowerParts {
     }
 }
 
+/// The network layer's metric handles, resolved once per process.
+struct NetMetrics {
+    conns_opened: &'static tq_obs::Counter,
+    conns_active: &'static tq_obs::Gauge,
+    bytes_in: &'static tq_obs::Counter,
+    bytes_out: &'static tq_obs::Counter,
+    panics: &'static tq_obs::Counter,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| NetMetrics {
+        conns_opened: tq_obs::counter("tq_net_connections_total", ""),
+        conns_active: tq_obs::gauge("tq_net_connections_active", ""),
+        bytes_in: tq_obs::counter("tq_net_bytes_in_total", ""),
+        bytes_out: tq_obs::counter("tq_net_bytes_out_total", ""),
+        panics: tq_obs::counter("tq_net_panics_total", ""),
+    })
+}
+
+/// The per-kind received-frame counter. Unknown kinds still count (as
+/// `unknown`) — they produce a typed protocol error, not silence.
+fn frame_kind_counter(kind: u8) -> &'static tq_obs::Counter {
+    let label = match kind {
+        kind::HELLO => "kind=\"hello\"",
+        kind::QUERY => "kind=\"query\"",
+        kind::EXPLAIN => "kind=\"explain\"",
+        kind::APPLY => "kind=\"apply\"",
+        kind::CHECKPOINT => "kind=\"checkpoint\"",
+        kind::STATUS => "kind=\"status\"",
+        kind::SHUTDOWN => "kind=\"shutdown\"",
+        kind::REPL_HELLO => "kind=\"repl-hello\"",
+        kind::PROMOTE => "kind=\"promote\"",
+        kind::REPL_ACK => "kind=\"repl-ack\"",
+        kind::METRICS => "kind=\"metrics\"",
+        _ => "kind=\"unknown\"",
+    };
+    tq_obs::counter("tq_net_frames_total", label)
+}
+
+/// Counts one received frame's wire footprint (header + body + CRC).
+fn note_frame_in(kind: u8, body_len: usize) {
+    if tq_obs::enabled() {
+        frame_kind_counter(kind).incr();
+        net_metrics()
+            .bytes_in
+            .add((HEADER_LEN + body_len + TRAILER_LEN) as u64);
+    }
+}
+
+/// Counts one sent frame's wire footprint (header + body + CRC).
+fn note_frame_out(body_len: usize) {
+    if tq_obs::enabled() {
+        net_metrics()
+            .bytes_out
+            .add((HEADER_LEN + body_len + TRAILER_LEN) as u64);
+    }
+}
+
 /// One connection, start to finish. Never propagates a panic: request
 /// handling runs under `catch_unwind` and a caught panic closes the
 /// connection with a typed error after bumping the panic counter.
@@ -372,7 +437,10 @@ fn serve_connection<R: ReadPlane>(
     repl: Option<&ReplState>,
     config: &ServerConfig,
 ) {
-    shared.connections.fetch_add(1, Ordering::SeqCst);
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    shared.connections_total.fetch_add(1, Ordering::Relaxed);
+    net_metrics().conns_opened.incr();
+    net_metrics().conns_active.inc();
     let _ = stream.set_read_timeout(Some(config.poll));
     let _ = stream.set_nodelay(true);
 
@@ -382,7 +450,10 @@ fn serve_connection<R: ReadPlane>(
             shared.stop.load(Ordering::SeqCst)
         });
         let (kind, body) = match polled {
-            Ok(Polled::Frame { kind, body }) => (kind, body),
+            Ok(Polled::Frame { kind, body }) => {
+                note_frame_in(kind, body.len());
+                (kind, body)
+            }
             Ok(Polled::Closed) => break,
             Ok(Polled::Stopped) => {
                 send(
@@ -411,7 +482,8 @@ fn serve_connection<R: ReadPlane>(
                 serve_feed(&mut stream, body, shared, repl, config);
             }));
             if outcome.is_err() {
-                shared.panics.fetch_add(1, Ordering::SeqCst);
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                net_metrics().panics.incr();
             }
             break;
         }
@@ -435,7 +507,8 @@ fn serve_connection<R: ReadPlane>(
                 break;
             }
             Err(_) => {
-                shared.panics.fetch_add(1, Ordering::SeqCst);
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                net_metrics().panics.incr();
                 send(
                     &mut stream,
                     &Response::Error(ErrorFrame {
@@ -447,7 +520,10 @@ fn serve_connection<R: ReadPlane>(
             }
         }
     }
-    shared.connections.fetch_sub(1, Ordering::SeqCst);
+    shared.connections.fetch_sub(1, Ordering::Relaxed);
+    // The active gauge decrement is saturating and never gated, so a
+    // metrics toggle mid-connection cannot wrap it.
+    net_metrics().conns_active.dec();
 }
 
 enum Step {
@@ -494,7 +570,7 @@ fn handle_frame<R: ReadPlane>(
     match request {
         Request::Hello { .. } => Step::Reply(Response::Hello(server_info(reader, shared))),
         Request::Query(q) | Request::Explain(q) => {
-            shared.queries_served.fetch_add(1, Ordering::SeqCst);
+            shared.queries_served.fetch_add(1, Ordering::Relaxed);
             match reader.query(q) {
                 Ok(answer) => Step::Reply(Response::Answer(Box::new(answer))),
                 Err(e) => engine_error(&e),
@@ -502,8 +578,8 @@ fn handle_frame<R: ReadPlane>(
         }
         Request::Apply(batch) => match writer.apply(batch) {
             Ok(ack) => {
-                shared.batches_applied.fetch_add(1, Ordering::SeqCst);
-                shared.wal_batches.store(ack.wal_batches, Ordering::SeqCst);
+                shared.batches_applied.fetch_add(1, Ordering::Relaxed);
+                shared.wal_batches.store(ack.wal_batches, Ordering::Relaxed);
                 Step::Reply(Response::Ack(Ack {
                     epoch: ack.epoch,
                     outcome: Some(ack.outcome),
@@ -518,7 +594,7 @@ fn handle_frame<R: ReadPlane>(
         },
         Request::Checkpoint => match writer.checkpoint() {
             Ok(ack) => {
-                shared.wal_batches.store(0, Ordering::SeqCst);
+                shared.wal_batches.store(0, Ordering::Relaxed);
                 Step::Reply(Response::Ack(Ack {
                     epoch: ack.epoch,
                     outcome: None,
@@ -535,22 +611,25 @@ fn handle_frame<R: ReadPlane>(
             let repl_status = repl.map(|r| r.hub.status());
             Step::Reply(Response::Status(StatusReport {
                 info: server_info(reader, shared),
-                connections: shared.connections.load(Ordering::SeqCst),
-                queries_served: shared.queries_served.load(Ordering::SeqCst),
-                batches_applied: shared.batches_applied.load(Ordering::SeqCst),
-                wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+                connections: shared.connections.load(Ordering::Relaxed),
+                queries_served: shared.queries_served.load(Ordering::Relaxed),
+                batches_applied: shared.batches_applied.load(Ordering::Relaxed),
+                wal_batches: shared.wal_batches.load(Ordering::Relaxed),
                 followers: repl_status.as_ref().map_or(0, |s| s.followers.len() as u64),
                 last_shipped: repl_status.as_ref().map_or(0, |s| s.last_shipped),
                 min_acked: repl_status.as_ref().and_then(|s| s.min_acked).unwrap_or(0),
+                connections_total: shared.connections_total.load(Ordering::Relaxed),
+                panics: shared.panics.load(Ordering::Relaxed),
             }))
         }
+        Request::Metrics => Step::Reply(Response::Metrics(tq_obs::snapshot().render())),
         Request::Promote => match writer.promote() {
             Ok(epoch) => {
                 shared.become_primary();
                 Step::Reply(Response::Ack(Ack {
                     epoch,
                     outcome: None,
-                    wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+                    wal_batches: shared.wal_batches.load(Ordering::Relaxed),
                 }))
             }
             Err(WriterError::Engine(e)) => engine_error(&e),
@@ -562,7 +641,7 @@ fn handle_frame<R: ReadPlane>(
         Request::Shutdown => Step::ShutDown(Response::Ack(Ack {
             epoch: reader.latest_epoch(),
             outcome: None,
-            wal_batches: shared.wal_batches.load(Ordering::SeqCst),
+            wal_batches: shared.wal_batches.load(Ordering::Relaxed),
         })),
     }
 }
@@ -606,6 +685,7 @@ fn protocol_error(e: &NetError) -> Response {
 /// Best-effort response write; false means the peer is gone.
 fn send(stream: &mut TcpStream, resp: &Response) -> bool {
     let (kind, body) = resp.to_frame();
+    note_frame_out(body.len());
     write_frame(stream, kind, body.as_ref()).is_ok()
 }
 
@@ -799,6 +879,7 @@ fn send_snapshot(
         };
         let mut body = bytes::BytesMut::new();
         chunk.encode(&mut body);
+        note_frame_out(body.len());
         write_frame(stream, kind::S_REPL_SNAPSHOT, body.as_ref())?;
         await_ack(stream, shared, config)?;
         offset = end;
@@ -818,6 +899,7 @@ fn ship(
 ) -> Result<u64, NetError> {
     let mut body = bytes::BytesMut::new();
     record.encode(&mut body);
+    note_frame_out(body.len());
     write_frame(stream, kind::S_REPL_RECORD, body.as_ref())?;
     await_ack(stream, shared, config)
 }
@@ -833,6 +915,7 @@ fn await_ack(
     })?;
     match polled {
         Polled::Frame { kind: k, body } if k == kind::REPL_ACK => {
+            note_frame_in(k, body.len());
             let mut r = CodecReader::new(body);
             let ack = ReplAck::decode(&mut r).and_then(|a| r.finish().map(|()| a))?;
             Ok(ack.epoch)

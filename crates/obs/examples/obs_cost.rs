@@ -1,0 +1,42 @@
+//! Micro-probe for the per-record cost of the registry's instruments:
+//! `cargo run --release -p tq-obs --example obs_cost`.
+//!
+//! Prints nanoseconds per operation for the three record paths hot
+//! layers actually take — counter + histogram (what `note_query` does
+//! per query), bare counter adds, and the disabled-path `enabled()`
+//! load — so a claimed "effectively free" stays a measured number.
+
+fn main() {
+    let c = tq_obs::counter("probe_ops_total", "");
+    let h = tq_obs::histogram("probe_latency_ns", "");
+    let n = 2_000_000u64;
+
+    let t = std::time::Instant::now();
+    for i in 0..n {
+        c.incr();
+        h.record_ns(i % 100_000);
+    }
+    println!(
+        "counter incr + histogram record: {:.1} ns/op",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    let t = std::time::Instant::now();
+    for i in 0..n {
+        c.add(i % 3);
+    }
+    println!(
+        "counter add:                     {:.1} ns/op",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    let t = std::time::Instant::now();
+    let mut x = 0u64;
+    for _ in 0..n {
+        x = x.wrapping_add(std::hint::black_box(tq_obs::enabled() as u64));
+    }
+    println!(
+        "enabled() load (disabled path):  {:.1} ns/op (sum {x})",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+}

@@ -16,8 +16,50 @@ use crate::proto::ReplRecord;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Registry handles for replication health: the shipped/acked positions
+/// and their gap (the follower lag, in epochs — one record per epoch, so
+/// the same number reads as records behind), plus the overflow drops
+/// that force a follower back to disk catch-up.
+struct HubMetrics {
+    followers: &'static tq_obs::Gauge,
+    last_shipped: &'static tq_obs::Gauge,
+    min_acked: &'static tq_obs::Gauge,
+    lag: &'static tq_obs::Gauge,
+    records_shipped: &'static tq_obs::Counter,
+    overflow_drops: &'static tq_obs::Counter,
+}
+
+fn metrics() -> &'static HubMetrics {
+    static M: OnceLock<HubMetrics> = OnceLock::new();
+    M.get_or_init(|| HubMetrics {
+        followers: tq_obs::gauge("tq_repl_followers", ""),
+        last_shipped: tq_obs::gauge("tq_repl_last_shipped_epoch", ""),
+        min_acked: tq_obs::gauge("tq_repl_min_acked_epoch", ""),
+        lag: tq_obs::gauge("tq_repl_lag_epochs", ""),
+        records_shipped: tq_obs::counter("tq_repl_records_shipped_total", ""),
+        overflow_drops: tq_obs::counter("tq_repl_overflow_drops_total", ""),
+    })
+}
+
+impl HubInner {
+    /// Refreshes the position gauges from this state — called under the
+    /// hub lock wherever positions move, so the gauges never lag the
+    /// status frames.
+    fn sync_gauges(&self) {
+        if !tq_obs::enabled() {
+            return;
+        }
+        let m = metrics();
+        m.followers.set(self.followers.len() as u64);
+        m.last_shipped.set(self.last_shipped);
+        let min_acked = self.followers.values().map(|s| s.acked).min().unwrap_or(0);
+        m.min_acked.set(min_acked);
+        m.lag.set(self.last_shipped.saturating_sub(min_acked));
+    }
+}
 use tq_core::dynamic::Update;
 use tq_core::persist::encode_update_batch;
 use tq_core::writer::BatchTap;
@@ -150,8 +192,12 @@ impl ReplicationHub {
                 // thread drops the connection and the follower re-syncs
                 // from the store, where this record durably is.
                 slot.overflowed = true;
+                metrics().overflow_drops.incr();
+            } else {
+                metrics().records_shipped.incr();
             }
         }
+        inner.sync_gauges();
     }
 
     /// Registers a follower feed and returns its id and the live-record
@@ -173,6 +219,7 @@ impl ReplicationHub {
                 overflowed: false,
             },
         );
+        inner.sync_gauges();
         (id, rx)
     }
 
@@ -185,6 +232,7 @@ impl ReplicationHub {
             let meta = inner.meta();
             inner.followers.remove(&id);
             inner.meta_stamp = Some(Instant::now());
+            inner.sync_gauges();
             meta
         };
         if let Some(dir) = &self.dir {
@@ -200,6 +248,8 @@ impl ReplicationHub {
         if epoch > inner.last_shipped {
             inner.last_shipped = epoch;
         }
+        metrics().records_shipped.incr();
+        inner.sync_gauges();
     }
 
     /// Records a follower acknowledgement and (rate-limited, one write
@@ -215,6 +265,7 @@ impl ReplicationHub {
                     slot.acked = epoch;
                 }
             }
+            inner.sync_gauges();
             if inner
                 .meta_stamp
                 .is_some_and(|at| at.elapsed() < META_WRITE_INTERVAL)

@@ -33,7 +33,40 @@ use bytes::Bytes;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Registry handles for the store's metrics, interned once. WAL append
+/// latency includes the fsync when the [`SyncPolicy`] syncs per append —
+/// that *is* the acknowledged-batch durability cost operators care about.
+struct StoreMetrics {
+    wal_appends: &'static tq_obs::Counter,
+    wal_append_ns: &'static tq_obs::Histogram,
+    wal_bytes: &'static tq_obs::Counter,
+    checkpoints: &'static tq_obs::Counter,
+    checkpoint_stage_ns: &'static tq_obs::Histogram,
+    checkpoint_commit_ns: &'static tq_obs::Histogram,
+    checkpoint_bytes: &'static tq_obs::Gauge,
+    recoveries: &'static tq_obs::Counter,
+    recovery_ns: &'static tq_obs::Histogram,
+    recovery_wal_records: &'static tq_obs::Gauge,
+}
+
+fn metrics() -> &'static StoreMetrics {
+    static M: OnceLock<StoreMetrics> = OnceLock::new();
+    M.get_or_init(|| StoreMetrics {
+        wal_appends: tq_obs::counter("tq_wal_appends_total", ""),
+        wal_append_ns: tq_obs::histogram("tq_wal_append_ns", ""),
+        wal_bytes: tq_obs::counter("tq_wal_bytes_total", ""),
+        checkpoints: tq_obs::counter("tq_checkpoints_total", ""),
+        checkpoint_stage_ns: tq_obs::histogram("tq_checkpoint_stage_ns", ""),
+        checkpoint_commit_ns: tq_obs::histogram("tq_checkpoint_commit_ns", ""),
+        checkpoint_bytes: tq_obs::gauge("tq_checkpoint_bytes", ""),
+        recoveries: tq_obs::counter("tq_recoveries_total", ""),
+        recovery_ns: tq_obs::histogram("tq_recovery_ns", ""),
+        recovery_wal_records: tq_obs::gauge("tq_recovery_wal_records", ""),
+    })
+}
 
 /// Name of the WAL file inside a store directory.
 pub const WAL_FILE: &str = "wal.tql";
@@ -237,6 +270,7 @@ impl Store {
     /// longest valid prefix, truncates any torn tail so subsequent
     /// appends extend the valid prefix, and returns both.
     pub fn open(dir: &Path, config: StoreConfig) -> Result<(Store, Recovered), StoreError> {
+        let start = Instant::now();
         remove_stale_tmp(dir);
         let candidates = snapshot_files(dir)?;
         if candidates.is_empty() {
@@ -319,6 +353,9 @@ impl Store {
             // scheduling restarts its clock at open.
             last_checkpoint: Instant::now(),
         };
+        metrics().recovery_ns.record(start.elapsed());
+        metrics().recoveries.incr();
+        metrics().recovery_wal_records.set(wal_records.len() as u64);
         Ok((
             store,
             Recovered {
@@ -362,8 +399,12 @@ impl Store {
     /// Appends one encoded batch to the WAL (fsynced per the
     /// [`SyncPolicy`]). Called *before* the batch publishes.
     pub fn append_batch(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
+        let start = Instant::now();
         self.writer.append(epoch, payload)?;
+        metrics().wal_append_ns.record(start.elapsed());
         self.wal_batches += 1;
+        metrics().wal_appends.incr();
+        metrics().wal_bytes.add(payload.len() as u64);
         Ok(())
     }
 
@@ -384,11 +425,14 @@ impl Store {
         meta: &SnapshotMeta,
         body: &[u8],
     ) -> Result<PathBuf, StoreError> {
+        let start = Instant::now();
         let tmp_path = snapshot_path(dir, meta.epoch).with_extension("tmp");
         let encoded = snapshot::encode(meta, body);
+        metrics().checkpoint_bytes.set(encoded.len() as u64);
         let mut f = fs::File::create(&tmp_path)?;
         f.write_all(encoded.as_ref())?;
         f.sync_data()?;
+        metrics().checkpoint_stage_ns.record(start.elapsed());
         Ok(tmp_path)
     }
 
@@ -400,6 +444,7 @@ impl Store {
     /// old log as a valid *ancestor* lineage that [`Store::open`] still
     /// replays, so no acknowledged batch is ever lost.
     pub fn commit_snapshot(&mut self, epoch: u64, tmp_path: &Path) -> Result<PathBuf, StoreError> {
+        let start = Instant::now();
         let final_path = snapshot_path(&self.dir, epoch);
         fs::rename(tmp_path, &final_path)?;
         sync_dir(&self.dir);
@@ -428,6 +473,8 @@ impl Store {
         {
             let _ = fs::remove_file(stale);
         }
+        metrics().checkpoint_commit_ns.record(start.elapsed());
+        metrics().checkpoints.incr();
         Ok(final_path)
     }
 }

@@ -28,6 +28,10 @@
 //!   [`ReplicationHub`](repl::ReplicationHub) fan-out, the catch-up
 //!   planner, and the replication payload codecs behind `tqd --follow`
 //!   warm standbys;
+//! * [`obs`] — always-on observability: the lock-free metrics registry
+//!   (integer counters, gauges and log-linear latency histograms) every
+//!   layer above records into, the ring-buffer slow-query log, and the
+//!   stable `name{label} value` text rendering behind `tq metrics`;
 //! * [`baseline`] — the paper's BL / G-BL reference methods;
 //! * [`datagen`] — seeded NYT/NYF/BJG-like workload generators.
 //!
@@ -105,6 +109,7 @@ pub use tq_core as core;
 pub use tq_datagen as datagen;
 pub use tq_geometry as geometry;
 pub use tq_net as net;
+pub use tq_obs as obs;
 pub use tq_quadtree as quadtree;
 pub use tq_repl as repl;
 pub use tq_store as store;
